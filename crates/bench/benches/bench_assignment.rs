@@ -1,0 +1,73 @@
+//! Combined-model cost (backs Table 4): estimating a tentative
+//! assignment's power (Fig. 1 / Eq. 11). The paper's complexity claim is
+//! that this replaces exponentially many trial runs; cost grows with the
+//! Eq. 10 combination count.
+
+use bench::synthetic_profile;
+use cmpsim::machine::MachineConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpmc_model::assignment::{Assignment, CombinedModel};
+use mpmc_model::profile::ProcessProfile;
+use std::hint::black_box;
+
+fn profiles(machine: &MachineConfig, n: usize) -> Vec<ProcessProfile> {
+    (0..n)
+        .map(|i| {
+            synthetic_profile(
+                &format!("p{i}"),
+                machine,
+                0.08 + 0.05 * i as f64,
+                0.004 + 0.006 * i as f64,
+            )
+        })
+        .collect()
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let machine = MachineConfig::four_core_server();
+    let power = bench::synthetic_power_model(&machine, 300);
+    let combined = CombinedModel::new(&machine, &power);
+    let ps = profiles(&machine, 8);
+
+    let mut group = c.benchmark_group("assignment/estimate_processor_power");
+    for procs_per_core in [1usize, 2, 3] {
+        let mut asg = Assignment::new(4);
+        for core in 0..4 {
+            for p in 0..procs_per_core {
+                asg.assign(core, (core * procs_per_core + p) % ps.len());
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("procs_per_core", procs_per_core),
+            &procs_per_core,
+            |b, _| {
+                b.iter(|| {
+                    combined
+                        .estimate_processor_power(black_box(&ps), black_box(&asg))
+                        .expect("estimate")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_query(c: &mut Criterion) {
+    // The scheduler-facing primitive: "what if process K goes on core C?"
+    let machine = MachineConfig::four_core_server();
+    let power = bench::synthetic_power_model(&machine, 300);
+    let combined = CombinedModel::new(&machine, &power);
+    let ps = profiles(&machine, 4);
+    let mut current = Assignment::new(4);
+    current.assign(0, 0).assign(2, 1);
+    c.bench_function("assignment/estimate_after_assigning", |b| {
+        b.iter(|| {
+            combined
+                .estimate_after_assigning(black_box(&ps), black_box(&current), 2, 1)
+                .expect("estimate")
+        })
+    });
+}
+
+criterion_group!(benches, bench_estimate, bench_incremental_query);
+criterion_main!(benches);

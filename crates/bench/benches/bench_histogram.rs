@@ -1,0 +1,46 @@
+//! Histogram-math cost: MPA evaluation, curve tabulation, and the Eq. 8
+//! reconstruction used by the profiler.
+
+use bench::synthetic_histogram;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpmc_model::histogram::ReuseHistogram;
+use mpmc_model::occupancy::{OccupancyCurve, OccupancyOptions};
+use std::hint::black_box;
+
+fn bench_mpa_eval(c: &mut Criterion) {
+    let hist = synthetic_histogram(24, 0.2, 0.9);
+    c.bench_function("histogram/mpa_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..64 {
+                acc += hist.mpa(black_box(i as f64 * 0.25));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_from_mpa_curve(c: &mut Criterion) {
+    let hist = synthetic_histogram(16, 0.2, 0.9);
+    let curve: Vec<f64> = (0..=16).map(|s| hist.mpa_int(s)).collect();
+    c.bench_function("histogram/from_mpa_curve", |b| {
+        b.iter(|| ReuseHistogram::from_mpa_curve(black_box(&curve)).expect("valid"))
+    });
+}
+
+fn bench_occupancy_tabulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram/occupancy_curve");
+    for assoc in [8usize, 16] {
+        let hist = synthetic_histogram(assoc, 0.15, 0.85);
+        group.bench_with_input(BenchmarkId::from_parameter(assoc), &assoc, |b, &a| {
+            b.iter(|| {
+                OccupancyCurve::from_histogram(black_box(&hist), a, OccupancyOptions::default())
+                    .expect("curve")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpa_eval, bench_from_mpa_curve, bench_occupancy_tabulation);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! MVLR fitting cost (backs §4.1): building the Eq. 9 power model from a
+//! training corpus.
+
+use bench::synthetic_observations;
+use cmpsim::machine::MachineConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpmc_model::power::PowerModel;
+use std::hint::black_box;
+
+fn bench_fit(c: &mut Criterion) {
+    let machine = MachineConfig::four_core_server();
+    let mut group = c.benchmark_group("mvlr_fit");
+    for n in [50usize, 300, 2000] {
+        let obs = synthetic_observations(&machine, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| PowerModel::fit_mvlr(black_box(&obs)).expect("fit"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

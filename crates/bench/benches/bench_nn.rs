@@ -1,0 +1,44 @@
+//! Neural-network power-model cost (backs §4.1): the comparison point the
+//! paper uses to justify choosing MVLR ("simplicity in model construction
+//! and evaluation").
+
+use bench::{random_rates, synthetic_observations};
+use cmpsim::machine::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mathkit::nn::TrainOptions;
+use mpmc_model::power::{CorePowerModel, NnPowerModel};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_train(c: &mut Criterion) {
+    let machine = MachineConfig::four_core_server();
+    let obs = synthetic_observations(&machine, 200);
+    let mut group = c.benchmark_group("nn");
+    group.sample_size(10);
+    group.bench_function("train_200obs_100epochs", |b| {
+        b.iter(|| {
+            NnPowerModel::fit(
+                black_box(&obs),
+                TrainOptions { hidden: 8, epochs: 100, ..Default::default() },
+            )
+            .expect("train")
+        })
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let machine = MachineConfig::four_core_server();
+    let obs = synthetic_observations(&machine, 200);
+    let nn = NnPowerModel::fit(
+        &obs,
+        TrainOptions { hidden: 8, epochs: 100, ..Default::default() },
+    )
+    .expect("train");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+    let r = random_rates(&mut rng);
+    c.bench_function("nn/predict_core", |b| b.iter(|| nn.predict_core(black_box(&r))));
+}
+
+criterion_group!(benches, bench_train, bench_predict);
+criterion_main!(benches);

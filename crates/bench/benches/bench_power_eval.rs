@@ -1,0 +1,44 @@
+//! Power-model evaluation cost (backs Tables 2/3 and Fig. 2): the paper's
+//! pitch is *on-line* estimation, so predicting processor power from one
+//! HPC sample must be near-free.
+
+use bench::{random_rates, synthetic_power_model};
+use cmpsim::machine::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpmc_model::power::CorePowerModel;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let machine = MachineConfig::four_core_server();
+    let model = synthetic_power_model(&machine, 300);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let rates: Vec<_> = (0..4).map(|_| random_rates(&mut rng)).collect();
+
+    c.bench_function("power/predict_core", |b| {
+        b.iter(|| model.predict_core(black_box(&rates[0])))
+    });
+    c.bench_function("power/predict_processor_4core", |b| {
+        b.iter(|| model.predict_processor(black_box(&rates)))
+    });
+}
+
+fn bench_sample_stream(c: &mut Criterion) {
+    // A full 33-sample (1 s at 30 ms) validation pass.
+    let machine = MachineConfig::four_core_server();
+    let model = synthetic_power_model(&machine, 300);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    let stream: Vec<Vec<_>> =
+        (0..33).map(|_| (0..4).map(|_| random_rates(&mut rng)).collect()).collect();
+    c.bench_function("power/validate_33_samples", |b| {
+        b.iter(|| {
+            stream
+                .iter()
+                .map(|rates| model.predict_processor(black_box(rates)))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_predict, bench_sample_stream);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Profiling cost (backs §3.4): one stressmark co-run and the full O(A)
+//! feature-vector extraction on a reduced machine. This is the paper's
+//! one-time per-process cost that replaces exponentially many trial runs.
+
+use cmpsim::machine::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpmc_model::profile::{ProfileOptions, Profiler};
+use workloads::spec::SpecWorkload;
+
+fn tiny_machine() -> MachineConfig {
+    MachineConfig { l2_sets: 64, l2_assoc: 8, ..MachineConfig::two_core_workstation() }
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let profiler = Profiler::new(tiny_machine())
+        .with_options(ProfileOptions { duration_s: 0.15, warmup_s: 0.05, seed: 1, ..Default::default() });
+    let params = SpecWorkload::Twolf.params();
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    group.bench_function("feature_vector_8way_tiny", |b| {
+        b.iter(|| profiler.profile(&params).expect("profile"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile);
+criterion_main!(benches);

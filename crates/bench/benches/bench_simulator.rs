@@ -1,0 +1,53 @@
+//! Simulator substrate throughput: accesses simulated per second. This
+//! bounds how fast the experiment harness can regenerate the paper's
+//! tables.
+
+use cmpsim::engine::{simulate, Placement, SimOptions};
+use cmpsim::machine::MachineConfig;
+use cmpsim::process::ProcessSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use workloads::spec::SpecWorkload;
+
+fn run(machine: &MachineConfig, pairs: &[(usize, SpecWorkload)], duration_s: f64) -> u64 {
+    let mut pl = Placement::idle(machine.num_cores());
+    for (i, &(core, w)) in pairs.iter().enumerate() {
+        pl.assign(
+            core,
+            ProcessSpec::new(w.name(), Box::new(w.params().generator(machine.l2_sets, i as u64 + 1))),
+        );
+    }
+    let r = simulate(
+        machine,
+        pl,
+        SimOptions { duration_s, warmup_s: 0.0, seed: 1, ..Default::default() },
+    )
+    .expect("simulate");
+    r.processes.iter().map(|p| p.counters.l2_refs).sum()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let machine = MachineConfig::four_core_server();
+    let mut group = c.benchmark_group("simulator");
+    // Calibrate throughput label with a probe run.
+    let pairs2 = [(0usize, SpecWorkload::Mcf), (1, SpecWorkload::Gzip)];
+    let pairs4 = [
+        (0usize, SpecWorkload::Mcf),
+        (1, SpecWorkload::Gzip),
+        (2, SpecWorkload::Art),
+        (3, SpecWorkload::Twolf),
+    ];
+    let accesses2 = run(&machine, &pairs2, 0.1);
+    group.throughput(Throughput::Elements(accesses2));
+    group.bench_with_input(BenchmarkId::new("co_run_accesses", 2), &2, |b, _| {
+        b.iter(|| run(&machine, &pairs2, 0.1))
+    });
+    let accesses4 = run(&machine, &pairs4, 0.1);
+    group.throughput(Throughput::Elements(accesses4));
+    group.bench_with_input(BenchmarkId::new("co_run_accesses", 4), &4, |b, _| {
+        b.iter(|| run(&machine, &pairs4, 0.1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

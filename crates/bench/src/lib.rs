@@ -1,0 +1,108 @@
+//! Shared fixtures for the Criterion benchmark suite (see `benches/`).
+//!
+//! The paper's claim under test is that estimation is cheap enough for
+//! *on-line* use during process assignment, so the benches measure the
+//! framework's own costs: equilibrium solves, power evaluation, the
+//! combined Fig. 1 estimator, profiling, and the simulator substrate.
+
+use cmpsim::hpc::EventRates;
+use cmpsim::machine::MachineConfig;
+use mpmc_model::feature::FeatureVector;
+use mpmc_model::histogram::ReuseHistogram;
+use mpmc_model::power::{PowerModel, PowerObservation};
+use mpmc_model::profile::ProcessProfile;
+use mpmc_model::spi::SpiModel;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic synthetic histogram with geometric decay and the given
+/// infinite-distance tail.
+pub fn synthetic_histogram(depth: usize, tail: f64, decay: f64) -> ReuseHistogram {
+    let mut w = Vec::with_capacity(depth);
+    let mut cur = 1.0;
+    for _ in 0..depth {
+        w.push(cur);
+        cur *= decay;
+    }
+    let head: f64 = w.iter().sum();
+    let scale = (1.0 - tail) / head;
+    ReuseHistogram::new(w.iter().map(|x| x * scale).collect(), tail).expect("normalized")
+}
+
+/// A ground-truth-style feature vector for benchmarking the solvers.
+pub fn synthetic_feature(
+    name: &str,
+    machine: &MachineConfig,
+    depth: usize,
+    tail: f64,
+    api: f64,
+) -> FeatureVector {
+    let hist = synthetic_histogram(depth, tail, 0.8);
+    let alpha = api * (machine.mem_cycles - machine.l2_hit_cycles) as f64 / machine.freq_hz;
+    let beta = (machine.cpi_base + api * machine.l2_hit_cycles as f64) / machine.freq_hz;
+    FeatureVector::new(name, hist, api, SpiModel::new(alpha, beta).expect("valid"), machine.l2_assoc())
+        .expect("valid feature")
+}
+
+/// A full synthetic process profile for the combined-model benches.
+pub fn synthetic_profile(name: &str, machine: &MachineConfig, tail: f64, api: f64) -> ProcessProfile {
+    ProcessProfile {
+        feature: synthetic_feature(name, machine, 12, tail, api),
+        l1rpi: 0.35,
+        l2rpi: api,
+        brpi: 0.2,
+        fppi: 0.1,
+        processor_alone_w: 58.0,
+        idle_processor_w: 44.0,
+    }
+}
+
+/// Random plausible event rates for power-model benches.
+pub fn random_rates(rng: &mut ChaCha8Rng) -> EventRates {
+    let ips = rng.gen_range(1e6..2.4e7);
+    EventRates {
+        ips,
+        l1rps: ips * rng.gen_range(0.2..0.5),
+        l2rps: ips * rng.gen_range(0.001..0.05),
+        l2mps: ips * rng.gen_range(0.0..0.02),
+        brps: ips * rng.gen_range(0.05..0.3),
+        fpps: ips * rng.gen_range(0.0..0.3),
+    }
+}
+
+/// A power model fitted on synthetic ground-truth observations.
+pub fn synthetic_power_model(machine: &MachineConfig, n_obs: usize) -> PowerModel {
+    PowerModel::fit_mvlr(&synthetic_observations(machine, n_obs)).expect("fit")
+}
+
+/// The observations used by the MVLR/NN fitting benches.
+pub fn synthetic_observations(machine: &MachineConfig, n_obs: usize) -> Vec<PowerObservation> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let cores = machine.num_cores() as f64;
+    (0..n_obs)
+        .map(|_| {
+            let rates = random_rates(&mut rng);
+            PowerObservation {
+                rates,
+                core_watts: machine.power.core_power(&rates) + machine.power.uncore_w / cores,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid() {
+        let m = MachineConfig::four_core_server();
+        let fv = synthetic_feature("x", &m, 10, 0.2, 0.02);
+        assert_eq!(fv.assoc(), 16);
+        let p = synthetic_profile("y", &m, 0.2, 0.02);
+        assert!(p.core_power_alone(11.0) > 11.0);
+        let pm = synthetic_power_model(&m, 100);
+        assert!(pm.r_squared() > 0.8);
+    }
+}

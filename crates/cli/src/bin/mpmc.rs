@@ -1,0 +1,10 @@
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match mpmc_cli::commands::dispatch(&argv) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! CLI command implementations. Each command returns the text it would
+//! print, so commands are unit-testable without capturing stdout.
+
+use crate::args::ParsedArgs;
+use crate::resolve::{self, CliError};
+use cmpsim::engine::{simulate, Placement, SimOptions};
+use cmpsim::process::ProcessSpec;
+use cmpsim::trace::{miss_ratio_curve, stack_distance_histogram, Trace, TraceRecorder};
+use cmpsim::types::LineAddr;
+use mpmc_model::assignment::{Assignment, CombinedModel};
+use mpmc_model::perf::PerformanceModel;
+use mpmc_model::persist;
+use mpmc_model::power::{build_training_set, CorePowerModel, TrainingOptions};
+use mpmc_model::profile::Profiler;
+use workloads::spec::SpecWorkload;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mpmc — performance and power modeling for multi-programmed multi-cores
+       (DAC 2010 reproduction)
+
+usage: mpmc <command> [args]
+
+commands:
+  machines                              list machine presets
+  workloads                             list built-in workloads
+  profile <workload> [--machine M] [--out FILE] [--fast] [--sets N]
+                                        stressmark-profile a workload
+  predict <spec> <spec> [...] [--machine M]
+                                        predict co-run MPA/SPI (specs are
+                                        profile files or workload names)
+  train [--machine M] [--out FILE] [--fast] [--sets N]
+                                        train the Eq. 9 power model
+  estimate --assign A [--machine M] [--power FILE] [--fast] [--sets N]
+                                        combined-model power of a tentative
+                                        assignment (profiles only)
+  simulate --assign A [--machine M] [--duration S] [--seed N] [--sets N]
+                                        run the assignment on the simulator
+  trace <workload> [--steps N] [--out FILE] [--sets N]
+                                        record an access trace
+  mrc <tracefile> [--sets N] [--assoc A]
+                                        miss-ratio curve of a trace
+
+assignment syntax: per-core lists, ';' between cores, ',' within a core,
+e.g. \"mcf,art;gzip\" = mcf+art time-shared on core 0, gzip on core 1.
+machines: server (4 cores, 16-way), workstation (2, 8-way), duo (2, 12-way).
+";
+
+fn machine_from(args: &ParsedArgs) -> Result<cmpsim::machine::MachineConfig, CliError> {
+    let sets = match args.opt("sets") {
+        Some(raw) => Some(raw.parse::<usize>().map_err(|_| format!("bad --sets '{raw}'"))?),
+        None => None,
+    };
+    resolve::machine(args.opt("machine").unwrap_or("server"), sets)
+}
+
+/// `mpmc machines`
+pub fn machines() -> String {
+    let mut out = String::from("machine       cores  dies  L2 ways  L2 sets  timeslice\n");
+    for (name, m) in [
+        ("server", cmpsim::machine::MachineConfig::four_core_server()),
+        ("workstation", cmpsim::machine::MachineConfig::two_core_workstation()),
+        ("duo", cmpsim::machine::MachineConfig::duo_laptop()),
+    ] {
+        out.push_str(&format!(
+            "{name:<13}{:>5}{:>6}{:>9}{:>9}{:>9.2}s\n",
+            m.num_cores(),
+            m.dies,
+            m.l2_assoc,
+            m.l2_sets,
+            m.timeslice_s
+        ));
+    }
+    out
+}
+
+/// `mpmc workloads`
+pub fn workloads_cmd() -> String {
+    let mut out =
+        String::from("workload   API      L1RPI  BRPI   FPPI   reuse depth  streaming\n");
+    for w in SpecWorkload::duo_suite() {
+        let p = w.params();
+        out.push_str(&format!(
+            "{:<10} {:<8.4} {:<6.2} {:<6.2} {:<6.2} {:<12} {:.3}\n",
+            w.name(),
+            p.mix.api,
+            p.mix.l1rpi,
+            p.mix.brpi,
+            p.mix.fppi,
+            p.pattern.depth(),
+            p.pattern.streaming_fraction()
+        ));
+    }
+    out
+}
+
+/// `mpmc profile <workload> ...`
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure.
+pub fn profile(args: &ParsedArgs) -> Result<String, CliError> {
+    let name = args
+        .positionals()
+        .first()
+        .ok_or("profile: which workload? (try 'mpmc workloads')")?;
+    let machine = machine_from(args)?;
+    let w = resolve::workload(name)?;
+    let profiler = Profiler::new(machine.clone())
+        .with_options(resolve::profile_options(args.flag("fast")));
+    let prof = profiler.profile_full(&w.params()).map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "profiled '{}' on {} ({} runs)\n",
+        name,
+        machine.name,
+        machine.l2_assoc()
+    );
+    out.push_str(&format!(
+        "API {:.4}  alpha {:.3e}  beta {:.3e}\n",
+        prof.feature.api(),
+        prof.feature.spi_model().alpha(),
+        prof.feature.spi_model().beta()
+    ));
+    out.push_str(&format!(
+        "L1RPI {:.3}  BRPI {:.3}  FPPI {:.3}  P_alone {:.2} W (idle {:.2} W)\n",
+        prof.l1rpi, prof.brpi, prof.fppi, prof.processor_alone_w, prof.idle_processor_w
+    ));
+    out.push_str("MPA curve:");
+    for s in 0..=machine.l2_assoc() {
+        out.push_str(&format!(" {:.3}", prof.feature.mpa(s as f64)));
+    }
+    out.push('\n');
+    if let Some(path) = args.opt("out") {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        persist::write_profile(&prof, file).map_err(|e| format!("{path}: {e}"))?;
+        out.push_str(&format!("saved to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `mpmc predict <spec> <spec> ...`
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure.
+pub fn predict(args: &ParsedArgs) -> Result<String, CliError> {
+    if args.positionals().len() < 2 {
+        return Err("predict: need at least two specs (files or workload names)".into());
+    }
+    let machine = machine_from(args)?;
+    let features: Vec<_> = args
+        .positionals()
+        .iter()
+        .map(|spec| resolve::feature(spec, &machine))
+        .collect::<Result<_, _>>()?;
+    let model = PerformanceModel::new(machine.l2_assoc());
+    let pred = model.predict(&features).map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "equilibrium on a {}-way shared cache ({}):\n",
+        machine.l2_assoc(),
+        machine.name
+    );
+    out.push_str(&format!("{:<12}{:>8}{:>9}{:>13}{:>14}\n", "process", "ways", "MPA", "SPI", "IPS"));
+    for (fv, p) in features.iter().zip(&pred) {
+        out.push_str(&format!(
+            "{:<12}{:>8.2}{:>9.3}{:>13.3e}{:>14.3e}\n",
+            fv.name(),
+            p.ways,
+            p.mpa,
+            p.spi,
+            1.0 / p.spi
+        ));
+    }
+    Ok(out)
+}
+
+/// `mpmc train ...`
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure.
+pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
+    let machine = machine_from(args)?;
+    let fast = args.flag("fast");
+    let opts = if fast {
+        TrainingOptions {
+            duration_s: 0.35,
+            warmup_s: 0.1,
+            microbench_level_instructions: 100_000,
+            microbench_duration_s: 1.0,
+            ..Default::default()
+        }
+    } else {
+        TrainingOptions::default()
+    };
+    let suite: Vec<_> = SpecWorkload::table1_suite().iter().map(|w| w.params()).collect();
+    let obs = build_training_set(&machine, &suite, &opts).map_err(|e| e.to_string())?;
+    let model = mpmc_model::power::PowerModel::fit_mvlr(&obs).map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "trained Eq. 9 power model on {} ({} observations, R^2 {:.4})\n",
+        machine.name,
+        obs.len(),
+        model.r_squared()
+    );
+    out.push_str(&format!("idle core: {:.2} W\n", model.idle_core_watts()));
+    out.push_str(&format!(
+        "coefficients (L1RPS, L2RPS, L2MPS, BRPS, FPPS): {:?}\n",
+        model.coefficients()
+    ));
+    if let Some(path) = args.opt("out") {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        persist::write_power_model(&model, file).map_err(|e| format!("{path}: {e}"))?;
+        out.push_str(&format!("saved to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `mpmc estimate --assign A ...`
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure.
+pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
+    let machine = machine_from(args)?;
+    let assign = args.opt("assign").ok_or("estimate: --assign is required")?;
+    let per_core = resolve::assignment_string(assign, machine.num_cores())?;
+    let fast = args.flag("fast");
+
+    // Power model: from file, or trained on the fly.
+    let power = match args.opt("power") {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            persist::read_power_model(file).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            let opts = TrainingOptions {
+                duration_s: if fast { 0.35 } else { 0.9 },
+                warmup_s: if fast { 0.1 } else { 0.3 },
+                microbench_level_instructions: if fast { 100_000 } else { 500_000 },
+                microbench_duration_s: if fast { 1.0 } else { 2.4 },
+                ..Default::default()
+            };
+            let suite: Vec<_> =
+                SpecWorkload::table1_suite().iter().map(|w| w.params()).collect();
+            let obs = build_training_set(&machine, &suite, &opts).map_err(|e| e.to_string())?;
+            mpmc_model::power::PowerModel::fit_mvlr(&obs).map_err(|e| e.to_string())?
+        }
+    };
+
+    // Profiles: deduplicate specs so each is profiled once.
+    let mut specs: Vec<String> = Vec::new();
+    for q in &per_core {
+        for s in q {
+            if !specs.contains(s) {
+                specs.push(s.clone());
+            }
+        }
+    }
+    if specs.is_empty() {
+        return Err("estimate: the assignment is empty".into());
+    }
+    let profiles: Vec<_> = specs
+        .iter()
+        .map(|s| resolve::profile(s, &machine, fast))
+        .collect::<Result<_, _>>()?;
+    let mut asg = Assignment::new(machine.num_cores());
+    for (core, q) in per_core.iter().enumerate() {
+        for s in q {
+            let idx = specs.iter().position(|x| x == s).expect("spec recorded above");
+            asg.assign(core, idx);
+        }
+    }
+
+    let combined = CombinedModel::new(&machine, &power);
+    let total =
+        combined.estimate_processor_power(&profiles, &asg).map_err(|e| e.to_string())?;
+    let mut out = format!("combined-model estimate for \"{assign}\" on {}:\n", machine.name);
+    for die in 0..machine.dies {
+        let die_power = combined
+            .estimate_die_power(&profiles, &asg, cmpsim::types::DieId(die as u32))
+            .map_err(|e| e.to_string())?;
+        out.push_str(&format!("  die {die}: {die_power:.2} W\n"));
+    }
+    out.push_str(&format!("estimated processor power: {total:.2} W\n"));
+    Ok(out)
+}
+
+/// `mpmc simulate --assign A ...`
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure.
+pub fn simulate_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    let machine = machine_from(args)?;
+    let assign = args.opt("assign").ok_or("simulate: --assign is required")?;
+    let per_core = resolve::assignment_string(assign, machine.num_cores())?;
+    let duration: f64 = args.opt_parse("duration", 2.0)?;
+    let seed: u64 = args.opt_parse("seed", 0xC11u64)?;
+
+    let mut placement = Placement::idle(machine.num_cores());
+    let mut region = 1u64;
+    for (core, q) in per_core.iter().enumerate() {
+        for name in q {
+            let w = resolve::workload(name)?;
+            placement.assign(
+                core,
+                ProcessSpec::new(w.name(), Box::new(w.params().generator(machine.l2_sets, region))),
+            );
+            region += 1;
+        }
+    }
+    let run = simulate(
+        &machine,
+        placement,
+        SimOptions {
+            duration_s: duration,
+            warmup_s: (duration * 0.25).min(1.0),
+            seed,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut out = format!("simulated \"{assign}\" on {} for {duration} s:\n", machine.name);
+    out.push_str(&format!(
+        "{:<10}{:>5}{:>9}{:>9}{:>13}{:>9}\n",
+        "process", "core", "ways", "MPA", "SPI", "API"
+    ));
+    for p in &run.processes {
+        out.push_str(&format!(
+            "{:<10}{:>5}{:>9.2}{:>9.3}{:>13.3e}{:>9.4}\n",
+            p.name,
+            p.core,
+            p.avg_ways,
+            p.mpa(),
+            p.spi(),
+            p.api()
+        ));
+    }
+    out.push_str(&format!(
+        "measured processor power: {:.2} W over {} samples ({} context switches)\n",
+        run.avg_measured_power(),
+        run.settled_power().len(),
+        run.context_switches
+    ));
+    Ok(out)
+}
+
+/// `mpmc trace <workload> ...`
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure.
+pub fn trace(args: &ParsedArgs) -> Result<String, CliError> {
+    let name = args.positionals().first().ok_or("trace: which workload?")?;
+    let machine = machine_from(args)?;
+    let steps: u64 = args.opt_parse("steps", 100_000u64)?;
+    let w = resolve::workload(name)?;
+    let gen = w.params().generator(machine.l2_sets, 0);
+    let (mut rec, handle) = TraceRecorder::new(Box::new(gen));
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0xC11);
+    for _ in 0..steps {
+        cmpsim::process::AccessGenerator::next_step(&mut rec, &mut rng);
+    }
+    let trace = handle.lock().expect("trace buffer").clone();
+    let mut out = format!("recorded {} steps of '{name}'\n", trace.len());
+    if let Some(path) = args.opt("out") {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        trace.write_text(file).map_err(|e| format!("{path}: {e}"))?;
+        out.push_str(&format!("saved to {path}\n"));
+    } else {
+        out.push_str("(use --out FILE to save it)\n");
+    }
+    Ok(out)
+}
+
+/// `mpmc mrc <tracefile> ...`
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure.
+pub fn mrc(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args.positionals().first().ok_or("mrc: which trace file?")?;
+    let sets: usize = args.opt_parse("sets", 64usize)?;
+    let assoc: usize = args.opt_parse("assoc", 16usize)?;
+    if sets == 0 || assoc == 0 {
+        return Err("mrc: --sets and --assoc must be positive".into());
+    }
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = Trace::read_text(file).map_err(|e| format!("{path}: {e}"))?;
+    let addrs: Vec<LineAddr> = trace.accesses().collect();
+    if addrs.is_empty() {
+        return Err(format!("{path}: trace contains no memory accesses"));
+    }
+    let mrc = miss_ratio_curve(&addrs, sets, assoc);
+    let hist = stack_distance_histogram(&addrs, sets);
+    let total = addrs.len() as f64;
+
+    let mut out = format!("{path}: {} accesses, {sets} sets\n", addrs.len());
+    out.push_str("ways  miss ratio\n");
+    for (a, m) in mrc.iter().enumerate() {
+        out.push_str(&format!("{:>4}  {m:.4}\n", a + 1));
+    }
+    out.push_str("\nstack-position histogram (top 8):\n");
+    for (i, &c) in hist.iter().take(8).enumerate() {
+        out.push_str(&format!("  pos {:>2}: {:.4}\n", i + 1, c as f64 / total));
+    }
+    Ok(out)
+}
+
+/// Dispatches a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure (including usage).
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    let args = ParsedArgs::parse(rest.iter().cloned(), &["fast", "full"])?;
+    match cmd.as_str() {
+        "machines" => Ok(machines()),
+        "workloads" => Ok(workloads_cmd()),
+        "profile" => profile(&args),
+        "predict" => predict(&args),
+        "train" => train(&args),
+        "estimate" => estimate(&args),
+        "simulate" => simulate_cmd(&args),
+        "trace" => trace(&args),
+        "mrc" => mrc(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        dispatch(&argv)
+    }
+
+    #[test]
+    fn help_and_listings() {
+        assert!(run(&["help"]).unwrap().contains("usage"));
+        assert!(run(&["machines"]).unwrap().contains("server"));
+        assert!(run(&["workloads"]).unwrap().contains("mcf"));
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn predict_with_builtin_names() {
+        let out = run(&["predict", "mcf", "gzip"]).unwrap();
+        assert!(out.contains("mcf"));
+        assert!(out.contains("gzip"));
+        assert!(out.contains("ways"));
+        assert!(run(&["predict", "mcf"]).is_err());
+        assert!(run(&["predict", "mcf", "nope"]).is_err());
+    }
+
+    #[test]
+    fn simulate_small_machine() {
+        let out = run(&[
+            "simulate",
+            "--assign",
+            "gzip;twolf",
+            "--machine",
+            "workstation",
+            "--sets",
+            "64",
+            "--duration",
+            "0.3",
+        ])
+        .unwrap();
+        assert!(out.contains("gzip"));
+        assert!(out.contains("measured processor power"));
+        assert!(run(&["simulate"]).is_err());
+        assert!(run(&["simulate", "--assign", "a;b;c", "--machine", "duo"]).is_err());
+    }
+
+    #[test]
+    fn trace_and_mrc_roundtrip() {
+        let path = std::env::temp_dir().join("mpmc_cli_trace_test.txt");
+        let path_s = path.to_str().unwrap();
+        let out = run(&[
+            "trace", "twolf", "--steps", "3000", "--out", path_s, "--sets", "32",
+        ])
+        .unwrap();
+        assert!(out.contains("recorded 3000"));
+        let out = run(&["mrc", path_s, "--sets", "32", "--assoc", "8"]).unwrap();
+        assert!(out.contains("miss ratio"));
+        let _ = std::fs::remove_file(&path);
+        assert!(run(&["mrc", "/nonexistent/file"]).is_err());
+    }
+
+    #[test]
+    fn profile_and_estimate_on_tiny_machine() {
+        let path = std::env::temp_dir().join("mpmc_cli_prof_test.txt");
+        let path_s = path.to_str().unwrap();
+        let out = run(&[
+            "profile", "gzip", "--machine", "workstation", "--sets", "32", "--fast", "--out",
+            path_s,
+        ])
+        .unwrap();
+        assert!(out.contains("API"));
+        assert!(out.contains("saved"));
+        // The saved profile feeds predict.
+        let out = run(&["predict", path_s, "mcf", "--machine", "workstation", "--sets", "32"])
+            .unwrap();
+        assert!(out.contains("gzip"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

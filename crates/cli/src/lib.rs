@@ -1,0 +1,13 @@
+//! Library backing the `mpmc` command-line tool.
+//!
+//! The CLI packages the framework's workflow for interactive use:
+//! profile workloads once ([`commands::profile`]), persist the profiles,
+//! then predict contention ([`commands::predict`]) and estimate the power
+//! of tentative assignments ([`commands::estimate`]) without further
+//! runs; [`commands::simulate`](commands::simulate_cmd) validates any
+//! estimate against the simulator. Commands are plain functions returning
+//! their output text, so everything is unit-testable.
+
+pub mod args;
+pub mod commands;
+pub mod resolve;

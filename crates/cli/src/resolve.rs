@@ -1,0 +1,198 @@
+//! Resolving CLI specifiers: machines, workloads, profiles, and
+//! assignment strings.
+
+use cmpsim::machine::MachineConfig;
+use mpmc_model::feature::FeatureVector;
+use mpmc_model::persist;
+use mpmc_model::profile::{ProcessProfile, ProfileOptions, Profiler};
+use workloads::spec::SpecWorkload;
+
+/// Errors surfaced to the CLI user (already formatted for display).
+pub type CliError = String;
+
+/// Resolves a machine preset by name, optionally shrinking the cache to
+/// `sets_override` sets (for quick experiments and tests).
+///
+/// # Errors
+///
+/// Returns a message listing valid names for an unknown machine.
+pub fn machine(name: &str, sets_override: Option<usize>) -> Result<MachineConfig, CliError> {
+    let mut m = match name {
+        "server" | "four-core-server" => MachineConfig::four_core_server(),
+        "workstation" | "two-core-workstation" => MachineConfig::two_core_workstation(),
+        "duo" | "duo-laptop" => MachineConfig::duo_laptop(),
+        other => {
+            return Err(format!(
+                "unknown machine '{other}'; choose server, workstation, or duo"
+            ))
+        }
+    };
+    if let Some(sets) = sets_override {
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(format!("--sets must be a positive power of two, got {sets}"));
+        }
+        m.l2_sets = sets;
+    }
+    Ok(m)
+}
+
+/// Resolves a built-in workload by name.
+///
+/// # Errors
+///
+/// Returns a message listing valid names for an unknown workload.
+pub fn workload(name: &str) -> Result<SpecWorkload, CliError> {
+    SpecWorkload::duo_suite()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = SpecWorkload::duo_suite().iter().map(|w| w.name()).collect();
+            format!("unknown workload '{name}'; choose one of {}", names.join(", "))
+        })
+}
+
+/// Profiling options for CLI runs (`--fast` trades accuracy for speed).
+pub fn profile_options(fast: bool) -> ProfileOptions {
+    if fast {
+        ProfileOptions { duration_s: 0.3, warmup_s: 0.1, seed: 0xC11, ..Default::default() }
+    } else {
+        ProfileOptions { duration_s: 1.0, warmup_s: 0.35, seed: 0xC11, ..Default::default() }
+    }
+}
+
+/// Resolves a feature-vector spec: an existing file (persisted profile)
+/// or a built-in workload name (ground-truth feature vector — instant).
+///
+/// # Errors
+///
+/// Returns a message for unknown specs or unreadable/mismatched files.
+pub fn feature(
+    spec: &str,
+    machine: &MachineConfig,
+) -> Result<FeatureVector, CliError> {
+    if std::path::Path::new(spec).exists() {
+        let file = std::fs::File::open(spec).map_err(|e| format!("{spec}: {e}"))?;
+        let fv = persist::read_feature(file).map_err(|e| format!("{spec}: {e}"))?;
+        if fv.assoc() != machine.l2_assoc() {
+            return fv
+                .with_assoc(machine.l2_assoc())
+                .map_err(|e| format!("{spec}: retarget failed: {e}"));
+        }
+        return Ok(fv);
+    }
+    let w = workload(spec)?;
+    FeatureVector::from_workload(&w.params(), machine).map_err(|e| format!("{spec}: {e}"))
+}
+
+/// Resolves a full process-profile spec: an existing file or a built-in
+/// workload name (profiled on the fly — takes a few seconds per process).
+///
+/// # Errors
+///
+/// As for [`feature`], plus profiling errors.
+pub fn profile(
+    spec: &str,
+    machine: &MachineConfig,
+    fast: bool,
+) -> Result<ProcessProfile, CliError> {
+    if std::path::Path::new(spec).exists() {
+        let file = std::fs::File::open(spec).map_err(|e| format!("{spec}: {e}"))?;
+        return persist::read_profile(file).map_err(|e| format!("{spec}: {e}"));
+    }
+    let w = workload(spec)?;
+    Profiler::new(machine.clone())
+        .with_options(profile_options(fast))
+        .profile_full(&w.params())
+        .map_err(|e| format!("{spec}: {e}"))
+}
+
+/// Parses an assignment string: per-core process lists separated by `;`,
+/// processes within a core separated by `,`. Empty segments are idle
+/// cores; trailing idle cores may be omitted.
+///
+/// Example for a 4-core machine: `"mcf,art;gzip"` puts mcf and art on
+/// core 0 (time-shared), gzip on core 1, and leaves cores 2-3 idle.
+///
+/// # Errors
+///
+/// Returns a message when more cores are named than the machine has.
+pub fn assignment_string(
+    spec: &str,
+    num_cores: usize,
+) -> Result<Vec<Vec<String>>, CliError> {
+    let mut per_core: Vec<Vec<String>> = spec
+        .split(';')
+        .map(|core| {
+            core.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .collect();
+    if per_core.len() > num_cores {
+        return Err(format!(
+            "assignment names {} cores but the machine has {num_cores}",
+            per_core.len()
+        ));
+    }
+    per_core.resize(num_cores, Vec::new());
+    Ok(per_core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_resolve() {
+        assert_eq!(machine("server", None).unwrap().num_cores(), 4);
+        assert_eq!(machine("duo", None).unwrap().l2_assoc(), 12);
+        assert_eq!(machine("workstation", Some(64)).unwrap().l2_sets, 64);
+        assert!(machine("toaster", None).is_err());
+        assert!(machine("server", Some(3)).is_err());
+    }
+
+    #[test]
+    fn workloads_resolve() {
+        assert_eq!(workload("mcf").unwrap(), SpecWorkload::Mcf);
+        assert!(workload("firefox").is_err());
+    }
+
+    #[test]
+    fn builtin_feature_is_instant() {
+        let m = machine("server", None).unwrap();
+        let fv = feature("gzip", &m).unwrap();
+        assert_eq!(fv.name(), "gzip");
+        assert!(feature("nonexistent-file-or-workload", &m).is_err());
+    }
+
+    #[test]
+    fn feature_file_roundtrip_with_retarget() {
+        let server = machine("server", None).unwrap();
+        let duo = machine("duo", None).unwrap();
+        let fv = feature("twolf", &server).unwrap();
+        let path = std::env::temp_dir().join("mpmc_cli_test_profile.txt");
+        let file = std::fs::File::create(&path).unwrap();
+        mpmc_model::persist::write_feature(&fv, file).unwrap();
+        // Loading against the duo machine retargets 16 -> 12 ways.
+        let loaded = feature(path.to_str().unwrap(), &duo).unwrap();
+        assert_eq!(loaded.assoc(), 12);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn assignment_strings() {
+        let a = assignment_string("mcf,art;gzip", 4).unwrap();
+        assert_eq!(a[0], vec!["mcf", "art"]);
+        assert_eq!(a[1], vec!["gzip"]);
+        assert!(a[2].is_empty() && a[3].is_empty());
+        let a = assignment_string(";;mcf", 4).unwrap();
+        assert!(a[0].is_empty());
+        assert_eq!(a[2], vec!["mcf"]);
+        assert!(assignment_string("a;b;c", 2).is_err());
+        // Whitespace tolerated.
+        let a = assignment_string(" mcf , art ; gzip ", 2).unwrap();
+        assert_eq!(a[0], vec!["mcf", "art"]);
+    }
+}

@@ -1,0 +1,518 @@
+//! Set-associative LRU cache with per-owner occupancy accounting.
+//!
+//! This is the shared last-level cache at the heart of the paper: `k`
+//! processes on cache-sharing cores contend for the `A` ways of each set
+//! under an LRU replacement policy (§3.1 assumption 1). Each resident line
+//! remembers which process inserted it, so the simulator can report the
+//! *effective cache size* (average ways per set) each process occupies —
+//! the quantity the performance model predicts.
+
+use crate::types::{LineAddr, ProcessId};
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was resident; it has been promoted to MRU.
+    Hit {
+        /// `true` if this is the first demand touch of a line that was
+        /// brought in by the prefetcher: the fill may still be in flight,
+        /// so timing models charge a partial (not full hit) latency.
+        prefetch_covered: bool,
+    },
+    /// The line was not resident; it has been inserted at MRU. If the set
+    /// was full, the victim is reported.
+    Miss {
+        /// The evicted line and its owner, if an eviction was necessary.
+        evicted: Option<(LineAddr, ProcessId)>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether this outcome is a hit (prefetch-covered or not).
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit { .. })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    addr: LineAddr,
+    owner: ProcessId,
+    /// Set by prefetch insertion, cleared on the first demand touch.
+    prefetched: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CacheSet {
+    /// Resident lines in LRU order: index 0 is MRU, last is LRU victim.
+    lines: Vec<Line>,
+}
+
+/// A set-associative cache with LRU replacement.
+///
+/// Addresses are line-granular ([`LineAddr`]); the set index is
+/// `addr % num_sets` and the full address doubles as the tag.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim::cache::SetAssocCache;
+/// use cmpsim::types::{LineAddr, ProcessId};
+///
+/// let mut cache = SetAssocCache::new(4, 2);
+/// let p = ProcessId(0);
+/// assert!(!cache.access(LineAddr(0), p).is_hit()); // cold miss
+/// assert!(cache.access(LineAddr(0), p).is_hit());  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<CacheSet>,
+    assoc: usize,
+    /// Resident line count per process id (indexed by `ProcessId.0`).
+    owner_lines: Vec<u64>,
+    /// Optional per-owner way quotas (way partitioning, as in cache
+    /// partitioning hardware and the Xu et al. work the paper builds on).
+    /// `quotas[pid] = Some(q)` caps the owner at `q` ways per set.
+    quotas: Vec<Option<usize>>,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with `num_sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets == 0` or `assoc == 0`.
+    pub fn new(num_sets: usize, assoc: usize) -> Self {
+        assert!(num_sets > 0, "cache needs at least one set");
+        assert!(assoc > 0, "cache needs at least one way");
+        SetAssocCache {
+            sets: vec![CacheSet::default(); num_sets],
+            assoc,
+            owner_lines: Vec::new(),
+            quotas: Vec::new(),
+        }
+    }
+
+    /// Caps `owner` at `ways` ways per set (way partitioning). A quota of
+    /// `assoc` or more is equivalent to no quota. Quotas only constrain
+    /// *insertions*: an owner at quota replaces its own LRU line in the
+    /// set instead of the global LRU victim, and a full set prefers
+    /// evicting over-quota owners first — the strict-partition semantics
+    /// of way-allocation hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0` (an owner needs at least one way to run).
+    pub fn set_way_quota(&mut self, owner: ProcessId, ways: usize) {
+        assert!(ways > 0, "a way quota must be at least 1");
+        let idx = owner.0 as usize;
+        if self.quotas.len() <= idx {
+            self.quotas.resize(idx + 1, None);
+        }
+        self.quotas[idx] = Some(ways);
+    }
+
+    /// Removes all way quotas (back to free-for-all LRU sharing).
+    pub fn clear_way_quotas(&mut self) {
+        self.quotas.clear();
+    }
+
+    /// The quota of `owner`, if any.
+    pub fn way_quota(&self, owner: ProcessId) -> Option<usize> {
+        self.quotas.get(owner.0 as usize).copied().flatten()
+    }
+
+    fn owner_lines_in_set(&self, si: usize, owner: ProcessId) -> usize {
+        self.sets[si].lines.iter().filter(|l| l.owner == owner).count()
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity (ways per set).
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    fn set_index(&self, addr: LineAddr) -> usize {
+        (addr.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Accesses `addr` on behalf of `owner`, applying LRU update/replacement.
+    pub fn access(&mut self, addr: LineAddr, owner: ProcessId) -> AccessOutcome {
+        let si = self.set_index(addr);
+        if let Some(pos) = self.sets[si].lines.iter().position(|l| l.addr == addr) {
+            // Hit: promote to MRU. Ownership follows the toucher, mirroring
+            // the paper's accounting where a line "belongs" to whoever keeps
+            // it alive (relevant when processes share no data, so in
+            // practice owners never change; kept for generality).
+            let line = self.sets[si].lines.remove(pos);
+            if line.owner != owner {
+                self.dec_owner(line.owner);
+                self.inc_owner(owner);
+            }
+            let prefetch_covered = line.prefetched;
+            self.sets[si].lines.insert(0, Line { addr: line.addr, owner, prefetched: false });
+            return AccessOutcome::Hit { prefetch_covered };
+        }
+        // Miss: insert at MRU, choosing a victim that respects quotas.
+        let evicted = self.make_room(si, owner);
+        self.sets[si].lines.insert(0, Line { addr, owner, prefetched: false });
+        self.inc_owner(owner);
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Evicts a line from set `si` if needed so `owner` can insert one,
+    /// honouring way quotas. Returns the victim, if any.
+    fn make_room(&mut self, si: usize, owner: ProcessId) -> Option<(LineAddr, ProcessId)> {
+        // Quota check: an at-quota owner recycles its own LRU line.
+        if let Some(q) = self.way_quota(owner) {
+            if q < self.assoc && self.owner_lines_in_set(si, owner) >= q {
+                let pos = self.sets[si]
+                    .lines
+                    .iter()
+                    .rposition(|l| l.owner == owner)
+                    .expect("owner at quota has lines in the set");
+                let victim = self.sets[si].lines.remove(pos);
+                self.dec_owner(victim.owner);
+                return Some((victim.addr, victim.owner));
+            }
+        }
+        if self.sets[si].lines.len() < self.assoc {
+            return None;
+        }
+        // Full set: prefer the LRU line of an over-quota owner; fall back
+        // to the global LRU line.
+        let pos = self
+            .sets[si]
+            .lines
+            .iter()
+            .rposition(|l| match self.way_quota(l.owner) {
+                Some(q) => self.owner_lines_in_set(si, l.owner) > q,
+                None => false,
+            })
+            .unwrap_or(self.sets[si].lines.len() - 1);
+        let victim = self.sets[si].lines.remove(pos);
+        self.dec_owner(victim.owner);
+        Some((victim.addr, victim.owner))
+    }
+
+    /// Inserts `addr` for `owner` without counting a demand access — used by
+    /// the prefetcher. Returns `true` if the line was newly inserted (it is
+    /// a no-op when the line is already resident; residency is *not*
+    /// promoted, so prefetch hints cannot refresh LRU state).
+    pub fn insert_prefetch(&mut self, addr: LineAddr, owner: ProcessId) -> bool {
+        let si = self.set_index(addr);
+        if self.sets[si].lines.iter().any(|l| l.addr == addr) {
+            return false;
+        }
+        if self.sets[si].lines.len() == self.assoc {
+            let victim = self.sets[si].lines.pop().expect("full set has a victim");
+            self.dec_owner(victim.owner);
+        }
+        // Prefetches insert at LRU+1 position (middle-of-stack insertion is
+        // common in real LLCs to limit pollution); we insert just below MRU
+        // half to keep them evictable.
+        let pos = self.sets[si].lines.len() / 2;
+        self.sets[si].lines.insert(pos, Line { addr, owner, prefetched: true });
+        self.inc_owner(owner);
+        true
+    }
+
+    /// Whether `addr` is currently resident (does not touch LRU state).
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        let si = self.set_index(addr);
+        self.sets[si].lines.iter().any(|l| l.addr == addr)
+    }
+
+    /// Number of resident lines owned by `owner`.
+    pub fn lines_of(&self, owner: ProcessId) -> u64 {
+        self.owner_lines.get(owner.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Average ways per set occupied by `owner` — the process's *effective
+    /// cache size* in the paper's sense (Eq. 1 denominates in ways).
+    pub fn avg_ways_of(&self, owner: ProcessId) -> f64 {
+        self.lines_of(owner) as f64 / self.sets.len() as f64
+    }
+
+    /// Total resident lines across all owners.
+    pub fn resident_lines(&self) -> u64 {
+        self.owner_lines.iter().sum()
+    }
+
+    /// Removes every line owned by `owner` (e.g. at process termination).
+    pub fn flush_owner(&mut self, owner: ProcessId) {
+        for set in &mut self.sets {
+            set.lines.retain(|l| l.owner != owner);
+        }
+        if let Some(slot) = self.owner_lines.get_mut(owner.0 as usize) {
+            *slot = 0;
+        }
+    }
+
+    /// Empties the cache entirely.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.lines.clear();
+        }
+        self.owner_lines.clear();
+    }
+
+    fn inc_owner(&mut self, owner: ProcessId) {
+        let idx = owner.0 as usize;
+        if self.owner_lines.len() <= idx {
+            self.owner_lines.resize(idx + 1, 0);
+        }
+        self.owner_lines[idx] += 1;
+    }
+
+    fn dec_owner(&mut self, owner: ProcessId) {
+        let idx = owner.0 as usize;
+        debug_assert!(self.owner_lines.get(idx).copied().unwrap_or(0) > 0);
+        if let Some(slot) = self.owner_lines.get_mut(idx) {
+            *slot = slot.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert_eq!(c.access(LineAddr(8), p(0)), AccessOutcome::Miss { evicted: None });
+        assert_eq!(c.access(LineAddr(8), p(0)), AccessOutcome::Hit { prefetch_covered: false });
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(LineAddr(0), p(0));
+        c.access(LineAddr(1), p(0));
+        // Touch 0 so 1 becomes LRU.
+        assert!(c.access(LineAddr(0), p(0)).is_hit());
+        let out = c.access(LineAddr(2), p(0));
+        assert_eq!(out, AccessOutcome::Miss { evicted: Some((LineAddr(1), p(0))) });
+        assert!(c.contains(LineAddr(0)));
+        assert!(!c.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn set_mapping_isolates_sets() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(LineAddr(0), p(0)); // set 0
+        c.access(LineAddr(1), p(0)); // set 1
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(1)));
+        // Same set as 0, evicts only it.
+        c.access(LineAddr(2), p(0));
+        assert!(!c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.access(LineAddr(0), p(0));
+        c.access(LineAddr(1), p(1));
+        c.access(LineAddr(2), p(0));
+        assert_eq!(c.lines_of(p(0)), 2);
+        assert_eq!(c.lines_of(p(1)), 1);
+        assert_eq!(c.resident_lines(), 3);
+        assert_eq!(c.avg_ways_of(p(0)), 1.0);
+        assert_eq!(c.avg_ways_of(p(1)), 0.5);
+    }
+
+    #[test]
+    fn occupancy_updates_on_eviction() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(LineAddr(0), p(0));
+        c.access(LineAddr(1), p(0));
+        c.access(LineAddr(2), p(1)); // evicts p0's LRU line 0
+        assert_eq!(c.lines_of(p(0)), 1);
+        assert_eq!(c.lines_of(p(1)), 1);
+    }
+
+    #[test]
+    fn contention_splits_ways() {
+        // Two processes cycling over 2 lines each in a 4-way set end up
+        // with 2 ways each.
+        let mut c = SetAssocCache::new(1, 4);
+        for round in 0..100 {
+            let _ = round;
+            c.access(LineAddr(0), p(0));
+            c.access(LineAddr(4), p(1));
+            c.access(LineAddr(1), p(0));
+            c.access(LineAddr(5), p(1));
+        }
+        assert_eq!(c.lines_of(p(0)), 2);
+        assert_eq!(c.lines_of(p(1)), 2);
+    }
+
+    #[test]
+    fn flush_owner_removes_only_that_owner() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.access(LineAddr(0), p(0));
+        c.access(LineAddr(1), p(1));
+        c.flush_owner(p(0));
+        assert_eq!(c.lines_of(p(0)), 0);
+        assert_eq!(c.lines_of(p(1)), 1);
+        assert!(!c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.access(LineAddr(0), p(0));
+        c.flush_all();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.contains(LineAddr(0)));
+    }
+
+    #[test]
+    fn prefetch_insert_does_not_promote_existing() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(LineAddr(0), p(0));
+        c.access(LineAddr(1), p(0)); // LRU: 0
+        assert!(!c.insert_prefetch(LineAddr(0), p(0))); // already resident
+        // 0 is still LRU, so inserting 2 evicts 0.
+        let out = c.access(LineAddr(2), p(0));
+        assert_eq!(out, AccessOutcome::Miss { evicted: Some((LineAddr(0), p(0))) });
+    }
+
+    #[test]
+    fn prefetch_insert_counts_occupancy() {
+        let mut c = SetAssocCache::new(2, 2);
+        assert!(c.insert_prefetch(LineAddr(0), p(3)));
+        assert_eq!(c.lines_of(p(3)), 1);
+        assert!(c.access(LineAddr(0), p(3)).is_hit());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_assoc_panics() {
+        SetAssocCache::new(4, 0);
+    }
+
+    #[test]
+    fn quota_caps_owner_occupancy() {
+        let mut c = SetAssocCache::new(1, 4);
+        c.set_way_quota(p(0), 2);
+        for i in 0..10 {
+            c.access(LineAddr(i), p(0));
+        }
+        assert_eq!(c.lines_of(p(0)), 2, "quota must cap the owner at 2 ways");
+    }
+
+    #[test]
+    fn at_quota_owner_recycles_its_own_lru() {
+        let mut c = SetAssocCache::new(1, 4);
+        c.set_way_quota(p(0), 2);
+        c.access(LineAddr(0), p(1)); // unquota'd co-runner
+        c.access(LineAddr(1), p(0));
+        c.access(LineAddr(2), p(0));
+        // p0 is at quota; inserting a third line evicts p0's own LRU (1),
+        // never p1's line even though it is the global LRU.
+        let out = c.access(LineAddr(3), p(0));
+        assert_eq!(out, AccessOutcome::Miss { evicted: Some((LineAddr(1), p(0))) });
+        assert!(c.contains(LineAddr(0)), "the co-runner's line must survive");
+    }
+
+    #[test]
+    fn full_set_prefers_over_quota_victims() {
+        let mut c = SetAssocCache::new(1, 4);
+        c.set_way_quota(p(1), 1);
+        // p1 fills beyond its quota while p0 is absent (quota only binds
+        // at insertion time when enforced; simulate an over-quota state by
+        // raising then lowering the quota).
+        c.clear_way_quotas();
+        c.access(LineAddr(0), p(1));
+        c.access(LineAddr(1), p(1));
+        c.access(LineAddr(2), p(1));
+        c.access(LineAddr(3), p(0));
+        c.set_way_quota(p(1), 1);
+        // p0 inserts into the full set: the victim must be p1's over-quota
+        // LRU line (0), not the global LRU if that belonged to p0.
+        let out = c.access(LineAddr(4), p(0));
+        assert_eq!(out, AccessOutcome::Miss { evicted: Some((LineAddr(0), p(1))) });
+        assert!(c.contains(LineAddr(3)));
+    }
+
+    #[test]
+    fn quota_of_assoc_is_no_quota() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.set_way_quota(p(0), 2);
+        c.access(LineAddr(0), p(0));
+        c.access(LineAddr(1), p(0));
+        assert_eq!(c.lines_of(p(0)), 2);
+        assert!(c.access(LineAddr(0), p(0)).is_hit());
+    }
+
+    #[test]
+    fn quota_accessors() {
+        let mut c = SetAssocCache::new(1, 4);
+        assert_eq!(c.way_quota(p(0)), None);
+        c.set_way_quota(p(0), 3);
+        assert_eq!(c.way_quota(p(0)), Some(3));
+        c.clear_way_quotas();
+        assert_eq!(c.way_quota(p(0)), None);
+    }
+
+    #[test]
+    fn partitioned_pair_isolates_miss_rates() {
+        // Two thrashers with quotas 3 + 1 on a 4-way set: the 3-way owner
+        // cycling 3 lines hits; the 1-way owner cycling 2 lines misses.
+        let mut c = SetAssocCache::new(2, 4);
+        c.set_way_quota(p(0), 3);
+        c.set_way_quota(p(1), 1);
+        let mut hits0 = 0;
+        let mut hits1 = 0;
+        for round in 0..60 {
+            for k in 0..3u64 {
+                hits0 += u64::from(c.access(LineAddr(k * 2), p(0)).is_hit());
+            }
+            for k in 0..2u64 {
+                hits1 += u64::from(c.access(LineAddr(1000 + k * 2), p(1)).is_hit());
+            }
+            let _ = round;
+        }
+        assert!(hits0 > 150, "3-way owner should hit nearly always: {hits0}");
+        assert_eq!(hits1, 0, "1-way owner cycling 2 lines must always miss");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_quota_panics() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.set_way_quota(p(0), 0);
+    }
+
+    #[test]
+    fn sixteen_way_fills_completely() {
+        let mut c = SetAssocCache::new(8, 16);
+        for i in 0..(8 * 16) {
+            c.access(LineAddr(i), p(0));
+        }
+        assert_eq!(c.resident_lines(), 128);
+        assert_eq!(c.avg_ways_of(p(0)), 16.0);
+        // Re-access everything: all hits.
+        for i in 0..(8 * 16) {
+            assert!(c.access(LineAddr(i), p(0)).is_hit(), "line {i}");
+        }
+    }
+}

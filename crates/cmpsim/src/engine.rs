@@ -1,0 +1,790 @@
+//! Event-driven multi-core simulation.
+//!
+//! Each core advances a local clock in cycles; the core with the smallest
+//! clock executes its next [`Step`](crate::process::Step), so accesses to a
+//! die's shared L2 interleave in global time order. The feedback loop the
+//! paper's equilibrium model captures arises naturally here: a process that
+//! misses more runs slower, therefore issues fewer L2 accesses per second,
+//! therefore inserts lines more slowly and holds less of the cache.
+//!
+//! The engine also emulates the measurement infrastructure: per-core HPC
+//! sampling at the machine's sampling period and the current-clamp power
+//! measurement chain of [`crate::power`].
+
+use crate::cache::SetAssocCache;
+use crate::hpc::{CounterSet, EventRates};
+use crate::machine::MachineConfig;
+use crate::power::measure_power;
+use crate::prefetch::{NextLinePrefetcher, PrefetchConfig};
+use crate::process::ProcessSpec;
+use crate::sched::TimeSliceScheduler;
+use crate::types::{Cycles, ProcessId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Error type for simulation setup problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The placement does not match the machine topology or is malformed.
+    InvalidPlacement(String),
+    /// Options are out of domain (e.g. non-positive duration).
+    InvalidOptions(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
+            SimError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A process-to-core placement: `per_core[c]` lists the processes that
+/// time-share core `c` (may be empty for an idle core).
+#[derive(Debug, Default)]
+pub struct Placement {
+    /// Processes per core, indexed by core id.
+    pub per_core: Vec<Vec<ProcessSpec>>,
+}
+
+impl Placement {
+    /// Creates an all-idle placement for `num_cores` cores.
+    pub fn idle(num_cores: usize) -> Self {
+        Placement { per_core: (0..num_cores).map(|_| Vec::new()).collect() }
+    }
+
+    /// Adds a process to `core`'s run queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn assign(&mut self, core: usize, spec: ProcessSpec) -> &mut Self {
+        self.per_core[core].push(spec);
+        self
+    }
+
+    /// Total number of processes in the placement.
+    pub fn num_processes(&self) -> usize {
+        self.per_core.iter().map(Vec::len).sum()
+    }
+}
+
+/// Options controlling one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Simulated duration in (scaled) seconds.
+    pub duration_s: f64,
+    /// Leading warmup excluded from process statistics (seconds).
+    pub warmup_s: f64,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Hardware prefetcher configuration; `None` disables prefetching
+    /// (the paper's default assumption).
+    pub prefetch: Option<PrefetchConfig>,
+    /// Per-core scheduler weights (`weights[c][p]`); `None` means equal
+    /// weights, the paper's assumption.
+    pub weights: Option<Vec<Vec<f64>>>,
+    /// Way-partitioning quotas: `(process index in placement order, ways)`
+    /// pairs applied to the process's shared L2. Empty means free LRU
+    /// sharing (the paper's setting).
+    pub way_quotas: Vec<(u32, usize)>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            duration_s: 2.0,
+            warmup_s: 0.5,
+            seed: 0xD1C5,
+            prefetch: None,
+            weights: None,
+            way_quotas: Vec::new(),
+        }
+    }
+}
+
+/// Per-process statistics over the post-warmup window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessStats {
+    /// Dense process id (placement order).
+    pub pid: ProcessId,
+    /// Display name from the [`ProcessSpec`].
+    pub name: String,
+    /// Core the process ran on.
+    pub core: usize,
+    /// Post-warmup event totals.
+    pub counters: CounterSet,
+    /// Seconds the process was actually scheduled post-warmup.
+    pub active_seconds: f64,
+    /// Time-averaged ways per set occupied in the shared L2 — the measured
+    /// *effective cache size* `S_i`.
+    pub avg_ways: f64,
+}
+
+impl ProcessStats {
+    /// Seconds per instruction while scheduled (the paper's SPI).
+    pub fn spi(&self) -> f64 {
+        if self.counters.instructions == 0 {
+            return f64::INFINITY;
+        }
+        self.active_seconds / self.counters.instructions as f64
+    }
+
+    /// L2 misses per L2 access (the paper's MPA).
+    pub fn mpa(&self) -> f64 {
+        if self.counters.l2_refs == 0 {
+            return 0.0;
+        }
+        self.counters.l2_misses as f64 / self.counters.l2_refs as f64
+    }
+
+    /// L2 accesses per instruction (the paper's API).
+    pub fn api(&self) -> f64 {
+        if self.counters.instructions == 0 {
+            return 0.0;
+        }
+        self.counters.l2_refs as f64 / self.counters.instructions as f64
+    }
+
+    /// L1 references per instruction (paper: L1RPI).
+    pub fn l1rpi(&self) -> f64 {
+        safe_div(self.counters.l1_refs, self.counters.instructions)
+    }
+
+    /// L2 references per instruction (paper: L2RPI, identical to API for
+    /// the L2-last-level machines modeled here).
+    pub fn l2rpi(&self) -> f64 {
+        self.api()
+    }
+
+    /// Branches per instruction (paper: BRPI).
+    pub fn brpi(&self) -> f64 {
+        safe_div(self.counters.branches, self.counters.instructions)
+    }
+
+    /// FP operations per instruction (paper: FPPI).
+    pub fn fppi(&self) -> f64 {
+        safe_div(self.counters.fp_ops, self.counters.instructions)
+    }
+}
+
+fn safe_div(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One processor-level power sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Sampling period index from simulation start.
+    pub period: usize,
+    /// Period start time in seconds.
+    pub t_start: f64,
+    /// Noise-free ground-truth processor power (W) — available only
+    /// because this is a simulator; the models never see it.
+    pub true_watts: f64,
+    /// Power as seen through the clamp/DAQ chain (W) — what the paper's
+    /// experiments compare against.
+    pub measured_watts: f64,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-process post-warmup statistics, in placement order.
+    pub processes: Vec<ProcessStats>,
+    /// Per-core, per-period event rates: `core_samples[core][period]`.
+    pub core_samples: Vec<Vec<EventRates>>,
+    /// Processor-level power samples, one per period.
+    pub power: Vec<PowerSample>,
+    /// Sampling period in seconds.
+    pub sample_period_s: f64,
+    /// Index of the first post-warmup period.
+    pub warmup_periods: usize,
+    /// Total context switches across all cores.
+    pub context_switches: u64,
+    /// Total prefetch lines inserted (0 when prefetching is disabled).
+    pub prefetches_issued: u64,
+}
+
+impl SimResult {
+    /// Power samples from the post-warmup window only.
+    pub fn settled_power(&self) -> &[PowerSample] {
+        &self.power[self.warmup_periods.min(self.power.len())..]
+    }
+
+    /// Mean measured processor power over the post-warmup window.
+    pub fn avg_measured_power(&self) -> f64 {
+        let s = self.settled_power();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().map(|p| p.measured_watts).sum::<f64>() / s.len() as f64
+    }
+
+    /// Per-core event rates for post-warmup periods:
+    /// `rates[period - warmup][core]`.
+    pub fn settled_core_rates(&self) -> Vec<Vec<EventRates>> {
+        let start = self.warmup_periods;
+        let periods = self.power.len();
+        (start..periods)
+            .map(|p| self.core_samples.iter().map(|cs| cs[p]).collect())
+            .collect()
+    }
+
+    /// Finds the stats of the process named `name`.
+    pub fn process(&self, name: &str) -> Option<&ProcessStats> {
+        self.processes.iter().find(|p| p.name == name)
+    }
+}
+
+struct ProcState {
+    pid: ProcessId,
+    name: String,
+    core: usize,
+    gen: Box<dyn crate::process::AccessGenerator>,
+    rng: ChaCha8Rng,
+    counters: CounterSet,
+    active_cycles: Cycles,
+    occupancy_sum: f64,
+    occupancy_snaps: u64,
+}
+
+struct CoreState {
+    clock: Cycles,
+    die: usize,
+    procs: Vec<usize>,
+    sched: Option<TimeSliceScheduler>,
+    buckets: Vec<CounterSet>,
+    done: bool,
+}
+
+/// Runs one simulation.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the placement does not match the machine's core
+/// count, weights are malformed, or options are out of domain.
+///
+/// # Examples
+///
+/// See the `workloads` crate and `examples/quickstart.rs` for realistic
+/// generators; a minimal run with an idle machine:
+///
+/// ```
+/// use cmpsim::engine::{simulate, Placement, SimOptions};
+/// use cmpsim::machine::MachineConfig;
+///
+/// # fn main() -> Result<(), cmpsim::engine::SimError> {
+/// let m = MachineConfig::two_core_workstation();
+/// let r = simulate(&m, Placement::idle(2), SimOptions { duration_s: 0.2, warmup_s: 0.0, ..Default::default() })?;
+/// assert!(r.avg_measured_power() > 0.0); // idle power is still power
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(
+    machine: &MachineConfig,
+    placement: Placement,
+    opts: SimOptions,
+) -> Result<SimResult, SimError> {
+    let num_cores = machine.num_cores();
+    if placement.per_core.len() != num_cores {
+        return Err(SimError::InvalidPlacement(format!(
+            "placement has {} cores, machine has {num_cores}",
+            placement.per_core.len()
+        )));
+    }
+    if !opts.duration_s.is_finite() || opts.duration_s <= 0.0 {
+        return Err(SimError::InvalidOptions("duration must be positive".into()));
+    }
+    if opts.warmup_s < 0.0 || opts.warmup_s >= opts.duration_s {
+        return Err(SimError::InvalidOptions("warmup must lie in [0, duration)".into()));
+    }
+    if let Some(w) = &opts.weights {
+        if w.len() != num_cores {
+            return Err(SimError::InvalidOptions(format!(
+                "weights cover {} cores, machine has {num_cores}",
+                w.len()
+            )));
+        }
+    }
+
+    let end_cycles = (opts.duration_s * machine.freq_hz).round() as Cycles;
+    let warmup_cycles = (opts.warmup_s * machine.freq_hz).round() as Cycles;
+    let period_cycles = machine.sample_period_cycles().max(1);
+    let num_buckets = (end_cycles / period_cycles) as usize;
+    let timeslice = machine.timeslice_cycles().max(1);
+
+    let mut master_rng = ChaCha8Rng::seed_from_u64(opts.seed);
+
+    // Flatten processes; build cores.
+    let mut procs: Vec<ProcState> = Vec::new();
+    let mut cores: Vec<CoreState> = Vec::new();
+    for (c, specs) in placement.per_core.into_iter().enumerate() {
+        let die = machine.die_of(crate::types::CoreId(c as u32)).0 as usize;
+        let mut idxs = Vec::new();
+        for spec in specs {
+            let pid = ProcessId(procs.len() as u32);
+            idxs.push(procs.len());
+            procs.push(ProcState {
+                pid,
+                name: spec.name,
+                core: c,
+                gen: spec.generator,
+                rng: ChaCha8Rng::seed_from_u64(master_rng.gen()),
+                counters: CounterSet::new(),
+                active_cycles: 0,
+                occupancy_sum: 0.0,
+                occupancy_snaps: 0,
+            });
+        }
+        let sched = if idxs.is_empty() {
+            None
+        } else {
+            let weights: Vec<f64> = match &opts.weights {
+                Some(w) => {
+                    if w[c].len() != idxs.len() {
+                        return Err(SimError::InvalidOptions(format!(
+                            "core {c} has {} processes but {} weights",
+                            idxs.len(),
+                            w[c].len()
+                        )));
+                    }
+                    w[c].clone()
+                }
+                None => vec![1.0; idxs.len()],
+            };
+            Some(
+                TimeSliceScheduler::new(idxs.len(), timeslice, &weights)
+                    .map_err(SimError::InvalidOptions)?,
+            )
+        };
+        cores.push(CoreState {
+            clock: 0,
+            die,
+            procs: idxs,
+            sched,
+            buckets: vec![CounterSet::new(); num_buckets + 1],
+            done: false,
+        });
+    }
+
+    let mut l2s: Vec<SetAssocCache> =
+        (0..machine.dies).map(|_| SetAssocCache::new(machine.l2_sets, machine.l2_assoc)).collect();
+    for &(pid, ways) in &opts.way_quotas {
+        if pid as usize >= procs.len() {
+            return Err(SimError::InvalidOptions(format!(
+                "way quota for process {pid}, but only {} processes placed",
+                procs.len()
+            )));
+        }
+        if ways == 0 || ways > machine.l2_assoc {
+            return Err(SimError::InvalidOptions(format!(
+                "way quota {ways} out of range 1..={}",
+                machine.l2_assoc
+            )));
+        }
+        let die = cores[procs[pid as usize].core].die;
+        l2s[die].set_way_quota(ProcessId(pid), ways);
+    }
+    let mut prefetchers: Vec<Option<NextLinePrefetcher>> = (0..machine.dies)
+        .map(|_| opts.prefetch.map(NextLinePrefetcher::new))
+        .collect();
+
+    // Idle cores are done from the start.
+    for core in &mut cores {
+        if core.procs.is_empty() {
+            core.done = true;
+        }
+    }
+
+    let mut next_snapshot: Cycles = period_cycles;
+    let mut context_switches = 0u64;
+
+    // Main event loop: always step the active core with the smallest clock.
+    loop {
+        let mut min_core: Option<usize> = None;
+        let mut min_clock = Cycles::MAX;
+        for (i, core) in cores.iter().enumerate() {
+            if !core.done && core.clock < min_clock {
+                min_clock = core.clock;
+                min_core = Some(i);
+            }
+        }
+        let Some(ci) = min_core else { break };
+
+        // Occupancy snapshots keyed to the global frontier (the minimum
+        // active clock), so every snapshot reflects a causally consistent
+        // cache state.
+        while min_clock >= next_snapshot {
+            if next_snapshot >= warmup_cycles {
+                for p in procs.iter_mut() {
+                    let die = cores[p.core].die;
+                    p.occupancy_sum += l2s[die].avg_ways_of(p.pid);
+                    p.occupancy_snaps += 1;
+                }
+            }
+            next_snapshot += period_cycles;
+        }
+
+        let core = &mut cores[ci];
+        // Context switch check at step granularity.
+        if let Some(sched) = &mut core.sched {
+            if sched.maybe_switch(core.clock) {
+                context_switches += 1;
+            }
+        }
+        let pi = core.procs[core.sched.as_ref().map_or(0, |s| s.current())];
+        let proc = &mut procs[pi];
+
+        let step = proc.gen.next_step(&mut proc.rng);
+        debug_assert!(
+            step.instructions > 0 || step.access.is_some(),
+            "generator produced a zero step"
+        );
+        let mut cycles =
+            ((step.instructions as f64) * machine.cpi_base).round() as Cycles + step.stall_cycles;
+        let mut misses = 0u64;
+        let mut l2_refs = 0u64;
+        let mut prefetches = 0u64;
+
+        if let Some(addr) = step.access {
+            l2_refs = 1;
+            let outcome = l2s[core.die].access(addr, proc.pid);
+            match outcome {
+                crate::cache::AccessOutcome::Hit { prefetch_covered: false } => {
+                    cycles += machine.l2_hit_cycles;
+                }
+                crate::cache::AccessOutcome::Hit { prefetch_covered: true } => {
+                    // First touch of a prefetched line: the fill may still
+                    // be in flight, so only part of the memory latency is
+                    // hidden.
+                    cycles += machine.prefetch_covered_cycles;
+                }
+                crate::cache::AccessOutcome::Miss { .. } => {
+                    cycles += machine.mem_cycles;
+                    misses = 1;
+                }
+            }
+            if let Some(pf) = &mut prefetchers[core.die] {
+                let issued = pf.observe(&mut l2s[core.die], proc.pid, addr);
+                prefetches = issued;
+                cycles += issued * machine.prefetch_issue_cycles;
+            }
+        }
+        if cycles == 0 {
+            cycles = 1; // guarantee progress even for degenerate steps
+        }
+        core.clock += cycles;
+
+        let delta = CounterSet {
+            instructions: step.instructions,
+            l1_refs: step.l1_refs,
+            l2_refs,
+            l2_misses: misses,
+            branches: step.branches,
+            fp_ops: step.fp_ops,
+            prefetches,
+        };
+
+        // Core-level HPC bucket (completion-time attribution).
+        let bucket = ((core.clock / period_cycles) as usize).min(num_buckets);
+        core.buckets[bucket].merge(&delta);
+
+        // Process-level post-warmup totals.
+        if core.clock >= warmup_cycles {
+            proc.counters.merge(&delta);
+            proc.active_cycles += cycles;
+        }
+
+        if core.clock >= end_cycles {
+            core.done = true;
+        }
+    }
+
+    // Assemble per-core rates and power samples.
+    let period_s = period_cycles as f64 / machine.freq_hz;
+    let mut core_samples: Vec<Vec<EventRates>> = Vec::with_capacity(num_cores);
+    for core in &cores {
+        core_samples.push((0..num_buckets).map(|b| core.buckets[b].rates(period_s)).collect());
+    }
+    let mut power_rng = ChaCha8Rng::seed_from_u64(master_rng.gen());
+    let mut power = Vec::with_capacity(num_buckets);
+    for b in 0..num_buckets {
+        let rates: Vec<EventRates> = core_samples.iter().map(|cs| cs[b]).collect();
+        let true_watts = machine.power.processor_power(&rates);
+        let measured_watts = measure_power(&machine.power, true_watts, period_s, &mut power_rng);
+        power.push(PowerSample { period: b, t_start: b as f64 * period_s, true_watts, measured_watts });
+    }
+
+    let prefetches_issued = procs.iter().map(|p| p.counters.prefetches).sum();
+    let processes = procs
+        .into_iter()
+        .map(|p| ProcessStats {
+            pid: p.pid,
+            name: p.name,
+            core: p.core,
+            counters: p.counters,
+            active_seconds: p.active_cycles as f64 / machine.freq_hz,
+            avg_ways: if p.occupancy_snaps > 0 {
+                p.occupancy_sum / p.occupancy_snaps as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+
+    Ok(SimResult {
+        processes,
+        core_samples,
+        power,
+        sample_period_s: period_s,
+        warmup_periods: (warmup_cycles / period_cycles) as usize,
+        context_switches,
+        prefetches_issued,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::testutil::CyclicGenerator;
+    use crate::process::ProcessSpec;
+
+    fn small_machine() -> MachineConfig {
+        MachineConfig {
+            l2_sets: 16,
+            l2_assoc: 4,
+            // Short slices so time-sharing tests see many switches within
+            // a sub-second run.
+            timeslice_s: 0.01,
+            ..MachineConfig::two_core_workstation()
+        }
+    }
+
+    fn cyclic(base: u64, footprint: u64, gap: u64) -> ProcessSpec {
+        ProcessSpec::new(format!("cyc{base}"), Box::new(CyclicGenerator::new(base, footprint, gap)))
+    }
+
+    fn quick_opts() -> SimOptions {
+        SimOptions { duration_s: 0.3, warmup_s: 0.1, seed: 7, ..Default::default() }
+    }
+
+    #[test]
+    fn placement_validation() {
+        let m = small_machine();
+        let err = simulate(&m, Placement::idle(3), quick_opts()).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlacement(_)));
+    }
+
+    #[test]
+    fn options_validation() {
+        let m = small_machine();
+        let bad = SimOptions { duration_s: 0.0, ..Default::default() };
+        assert!(matches!(
+            simulate(&m, Placement::idle(2), bad),
+            Err(SimError::InvalidOptions(_))
+        ));
+        let bad = SimOptions { duration_s: 1.0, warmup_s: 1.0, ..Default::default() };
+        assert!(matches!(
+            simulate(&m, Placement::idle(2), bad),
+            Err(SimError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn idle_machine_draws_idle_power() {
+        let m = small_machine();
+        let r = simulate(&m, Placement::idle(2), quick_opts()).unwrap();
+        let expect = m.power.uncore_w + 2.0 * m.power.core_idle_w;
+        assert!((r.avg_measured_power() - expect).abs() < 1.0, "{}", r.avg_measured_power());
+        assert_eq!(r.processes.len(), 0);
+        assert_eq!(r.context_switches, 0);
+    }
+
+    #[test]
+    fn single_process_fits_in_cache() {
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        // Footprint 32 lines in a 64-line cache: after warmup, ~no misses.
+        pl.assign(0, cyclic(0, 32, 20));
+        let r = simulate(&m, pl, quick_opts()).unwrap();
+        let p = &r.processes[0];
+        assert!(p.mpa() < 0.02, "mpa {}", p.mpa());
+        assert!(p.counters.instructions > 0);
+        // Occupancy: 32 lines over 16 sets = 2 ways.
+        assert!((p.avg_ways - 2.0).abs() < 0.3, "ways {}", p.avg_ways);
+    }
+
+    #[test]
+    fn oversized_footprint_always_misses() {
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        // Footprint 256 lines cycled in order through a 64-line LRU cache:
+        // classic worst case, everything misses.
+        pl.assign(0, cyclic(0, 256, 20));
+        let r = simulate(&m, pl, quick_opts()).unwrap();
+        assert!(r.processes[0].mpa() > 0.95, "mpa {}", r.processes[0].mpa());
+    }
+
+    #[test]
+    fn misses_slow_a_process_down() {
+        let m = small_machine();
+        let mut fit = Placement::idle(2);
+        fit.assign(0, cyclic(0, 32, 20));
+        let mut thrash = Placement::idle(2);
+        thrash.assign(0, cyclic(0, 1024, 20));
+        let fast = simulate(&m, fit, quick_opts()).unwrap();
+        let slow = simulate(&m, thrash, quick_opts()).unwrap();
+        assert!(slow.processes[0].spi() > 2.0 * fast.processes[0].spi());
+    }
+
+    #[test]
+    fn contention_splits_cache_between_cores() {
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        // Both want 48 of 64 lines; they must share.
+        pl.assign(0, cyclic(0, 48, 20));
+        pl.assign(1, cyclic(10_000, 48, 20));
+        let r = simulate(&m, pl, quick_opts()).unwrap();
+        let w0 = r.processes[0].avg_ways;
+        let w1 = r.processes[1].avg_ways;
+        assert!(w0 + w1 <= m.l2_assoc as f64 + 1e-9);
+        assert!(w0 > 0.5 && w1 > 0.5, "w0={w0} w1={w1}");
+        // Symmetric demands -> roughly symmetric split.
+        assert!((w0 - w1).abs() < 1.0, "w0={w0} w1={w1}");
+        // Both now miss, unlike when running alone.
+        assert!(r.processes[0].mpa() > 0.05);
+    }
+
+    #[test]
+    fn time_sharing_context_switches() {
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 16, 20));
+        pl.assign(0, cyclic(5_000, 16, 20));
+        let r = simulate(&m, pl, quick_opts()).unwrap();
+        assert!(r.context_switches > 5, "{}", r.context_switches);
+        // Both processes made progress.
+        assert!(r.processes[0].counters.instructions > 0);
+        assert!(r.processes[1].counters.instructions > 0);
+        // Active time splits the post-warmup window roughly evenly.
+        let ratio = r.processes[0].active_seconds / r.processes[1].active_seconds;
+        assert!(ratio > 0.6 && ratio < 1.6, "{ratio}");
+    }
+
+    #[test]
+    fn weighted_time_sharing() {
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 16, 20));
+        pl.assign(0, cyclic(5_000, 16, 20));
+        let opts = SimOptions {
+            weights: Some(vec![vec![3.0, 1.0], vec![]]),
+            ..quick_opts()
+        };
+        let r = simulate(&m, pl, opts).unwrap();
+        let ratio = r.processes[0].active_seconds / r.processes[1].active_seconds;
+        assert!(ratio > 2.0 && ratio < 4.5, "{ratio}");
+    }
+
+    #[test]
+    fn busy_power_exceeds_idle_power() {
+        let m = small_machine();
+        let idle = simulate(&m, Placement::idle(2), quick_opts()).unwrap();
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 32, 10));
+        pl.assign(1, cyclic(10_000, 32, 10));
+        let busy = simulate(&m, pl, quick_opts()).unwrap();
+        assert!(busy.avg_measured_power() > idle.avg_measured_power() + 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = small_machine();
+        let run = |seed| {
+            let mut pl = Placement::idle(2);
+            pl.assign(0, cyclic(0, 48, 20));
+            pl.assign(1, cyclic(10_000, 24, 30));
+            simulate(&m, pl, SimOptions { seed, ..quick_opts() }).unwrap()
+        };
+        let a = run(11);
+        let b = run(11);
+        let c = run(12);
+        assert_eq!(a.processes[0].counters, b.processes[0].counters);
+        assert_eq!(a.avg_measured_power(), b.avg_measured_power());
+        // Different seed shifts the noise (power) even if counters agree.
+        assert_ne!(a.avg_measured_power(), c.avg_measured_power());
+    }
+
+    #[test]
+    fn sample_counts_match_duration() {
+        let m = small_machine();
+        let opts = SimOptions { duration_s: 0.31, warmup_s: 0.09, seed: 1, ..Default::default() };
+        let r = simulate(&m, Placement::idle(2), opts).unwrap();
+        // 0.31 s at 30 ms period -> 10 full periods; warmup 0.09 -> 3.
+        assert_eq!(r.power.len(), 10);
+        assert_eq!(r.warmup_periods, 3);
+        assert_eq!(r.settled_power().len(), 7);
+        assert_eq!(r.core_samples.len(), 2);
+        assert_eq!(r.core_samples[0].len(), 10);
+    }
+
+    #[test]
+    fn prefetch_helps_streaming_access() {
+        let m = small_machine();
+        // A pure streaming generator: every access is to the next line.
+        struct Stream(u64);
+        impl crate::process::AccessGenerator for Stream {
+            fn next_step(&mut self, _rng: &mut dyn rand::RngCore) -> crate::process::Step {
+                self.0 += 1;
+                crate::process::Step {
+                    instructions: 20,
+                    l1_refs: 6,
+                    branches: 2,
+                    fp_ops: 4,
+                    stall_cycles: 0,
+                    access: Some(crate::types::LineAddr(self.0)),
+                }
+            }
+            fn label(&self) -> &str {
+                "stream"
+            }
+        }
+        let mut off = Placement::idle(2);
+        off.assign(0, ProcessSpec::new("s", Box::new(Stream(0))));
+        let mut on = Placement::idle(2);
+        on.assign(0, ProcessSpec::new("s", Box::new(Stream(0))));
+        let base = simulate(&m, off, quick_opts()).unwrap();
+        let pf = simulate(
+            &m,
+            on,
+            SimOptions { prefetch: Some(PrefetchConfig::default()), ..quick_opts() },
+        )
+        .unwrap();
+        assert!(pf.prefetches_issued > 0);
+        assert!(
+            pf.processes[0].spi() < 0.9 * base.processes[0].spi(),
+            "prefetch {} vs base {}",
+            pf.processes[0].spi(),
+            base.processes[0].spi()
+        );
+    }
+
+    #[test]
+    fn process_lookup_by_name() {
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 8, 10));
+        let r = simulate(&m, pl, quick_opts()).unwrap();
+        assert!(r.process("cyc0").is_some());
+        assert!(r.process("nope").is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Hardware performance counter emulation.
+//!
+//! Stands in for PAPI in the paper's setup: the simulator advances per-core
+//! event counters, and the sampler converts counter deltas over each
+//! sampling period into *event rates* (events per second). The five rates
+//! the paper's power model uses (§4.1) are L1RPS, L2RPS, L2MPS, BRPS, and
+//! FPPS; instructions per second is also tracked because the ground-truth
+//! power function (but deliberately *not* the fitted model) depends on it.
+
+/// Cumulative event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSet {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// L1 data-cache references.
+    pub l1_refs: u64,
+    /// L2 cache references (L1 misses reaching the L2).
+    pub l2_refs: u64,
+    /// L2 cache misses.
+    pub l2_misses: u64,
+    /// Branch instructions retired.
+    pub branches: u64,
+    /// Floating-point operations retired.
+    pub fp_ops: u64,
+    /// Prefetch requests issued (diagnostic; not a model feature).
+    pub prefetches: u64,
+}
+
+impl CounterSet {
+    /// An all-zero counter set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &CounterSet) {
+        self.instructions += other.instructions;
+        self.l1_refs += other.l1_refs;
+        self.l2_refs += other.l2_refs;
+        self.l2_misses += other.l2_misses;
+        self.branches += other.branches;
+        self.fp_ops += other.fp_ops;
+        self.prefetches += other.prefetches;
+    }
+
+    /// Converts counts accumulated over `dt` seconds into rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn rates(&self, dt: f64) -> EventRates {
+        assert!(dt > 0.0, "sampling interval must be positive, got {dt}");
+        EventRates {
+            ips: self.instructions as f64 / dt,
+            l1rps: self.l1_refs as f64 / dt,
+            l2rps: self.l2_refs as f64 / dt,
+            l2mps: self.l2_misses as f64 / dt,
+            brps: self.branches as f64 / dt,
+            fpps: self.fp_ops as f64 / dt,
+        }
+    }
+}
+
+/// Event rates over one sampling period (events per second).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EventRates {
+    /// Instructions per second.
+    pub ips: f64,
+    /// L1 data-cache references per second (paper: L1RPS).
+    pub l1rps: f64,
+    /// L2 references per second (paper: L2RPS).
+    pub l2rps: f64,
+    /// L2 misses per second (paper: L2MPS).
+    pub l2mps: f64,
+    /// Branches retired per second (paper: BRPS).
+    pub brps: f64,
+    /// Floating-point operations retired per second (paper: FPPS).
+    pub fpps: f64,
+}
+
+impl EventRates {
+    /// The five-feature vector of the paper's power model (Eq. 9), in
+    /// order: L1RPS, L2RPS, L2MPS, BRPS, FPPS.
+    pub fn paper_features(&self) -> [f64; 5] {
+        [self.l1rps, self.l2rps, self.l2mps, self.brps, self.fpps]
+    }
+
+    /// Elementwise sum (used to aggregate cores into processor rates).
+    pub fn add(&self, other: &EventRates) -> EventRates {
+        EventRates {
+            ips: self.ips + other.ips,
+            l1rps: self.l1rps + other.l1rps,
+            l2rps: self.l2rps + other.l2rps,
+            l2mps: self.l2mps + other.l2mps,
+            brps: self.brps + other.brps,
+            fpps: self.fpps + other.fpps,
+        }
+    }
+
+    /// L2 misses per L2 reference (paper: L2MPR), or 0 when there are no
+    /// references.
+    pub fn l2mpr(&self) -> f64 {
+        if self.l2rps > 0.0 {
+            self.l2mps / self.l2rps
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_divide_by_interval() {
+        let c = CounterSet {
+            instructions: 300,
+            l1_refs: 90,
+            l2_refs: 30,
+            l2_misses: 6,
+            branches: 45,
+            fp_ops: 15,
+            prefetches: 0,
+        };
+        let r = c.rates(3.0);
+        assert_eq!(r.ips, 100.0);
+        assert_eq!(r.l1rps, 30.0);
+        assert_eq!(r.l2rps, 10.0);
+        assert_eq!(r.l2mps, 2.0);
+        assert_eq!(r.brps, 15.0);
+        assert_eq!(r.fpps, 5.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CounterSet { instructions: 1, ..Default::default() };
+        let b = CounterSet { instructions: 2, l2_misses: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.instructions, 3);
+        assert_eq!(a.l2_misses, 5);
+    }
+
+    #[test]
+    fn paper_features_order() {
+        let r = EventRates { ips: 1.0, l1rps: 2.0, l2rps: 3.0, l2mps: 4.0, brps: 5.0, fpps: 6.0 };
+        assert_eq!(r.paper_features(), [2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn l2mpr_handles_zero_refs() {
+        let r = EventRates::default();
+        assert_eq!(r.l2mpr(), 0.0);
+        let r = EventRates { l2rps: 10.0, l2mps: 4.0, ..Default::default() };
+        assert_eq!(r.l2mpr(), 0.4);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = EventRates { ips: 1.0, l1rps: 1.0, l2rps: 1.0, l2mps: 1.0, brps: 1.0, fpps: 1.0 };
+        let s = a.add(&a);
+        assert_eq!(s.ips, 2.0);
+        assert_eq!(s.fpps, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        CounterSet::new().rates(0.0);
+    }
+}

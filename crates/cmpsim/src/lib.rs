@@ -1,0 +1,52 @@
+//! Chip-multiprocessor simulator substrate for the `mpmc` workspace.
+//!
+//! This crate stands in for the physical test machines of the DAC 2010
+//! paper (*Performance and Power Modeling in a Multi-Programmed Multi-Core
+//! Environment*): multi-core dies with shared set-associative LRU L2
+//! caches, hardware performance counters sampled periodically, a
+//! round-robin time-slicing scheduler, and a current-clamp power
+//! measurement chain.
+//!
+//! The modules:
+//!
+//! - [`types`]: identifier newtypes ([`types::LineAddr`],
+//!   [`types::ProcessId`], [`types::CoreId`], [`types::DieId`]).
+//! - [`cache`]: the shared L2 with per-owner occupancy accounting.
+//! - [`machine`]: machine presets mirroring the paper's three testbeds.
+//! - [`process`]: the [`process::AccessGenerator`] trait the engine runs.
+//! - [`sched`]: per-core round-robin time slicing (paper §4.2).
+//! - [`engine`]: the event-driven simulation loop and its results.
+//! - [`hpc`]: performance-counter emulation (the PAPI stand-in).
+//! - [`power`]: ground-truth power synthesis and the measurement chain.
+//! - [`prefetch`]: the optional next-line prefetcher (paper §3.1 study).
+//! - [`trace`]: trace capture/replay and Dinero-style trace-driven
+//!   analysis (the paper's reference [1]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cmpsim::engine::{simulate, Placement, SimOptions};
+//! use cmpsim::machine::MachineConfig;
+//!
+//! # fn main() -> Result<(), cmpsim::engine::SimError> {
+//! let machine = MachineConfig::four_core_server();
+//! let result = simulate(
+//!     &machine,
+//!     Placement::idle(machine.num_cores()),
+//!     SimOptions { duration_s: 0.2, warmup_s: 0.0, ..Default::default() },
+//! )?;
+//! assert!(result.avg_measured_power() > 40.0); // idle server still burns watts
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod hpc;
+pub mod machine;
+pub mod power;
+pub mod prefetch;
+pub mod process;
+pub mod sched;
+pub mod trace;
+pub mod types;

@@ -1,0 +1,313 @@
+//! Ground-truth power synthesis and the simulated measurement chain.
+//!
+//! The paper measures processor power with a Fluke i30 current clamp on a
+//! 12 V supply line, sampled at 10 kHz by an NI USB-6210 DAQ, assuming a
+//! fixed 90 % regulator efficiency (`P = 0.9 * 12 V * I = 10.8 * I`).
+//!
+//! We reproduce that chain end to end:
+//!
+//! 1. A hidden **ground-truth** per-core power function turns event rates
+//!    into watts. It is deliberately *not* a member of the fitted model
+//!    family (Eq. 9): it depends on instruction throughput (absent from the
+//!    paper's five features) and contains a saturating interaction term, so
+//!    the MVLR fit quality reported by the experiments is a genuine result
+//!    rather than a tautology. The dependence on IPS is also what makes the
+//!    fitted L2MPS coefficient come out *negative* — misses stall the core,
+//!    suppressing instruction power, exactly the effect the paper notes
+//!    ("increased cache contention leads to lower processor power
+//!    consumption because c3 is negative").
+//! 2. The processor power (cores + uncore) is converted to a 12 V supply
+//!    current, corrupted with sensor noise, quantized by the DAQ's ADC, and
+//!    averaged over each sampling period, then converted back with the
+//!    nominal `10.8 * I` formula.
+
+use crate::hpc::EventRates;
+use rand::Rng;
+
+/// Ground-truth power parameters for one machine.
+///
+/// All energy constants are joules per event, calibrated to the scaled
+/// clock (see [`crate::machine`] docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerParams {
+    /// Power of a core with no process scheduled (W).
+    pub core_idle_w: f64,
+    /// Constant uncore/package power (W) — always present.
+    pub uncore_w: f64,
+    /// Energy per instruction (J).
+    pub e_inst: f64,
+    /// Energy per L1 data reference (J).
+    pub e_l1: f64,
+    /// Energy per L2 reference (J).
+    pub e_l2: f64,
+    /// Energy per L2 miss (J) — bus/DRAM-interface activity.
+    pub e_miss: f64,
+    /// Energy per branch (J).
+    pub e_branch: f64,
+    /// Energy per floating-point operation (J).
+    pub e_fp: f64,
+    /// Strength of the saturating IPS x L1RPS interaction term (J).
+    pub gamma_interact: f64,
+    /// DRAM-interface term: watts per sqrt(L2 misses/second). Square-root
+    /// laws are common for mixed static/dynamic interface power and are
+    /// deliberately outside the Eq. 9 linear family.
+    pub kappa_miss_sqrt: f64,
+    /// Watts shed by clock gating when the core is fully stalled on
+    /// memory. Stalls scale with the miss rate, so this term is what makes
+    /// a fitted L2MPS coefficient come out negative (the paper's c3 < 0).
+    pub stall_gating_w: f64,
+    /// Seconds of pipeline stall caused by one L2 miss (memory latency
+    /// over clock frequency).
+    pub stall_s_per_miss: f64,
+    /// Std-dev of slow per-period power disturbance (W) — thermal and
+    /// VR-operating-point wander the clamp cannot distinguish from load.
+    pub sigma_disturbance_w: f64,
+    /// Std-dev of clamp sensor noise per DAQ sample (A).
+    pub sigma_sensor_a: f64,
+}
+
+impl PowerParams {
+    /// Ground truth for the Q6600-like 4-core server (~105 W nominal TDP).
+    pub fn quad_server() -> Self {
+        PowerParams {
+            core_idle_w: 6.0,
+            uncore_w: 20.0,
+            e_inst: 3.4e-7,
+            e_l1: 4.0e-7,
+            e_l2: 7.5e-6,
+            e_miss: 9.0e-6,
+            e_branch: 4.0e-7,
+            e_fp: 5.0e-7,
+            gamma_interact: 5.0e-7,
+            kappa_miss_sqrt: 0.004,
+            stall_gating_w: 3.0,
+            stall_s_per_miss: 240.0 / 2.4e7,
+            sigma_disturbance_w: 0.8,
+            sigma_sensor_a: 0.02,
+        }
+    }
+
+    /// Ground truth for the E2220-like 2-core workstation (~65 W class).
+    pub fn dual_workstation() -> Self {
+        PowerParams {
+            core_idle_w: 5.0,
+            uncore_w: 14.0,
+            e_inst: 3.0e-7,
+            e_l1: 3.5e-7,
+            e_l2: 6.5e-6,
+            e_miss: 8.0e-6,
+            e_branch: 3.5e-7,
+            e_fp: 4.5e-7,
+            gamma_interact: 4.5e-7,
+            kappa_miss_sqrt: 0.0035,
+            stall_gating_w: 2.5,
+            stall_s_per_miss: 220.0 / 2.4e7,
+            sigma_disturbance_w: 0.6,
+            sigma_sensor_a: 0.02,
+        }
+    }
+
+    /// Ground truth for the P6800-like duo laptop (~25 W class).
+    pub fn duo_laptop() -> Self {
+        PowerParams {
+            core_idle_w: 2.5,
+            uncore_w: 7.0,
+            e_inst: 1.5e-7,
+            e_l1: 1.8e-7,
+            e_l2: 3.5e-6,
+            e_miss: 4.5e-6,
+            e_branch: 1.8e-7,
+            e_fp: 2.2e-7,
+            gamma_interact: 2.5e-7,
+            kappa_miss_sqrt: 0.002,
+            stall_gating_w: 1.2,
+            stall_s_per_miss: 240.0 / 2.4e7,
+            sigma_disturbance_w: 0.3,
+            sigma_sensor_a: 0.015,
+        }
+    }
+
+    /// True (noise-free) power of one core given its event rates.
+    pub fn core_power(&self, r: &EventRates) -> f64 {
+        let linear = self.e_inst * r.ips
+            + self.e_l1 * r.l1rps
+            + self.e_l2 * r.l2rps
+            + self.e_miss * r.l2mps
+            + self.e_branch * r.brps
+            + self.e_fp * r.fpps;
+        // Saturating interaction: simultaneous high issue and high L1
+        // traffic heats shared structures superlinearly at first, then
+        // saturates. Not representable by Eq. 9's linear form.
+        let interact = if r.ips + r.l1rps > 0.0 {
+            self.gamma_interact * (r.ips * r.l1rps) / (r.ips + r.l1rps)
+        } else {
+            0.0
+        };
+        let dram_interface = self.kappa_miss_sqrt * r.l2mps.sqrt();
+        // Clock gating sheds power in proportion to the fraction of time
+        // the core sits stalled on memory.
+        let stall_fraction = (r.l2mps * self.stall_s_per_miss).min(1.0);
+        let gating = self.stall_gating_w * stall_fraction;
+        (self.core_idle_w + linear + interact + dram_interface - gating).max(0.0)
+    }
+
+    /// True processor power for a set of per-core rates (idle cores should
+    /// be passed as all-zero rates).
+    pub fn processor_power(&self, cores: &[EventRates]) -> f64 {
+        self.uncore_w + cores.iter().map(|r| self.core_power(r)).sum::<f64>()
+    }
+}
+
+/// Nominal rail voltage the paper's clamp measures (V).
+pub const RAIL_VOLTS: f64 = 12.0;
+/// Assumed voltage-regulator efficiency (paper: 90 %).
+pub const REGULATOR_EFFICIENCY: f64 = 0.9;
+/// DAQ sampling frequency (paper: 10 kHz).
+pub const DAQ_HZ: f64 = 10_000.0;
+/// DAQ full-scale current range (A) for quantization.
+pub const DAQ_RANGE_A: f64 = 20.0;
+/// DAQ resolution in bits (NI USB-6210: 16-bit; we model 12 effective).
+pub const DAQ_EFFECTIVE_BITS: u32 = 12;
+
+/// Simulates the clamp + DAQ measurement of a constant true power level
+/// over one sampling period of `period_s` seconds, returning the measured
+/// power `10.8 * mean(I)` the experiment pipeline sees.
+///
+/// `rng` supplies the sensor noise and the per-period disturbance.
+pub fn measure_power<R: Rng + ?Sized>(
+    params: &PowerParams,
+    true_watts: f64,
+    period_s: f64,
+    rng: &mut R,
+) -> f64 {
+    // Slow disturbance: one draw per period.
+    let disturbed = (true_watts + gaussian(rng, params.sigma_disturbance_w)).max(0.0);
+    // True current drawn from the 12 V rail ahead of the regulator.
+    let true_current = disturbed / (REGULATOR_EFFICIENCY * RAIL_VOLTS);
+    // Average of n quantized noisy DAQ samples. Sampling is i.i.d., so we
+    // draw the mean of n Gaussians directly (sigma / sqrt(n)) and then
+    // apply quantization once — indistinguishable in distribution from the
+    // per-sample loop for the magnitudes involved, and far cheaper.
+    let n = (period_s * DAQ_HZ).max(1.0);
+    let mean_noise = gaussian(rng, params.sigma_sensor_a / n.sqrt());
+    let step = DAQ_RANGE_A / (1u64 << DAQ_EFFECTIVE_BITS) as f64;
+    let quantized = ((true_current + mean_noise) / step).round() * step;
+    REGULATOR_EFFICIENCY * RAIL_VOLTS * quantized
+}
+
+/// Draws a zero-mean Gaussian with the given standard deviation using the
+/// Box–Muller transform (keeps us off `rand_distr`).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn busy_rates() -> EventRates {
+        EventRates {
+            ips: 2.2e7,
+            l1rps: 7.0e6,
+            l2rps: 2.0e5,
+            l2mps: 5.0e4,
+            brps: 3.3e6,
+            fpps: 2.0e6,
+        }
+    }
+
+    #[test]
+    fn idle_core_draws_idle_power() {
+        let p = PowerParams::quad_server();
+        assert_eq!(p.core_power(&EventRates::default()), p.core_idle_w);
+    }
+
+    #[test]
+    fn busy_core_power_is_plausible() {
+        let p = PowerParams::quad_server();
+        let w = p.core_power(&busy_rates());
+        assert!(w > p.core_idle_w + 5.0, "busy core should be well above idle: {w}");
+        assert!(w < 40.0, "single core should stay below 40 W: {w}");
+    }
+
+    #[test]
+    fn processor_power_sums_cores_and_uncore() {
+        let p = PowerParams::quad_server();
+        let idle4 = p.processor_power(&[EventRates::default(); 4]);
+        assert!((idle4 - (p.uncore_w + 4.0 * p.core_idle_w)).abs() < 1e-9);
+        let busy = p.processor_power(&[busy_rates(); 4]);
+        assert!(busy > idle4 + 20.0);
+        assert!(busy < 160.0, "{busy}");
+    }
+
+    #[test]
+    fn interaction_term_is_bounded_by_min_rate() {
+        // (a*b)/(a+b) <= min(a, b), so the interaction can never blow up.
+        let p = PowerParams { gamma_interact: 1.0, ..PowerParams::quad_server() };
+        let r = EventRates { ips: 5.0, l1rps: 1e12, ..Default::default() };
+        let w = p.core_power(&r);
+        let base = PowerParams { gamma_interact: 0.0, ..p.clone() }.core_power(&r);
+        assert!(w - base <= 5.0 + 1e-6);
+    }
+
+    #[test]
+    fn measurement_is_close_to_truth_on_average() {
+        let p = PowerParams::quad_server();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let truth = 80.0;
+        let n = 400;
+        let mean: f64 =
+            (0..n).map(|_| measure_power(&p, truth, 0.030, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - truth).abs() < 0.2, "mean measured {mean} vs {truth}");
+    }
+
+    #[test]
+    fn measurement_has_nonzero_noise() {
+        let p = PowerParams::quad_server();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = measure_power(&p, 80.0, 0.030, &mut rng);
+        let b = measure_power(&p, 80.0, 0.030, &mut rng);
+        assert_ne!(a, b);
+        assert!((a - 80.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn measurement_never_negative() {
+        let p = PowerParams::quad_server();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let m = measure_power(&p, 0.05, 0.030, &mut rng);
+            // Quantization can yield exactly 0, never meaningfully negative.
+            assert!(m >= -0.05, "{m}");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "{mean}");
+        assert!((var - 4.0).abs() < 0.2, "{var}");
+        assert_eq!(gaussian(&mut rng, 0.0), 0.0);
+    }
+
+    #[test]
+    fn machine_classes_are_ordered_by_power() {
+        let server = PowerParams::quad_server();
+        let ws = PowerParams::dual_workstation();
+        let duo = PowerParams::duo_laptop();
+        let r = busy_rates();
+        assert!(server.core_power(&r) > ws.core_power(&r));
+        assert!(ws.core_power(&r) > duo.core_power(&r));
+    }
+}

@@ -1,0 +1,158 @@
+//! Optional next-line hardware prefetcher.
+//!
+//! §3.1 of the paper assumes prefetching is disabled, and justifies the
+//! assumption with a measurement: across 10 SPEC CPU2000 benchmarks the
+//! average speedup from hardware prefetching was 3.25 %, with only the
+//! streaming FP benchmark *equake* benefiting significantly. The
+//! `prefetch_study` experiment reproduces that measurement with this
+//! module; everything else runs with prefetching off (the default).
+
+use crate::cache::SetAssocCache;
+use crate::types::{LineAddr, ProcessId};
+
+/// Configuration for the per-die prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Consecutive-line accesses required before prefetching starts.
+    pub trigger_run: u32,
+    /// Lines fetched ahead once streaming is detected.
+    pub degree: u32,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig { trigger_run: 2, degree: 2 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamState {
+    last: LineAddr,
+    run: u32,
+    valid: bool,
+}
+
+/// Detects per-process sequential streams and issues next-line prefetches
+/// into the shared L2.
+#[derive(Debug, Clone)]
+pub struct NextLinePrefetcher {
+    config: PrefetchConfig,
+    streams: Vec<StreamState>,
+    issued: u64,
+    useful_hint: u64,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a prefetcher with the given configuration.
+    pub fn new(config: PrefetchConfig) -> Self {
+        NextLinePrefetcher { config, streams: Vec::new(), issued: 0, useful_hint: 0 }
+    }
+
+    /// Observes a demand access by `owner` to `addr` and, if a sequential
+    /// run is established, inserts up to `degree` subsequent lines into
+    /// `cache`. Returns the number of prefetches issued (0 when the stream
+    /// is not sequential or lines were already resident).
+    pub fn observe(
+        &mut self,
+        cache: &mut SetAssocCache,
+        owner: ProcessId,
+        addr: LineAddr,
+    ) -> u64 {
+        let idx = owner.0 as usize;
+        if self.streams.len() <= idx {
+            self.streams.resize(idx + 1, StreamState::default());
+        }
+        let st = &mut self.streams[idx];
+        if st.valid && addr == st.last.next() {
+            st.run += 1;
+        } else {
+            st.run = 1;
+        }
+        st.last = addr;
+        st.valid = true;
+
+        let mut issued = 0;
+        if st.run >= self.config.trigger_run {
+            let mut next = addr;
+            for _ in 0..self.config.degree {
+                next = next.next();
+                if cache.insert_prefetch(next, owner) {
+                    issued += 1;
+                } else {
+                    self.useful_hint += 1;
+                }
+            }
+        }
+        self.issued += issued;
+        issued
+    }
+
+    /// Total prefetch lines inserted.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn sequential_stream_triggers_prefetch() {
+        let mut cache = SetAssocCache::new(16, 4);
+        let mut pf = NextLinePrefetcher::new(PrefetchConfig { trigger_run: 2, degree: 1 });
+        assert_eq!(pf.observe(&mut cache, pid(0), LineAddr(10)), 0); // run = 1
+        assert_eq!(pf.observe(&mut cache, pid(0), LineAddr(11)), 1); // run = 2 -> fetch 12
+        assert!(cache.contains(LineAddr(12)));
+    }
+
+    #[test]
+    fn random_stream_never_triggers() {
+        let mut cache = SetAssocCache::new(16, 4);
+        let mut pf = NextLinePrefetcher::new(PrefetchConfig::default());
+        for &a in &[5u64, 100, 7, 42, 9, 1000] {
+            assert_eq!(pf.observe(&mut cache, pid(0), LineAddr(a)), 0);
+        }
+        assert_eq!(pf.issued(), 0);
+    }
+
+    #[test]
+    fn streams_are_per_process() {
+        let mut cache = SetAssocCache::new(16, 4);
+        let mut pf = NextLinePrefetcher::new(PrefetchConfig { trigger_run: 2, degree: 1 });
+        // Interleaved sequential streams from two processes both trigger.
+        pf.observe(&mut cache, pid(0), LineAddr(10));
+        pf.observe(&mut cache, pid(1), LineAddr(200));
+        let a = pf.observe(&mut cache, pid(0), LineAddr(11));
+        let b = pf.observe(&mut cache, pid(1), LineAddr(201));
+        assert_eq!(a, 1);
+        assert_eq!(b, 1);
+        assert!(cache.contains(LineAddr(12)));
+        assert!(cache.contains(LineAddr(202)));
+    }
+
+    #[test]
+    fn degree_controls_lines_fetched() {
+        let mut cache = SetAssocCache::new(64, 4);
+        let mut pf = NextLinePrefetcher::new(PrefetchConfig { trigger_run: 1, degree: 3 });
+        assert_eq!(pf.observe(&mut cache, pid(0), LineAddr(0)), 3);
+        assert!(cache.contains(LineAddr(1)));
+        assert!(cache.contains(LineAddr(2)));
+        assert!(cache.contains(LineAddr(3)));
+    }
+
+    #[test]
+    fn resident_lines_not_reissued() {
+        let mut cache = SetAssocCache::new(16, 4);
+        let mut pf = NextLinePrefetcher::new(PrefetchConfig { trigger_run: 1, degree: 1 });
+        assert_eq!(pf.observe(&mut cache, pid(0), LineAddr(0)), 1);
+        // Reset the stream, then re-trigger over the same region: line 1 is
+        // already resident, so nothing new is inserted.
+        pf.observe(&mut cache, pid(0), LineAddr(100));
+        assert_eq!(pf.observe(&mut cache, pid(0), LineAddr(0)), 0);
+    }
+}

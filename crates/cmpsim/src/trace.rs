@@ -1,0 +1,414 @@
+//! Trace capture, replay, and trace-driven cache analysis.
+//!
+//! The paper contrasts its on-line approach with trace-driven simulation
+//! (Dinero IV, its reference [1]). This module provides that classic
+//! substrate: any [`AccessGenerator`] can be wrapped in a
+//! [`TraceRecorder`] to capture its step stream, traces can be saved to /
+//! loaded from a simple line-oriented text format, replayed bit-exactly
+//! through the engine via [`TraceReplayer`], or analyzed directly with
+//! the trace-driven utilities ([`miss_ratio_curve`],
+//! [`stack_distance_histogram`]).
+
+use crate::process::{AccessGenerator, Step};
+use crate::types::LineAddr;
+use rand::RngCore;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::{Arc, Mutex};
+
+/// A captured step stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    steps: Vec<Step>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// The recorded steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Just the memory accesses (steps without an access are skipped).
+    pub fn accesses(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.steps.iter().filter_map(|s| s.access)
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// Serializes the trace to `w` in the text format
+    /// `instructions l1 branches fp stall addr`, one step per line, with
+    /// `-` for steps that carry no access. A mutable reference to a
+    /// writer also works (`&mut w`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_text<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        for s in &self.steps {
+            match s.access {
+                Some(a) => writeln!(
+                    w,
+                    "{} {} {} {} {} {:#x}",
+                    s.instructions, s.l1_refs, s.branches, s.fp_ops, s.stall_cycles, a.0
+                )?,
+                None => writeln!(
+                    w,
+                    "{} {} {} {} {} -",
+                    s.instructions, s.l1_refs, s.branches, s.fp_ops, s.stall_cycles
+                )?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a trace from the text format written by
+    /// [`Trace::write_text`]. Blank lines and lines starting with `#` are
+    /// ignored. A mutable reference to a reader also works (`&mut r`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed lines and propagates reader
+    /// I/O errors.
+    pub fn read_text<R: Read>(r: R) -> std::io::Result<Self> {
+        let mut steps = Vec::new();
+        for (lineno, line) in BufReader::new(r).lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let mut next_u64 = |what: &str| -> std::io::Result<u64> {
+                parts
+                    .next()
+                    .ok_or_else(|| malformed(lineno, &format!("missing {what}")))?
+                    .parse::<u64>()
+                    .map_err(|_| malformed(lineno, &format!("bad {what}")))
+            };
+            let instructions = next_u64("instructions")?;
+            let l1_refs = next_u64("l1_refs")?;
+            let branches = next_u64("branches")?;
+            let fp_ops = next_u64("fp_ops")?;
+            let stall_cycles = next_u64("stall_cycles")?;
+            let access = match parts.next() {
+                Some("-") => None,
+                Some(tok) => {
+                    let raw = tok.strip_prefix("0x").unwrap_or(tok);
+                    Some(LineAddr(
+                        u64::from_str_radix(raw, 16)
+                            .map_err(|_| malformed(lineno, "bad address"))?,
+                    ))
+                }
+                None => return Err(malformed(lineno, "missing address column")),
+            };
+            if parts.next().is_some() {
+                return Err(malformed(lineno, "trailing tokens"));
+            }
+            steps.push(Step { instructions, l1_refs, branches, fp_ops, stall_cycles, access });
+        }
+        Ok(Trace { steps })
+    }
+}
+
+fn malformed(lineno: usize, what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("trace line {}: {what}", lineno + 1),
+    )
+}
+
+impl FromIterator<Step> for Trace {
+    fn from_iter<I: IntoIterator<Item = Step>>(iter: I) -> Self {
+        Trace { steps: iter.into_iter().collect() }
+    }
+}
+
+/// Wraps a generator and records every step it produces into a shared
+/// [`Trace`] buffer while passing the steps through unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim::process::{AccessGenerator, Step};
+/// use cmpsim::trace::TraceRecorder;
+/// use cmpsim::types::LineAddr;
+/// use rand::SeedableRng;
+///
+/// struct Ticker(u64);
+/// impl AccessGenerator for Ticker {
+///     fn next_step(&mut self, _rng: &mut dyn rand::RngCore) -> Step {
+///         self.0 += 1;
+///         Step { instructions: 4, access: Some(LineAddr(self.0)), ..Default::default() }
+///     }
+///     fn label(&self) -> &str { "ticker" }
+/// }
+///
+/// let (mut rec, handle) = TraceRecorder::new(Box::new(Ticker(0)));
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// for _ in 0..10 {
+///     rec.next_step(&mut rng);
+/// }
+/// assert_eq!(handle.lock().unwrap().len(), 10);
+/// ```
+pub struct TraceRecorder {
+    inner: Box<dyn AccessGenerator>,
+    buffer: Arc<Mutex<Trace>>,
+    label: String,
+}
+
+impl TraceRecorder {
+    /// Wraps `inner`; returns the recorder and a shared handle to the
+    /// growing trace.
+    pub fn new(inner: Box<dyn AccessGenerator>) -> (Self, Arc<Mutex<Trace>>) {
+        let buffer = Arc::new(Mutex::new(Trace::new()));
+        let label = format!("rec({})", inner.label());
+        (TraceRecorder { inner, buffer: Arc::clone(&buffer), label }, buffer)
+    }
+}
+
+impl AccessGenerator for TraceRecorder {
+    fn next_step(&mut self, rng: &mut dyn RngCore) -> Step {
+        let step = self.inner.next_step(rng);
+        self.buffer.lock().expect("trace buffer poisoned").push(step);
+        step
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Replays a recorded trace as a generator, bit-exactly and independent
+/// of the RNG. When the trace is exhausted it loops from the start (an
+/// empty trace yields idle single-instruction steps).
+#[derive(Debug, Clone)]
+pub struct TraceReplayer {
+    trace: Trace,
+    idx: usize,
+    label: String,
+}
+
+impl TraceReplayer {
+    /// Creates a replayer over `trace`.
+    pub fn new(trace: Trace) -> Self {
+        TraceReplayer { trace, idx: 0, label: "replay".into() }
+    }
+
+    /// How many full passes plus steps have been replayed.
+    pub fn position(&self) -> usize {
+        self.idx
+    }
+}
+
+impl AccessGenerator for TraceReplayer {
+    fn next_step(&mut self, _rng: &mut dyn RngCore) -> Step {
+        if self.trace.is_empty() {
+            return Step { instructions: 1, ..Default::default() };
+        }
+        let step = self.trace.steps()[self.idx % self.trace.len()];
+        self.idx += 1;
+        step
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Trace-driven miss-ratio curve: the demand miss ratio of the address
+/// stream on single-owner LRU caches of `assoc = 1..=max_assoc` ways
+/// (`num_sets` fixed) — the Dinero-style sweep.
+///
+/// Returns `mrc[a - 1]` = miss ratio at associativity `a`. Empty input
+/// yields an all-zero curve.
+pub fn miss_ratio_curve(addrs: &[LineAddr], num_sets: usize, max_assoc: usize) -> Vec<f64> {
+    assert!(num_sets > 0, "need at least one set");
+    assert!(max_assoc > 0, "need at least one way");
+    let hist = stack_distance_histogram(addrs, num_sets);
+    let total = addrs.len() as f64;
+    if addrs.is_empty() {
+        return vec![0.0; max_assoc];
+    }
+    // Misses at assoc a = accesses with stack position > a (incl. cold).
+    (1..=max_assoc)
+        .map(|a| {
+            let hits: u64 = hist.iter().take(a).sum();
+            (total - hits as f64) / total
+        })
+        .collect()
+}
+
+/// Exact per-set LRU stack-position counts of a trace: `hist[p - 1]`
+/// counts accesses whose line was the `p`-th most recently used in its
+/// set (cold/deeper accesses are not counted — they are the residual
+/// `len - sum(hist)`). The histogram is truncated at `p = 64`.
+pub fn stack_distance_histogram(addrs: &[LineAddr], num_sets: usize) -> Vec<u64> {
+    assert!(num_sets > 0, "need at least one set");
+    const DEPTH: usize = 64;
+    let mut stacks: Vec<Vec<LineAddr>> = vec![Vec::new(); num_sets];
+    let mut hist = vec![0u64; DEPTH];
+    for &addr in addrs {
+        let set = (addr.0 % num_sets as u64) as usize;
+        let stack = &mut stacks[set];
+        if let Some(pos) = stack.iter().position(|&a| a == addr) {
+            if pos < DEPTH {
+                hist[pos] += 1;
+            }
+            stack.remove(pos);
+        }
+        stack.insert(0, addr);
+        stack.truncate(DEPTH);
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::testutil::CyclicGenerator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn step(instr: u64, addr: Option<u64>) -> Step {
+        Step {
+            instructions: instr,
+            l1_refs: instr / 3,
+            branches: 1,
+            fp_ops: 0,
+            stall_cycles: 0,
+            access: addr.map(LineAddr),
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let trace: Trace =
+            [step(10, Some(0xabc)), step(5, None), step(7, Some(0))].into_iter().collect();
+        let mut buf = Vec::new();
+        trace.write_text(&mut buf).unwrap();
+        let back = Trace::read_text(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn text_format_tolerates_comments_and_blanks() {
+        let text = "# a comment\n\n10 3 1 0 0 0xff\n5 1 1 0 2 -\n";
+        let t = Trace::read_text(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.steps()[0].access, Some(LineAddr(0xff)));
+        assert_eq!(t.steps()[1].access, None);
+        assert_eq!(t.steps()[1].stall_cycles, 2);
+    }
+
+    #[test]
+    fn text_format_rejects_garbage() {
+        assert!(Trace::read_text("1 2 3".as_bytes()).is_err());
+        assert!(Trace::read_text("a b c d e f".as_bytes()).is_err());
+        assert!(Trace::read_text("1 2 3 4 5 0xZZ".as_bytes()).is_err());
+        assert!(Trace::read_text("1 2 3 4 5 - extra".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn recorder_captures_passthrough() {
+        let gen = CyclicGenerator::new(100, 4, 10);
+        let (mut rec, handle) = TraceRecorder::new(Box::new(gen));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let emitted: Vec<Step> = (0..8).map(|_| rec.next_step(&mut rng)).collect();
+        let captured = handle.lock().unwrap().clone();
+        assert_eq!(captured.steps(), emitted.as_slice());
+        assert!(rec.label().contains("cyclic"));
+    }
+
+    #[test]
+    fn replayer_is_deterministic_and_loops() {
+        let trace: Trace = [step(1, Some(1)), step(2, Some(2))].into_iter().collect();
+        let mut rep = TraceReplayer::new(trace.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<Step> = (0..4).map(|_| rep.next_step(&mut rng)).collect();
+        assert_eq!(first[0], trace.steps()[0]);
+        assert_eq!(first[2], trace.steps()[0], "must loop");
+        assert_eq!(rep.position(), 4);
+    }
+
+    #[test]
+    fn empty_replayer_yields_idle_steps() {
+        let mut rep = TraceReplayer::new(Trace::new());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let s = rep.next_step(&mut rng);
+        assert_eq!(s.instructions, 1);
+        assert!(s.access.is_none());
+    }
+
+    #[test]
+    fn stack_distance_histogram_counts_positions() {
+        // Cyclic over 3 lines in one set: after warmup, every access is at
+        // position 3.
+        let addrs: Vec<LineAddr> = (0..30).map(|i| LineAddr((i % 3) * 4)).collect();
+        let hist = stack_distance_histogram(&addrs, 4);
+        assert_eq!(hist[2], 27); // 30 accesses, 3 cold
+        assert_eq!(hist[0], 0);
+    }
+
+    #[test]
+    fn miss_ratio_curve_matches_lru_semantics() {
+        let addrs: Vec<LineAddr> = (0..40).map(|i| LineAddr((i % 4) * 8)).collect();
+        // One set (num_sets 1 via modulo 1? use 1 set): cyclic over 4
+        // lines: misses everywhere below assoc 4, nearly none at 4+.
+        let mrc = miss_ratio_curve(&addrs, 1, 6);
+        assert!(mrc[2] > 0.85, "assoc 3 thrashes: {}", mrc[2]);
+        assert!(mrc[3] < 0.15, "assoc 4 fits: {}", mrc[3]);
+        assert!(mrc[5] <= mrc[3] + 1e-12);
+        // Monotone non-increasing.
+        for w in mrc.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn miss_ratio_curve_empty_trace() {
+        assert_eq!(miss_ratio_curve(&[], 4, 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn record_then_replay_produces_identical_cache_behaviour() {
+        use crate::cache::SetAssocCache;
+        use crate::types::ProcessId;
+        let gen = CyclicGenerator::new(0, 20, 5);
+        let (mut rec, handle) = TraceRecorder::new(Box::new(gen));
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut cache_a = SetAssocCache::new(8, 2);
+        let mut hits_a = 0;
+        for _ in 0..100 {
+            if let Some(a) = rec.next_step(&mut rng).access {
+                hits_a += u64::from(cache_a.access(a, ProcessId(0)).is_hit());
+            }
+        }
+        let trace = handle.lock().unwrap().clone();
+        let mut rep = TraceReplayer::new(trace);
+        let mut cache_b = SetAssocCache::new(8, 2);
+        let mut hits_b = 0;
+        for _ in 0..100 {
+            if let Some(a) = rep.next_step(&mut rng).access {
+                hits_b += u64::from(cache_b.access(a, ProcessId(0)).is_hit());
+            }
+        }
+        assert_eq!(hits_a, hits_b);
+    }
+}

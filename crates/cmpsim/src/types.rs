@@ -1,0 +1,83 @@
+//! Identifier and unit newtypes shared across the simulator.
+
+use std::fmt;
+
+/// A cache-line-granular memory address. The low bits select the set
+/// (`addr % num_sets`) and the full value doubles as the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The next sequential line (used by streaming patterns and the
+    /// prefetcher).
+    pub fn next(self) -> LineAddr {
+        LineAddr(self.0.wrapping_add(1))
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// Identifies a simulated process within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a core within a machine (dense, `0..num_cores`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CoreId(pub u32);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Identifies a die (a group of cores sharing one L2 cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DieId(pub u32);
+
+impl fmt::Display for DieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Simulated time in cycles of the machine's base clock.
+pub type Cycles = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_next_wraps() {
+        assert_eq!(LineAddr(1).next(), LineAddr(2));
+        assert_eq!(LineAddr(u64::MAX).next(), LineAddr(0));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(LineAddr(255).to_string(), "0xff");
+        assert_eq!(ProcessId(3).to_string(), "P3");
+        assert_eq!(CoreId(1).to_string(), "C1");
+        assert_eq!(DieId(0).to_string(), "D0");
+    }
+
+    #[test]
+    fn ordering_and_hash_derives_usable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(ProcessId(1));
+        assert!(s.contains(&ProcessId(1)));
+        assert!(CoreId(0) < CoreId(1));
+    }
+}

@@ -1,0 +1,468 @@
+//! The combined performance + power model for assignment-time power
+//! estimation (paper §5, Fig. 1, Eq. 11).
+//!
+//! The power model alone cannot evaluate a *tentative* assignment: its
+//! inputs are HPC rates that exist only after the processes run. The
+//! combined model closes the loop with profiling data. Instruction-related
+//! event rates (L1RPI, L2RPI, BRPI, FPPI) are process properties fixed by
+//! the input data; contention only changes SPI and the miss ratio L2MPR —
+//! both of which the performance model predicts. Each per-second rate is
+//! then `rate = per-instruction rate / SPI`, and Eq. 9 turns the rates
+//! into power. Averaging over the Eq. 10 process combinations yields the
+//! processor power of the assignment — using profiling data only.
+
+use crate::feature::FeatureVector;
+use crate::perf::PerformanceModel;
+use crate::power::CorePowerModel;
+use crate::profile::ProcessProfile;
+use crate::sharing::combination_average;
+use crate::ModelError;
+use cmpsim::hpc::EventRates;
+use cmpsim::machine::MachineConfig;
+use cmpsim::types::{CoreId, DieId};
+
+/// A tentative process-to-core mapping over profile indices.
+///
+/// # Examples
+///
+/// ```
+/// use mpmc_model::assignment::Assignment;
+///
+/// let mut asg = Assignment::new(4);
+/// asg.assign(0, 2).assign(0, 1).assign(3, 0);
+/// assert_eq!(asg.processes_on(0), &[2, 1]);
+/// assert_eq!(asg.num_processes(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Assignment {
+    per_core: Vec<Vec<usize>>,
+}
+
+impl Assignment {
+    /// An empty assignment over `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        Assignment { per_core: vec![Vec::new(); num_cores] }
+    }
+
+    /// Adds process `profile_idx` to `core`'s run queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn assign(&mut self, core: usize, profile_idx: usize) -> &mut Self {
+        self.per_core[core].push(profile_idx);
+        self
+    }
+
+    /// The processes queued on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn processes_on(&self, core: usize) -> &[usize] {
+        &self.per_core[core]
+    }
+
+    /// Number of cores this assignment covers.
+    pub fn num_cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Total processes assigned.
+    pub fn num_processes(&self) -> usize {
+        self.per_core.iter().map(Vec::len).sum()
+    }
+
+    /// A copy with `profile_idx` additionally assigned to `core` — the
+    /// "what if process K goes on core C" primitive of Fig. 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn with_assigned(&self, core: usize, profile_idx: usize) -> Assignment {
+        let mut next = self.clone();
+        next.assign(core, profile_idx);
+        next
+    }
+}
+
+/// The combined model: performance model + power model + profiles.
+pub struct CombinedModel<'a, M: CorePowerModel> {
+    machine: &'a MachineConfig,
+    power: &'a M,
+    perf: PerformanceModel,
+}
+
+impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
+    /// Creates a combined model for `machine` using the fitted core power
+    /// model `power`.
+    pub fn new(machine: &'a MachineConfig, power: &'a M) -> Self {
+        CombinedModel { machine, power, perf: PerformanceModel::new(machine.l2_assoc()) }
+    }
+
+    /// Estimated average processor power of `assignment`, from profiling
+    /// data only (Eq. 11 summed over dies).
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::InvalidAssignment`] if the assignment shape or any
+    ///   profile index is invalid.
+    /// - Equilibrium errors from the performance model.
+    pub fn estimate_processor_power(
+        &self,
+        profiles: &[ProcessProfile],
+        assignment: &Assignment,
+    ) -> Result<f64, ModelError> {
+        self.validate(profiles, assignment)?;
+        let mut total = 0.0;
+        for die in 0..self.machine.dies {
+            total += self.estimate_die_power(profiles, assignment, DieId(die as u32))?;
+        }
+        Ok(total)
+    }
+
+    /// Estimated average power of one die's cores under `assignment`
+    /// (exposed so callers can inspect the per-die split).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CombinedModel::estimate_processor_power`].
+    pub fn estimate_die_power(
+        &self,
+        profiles: &[ProcessProfile],
+        assignment: &Assignment,
+        die: DieId,
+    ) -> Result<f64, ModelError> {
+        let cores = self.machine.cores_of(die);
+        let queues: Vec<&[usize]> =
+            cores.iter().map(|c| assignment.processes_on(c.0 as usize)).collect();
+        let sizes: Vec<usize> = queues.iter().map(|q| q.len()).collect();
+        let idle_w = self.power.idle_core_watts();
+
+        if sizes.iter().all(|&s| s == 0) {
+            return Ok(idle_w * cores.len() as f64);
+        }
+
+        // Eq. 10: average the die power over all process combinations.
+        let mut first_err: Option<ModelError> = None;
+        let avg = combination_average(&sizes, |combo| {
+            if first_err.is_some() {
+                return 0.0;
+            }
+            match self.combination_power(profiles, &queues, combo, idle_w) {
+                Ok(p) => p,
+                Err(e) => {
+                    first_err = Some(e);
+                    0.0
+                }
+            }
+        })?;
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(avg)
+    }
+
+    /// Fig. 1's incremental query: estimated processor power after
+    /// additionally assigning `profile_idx` to `core`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CombinedModel::estimate_processor_power`].
+    pub fn estimate_after_assigning(
+        &self,
+        profiles: &[ProcessProfile],
+        current: &Assignment,
+        profile_idx: usize,
+        core: usize,
+    ) -> Result<f64, ModelError> {
+        if core >= current.num_cores() {
+            return Err(ModelError::InvalidAssignment(format!(
+                "core {core} out of range for {} cores",
+                current.num_cores()
+            )));
+        }
+        self.estimate_processor_power(profiles, &current.with_assigned(core, profile_idx))
+    }
+
+    /// Power of the die for one concrete process combination: the chosen
+    /// processes run simultaneously and share the die's cache.
+    fn combination_power(
+        &self,
+        profiles: &[ProcessProfile],
+        queues: &[&[usize]],
+        combo: &[usize],
+        idle_w: f64,
+    ) -> Result<f64, ModelError> {
+        // Gather the simultaneously running processes.
+        let mut running: Vec<(usize, &ProcessProfile)> = Vec::new(); // (core slot, profile)
+        for (slot, (&q, &pick)) in queues.iter().zip(combo).enumerate() {
+            if pick == usize::MAX {
+                continue;
+            }
+            running.push((slot, &profiles[q[pick]]));
+        }
+        let idle_cores = queues.len() - running.len();
+
+        if running.len() == 1 {
+            // Fig. 1 scenario (1)/(2): no cache contention — use the
+            // measured alone power from the profiling vector.
+            return Ok(running[0].1.core_power_alone(idle_w) + idle_cores as f64 * idle_w);
+        }
+
+        // Contended: performance model predicts SPI and MPA per process.
+        let features: Vec<&FeatureVector> = running.iter().map(|(_, p)| &p.feature).collect();
+        let eq = self.perf.solve(&features)?;
+        let mut power = idle_cores as f64 * idle_w;
+        for (i, (_slot, prof)) in running.iter().enumerate() {
+            let spi = eq.spis[i];
+            let mpa = eq.mpas[i];
+            let rates = EventRates {
+                ips: 1.0 / spi,
+                l1rps: prof.l1rpi / spi,
+                l2rps: prof.l2rpi / spi,
+                l2mps: prof.l2rpi * mpa / spi,
+                brps: prof.brpi / spi,
+                fpps: prof.fppi / spi,
+            };
+            power += self.power.predict_core(&rates);
+        }
+        Ok(power)
+    }
+
+    fn validate(&self, profiles: &[ProcessProfile], asg: &Assignment) -> Result<(), ModelError> {
+        if asg.num_cores() != self.machine.num_cores() {
+            return Err(ModelError::InvalidAssignment(format!(
+                "assignment covers {} cores, machine has {}",
+                asg.num_cores(),
+                self.machine.num_cores()
+            )));
+        }
+        for c in 0..asg.num_cores() {
+            for &p in asg.processes_on(c) {
+                if p >= profiles.len() {
+                    return Err(ModelError::InvalidAssignment(format!(
+                        "profile index {p} out of range for {} profiles",
+                        profiles.len()
+                    )));
+                }
+                if profiles[p].feature.assoc() != self.machine.l2_assoc() {
+                    return Err(ModelError::InvalidAssignment(format!(
+                        "profile '{}' was built for {} ways, machine cache has {}",
+                        profiles[p].feature.name(),
+                        profiles[p].feature.assoc(),
+                        self.machine.l2_assoc()
+                    )));
+                }
+            }
+        }
+        let _ = CoreId(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::ReuseHistogram;
+    use crate::power::{PowerModel, PowerObservation};
+    use crate::spi::SpiModel;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// A hand-built profile so tests do not need simulation runs.
+    fn synthetic_profile(name: &str, tail: f64, api: f64, machine: &MachineConfig) -> ProcessProfile {
+        let head = 1.0 - tail;
+        let hist = ReuseHistogram::new(
+            vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05],
+            tail,
+        )
+        .unwrap();
+        let alpha = api * (machine.mem_cycles - machine.l2_hit_cycles) as f64 / machine.freq_hz;
+        let beta = (machine.cpi_base + api * machine.l2_hit_cycles as f64) / machine.freq_hz;
+        let feature = FeatureVector::new(
+            name,
+            hist,
+            api,
+            SpiModel::new(alpha, beta).unwrap(),
+            machine.l2_assoc(),
+        )
+        .unwrap();
+        ProcessProfile {
+            feature,
+            l1rpi: 0.35,
+            l2rpi: api,
+            brpi: 0.2,
+            fppi: 0.1,
+            processor_alone_w: 60.0,
+            idle_processor_w: 44.0,
+        }
+    }
+
+    /// A power model fitted on synthetic observations derived from the
+    /// machine's ground truth.
+    fn synthetic_power_model(machine: &MachineConfig) -> PowerModel {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let n = machine.num_cores() as f64;
+        let mut obs = Vec::new();
+        for _ in 0..200 {
+            let ips = rng.gen_range(1e6..2.4e7);
+            let rates = cmpsim::hpc::EventRates {
+                ips,
+                l1rps: ips * rng.gen_range(0.2..0.5),
+                l2rps: ips * rng.gen_range(0.001..0.05),
+                l2mps: ips * rng.gen_range(0.0..0.02),
+                brps: ips * rng.gen_range(0.05..0.3),
+                fpps: ips * rng.gen_range(0.0..0.3),
+            };
+            let watts = machine.power.core_power(&rates) + machine.power.uncore_w / n;
+            obs.push(PowerObservation { rates, core_watts: watts });
+        }
+        PowerModel::fit_mvlr(&obs).unwrap()
+    }
+
+    fn server() -> MachineConfig {
+        MachineConfig::four_core_server()
+    }
+
+    #[test]
+    fn assignment_builder() {
+        let mut a = Assignment::new(2);
+        a.assign(1, 0);
+        assert_eq!(a.num_processes(), 1);
+        assert_eq!(a.processes_on(0), &[] as &[usize]);
+        let b = a.with_assigned(0, 1);
+        assert_eq!(b.num_processes(), 2);
+        assert_eq!(a.num_processes(), 1, "with_assigned must not mutate");
+    }
+
+    #[test]
+    fn empty_assignment_is_all_idle() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let est = cm.estimate_processor_power(&[], &Assignment::new(4)).unwrap();
+        let idle = 4.0 * pm.idle_core_watts();
+        assert!((est - idle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_process_uses_alone_power() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let p = synthetic_profile("solo", 0.3, 0.02, &m);
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0);
+        let est = cm.estimate_processor_power(std::slice::from_ref(&p), &asg).unwrap();
+        // core 0: alone power; cores 1-3 idle.
+        let expect = p.core_power_alone(pm.idle_core_watts()) + 3.0 * pm.idle_core_watts();
+        assert!((est - expect).abs() < 1e-9, "{est} vs {expect}");
+    }
+
+    #[test]
+    fn contended_pair_uses_model_power() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1); // same die -> contention
+        let est = cm.estimate_processor_power(&[a, b], &asg).unwrap();
+        // Sanity range: above idle, below silly.
+        let idle = 4.0 * pm.idle_core_watts();
+        assert!(est > idle + 4.0, "{est} vs idle {idle}");
+        assert!(est < idle + 60.0, "{est}");
+    }
+
+    #[test]
+    fn separate_dies_do_not_contend() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.4, 0.03, &m);
+        let mut same_die = Assignment::new(4);
+        same_die.assign(0, 0).assign(1, 1);
+        let mut diff_die = Assignment::new(4);
+        diff_die.assign(0, 0).assign(2, 1);
+        let ps = vec![a, b];
+        let p_same = cm.estimate_processor_power(&ps, &same_die).unwrap();
+        let p_diff = cm.estimate_processor_power(&ps, &diff_die).unwrap();
+        // Across dies each runs alone (profiled alone power); same-die
+        // estimates must differ because contention changes the rates.
+        assert!((p_same - p_diff).abs() > 0.05, "same {p_same} vs diff {p_diff}");
+    }
+
+    #[test]
+    fn time_sharing_averages_combinations() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.3, 0.02, &m);
+        let b = synthetic_profile("b", 0.3, 0.02, &m);
+        // Both on core 0, partner idle: average of two alone powers.
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(0, 1);
+        let est = cm.estimate_processor_power(&[a.clone(), b.clone()], &asg).unwrap();
+        let expect = (a.core_power_alone(pm.idle_core_watts())
+            + b.core_power_alone(pm.idle_core_watts()))
+            / 2.0
+            + 3.0 * pm.idle_core_watts();
+        assert!((est - expect).abs() < 1e-9, "{est} vs {expect}");
+    }
+
+    #[test]
+    fn incremental_matches_full() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.3, 0.02, &m);
+        let b = synthetic_profile("b", 0.2, 0.015, &m);
+        let ps = vec![a, b];
+        let mut current = Assignment::new(4);
+        current.assign(0, 0);
+        let inc = cm.estimate_after_assigning(&ps, &current, 1, 1).unwrap();
+        let full = cm
+            .estimate_processor_power(&ps, &current.with_assigned(1, 1))
+            .unwrap();
+        assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        // Wrong core count.
+        assert!(cm.estimate_processor_power(&[], &Assignment::new(2)).is_err());
+        // Bad profile index.
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 5);
+        assert!(cm.estimate_processor_power(&[], &asg).is_err());
+        // Out-of-range core in incremental query.
+        assert!(cm.estimate_after_assigning(&[], &Assignment::new(4), 0, 9).is_err());
+    }
+
+    #[test]
+    fn assignment_on_lower_power_machine_costs_less() {
+        let big = server();
+        let small = MachineConfig::duo_laptop();
+        let pm_big = synthetic_power_model(&big);
+        let pm_small = synthetic_power_model(&small);
+        let p_big = synthetic_profile("x", 0.3, 0.02, &big);
+        let p_small = synthetic_profile("x", 0.3, 0.02, &small);
+        let mut asg_big = Assignment::new(4);
+        asg_big.assign(0, 0);
+        let mut asg_small = Assignment::new(2);
+        asg_small.assign(0, 0);
+        let e_big = CombinedModel::new(&big, &pm_big)
+            .estimate_processor_power(&[p_big], &asg_big)
+            .unwrap();
+        let e_small = CombinedModel::new(&small, &pm_small)
+            .estimate_processor_power(&[p_small], &asg_small)
+            .unwrap();
+        assert!(e_big > e_small);
+    }
+}

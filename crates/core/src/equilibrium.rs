@@ -1,0 +1,377 @@
+//! The steady-state cache-sharing equilibrium (paper §3.3, Eq. 1 + Eq. 7).
+//!
+//! Given `k` co-scheduled processes sharing an `A`-way LRU cache, find the
+//! effective cache sizes `S_1..S_k`. The paper's derivation: there is a
+//! window `T` such that exactly the data accessed during the last `T`
+//! seconds is resident, so every process satisfies
+//! `S_i = G_i(APS_i(S_i) * T)` with a *common* `T`, plus the capacity
+//! constraint `sum_i S_i = A`.
+//!
+//! Two solvers are provided:
+//!
+//! - [`solve`] — a guaranteed-convergent nested bisection: the inner solve
+//!   finds `S_i(T)` per process (monotone in `T`), the outer solve adjusts
+//!   `T` until the capacity constraint holds. This is the default.
+//! - [`solve_newton`] — Newton–Raphson on the `(S_1..S_k, T)` system, the
+//!   method the paper names. Equivalent at the solution; used by the
+//!   ablation benchmarks and cross-checked against [`solve`] in tests.
+//!
+//! If the combined demand cannot fill the cache (every process saturates
+//! below its share), the capacity constraint is infeasible; both solvers
+//! then return the saturated sizes with [`Equilibrium::cache_filled`] set
+//! to `false` — physically, part of the cache simply stays empty.
+
+use crate::feature::FeatureVector;
+use crate::ModelError;
+use mathkit::newton::{newton_raphson, NewtonOptions};
+use mathkit::roots::{bisect, BisectOptions};
+
+/// The solved steady state for one co-scheduled set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equilibrium {
+    /// Effective cache size per process (ways).
+    pub sizes: Vec<f64>,
+    /// Predicted misses per access per process at those sizes.
+    pub mpas: Vec<f64>,
+    /// Predicted seconds per instruction per process.
+    pub spis: Vec<f64>,
+    /// Predicted L2 accesses per second per process.
+    pub apss: Vec<f64>,
+    /// The shared window parameter `T` (in scaled units; only ratios are
+    /// meaningful).
+    pub window: f64,
+    /// Whether the capacity constraint `sum S_i = A` could be met. `false`
+    /// means total demand saturates below the cache size.
+    pub cache_filled: bool,
+}
+
+impl Equilibrium {
+    fn from_sizes(features: &[&FeatureVector], sizes: Vec<f64>, window: f64, filled: bool) -> Self {
+        let mpas: Vec<f64> = features.iter().zip(&sizes).map(|(f, &s)| f.mpa(s)).collect();
+        let spis: Vec<f64> =
+            features.iter().zip(&mpas).map(|(f, &m)| f.spi_model().spi(m)).collect();
+        let apss: Vec<f64> = features.iter().zip(&spis).map(|(f, &s)| f.api() / s).collect();
+        Equilibrium { sizes, mpas, spis, apss, window, cache_filled: filled }
+    }
+}
+
+/// Inner solve: the occupancy `S` of one process given the window `T`.
+///
+/// `S` is the smallest fixed point of `S = G(APS(S) * T)`, found by
+/// bisection on `phi(S) = S - G(APS(S) * T)` over `[0, A]` (`phi(0) <= 0`,
+/// `phi(A) >= 0` because `G <= A`).
+fn size_for_window(f: &FeatureVector, a: f64, t: f64) -> f64 {
+    let phi = |s: f64| s - f.occupancy().g(f.aps_at(s) * t);
+    if phi(a) <= 0.0 {
+        return a; // demand saturates the whole cache within this window
+    }
+    // phi(0) = -G(APS(0) * T) <= 0; find the crossing.
+    bisect(phi, 0.0, a, BisectOptions { x_tol: 1e-9, f_tol: 1e-12, max_iter: 300 })
+        .unwrap_or(a)
+}
+
+/// Solves the equilibrium for `features` sharing an `assoc`-way cache by
+/// nested bisection (see module docs).
+///
+/// # Errors
+///
+/// - [`ModelError::EmptyInput`] if `features` is empty.
+/// - [`ModelError::EquilibriumFailed`] if features were built for a
+///   different associativity than `assoc`.
+///
+/// # Examples
+///
+/// ```
+/// use mpmc_model::equilibrium::solve;
+/// use mpmc_model::feature::FeatureVector;
+/// use cmpsim::machine::MachineConfig;
+/// use workloads::spec::SpecWorkload;
+///
+/// # fn main() -> Result<(), mpmc_model::ModelError> {
+/// let m = MachineConfig::four_core_server();
+/// let mcf = FeatureVector::from_workload(&SpecWorkload::Mcf.params(), &m)?;
+/// let gzip = FeatureVector::from_workload(&SpecWorkload::Gzip.params(), &m)?;
+/// let eq = solve(&[&mcf, &gzip], 16)?;
+/// assert!((eq.sizes[0] + eq.sizes[1] - 16.0).abs() < 1e-6);
+/// assert!(eq.sizes[0] > eq.sizes[1]); // mcf is the cache hog
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, ModelError> {
+    validate(features, assoc)?;
+    let a = assoc as f64;
+    let k = features.len();
+
+    // Total occupancy as a function of the window T (monotone
+    // non-decreasing in T).
+    let total = |t: f64| -> f64 { features.iter().map(|f| size_for_window(f, a, t)).sum() };
+
+    // Bracket T: expand upward until the cache is filled (to tolerance)
+    // or the inner sizes saturate. `G` approaches the associativity
+    // asymptotically, so "filled" must be judged with an epsilon: a lone
+    // hungry process reaches `a - 1e-9` ways but never exactly `a`.
+    let fill_eps = 1e-4;
+    let mut t_lo = 1e-12;
+    let mut t_hi = 1e-9;
+    let cap = 1e9;
+    while total(t_hi) < a - fill_eps {
+        t_lo = t_hi;
+        t_hi *= 4.0;
+        if t_hi > cap {
+            // Demand can never fill the cache: return saturated sizes.
+            let sizes: Vec<f64> = features.iter().map(|f| size_for_window(f, a, cap)).collect();
+            let sum: f64 = sizes.iter().sum();
+            return Ok(Equilibrium::from_sizes(features, sizes, cap, sum >= a - 1e-2));
+        }
+    }
+    let _ = k;
+
+    // If the expansion landed essentially on the constraint (asymptotic
+    // approach from below), accept it; otherwise bisect the crossing.
+    let t = if total(t_hi) <= a + fill_eps {
+        t_hi
+    } else {
+        bisect(
+            |t| total(t) - a,
+            t_lo,
+            t_hi,
+            BisectOptions { x_tol: 0.0, f_tol: 1e-9, max_iter: 500 },
+        )
+        .map_err(|e| ModelError::EquilibriumFailed(format!("outer bisection: {e}")))?
+    };
+
+    let mut sizes: Vec<f64> = features.iter().map(|f| size_for_window(f, a, t)).collect();
+    // Distribute any residual capacity error proportionally so the
+    // constraint holds exactly (cosmetic: the residual is < 1e-6 ways).
+    let sum: f64 = sizes.iter().sum();
+    if sum > 0.0 {
+        let scale = a / sum;
+        if (scale - 1.0).abs() < 1e-3 {
+            for s in &mut sizes {
+                *s *= scale;
+            }
+        }
+    }
+    Ok(Equilibrium::from_sizes(features, sizes, t, true))
+}
+
+/// Solves the equilibrium with damped Newton–Raphson on the
+/// `(S_1..S_k, T)` system — the paper's §3.3 method.
+///
+/// The residuals are the normalized window conditions
+/// `r_i = 1 - APS_i(S_i) * T / G_i^{-1}(S_i)` plus the capacity constraint
+/// `(sum S_i - A) / A`; this is Eq. 7 rearranged to avoid the huge dynamic
+/// range of raw `G^{-1}` values.
+///
+/// # Errors
+///
+/// - [`ModelError::EmptyInput`] / [`ModelError::EquilibriumFailed`] as for
+///   [`solve`], plus Newton non-convergence (rare; seed with [`solve`]'s
+///   output if it matters).
+pub fn solve_newton(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, ModelError> {
+    validate(features, assoc)?;
+    let a = assoc as f64;
+    let k = features.len();
+
+    // Initial guess: proportional to demand at a common mid-range window.
+    let bisection_seed = solve(features, assoc)?;
+    if !bisection_seed.cache_filled {
+        // Infeasible constraint: Newton has no root to find; return the
+        // saturated solution directly (same as the paper would observe —
+        // the cache simply is not full).
+        return Ok(bisection_seed);
+    }
+    let mut x0: Vec<f64> = bisection_seed.sizes.iter().map(|&s| s * 0.9 + 0.1).collect();
+    x0.push(bisection_seed.window * 1.1);
+
+    let lo = 0.02;
+    let clamp = move |v: &[f64]| -> Vec<f64> {
+        let mut out = Vec::with_capacity(v.len());
+        for (i, &x) in v.iter().enumerate() {
+            if i < k {
+                out.push(x.clamp(lo, a));
+            } else {
+                out.push(x.max(1e-15));
+            }
+        }
+        out
+    };
+
+    let feats: Vec<&FeatureVector> = features.to_vec();
+    let residual = move |v: &[f64]| -> Vec<f64> {
+        let t = v[k];
+        let mut r = Vec::with_capacity(k + 1);
+        for (i, f) in feats.iter().enumerate() {
+            let s = v[i];
+            let ginv = f.occupancy().g_inverse(s).max(1e-12);
+            r.push(1.0 - f.aps_at(s) * t / ginv);
+        }
+        let sum: f64 = v[..k].iter().sum();
+        r.push((sum - a) / a);
+        r
+    };
+
+    let sol = newton_raphson(
+        residual,
+        &x0,
+        clamp,
+        NewtonOptions { tol: 1e-7, max_iter: 200, fd_step: 1e-6, max_backtrack: 40 },
+    )
+    .map_err(|e| ModelError::EquilibriumFailed(format!("newton: {e}")))?;
+
+    let sizes = sol.x[..k].to_vec();
+    let window = sol.x[k];
+    Ok(Equilibrium::from_sizes(features, sizes, window, true))
+}
+
+fn validate(features: &[&FeatureVector], assoc: usize) -> Result<(), ModelError> {
+    if features.is_empty() {
+        return Err(ModelError::EmptyInput("equilibrium needs at least one process"));
+    }
+    if assoc == 0 {
+        return Err(ModelError::EquilibriumFailed("associativity must be positive".into()));
+    }
+    for f in features {
+        if f.assoc() != assoc {
+            return Err(ModelError::EquilibriumFailed(format!(
+                "feature vector '{}' was built for {} ways, cache has {assoc}",
+                f.name(),
+                f.assoc()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim::machine::MachineConfig;
+    use workloads::spec::SpecWorkload;
+
+    fn fv(w: SpecWorkload) -> FeatureVector {
+        FeatureVector::from_workload(&w.params(), &MachineConfig::four_core_server()).unwrap()
+    }
+
+    #[test]
+    fn pair_fills_cache_exactly() {
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Art);
+        let eq = solve(&[&a, &b], 16).unwrap();
+        assert!(eq.cache_filled);
+        assert!((eq.sizes.iter().sum::<f64>() - 16.0).abs() < 1e-6);
+        assert!(eq.sizes.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn hog_beats_friendly_workload() {
+        let hog = fv(SpecWorkload::Mcf);
+        let friendly = fv(SpecWorkload::Gzip);
+        let eq = solve(&[&hog, &friendly], 16).unwrap();
+        assert!(
+            eq.sizes[0] > 3.0 * eq.sizes[1],
+            "mcf {} vs gzip {}",
+            eq.sizes[0],
+            eq.sizes[1]
+        );
+    }
+
+    #[test]
+    fn symmetric_pair_splits_evenly() {
+        let a = fv(SpecWorkload::Twolf);
+        let b = fv(SpecWorkload::Twolf);
+        let eq = solve(&[&a, &b], 16).unwrap();
+        assert!((eq.sizes[0] - eq.sizes[1]).abs() < 1e-4, "{:?}", eq.sizes);
+        assert!((eq.sizes[0] - 8.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn contention_degrades_both() {
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Art);
+        let alone_a = solve(&[&a], 16).unwrap();
+        let eq = solve(&[&a, &b], 16).unwrap();
+        assert!(eq.spis[0] > alone_a.spis[0], "shared must be slower");
+        assert!(eq.mpas[0] > alone_a.mpas[0]);
+    }
+
+    #[test]
+    fn single_process_takes_whole_cache_if_hungry() {
+        let a = fv(SpecWorkload::Mcf);
+        let eq = solve(&[&a], 16).unwrap();
+        assert!(eq.sizes[0] > 15.9, "{}", eq.sizes[0]);
+        assert!(eq.cache_filled);
+    }
+
+    #[test]
+    fn spi_consistent_with_mpa() {
+        let a = fv(SpecWorkload::Vpr);
+        let b = fv(SpecWorkload::Ammp);
+        let eq = solve(&[&a, &b], 16).unwrap();
+        for (i, f) in [&a, &b].iter().enumerate() {
+            assert!((eq.mpas[i] - f.mpa(eq.sizes[i])).abs() < 1e-9);
+            assert!((eq.spis[i] - f.spi_model().spi(eq.mpas[i])).abs() < 1e-15);
+            assert!((eq.apss[i] - f.api() / eq.spis[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn four_way_sharing() {
+        let feats = [
+            fv(SpecWorkload::Mcf),
+            fv(SpecWorkload::Gzip),
+            fv(SpecWorkload::Art),
+            fv(SpecWorkload::Twolf),
+        ];
+        let refs: Vec<&FeatureVector> = feats.iter().collect();
+        let eq = solve(&refs, 16).unwrap();
+        assert!(eq.cache_filled);
+        assert!((eq.sizes.iter().sum::<f64>() - 16.0).abs() < 1e-6);
+        // The memory hogs should outrank the friendly ones.
+        assert!(eq.sizes[0] > eq.sizes[1], "{:?}", eq.sizes);
+        assert!(eq.sizes[2] > eq.sizes[1], "{:?}", eq.sizes);
+    }
+
+    #[test]
+    fn newton_agrees_with_bisection() {
+        let pairs = [
+            (SpecWorkload::Mcf, SpecWorkload::Gzip),
+            (SpecWorkload::Art, SpecWorkload::Twolf),
+            (SpecWorkload::Equake, SpecWorkload::Ammp),
+            (SpecWorkload::Vpr, SpecWorkload::Bzip2),
+        ];
+        for (wa, wb) in pairs {
+            let a = fv(wa);
+            let b = fv(wb);
+            let bis = solve(&[&a, &b], 16).unwrap();
+            let newt = solve_newton(&[&a, &b], 16).unwrap();
+            for i in 0..2 {
+                assert!(
+                    (bis.sizes[i] - newt.sizes[i]).abs() < 0.05,
+                    "{wa}/{wb} proc {i}: bisect {} vs newton {}",
+                    bis.sizes[i],
+                    newt.sizes[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(solve(&[], 16), Err(ModelError::EmptyInput(_))));
+    }
+
+    #[test]
+    fn assoc_mismatch_rejected() {
+        let a = fv(SpecWorkload::Gzip); // built for 16 ways
+        assert!(matches!(solve(&[&a], 12), Err(ModelError::EquilibriumFailed(_))));
+    }
+
+    #[test]
+    fn window_is_positive() {
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Gzip);
+        let eq = solve(&[&a, &b], 16).unwrap();
+        assert!(eq.window > 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Error type for the modeling framework.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A numerical routine failed.
+    Math(mathkit::MathError),
+    /// A simulation used during profiling failed.
+    Sim(cmpsim::engine::SimError),
+    /// An input collection was empty where at least one element is needed.
+    EmptyInput(&'static str),
+    /// A probability or probability-like quantity was outside `[0, 1]`
+    /// or a histogram failed to normalize.
+    InvalidDistribution(String),
+    /// The equilibrium system could not be solved.
+    EquilibriumFailed(String),
+    /// An assignment referenced a process or core that does not exist.
+    InvalidAssignment(String),
+    /// Profiling produced data the model cannot use (e.g. a process that
+    /// never accessed the L2).
+    UnusableProfile(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Math(e) => write!(f, "numerical error: {e}"),
+            ModelError::Sim(e) => write!(f, "simulation error: {e}"),
+            ModelError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            ModelError::InvalidDistribution(msg) => write!(f, "invalid distribution: {msg}"),
+            ModelError::EquilibriumFailed(msg) => write!(f, "equilibrium solve failed: {msg}"),
+            ModelError::InvalidAssignment(msg) => write!(f, "invalid assignment: {msg}"),
+            ModelError::UnusableProfile(msg) => write!(f, "unusable profile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Math(e) => Some(e),
+            ModelError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mathkit::MathError> for ModelError {
+    fn from(e: mathkit::MathError) -> Self {
+        ModelError::Math(e)
+    }
+}
+
+impl From<cmpsim::engine::SimError> for ModelError {
+    fn from(e: cmpsim::engine::SimError) -> Self {
+        ModelError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::from(mathkit::MathError::Singular);
+        assert!(e.to_string().contains("numerical"));
+        assert!(e.source().is_some());
+        let e = ModelError::EmptyInput("processes");
+        assert!(e.to_string().contains("processes"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ModelError>();
+    }
+}

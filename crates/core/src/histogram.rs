@@ -1,0 +1,276 @@
+//! Reuse-distance histograms and MPA curves (paper §3.1, Eq. 2).
+//!
+//! # Distance convention
+//!
+//! The histogram is indexed by **stack position** `p >= 1`: an access at
+//! position `p` touches the process's `p`-th most-recently-used line in a
+//! set. Under LRU, a process whose effective cache size is `S` ways hits
+//! exactly when `p <= S`, so Eq. 2 becomes
+//!
+//! ```text
+//! MPA(S) = sum_{p > S} hist(p) + p_inf
+//! ```
+//!
+//! where `p_inf` is the probability mass of accesses to lines that can
+//! never hit (new lines, streaming accesses, reuse deeper than the
+//! histogram's support).
+
+use crate::ModelError;
+use mathkit::interp::PiecewiseLinear;
+
+/// A normalized reuse-distance histogram.
+///
+/// # Examples
+///
+/// ```
+/// use mpmc_model::histogram::ReuseHistogram;
+///
+/// # fn main() -> Result<(), mpmc_model::ModelError> {
+/// // 60% of accesses re-touch the MRU line, 30% position 2, 10% new.
+/// let h = ReuseHistogram::new(vec![0.6, 0.3], 0.1)?;
+/// assert!((h.mpa(1.0) - 0.4).abs() < 1e-12); // misses: position 2 + new
+/// assert!((h.mpa(2.0) - 0.1).abs() < 1e-12); // only new lines miss
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseHistogram {
+    probs: Vec<f64>,
+    p_inf: f64,
+}
+
+impl ReuseHistogram {
+    /// Creates a histogram from per-position probabilities (`probs[i]` is
+    /// the mass at position `i + 1`) and the infinite-distance mass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDistribution`] if any probability is
+    /// negative/non-finite or the total differs from 1 by more than 1e-6
+    /// (small measurement slack is renormalized away).
+    pub fn new(probs: Vec<f64>, p_inf: f64) -> Result<Self, ModelError> {
+        if probs.iter().chain(std::iter::once(&p_inf)).any(|&p| !p.is_finite() || p < 0.0) {
+            return Err(ModelError::InvalidDistribution(
+                "probabilities must be finite and non-negative".into(),
+            ));
+        }
+        let total: f64 = probs.iter().sum::<f64>() + p_inf;
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(ModelError::InvalidDistribution(format!(
+                "histogram mass is {total}, expected 1"
+            )));
+        }
+        // Renormalize the tiny numerical slack.
+        let probs = probs.iter().map(|p| p / total).collect();
+        Ok(ReuseHistogram { probs, p_inf: p_inf / total })
+    }
+
+    /// Builds a histogram from a measured MPA curve (Eq. 8):
+    /// `mpa_at[s]` is the misses-per-access observed at an effective cache
+    /// size of `s` ways, for `s = 0..=A`. Position masses are the
+    /// differences `hist(s) = MPA(s-1) - MPA(s)`, and the residual
+    /// `MPA(A)` becomes the infinite-distance mass.
+    ///
+    /// Non-monotonicity from measurement noise is clipped to zero mass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDistribution`] if fewer than two points
+    /// are provided or values leave `[0, 1 + eps]`.
+    pub fn from_mpa_curve(mpa_at: &[f64]) -> Result<Self, ModelError> {
+        if mpa_at.len() < 2 {
+            return Err(ModelError::InvalidDistribution(
+                "an MPA curve needs at least sizes 0 and 1".into(),
+            ));
+        }
+        if mpa_at.iter().any(|&m| !m.is_finite() || !(0.0..=1.0 + 1e-9).contains(&m)) {
+            return Err(ModelError::InvalidDistribution("MPA values must lie in [0, 1]".into()));
+        }
+        let mut probs = Vec::with_capacity(mpa_at.len() - 1);
+        for w in mpa_at.windows(2) {
+            probs.push((w[0] - w[1]).max(0.0));
+        }
+        let p_inf = *mpa_at.last().expect("checked non-empty");
+        // The curve may not start exactly at MPA(0) = 1 (noise, or the
+        // caller measured from s=1); renormalize to total mass 1.
+        let total: f64 = probs.iter().sum::<f64>() + p_inf;
+        if total <= 0.0 {
+            return Err(ModelError::InvalidDistribution("MPA curve is identically zero".into()));
+        }
+        Ok(ReuseHistogram {
+            probs: probs.iter().map(|p| p / total).collect(),
+            p_inf: p_inf / total,
+        })
+    }
+
+    /// Per-position probabilities (`probs()[i]` is position `i + 1`).
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Infinite-distance mass.
+    pub fn p_inf(&self) -> f64 {
+        self.p_inf
+    }
+
+    /// Miss probability at a (possibly fractional) effective cache size of
+    /// `s` ways: Eq. 2 with linear interpolation between integer sizes.
+    /// Fractional sizes arise because the equilibrium solver works in a
+    /// continuous relaxation of the way count.
+    pub fn mpa(&self, s: f64) -> f64 {
+        if s <= 0.0 {
+            return 1.0;
+        }
+        let floor = s.floor() as usize;
+        let frac = s - floor as f64;
+        let m0 = self.mpa_int(floor);
+        if frac == 0.0 {
+            return m0;
+        }
+        let m1 = self.mpa_int(floor + 1);
+        m0 + (m1 - m0) * frac
+    }
+
+    /// Miss probability at an integer size (tail mass beyond position `s`).
+    pub fn mpa_int(&self, s: usize) -> f64 {
+        self.probs.iter().skip(s).sum::<f64>() + self.p_inf
+    }
+
+    /// The MPA curve tabulated at integer sizes `0..=max_ways`, as a
+    /// monotone piecewise-linear function usable by the solvers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpolant construction errors (cannot occur for
+    /// `max_ways >= 1`).
+    pub fn mpa_curve(&self, max_ways: usize) -> Result<PiecewiseLinear, ModelError> {
+        let xs: Vec<f64> = (0..=max_ways).map(|s| s as f64).collect();
+        let ys: Vec<f64> = (0..=max_ways).map(|s| self.mpa_int(s)).collect();
+        Ok(PiecewiseLinear::new(xs, ys)?)
+    }
+
+    /// Deepest position with non-zero mass (0 if all mass is at infinity).
+    pub fn depth(&self) -> usize {
+        self.probs.iter().rposition(|&p| p > 0.0).map_or(0, |i| i + 1)
+    }
+
+    /// The largest effective cache size this process can benefit from: one
+    /// way beyond its depth adds no hits. Processes with `p_inf > 0` still
+    /// miss at this size.
+    pub fn saturation_ways(&self) -> usize {
+        self.depth()
+    }
+
+    /// Mean finite stack position (a locality summary; lower is more
+    /// cache-friendly), or 0 if all mass is infinite.
+    pub fn mean_position(&self) -> f64 {
+        let finite: f64 = self.probs.iter().sum();
+        if finite == 0.0 {
+            return 0.0;
+        }
+        self.probs.iter().enumerate().map(|(i, &p)| (i + 1) as f64 * p).sum::<f64>() / finite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> ReuseHistogram {
+        ReuseHistogram::new(vec![0.4, 0.3, 0.2], 0.1).unwrap()
+    }
+
+    #[test]
+    fn mpa_integer_points() {
+        let h = simple();
+        assert!((h.mpa(0.0) - 1.0).abs() < 1e-12);
+        assert!((h.mpa(1.0) - 0.6).abs() < 1e-12);
+        assert!((h.mpa(2.0) - 0.3).abs() < 1e-12);
+        assert!((h.mpa(3.0) - 0.1).abs() < 1e-12);
+        assert!((h.mpa(10.0) - 0.1).abs() < 1e-12); // saturates at p_inf
+    }
+
+    #[test]
+    fn mpa_interpolates() {
+        let h = simple();
+        assert!((h.mpa(1.5) - 0.45).abs() < 1e-12);
+        assert!((h.mpa(0.5) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpa_monotone_nonincreasing() {
+        let h = simple();
+        let mut prev = f64::INFINITY;
+        for i in 0..40 {
+            let m = h.mpa(i as f64 * 0.25);
+            assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn normalization_enforced() {
+        assert!(ReuseHistogram::new(vec![0.5, 0.4], 0.5).is_err());
+        assert!(ReuseHistogram::new(vec![-0.1, 1.0], 0.1).is_err());
+        assert!(ReuseHistogram::new(vec![f64::NAN], 0.0).is_err());
+        // Tiny slack is fine and renormalized.
+        let h = ReuseHistogram::new(vec![0.6, 0.4 + 1e-9], 0.0).unwrap();
+        let total: f64 = h.probs().iter().sum::<f64>() + h.p_inf();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_mpa_curve_roundtrip() {
+        let h = simple();
+        let curve: Vec<f64> = (0..=5).map(|s| h.mpa_int(s)).collect();
+        let h2 = ReuseHistogram::from_mpa_curve(&curve).unwrap();
+        assert!((h2.probs()[0] - 0.4).abs() < 1e-12);
+        assert!((h2.probs()[1] - 0.3).abs() < 1e-12);
+        assert!((h2.probs()[2] - 0.2).abs() < 1e-12);
+        assert!((h2.p_inf() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_mpa_curve_clips_noise() {
+        // Noisy curve with a non-monotone wiggle.
+        let h = ReuseHistogram::from_mpa_curve(&[1.0, 0.5, 0.52, 0.2]).unwrap();
+        assert_eq!(h.probs()[1], 0.0); // clipped
+        assert!(h.probs()[0] > 0.0);
+        let total: f64 = h.probs().iter().sum::<f64>() + h.p_inf();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_mpa_curve_validation() {
+        assert!(ReuseHistogram::from_mpa_curve(&[1.0]).is_err());
+        assert!(ReuseHistogram::from_mpa_curve(&[1.0, -0.1]).is_err());
+        assert!(ReuseHistogram::from_mpa_curve(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn depth_and_saturation() {
+        assert_eq!(simple().depth(), 3);
+        assert_eq!(simple().saturation_ways(), 3);
+        let h = ReuseHistogram::new(vec![0.0, 0.0], 1.0).unwrap();
+        assert_eq!(h.depth(), 0);
+    }
+
+    #[test]
+    fn mean_position() {
+        let h = simple();
+        // (1*0.4 + 2*0.3 + 3*0.2) / 0.9
+        assert!((h.mean_position() - 1.6 / 0.9).abs() < 1e-12);
+        let all_inf = ReuseHistogram::new(vec![], 1.0).unwrap();
+        assert_eq!(all_inf.mean_position(), 0.0);
+    }
+
+    #[test]
+    fn mpa_curve_is_invertible_monotone() {
+        let c = simple().mpa_curve(8).unwrap();
+        assert_eq!(c.domain(), (0.0, 8.0));
+        // Decreasing curve: inverse_monotone must reject it (it requires
+        // non-decreasing), confirming orientation.
+        assert!(c.inverse_monotone(0.5).is_err());
+        assert!((c.eval(1.0) - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! The SPI–MPA linear relationship (paper Eq. 3).
+//!
+//! The paper observes (and Choi et al. re-affirm) that seconds per
+//! instruction is linear in misses per access:
+//! `SPI = alpha * MPA + beta`. `alpha` captures the memory latency paid
+//! per L2 access-miss, weighted by the access rate; `beta` is the
+//! miss-free execution time per instruction.
+
+use crate::ModelError;
+use mathkit::linreg::fit_line;
+
+/// A fitted `SPI = alpha * MPA + beta` model for one process.
+///
+/// # Examples
+///
+/// ```
+/// use mpmc_model::spi::SpiModel;
+///
+/// # fn main() -> Result<(), mpmc_model::ModelError> {
+/// let m = SpiModel::fit(&[(0.0, 1.0e-8), (0.5, 2.0e-8), (1.0, 3.0e-8)])?;
+/// assert!((m.alpha() - 2.0e-8).abs() < 1e-15);
+/// assert!((m.beta() - 1.0e-8).abs() < 1e-15);
+/// assert!((m.spi(0.25) - 1.5e-8).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpiModel {
+    alpha: f64,
+    beta: f64,
+}
+
+impl SpiModel {
+    /// Creates a model from known coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDistribution`] if `beta <= 0` (an
+    /// instruction cannot take non-positive time at zero miss rate) or
+    /// either coefficient is non-finite. `alpha < 0` is rejected too:
+    /// more misses can only slow a process down.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, ModelError> {
+        if !alpha.is_finite() || !beta.is_finite() || beta <= 0.0 || alpha < 0.0 {
+            return Err(ModelError::InvalidDistribution(format!(
+                "SPI coefficients out of domain: alpha={alpha}, beta={beta}"
+            )));
+        }
+        Ok(SpiModel { alpha, beta })
+    }
+
+    /// Fits `alpha` and `beta` from `(MPA, SPI)` observations by least
+    /// squares — the paper's offline characterization step.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::EmptyInput`] if fewer than two observations.
+    /// - Regression errors from collinearity (all MPAs identical).
+    /// - Domain errors from [`SpiModel::new`] if the fit is unphysical
+    ///   (e.g. negative `beta` from wild noise). A slightly negative
+    ///   fitted `alpha` (a flat workload plus noise) is clamped to zero.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, ModelError> {
+        if points.len() < 2 {
+            return Err(ModelError::EmptyInput("SPI fit needs at least two (MPA, SPI) points"));
+        }
+        let x: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let (alpha, beta) = fit_line(&x, &y)?;
+        SpiModel::new(alpha.max(0.0), beta)
+    }
+
+    /// The slope (seconds per instruction per unit MPA).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The intercept (miss-free seconds per instruction).
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Predicted seconds per instruction at miss ratio `mpa`.
+    pub fn spi(&self, mpa: f64) -> f64 {
+        self.alpha * mpa + self.beta
+    }
+
+    /// Predicted instructions per second at miss ratio `mpa`.
+    pub fn ips(&self, mpa: f64) -> f64 {
+        1.0 / self.spi(mpa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..8).map(|i| {
+            let m = i as f64 / 8.0;
+            (m, 3e-8 * m + 5e-9)
+        }).collect();
+        let model = SpiModel::fit(&pts).unwrap();
+        assert!((model.alpha() - 3e-8).abs() < 1e-16);
+        assert!((model.beta() - 5e-9).abs() < 1e-16);
+    }
+
+    #[test]
+    fn fit_clamps_small_negative_alpha() {
+        // Flat SPI with noise can fit slightly negative; clamp to zero.
+        let pts = [(0.1, 1.0e-8), (0.2, 0.99e-8), (0.3, 1.01e-8), (0.4, 1.0e-8)];
+        let model = SpiModel::fit(&pts).unwrap();
+        assert!(model.alpha() >= 0.0);
+    }
+
+    #[test]
+    fn domain_validation() {
+        assert!(SpiModel::new(1.0, 0.0).is_err());
+        assert!(SpiModel::new(1.0, -1.0).is_err());
+        assert!(SpiModel::new(-1.0, 1.0).is_err());
+        assert!(SpiModel::new(f64::NAN, 1.0).is_err());
+        assert!(SpiModel::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn fit_needs_two_points() {
+        assert!(matches!(SpiModel::fit(&[(0.1, 1.0)]), Err(ModelError::EmptyInput(_))));
+    }
+
+    #[test]
+    fn identical_mpas_rejected() {
+        let pts = [(0.3, 1.0e-8), (0.3, 1.1e-8), (0.3, 0.9e-8)];
+        assert!(SpiModel::fit(&pts).is_err());
+    }
+
+    #[test]
+    fn spi_and_ips_are_inverse() {
+        let m = SpiModel::new(2e-8, 1e-8).unwrap();
+        let mpa = 0.37;
+        assert!((m.spi(mpa) * m.ips(mpa) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_misses_never_faster() {
+        let m = SpiModel::new(2e-8, 1e-8).unwrap();
+        assert!(m.spi(0.8) >= m.spi(0.2));
+    }
+}

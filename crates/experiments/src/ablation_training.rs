@@ -1,0 +1,92 @@
+//! EXT-5: power-model training-corpus ablation.
+//!
+//! The §4.1 corpus has three ingredients: the 8 SPEC-like benchmarks, the
+//! custom microbenchmark, and the idle anchor (the microbenchmark's
+//! phase 1 in the paper). This ablation retrains the MVLR model with
+//! ingredients removed and validates every variant on the same held-out
+//! assignments — including unused-core scenarios, which are exactly where
+//! a poorly anchored intercept shows.
+
+use crate::harness::{self, RunScale};
+use cmpsim::machine::MachineConfig;
+use mathkit::stats;
+use mpmc_model::power::{build_training_set, CorePowerModel, PowerModel, TrainingOptions};
+use mpmc_model::ModelError;
+use workloads::spec::{SpecWorkload, WorkloadParams};
+
+fn variant(
+    machine: &MachineConfig,
+    suite: &[WorkloadParams],
+    base: &TrainingOptions,
+    microbench: bool,
+    idle: bool,
+) -> Result<PowerModel, ModelError> {
+    let opts = TrainingOptions { include_microbench: microbench, include_idle: idle, ..*base };
+    let obs = build_training_set(machine, suite, &opts)?;
+    PowerModel::fit_mvlr(&obs)
+}
+
+/// Entry point used by the `ablation_training` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::four_core_server();
+    let suite = SpecWorkload::table1_suite().to_vec();
+    let params: Vec<WorkloadParams> = suite.iter().map(|w| w.params()).collect();
+    let base = scale.training_options();
+
+    let variants = [
+        ("benchmarks only", false, false),
+        ("benchmarks + microbench", true, false),
+        ("benchmarks + microbench + idle", true, true),
+    ];
+
+    // Held-out validation: busy assignments and unused-core assignments.
+    let mut rng = harness::rng(scale.seed ^ 0xAB1A);
+    let busy = harness::random_one_per_core(8, suite.len(), &[0, 1, 2, 3], 4, &mut rng);
+    let sparse = harness::random_spread(8, suite.len(), 2, 1, 4, &mut rng); // 3 cores idle
+
+    let mut runs_busy = Vec::new();
+    for (i, pl) in busy.iter().enumerate() {
+        runs_busy.push(harness::run_assignment(&machine, &suite, pl, scale, 500 + i as u64)?);
+    }
+    let mut runs_sparse = Vec::new();
+    for (i, pl) in sparse.iter().enumerate() {
+        runs_sparse.push(harness::run_assignment(&machine, &suite, pl, scale, 800 + i as u64)?);
+    }
+
+    let title = "EXT-5: Power-Model Training-Corpus Ablation";
+    let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));
+    out.push_str(&format!(
+        "{:<34}{:>10}{:>16}{:>18}\n",
+        "training corpus", "intercept", "busy avg err %", "sparse avg err %"
+    ));
+    let truth_idle = machine.power.core_idle_w + machine.power.uncore_w / 4.0;
+    for (label, mb, idle) in variants {
+        let model = variant(&machine, &params, &base, mb, idle)?;
+        let eval = |runs: &[cmpsim::engine::SimResult]| -> f64 {
+            let mut errs = Vec::new();
+            for run in runs {
+                let (samples, _) = harness::power_validation_errors(&model, run);
+                errs.extend(samples);
+            }
+            stats::mean(&errs) * 100.0
+        };
+        out.push_str(&format!(
+            "{label:<34}{:>10.2}{:>16.2}{:>18.2}\n",
+            model.idle_core_watts(),
+            eval(&runs_busy),
+            eval(&runs_sparse)
+        ));
+    }
+    out.push_str(&format!(
+        "\n(ground-truth idle-core share: {truth_idle:.2} W)\n\
+         reading: the microbenchmark widens feature excitation (helps busy\n\
+         scenarios); the idle anchor pins the intercept, which dominates the\n\
+         sparse (mostly idle) scenarios — the paper's phase-1 idle recording\n\
+         is load-bearing, not ceremonial.\n"
+    ));
+    Ok(harness::save_report("ablation_training", out))
+}

@@ -1,0 +1,39 @@
+//! Runs every experiment in sequence, printing each report and saving it
+//! under `results/`.
+type Report = fn(&experiments::harness::RunScale) -> Result<String, mpmc_model::ModelError>;
+
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    let experiments: Vec<(&str, Report)> = vec![
+        ("table1", experiments::table1::report),
+        ("duo_validation", experiments::duo::report),
+        ("fig2", experiments::fig2::report),
+        ("table2", experiments::table2::report),
+        ("table3", experiments::table3::report),
+        ("table4", experiments::table4::report),
+        ("prefetch_study", experiments::prefetch::report),
+        ("mvlr_vs_nn", experiments::mvlr_nn::report),
+        ("context_switch_study", experiments::ctxsw::report),
+        ("phase_study", experiments::phase_study::report),
+        ("partition_study", experiments::partition_study::report),
+        ("ablation_profiling", experiments::ablation_profiling::report),
+        ("ablation_training", experiments::ablation_training::report),
+        ("weighted_sharing", experiments::weighted_sharing::report),
+        ("portability_study", experiments::portability_study::report),
+        ("scheduler_study", experiments::scheduler_study::report),
+    ];
+    let mut failures = 0;
+    for (name, run) in experiments {
+        eprintln!(">>> running {name} ...");
+        match run(&scale) {
+            Ok(report) => println!("{report}\n"),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

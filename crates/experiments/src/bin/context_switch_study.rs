@@ -1,0 +1,10 @@
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    match experiments::ctxsw::report(&scale) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("context_switch_study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

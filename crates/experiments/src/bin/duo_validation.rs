@@ -1,0 +1,10 @@
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    match experiments::duo::report(&scale) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("duo_validation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    match experiments::fig2::report(&scale) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("fig2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    match experiments::mvlr_nn::report(&scale) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("mvlr_vs_nn failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    match experiments::prefetch::report(&scale) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("prefetch_study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

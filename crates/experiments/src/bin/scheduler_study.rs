@@ -1,0 +1,10 @@
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    match experiments::scheduler_study::report(&scale) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("scheduler_study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

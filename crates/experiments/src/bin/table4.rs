@@ -1,0 +1,10 @@
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    match experiments::table4::report(&scale) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("table4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

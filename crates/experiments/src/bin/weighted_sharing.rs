@@ -1,0 +1,10 @@
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    match experiments::weighted_sharing::report(&scale) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("weighted_sharing failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! §6.2 second validation: the performance model on the Core2 Duo
+//! P6800-like machine (3 MB 12-way L2), 55 combinations of 10 benchmarks.
+//!
+//! Paper reference value: average SPI estimation error 1.57 %.
+
+use crate::harness::{self, RunScale};
+use crate::table1;
+use cmpsim::machine::MachineConfig;
+use mpmc_model::ModelError;
+use workloads::spec::SpecWorkload;
+
+/// Entry point used by the `duo_validation` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::duo_laptop();
+    let suite = SpecWorkload::duo_suite().to_vec();
+    let t = table1::run_pairwise(&machine, &suite, scale)?;
+    let (mpa, _, spi, spi5) = t.overall();
+    let mut out = table1::render(
+        &t,
+        "S6.2 duo validation: Performance Model on the P6800-like duo laptop",
+    );
+    out.push_str(&format!(
+        "\n55 pair combinations of 10 benchmarks\npaper: avg SPI error 1.57%\nours:  avg SPI error {}% (MPA {}%, SPI >5% rate {}%)\n",
+        harness::pct(spi),
+        harness::pct(mpa),
+        harness::pct(spi5),
+    ));
+    Ok(harness::save_report("duo_validation", out))
+}

@@ -1,0 +1,106 @@
+//! Figure 2: sample-based power traces on the 4-core server.
+//!
+//! Among a pool of random 1-proc/core assignments, the paper plots the
+//! assignments with the maximum and the minimum average power, comparing
+//! the model's per-sample estimates against the measured trace. Reference
+//! values: average estimation errors 2.46 % (max-power scenario) and
+//! 2.51 % (min-power scenario).
+
+use crate::harness::{self, IndexPlacement, RunScale};
+use cmpsim::engine::SimResult;
+use cmpsim::hpc::EventRates;
+use cmpsim::machine::MachineConfig;
+use mathkit::stats;
+use mpmc_model::power::{CorePowerModel, PowerModel};
+use mpmc_model::ModelError;
+use workloads::spec::SpecWorkload;
+
+/// One rendered trace: estimated vs measured processor power over time.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Scenario label.
+    pub label: String,
+    /// The assignment (suite indices per core).
+    pub placement: IndexPlacement,
+    /// `(t_seconds, estimated_w, measured_w)` per sampling period.
+    pub series: Vec<(f64, f64, f64)>,
+    /// Mean per-sample relative error.
+    pub avg_err: f64,
+}
+
+fn trace(model: &PowerModel, run: &SimResult, label: &str, pl: &IndexPlacement) -> Trace {
+    let mut series = Vec::new();
+    let mut errs = Vec::new();
+    for s in run.settled_power() {
+        let rates: Vec<EventRates> = run.core_samples.iter().map(|cs| cs[s.period]).collect();
+        let est = model.predict_processor(&rates);
+        series.push((s.t_start, est, s.measured_watts));
+        errs.push((est - s.measured_watts).abs() / s.measured_watts);
+    }
+    Trace { label: label.into(), placement: pl.clone(), series, avg_err: stats::mean(&errs) }
+}
+
+/// Entry point used by the `fig2` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::four_core_server();
+    let suite = SpecWorkload::table1_suite().to_vec();
+    let model = harness::train_power_model(&machine, scale)?;
+    let mut rng = harness::rng(scale.seed ^ 0xF162);
+
+    // Pool of candidate assignments; pick the max/min average power.
+    let pool = harness::random_one_per_core(12, suite.len(), &[0, 1, 2, 3], 4, &mut rng);
+    let mut runs = Vec::new();
+    for (i, pl) in pool.iter().enumerate() {
+        let run = harness::run_assignment(&machine, &suite, pl, scale, 400 + i as u64)?;
+        runs.push((pl.clone(), run));
+    }
+    let (max_pl, max_run) = runs
+        .iter()
+        .max_by(|a, b| {
+            a.1.avg_measured_power().partial_cmp(&b.1.avg_measured_power()).expect("finite")
+        })
+        .expect("non-empty pool");
+    let (min_pl, min_run) = runs
+        .iter()
+        .min_by(|a, b| {
+            a.1.avg_measured_power().partial_cmp(&b.1.avg_measured_power()).expect("finite")
+        })
+        .expect("non-empty pool");
+
+    let tmax = trace(&model, max_run, "maximum-power assignment", max_pl);
+    let tmin = trace(&model, min_run, "minimum-power assignment", min_pl);
+
+    let mut out = String::new();
+    let title = "Figure 2: Power Model Validation Traces (4-core server)";
+    out.push_str(&format!("{title}\n{}\n", "=".repeat(title.len())));
+    for t in [&tmax, &tmin] {
+        let names: Vec<String> = t
+            .placement
+            .iter()
+            .enumerate()
+            .map(|(c, idxs)| {
+                let ws: Vec<&str> = idxs.iter().map(|&i| suite[i].name()).collect();
+                format!("core{c}: {}", if ws.is_empty() { "idle".into() } else { ws.join("+") })
+            })
+            .collect();
+        out.push_str(&format!("\n{} [{}]\n", t.label, names.join(", ")));
+        out.push_str(&format!("{:>8}{:>12}{:>12}{:>9}\n", "t (s)", "est (W)", "meas (W)", "err %"));
+        for &(t_s, est, meas) in &t.series {
+            out.push_str(&format!(
+                "{t_s:>8.3}{est:>12.2}{meas:>12.2}{:>9.2}\n",
+                (est - meas).abs() / meas * 100.0
+            ));
+        }
+        out.push_str(&format!("avg error: {:.2}%\n", t.avg_err * 100.0));
+    }
+    out.push_str(&format!(
+        "\npaper: avg errors 2.46% (max-power) and 2.51% (min-power)\nours:  {:.2}% and {:.2}%\n",
+        tmax.avg_err * 100.0,
+        tmin.avg_err * 100.0
+    ));
+    Ok(harness::save_report("fig2", out))
+}

@@ -1,0 +1,25 @@
+//! Experiment harness for the DAC 2010 reproduction: one module (and one
+//! binary) per table/figure of the paper's evaluation, plus the inline
+//! studies. See `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for recorded paper-vs-measured results.
+//!
+//! Every binary accepts `--fast` for a reduced-fidelity smoke run.
+
+pub mod ablation_profiling;
+pub mod ablation_training;
+pub mod ctxsw;
+pub mod duo;
+pub mod fig2;
+pub mod harness;
+pub mod mvlr_nn;
+pub mod partition_study;
+pub mod phase_study;
+pub mod portability_study;
+pub mod powerval;
+pub mod scheduler_study;
+pub mod prefetch;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod weighted_sharing;

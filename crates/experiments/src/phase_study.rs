@@ -1,0 +1,226 @@
+//! EXT-1: violating the single-phase assumption (§3.1, assumption 2).
+//!
+//! A two-phase process alternates between a cache-friendly phase and a
+//! memory-hog phase with disjoint working sets. Three modeling strategies
+//! are compared against the measured co-run with a steady partner:
+//!
+//! 1. **single-profile** — one time-averaged (mixture) profile for the
+//!    whole process;
+//! 2. **per-phase** — the paper's remedy for non-repeating phases:
+//!    profile each phase separately, predict each phase's co-run
+//!    equilibrium, and compose SPI by instruction-weighted averaging;
+//! 3. **oracle** — per-phase prediction using ground-truth feature
+//!    vectors (bounds how much of the error is the model's).
+//!
+//! The experiment sweeps the phase length, because the right strategy
+//! depends on the phase timescale: phases that alternate much faster
+//! than the cache equilibrates time-average into the mixture behaviour
+//! (the single profile is then the *correct* model), while long phases
+//! behave like the paper's "non-repeating" case where per-phase modeling
+//! is required.
+
+use crate::harness::{self, RunScale};
+use cmpsim::engine::{simulate, Placement, SimOptions};
+use cmpsim::machine::MachineConfig;
+use cmpsim::process::ProcessSpec;
+use mpmc_model::feature::FeatureVector;
+use mpmc_model::perf::PerformanceModel;
+use mpmc_model::profile::Profiler;
+use mpmc_model::ModelError;
+use workloads::phased::{Phase, PhasedGenerator};
+use workloads::spec::{SpecWorkload, WorkloadParams};
+
+/// The two phase-length regimes: rapidly repeating (time-averaging) and
+/// long quasi-non-repeating phases.
+const SHORT_PHASE_INSTRUCTIONS: u64 = 2_000_000;
+const LONG_PHASE_INSTRUCTIONS: u64 = 100_000_000;
+
+fn phases() -> Vec<(&'static str, WorkloadParams)> {
+    vec![
+        ("phaseA(gzip-like)", SpecWorkload::Gzip.params()),
+        ("phaseB(mcf-like)", SpecWorkload::Mcf.params()),
+    ]
+}
+
+fn phased_spec(machine: &MachineConfig, region: u64, phase_instructions: u64) -> ProcessSpec {
+    let ph: Vec<Phase> =
+        phases().iter().map(|(_, p)| Phase::from_params(p, phase_instructions)).collect();
+    ProcessSpec::new(
+        "phased",
+        Box::new(PhasedGenerator::new("phased", ph, machine.l2_sets, region)),
+    )
+}
+
+/// A [`WorkloadParams`]-alike wrapper so the profiler can co-run the
+/// phased process with the stressmark: we cannot reuse `WorkloadParams`
+/// (it is single-phase by construction), so the measurement is done
+/// manually here with the same co-run methodology.
+fn measure_phased_pair(
+    machine: &MachineConfig,
+    partner: &WorkloadParams,
+    scale: &RunScale,
+    salt: u64,
+    phase_instructions: u64,
+    duration_s: f64,
+) -> Result<(f64, f64), ModelError> {
+    let mut pl = Placement::idle(machine.num_cores());
+    pl.assign(0, phased_spec(machine, 1, phase_instructions));
+    pl.assign(
+        1,
+        ProcessSpec::new(partner.name, Box::new(partner.generator(machine.l2_sets, 10))),
+    );
+    let run = simulate(
+        machine,
+        pl,
+        SimOptions {
+            duration_s,
+            warmup_s: scale.share_warmup_s,
+            seed: scale.seed.wrapping_add(salt),
+            ..Default::default()
+        },
+    )?;
+    Ok((run.processes[0].spi(), run.processes[0].mpa()))
+}
+
+/// Entry point used by the `phase_study` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::four_core_server();
+    let model = PerformanceModel::new(machine.l2_assoc());
+    let profiler = Profiler::new(machine.clone()).with_options(scale.profile_options());
+
+    // Strategy 1: profile the phased process as if single-phased. The
+    // profiler API takes WorkloadParams, so we profile via manual co-runs
+    // would be involved; instead we exploit that the profiler only needs
+    // the generator — approximate the "single profile" by profiling a
+    // synthetic single-phase workload whose histogram is the
+    // instruction-weighted mixture the profiler would observe. That is
+    // exactly what stressmark profiling of the alternating process
+    // converges to over many phase cycles.
+    let mix_params = mixture_params();
+    let single_fv = profiler.profile(&mix_params)?;
+
+    // Strategy 2: per-phase profiles.
+    let phase_fvs: Vec<FeatureVector> = phases()
+        .iter()
+        .map(|(name, p)| {
+            let wp = WorkloadParams { name, pattern: p.pattern.clone(), mix: p.mix };
+            profiler.profile(&wp)
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Strategy 3: ground-truth per-phase feature vectors.
+    let phase_truth: Vec<FeatureVector> = phases()
+        .iter()
+        .map(|(_, p)| FeatureVector::from_workload(p, &machine))
+        .collect::<Result<_, _>>()?;
+
+    let partners = [SpecWorkload::Art, SpecWorkload::Twolf, SpecWorkload::Vpr];
+    let title = "EXT-1: Violating the Single-Phase Assumption";
+    let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));
+    out.push_str(&format!("phased process: {} <-> {}\n", phases()[0].0, phases()[1].0));
+
+    let regimes = [
+        ("rapidly repeating", SHORT_PHASE_INSTRUCTIONS, scale.share_duration_s),
+        ("long (quasi-non-repeating)", LONG_PHASE_INSTRUCTIONS, scale.share_duration_s * 2.5),
+    ];
+    for (ri, &(regime, phase_instr, duration)) in regimes.iter().enumerate() {
+        out.push_str(&format!("\n--- {regime} phases ({phase_instr} instr/phase) ---\n"));
+        out.push_str(&format!(
+            "{:<10}{:>14}{:>18}{:>18}{:>18}\n",
+            "partner", "measured SPI", "single-prof err%", "per-phase err%", "oracle err%"
+        ));
+        let mut errs = [Vec::new(), Vec::new(), Vec::new()];
+        for (i, partner) in partners.iter().enumerate() {
+            let partner_params = partner.params();
+            let partner_fv = profiler.profile(&partner_params)?;
+            let (spi_meas, _) = measure_phased_pair(
+                &machine,
+                &partner_params,
+                scale,
+                (ri * 10 + i) as u64,
+                phase_instr,
+                duration,
+            )?;
+
+            // Strategy 1 prediction: the mixture profile.
+            let pred1 = model.predict(&[&single_fv, &partner_fv])?;
+            // Strategies 2 and 3: predict each phase against the partner,
+            // compose by instruction weights (equal here).
+            let compose = |fvs: &[FeatureVector]| -> Result<f64, ModelError> {
+                let mut spi_sum = 0.0;
+                for fv in fvs {
+                    let pred = model.predict(&[fv, &partner_fv])?;
+                    spi_sum += pred[0].spi;
+                }
+                Ok(spi_sum / fvs.len() as f64)
+            };
+            let spi2 = compose(&phase_fvs)?;
+            let spi3 = compose(&phase_truth)?;
+
+            let e1 = (pred1[0].spi - spi_meas).abs() / spi_meas;
+            let e2 = (spi2 - spi_meas).abs() / spi_meas;
+            let e3 = (spi3 - spi_meas).abs() / spi_meas;
+            errs[0].push(e1);
+            errs[1].push(e2);
+            errs[2].push(e3);
+            out.push_str(&format!(
+                "{:<10}{:>14.3e}{:>18.2}{:>18.2}{:>18.2}\n",
+                partner.name(),
+                spi_meas,
+                e1 * 100.0,
+                e2 * 100.0,
+                e3 * 100.0
+            ));
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+        out.push_str(&format!(
+            "averages: single-profile {:.2}%, per-phase {:.2}%, oracle per-phase {:.2}%\n",
+            avg(&errs[0]),
+            avg(&errs[1]),
+            avg(&errs[2])
+        ));
+    }
+    out.push_str(
+        "\npaper S3.1: \"non-repeating phases should be modeled separately\".\n\
+         Expected shape: with rapidly repeating phases the system time-averages\n\
+         and the mixture profile is the better model; with long phases the\n\
+         per-phase composition wins - the regime split the paper's wording\n\
+         implies.\n",
+    );
+    Ok(harness::save_report("phase_study", out))
+}
+
+/// The instruction-weighted mixture of the two phases, used as the
+/// "single profile" strategy's workload description.
+fn mixture_params() -> WorkloadParams {
+    let ps = phases();
+    let (a, b) = (&ps[0].1, &ps[1].1);
+    // Equal instruction weights, but accesses weight by API: the observed
+    // access stream mixes in proportion to each phase's APS share.
+    let wa = a.mix.api;
+    let wb = b.mix.api;
+    let total = wa + wb;
+    let (wa, wb) = (wa / total, wb / total);
+    let depth = a.pattern.dist.len().max(b.pattern.dist.len());
+    let mut dist = vec![0.0; depth];
+    for (i, slot) in dist.iter_mut().enumerate() {
+        let da = a.pattern.dist.get(i).copied().unwrap_or(0.0);
+        let db = b.pattern.dist.get(i).copied().unwrap_or(0.0);
+        *slot = wa * da + wb * db;
+    }
+    let p_new = wa * a.pattern.p_new + wb * b.pattern.p_new;
+    WorkloadParams {
+        name: "phased-mixture",
+        pattern: workloads::generator::AccessPattern::from_weights(&dist, p_new),
+        mix: workloads::generator::InstructionMix {
+            api: (a.mix.api + b.mix.api) / 2.0,
+            l1rpi: (a.mix.l1rpi + b.mix.l1rpi) / 2.0,
+            brpi: (a.mix.brpi + b.mix.brpi) / 2.0,
+            fppi: (a.mix.fppi + b.mix.fppi) / 2.0,
+        },
+    }
+}

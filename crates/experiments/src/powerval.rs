@@ -1,0 +1,106 @@
+//! Shared §6.3 power-model validation logic for Tables 2 and 3.
+//!
+//! For each random assignment: run it, apply the fitted MVLR model to the
+//! HPC rates measured in every sampling period, and compare against the
+//! (noisy, clamp-measured) power. Two error views, as in the paper's
+//! tables: per-sample errors and average-power errors.
+
+use crate::harness::{self, IndexPlacement, RunScale};
+use cmpsim::machine::MachineConfig;
+use mathkit::stats;
+use mpmc_model::power::PowerModel;
+use mpmc_model::ModelError;
+use workloads::spec::SpecWorkload;
+
+/// One scenario row of a power validation table.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario label (e.g. "1 proc./core").
+    pub label: String,
+    /// Number of assignments evaluated.
+    pub assignments: usize,
+    /// Mean per-sample relative error across all samples of all runs.
+    pub sample_avg: f64,
+    /// Maximum per-sample relative error.
+    pub sample_max: f64,
+    /// Mean average-power relative error across assignments.
+    pub avg_avg: f64,
+    /// Maximum average-power relative error.
+    pub avg_max: f64,
+}
+
+/// Runs one scenario (a set of assignments) against a trained model.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_scenario(
+    machine: &MachineConfig,
+    suite: &[SpecWorkload],
+    model: &PowerModel,
+    label: &str,
+    placements: &[IndexPlacement],
+    scale: &RunScale,
+    salt_base: u64,
+) -> Result<ScenarioResult, ModelError> {
+    let mut sample_errors: Vec<f64> = Vec::new();
+    let mut avg_errors: Vec<f64> = Vec::new();
+    for (i, pl) in placements.iter().enumerate() {
+        let run = harness::run_assignment(machine, suite, pl, scale, salt_base + i as u64)?;
+        let (samples, avg) = harness::power_validation_errors(model, &run);
+        sample_errors.extend(samples);
+        avg_errors.push(avg);
+    }
+    Ok(ScenarioResult {
+        label: label.to_string(),
+        assignments: placements.len(),
+        sample_avg: stats::mean(&sample_errors),
+        sample_max: stats::max(&sample_errors),
+        avg_avg: stats::mean(&avg_errors),
+        avg_max: stats::max(&avg_errors),
+    })
+}
+
+/// Renders scenario rows in the paper's table layout.
+pub fn render(title: &str, rows: &[ScenarioResult], paper_note: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n{}\n", "=".repeat(title.len())));
+    out.push_str(&format!(
+        "{:<28}{:>8}{:>22}{:>22}\n",
+        "Scenario", "#assign", "sample avg/max (%)", "avg-power avg/max (%)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28}{:>8}{:>14.2} /{:>5.2}{:>14.2} /{:>5.2}\n",
+            r.label,
+            r.assignments,
+            r.sample_avg * 100.0,
+            r.sample_max * 100.0,
+            r.avg_avg * 100.0,
+            r.avg_max * 100.0,
+        ));
+    }
+    out.push_str(&format!("\n{paper_note}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_rows() {
+        let rows = vec![ScenarioResult {
+            label: "1 proc./core".into(),
+            assignments: 3,
+            sample_avg: 0.05,
+            sample_max: 0.14,
+            avg_avg: 0.03,
+            avg_max: 0.13,
+        }];
+        let s = render("T", &rows, "paper: ...");
+        assert!(s.contains("1 proc./core"));
+        assert!(s.contains("5.00"));
+        assert!(s.contains("14.00"));
+    }
+}

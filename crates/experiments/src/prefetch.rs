@@ -1,0 +1,105 @@
+//! §3.1 inline study: the performance impact of hardware prefetching.
+//!
+//! The paper justifies its no-prefetching assumption by measuring 10 SPEC
+//! benchmarks with and without hardware prefetching: the average speedup
+//! was 3.25 %, and "only equake benefitted significantly". Each workload
+//! runs alone with the next-line prefetcher off and on; speedup is the
+//! SPI ratio.
+
+use crate::harness::{self, RunScale};
+use cmpsim::engine::{simulate, Placement, SimOptions};
+use cmpsim::machine::MachineConfig;
+use cmpsim::prefetch::PrefetchConfig;
+use cmpsim::process::ProcessSpec;
+use mathkit::stats;
+use mpmc_model::ModelError;
+use workloads::spec::SpecWorkload;
+
+/// Per-workload study outcome.
+#[derive(Debug, Clone)]
+pub struct PrefetchCase {
+    /// Workload name.
+    pub name: &'static str,
+    /// SPI without prefetching.
+    pub spi_off: f64,
+    /// SPI with prefetching.
+    pub spi_on: f64,
+}
+
+impl PrefetchCase {
+    /// Fractional speedup from prefetching (positive = faster).
+    pub fn speedup(&self) -> f64 {
+        self.spi_off / self.spi_on - 1.0
+    }
+}
+
+fn run_once(
+    machine: &MachineConfig,
+    w: SpecWorkload,
+    prefetch: Option<PrefetchConfig>,
+    scale: &RunScale,
+    salt: u64,
+) -> Result<f64, ModelError> {
+    let params = w.params();
+    let mut pl = Placement::idle(machine.num_cores());
+    pl.assign(
+        0,
+        ProcessSpec::new(params.name, Box::new(params.generator(machine.l2_sets, 1))),
+    );
+    let run = simulate(
+        machine,
+        pl,
+        SimOptions {
+            duration_s: scale.run_duration_s,
+            warmup_s: scale.run_warmup_s,
+            seed: scale.seed.wrapping_add(salt),
+            prefetch,
+            ..Default::default()
+        },
+    )?;
+    Ok(run.processes[0].spi())
+}
+
+/// Entry point used by the `prefetch_study` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::four_core_server();
+    let mut cases = Vec::new();
+    for (i, w) in SpecWorkload::duo_suite().iter().enumerate() {
+        let spi_off = run_once(&machine, *w, None, scale, i as u64)?;
+        let spi_on =
+            run_once(&machine, *w, Some(PrefetchConfig::default()), scale, i as u64)?;
+        cases.push(PrefetchCase { name: w.name(), spi_off, spi_on });
+    }
+
+    let speedups: Vec<f64> = cases.iter().map(PrefetchCase::speedup).collect();
+    let avg = stats::mean(&speedups);
+    let title = "S3.1 study: Performance Impact of Hardware Prefetching";
+    let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));
+    out.push_str(&format!("{:<10}{:>14}{:>14}{:>12}\n", "Benchmark", "SPI off", "SPI on", "speedup %"));
+    for c in &cases {
+        out.push_str(&format!(
+            "{:<10}{:>14.3e}{:>14.3e}{:>12.2}\n",
+            c.name,
+            c.spi_off,
+            c.spi_on,
+            c.speedup() * 100.0
+        ));
+    }
+    let equake = cases.iter().find(|c| c.name == "equake").expect("equake in suite");
+    let best_other = cases
+        .iter()
+        .filter(|c| c.name != "equake")
+        .map(|c| c.speedup())
+        .fold(f64::NEG_INFINITY, f64::max);
+    out.push_str(&format!(
+        "\npaper: average improvement 3.25%, only equake significant\nours:  average {:.2}%, equake {:.2}%, best non-equake {:.2}%\n",
+        avg * 100.0,
+        equake.speedup() * 100.0,
+        best_other * 100.0
+    ));
+    Ok(harness::save_report("prefetch_study", out))
+}

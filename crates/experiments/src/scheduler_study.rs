@@ -1,0 +1,235 @@
+//! EXT-9: the paper's motivating application — power-aware process
+//! assignment.
+//!
+//! §5 argues that accurate assignment-time power estimates enable a
+//! scheduler to "choose the one that optimizes power or energy usage".
+//! This study plays that scheduler: processes arrive one at a time, and
+//! each placement policy picks a core for the arrival:
+//!
+//! - **model-greedy** — the Fig. 1 estimator evaluates every core and
+//!   takes the cheapest in watts (the paper's power objective);
+//! - **model-epi** — minimizes *estimated energy per instruction*
+//!   (power / predicted aggregate throughput), the "or energy usage"
+//!   variant the paper mentions;
+//! - **round-robin** — cores in arrival order (the baseline an OS gives);
+//! - **worst-case** — the model's *most* expensive core (bounds the
+//!   decision space).
+//!
+//! After all arrivals, each policy's final assignment runs on the
+//! simulator. Reported per policy: measured processor power, aggregate
+//! throughput, and energy per instruction (EPI) — the last is the honest
+//! figure of merit, because packing processes onto shared caches can
+//! lower *power* while destroying throughput.
+
+use crate::harness::{self, IndexPlacement, RunScale};
+use cmpsim::machine::MachineConfig;
+use mathkit::stats;
+use mpmc_model::assignment::{Assignment, CombinedModel};
+use mpmc_model::profile::ProcessProfile;
+use mpmc_model::ModelError;
+use workloads::spec::SpecWorkload;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    ModelGreedy,
+    ModelEpi,
+    RoundRobin,
+    WorstCase,
+}
+
+impl Policy {
+    fn name(&self) -> &'static str {
+        match self {
+            Policy::ModelGreedy => "model-greedy",
+            Policy::ModelEpi => "model-epi",
+            Policy::RoundRobin => "round-robin",
+            Policy::WorstCase => "model-worst",
+        }
+    }
+}
+
+/// Predicted aggregate wall-clock throughput (instructions/s) of an
+/// assignment: per die, the Eq. 10 combination average of the summed
+/// instantaneous rates `1/SPI_i` of the simultaneously running processes.
+fn estimate_throughput(
+    machine: &MachineConfig,
+    profiles: &[ProcessProfile],
+    asg: &Assignment,
+) -> Result<f64, ModelError> {
+    use mpmc_model::perf::PerformanceModel;
+    use mpmc_model::sharing::combination_average;
+    let perf = PerformanceModel::new(machine.l2_assoc());
+    let mut total = 0.0;
+    for die in 0..machine.dies {
+        let cores = machine.cores_of(cmpsim::types::DieId(die as u32));
+        let queues: Vec<&[usize]> =
+            cores.iter().map(|c| asg.processes_on(c.0 as usize)).collect();
+        let sizes: Vec<usize> = queues.iter().map(|q| q.len()).collect();
+        if sizes.iter().all(|&s| s == 0) {
+            continue;
+        }
+        let mut err: Option<ModelError> = None;
+        let avg = combination_average(&sizes, |combo| {
+            if err.is_some() {
+                return 0.0;
+            }
+            let running: Vec<&mpmc_model::feature::FeatureVector> = queues
+                .iter()
+                .zip(combo)
+                .filter(|&(_, &pick)| pick != usize::MAX)
+                .map(|(&q, &pick)| &profiles[q[pick]].feature)
+                .collect();
+            match perf.solve(&running) {
+                Ok(eq) => eq.spis.iter().map(|s| 1.0 / s).sum(),
+                Err(e) => {
+                    err = Some(e);
+                    0.0
+                }
+            }
+        })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        total += avg;
+    }
+    Ok(total)
+}
+
+fn place(
+    policy: Policy,
+    arrivals: &[usize],
+    profiles: &[ProcessProfile],
+    combined: &CombinedModel<'_, mpmc_model::power::PowerModel>,
+    machine: &MachineConfig,
+) -> Result<Assignment, ModelError> {
+    let num_cores = machine.num_cores();
+    let mut asg = Assignment::new(num_cores);
+    for (k, &proc_idx) in arrivals.iter().enumerate() {
+        let core = match policy {
+            Policy::RoundRobin => k % num_cores,
+            Policy::ModelGreedy | Policy::WorstCase | Policy::ModelEpi => {
+                let mut best = (0usize, f64::INFINITY);
+                let mut worst = (0usize, f64::NEG_INFINITY);
+                for core in 0..num_cores {
+                    let watts = combined.estimate_after_assigning(profiles, &asg, proc_idx, core)?;
+                    let objective = if policy == Policy::ModelEpi {
+                        let next = asg.with_assigned(core, proc_idx);
+                        let ips = estimate_throughput(machine, profiles, &next)?;
+                        watts / ips.max(1.0)
+                    } else {
+                        watts
+                    };
+                    if objective < best.1 {
+                        best = (core, objective);
+                    }
+                    if objective > worst.1 {
+                        worst = (core, objective);
+                    }
+                }
+                if policy == Policy::WorstCase {
+                    worst.0
+                } else {
+                    best.0
+                }
+            }
+        };
+        asg.assign(core, proc_idx);
+    }
+    Ok(asg)
+}
+
+fn to_placement(asg: &Assignment) -> IndexPlacement {
+    (0..asg.num_cores()).map(|c| asg.processes_on(c).to_vec()).collect()
+}
+
+/// Entry point used by the `scheduler_study` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::four_core_server();
+    let suite = SpecWorkload::table1_suite().to_vec();
+    let profiles = harness::profile_suite(&machine, &suite, scale)?;
+    let power = harness::train_power_model(&machine, scale)?;
+    let combined = CombinedModel::new(&machine, &power);
+
+    let mut rng = harness::rng(scale.seed ^ 0x5C8E);
+    let episodes: Vec<Vec<usize>> = (0..4)
+        .map(|_| {
+            use rand::Rng;
+            // Six arrivals on four cores: the last two placements force
+            // pairing decisions, which is where policies diverge.
+            (0..6).map(|_| rng.gen_range(0..suite.len())).collect()
+        })
+        .collect();
+
+    let policies =
+        [Policy::ModelGreedy, Policy::ModelEpi, Policy::RoundRobin, Policy::WorstCase];
+    let title = "EXT-9: Power-Aware Assignment (the S5 application)";
+    let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));
+    out.push_str(&format!(
+        "{:<10}{:<14}{:>12}{:>14}{:>16}\n",
+        "episode", "policy", "power (W)", "IPS (sum)", "EPI (nJ/instr)"
+    ));
+
+    let mut power_by_policy = vec![Vec::new(); policies.len()];
+    let mut epi_by_policy = vec![Vec::new(); policies.len()];
+    for (e, arrivals) in episodes.iter().enumerate() {
+        let names: Vec<&str> = arrivals.iter().map(|&i| suite[i].name()).collect();
+        out.push_str(&format!("arrivals: {}\n", names.join(", ")));
+        for (pi, &policy) in policies.iter().enumerate() {
+            let asg = place(policy, arrivals, &profiles, &combined, &machine)?;
+            let run = harness::run_assignment(
+                &machine,
+                &suite,
+                &to_placement(&asg),
+                scale,
+                (e * 10 + pi) as u64 + 70_000,
+            )?;
+            let watts = run.avg_measured_power();
+            // Wall-clock aggregate throughput: instructions retired per
+            // second of the post-warmup window (time-shared processes are
+            // only scheduled part of the time, so dividing by *active*
+            // seconds would overstate a packed placement 4x).
+            let wall_s = run.settled_power().len() as f64 * run.sample_period_s;
+            let ips: f64 = run
+                .processes
+                .iter()
+                .map(|p| p.counters.instructions as f64 / wall_s.max(1e-9))
+                .sum();
+            let epi_nj = watts / ips * 1e9;
+            power_by_policy[pi].push(watts);
+            epi_by_policy[pi].push(epi_nj);
+            out.push_str(&format!(
+                "{:<10}{:<14}{:>12.2}{:>14.3e}{:>16.2}\n",
+                format!("  #{e}"),
+                policy.name(),
+                watts,
+                ips,
+                epi_nj
+            ));
+        }
+    }
+
+    out.push_str("\npolicy averages:\n");
+    for (pi, &policy) in policies.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:<14} power {:.2} W, EPI {:.2} nJ/instr\n",
+            policy.name(),
+            stats::mean(&power_by_policy[pi]),
+            stats::mean(&epi_by_policy[pi])
+        ));
+    }
+    let greedy_w = stats::mean(&power_by_policy[0]);
+    let rr_w = stats::mean(&power_by_policy[2]);
+    let epi_epi = stats::mean(&epi_by_policy[1]);
+    let rr_epi = stats::mean(&epi_by_policy[2]);
+    out.push_str(&format!(
+        "\nmodel-greedy saves {:.2} W vs round-robin by packing (at a throughput\ncost the EPI column exposes); model-epi optimizes energy per instruction\ninstead, landing {:.1}% {} round-robin's EPI by choosing which processes\nshare a cache. All decisions were made from profiling data alone — the\npaper's closing claim.\n",
+        rr_w - greedy_w,
+        ((rr_epi - epi_epi) / rr_epi * 100.0).abs(),
+        if epi_epi <= rr_epi { "below" } else { "above" }
+    ));
+    Ok(harness::save_report("scheduler_study", out))
+}

@@ -1,0 +1,187 @@
+//! Table 1: performance model validation on the 4-core server.
+//!
+//! All 36 unordered pairs of the 8-benchmark suite run on two
+//! cache-sharing cores; the model predicts each process's MPA and SPI
+//! from the stressmark-derived feature vectors, and the predictions are
+//! compared against the simulator's measurements.
+//!
+//! Paper reference values: average absolute MPA error 1.76 %, average
+//! relative SPI error 3.38 %, 21.9 % of SPI cases above 5 %.
+
+use crate::harness::{self, RunScale};
+use cmpsim::machine::MachineConfig;
+use mpmc_model::feature::FeatureVector;
+use mpmc_model::perf::PerformanceModel;
+use mpmc_model::ModelError;
+use workloads::spec::SpecWorkload;
+
+/// One validation case: a benchmark co-running with a partner.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Benchmark under observation.
+    pub bench: SpecWorkload,
+    /// Its co-runner.
+    pub partner: SpecWorkload,
+    /// Absolute MPA error (fraction, e.g. 0.0176 for 1.76 points).
+    pub mpa_abs_err: f64,
+    /// Relative SPI error (fraction).
+    pub spi_rel_err: f64,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Every (benchmark, partner) case.
+    pub cases: Vec<Case>,
+    /// Suite order used for per-benchmark columns.
+    pub suite: Vec<SpecWorkload>,
+}
+
+impl Table1 {
+    /// Per-benchmark mean absolute MPA error.
+    pub fn mpa_avg(&self, w: SpecWorkload) -> f64 {
+        mean(self.cases.iter().filter(|c| c.bench == w).map(|c| c.mpa_abs_err))
+    }
+
+    /// Per-benchmark mean relative SPI error.
+    pub fn spi_avg(&self, w: SpecWorkload) -> f64 {
+        mean(self.cases.iter().filter(|c| c.bench == w).map(|c| c.spi_rel_err))
+    }
+
+    /// Fraction of a benchmark's cases whose MPA error exceeds 5 points.
+    pub fn mpa_gt5(&self, w: SpecWorkload) -> f64 {
+        frac_gt5(self.cases.iter().filter(|c| c.bench == w).map(|c| c.mpa_abs_err))
+    }
+
+    /// Fraction of a benchmark's cases whose SPI error exceeds 5 %.
+    pub fn spi_gt5(&self, w: SpecWorkload) -> f64 {
+        frac_gt5(self.cases.iter().filter(|c| c.bench == w).map(|c| c.spi_rel_err))
+    }
+
+    /// Suite-wide averages: `(mpa_avg, mpa_gt5, spi_avg, spi_gt5)`.
+    pub fn overall(&self) -> (f64, f64, f64, f64) {
+        (
+            mean(self.cases.iter().map(|c| c.mpa_abs_err)),
+            frac_gt5(self.cases.iter().map(|c| c.mpa_abs_err)),
+            mean(self.cases.iter().map(|c| c.spi_rel_err)),
+            frac_gt5(self.cases.iter().map(|c| c.spi_rel_err)),
+        )
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = it.collect();
+    mathkit::stats::mean(&v)
+}
+
+fn frac_gt5(it: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = it.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().filter(|&&e| e > 0.05).count() as f64 / v.len() as f64
+}
+
+/// Runs the pairwise validation for `suite` on `machine` (shared by
+/// Table 1 and the §6.2 duo study).
+///
+/// # Errors
+///
+/// Propagates profiling, simulation, and solver errors.
+pub fn run_pairwise(
+    machine: &MachineConfig,
+    suite: &[SpecWorkload],
+    scale: &RunScale,
+) -> Result<Table1, ModelError> {
+    // Profile every benchmark once (the O(k) step).
+    let profiler = mpmc_model::profile::Profiler::new(machine.clone())
+        .with_options(scale.profile_options());
+    let mut features: Vec<FeatureVector> = Vec::new();
+    for w in suite {
+        features.push(profiler.profile(&w.params())?);
+    }
+    let model = PerformanceModel::new(machine.l2_assoc());
+
+    let mut cases = Vec::new();
+    let mut salt = 1u64;
+    for i in 0..suite.len() {
+        for j in i..suite.len() {
+            // Predict, then measure.
+            let pred = model.predict(&[&features[i], &features[j]])?;
+            let placement = vec![vec![i], vec![j], Vec::new(), Vec::new()]
+                [..machine.num_cores()]
+                .to_vec();
+            let run = harness::run_assignment(machine, suite, &placement, scale, salt)?;
+            salt += 1;
+            let pa = &run.processes[0];
+            let pb = &run.processes[1];
+            cases.push(Case {
+                bench: suite[i],
+                partner: suite[j],
+                mpa_abs_err: (pred[0].mpa - pa.mpa()).abs(),
+                spi_rel_err: (pred[0].spi - pa.spi()).abs() / pa.spi(),
+            });
+            if i != j {
+                cases.push(Case {
+                    bench: suite[j],
+                    partner: suite[i],
+                    mpa_abs_err: (pred[1].mpa - pb.mpa()).abs(),
+                    spi_rel_err: (pred[1].spi - pb.spi()).abs() / pb.spi(),
+                });
+            }
+        }
+    }
+    Ok(Table1 { cases, suite: suite.to_vec() })
+}
+
+/// Renders the paper's Table 1 layout.
+pub fn render(t: &Table1, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{}\n", "=".repeat(title.len())));
+    let names: Vec<&str> = t.suite.iter().map(|w| w.name()).collect();
+    out.push_str(&format!("{:<12}", "Benchmark"));
+    for n in &names {
+        out.push_str(&format!("{n:>8}"));
+    }
+    out.push_str(&format!("{:>8}\n", "Avg."));
+
+    type PerBench = fn(&Table1, SpecWorkload) -> f64;
+    type Overall = fn(&Table1) -> f64;
+    let rows: [(&str, PerBench, Overall); 4] = [
+        ("MPA E(%)", Table1::mpa_avg, |t| t.overall().0),
+        ("MPA >5%(%)", Table1::mpa_gt5, |t| t.overall().1),
+        ("SPI E(%)", Table1::spi_avg, |t| t.overall().2),
+        ("SPI >5%(%)", Table1::spi_gt5, |t| t.overall().3),
+    ];
+    for (label, per, all) in rows {
+        out.push_str(&format!("{label:<12}"));
+        for &w in &t.suite {
+            out.push_str(&format!("{:>8.2}", per(t, w) * 100.0));
+        }
+        out.push_str(&format!("{:>8.2}\n", all(t) * 100.0));
+    }
+    let (mpa, _, spi, spi5) = t.overall();
+    out.push_str(&format!(
+        "\npaper: MPA avg 1.76%, SPI avg 3.38%, SPI >5% rate 21.9%\nours:  MPA avg {}%, SPI avg {}%, SPI >5% rate {}%\n",
+        harness::pct(mpa),
+        harness::pct(spi),
+        harness::pct(spi5),
+    ));
+    out
+}
+
+/// Entry point used by the `table1` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::four_core_server();
+    let suite = SpecWorkload::table1_suite().to_vec();
+    let t = run_pairwise(&machine, &suite, scale)?;
+    Ok(harness::save_report(
+        "table1",
+        render(&t, "Table 1: Performance Model Validation (4-core server)"),
+    ))
+}

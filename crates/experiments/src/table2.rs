@@ -1,0 +1,47 @@
+//! Table 2: power model validation on the 2-core workstation
+//! (E2220-like).
+//!
+//! Paper reference values: sample-based errors 5.32 % / 6.65 % average
+//! (max 14.12 % / 8.84 %); average-power errors 3.63 % / 2.47 % (max
+//! 13.83 % / 4.05 %) for the 1-proc/core and 2-proc/core scenarios.
+
+use crate::harness::{self, IndexPlacement, RunScale};
+use crate::powerval;
+use cmpsim::machine::MachineConfig;
+use mpmc_model::ModelError;
+use workloads::spec::SpecWorkload;
+
+/// Entry point used by the `table2` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::two_core_workstation();
+    let suite = SpecWorkload::table1_suite().to_vec();
+    let model = harness::train_power_model(&machine, scale)?;
+
+    // Scenario 1: all 36 unordered pairs, one process per core.
+    let mut pairs: Vec<IndexPlacement> = Vec::new();
+    for i in 0..suite.len() {
+        for j in i..suite.len() {
+            pairs.push(vec![vec![i], vec![j]]);
+        }
+    }
+    // Scenario 2: 24 random assignments with 2 processes per core.
+    let mut rng = harness::rng(scale.seed ^ 0x7AB2);
+    let multi = harness::random_multi_per_core(24, suite.len(), &[0, 1], 2, 2, &mut rng);
+
+    let rows = vec![
+        powerval::run_scenario(&machine, &suite, &model, "1 proc./core", &pairs, scale, 1_000)?,
+        powerval::run_scenario(&machine, &suite, &model, "2 proc./core", &multi, scale, 2_000)?,
+    ];
+    Ok(harness::save_report(
+        "table2",
+        powerval::render(
+            "Table 2: Power Model Validation (2-core workstation)",
+            &rows,
+            "paper: sample avg/max 5.32/14.12 and 6.65/8.84; avg-power avg/max 3.63/13.83 and 2.47/4.05",
+        ),
+    ))
+}

@@ -1,0 +1,54 @@
+//! Table 3: power model validation on the 4-core server (Q6600-like).
+//!
+//! Paper reference values: sample-based errors 4.09 % / 5.51 % / 3.39 %
+//! average (max 8.52 / 6.25 / 4.73); average-power errors 3.26 % /
+//! 4.47 % / 2.54 % (max 7.71 / 5.95 / 4.14) for 1 proc/core,
+//! 2 proc/core, and 4 processes with unused cores.
+
+use crate::harness::{self, RunScale};
+use crate::powerval;
+use cmpsim::machine::MachineConfig;
+use mpmc_model::ModelError;
+use workloads::spec::SpecWorkload;
+
+/// Entry point used by the `table3` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::four_core_server();
+    let suite = SpecWorkload::table1_suite().to_vec();
+    let model = harness::train_power_model(&machine, scale)?;
+    let mut rng = harness::rng(scale.seed ^ 0x7AB3);
+
+    // 24 random 1-proc/core assignments on all four cores.
+    let one = harness::random_one_per_core(24, suite.len(), &[0, 1, 2, 3], 4, &mut rng);
+    // 3 random 2-proc/core assignments (8 processes).
+    let two = harness::random_multi_per_core(3, suite.len(), &[0, 1, 2, 3], 2, 4, &mut rng);
+    // 10 assignments of 4 processes with 1 or 2 cores unused.
+    let mut spread = harness::random_spread(5, suite.len(), 4, 3, 4, &mut rng);
+    spread.extend(harness::random_spread(5, suite.len(), 4, 2, 4, &mut rng));
+
+    let rows = vec![
+        powerval::run_scenario(&machine, &suite, &model, "1 proc./core", &one, scale, 1_000)?,
+        powerval::run_scenario(&machine, &suite, &model, "2 proc./core", &two, scale, 2_000)?,
+        powerval::run_scenario(
+            &machine,
+            &suite,
+            &model,
+            "4 proc. with unused cores",
+            &spread,
+            scale,
+            3_000,
+        )?,
+    ];
+    Ok(harness::save_report(
+        "table3",
+        powerval::render(
+            "Table 3: Power Model Validation (4-core server)",
+            &rows,
+            "paper: sample avg/max 4.09/8.52, 5.51/6.25, 3.39/4.73; avg-power avg/max 3.26/7.71, 4.47/5.95, 2.54/4.14",
+        ),
+    ))
+}

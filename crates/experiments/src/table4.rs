@@ -1,0 +1,116 @@
+//! Table 4: combined model validation on the 4-core server.
+//!
+//! The hard case: estimate an assignment's *average power from profiling
+//! data only* (Fig. 1 / Eq. 11) — no runtime HPC values — then run the
+//! assignment and compare against measured average power.
+//!
+//! Paper reference values (avg/max % error): 2.84/5.78 (1 proc/core),
+//! 1.92/6.29 (2 proc/core), 2.68/5.48 (4 proc on 3 cores), 2.53/5.99
+//! (4 proc on 2 cores), 0.49/1.95 (4 proc on 1 core).
+
+use crate::harness::{self, IndexPlacement, RunScale};
+use cmpsim::machine::MachineConfig;
+use mathkit::stats;
+use mpmc_model::assignment::{Assignment, CombinedModel};
+use mpmc_model::ModelError;
+use workloads::spec::SpecWorkload;
+
+/// One scenario row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Scenario label.
+    pub label: String,
+    /// Assignments evaluated.
+    pub assignments: usize,
+    /// Mean average-power relative error.
+    pub avg: f64,
+    /// Maximum average-power relative error.
+    pub max: f64,
+}
+
+fn to_assignment(pl: &IndexPlacement) -> Assignment {
+    let mut a = Assignment::new(pl.len());
+    for (core, idxs) in pl.iter().enumerate() {
+        for &i in idxs {
+            a.assign(core, i);
+        }
+    }
+    a
+}
+
+/// Entry point used by the `table4` binary.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn report(scale: &RunScale) -> Result<String, ModelError> {
+    let machine = MachineConfig::four_core_server();
+    let suite = SpecWorkload::table1_suite().to_vec();
+
+    // Profiling pass: feature vectors + profiling vectors (O(k) runs).
+    let profiles = harness::profile_suite(&machine, &suite, scale)?;
+    // Power model from the §4.1 training corpus.
+    let power = harness::train_power_model(&machine, scale)?;
+    let combined = CombinedModel::new(&machine, &power);
+
+    let mut rng = harness::rng(scale.seed ^ 0x7AB4);
+    let counts = if scale.run_duration_s < 1.0 { [8, 4, 4, 4, 4] } else { [32, 10, 16, 16, 9] };
+    let scenarios: Vec<(String, Vec<IndexPlacement>)> = vec![
+        (
+            "1 proc./core".into(),
+            harness::random_one_per_core(counts[0], suite.len(), &[0, 1, 2, 3], 4, &mut rng),
+        ),
+        (
+            "2 proc./core".into(),
+            harness::random_multi_per_core(counts[1], suite.len(), &[0, 1, 2, 3], 2, 4, &mut rng),
+        ),
+        (
+            "4 proc., 1 core unused".into(),
+            harness::random_spread(counts[2], suite.len(), 4, 3, 4, &mut rng),
+        ),
+        (
+            "4 proc., 2 cores unused".into(),
+            harness::random_spread(counts[3], suite.len(), 4, 2, 4, &mut rng),
+        ),
+        (
+            "4 proc., 3 cores unused".into(),
+            harness::random_spread(counts[4], suite.len(), 4, 1, 4, &mut rng),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut salt = 10_000u64;
+    for (label, placements) in &scenarios {
+        let mut errs = Vec::new();
+        for pl in placements {
+            let est = combined.estimate_processor_power(&profiles, &to_assignment(pl))?;
+            let run = harness::run_assignment(&machine, &suite, pl, scale, salt)?;
+            salt += 1;
+            let meas = run.avg_measured_power();
+            errs.push((est - meas).abs() / meas);
+        }
+        rows.push(Row {
+            label: label.clone(),
+            assignments: placements.len(),
+            avg: stats::mean(&errs),
+            max: stats::max(&errs),
+        });
+    }
+
+    let title = "Table 4: Combined Model Validation (4-core server)";
+    let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));
+    out.push_str(&format!("{:<28}{:>8}{:>24}\n", "Scenario", "#assign", "avg-power avg/max (%)"));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<28}{:>8}{:>16.2} /{:>5.2}\n",
+            r.label,
+            r.assignments,
+            r.avg * 100.0,
+            r.max * 100.0
+        ));
+    }
+    out.push_str(
+        "\npaper (avg/max %): 2.84/5.78, 1.92/6.29, 2.68/5.48, 2.53/5.99, 0.49/1.95\n",
+    );
+    Ok(harness::save_report("table4", out))
+}

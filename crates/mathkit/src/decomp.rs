@@ -1,0 +1,273 @@
+//! Householder QR factorization and least-squares solving.
+//!
+//! QR is the backbone of the multi-variable linear regression in
+//! [`crate::linreg`]: solving the normal equations directly squares the
+//! condition number, while QR applied to the design matrix does not.
+
+use crate::matrix::Matrix;
+use crate::MathError;
+
+/// A thin Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// Storage is compact: `R` occupies the upper triangle, and each Householder
+/// vector is stored below the diagonal of its column, normalized so that its
+/// (implicit) leading component equals 1. The accompanying scalar `beta_k`
+/// defines the reflector `H_k = I - beta_k * u_k * u_k^T`.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::matrix::Matrix;
+/// use mathkit::decomp::Qr;
+///
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![0.0, 0.0]])?;
+/// let qr = Qr::factor(&a)?;
+/// let x = qr.solve_least_squares(&[3.0, 4.0, 0.0])?;
+/// assert!((x[0] - 3.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    qr: Matrix,
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Computes the QR factorization of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if `a` has more columns than
+    /// rows (the least-squares use case requires a tall matrix).
+    pub fn factor(a: &Matrix) -> Result<Self, MathError> {
+        let m = a.rows();
+        let n = a.cols();
+        if m < n {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("at least {n} rows"),
+                found: format!("{m} rows"),
+            });
+        }
+        let mut qr = a.clone();
+        let mut betas = vec![0.0; n];
+
+        for k in 0..n {
+            // Norm of the k-th column from the diagonal down.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            // Sign chosen to avoid cancellation in v0 = a_kk - alpha.
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // With v = (v0, a[k+1.., k]), H = I - beta * v v^T where
+            // beta = -1 / (alpha * v0) maps column k to alpha * e_k.
+            let beta = -1.0 / (alpha * v0);
+
+            // Apply H to the remaining columns using the unnormalized v
+            // (its leading component v0 lives in a local, not the matrix).
+            for j in (k + 1)..n {
+                let mut s = v0 * qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta;
+                qr[(k, j)] -= s * v0;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+
+            // Store R's diagonal, and normalize v so its leading component
+            // is 1: v = v0 * u  =>  H = I - (beta * v0^2) * u u^T.
+            qr[(k, k)] = alpha;
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            betas[k] = beta * v0 * v0;
+        }
+        Ok(Qr { qr, betas })
+    }
+
+    /// Applies `Q^T` to `b` and solves `R x = (Q^T b)[0..n]`, yielding the
+    /// least-squares solution of `A x ≈ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if `b.len()` differs from the
+    /// factored matrix's row count, and [`MathError::Singular`] if `R` has a
+    /// (numerically) zero diagonal entry.
+    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the textbook algorithm
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, MathError> {
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        if b.len() != m {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("rhs of length {m}"),
+                found: format!("rhs of length {}", b.len()),
+            });
+        }
+        let mut y = b.to_vec();
+
+        // Apply the Householder reflections in factorization order.
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            // u = (1, qr[k+1.., k])
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= beta;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+
+        // Back substitution on R.
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut s = y[k];
+            for j in (k + 1)..n {
+                s -= self.r_at(k, j) * x[j];
+            }
+            let d = self.r_at(k, k);
+            if d.abs() < 1e-12 * self.qr.max_abs().max(1.0) || !d.is_finite() {
+                return Err(MathError::Singular);
+            }
+            x[k] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Entry `(i, j)` of the `R` factor (`i <= j`); zero below the diagonal.
+    pub fn r_at(&self, i: usize, j: usize) -> f64 {
+        if i <= j {
+            self.qr[(i, j)]
+        } else {
+            0.0
+        }
+    }
+
+    /// The smallest absolute diagonal entry of `R`: a cheap rank /
+    /// conditioning indicator (zero means rank-deficient).
+    pub fn min_abs_r_diag(&self) -> f64 {
+        (0..self.qr.cols()).map(|k| self.r_at(k, k).abs()).fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{norm_inf, sub};
+
+    fn solve(a: &Matrix, b: &[f64]) -> Vec<f64> {
+        Qr::factor(a).unwrap().solve_least_squares(b).unwrap()
+    }
+
+    #[test]
+    fn solves_square_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]);
+        // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3
+        assert!(norm_inf(&sub(&x, &[1.0, 3.0])) < 1e-10, "{x:?}");
+    }
+
+    #[test]
+    fn solves_overdetermined_consistent_system() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+            vec![1.0, 4.0],
+        ])
+        .unwrap();
+        // y = 2 + 3 t, consistent.
+        let b = [5.0, 8.0, 11.0, 14.0];
+        let x = solve(&a, &b);
+        assert!(norm_inf(&sub(&x, &[2.0, 3.0])) < 1e-10, "{x:?}");
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let b = [0.0, 1.0, 0.5]; // not consistent
+        let x = solve(&a, &b);
+        // Closed form: intercept 0.25, slope 0.25.
+        assert!((x[0] - 0.25).abs() < 1e-10, "{x:?}");
+        assert!((x[1] - 0.25).abs() < 1e-10, "{x:?}");
+    }
+
+    #[test]
+    fn rejects_wide_matrix() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn singular_system_reported() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(2);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn negative_leading_entries_handled() {
+        let a = Matrix::from_rows(&[vec![-4.0, 1.0], vec![0.0, -2.0], vec![3.0, 0.0]]).unwrap();
+        let xstar = [1.5, -0.5];
+        let b = a.matvec(&xstar).unwrap();
+        let x = solve(&a, &b);
+        assert!(norm_inf(&sub(&x, &xstar)) < 1e-10, "{x:?}");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn random_reconstruction() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for trial in 0..40 {
+            let n = 1 + trial % 6;
+            let m = n + trial % 4;
+            let mut rows = Vec::new();
+            for _ in 0..m {
+                rows.push((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<_>>());
+            }
+            // Strengthen the diagonal to keep it well-conditioned.
+            for i in 0..n.min(m) {
+                rows[i][i] += 3.0;
+            }
+            let a = Matrix::from_rows(&rows).unwrap();
+            let xstar: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b = a.matvec(&xstar).unwrap();
+            let x = solve(&a, &b);
+            assert!(norm_inf(&sub(&x, &xstar)) < 1e-8, "trial {trial}: {x:?} vs {xstar:?}");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_view() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert_eq!(qr.r_at(1, 0), 0.0);
+        assert!(qr.r_at(0, 0).abs() > 0.0);
+    }
+}

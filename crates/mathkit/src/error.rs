@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Error type for all fallible `mathkit` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// Matrix or vector dimensions do not agree for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was found.
+        found: String,
+    },
+    /// The input system is singular or so ill-conditioned that no reliable
+    /// solution exists.
+    Singular,
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual magnitude at the final iterate.
+        residual: f64,
+    },
+    /// Not enough observations to determine the requested fit.
+    InsufficientData {
+        /// Observations required.
+        needed: usize,
+        /// Observations provided.
+        got: usize,
+    },
+    /// A root-finding bracket does not contain a sign change.
+    InvalidBracket {
+        /// Lower bracket endpoint.
+        lo: f64,
+        /// Upper bracket endpoint.
+        hi: f64,
+    },
+    /// An argument was outside its documented domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MathError::Singular => write!(f, "matrix is singular or severely ill-conditioned"),
+            MathError::NoConvergence { iterations, residual } => write!(
+                f,
+                "iteration failed to converge after {iterations} steps (residual {residual:.3e})"
+            ),
+            MathError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: need at least {needed} observations, got {got}")
+            }
+            MathError::InvalidBracket { lo, hi } => {
+                write!(f, "bracket [{lo}, {hi}] does not contain a sign change")
+            }
+            MathError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            MathError::DimensionMismatch { expected: "3x3".into(), found: "2x3".into() },
+            MathError::Singular,
+            MathError::NoConvergence { iterations: 10, residual: 1.0 },
+            MathError::InsufficientData { needed: 2, got: 1 },
+            MathError::InvalidBracket { lo: 0.0, hi: 1.0 },
+            MathError::InvalidArgument("x".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

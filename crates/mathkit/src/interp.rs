@@ -1,0 +1,203 @@
+//! Monotone piecewise-linear interpolation and inversion.
+//!
+//! The performance model manipulates curves that exist only as tables:
+//! MPA as a function of effective cache size, and the occupancy function
+//! `G(n)`. Both are monotone, so a piecewise-linear interpolant with a
+//! monotone-aware inverse is exactly what the solvers need.
+
+use crate::MathError;
+
+/// A piecewise-linear function through a strictly increasing set of knots.
+///
+/// The function extrapolates flat beyond its endpoints (curve values clamp
+/// to the first/last knot), matching the saturating behaviour of MPA and
+/// occupancy curves.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::interp::PiecewiseLinear;
+///
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// let f = PiecewiseLinear::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 12.0])?;
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(-1.0), 0.0);  // clamped
+/// assert_eq!(f.eval(5.0), 12.0);  // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Builds an interpolant through `(xs[i], ys[i])`.
+    ///
+    /// # Errors
+    ///
+    /// - [`MathError::DimensionMismatch`] if `xs.len() != ys.len()`.
+    /// - [`MathError::InvalidArgument`] if fewer than two knots are given,
+    ///   any value is non-finite, or `xs` is not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, MathError> {
+        if xs.len() != ys.len() {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("{} ordinates", xs.len()),
+                found: format!("{} ordinates", ys.len()),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(MathError::InvalidArgument("need at least two knots".into()));
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(MathError::InvalidArgument("knots must be finite".into()));
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(MathError::InvalidArgument("abscissae must be strictly increasing".into()));
+        }
+        Ok(PiecewiseLinear { xs, ys })
+    }
+
+    /// Evaluates the interpolant at `x`, clamping outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the containing segment.
+        let idx = match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(i) => return self.ys[i],
+            Err(i) => i, // xs[i-1] < x < xs[i]
+        };
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Inverts a (weakly) monotone non-decreasing interpolant: returns the
+    /// smallest `x` in the knot range with `eval(x) >= y`.
+    ///
+    /// If `y` is below the curve's minimum the first knot is returned; if it
+    /// is above the maximum, the last knot is returned. This saturating
+    /// behaviour mirrors the semantics of `G⁻¹(S)` in the paper: an
+    /// occupancy at or beyond the curve's reach maps to the extreme access
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if the curve is decreasing
+    /// anywhere (inverse undefined).
+    pub fn inverse_monotone(&self, y: f64) -> Result<f64, MathError> {
+        if self.ys.windows(2).any(|w| w[0] > w[1] + 1e-12) {
+            return Err(MathError::InvalidArgument(
+                "inverse requires a non-decreasing curve".into(),
+            ));
+        }
+        let n = self.xs.len();
+        if y <= self.ys[0] {
+            return Ok(self.xs[0]);
+        }
+        if y > self.ys[n - 1] {
+            return Ok(self.xs[n - 1]);
+        }
+        // Find first segment whose right endpoint reaches y.
+        let mut idx = 1;
+        while idx < n && self.ys[idx] < y {
+            idx += 1;
+        }
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        if y1 == y0 {
+            return Ok(x0);
+        }
+        Ok(x0 + (x1 - x0) * (y - y0) / (y1 - y0))
+    }
+
+    /// The knot abscissae.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The knot ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Domain of the interpolant, `(first knot, last knot)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("at least two knots"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> PiecewiseLinear {
+        PiecewiseLinear::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, 2.5]).unwrap()
+    }
+
+    #[test]
+    fn eval_at_knots_and_between() {
+        let f = ramp();
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(1.0), 2.0);
+        assert_eq!(f.eval(3.0), 2.5);
+        assert_eq!(f.eval(0.5), 1.0);
+        assert_eq!(f.eval(2.0), 2.25);
+    }
+
+    #[test]
+    fn eval_clamps_outside_domain() {
+        let f = ramp();
+        assert_eq!(f.eval(-10.0), 0.0);
+        assert_eq!(f.eval(10.0), 2.5);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let f = ramp();
+        for &x in &[0.0, 0.25, 0.5, 1.0, 1.7, 2.9, 3.0] {
+            let y = f.eval(x);
+            let xi = f.inverse_monotone(y).unwrap();
+            assert!((f.eval(xi) - y).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn inverse_saturates() {
+        let f = ramp();
+        assert_eq!(f.inverse_monotone(-1.0).unwrap(), 0.0);
+        assert_eq!(f.inverse_monotone(100.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn inverse_of_flat_segment_returns_left_edge() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0]).unwrap();
+        assert_eq!(f.inverse_monotone(1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn inverse_rejects_decreasing() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap();
+        assert!(f.inverse_monotone(0.5).is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(PiecewiseLinear::new(vec![0.0], vec![0.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![1.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, f64::NAN], vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn domain_reported() {
+        assert_eq!(ramp().domain(), (0.0, 3.0));
+    }
+}

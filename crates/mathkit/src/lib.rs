@@ -1,0 +1,50 @@
+//! Numerical substrate for the `mpmc` workspace.
+//!
+//! This crate provides the from-scratch numerics that the DAC 2010
+//! reproduction needs:
+//!
+//! - [`matrix`]: small dense row-major matrices and vector helpers.
+//! - [`decomp`]: Householder QR factorization and least-squares solving.
+//! - [`linreg`]: multi-variable linear regression (the paper's MVLR).
+//! - [`newton`]: damped multivariate Newton–Raphson with a numeric Jacobian.
+//! - [`roots`]: robust 1-D root bracketing and bisection.
+//! - [`nn`]: a three-layer sigmoid-activation neural network (the power
+//!   model alternative the paper evaluates and rejects).
+//! - [`stats`]: error metrics used throughout the evaluation.
+//! - [`interp`]: monotone piecewise-linear interpolation and inversion.
+//!
+//! # Examples
+//!
+//! Fitting a linear model with [`linreg::LinearRegression`]:
+//!
+//! ```
+//! use mathkit::linreg::LinearRegression;
+//!
+//! # fn main() -> Result<(), mathkit::MathError> {
+//! // y = 1 + 2*x0 + 3*x1
+//! let xs = vec![
+//!     vec![0.0, 0.0],
+//!     vec![1.0, 0.0],
+//!     vec![0.0, 1.0],
+//!     vec![1.0, 1.0],
+//! ];
+//! let ys = vec![1.0, 3.0, 4.0, 6.0];
+//! let fit = LinearRegression::fit(&xs, &ys)?;
+//! assert!((fit.intercept() - 1.0).abs() < 1e-9);
+//! assert!((fit.coefficients()[0] - 2.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod decomp;
+pub mod interp;
+pub mod linreg;
+pub mod matrix;
+pub mod newton;
+pub mod nn;
+pub mod roots;
+pub mod stats;
+
+mod error;
+
+pub use error::MathError;

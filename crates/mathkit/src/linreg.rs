@@ -1,0 +1,319 @@
+//! Multi-variable linear regression (MVLR).
+//!
+//! This is the fitting procedure the paper selects for its power model
+//! (§4.1, Eq. 9): given observations of predictor vectors (HPC event rates)
+//! and a response (measured power), find an intercept and coefficients by
+//! ordinary least squares. Fitting goes through the QR factorization in
+//! [`crate::decomp`] for numerical robustness; predictors are standardized
+//! internally so wildly different event-rate magnitudes (e.g. L1 references
+//! per second vs. FP operations per second) do not poison the conditioning.
+
+use crate::decomp::Qr;
+use crate::matrix::Matrix;
+use crate::MathError;
+
+/// A fitted ordinary-least-squares linear model `y = intercept + c · x`.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::linreg::LinearRegression;
+///
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// let xs = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+/// let ys = vec![3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+/// let fit = LinearRegression::fit(&xs, &ys)?;
+/// assert!((fit.predict(&[10.0]) - 21.0).abs() < 1e-9);
+/// assert!(fit.r_squared() > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    intercept: f64,
+    coefficients: Vec<f64>,
+    r_squared: f64,
+    residual_std: f64,
+    n_observations: usize,
+}
+
+impl LinearRegression {
+    /// Fits `y ≈ intercept + c · x` by least squares.
+    ///
+    /// # Errors
+    ///
+    /// - [`MathError::InsufficientData`] if there are fewer observations
+    ///   than unknowns (`xs.len() < dim + 1`).
+    /// - [`MathError::DimensionMismatch`] if `xs.len() != ys.len()` or the
+    ///   predictor rows have unequal lengths.
+    /// - [`MathError::Singular`] if the design matrix is rank-deficient
+    ///   (e.g. a predictor is constant or predictors are collinear).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, MathError> {
+        if xs.len() != ys.len() {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("{} responses", xs.len()),
+                found: format!("{} responses", ys.len()),
+            });
+        }
+        if xs.is_empty() {
+            return Err(MathError::InsufficientData { needed: 2, got: 0 });
+        }
+        let dim = xs[0].len();
+        let n = xs.len();
+        if n < dim + 1 {
+            return Err(MathError::InsufficientData { needed: dim + 1, got: n });
+        }
+
+        // Standardize each predictor column: z = (x - mean) / scale.
+        // This keeps the QR well-conditioned when columns differ by many
+        // orders of magnitude; coefficients are un-standardized afterwards.
+        let mut means = vec![0.0; dim];
+        let mut scales = vec![0.0; dim];
+        for x in xs {
+            if x.len() != dim {
+                return Err(MathError::DimensionMismatch {
+                    expected: format!("predictor of length {dim}"),
+                    found: format!("predictor of length {}", x.len()),
+                });
+            }
+            for (j, &v) in x.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        for x in xs {
+            for (j, &v) in x.iter().enumerate() {
+                scales[j] += (v - means[j]).powi(2);
+            }
+        }
+        for s in &mut scales {
+            *s = (*s / n as f64).sqrt();
+            if *s == 0.0 {
+                // Constant column: collinear with the intercept.
+                return Err(MathError::Singular);
+            }
+        }
+
+        // Design matrix [1 | z].
+        let mut design = Matrix::zeros(n, dim + 1);
+        for (i, x) in xs.iter().enumerate() {
+            design[(i, 0)] = 1.0;
+            for j in 0..dim {
+                design[(i, j + 1)] = (x[j] - means[j]) / scales[j];
+            }
+        }
+        let qr = Qr::factor(&design)?;
+        let theta = qr.solve_least_squares(ys)?;
+
+        // Un-standardize: y = t0 + sum_j tj * (x_j - mu_j)/s_j
+        //               = (t0 - sum_j tj mu_j / s_j) + sum_j (tj / s_j) x_j.
+        let mut coefficients = vec![0.0; dim];
+        let mut intercept = theta[0];
+        for j in 0..dim {
+            coefficients[j] = theta[j + 1] / scales[j];
+            intercept -= theta[j + 1] * means[j] / scales[j];
+        }
+
+        // Fit diagnostics.
+        let mean_y: f64 = ys.iter().sum::<f64>() / n as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (x, &y) in xs.iter().zip(ys) {
+            let pred = intercept + x.iter().zip(&coefficients).map(|(a, b)| a * b).sum::<f64>();
+            ss_res += (y - pred).powi(2);
+            ss_tot += (y - mean_y).powi(2);
+        }
+        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let dof = (n - dim - 1).max(1);
+        let residual_std = (ss_res / dof as f64).sqrt();
+
+        Ok(LinearRegression { intercept, coefficients, r_squared, residual_std, n_observations: n })
+    }
+
+    /// Reassembles a model from stored parts (e.g. loaded from disk).
+    /// Fit diagnostics are unknown for such a model: `r_squared` and
+    /// `residual_std` are `NaN` and `n_observations` is 0.
+    pub fn from_parts(intercept: f64, coefficients: Vec<f64>) -> Self {
+        LinearRegression {
+            intercept,
+            coefficients,
+            r_squared: f64::NAN,
+            residual_std: f64::NAN,
+            n_observations: 0,
+        }
+    }
+
+    /// Predicted response for predictor vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.coefficients.len(),
+            "predictor length {} does not match model dimensionality {}",
+            x.len(),
+            self.coefficients.len()
+        );
+        self.intercept + x.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum::<f64>()
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The fitted coefficients, one per predictor.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Coefficient of determination on the training data.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Residual standard deviation (with degrees-of-freedom correction).
+    pub fn residual_std(&self) -> f64 {
+        self.residual_std
+    }
+
+    /// Number of observations used in the fit.
+    pub fn n_observations(&self) -> usize {
+        self.n_observations
+    }
+}
+
+/// Fits a simple 1-D regression `y = alpha * x + beta` and returns
+/// `(alpha, beta)`.
+///
+/// This is the form the paper uses for the SPI–MPA relationship (Eq. 3).
+///
+/// # Errors
+///
+/// Propagates the errors of [`LinearRegression::fit`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// let (alpha, beta) = mathkit::linreg::fit_line(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0])?;
+/// assert!((alpha - 2.0).abs() < 1e-9);
+/// assert!((beta - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_line(x: &[f64], y: &[f64]) -> Result<(f64, f64), MathError> {
+    let xs: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+    let fit = LinearRegression::fit(&xs, y)?;
+    Ok((fit.coefficients()[0], fit.intercept()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_exact_plane() {
+        let xs: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, (i * i) as f64 % 7.0, (3 * i) as f64 % 5.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 - 2.0 * x[0] + 0.5 * x[1] + 3.0 * x[2]).collect();
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((fit.intercept() - 4.0).abs() < 1e-8);
+        assert!((fit.coefficients()[0] + 2.0).abs() < 1e-8);
+        assert!((fit.coefficients()[1] - 0.5).abs() < 1e-8);
+        assert!((fit.coefficients()[2] - 3.0).abs() < 1e-8);
+        assert!(fit.r_squared() > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn handles_badly_scaled_predictors() {
+        // Columns spanning 9 orders of magnitude, as HPC event rates do.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|_| vec![rng.gen_range(1e8..5e9), rng.gen_range(0.1..10.0), rng.gen_range(1e3..1e5)])
+            .collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| 12.0 + 3e-9 * x[0] + 0.7 * x[1] + 2e-4 * x[2]).collect();
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((fit.intercept() - 12.0).abs() < 1e-6, "{}", fit.intercept());
+        assert!((fit.coefficients()[0] - 3e-9).abs() < 1e-13);
+        assert!((fit.coefficients()[1] - 0.7).abs() < 1e-6);
+        assert!((fit.coefficients()[2] - 2e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_reduces_r_squared_but_not_below_zero_for_signal() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + rng.gen_range(-5.0..5.0)).collect();
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared() > 0.9 && fit.r_squared() < 1.0);
+        assert!(fit.residual_std() > 0.0);
+        assert_eq!(fit.n_observations(), 200);
+    }
+
+    #[test]
+    fn constant_predictor_is_singular() {
+        let xs = vec![vec![1.0, 3.0], vec![1.0, 4.0], vec![1.0, 5.0], vec![1.0, 6.0]];
+        let ys = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(LinearRegression::fit(&xs, &ys).unwrap_err(), MathError::Singular);
+    }
+
+    #[test]
+    fn collinear_predictors_rejected() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(LinearRegression::fit(&xs, &ys).is_err());
+    }
+
+    #[test]
+    fn too_few_observations() {
+        let xs = vec![vec![1.0, 2.0]];
+        let ys = vec![1.0];
+        assert!(matches!(
+            LinearRegression::fit(&xs, &ys),
+            Err(MathError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![1.0];
+        assert!(matches!(
+            LinearRegression::fit(&xs, &ys),
+            Err(MathError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fit_line_matches_closed_form() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.2, 3.9, 6.1, 8.0, 9.9];
+        let (alpha, beta) = fit_line(&x, &y).unwrap();
+        assert!((alpha - 1.95).abs() < 0.05, "{alpha}");
+        assert!((beta - 0.17).abs() < 0.15, "{beta}");
+    }
+
+    #[test]
+    fn from_parts_predicts() {
+        let m = LinearRegression::from_parts(1.0, vec![2.0, 3.0]);
+        assert_eq!(m.predict(&[1.0, 1.0]), 6.0);
+        assert!(m.r_squared().is_nan());
+        assert_eq!(m.n_observations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn predict_length_checked() {
+        let fit =
+            LinearRegression::fit(&[vec![1.0], vec![2.0], vec![3.0]], &[1.0, 2.0, 3.0]).unwrap();
+        fit.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Damped multivariate Newton–Raphson with a finite-difference Jacobian.
+//!
+//! The paper solves the equilibrium system of Eq. 1 + Eq. 7 with
+//! Newton–Raphson; the functions involved (`G⁻¹`, MPA curves) are available
+//! only as monotone tabulated curves, so the Jacobian is approximated by
+//! forward differences. A backtracking line search keeps the iteration from
+//! overshooting the feasible region.
+
+use crate::decomp::Qr;
+use crate::matrix::{norm_inf, Matrix};
+use crate::MathError;
+
+/// Options controlling a Newton–Raphson solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Convergence tolerance on the residual infinity norm.
+    pub tol: f64,
+    /// Maximum number of Newton iterations.
+    pub max_iter: usize,
+    /// Relative step used for the forward-difference Jacobian.
+    pub fd_step: f64,
+    /// Maximum number of halvings in the backtracking line search.
+    pub max_backtrack: usize,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions { tol: 1e-9, max_iter: 100, fd_step: 1e-6, max_backtrack: 30 }
+    }
+}
+
+/// Result of a successful Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Infinity norm of the residual at `x`.
+    pub residual: f64,
+    /// Newton iterations performed.
+    pub iterations: usize,
+}
+
+/// Solves `f(x) = 0` for a vector-valued `f` starting from `x0`.
+///
+/// `clamp` is applied to every candidate iterate before evaluating `f`; use
+/// it to keep iterates inside the domain (the equilibrium solver clamps
+/// effective cache sizes to `[min_way, A]`).
+///
+/// # Errors
+///
+/// - [`MathError::InvalidArgument`] if `x0` is empty or `f(x0)` has a
+///   different length than `x0`.
+/// - [`MathError::Singular`] if the Jacobian becomes numerically singular.
+/// - [`MathError::NoConvergence`] if the tolerance is not reached within
+///   `max_iter` iterations.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::newton::{newton_raphson, NewtonOptions};
+///
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// // x^2 + y^2 = 2, x = y  ->  (1, 1)
+/// let sol = newton_raphson(
+///     |v| vec![v[0] * v[0] + v[1] * v[1] - 2.0, v[0] - v[1]],
+///     &[2.0, 0.5],
+///     |v| v.to_vec(),
+///     NewtonOptions::default(),
+/// )?;
+/// assert!((sol.x[0] - 1.0).abs() < 1e-8);
+/// assert!((sol.x[1] - 1.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn newton_raphson<F, C>(
+    mut f: F,
+    x0: &[f64],
+    mut clamp: C,
+    opts: NewtonOptions,
+) -> Result<NewtonSolution, MathError>
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+    C: FnMut(&[f64]) -> Vec<f64>,
+{
+    let n = x0.len();
+    if n == 0 {
+        return Err(MathError::InvalidArgument("empty initial guess".into()));
+    }
+    let mut x = clamp(x0);
+    let mut fx = f(&x);
+    if fx.len() != n {
+        return Err(MathError::InvalidArgument(format!(
+            "f returned {} components for {} unknowns",
+            fx.len(),
+            n
+        )));
+    }
+    let mut res = norm_inf(&fx);
+
+    for iter in 0..opts.max_iter {
+        if res <= opts.tol {
+            return Ok(NewtonSolution { x, residual: res, iterations: iter });
+        }
+
+        // Forward-difference Jacobian, column by column.
+        let mut jac = Matrix::zeros(n, n);
+        for j in 0..n {
+            let h = opts.fd_step * x[j].abs().max(1e-3);
+            let mut xp = x.clone();
+            xp[j] += h;
+            let xp = clamp(&xp);
+            let hj = xp[j] - x[j];
+            if hj == 0.0 {
+                // Clamp pinned this coordinate against its bound; probe the
+                // other direction instead.
+                let mut xm = x.clone();
+                xm[j] -= h;
+                let xm = clamp(&xm);
+                let hm = x[j] - xm[j];
+                if hm == 0.0 {
+                    return Err(MathError::Singular);
+                }
+                let fm = f(&xm);
+                for i in 0..n {
+                    jac[(i, j)] = (fx[i] - fm[i]) / hm;
+                }
+            } else {
+                let fp = f(&xp);
+                for i in 0..n {
+                    jac[(i, j)] = (fp[i] - fx[i]) / hj;
+                }
+            }
+        }
+
+        let qr = Qr::factor(&jac)?;
+        let neg_fx: Vec<f64> = fx.iter().map(|v| -v).collect();
+        let step = qr.solve_least_squares(&neg_fx)?;
+
+        // Backtracking line search on the residual norm.
+        let mut t = 1.0;
+        let mut accepted = false;
+        for _ in 0..=opts.max_backtrack {
+            let cand: Vec<f64> = x.iter().zip(&step).map(|(xi, si)| xi + t * si).collect();
+            let cand = clamp(&cand);
+            let fc = f(&cand);
+            let rc = norm_inf(&fc);
+            if rc.is_finite() && rc < res {
+                x = cand;
+                fx = fc;
+                res = rc;
+                accepted = true;
+                break;
+            }
+            t *= 0.5;
+        }
+        if !accepted {
+            // Stuck: no descent direction even with tiny steps. Report the
+            // best point found so far if it is reasonably converged.
+            if res <= opts.tol * 100.0 {
+                return Ok(NewtonSolution { x, residual: res, iterations: iter + 1 });
+            }
+            return Err(MathError::NoConvergence { iterations: iter + 1, residual: res });
+        }
+    }
+
+    if res <= opts.tol {
+        Ok(NewtonSolution { x, residual: res, iterations: opts.max_iter })
+    } else {
+        Err(MathError::NoConvergence { iterations: opts.max_iter, residual: res })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_clamp(v: &[f64]) -> Vec<f64> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn scalar_quadratic() {
+        let sol =
+            newton_raphson(|v| vec![v[0] * v[0] - 4.0], &[3.0], no_clamp, NewtonOptions::default())
+                .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+        assert!(sol.residual <= 1e-9);
+    }
+
+    #[test]
+    fn two_dimensional_circle_line() {
+        let sol = newton_raphson(
+            |v| vec![v[0] * v[0] + v[1] * v[1] - 25.0, v[0] - 2.0 * v[1] + 5.0],
+            &[1.0, 1.0],
+            no_clamp,
+            NewtonOptions::default(),
+        )
+        .unwrap();
+        // Solutions: (3, 4) and (-5, 0); from (1,1) it should find (3,4).
+        assert!((sol.x[0] - 3.0).abs() < 1e-7, "{:?}", sol.x);
+        assert!((sol.x[1] - 4.0).abs() < 1e-7, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn clamped_domain_respected() {
+        // Root of x^2 - 4 with x clamped to [0.1, 10]: finds +2 even when the
+        // start lies outside the domain (the clamp pins it to 0.1 first).
+        let clamp = |v: &[f64]| vec![v[0].clamp(0.1, 10.0)];
+        let sol = newton_raphson(
+            |v| vec![v[0] * v[0] - 4.0],
+            &[-5.0],
+            clamp,
+            NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn linear_system_single_iteration_region() {
+        let sol = newton_raphson(
+            |v| vec![2.0 * v[0] + v[1] - 5.0, v[0] + 3.0 * v[1] - 10.0],
+            &[0.0, 0.0],
+            no_clamp,
+            NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-8);
+        assert!((sol.x[1] - 3.0).abs() < 1e-8);
+        assert!(sol.iterations <= 3);
+    }
+
+    #[test]
+    fn no_root_reports_no_convergence() {
+        let r = newton_raphson(
+            |v| vec![v[0] * v[0] + 1.0],
+            &[1.0],
+            no_clamp,
+            NewtonOptions { max_iter: 25, ..Default::default() },
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_guess_rejected() {
+        assert!(matches!(
+            newton_raphson(|_| vec![], &[], no_clamp, NewtonOptions::default()),
+            Err(MathError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert!(matches!(
+            newton_raphson(|_| vec![0.0, 0.0], &[1.0], no_clamp, NewtonOptions::default()),
+            Err(MathError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn nonsmooth_but_monotone_converges() {
+        // |x|^1.5 sign(x) - 1 = 0 -> x = 1; derivative is continuous but not
+        // Lipschitz at 0, like tabulated MPA curves.
+        let f = |v: &[f64]| vec![v[0].abs().powf(1.5) * v[0].signum() - 1.0];
+        let sol = newton_raphson(f, &[0.1], no_clamp, NewtonOptions::default()).unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-7);
+    }
+}

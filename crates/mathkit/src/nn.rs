@@ -1,0 +1,354 @@
+//! A three-layer sigmoid-activation feed-forward neural network.
+//!
+//! §4.1 of the paper evaluates a "three-layer sigmoid activation function
+//! neural network" as an alternative to MVLR for the power model and finds
+//! comparable accuracy (96.8 % vs. 96.2 %), choosing MVLR for simplicity.
+//! This module reproduces that comparator: input layer → one sigmoid hidden
+//! layer → linear output, trained by mini-batch stochastic gradient descent
+//! on mean-squared error. Inputs and the target are standardized internally.
+
+use crate::MathError;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Hyperparameters for [`SigmoidNetwork::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainOptions {
+    /// Number of hidden units.
+    pub hidden: usize,
+    /// Learning rate for SGD.
+    pub learning_rate: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Seed for weight initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions { hidden: 8, learning_rate: 0.05, epochs: 300, batch: 16, seed: 0x5eed }
+    }
+}
+
+/// A trained three-layer (input, sigmoid hidden, linear output) network for
+/// scalar regression.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::nn::{SigmoidNetwork, TrainOptions};
+///
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// // Learn y = x0 + x1 on a small grid.
+/// let xs: Vec<Vec<f64>> = (0..25)
+///     .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+///     .collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x[0] + x[1]).collect();
+/// let net = SigmoidNetwork::train(&xs, &ys, TrainOptions::default())?;
+/// assert!((net.predict(&[2.0, 2.0]) - 4.0).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SigmoidNetwork {
+    // w1[h][i]: input i -> hidden h; b1[h]; w2[h]: hidden h -> output; b2.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl SigmoidNetwork {
+    /// Trains a network on `(xs, ys)` with the given hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// - [`MathError::DimensionMismatch`] if `xs` and `ys` differ in length
+    ///   or predictor rows are ragged.
+    /// - [`MathError::InsufficientData`] if fewer than two observations are
+    ///   provided.
+    /// - [`MathError::InvalidArgument`] if `hidden == 0` or `batch == 0`.
+    pub fn train(xs: &[Vec<f64>], ys: &[f64], opts: TrainOptions) -> Result<Self, MathError> {
+        if xs.len() != ys.len() {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("{} responses", xs.len()),
+                found: format!("{} responses", ys.len()),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(MathError::InsufficientData { needed: 2, got: xs.len() });
+        }
+        if opts.hidden == 0 {
+            return Err(MathError::InvalidArgument("hidden layer must be non-empty".into()));
+        }
+        if opts.batch == 0 {
+            return Err(MathError::InvalidArgument("batch size must be positive".into()));
+        }
+        let dim = xs[0].len();
+        if dim == 0 {
+            return Err(MathError::InvalidArgument("predictors must be non-empty".into()));
+        }
+        for (i, x) in xs.iter().enumerate() {
+            if x.len() != dim {
+                return Err(MathError::DimensionMismatch {
+                    expected: format!("predictor of length {dim}"),
+                    found: format!("predictor {i} of length {}", x.len()),
+                });
+            }
+        }
+
+        // Standardization statistics.
+        let n = xs.len() as f64;
+        let mut x_mean = vec![0.0; dim];
+        let mut x_std = vec![0.0; dim];
+        for x in xs {
+            for (j, &v) in x.iter().enumerate() {
+                x_mean[j] += v;
+            }
+        }
+        for m in &mut x_mean {
+            *m /= n;
+        }
+        for x in xs {
+            for (j, &v) in x.iter().enumerate() {
+                x_std[j] += (v - x_mean[j]).powi(2);
+            }
+        }
+        for s in &mut x_std {
+            *s = (*s / n).sqrt();
+            if *s == 0.0 {
+                *s = 1.0; // constant column: map to 0 after centering
+            }
+        }
+        let y_mean = ys.iter().sum::<f64>() / n;
+        let mut y_std = (ys.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n).sqrt();
+        if y_std == 0.0 {
+            y_std = 1.0;
+        }
+
+        let zs: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| x.iter().enumerate().map(|(j, &v)| (v - x_mean[j]) / x_std[j]).collect())
+            .collect();
+        let ts: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
+
+        // Xavier-ish initialization.
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+        let limit = (6.0 / (dim + opts.hidden) as f64).sqrt();
+        let mut w1: Vec<Vec<f64>> = (0..opts.hidden)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-limit..limit)).collect())
+            .collect();
+        let mut b1 = vec![0.0; opts.hidden];
+        let mut w2: Vec<f64> = (0..opts.hidden).map(|_| rng.gen_range(-limit..limit)).collect();
+        let mut b2 = 0.0;
+
+        let mut order: Vec<usize> = (0..zs.len()).collect();
+        let mut hidden_out = vec![0.0; opts.hidden];
+
+        for _epoch in 0..opts.epochs {
+            // Fisher-Yates shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(opts.batch) {
+                let scale = opts.learning_rate / chunk.len() as f64;
+                // Accumulate gradients over the mini-batch.
+                let mut gw1 = vec![vec![0.0; dim]; opts.hidden];
+                let mut gb1 = vec![0.0; opts.hidden];
+                let mut gw2 = vec![0.0; opts.hidden];
+                let mut gb2 = 0.0;
+                for &idx in chunk {
+                    let z = &zs[idx];
+                    for h in 0..opts.hidden {
+                        let mut a = b1[h];
+                        for j in 0..dim {
+                            a += w1[h][j] * z[j];
+                        }
+                        hidden_out[h] = sigmoid(a);
+                    }
+                    let mut pred = b2;
+                    for h in 0..opts.hidden {
+                        pred += w2[h] * hidden_out[h];
+                    }
+                    let err = pred - ts[idx]; // d(MSE/2)/d(pred)
+                    gb2 += err;
+                    for h in 0..opts.hidden {
+                        gw2[h] += err * hidden_out[h];
+                        let dh = err * w2[h] * hidden_out[h] * (1.0 - hidden_out[h]);
+                        gb1[h] += dh;
+                        for j in 0..dim {
+                            gw1[h][j] += dh * z[j];
+                        }
+                    }
+                }
+                b2 -= scale * gb2;
+                for h in 0..opts.hidden {
+                    w2[h] -= scale * gw2[h];
+                    b1[h] -= scale * gb1[h];
+                    for j in 0..dim {
+                        w1[h][j] -= scale * gw1[h][j];
+                    }
+                }
+            }
+        }
+
+        Ok(SigmoidNetwork { w1, b1, w2, b2, x_mean, x_std, y_mean, y_std })
+    }
+
+    /// Predicts the response for predictor vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    #[allow(clippy::needless_range_loop)] // weight-matrix indexing mirrors the math
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.x_mean.len(),
+            "predictor length {} does not match network input size {}",
+            x.len(),
+            self.x_mean.len()
+        );
+        let z: Vec<f64> =
+            x.iter().enumerate().map(|(j, &v)| (v - self.x_mean[j]) / self.x_std[j]).collect();
+        let mut out = self.b2;
+        for h in 0..self.w2.len() {
+            let mut a = self.b1[h];
+            for j in 0..z.len() {
+                a += self.w1[h][j] * z[j];
+            }
+            out += self.w2[h] * sigmoid(a);
+        }
+        out * self.y_std + self.y_mean
+    }
+
+    /// Number of hidden units.
+    pub fn hidden_units(&self) -> usize {
+        self.w2.len()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.x_mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_function() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 10) as f64, (i / 10) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1] + 1.0).collect();
+        let net = SigmoidNetwork::train(
+            &xs,
+            &ys,
+            TrainOptions { epochs: 800, ..TrainOptions::default() },
+        )
+        .unwrap();
+        let mut worst: f64 = 0.0;
+        for (x, &y) in xs.iter().zip(&ys) {
+            worst = worst.max((net.predict(x) - y).abs());
+        }
+        assert!(worst < 1.5, "worst error {worst}");
+    }
+
+    #[test]
+    fn learns_mildly_nonlinear_function() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.5).sin() * 3.0 + x[0]).collect();
+        let net = SigmoidNetwork::train(
+            &xs,
+            &ys,
+            TrainOptions { hidden: 12, epochs: 1500, learning_rate: 0.1, ..Default::default() },
+        )
+        .unwrap();
+        let mse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, &y)| (net.predict(x) - y).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!(mse < 0.5, "mse {mse}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 3.0).collect();
+        let o = TrainOptions { epochs: 50, ..Default::default() };
+        let a = SigmoidNetwork::train(&xs, &ys, o).unwrap();
+        let b = SigmoidNetwork::train(&xs, &ys, o).unwrap();
+        assert_eq!(a.predict(&[7.0]), b.predict(&[7.0]));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        assert!(SigmoidNetwork::train(&xs, &[1.0], TrainOptions::default()).is_err());
+        assert!(SigmoidNetwork::train(&xs[..1], &[1.0], TrainOptions::default()).is_err());
+        assert!(SigmoidNetwork::train(
+            &xs,
+            &[1.0, 2.0],
+            TrainOptions { hidden: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(SigmoidNetwork::train(
+            &xs,
+            &[1.0, 2.0],
+            TrainOptions { batch: 0, ..Default::default() }
+        )
+        .is_err());
+        let ragged = vec![vec![1.0], vec![2.0, 3.0]];
+        assert!(SigmoidNetwork::train(&ragged, &[1.0, 2.0], TrainOptions::default()).is_err());
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![5.0; 10];
+        let net = SigmoidNetwork::train(&xs, &ys, TrainOptions::default()).unwrap();
+        assert!((net.predict(&[3.0]) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn shape_getters() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 1.0 - i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let net = SigmoidNetwork::train(
+            &xs,
+            &ys,
+            TrainOptions { hidden: 4, epochs: 10, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(net.hidden_units(), 4);
+        assert_eq!(net.input_dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn predict_length_checked() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let net = SigmoidNetwork::train(
+            &xs,
+            &ys,
+            TrainOptions { epochs: 5, ..Default::default() },
+        )
+        .unwrap();
+        net.predict(&[1.0, 2.0]);
+    }
+}

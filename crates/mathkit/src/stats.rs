@@ -1,0 +1,224 @@
+//! Error metrics and summary statistics used throughout the evaluation.
+//!
+//! The paper reports results as average/maximum relative errors and as the
+//! fraction of cases whose error exceeds 5 % — all computed here.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for inputs shorter than 2.
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Maximum value; 0 for empty input.
+pub fn max(v: &[f64]) -> f64 {
+    v.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x)).max(if v.is_empty() { 0.0 } else { f64::NEG_INFINITY })
+}
+
+/// Relative error `|predicted - actual| / |actual|`, as a fraction.
+///
+/// Returns `|predicted|` when `actual == 0` (absolute fallback), so the
+/// metric stays finite for zero references.
+pub fn relative_error(predicted: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        predicted.abs()
+    } else {
+        (predicted - actual).abs() / actual.abs()
+    }
+}
+
+/// Absolute error `|predicted - actual|`.
+pub fn absolute_error(predicted: f64, actual: f64) -> f64 {
+    (predicted - actual).abs()
+}
+
+/// Summary of a set of per-case errors: the shape in which the paper's
+/// tables report validation results.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorSummary {
+    /// Mean error (fraction, not percent).
+    pub avg: f64,
+    /// Maximum error (fraction).
+    pub max: f64,
+    /// Fraction of cases whose error exceeds 5 %.
+    pub frac_above_5pct: f64,
+    /// Number of cases summarized.
+    pub n: usize,
+}
+
+impl ErrorSummary {
+    /// Summarizes a slice of error fractions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = mathkit::stats::ErrorSummary::from_errors(&[0.01, 0.03, 0.08]);
+    /// assert_eq!(s.n, 3);
+    /// assert!((s.avg - 0.04).abs() < 1e-12);
+    /// assert_eq!(s.max, 0.08);
+    /// assert!((s.frac_above_5pct - 1.0 / 3.0).abs() < 1e-12);
+    /// ```
+    pub fn from_errors(errors: &[f64]) -> Self {
+        if errors.is_empty() {
+            return ErrorSummary::default();
+        }
+        let avg = mean(errors);
+        let mx = errors.iter().fold(0.0_f64, |m, &x| m.max(x));
+        let above = errors.iter().filter(|&&e| e > 0.05).count();
+        ErrorSummary {
+            avg,
+            max: mx,
+            frac_above_5pct: above as f64 / errors.len() as f64,
+            n: errors.len(),
+        }
+    }
+
+    /// Mean error in percent.
+    pub fn avg_pct(&self) -> f64 {
+        self.avg * 100.0
+    }
+
+    /// Maximum error in percent.
+    pub fn max_pct(&self) -> f64 {
+        self.max * 100.0
+    }
+
+    /// Percentage of cases with error above 5 %.
+    pub fn above_5pct_pct(&self) -> f64 {
+        self.frac_above_5pct * 100.0
+    }
+}
+
+/// The `q`-quantile (0 <= q <= 1) by linear interpolation between order
+/// statistics; 0 for empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn percentile(v: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Mean absolute percentage accuracy, `100 * (1 - mean relative error)`,
+/// the "accuracy" figure of merit the paper quotes for the power models
+/// (e.g. "MVLR-based model achieves an accuracy of 96.2 %").
+pub fn accuracy_pct(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "accuracy over unequal lengths");
+    if predicted.is_empty() {
+        return 100.0;
+    }
+    let mre = predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| relative_error(p, a))
+        .sum::<f64>()
+        / predicted.len() as f64;
+    100.0 * (1.0 - mre)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(110.0, 100.0), 0.1);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert_eq!(relative_error(0.5, 0.0), 0.5);
+        assert_eq!(relative_error(-90.0, -100.0), 0.1);
+    }
+
+    #[test]
+    fn absolute_error_cases() {
+        assert_eq!(absolute_error(1.0, 3.0), 2.0);
+        assert_eq!(absolute_error(3.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = ErrorSummary::from_errors(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.avg, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn summary_percent_views() {
+        let s = ErrorSummary::from_errors(&[0.02, 0.06]);
+        assert!((s.avg_pct() - 4.0).abs() < 1e-12);
+        assert!((s.max_pct() - 6.0).abs() < 1e-12);
+        assert!((s.above_5pct_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_exactly_5pct_not_counted() {
+        let s = ErrorSummary::from_errors(&[0.05]);
+        assert_eq!(s.frac_above_5pct, 0.0);
+    }
+
+    #[test]
+    fn accuracy_perfect_and_degraded() {
+        assert_eq!(accuracy_pct(&[], &[]), 100.0);
+        assert_eq!(accuracy_pct(&[1.0, 2.0], &[1.0, 2.0]), 100.0);
+        let acc = accuracy_pct(&[1.1], &[1.0]);
+        assert!((acc - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_cases() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.9), 7.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+        // Unsorted input is handled.
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_bad_q() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn max_helper() {
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(max(&[1.0, 5.0, 3.0]), 5.0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Stack-distance-driven synthetic reference generation.
+//!
+//! A workload is characterized by exactly the quantities the paper's
+//! performance model consumes: a **reuse-distance histogram** (here a
+//! distribution over per-set LRU stack positions) and an **instruction
+//! mix** (event rates per instruction). The generator emits an access
+//! stream whose per-set stack-distance distribution matches the requested
+//! one, which gives every experiment a known ground truth to validate the
+//! stressmark-based profiler against — something the paper could not do on
+//! real hardware.
+//!
+//! # Distance convention
+//!
+//! We index the histogram by **stack position** `p >= 1`: an access at
+//! position `p` touches the process's `p`-th most-recently-used line in
+//! that set (`p = 1` is a repeat of the MRU line). Under LRU, a process
+//! whose effective cache size is `S` ways hits exactly when `p <= S`, so
+//! the paper's Eq. 2 reads `MPA(S) = sum_{p > S} hist(p) + p_new`, where
+//! `p_new` is the probability of touching a brand-new line (infinite
+//! distance).
+
+use cmpsim::process::{AccessGenerator, Step};
+use cmpsim::types::LineAddr;
+use rand::Rng;
+use rand::RngCore;
+use std::collections::VecDeque;
+
+/// The reuse (stack-position) behaviour of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPattern {
+    /// `dist[i]` is the probability of an access at stack position `i + 1`.
+    /// Must sum (with `p_new`) to 1.
+    pub dist: Vec<f64>,
+    /// Probability of an access to a never-before-seen line.
+    pub p_new: f64,
+    /// Probability that an access starts a sequential streaming run
+    /// (fresh consecutive lines, as in array sweeps).
+    pub seq_run_prob: f64,
+    /// Length of each streaming run in lines.
+    pub seq_run_len: u32,
+}
+
+impl AccessPattern {
+    /// Builds a pattern from raw weights over positions `1..=weights.len()`
+    /// plus a new-line weight; weights are normalized internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any weight is negative.
+    pub fn from_weights(weights: &[f64], new_weight: f64) -> Self {
+        assert!(
+            weights.iter().chain(std::iter::once(&new_weight)).all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        let total: f64 = weights.iter().sum::<f64>() + new_weight;
+        assert!(total > 0.0, "at least one weight must be positive");
+        AccessPattern {
+            dist: weights.iter().map(|w| w / total).collect(),
+            p_new: new_weight / total,
+            seq_run_prob: 0.0,
+            seq_run_len: 0,
+        }
+    }
+
+    /// Adds streaming runs to the pattern (builder style).
+    pub fn with_streaming(mut self, prob: f64, run_len: u32) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.seq_run_prob = prob;
+        self.seq_run_len = run_len;
+        self
+    }
+
+    /// Fraction of all emitted accesses that belong to streaming runs.
+    pub fn streaming_fraction(&self) -> f64 {
+        if self.seq_run_prob == 0.0 || self.seq_run_len == 0 {
+            return 0.0;
+        }
+        let extra = self.seq_run_prob * self.seq_run_len as f64;
+        extra / (1.0 + extra)
+    }
+
+    /// Ground-truth miss probability at an effective cache size of `s`
+    /// ways: the tail mass beyond position `s`, plus new-line and
+    /// streaming accesses (both behave as infinite-distance).
+    pub fn true_mpa(&self, s: usize) -> f64 {
+        let f_run = self.streaming_fraction();
+        let tail: f64 = self.dist.iter().skip(s).sum::<f64>() + self.p_new;
+        f_run + (1.0 - f_run) * tail
+    }
+
+    /// Largest stack position with non-zero probability (the pattern's
+    /// working-set depth in ways).
+    pub fn depth(&self) -> usize {
+        self.dist.iter().rposition(|&p| p > 0.0).map_or(0, |i| i + 1)
+    }
+}
+
+/// Per-instruction event rates of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    /// L2 accesses per instruction (paper: API). Must be in `(0, 1]` for
+    /// workloads that access the L2.
+    pub api: f64,
+    /// L1 data references per instruction (paper-facing: L1RPI).
+    pub l1rpi: f64,
+    /// Branches per instruction (BRPI).
+    pub brpi: f64,
+    /// FP operations per instruction (FPPI).
+    pub fppi: f64,
+}
+
+impl InstructionMix {
+    /// A CPU-bound integer mix with the given API.
+    pub fn integer(api: f64) -> Self {
+        InstructionMix { api, l1rpi: 0.35, brpi: 0.20, fppi: 0.0 }
+    }
+
+    /// A floating-point mix with the given API.
+    pub fn floating_point(api: f64) -> Self {
+        InstructionMix { api, l1rpi: 0.40, brpi: 0.12, fppi: 0.30 }
+    }
+}
+
+/// A generator that reproduces a target [`AccessPattern`] and
+/// [`InstructionMix`].
+///
+/// Each process must receive a distinct `region` so address spaces never
+/// overlap (the paper assumes no data sharing between processes).
+pub struct StackDistGenerator {
+    name: String,
+    pattern: AccessPattern,
+    mix: InstructionMix,
+    num_sets: usize,
+    region: u64,
+    /// Per-set private LRU stacks of this process's own lines.
+    stacks: Vec<VecDeque<LineAddr>>,
+    /// Monotone allocator for fresh lines.
+    next_unique: u64,
+    /// Remaining lines in the current streaming run.
+    run_left: u32,
+    last_addr: LineAddr,
+    /// Round-robin set cursor (decorrelates set choice from the RNG).
+    set_cursor: usize,
+    /// Cumulative distribution over positions for fast sampling.
+    cdf: Vec<f64>,
+    stack_cap: usize,
+}
+
+impl StackDistGenerator {
+    /// Creates a generator targeting a cache with `num_sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets == 0`, the pattern is empty, or `api` is not in
+    /// `(0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        pattern: AccessPattern,
+        mix: InstructionMix,
+        num_sets: usize,
+        region: u64,
+    ) -> Self {
+        assert!(num_sets > 0, "generator needs a positive set count");
+        assert!(mix.api > 0.0 && mix.api <= 1.0, "api must be in (0, 1], got {}", mix.api);
+        assert!(!pattern.dist.is_empty() || pattern.p_new > 0.0, "pattern must be non-empty");
+        let mut cdf = Vec::with_capacity(pattern.dist.len());
+        let mut acc = 0.0;
+        for &p in &pattern.dist {
+            acc += p;
+            cdf.push(acc);
+        }
+        let stack_cap = (pattern.dist.len() + 8).max(16);
+        StackDistGenerator {
+            name: name.into(),
+            pattern,
+            mix,
+            num_sets,
+            region,
+            stacks: vec![VecDeque::new(); num_sets],
+            next_unique: 0,
+            run_left: 0,
+            last_addr: LineAddr(0),
+            set_cursor: 0,
+            cdf,
+            stack_cap,
+        }
+    }
+
+    fn fresh_line(&mut self, set: usize) -> LineAddr {
+        let unique = (self.region << 40) | self.next_unique;
+        self.next_unique += 1;
+        LineAddr(set as u64 + self.num_sets as u64 * unique)
+    }
+
+    fn touch(&mut self, addr: LineAddr) {
+        let set = (addr.0 % self.num_sets as u64) as usize;
+        let stack = &mut self.stacks[set];
+        if let Some(pos) = stack.iter().position(|&a| a == addr) {
+            stack.remove(pos);
+        }
+        stack.push_front(addr);
+        stack.truncate(self.stack_cap);
+    }
+
+    fn next_access(&mut self, rng: &mut dyn RngCore) -> LineAddr {
+        // Continue an active streaming run.
+        if self.run_left > 0 {
+            self.run_left -= 1;
+            let addr = self.last_addr.next();
+            self.last_addr = addr;
+            self.touch(addr);
+            return addr;
+        }
+        // Maybe start a new run with a fresh region of lines.
+        if self.pattern.seq_run_prob > 0.0
+            && rng.gen_range(0.0..1.0) < self.pattern.seq_run_prob
+            && self.pattern.seq_run_len > 0
+        {
+            self.run_left = self.pattern.seq_run_len - 1;
+            let set = self.advance_cursor();
+            let addr = self.fresh_line(set);
+            self.last_addr = addr;
+            self.touch(addr);
+            return addr;
+        }
+        // Ordinary stack-position draw.
+        let set = self.advance_cursor();
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let addr = match self.cdf.iter().position(|&c| u < c) {
+            Some(idx) => {
+                // Position idx + 1 in this set's private stack.
+                match self.stacks[set].get(idx).copied() {
+                    Some(a) => a,
+                    None => self.fresh_line(set), // stack not yet deep enough
+                }
+            }
+            None => self.fresh_line(set), // the p_new tail
+        };
+        self.last_addr = addr;
+        self.touch(addr);
+        addr
+    }
+
+    fn advance_cursor(&mut self) -> usize {
+        // Walk sets with a large odd stride so consecutive accesses spread
+        // across the index space while still covering every set uniformly.
+        let set = self.set_cursor;
+        self.set_cursor = (self.set_cursor + 17) % self.num_sets;
+        set
+    }
+
+    /// The pattern this generator reproduces.
+    pub fn pattern(&self) -> &AccessPattern {
+        &self.pattern
+    }
+
+    /// The instruction mix this generator reproduces.
+    pub fn mix(&self) -> &InstructionMix {
+        &self.mix
+    }
+}
+
+impl AccessGenerator for StackDistGenerator {
+    fn next_step(&mut self, rng: &mut dyn RngCore) -> Step {
+        // Geometric-ish gap with mean 1/api (exponential draw, min 1).
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = ((-u.ln()) / self.mix.api).round().max(1.0) as u64;
+        let addr = self.next_access(rng);
+        Step {
+            instructions: gap,
+            l1_refs: stochastic_count(gap, self.mix.l1rpi, rng),
+            branches: stochastic_count(gap, self.mix.brpi, rng),
+            fp_ops: stochastic_count(gap, self.mix.fppi, rng),
+            stall_cycles: 0,
+            access: Some(addr),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for StackDistGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackDistGenerator")
+            .field("name", &self.name)
+            .field("depth", &self.pattern.depth())
+            .field("api", &self.mix.api)
+            .field("region", &self.region)
+            .finish()
+    }
+}
+
+/// Unbiased integer count for `n` trials at per-trial rate `rate`
+/// (expected value `n * rate`, supports `rate > 1` for multi-event
+/// instructions).
+pub fn stochastic_count(n: u64, rate: f64, rng: &mut dyn RngCore) -> u64 {
+    if rate <= 0.0 || n == 0 {
+        return 0;
+    }
+    let expected = n as f64 * rate;
+    let base = expected.floor();
+    let frac = expected - base;
+    base as u64 + u64::from(rng.gen_range(0.0..1.0) < frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1234)
+    }
+
+    fn simple_pattern() -> AccessPattern {
+        AccessPattern::from_weights(&[4.0, 3.0, 2.0, 1.0], 1.0)
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let p = simple_pattern();
+        let total: f64 = p.dist.iter().sum::<f64>() + p.p_new;
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((p.dist[0] - 4.0 / 11.0).abs() < 1e-12);
+        assert!((p.p_new - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_mpa_is_tail_mass() {
+        let p = simple_pattern();
+        assert!((p.true_mpa(0) - 1.0).abs() < 1e-12);
+        assert!((p.true_mpa(4) - p.p_new).abs() < 1e-12);
+        assert!((p.true_mpa(2) - (p.dist[2] + p.dist[3] + p.p_new)).abs() < 1e-12);
+        // Monotone non-increasing in s.
+        for s in 0..6 {
+            assert!(p.true_mpa(s) >= p.true_mpa(s + 1) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn depth_reports_last_nonzero() {
+        assert_eq!(simple_pattern().depth(), 4);
+        let p = AccessPattern::from_weights(&[1.0, 0.0, 0.0], 0.5);
+        assert_eq!(p.depth(), 1);
+    }
+
+    #[test]
+    fn streaming_fraction_math() {
+        let p = simple_pattern().with_streaming(0.1, 10);
+        // extra = 1.0 per base access -> half of all accesses stream.
+        assert!((p.streaming_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(simple_pattern().streaming_fraction(), 0.0);
+    }
+
+    #[test]
+    fn generator_emits_requested_distance_distribution() {
+        // Drive the generator and recompute its empirical stack-position
+        // distribution with an independent oracle (per-set stacks).
+        let pattern = simple_pattern();
+        let mix = InstructionMix::integer(0.05);
+        let num_sets = 64;
+        let mut g = StackDistGenerator::new("t", pattern.clone(), mix, num_sets, 0);
+        let mut rng = rng();
+        let mut oracle: Vec<Vec<LineAddr>> = vec![Vec::new(); num_sets];
+        let mut pos_counts = [0u64; 8];
+        let mut new_count = 0u64;
+        let n = 60_000;
+        for _ in 0..n {
+            let step = g.next_step(&mut rng);
+            let addr = step.access.unwrap();
+            let set = (addr.0 % num_sets as u64) as usize;
+            let st = &mut oracle[set];
+            match st.iter().position(|&a| a == addr) {
+                Some(p) => {
+                    if p < pos_counts.len() {
+                        pos_counts[p] += 1;
+                    }
+                    st.remove(p);
+                }
+                None => new_count += 1,
+            }
+            st.insert(0, addr);
+            st.truncate(16);
+        }
+        let total = n as f64;
+        for (i, &expect) in pattern.dist.iter().enumerate() {
+            let got = pos_counts[i] as f64 / total;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "position {}: got {got:.3}, expected {expect:.3}",
+                i + 1
+            );
+        }
+        let got_new = new_count as f64 / total;
+        // Early accesses are compulsory-new until stacks warm, so allow a
+        // small positive bias.
+        assert!((got_new - pattern.p_new).abs() < 0.03, "new: {got_new:.3} vs {}", pattern.p_new);
+    }
+
+    #[test]
+    fn gap_matches_api() {
+        let mix = InstructionMix::integer(0.02);
+        let mut g = StackDistGenerator::new("t", simple_pattern(), mix, 16, 0);
+        let mut rng = rng();
+        let n = 20_000;
+        let total_instr: u64 = (0..n).map(|_| g.next_step(&mut rng).instructions).sum();
+        let api = n as f64 / total_instr as f64;
+        assert!((api - 0.02).abs() < 0.002, "api {api}");
+    }
+
+    #[test]
+    fn mix_rates_match() {
+        let mix = InstructionMix { api: 0.05, l1rpi: 0.4, brpi: 0.15, fppi: 0.25 };
+        let mut g = StackDistGenerator::new("t", simple_pattern(), mix, 16, 0);
+        let mut rng = rng();
+        let mut instr = 0u64;
+        let mut l1 = 0u64;
+        let mut br = 0u64;
+        let mut fp = 0u64;
+        for _ in 0..20_000 {
+            let s = g.next_step(&mut rng);
+            instr += s.instructions;
+            l1 += s.l1_refs;
+            br += s.branches;
+            fp += s.fp_ops;
+        }
+        assert!((l1 as f64 / instr as f64 - 0.4).abs() < 0.02);
+        assert!((br as f64 / instr as f64 - 0.15).abs() < 0.02);
+        assert!((fp as f64 / instr as f64 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn regions_do_not_collide() {
+        let mut a = StackDistGenerator::new("a", simple_pattern(), InstructionMix::integer(0.1), 16, 1);
+        let mut b = StackDistGenerator::new("b", simple_pattern(), InstructionMix::integer(0.1), 16, 2);
+        let mut rng = rng();
+        let addrs_a: std::collections::HashSet<u64> =
+            (0..500).map(|_| a.next_step(&mut rng).access.unwrap().0).collect();
+        let addrs_b: std::collections::HashSet<u64> =
+            (0..500).map(|_| b.next_step(&mut rng).access.unwrap().0).collect();
+        assert!(addrs_a.is_disjoint(&addrs_b));
+    }
+
+    #[test]
+    fn streaming_emits_consecutive_lines() {
+        let pattern = AccessPattern::from_weights(&[1.0], 0.0).with_streaming(1.0, 4);
+        let mut g = StackDistGenerator::new("s", pattern, InstructionMix::integer(0.1), 16, 0);
+        let mut rng = rng();
+        let addrs: Vec<u64> = (0..4).map(|_| g.next_step(&mut rng).access.unwrap().0).collect();
+        assert_eq!(addrs[1], addrs[0] + 1);
+        assert_eq!(addrs[2], addrs[0] + 2);
+        assert_eq!(addrs[3], addrs[0] + 3);
+    }
+
+    #[test]
+    fn stochastic_count_unbiased() {
+        let mut rng = rng();
+        let trials = 10_000;
+        let sum: u64 = (0..trials).map(|_| stochastic_count(10, 0.35, &mut rng)).sum();
+        let avg = sum as f64 / trials as f64;
+        assert!((avg - 3.5).abs() < 0.05, "{avg}");
+        assert_eq!(stochastic_count(0, 0.5, &mut rng), 0);
+        assert_eq!(stochastic_count(10, 0.0, &mut rng), 0);
+        // rate > 1 supported.
+        let sum: u64 = (0..trials).map(|_| stochastic_count(10, 1.2, &mut rng)).sum();
+        assert!((sum as f64 / trials as f64 - 12.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "api must be in")]
+    fn invalid_api_panics() {
+        StackDistGenerator::new(
+            "t",
+            simple_pattern(),
+            InstructionMix { api: 0.0, l1rpi: 0.0, brpi: 0.0, fppi: 0.0 },
+            16,
+            0,
+        );
+    }
+}

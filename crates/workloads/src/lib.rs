@@ -1,0 +1,35 @@
+//! Synthetic workloads for the `mpmc` workspace.
+//!
+//! SPEC CPU2000 binaries are not available in this environment, so this
+//! crate provides behaviour-preserving synthetic stand-ins (see the
+//! substitution table in `DESIGN.md`):
+//!
+//! - [`generator`]: the stack-distance-driven reference generator that all
+//!   workloads are built on, parameterized by a reuse-distance
+//!   distribution and an instruction mix — exactly the quantities the
+//!   paper's models consume.
+//! - [`spec`]: ten named workloads mirroring the paper's benchmarks
+//!   (gzip, vpr, mcf, bzip2, twolf, art, equake, ammp, gcc, parser).
+//! - [`stressmark`]: the tunable-footprint profiling stressmark of §3.4.
+//! - [`microbench`]: the six-phase, eight-level power-training
+//!   microbenchmark of §4.1.
+//! - [`phased`]: multi-phase workloads for the assumption-violation
+//!   study (the paper's §3.1 assumption 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::spec::SpecWorkload;
+//!
+//! let mcf = SpecWorkload::Mcf.params();
+//! // mcf is memory-bound: even with half a 16-way cache it still misses.
+//! assert!(mcf.pattern.true_mpa(8) > 0.1);
+//! let gen = mcf.generator(512, 0);
+//! # let _ = gen;
+//! ```
+
+pub mod generator;
+pub mod microbench;
+pub mod phased;
+pub mod spec;
+pub mod stressmark;

@@ -1,0 +1,242 @@
+//! Multi-phase workloads: deliberately violating the paper's
+//! single-phase assumption (§3.1, assumption 2).
+//!
+//! The paper assumes each process has a single dominant phase and notes
+//! that "in the case of multiple non-repeating phases with distinct
+//! memory access patterns, non-repeating phases should be modeled
+//! separately". This module builds processes that alternate between
+//! phases with distinct reuse behaviour, so the `phase_study` experiment
+//! can quantify (a) how much accuracy the single-phase profile loses and
+//! (b) how much per-phase modeling recovers.
+
+use crate::generator::{AccessPattern, InstructionMix, StackDistGenerator};
+use crate::spec::WorkloadParams;
+use cmpsim::process::{AccessGenerator, Step};
+use rand::RngCore;
+
+/// One phase of a phased workload.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Reuse behaviour during this phase.
+    pub pattern: AccessPattern,
+    /// Instruction mix during this phase.
+    pub mix: InstructionMix,
+    /// Phase length in instructions.
+    pub instructions: u64,
+}
+
+impl Phase {
+    /// Builds a phase from workload parameters and a length.
+    pub fn from_params(params: &WorkloadParams, instructions: u64) -> Self {
+        Phase { pattern: params.pattern.clone(), mix: params.mix, instructions }
+    }
+
+    /// A single-phase [`WorkloadParams`] view of this phase, for per-phase
+    /// profiling (the paper's remedy for multi-phase processes).
+    pub fn as_workload(&self, name: &'static str) -> WorkloadParams {
+        WorkloadParams { name, pattern: self.pattern.clone(), mix: self.mix }
+    }
+}
+
+/// A generator cycling through phases with distinct access behaviour.
+///
+/// Each phase owns a distinct address region, so a phase change replaces
+/// the working set completely — the hardest case for a single-phase
+/// profile.
+pub struct PhasedGenerator {
+    name: String,
+    phases: Vec<Phase>,
+    generators: Vec<StackDistGenerator>,
+    current: usize,
+    spent: u64,
+    cycles_completed: u64,
+}
+
+impl PhasedGenerator {
+    /// Creates a phased generator targeting a cache with `num_sets` sets.
+    /// Phase `i` uses address region `region_base + i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has a zero instruction
+    /// budget.
+    pub fn new(
+        name: impl Into<String>,
+        phases: Vec<Phase>,
+        num_sets: usize,
+        region_base: u64,
+    ) -> Self {
+        assert!(!phases.is_empty(), "phased workload needs at least one phase");
+        assert!(
+            phases.iter().all(|p| p.instructions > 0),
+            "every phase needs a positive instruction budget"
+        );
+        let name = name.into();
+        let generators = phases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                StackDistGenerator::new(
+                    format!("{name}.phase{i}"),
+                    p.pattern.clone(),
+                    p.mix,
+                    num_sets,
+                    region_base + i as u64,
+                )
+            })
+            .collect();
+        PhasedGenerator { name, phases, generators, current: 0, spent: 0, cycles_completed: 0 }
+    }
+
+    /// Index of the phase currently executing.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    /// How many full sweeps over all phases have completed.
+    pub fn cycles_completed(&self) -> u64 {
+        self.cycles_completed
+    }
+
+    /// The phases of this workload.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The fraction of instructions spent in each phase over one cycle —
+    /// the weights for per-phase model composition.
+    pub fn phase_weights(&self) -> Vec<f64> {
+        let total: u64 = self.phases.iter().map(|p| p.instructions).sum();
+        self.phases.iter().map(|p| p.instructions as f64 / total as f64).collect()
+    }
+}
+
+impl AccessGenerator for PhasedGenerator {
+    fn next_step(&mut self, rng: &mut dyn RngCore) -> Step {
+        if self.spent >= self.phases[self.current].instructions {
+            self.spent = 0;
+            self.current += 1;
+            if self.current == self.phases.len() {
+                self.current = 0;
+                self.cycles_completed += 1;
+            }
+        }
+        let step = self.generators[self.current].next_step(rng);
+        self.spent += step.instructions;
+        step
+    }
+
+    fn label(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for PhasedGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhasedGenerator")
+            .field("name", &self.name)
+            .field("phases", &self.phases.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecWorkload;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn two_phase(num_sets: usize) -> PhasedGenerator {
+        PhasedGenerator::new(
+            "gzip-mcf",
+            vec![
+                Phase::from_params(&SpecWorkload::Gzip.params(), 50_000),
+                Phase::from_params(&SpecWorkload::Mcf.params(), 50_000),
+            ],
+            num_sets,
+            1,
+        )
+    }
+
+    #[test]
+    fn phases_alternate() {
+        let mut g = two_phase(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(g.current_phase(), 0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..5_000 {
+            g.next_step(&mut rng);
+            seen.insert(g.current_phase());
+        }
+        assert_eq!(seen.len(), 2, "both phases must run");
+        assert!(g.cycles_completed() >= 1, "schedule must wrap");
+    }
+
+    #[test]
+    fn phase_mix_changes_api() {
+        // gzip phase has ~250-instruction gaps; mcf ~29. Measure each.
+        let mut g = two_phase(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut instr = [0u64; 2];
+        let mut refs = [0u64; 2];
+        for _ in 0..20_000 {
+            let phase = {
+                let s = g.next_step(&mut rng);
+                let ph = g.current_phase();
+                instr[ph] += s.instructions;
+                refs[ph] += u64::from(s.access.is_some());
+                ph
+            };
+            let _ = phase;
+        }
+        let api0 = refs[0] as f64 / instr[0] as f64;
+        let api1 = refs[1] as f64 / instr[1] as f64;
+        assert!(api1 > 4.0 * api0, "mcf phase API {api1} vs gzip phase {api0}");
+    }
+
+    #[test]
+    fn phases_use_disjoint_regions() {
+        let mut g = two_phase(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut by_phase: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 2];
+        for _ in 0..20_000 {
+            let s = g.next_step(&mut rng);
+            if let Some(a) = s.access {
+                by_phase[g.current_phase()].insert(a.0);
+            }
+        }
+        assert!(by_phase[0].is_disjoint(&by_phase[1]));
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let g = PhasedGenerator::new(
+            "w",
+            vec![
+                Phase::from_params(&SpecWorkload::Gzip.params(), 30_000),
+                Phase::from_params(&SpecWorkload::Art.params(), 10_000),
+            ],
+            16,
+            0,
+        );
+        let w = g.phase_weights();
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert!((w[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn as_workload_roundtrip() {
+        let p = Phase::from_params(&SpecWorkload::Vpr.params(), 1_000);
+        let w = p.as_workload("vpr-phase");
+        assert_eq!(w.mix, SpecWorkload::Vpr.params().mix);
+        assert_eq!(w.pattern, SpecWorkload::Vpr.params().pattern);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panics() {
+        PhasedGenerator::new("x", vec![], 16, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Contention explorer: sweep a target workload against every co-runner
+//! in the suite and print the predicted slowdown matrix column — the
+//! motivating scenario of the paper's introduction (which neighbour will
+//! hurt my process, and by how much?).
+//!
+//! Uses ground-truth feature vectors (no profiling runs), so it executes
+//! in milliseconds; swap in `Profiler` for the measured pipeline.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example contention_explorer [workload]
+//! ```
+
+use mpmc::model::feature::FeatureVector;
+use mpmc::model::perf::PerformanceModel;
+use mpmc::sim::machine::MachineConfig;
+use mpmc::workloads::spec::SpecWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::four_core_server();
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".into());
+    let suite = SpecWorkload::duo_suite();
+    let target = *suite
+        .iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown workload '{name}'; choose from {suite:?}"))?;
+
+    let model = PerformanceModel::new(machine.l2_assoc());
+    let target_fv = FeatureVector::from_workload(&target.params(), &machine)?;
+
+    // Baseline: the target alone.
+    let alone = model.predict(std::slice::from_ref(&target_fv))?;
+    println!(
+        "'{target}' alone: {:.2} ways, MPA {:.3}, SPI {:.3e}\n",
+        alone[0].ways, alone[0].mpa, alone[0].spi
+    );
+    println!(
+        "{:<10}{:>12}{:>12}{:>12}{:>14}",
+        "co-runner", "target ways", "target MPA", "slowdown %", "partner ways"
+    );
+
+    let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for partner in suite {
+        let partner_fv = FeatureVector::from_workload(&partner.params(), &machine)?;
+        let pred = model.predict(&[&target_fv, &partner_fv])?;
+        let slowdown = (pred[0].spi / alone[0].spi - 1.0) * 100.0;
+        rows.push((partner.name().into(), pred[0].ways, pred[0].mpa, slowdown, pred[1].ways));
+    }
+    // Worst neighbours first.
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite slowdowns"));
+    for (partner, ways, mpa, slow, pways) in rows {
+        println!("{partner:<10}{ways:>12.2}{mpa:>12.3}{slow:>12.2}{pways:>14.2}");
+    }
+    println!("\n(the paper's O(k) promise: these {} predictions reused one profile per process)", suite.len());
+    Ok(())
+}

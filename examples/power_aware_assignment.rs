@@ -1,0 +1,97 @@
+//! Power-aware process assignment — the paper's §5 use case.
+//!
+//! Given a set of profiled processes and a partially loaded machine, use
+//! the combined model to evaluate the power of every candidate core for
+//! an incoming process *before running it*, pick the cheapest, and verify
+//! the ranking against measured power.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example power_aware_assignment
+//! ```
+
+use mpmc::model::assignment::{Assignment, CombinedModel};
+use mpmc::model::power::{build_training_set, PowerModel, TrainingOptions};
+use mpmc::model::profile::{ProfileOptions, Profiler};
+use mpmc::sim::engine::{simulate, Placement, SimOptions};
+use mpmc::sim::machine::MachineConfig;
+use mpmc::sim::process::ProcessSpec;
+use mpmc::workloads::spec::SpecWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::four_core_server();
+    let suite = [SpecWorkload::Gzip, SpecWorkload::Mcf, SpecWorkload::Art];
+
+    // Profile the three processes (performance feature vector + power
+    // profiling vector in one pass).
+    println!("profiling processes ...");
+    let profiler = Profiler::new(machine.clone())
+        .with_options(ProfileOptions { duration_s: 0.6, warmup_s: 0.2, seed: 11, ..Default::default() });
+    let profiles: Vec<_> = suite
+        .iter()
+        .map(|w| profiler.profile_full(&w.params()))
+        .collect::<Result<_, _>>()?;
+
+    // Train the Eq. 9 power model on the standard corpus.
+    println!("training power model ...");
+    let corpus: Vec<_> = SpecWorkload::table1_suite().iter().map(|w| w.params()).collect();
+    let obs = build_training_set(
+        &machine,
+        &corpus,
+        &TrainingOptions { duration_s: 0.8, warmup_s: 0.25, ..Default::default() },
+    )?;
+    let power = PowerModel::fit_mvlr(&obs)?;
+    let combined = CombinedModel::new(&machine, &power);
+
+    // Current state: mcf already runs on core 0 (die 0). Where should an
+    // incoming art go? Core 1 shares mcf's cache; cores 2 and 3 are on
+    // the other die.
+    let mut current = Assignment::new(machine.num_cores());
+    current.assign(0, 1); // mcf on core 0
+    println!("\ncandidate cores for incoming 'art' (mcf already on core 0):");
+    let mut best = (usize::MAX, f64::INFINITY);
+    for core in 0..machine.num_cores() {
+        let est = combined.estimate_after_assigning(&profiles, &current, 2, core)?;
+        println!("  core {core}: estimated processor power {est:6.2} W");
+        if est < best.1 {
+            best = (core, est);
+        }
+    }
+    println!("-> combined model picks core {} ({:.2} W)", best.0, best.1);
+
+    // Verify by actually running art on each candidate core.
+    println!("\nmeasured (simulated) power per candidate:");
+    let mut measured_best = (usize::MAX, f64::INFINITY);
+    for core in 0..machine.num_cores() {
+        let mut placement = Placement::idle(machine.num_cores());
+        placement.assign(
+            0,
+            ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1))),
+        );
+        placement.assign(
+            core,
+            ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(machine.l2_sets, 2))),
+        );
+        let run = simulate(
+            &machine,
+            placement,
+            SimOptions { duration_s: 2.0, warmup_s: 0.5, seed: 77 + core as u64, ..Default::default() },
+        )?;
+        let w = run.avg_measured_power();
+        println!("  core {core}: {w:6.2} W");
+        if w < measured_best.1 {
+            measured_best = (core, w);
+        }
+    }
+    println!("-> measurement picks core {} ({:.2} W)", measured_best.0, measured_best.1);
+
+    let same_die_model = machine.die_of(mpmc::sim::types::CoreId(best.0 as u32));
+    let same_die_meas = machine.die_of(mpmc::sim::types::CoreId(measured_best.0 as u32));
+    if same_die_model == same_die_meas {
+        println!("\nthe model's choice agrees with measurement (same die class).");
+    } else {
+        println!("\nnote: model and measurement picked different die classes this run.");
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The §3.4 automated profiling workflow, exposed step by step.
+//!
+//! Shows what the profiler actually does for one workload: a solo run,
+//! then a sweep of stressmark co-runs with growing footprint, each
+//! pinning the workload to a smaller slice of the cache. The resulting
+//! MPA curve, its finite-difference reuse histogram (Eq. 8), and the
+//! fitted SPI line (Eq. 3) are printed against the generator's ground
+//! truth — a comparison only possible in simulation.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example profiling_workflow
+//! ```
+
+use mpmc::model::profile::{ProfileOptions, Profiler};
+use mpmc::sim::machine::MachineConfig;
+use mpmc::workloads::spec::SpecWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::four_core_server();
+    let workload = SpecWorkload::Twolf;
+    let params = workload.params();
+    let assoc = machine.l2_assoc();
+
+    println!("profiling '{}' on {} ({}-way shared L2)", workload, machine.name, assoc);
+    println!("runs: 1 solo + {} stressmark co-runs\n", assoc - 1);
+
+    let profiler = Profiler::new(machine.clone())
+        .with_options(ProfileOptions { duration_s: 0.8, warmup_s: 0.3, seed: 3, ..Default::default() });
+    let fv = profiler.profile(&params)?;
+
+    // The measured MPA curve vs the generator's ground truth.
+    println!("{:>6}{:>16}{:>14}", "ways", "profiled MPA", "true MPA");
+    for s in 0..=assoc {
+        println!(
+            "{s:>6}{:>16.4}{:>14.4}",
+            fv.mpa(s as f64),
+            params.pattern.true_mpa(s)
+        );
+    }
+
+    // The recovered reuse-distance histogram (Eq. 8 differences).
+    println!("\nreuse-distance histogram (stack positions):");
+    for (i, &p) in fv.histogram().probs().iter().enumerate().take(12) {
+        let bar = "#".repeat((p * 200.0).round() as usize);
+        println!("  pos {:>2}: {p:.4} {bar}", i + 1);
+    }
+    println!("  inf   : {:.4}", fv.histogram().p_inf());
+
+    // The fitted SPI line.
+    println!(
+        "\nSPI model: SPI = {:.3e} * MPA + {:.3e}",
+        fv.spi_model().alpha(),
+        fv.spi_model().beta()
+    );
+    let alpha_true = params.mix.api * (machine.mem_cycles - machine.l2_hit_cycles) as f64
+        / machine.freq_hz;
+    let beta_true = (machine.cpi_base + params.mix.api * machine.l2_hit_cycles as f64)
+        / machine.freq_hz;
+    println!("timing-model truth:  alpha {alpha_true:.3e}, beta {beta_true:.3e}");
+    println!("\nfeature vector complete: histogram + API ({:.4}) + (alpha, beta).", fv.api());
+    Ok(())
+}

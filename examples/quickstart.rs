@@ -1,0 +1,72 @@
+//! Quickstart: profile two workloads once each, then predict how they
+//! degrade each other when sharing a last-level cache — without ever
+//! running them together — and check the prediction against a real co-run.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mpmc::model::perf::PerformanceModel;
+use mpmc::model::profile::{ProfileOptions, Profiler};
+use mpmc::sim::engine::{simulate, Placement, SimOptions};
+use mpmc::sim::machine::MachineConfig;
+use mpmc::sim::process::ProcessSpec;
+use mpmc::workloads::spec::SpecWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Q6600-like 4-core server: two cores per die share a 16-way L2.
+    let machine = MachineConfig::four_core_server();
+    println!("machine: {}", machine.name);
+
+    // Step 1 — profile each process once with the stressmark (O(k) runs
+    // cover all 2^k - 1 co-run subsets).
+    let profiler = Profiler::new(machine.clone())
+        .with_options(ProfileOptions { duration_s: 0.6, warmup_s: 0.2, seed: 7, ..Default::default() });
+    let mcf = profiler.profile(&SpecWorkload::Mcf.params())?;
+    let gzip = profiler.profile(&SpecWorkload::Gzip.params())?;
+    println!("profiled {} (API {:.4}) and {} (API {:.4})", mcf.name(), mcf.api(), gzip.name(), gzip.api());
+
+    // Step 2 — predict the steady state of the pair sharing the cache.
+    let model = PerformanceModel::new(machine.l2_assoc());
+    let pred = model.predict(&[&mcf, &gzip])?;
+    println!("\nprediction (16-way shared cache):");
+    for (fv, p) in [&mcf, &gzip].iter().zip(&pred) {
+        println!(
+            "  {:<6} ways {:5.2}  MPA {:.3}  SPI {:.3e}",
+            fv.name(),
+            p.ways,
+            p.mpa,
+            p.spi
+        );
+    }
+
+    // Step 3 — check against an actual co-run on the simulator.
+    let mut placement = Placement::idle(machine.num_cores());
+    placement.assign(
+        0,
+        ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1))),
+    );
+    placement.assign(
+        1,
+        ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(machine.l2_sets, 2))),
+    );
+    let run = simulate(
+        &machine,
+        placement,
+        SimOptions { duration_s: 1.5, warmup_s: 0.5, seed: 42, ..Default::default() },
+    )?;
+    println!("\nmeasured co-run:");
+    for (p, pr) in run.processes.iter().zip(&pred) {
+        let spi_err = (pr.spi - p.spi()).abs() / p.spi() * 100.0;
+        println!(
+            "  {:<6} ways {:5.2}  MPA {:.3}  SPI {:.3e}   (SPI prediction error {spi_err:.2}%)",
+            p.name,
+            p.avg_ways,
+            p.mpa(),
+            p.spi()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Dinero-style trace-driven cache analysis (the paper's reference [1]).
+//!
+//! Records a trace from a synthetic workload, saves and reloads it in the
+//! text format, then analyzes it offline: the exact per-set stack-distance
+//! histogram and the miss-ratio curve across associativities — the same
+//! quantities the on-line model estimates without a trace. The comparison
+//! at the end is the point: the trace-driven result is exact but needs
+//! the full address stream; the model needs only `A` profiling runs.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example trace_cache_sim [workload]
+//! ```
+
+use mpmc::sim::process::AccessGenerator;
+use mpmc::sim::trace::{miss_ratio_curve, stack_distance_histogram, Trace, TraceRecorder};
+use mpmc::sim::types::LineAddr;
+use mpmc::workloads::spec::SpecWorkload;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "twolf".into());
+    let suite = SpecWorkload::duo_suite();
+    let workload = *suite
+        .iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown workload '{name}'; choose from {suite:?}"))?;
+
+    let num_sets = 64;
+    let assoc = 16;
+
+    // Record a trace.
+    let gen = workload.params().generator(num_sets, 0);
+    let (mut recorder, handle) = TraceRecorder::new(Box::new(gen));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+    for _ in 0..200_000 {
+        recorder.next_step(&mut rng);
+    }
+    let trace = handle.lock().expect("trace buffer").clone();
+    println!("recorded {} steps from '{workload}'", trace.len());
+
+    // Round-trip through the text format (as a file would).
+    let mut text = Vec::new();
+    trace.write_text(&mut text)?;
+    let trace = Trace::read_text(text.as_slice())?;
+    println!("text format round-trip: {} bytes", text.len());
+
+    let addrs: Vec<LineAddr> = trace.accesses().collect();
+    println!("{} L2 accesses\n", addrs.len());
+
+    // Exact stack-distance histogram.
+    let hist = stack_distance_histogram(&addrs, num_sets);
+    let total = addrs.len() as f64;
+    println!("exact per-set stack-distance histogram (top 12 positions):");
+    for (i, &count) in hist.iter().take(12).enumerate() {
+        let frac = count as f64 / total;
+        let bar = "#".repeat((frac * 200.0).round() as usize);
+        println!("  pos {:>2}: {frac:.4} {bar}", i + 1);
+    }
+    let cold = total - hist.iter().sum::<u64>() as f64;
+    println!("  deeper/cold: {:.4}", cold / total);
+
+    // Miss-ratio curve vs the model's analytic MPA curve.
+    let mrc = miss_ratio_curve(&addrs, num_sets, assoc);
+    let pattern = workload.params().pattern;
+    println!("\nmiss ratio vs associativity (trace-driven vs model MPA):");
+    println!("{:>6}{:>14}{:>14}", "ways", "trace-driven", "model MPA");
+    for a in 1..=assoc {
+        println!("{a:>6}{:>14.4}{:>14.4}", mrc[a - 1], pattern.true_mpa(a));
+    }
+    println!(
+        "\nthe trace-driven column needed the full {}-access stream; the model\ncolumn needed only the reuse histogram — the paper's trade-off in one table.",
+        addrs.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,178 @@
+//! Cross-crate integration: the §4 power pipeline and the §5 combined
+//! model, end to end on the simulator.
+
+use mpmc::model::assignment::{Assignment, CombinedModel};
+use mpmc::model::power::{build_training_set, CorePowerModel, PowerModel, TrainingOptions};
+use mpmc::model::profile::{ProfileOptions, Profiler};
+use mpmc::sim::engine::{simulate, Placement, SimOptions};
+use mpmc::sim::hpc::EventRates;
+use mpmc::sim::machine::MachineConfig;
+use mpmc::sim::process::ProcessSpec;
+use mpmc::workloads::spec::{SpecWorkload, WorkloadParams};
+
+fn tiny_machine() -> MachineConfig {
+    MachineConfig {
+        l2_sets: 64,
+        l2_assoc: 8,
+        // Short slices keep time-sharing tests fast in debug mode.
+        timeslice_s: 0.05,
+        ..MachineConfig::two_core_workstation()
+    }
+}
+
+fn quick_training() -> TrainingOptions {
+    TrainingOptions {
+        duration_s: 0.3,
+        warmup_s: 0.1,
+        seed: 21,
+        microbench_level_instructions: 60_000,
+        microbench_duration_s: 0.9,
+        ..Default::default()
+    }
+}
+
+fn small_suite() -> Vec<WorkloadParams> {
+    [SpecWorkload::Gzip, SpecWorkload::Mcf, SpecWorkload::Equake, SpecWorkload::Twolf]
+        .iter()
+        .map(|w| w.params())
+        .collect()
+}
+
+fn train(machine: &MachineConfig) -> PowerModel {
+    let obs = build_training_set(machine, &small_suite(), &quick_training()).unwrap();
+    PowerModel::fit_mvlr(&obs).unwrap()
+}
+
+#[test]
+fn power_model_tracks_unseen_assignment() {
+    let machine = tiny_machine();
+    let model = train(&machine);
+
+    // Validate on an assignment the training never saw (two different
+    // processes, not N copies of one).
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new("vpr", Box::new(SpecWorkload::Vpr.params().generator(64, 1))));
+    pl.assign(1, ProcessSpec::new("ammp", Box::new(SpecWorkload::Ammp.params().generator(64, 2))));
+    let run = simulate(
+        &machine,
+        pl,
+        SimOptions { duration_s: 0.6, warmup_s: 0.2, seed: 33, ..Default::default() },
+    )
+    .unwrap();
+
+    let mut errs = Vec::new();
+    for s in run.settled_power() {
+        let rates: Vec<EventRates> = run.core_samples.iter().map(|cs| cs[s.period]).collect();
+        let est = model.predict_processor(&rates);
+        errs.push((est - s.measured_watts).abs() / s.measured_watts);
+    }
+    let avg = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(avg < 0.08, "avg sample error {:.2}%", avg * 100.0);
+}
+
+#[test]
+fn idle_prediction_matches_idle_measurement() {
+    let machine = tiny_machine();
+    let model = train(&machine);
+    let run = simulate(
+        &machine,
+        Placement::idle(2),
+        SimOptions { duration_s: 0.4, warmup_s: 0.1, seed: 3, ..Default::default() },
+    )
+    .unwrap();
+    let est = model.predict_processor(&[EventRates::default(), EventRates::default()]);
+    let meas = run.avg_measured_power();
+    assert!(
+        (est - meas).abs() / meas < 0.08,
+        "idle estimate {est:.2} vs measured {meas:.2}"
+    );
+}
+
+#[test]
+fn combined_model_estimates_pair_power_from_profiles_only() {
+    let machine = tiny_machine();
+    let model = train(&machine);
+    let profiler = Profiler::new(machine.clone())
+        .with_options(ProfileOptions { duration_s: 0.3, warmup_s: 0.1, seed: 17, ..Default::default() });
+    let profiles = vec![
+        profiler.profile_full(&SpecWorkload::Mcf.params()).unwrap(),
+        profiler.profile_full(&SpecWorkload::Gzip.params()).unwrap(),
+    ];
+
+    let combined = CombinedModel::new(&machine, &model);
+    let mut asg = Assignment::new(2);
+    asg.assign(0, 0).assign(1, 1);
+    let est = combined.estimate_processor_power(&profiles, &asg).unwrap();
+
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))));
+    pl.assign(1, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 2))));
+    let run = simulate(
+        &machine,
+        pl,
+        SimOptions { duration_s: 0.6, warmup_s: 0.2, seed: 55, ..Default::default() },
+    )
+    .unwrap();
+    let meas = run.avg_measured_power();
+    let err = (est - meas).abs() / meas;
+    assert!(err < 0.10, "combined estimate {est:.2} vs measured {meas:.2} ({:.1}%)", err * 100.0);
+}
+
+#[test]
+fn combined_model_ranks_light_vs_heavy_assignments() {
+    let machine = tiny_machine();
+    let model = train(&machine);
+    let profiler = Profiler::new(machine.clone())
+        .with_options(ProfileOptions { duration_s: 0.3, warmup_s: 0.1, seed: 27, ..Default::default() });
+    let profiles = vec![
+        profiler.profile_full(&SpecWorkload::Ammp.params()).unwrap(), // busy FP
+        profiler.profile_full(&SpecWorkload::Gzip.params()).unwrap(), // light, cache-friendly
+    ];
+    let combined = CombinedModel::new(&machine, &model);
+
+    // One busy FP process exceeds idle; adding a light second process
+    // (which barely contends for cache) raises power further. Note: with
+    // a *memory-hog* second process this ordering can legitimately flip —
+    // §4.2 of the paper observes that increased cache contention can
+    // lower processor power because the fitted c3 is negative.
+    let idle = combined.estimate_processor_power(&profiles, &Assignment::new(2)).unwrap();
+    let mut one = Assignment::new(2);
+    one.assign(0, 0);
+    let p_one = combined.estimate_processor_power(&profiles, &one).unwrap();
+    let mut two = Assignment::new(2);
+    two.assign(0, 0).assign(1, 1);
+    let p_two = combined.estimate_processor_power(&profiles, &two).unwrap();
+    assert!(p_one > idle + 1.0, "{p_one} vs idle {idle}");
+    assert!(p_two > p_one, "{p_two} vs {p_one}");
+}
+
+#[test]
+fn time_shared_core_estimate_matches_measurement() {
+    let machine = tiny_machine();
+    let model = train(&machine);
+    let profiler = Profiler::new(machine.clone())
+        .with_options(ProfileOptions { duration_s: 0.3, warmup_s: 0.1, seed: 31, ..Default::default() });
+    let profiles = vec![
+        profiler.profile_full(&SpecWorkload::Gzip.params()).unwrap(),
+        profiler.profile_full(&SpecWorkload::Twolf.params()).unwrap(),
+    ];
+    let combined = CombinedModel::new(&machine, &model);
+    let mut asg = Assignment::new(2);
+    asg.assign(0, 0).assign(0, 1); // both on core 0
+
+    let est = combined.estimate_processor_power(&profiles, &asg).unwrap();
+
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1))));
+    pl.assign(0, ProcessSpec::new("twolf", Box::new(SpecWorkload::Twolf.params().generator(64, 2))));
+    let run = simulate(
+        &machine,
+        pl,
+        // Whole number of slice rotations: 0.05 s slices, 2 procs.
+        SimOptions { duration_s: 1.0, warmup_s: 0.2, seed: 61, ..Default::default() },
+    )
+    .unwrap();
+    let meas = run.avg_measured_power();
+    let err = (est - meas).abs() / meas;
+    assert!(err < 0.12, "time-shared estimate {est:.2} vs {meas:.2} ({:.1}%)", err * 100.0);
+}

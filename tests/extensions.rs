@@ -1,0 +1,125 @@
+//! Cross-crate integration tests for the post-validation extensions:
+//! way partitioning through the engine, trace replay through the engine,
+//! and phased workloads under co-scheduling.
+
+use mpmc::sim::engine::{simulate, Placement, SimError, SimOptions};
+use mpmc::sim::machine::MachineConfig;
+use mpmc::sim::process::{AccessGenerator, ProcessSpec};
+use mpmc::sim::trace::{TraceRecorder, TraceReplayer};
+use mpmc::workloads::phased::{Phase, PhasedGenerator};
+use mpmc::workloads::spec::SpecWorkload;
+use rand::SeedableRng;
+
+fn tiny_machine() -> MachineConfig {
+    MachineConfig { l2_sets: 64, l2_assoc: 8, ..MachineConfig::two_core_workstation() }
+}
+
+fn opts(seed: u64) -> SimOptions {
+    SimOptions { duration_s: 0.4, warmup_s: 0.12, seed, ..Default::default() }
+}
+
+#[test]
+fn engine_enforces_way_quotas() {
+    let m = tiny_machine();
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))));
+    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2))));
+
+    // Unconstrained: two hogs split roughly evenly.
+    let free = simulate(&m, pl, opts(1)).unwrap();
+    let free_ways = free.processes[0].avg_ways;
+
+    // Quota mcf to 2 ways: its occupancy must drop to ~2 and its MPA rise.
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))));
+    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2))));
+    let capped = simulate(
+        &m,
+        pl,
+        SimOptions { way_quotas: vec![(0, 2)], ..opts(1) },
+    )
+    .unwrap();
+    let capped_ways = capped.processes[0].avg_ways;
+    assert!(capped_ways <= 2.0 + 1e-9, "quota violated: {capped_ways}");
+    assert!(capped_ways < free_ways, "quota had no effect: {capped_ways} vs {free_ways}");
+    assert!(capped.processes[0].mpa() > free.processes[0].mpa());
+    // The partner benefits from the freed space.
+    assert!(capped.processes[1].avg_ways > free.processes[1].avg_ways);
+}
+
+#[test]
+fn engine_rejects_bad_quotas() {
+    let m = tiny_machine();
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1))));
+    // Quota for a process that does not exist.
+    let err = simulate(&m, pl, SimOptions { way_quotas: vec![(5, 2)], ..opts(2) }).unwrap_err();
+    assert!(matches!(err, SimError::InvalidOptions(_)));
+    // Quota out of range.
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1))));
+    let err = simulate(&m, pl, SimOptions { way_quotas: vec![(0, 99)], ..opts(2) }).unwrap_err();
+    assert!(matches!(err, SimError::InvalidOptions(_)));
+}
+
+#[test]
+fn trace_replay_reproduces_engine_statistics() {
+    let m = tiny_machine();
+
+    // Record a run.
+    let gen = SpecWorkload::Twolf.params().generator(64, 1);
+    let (rec, handle) = TraceRecorder::new(Box::new(gen));
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new("twolf", Box::new(rec)));
+    let original = simulate(&m, pl, opts(3)).unwrap();
+
+    // Replay the captured trace: same machine, same placement shape. The
+    // replayer is RNG-independent, so the cache behaviour is identical.
+    let trace = handle.lock().unwrap().clone();
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new("twolf-replay", Box::new(TraceReplayer::new(trace))));
+    let replayed = simulate(&m, pl, opts(999)).unwrap(); // different seed on purpose
+
+    let a = &original.processes[0];
+    let b = &replayed.processes[0];
+    // The replay loops the trace, so totals differ slightly at the ends;
+    // the rates must match tightly.
+    assert!((a.mpa() - b.mpa()).abs() < 0.01, "mpa {} vs {}", a.mpa(), b.mpa());
+    assert!((a.api() - b.api()).abs() < 0.001, "api {} vs {}", a.api(), b.api());
+    let spi_ratio = a.spi() / b.spi();
+    assert!((0.98..=1.02).contains(&spi_ratio), "spi ratio {spi_ratio}");
+}
+
+#[test]
+fn phased_workload_runs_under_contention() {
+    let m = tiny_machine();
+    let phases = vec![
+        Phase::from_params(&SpecWorkload::Gzip.params(), 300_000),
+        Phase::from_params(&SpecWorkload::Mcf.params(), 300_000),
+    ];
+    let mut pl = Placement::idle(2);
+    pl.assign(
+        0,
+        ProcessSpec::new("phased", Box::new(PhasedGenerator::new("phased", phases, 64, 1))),
+    );
+    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 5))));
+    let run = simulate(&m, pl, SimOptions { duration_s: 0.8, warmup_s: 0.2, seed: 4, ..Default::default() })
+        .unwrap();
+    let p = &run.processes[0];
+    assert!(p.counters.instructions > 500_000, "phased process must progress");
+    // Its API must be between the two phases' APIs (it mixes them).
+    let api = p.api();
+    assert!(api > 0.004 && api < 0.035, "mixed api {api}");
+}
+
+#[test]
+fn recorded_trace_survives_text_roundtrip_at_scale() {
+    let mut gen = SpecWorkload::Parser.params().generator(64, 1);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let trace: mpmc::sim::trace::Trace =
+        (0..5_000).map(|_| gen.next_step(&mut rng)).collect();
+    let mut buf = Vec::new();
+    trace.write_text(&mut buf).unwrap();
+    let back = mpmc::sim::trace::Trace::read_text(buf.as_slice()).unwrap();
+    assert_eq!(back, trace);
+}

@@ -1,0 +1,162 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates.
+
+use mpmc::math::interp::PiecewiseLinear;
+use mpmc::model::equilibrium;
+use mpmc::model::feature::FeatureVector;
+use mpmc::model::histogram::ReuseHistogram;
+use mpmc::model::occupancy::{OccupancyCurve, OccupancyOptions};
+use mpmc::model::spi::SpiModel;
+use mpmc::sim::cache::SetAssocCache;
+use mpmc::sim::types::{LineAddr, ProcessId};
+use proptest::prelude::*;
+
+/// Strategy: normalized histogram weights over up to `depth` positions.
+fn histogram_strategy(depth: usize) -> impl Strategy<Value = ReuseHistogram> {
+    (
+        proptest::collection::vec(0.0f64..10.0, 1..=depth),
+        0.01f64..10.0, // always some infinite mass so curves stay generic
+    )
+        .prop_map(|(weights, inf)| {
+            let total: f64 = weights.iter().sum::<f64>() + inf;
+            let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+            ReuseHistogram::new(probs, inf / total).expect("normalized by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_mpa_is_monotone_and_bounded(hist in histogram_strategy(12)) {
+        let mut prev = 1.0f64 + 1e-12;
+        for i in 0..40 {
+            let s = i as f64 * 0.4;
+            let m = hist.mpa(s);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m));
+            prop_assert!(m <= prev + 1e-9, "MPA increased at s={s}");
+            prev = m;
+        }
+        prop_assert!((hist.mpa(0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_roundtrips_through_mpa_curve(hist in histogram_strategy(10)) {
+        let curve: Vec<f64> = (0..=12).map(|s| hist.mpa_int(s)).collect();
+        let back = ReuseHistogram::from_mpa_curve(&curve).unwrap();
+        for (a, b) in hist.probs().iter().zip(back.probs()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        prop_assert!((hist.p_inf() - back.p_inf()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_curve_is_monotone_and_bounded(hist in histogram_strategy(10), assoc in 2usize..16) {
+        let g = OccupancyCurve::from_histogram(&hist, assoc, OccupancyOptions::default()).unwrap();
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let n = (i * i) as f64 * 0.5;
+            let v = g.g(n);
+            prop_assert!(v >= prev - 1e-9);
+            prop_assert!(v <= assoc as f64 + 1e-9);
+            prev = v;
+        }
+        // First access occupies exactly one line (paper: P_{1,1} = 1).
+        prop_assert!((g.g(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_inverse_roundtrips(hist in histogram_strategy(8), s_frac in 0.05f64..0.95) {
+        let g = OccupancyCurve::from_histogram(&hist, 8, OccupancyOptions::default()).unwrap();
+        let s = s_frac * g.saturation().min(8.0);
+        let n = g.g_inverse(s);
+        if n < g.n_max() {
+            prop_assert!((g.g(n) - s).abs() < 1e-5, "g({n}) = {} != {s}", g.g(n));
+        }
+    }
+
+    #[test]
+    fn equilibrium_respects_capacity_and_ranges(
+        hist_a in histogram_strategy(12),
+        hist_b in histogram_strategy(12),
+        api_a in 0.002f64..0.05,
+        api_b in 0.002f64..0.05,
+    ) {
+        let assoc = 16usize;
+        let spi = SpiModel::new(2e-6 * api_a, 5e-8).unwrap();
+        let a = FeatureVector::new("a", hist_a, api_a, spi, assoc).unwrap();
+        let spi = SpiModel::new(2e-6 * api_b, 5e-8).unwrap();
+        let b = FeatureVector::new("b", hist_b, api_b, spi, assoc).unwrap();
+        let eq = equilibrium::solve(&[&a, &b], assoc).unwrap();
+        let total: f64 = eq.sizes.iter().sum();
+        if eq.cache_filled {
+            prop_assert!((total - assoc as f64).abs() < 1e-2, "total ways {total}");
+        } else {
+            prop_assert!(total <= assoc as f64 + 1e-6);
+        }
+        for i in 0..2 {
+            prop_assert!(eq.sizes[i] >= 0.0 && eq.sizes[i] <= assoc as f64 + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&eq.mpas[i]));
+            prop_assert!(eq.spis[i] >= 5e-8 - 1e-12, "SPI below miss-free floor");
+        }
+    }
+
+    #[test]
+    fn cache_matches_lru_oracle(
+        accesses in proptest::collection::vec((0u64..64, 0u32..3), 1..400),
+        assoc in 1usize..8,
+    ) {
+        let num_sets = 4usize;
+        let mut cache = SetAssocCache::new(num_sets, assoc);
+        // Reference oracle: per-set LRU stacks.
+        let mut oracle: Vec<Vec<u64>> = vec![Vec::new(); num_sets];
+        for &(addr, owner) in &accesses {
+            let set = (addr % num_sets as u64) as usize;
+            let expect_hit = oracle[set].contains(&addr);
+            let got = cache.access(LineAddr(addr), ProcessId(owner));
+            prop_assert_eq!(got.is_hit(), expect_hit, "oracle disagreement at {}", addr);
+            if let Some(pos) = oracle[set].iter().position(|&x| x == addr) {
+                oracle[set].remove(pos);
+            }
+            oracle[set].insert(0, addr);
+            oracle[set].truncate(assoc);
+        }
+        // Occupancy bookkeeping agrees with set contents.
+        let by_owner: u64 = (0..3).map(|o| cache.lines_of(ProcessId(o))).sum();
+        let resident: u64 = oracle.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(by_owner, resident);
+        prop_assert_eq!(cache.resident_lines(), resident);
+        prop_assert!(resident <= (num_sets * assoc) as u64);
+    }
+
+    #[test]
+    fn piecewise_linear_inverse_is_consistent(
+        mut knots in proptest::collection::vec((0.0f64..100.0, 0.0f64..10.0), 2..12),
+    ) {
+        // Build strictly increasing xs and non-decreasing ys.
+        knots.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        knots.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-6);
+        prop_assume!(knots.len() >= 2);
+        let xs: Vec<f64> = knots.iter().map(|k| k.0).collect();
+        let mut acc = 0.0;
+        let ys: Vec<f64> = knots.iter().map(|k| { acc += k.1; acc }).collect();
+        let f = PiecewiseLinear::new(xs.clone(), ys.clone()).unwrap();
+        for i in 0..20 {
+            let x = xs[0] + (xs[xs.len() - 1] - xs[0]) * i as f64 / 19.0;
+            let y = f.eval(x);
+            let xi = f.inverse_monotone(y).unwrap();
+            prop_assert!((f.eval(xi) - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn spi_model_fit_is_exact_on_linear_data(alpha in 0.0f64..1e-6, beta in 1e-9f64..1e-6) {
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| {
+            let m = i as f64 / 6.0;
+            (m, alpha * m + beta)
+        }).collect();
+        let fit = SpiModel::fit(&pts).unwrap();
+        prop_assert!((fit.alpha() - alpha).abs() < 1e-12 + alpha * 1e-6);
+        prop_assert!((fit.beta() - beta).abs() < 1e-12 + beta * 1e-6);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate behavioural tests of the simulator substrate under
+//! realistic workloads: conservation laws, determinism, and the physical
+//! effects the models rely on.
+
+use mpmc::sim::engine::{simulate, Placement, SimOptions, SimResult};
+use mpmc::sim::machine::MachineConfig;
+use mpmc::sim::process::ProcessSpec;
+use mpmc::workloads::spec::SpecWorkload;
+use mpmc::workloads::stressmark::Stressmark;
+
+fn tiny_machine() -> MachineConfig {
+    MachineConfig { l2_sets: 64, l2_assoc: 8, ..MachineConfig::two_core_workstation() }
+}
+
+fn run_pair(machine: &MachineConfig, a: SpecWorkload, b: SpecWorkload, seed: u64) -> SimResult {
+    let mut pl = Placement::idle(2);
+    pl.assign(0, ProcessSpec::new(a.name(), Box::new(a.params().generator(machine.l2_sets, 1))));
+    pl.assign(1, ProcessSpec::new(b.name(), Box::new(b.params().generator(machine.l2_sets, 2))));
+    simulate(
+        machine,
+        pl,
+        SimOptions { duration_s: 0.5, warmup_s: 0.15, seed, ..Default::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn occupancies_never_exceed_cache() {
+    let m = tiny_machine();
+    for (a, b) in [
+        (SpecWorkload::Mcf, SpecWorkload::Art),
+        (SpecWorkload::Gzip, SpecWorkload::Gzip),
+        (SpecWorkload::Equake, SpecWorkload::Twolf),
+    ] {
+        let r = run_pair(&m, a, b, 9);
+        let total: f64 = r.processes.iter().map(|p| p.avg_ways).sum();
+        assert!(total <= m.l2_assoc as f64 + 1e-9, "{a}/{b}: {total} ways");
+    }
+}
+
+#[test]
+fn event_counts_are_internally_consistent() {
+    let m = tiny_machine();
+    let r = run_pair(&m, SpecWorkload::Vpr, SpecWorkload::Ammp, 11);
+    for p in &r.processes {
+        let c = &p.counters;
+        assert!(c.l2_misses <= c.l2_refs, "{}: misses > refs", p.name);
+        assert!(c.l2_refs <= c.instructions, "{}: refs > instructions", p.name);
+        assert!(c.instructions > 0);
+        assert!(p.active_seconds > 0.0);
+        // Per-core sample totals cover the same events at the core level.
+    }
+    // Core samples: summed rates x period should be close to process totals
+    // for single-process cores (within warmup-boundary slack).
+    for core in 0..2 {
+        let p = &r.processes[core];
+        let total_instr: f64 = r
+            .core_samples[core]
+            .iter()
+            .skip(r.warmup_periods)
+            .map(|s| s.ips * r.sample_period_s)
+            .sum();
+        let ratio = total_instr / p.counters.instructions as f64;
+        assert!((0.9..=1.1).contains(&ratio), "core {core}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let m = tiny_machine();
+    let a = run_pair(&m, SpecWorkload::Mcf, SpecWorkload::Gzip, 1234);
+    let b = run_pair(&m, SpecWorkload::Mcf, SpecWorkload::Gzip, 1234);
+    assert_eq!(a.processes[0].counters, b.processes[0].counters);
+    assert_eq!(a.processes[1].counters, b.processes[1].counters);
+    assert_eq!(a.power.len(), b.power.len());
+    for (x, y) in a.power.iter().zip(&b.power) {
+        assert_eq!(x.measured_watts, y.measured_watts);
+    }
+}
+
+#[test]
+fn stressmark_partitions_the_cache_as_designed() {
+    // What the profiler actually relies on (it anchors MPA samples at the
+    // *measured* occupancy): (1) the stressmark never exceeds its
+    // footprint; (2) against a mild co-runner it holds essentially all of
+    // it; (3) growing the footprint monotonically squeezes the victim, so
+    // the sweep covers the occupancy range.
+    let m = tiny_machine();
+    let co_run = |victim: SpecWorkload, s: usize| {
+        let mut pl = Placement::idle(2);
+        pl.assign(
+            0,
+            ProcessSpec::new(
+                victim.name(),
+                Box::new(victim.params().generator(m.l2_sets, 1)),
+            ),
+        );
+        pl.assign(1, ProcessSpec::new("stress", Box::new(Stressmark::new(s, m.l2_sets, 2))));
+        let r = simulate(
+            &m,
+            pl,
+            SimOptions { duration_s: 0.5, warmup_s: 0.2, seed: 77, ..Default::default() },
+        )
+        .unwrap();
+        (r.processes[0].avg_ways, r.processes[1].avg_ways)
+    };
+
+    // (1) + (2): against cache-friendly gzip the footprint is held tight.
+    for s in [2usize, 4, 6] {
+        let (_, stress_ways) = co_run(SpecWorkload::Gzip, s);
+        assert!(stress_ways <= s as f64 + 1e-9, "stressmark({s}) exceeded its footprint");
+        assert!(
+            stress_ways > s as f64 - 0.7,
+            "stressmark({s}) only holds {stress_ways:.2} ways vs gzip"
+        );
+    }
+
+    // (3): against hog mcf, occupancy still responds monotonically to s
+    // even though mcf steals transiently.
+    let mut prev_victim = f64::INFINITY;
+    for s in [1usize, 3, 5, 7] {
+        let (victim_ways, stress_ways) = co_run(SpecWorkload::Mcf, s);
+        assert!(stress_ways <= s as f64 + 1e-9);
+        assert!(
+            victim_ways < prev_victim + 0.3,
+            "victim occupancy did not shrink: {victim_ways:.2} after {prev_victim:.2}"
+        );
+        prev_victim = victim_ways;
+    }
+}
+
+#[test]
+fn memory_bound_workloads_draw_less_power_than_compute_bound() {
+    // The negative-c3 phenomenon at the system level: a stalling process
+    // burns less than a busily computing one.
+    let m = tiny_machine();
+    let run_alone = |w: SpecWorkload| {
+        let mut pl = Placement::idle(2);
+        pl.assign(0, ProcessSpec::new(w.name(), Box::new(w.params().generator(m.l2_sets, 1))));
+        simulate(
+            &m,
+            pl,
+            SimOptions { duration_s: 0.5, warmup_s: 0.15, seed: 13, ..Default::default() },
+        )
+        .unwrap()
+        .avg_measured_power()
+    };
+    let p_mcf = run_alone(SpecWorkload::Mcf);
+    let p_gzip = run_alone(SpecWorkload::Gzip);
+    assert!(p_mcf < p_gzip, "mcf (stalling) {p_mcf:.2} W vs gzip (busy) {p_gzip:.2} W");
+}
+
+#[test]
+fn four_core_machine_runs_all_dies() {
+    let m = MachineConfig { l2_sets: 64, ..MachineConfig::four_core_server() };
+    let mut pl = Placement::idle(4);
+    for (core, w) in [SpecWorkload::Gzip, SpecWorkload::Mcf, SpecWorkload::Art, SpecWorkload::Vpr]
+        .iter()
+        .enumerate()
+    {
+        pl.assign(
+            core,
+            ProcessSpec::new(w.name(), Box::new(w.params().generator(m.l2_sets, core as u64 + 1))),
+        );
+    }
+    let r = simulate(
+        &m,
+        pl,
+        SimOptions { duration_s: 0.4, warmup_s: 0.1, seed: 3, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(r.processes.len(), 4);
+    for p in &r.processes {
+        assert!(p.counters.instructions > 0, "{} never ran", p.name);
+    }
+    // Dies are independent caches: occupancy sums are per die.
+    let die0: f64 = r.processes[..2].iter().map(|p| p.avg_ways).sum();
+    let die1: f64 = r.processes[2..].iter().map(|p| p.avg_ways).sum();
+    assert!(die0 <= 16.0 + 1e-9 && die1 <= 16.0 + 1e-9);
+}
