@@ -2,9 +2,9 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match mpmc_cli::commands::dispatch(&argv) {
         Ok(text) => print!("{text}"),
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
         }
     }
 }

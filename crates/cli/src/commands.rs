@@ -3,6 +3,7 @@
 
 use crate::args::ParsedArgs;
 use crate::resolve::{self, CliError};
+use mpmc_model::perf::SolverKind;
 use cmpsim::engine::{simulate, Placement, SimOptions};
 use cmpsim::process::ProcessSpec;
 use cmpsim::trace::{miss_ratio_curve, stack_distance_histogram, Trace, TraceRecorder};
@@ -26,9 +27,11 @@ commands:
   workloads                             list built-in workloads
   profile <workload> [--machine M] [--out FILE] [--fast] [--sets N]
                                         stressmark-profile a workload
-  predict <spec> <spec> [...] [--machine M]
+  predict <spec> <spec> [...] [--machine M] [--strict]
                                         predict co-run MPA/SPI (specs are
-                                        profile files or workload names)
+                                        profile files or workload names);
+                                        --strict fails instead of accepting
+                                        a degraded/fallback solve
   train [--machine M] [--out FILE] [--fast] [--sets N]
                                         train the Eq. 9 power model
   estimate --assign A [--machine M] [--power FILE] [--fast] [--sets N]
@@ -44,11 +47,17 @@ commands:
 assignment syntax: per-core lists, ';' between cores, ',' within a core,
 e.g. \"mcf,art;gzip\" = mcf+art time-shared on core 0, gzip on core 1.
 machines: server (4 cores, 16-way), workstation (2, 8-way), duo (2, 12-way).
+
+exit codes: 0 success, 2 usage, 3 invalid input data (bad profile/trace/
+histogram), 4 solver or simulation failure, 5 I/O failure, 6 degraded
+result rejected by --strict.
 ";
 
 fn machine_from(args: &ParsedArgs) -> Result<cmpsim::machine::MachineConfig, CliError> {
     let sets = match args.opt("sets") {
-        Some(raw) => Some(raw.parse::<usize>().map_err(|_| format!("bad --sets '{raw}'"))?),
+        Some(raw) => {
+            Some(raw.parse::<usize>().map_err(|_| CliError::usage(format!("bad --sets '{raw}'")))?)
+        }
         None => None,
     };
     resolve::machine(args.opt("machine").unwrap_or("server"), sets)
@@ -108,7 +117,7 @@ pub fn profile(args: &ParsedArgs) -> Result<String, CliError> {
     let w = resolve::workload(name)?;
     let profiler = Profiler::new(machine.clone())
         .with_options(resolve::profile_options(args.flag("fast")));
-    let prof = profiler.profile_full(&w.params()).map_err(|e| e.to_string())?;
+    let prof = profiler.profile_full(&w.params()).map_err(CliError::from)?;
 
     let mut out = format!(
         "profiled '{}' on {} ({} runs)\n",
@@ -132,14 +141,20 @@ pub fn profile(args: &ParsedArgs) -> Result<String, CliError> {
     }
     out.push('\n');
     if let Some(path) = args.opt("out") {
-        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        persist::write_profile(&prof, file).map_err(|e| format!("{path}: {e}"))?;
+        let file =
+            std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+        persist::write_profile(&prof, file)
+            .map_err(|e| CliError::io(format!("{path}: {e}")))?;
         out.push_str(&format!("saved to {path}\n"));
     }
     Ok(out)
 }
 
 /// `mpmc predict <spec> <spec> ...`
+///
+/// Solves with the staged fallback chain and reports its diagnostics.
+/// Under `--strict`, any fallback or degraded result is a hard error
+/// (exit code 6) instead of a best-effort answer.
 ///
 /// # Errors
 ///
@@ -154,8 +169,14 @@ pub fn predict(args: &ParsedArgs) -> Result<String, CliError> {
         .iter()
         .map(|spec| resolve::feature(spec, &machine))
         .collect::<Result<_, _>>()?;
-    let model = PerformanceModel::new(machine.l2_assoc());
-    let pred = model.predict(&features).map_err(|e| e.to_string())?;
+    let model = PerformanceModel::new(machine.l2_assoc()).with_solver(SolverKind::Robust);
+    let eq = model.solve(&features).map_err(CliError::from)?;
+    if args.flag("strict") && (eq.diagnostics.degraded || !eq.diagnostics.fallbacks.is_empty()) {
+        return Err(CliError::strict(format!(
+            "--strict: refusing fallback result ({})",
+            eq.diagnostics.summary()
+        )));
+    }
 
     let mut out = format!(
         "equilibrium on a {}-way shared cache ({}):\n",
@@ -163,16 +184,17 @@ pub fn predict(args: &ParsedArgs) -> Result<String, CliError> {
         machine.name
     );
     out.push_str(&format!("{:<12}{:>8}{:>9}{:>13}{:>14}\n", "process", "ways", "MPA", "SPI", "IPS"));
-    for (fv, p) in features.iter().zip(&pred) {
+    for (i, fv) in features.iter().enumerate() {
         out.push_str(&format!(
             "{:<12}{:>8.2}{:>9.3}{:>13.3e}{:>14.3e}\n",
             fv.name(),
-            p.ways,
-            p.mpa,
-            p.spi,
-            1.0 / p.spi
+            eq.sizes[i],
+            eq.mpas[i],
+            eq.spis[i],
+            1.0 / eq.spis[i]
         ));
     }
+    out.push_str(&format!("solver: {}\n", eq.diagnostics.summary()));
     Ok(out)
 }
 
@@ -196,8 +218,8 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
         TrainingOptions::default()
     };
     let suite: Vec<_> = SpecWorkload::table1_suite().iter().map(|w| w.params()).collect();
-    let obs = build_training_set(&machine, &suite, &opts).map_err(|e| e.to_string())?;
-    let model = mpmc_model::power::PowerModel::fit_mvlr(&obs).map_err(|e| e.to_string())?;
+    let obs = build_training_set(&machine, &suite, &opts).map_err(CliError::from)?;
+    let model = mpmc_model::power::PowerModel::fit_mvlr(&obs).map_err(CliError::from)?;
 
     let mut out = format!(
         "trained Eq. 9 power model on {} ({} observations, R^2 {:.4})\n",
@@ -211,8 +233,10 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
         model.coefficients()
     ));
     if let Some(path) = args.opt("out") {
-        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        persist::write_power_model(&model, file).map_err(|e| format!("{path}: {e}"))?;
+        let file =
+            std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+        persist::write_power_model(&model, file)
+            .map_err(|e| CliError::io(format!("{path}: {e}")))?;
         out.push_str(&format!("saved to {path}\n"));
     }
     Ok(out)
@@ -232,8 +256,9 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
     // Power model: from file, or trained on the fly.
     let power = match args.opt("power") {
         Some(path) => {
-            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            persist::read_power_model(file).map_err(|e| format!("{path}: {e}"))?
+            let file =
+                std::fs::File::open(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+            persist::read_power_model(file).map_err(|e| CliError::from(e).context(path))?
         }
         None => {
             let opts = TrainingOptions {
@@ -245,8 +270,8 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
             };
             let suite: Vec<_> =
                 SpecWorkload::table1_suite().iter().map(|w| w.params()).collect();
-            let obs = build_training_set(&machine, &suite, &opts).map_err(|e| e.to_string())?;
-            mpmc_model::power::PowerModel::fit_mvlr(&obs).map_err(|e| e.to_string())?
+            let obs = build_training_set(&machine, &suite, &opts).map_err(CliError::from)?;
+            mpmc_model::power::PowerModel::fit_mvlr(&obs).map_err(CliError::from)?
         }
     };
 
@@ -276,12 +301,12 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
 
     let combined = CombinedModel::new(&machine, &power);
     let total =
-        combined.estimate_processor_power(&profiles, &asg).map_err(|e| e.to_string())?;
+        combined.estimate_processor_power(&profiles, &asg).map_err(CliError::from)?;
     let mut out = format!("combined-model estimate for \"{assign}\" on {}:\n", machine.name);
     for die in 0..machine.dies {
         let die_power = combined
             .estimate_die_power(&profiles, &asg, cmpsim::types::DieId(die as u32))
-            .map_err(|e| e.to_string())?;
+            .map_err(CliError::from)?;
         out.push_str(&format!("  die {die}: {die_power:.2} W\n"));
     }
     out.push_str(&format!("estimated processor power: {total:.2} W\n"));
@@ -322,7 +347,7 @@ pub fn simulate_cmd(args: &ParsedArgs) -> Result<String, CliError> {
             ..Default::default()
         },
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::solver(e.to_string()))?;
 
     let mut out = format!("simulated \"{assign}\" on {} for {duration} s:\n", machine.name);
     out.push_str(&format!(
@@ -365,11 +390,15 @@ pub fn trace(args: &ParsedArgs) -> Result<String, CliError> {
     for _ in 0..steps {
         cmpsim::process::AccessGenerator::next_step(&mut rec, &mut rng);
     }
-    let trace = handle.lock().expect("trace buffer").clone();
+    let trace = handle
+        .lock()
+        .map_err(|_| CliError::solver("trace: recorder buffer poisoned"))?
+        .clone();
     let mut out = format!("recorded {} steps of '{name}'\n", trace.len());
     if let Some(path) = args.opt("out") {
-        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        trace.write_text(file).map_err(|e| format!("{path}: {e}"))?;
+        let file =
+            std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+        trace.write_text(file).map_err(|e| CliError::io(format!("{path}: {e}")))?;
         out.push_str(&format!("saved to {path}\n"));
     } else {
         out.push_str("(use --out FILE to save it)\n");
@@ -389,11 +418,12 @@ pub fn mrc(args: &ParsedArgs) -> Result<String, CliError> {
     if sets == 0 || assoc == 0 {
         return Err("mrc: --sets and --assoc must be positive".into());
     }
-    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let trace = Trace::read_text(file).map_err(|e| format!("{path}: {e}"))?;
+    let file = std::fs::File::open(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+    // A readable file that does not parse is bad data, not an I/O fault.
+    let trace = Trace::read_text(file).map_err(|e| CliError::data(format!("{path}: {e}")))?;
     let addrs: Vec<LineAddr> = trace.accesses().collect();
     if addrs.is_empty() {
-        return Err(format!("{path}: trace contains no memory accesses"));
+        return Err(CliError::data(format!("{path}: trace contains no memory accesses")));
     }
     let mrc = miss_ratio_curve(&addrs, sets, assoc);
     let hist = stack_distance_histogram(&addrs, sets);
@@ -415,12 +445,14 @@ pub fn mrc(args: &ParsedArgs) -> Result<String, CliError> {
 ///
 /// # Errors
 ///
-/// Returns a display-ready message on any failure (including usage).
+/// Returns a [`CliError`] carrying a display-ready message and the
+/// process exit code for the failure class (see
+/// [`resolve::exit_code`](crate::resolve::exit_code)).
 pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
-        return Err(USAGE.to_string());
+        return Err(CliError::usage(USAGE));
     };
-    let args = ParsedArgs::parse(rest.iter().cloned(), &["fast", "full"])?;
+    let args = ParsedArgs::parse(rest.iter().cloned(), &["fast", "full", "strict"])?;
     match cmd.as_str() {
         "machines" => Ok(machines()),
         "workloads" => Ok(workloads_cmd()),
@@ -432,13 +464,14 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "trace" => trace(&args),
         "mrc" => mrc(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+        other => Err(CliError::usage(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resolve::exit_code;
 
     fn run(argv: &[&str]) -> Result<String, CliError> {
         let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
@@ -460,8 +493,39 @@ mod tests {
         assert!(out.contains("mcf"));
         assert!(out.contains("gzip"));
         assert!(out.contains("ways"));
+        assert!(out.contains("solver:"), "diagnostics line missing: {out}");
         assert!(run(&["predict", "mcf"]).is_err());
         assert!(run(&["predict", "mcf", "nope"]).is_err());
+    }
+
+    #[test]
+    fn predict_strict_accepts_clean_solves() {
+        // A well-conditioned pair solves directly; --strict must not
+        // reject it, and the diagnostics line still prints.
+        let out = run(&["predict", "mcf", "gzip", "--strict"]).unwrap();
+        assert!(out.contains("solver:"));
+        assert!(!out.contains("DEGRADED"));
+    }
+
+    #[test]
+    fn exit_codes_classify_failures() {
+        // Usage: unknown command, unknown machine, missing args.
+        assert_eq!(run(&["frobnicate"]).unwrap_err().code, exit_code::USAGE);
+        assert_eq!(
+            run(&["predict", "mcf", "gzip", "--machine", "toaster"]).unwrap_err().code,
+            exit_code::USAGE
+        );
+        assert_eq!(run(&["predict", "mcf"]).unwrap_err().code, exit_code::USAGE);
+
+        // I/O: a path that does not exist at all (mrc requires a file).
+        assert_eq!(run(&["mrc", "/nonexistent/file"]).unwrap_err().code, exit_code::IO);
+
+        // Invalid data: a file that exists but fails validation.
+        let path = std::env::temp_dir().join("mpmc_cli_bad_profile.txt");
+        std::fs::write(&path, "api NaN\nassoc 16\n").unwrap();
+        let err = run(&["predict", path.to_str().unwrap(), "mcf"]).unwrap_err();
+        assert_eq!(err.code, exit_code::INVALID_DATA, "got: {err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -3,12 +3,113 @@
 
 use cmpsim::machine::MachineConfig;
 use mpmc_model::feature::FeatureVector;
+use mpmc_model::ModelError;
 use mpmc_model::persist;
 use mpmc_model::profile::{ProcessProfile, ProfileOptions, Profiler};
+use std::fmt;
 use workloads::spec::SpecWorkload;
 
-/// Errors surfaced to the CLI user (already formatted for display).
-pub type CliError = String;
+/// Process exit codes reported by the `mpmc` binary. Zero is success.
+pub mod exit_code {
+    /// Bad usage: unknown command or flag, missing or malformed argument.
+    pub const USAGE: i32 = 2;
+    /// Invalid input data: a profile, trace, or histogram failed validation.
+    pub const INVALID_DATA: i32 = 3;
+    /// A solver or simulation failed to produce a result.
+    pub const SOLVER: i32 = 4;
+    /// An operating-system I/O operation failed.
+    pub const IO: i32 = 5;
+    /// `--strict` rejected a result produced by a degraded fallback path.
+    pub const STRICT: i32 = 6;
+}
+
+/// An error surfaced to the CLI user: a display-ready message plus the
+/// process exit code it maps to (see [`exit_code`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Display-ready message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    /// An error with an explicit exit code.
+    pub fn new(code: i32, message: impl Into<String>) -> Self {
+        CliError { message: message.into(), code }
+    }
+
+    /// A usage error ([`exit_code::USAGE`]).
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self::new(exit_code::USAGE, message)
+    }
+
+    /// An invalid-input-data error ([`exit_code::INVALID_DATA`]).
+    pub fn data(message: impl Into<String>) -> Self {
+        Self::new(exit_code::INVALID_DATA, message)
+    }
+
+    /// A solver/simulation failure ([`exit_code::SOLVER`]).
+    pub fn solver(message: impl Into<String>) -> Self {
+        Self::new(exit_code::SOLVER, message)
+    }
+
+    /// An I/O failure ([`exit_code::IO`]).
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::new(exit_code::IO, message)
+    }
+
+    /// A strict-mode rejection ([`exit_code::STRICT`]).
+    pub fn strict(message: impl Into<String>) -> Self {
+        Self::new(exit_code::STRICT, message)
+    }
+
+    /// Prefixes the message with `context` (typically the offending
+    /// file or spec), keeping the exit code.
+    #[must_use]
+    pub fn context(mut self, context: &str) -> Self {
+        self.message = format!("{context}: {}", self.message);
+        self
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Bare strings are argument/usage errors (the parser's error type).
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::usage(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::usage(message)
+    }
+}
+
+/// Classifies a model error into the CLI exit-code taxonomy: bad input
+/// data is distinguished from solver trouble and strict-mode rejection.
+impl From<ModelError> for CliError {
+    fn from(e: ModelError) -> Self {
+        let code = match &e {
+            ModelError::EmptyInput(_)
+            | ModelError::InvalidDistribution(_)
+            | ModelError::InvalidAssignment(_)
+            | ModelError::UnusableProfile(_)
+            | ModelError::NonFinite(_) => exit_code::INVALID_DATA,
+            ModelError::Math(_) | ModelError::Sim(_) | ModelError::EquilibriumFailed(_) => {
+                exit_code::SOLVER
+            }
+            ModelError::Degraded(_) => exit_code::STRICT,
+        };
+        CliError::new(code, e.to_string())
+    }
+}
 
 /// Resolves a machine preset by name, optionally shrinking the cache to
 /// `sets_override` sets (for quick experiments and tests).
@@ -22,14 +123,16 @@ pub fn machine(name: &str, sets_override: Option<usize>) -> Result<MachineConfig
         "workstation" | "two-core-workstation" => MachineConfig::two_core_workstation(),
         "duo" | "duo-laptop" => MachineConfig::duo_laptop(),
         other => {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "unknown machine '{other}'; choose server, workstation, or duo"
-            ))
+            )))
         }
     };
     if let Some(sets) = sets_override {
         if sets == 0 || !sets.is_power_of_two() {
-            return Err(format!("--sets must be a positive power of two, got {sets}"));
+            return Err(CliError::usage(format!(
+                "--sets must be a positive power of two, got {sets}"
+            )));
         }
         m.l2_sets = sets;
     }
@@ -47,7 +150,10 @@ pub fn workload(name: &str) -> Result<SpecWorkload, CliError> {
         .find(|w| w.name() == name)
         .ok_or_else(|| {
             let names: Vec<&str> = SpecWorkload::duo_suite().iter().map(|w| w.name()).collect();
-            format!("unknown workload '{name}'; choose one of {}", names.join(", "))
+            CliError::usage(format!(
+                "unknown workload '{name}'; choose one of {}",
+                names.join(", ")
+            ))
         })
 }
 
@@ -71,17 +177,18 @@ pub fn feature(
     machine: &MachineConfig,
 ) -> Result<FeatureVector, CliError> {
     if std::path::Path::new(spec).exists() {
-        let file = std::fs::File::open(spec).map_err(|e| format!("{spec}: {e}"))?;
-        let fv = persist::read_feature(file).map_err(|e| format!("{spec}: {e}"))?;
+        let file = std::fs::File::open(spec).map_err(|e| CliError::io(format!("{spec}: {e}")))?;
+        let fv = persist::read_feature(file).map_err(|e| CliError::from(e).context(spec))?;
         if fv.assoc() != machine.l2_assoc() {
             return fv
                 .with_assoc(machine.l2_assoc())
-                .map_err(|e| format!("{spec}: retarget failed: {e}"));
+                .map_err(|e| CliError::from(e).context("retarget failed").context(spec));
         }
         return Ok(fv);
     }
     let w = workload(spec)?;
-    FeatureVector::from_workload(&w.params(), machine).map_err(|e| format!("{spec}: {e}"))
+    FeatureVector::from_workload(&w.params(), machine)
+        .map_err(|e| CliError::from(e).context(spec))
 }
 
 /// Resolves a full process-profile spec: an existing file or a built-in
@@ -96,14 +203,14 @@ pub fn profile(
     fast: bool,
 ) -> Result<ProcessProfile, CliError> {
     if std::path::Path::new(spec).exists() {
-        let file = std::fs::File::open(spec).map_err(|e| format!("{spec}: {e}"))?;
-        return persist::read_profile(file).map_err(|e| format!("{spec}: {e}"));
+        let file = std::fs::File::open(spec).map_err(|e| CliError::io(format!("{spec}: {e}")))?;
+        return persist::read_profile(file).map_err(|e| CliError::from(e).context(spec));
     }
     let w = workload(spec)?;
     Profiler::new(machine.clone())
         .with_options(profile_options(fast))
         .profile_full(&w.params())
-        .map_err(|e| format!("{spec}: {e}"))
+        .map_err(|e| CliError::from(e).context(spec))
 }
 
 /// Parses an assignment string: per-core process lists separated by `;`,
@@ -131,10 +238,10 @@ pub fn assignment_string(
         })
         .collect();
     if per_core.len() > num_cores {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "assignment names {} cores but the machine has {num_cores}",
             per_core.len()
-        ));
+        )));
     }
     per_core.resize(num_cores, Vec::new());
     Ok(per_core)
@@ -143,6 +250,28 @@ pub fn assignment_string(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cli_error_classification() {
+        assert_eq!(CliError::from("bad flag").code, exit_code::USAGE);
+        assert_eq!(CliError::from(String::from("x")).code, exit_code::USAGE);
+        assert_eq!(
+            CliError::from(ModelError::UnusableProfile("p".into())).code,
+            exit_code::INVALID_DATA
+        );
+        assert_eq!(
+            CliError::from(ModelError::NonFinite("nan".into())).code,
+            exit_code::INVALID_DATA
+        );
+        assert_eq!(
+            CliError::from(ModelError::EquilibriumFailed("e".into())).code,
+            exit_code::SOLVER
+        );
+        assert_eq!(CliError::from(ModelError::Degraded("d".into())).code, exit_code::STRICT);
+        let e = CliError::io("open failed").context("file.txt");
+        assert_eq!(e.code, exit_code::IO);
+        assert_eq!(e.to_string(), "file.txt: open failed");
+    }
 
     #[test]
     fn machines_resolve() {

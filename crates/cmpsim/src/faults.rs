@@ -1,0 +1,278 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] describes a set of corruptions — bit-flipped trace
+//! addresses, truncated or torn trace files, dropped HPC samples, NaN or
+//! negative mass injected into histograms — and applies them
+//! reproducibly from a seed. The robustness test suite uses it to prove
+//! that every injected fault surfaces as a typed error or a finite
+//! degraded prediction, never as a panic.
+//!
+//! This module is compiled only with the `faults` cargo feature;
+//! production builds carry none of this machinery.
+
+use crate::trace::Trace;
+use crate::types::LineAddr;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One kind of injected corruption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Replace each recorded trace address with a random one, with the
+    /// given probability per access.
+    CorruptTraceAddresses {
+        /// Per-access corruption probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Keep only the leading fraction of the trace's steps.
+    TruncateTrace {
+        /// Fraction of steps to keep, in `[0, 1]`.
+        keep_fraction: f64,
+    },
+    /// Overwrite random bytes of a serialized artifact (a torn or
+    /// bit-rotted file on disk).
+    ScrambleText {
+        /// Number of bytes to overwrite.
+        bytes: usize,
+    },
+    /// Drop measurement samples (an HPC reader losing interrupts), with
+    /// the given probability per sample.
+    DropSamples {
+        /// Per-sample drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Overwrite histogram bins with NaN.
+    NanHistogram {
+        /// Number of bins to poison.
+        count: usize,
+    },
+    /// Negate histogram bins (impossible probability mass).
+    NegateHistogram {
+        /// Number of bins to negate.
+        count: usize,
+    },
+}
+
+/// A seeded, reproducible set of faults.
+///
+/// Each `apply_*` method derives its own RNG stream from the plan seed,
+/// so the corruption a given fault produces does not depend on which
+/// other faults are in the plan or the order they are applied in.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim::faults::{Fault, FaultPlan};
+///
+/// let plan = FaultPlan::new(7)
+///     .with(Fault::NanHistogram { count: 2 })
+///     .with(Fault::DropSamples { rate: 0.5 });
+/// let mut probs = vec![0.25; 4];
+/// plan.apply_to_histogram(&mut probs);
+/// assert_eq!(probs.iter().filter(|p| p.is_nan()).count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan reproducible from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The faults in this plan, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    fn rng(&self, salt: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Applies every trace-shaped fault in the plan to `trace`
+    /// ([`Fault::CorruptTraceAddresses`], [`Fault::TruncateTrace`]).
+    pub fn apply_to_trace(&self, trace: &mut Trace) {
+        for (i, fault) in self.faults.iter().enumerate() {
+            let mut rng = self.rng(0x7_2ACE ^ i as u64);
+            match *fault {
+                Fault::CorruptTraceAddresses { rate } => {
+                    for step in trace.steps_mut().iter_mut() {
+                        if step.access.is_some() && rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                            step.access = Some(LineAddr(rng.gen::<u64>()));
+                        }
+                    }
+                }
+                Fault::TruncateTrace { keep_fraction } => {
+                    let keep = (trace.len() as f64 * keep_fraction.clamp(0.0, 1.0)) as usize;
+                    trace.steps_mut().truncate(keep);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Applies [`Fault::ScrambleText`] faults to a serialized artifact,
+    /// returning the corrupted text. Overwritten bytes are drawn from a
+    /// set that includes digits, punctuation, and letters, so the result
+    /// exercises parsers with plausible-looking garbage.
+    pub fn corrupt_text(&self, text: &str) -> String {
+        let mut bytes_vec = text.as_bytes().to_vec();
+        for (i, fault) in self.faults.iter().enumerate() {
+            if let Fault::ScrambleText { bytes } = *fault {
+                let mut rng = self.rng(0x7E_C7 ^ i as u64);
+                const GARBAGE: &[u8] = b"x?~9-#.Zq!";
+                for _ in 0..bytes {
+                    if bytes_vec.is_empty() {
+                        break;
+                    }
+                    let pos = rng.gen_range(0..bytes_vec.len());
+                    let g = GARBAGE[rng.gen_range(0..GARBAGE.len())];
+                    bytes_vec[pos] = g;
+                }
+            }
+        }
+        // The source was UTF-8 and every replacement byte is ASCII.
+        String::from_utf8_lossy(&bytes_vec).into_owned()
+    }
+
+    /// Applies [`Fault::DropSamples`] faults to a sample series (power
+    /// readings, HPC rate samples).
+    pub fn apply_to_samples<T>(&self, samples: &mut Vec<T>) {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if let Fault::DropSamples { rate } = *fault {
+                let mut rng = self.rng(0x5A_4F ^ i as u64);
+                samples.retain(|_| !rng.gen_bool(rate.clamp(0.0, 1.0)));
+            }
+        }
+    }
+
+    /// Applies histogram-shaped faults ([`Fault::NanHistogram`],
+    /// [`Fault::NegateHistogram`]) to a probability vector.
+    pub fn apply_to_histogram(&self, probs: &mut [f64]) {
+        if probs.is_empty() {
+            return;
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            let mut rng = self.rng(0x41_57 ^ i as u64);
+            match *fault {
+                Fault::NanHistogram { count } => {
+                    for _ in 0..count.min(probs.len()) {
+                        let pos = rng.gen_range(0..probs.len());
+                        probs[pos] = f64::NAN;
+                    }
+                }
+                Fault::NegateHistogram { count } => {
+                    for _ in 0..count.min(probs.len()) {
+                        let pos = rng.gen_range(0..probs.len());
+                        probs[pos] = -probs[pos].abs().max(0.1);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Step;
+
+    fn sample_trace(n: usize) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..n {
+            t.push(Step {
+                instructions: 10,
+                l1_refs: 3,
+                branches: 2,
+                fp_ops: 1,
+                stall_cycles: 0,
+                access: Some(LineAddr(i as u64 * 64)),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let plan = FaultPlan::new(42).with(Fault::CorruptTraceAddresses { rate: 0.5 });
+        let mut a = sample_trace(100);
+        let mut b = sample_trace(100);
+        plan.apply_to_trace(&mut a);
+        plan.apply_to_trace(&mut b);
+        assert_eq!(a, b);
+        // A different seed corrupts differently.
+        let mut c = sample_trace(100);
+        FaultPlan::new(43)
+            .with(Fault::CorruptTraceAddresses { rate: 0.5 })
+            .apply_to_trace(&mut c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn truncation_keeps_fraction() {
+        let plan = FaultPlan::new(1).with(Fault::TruncateTrace { keep_fraction: 0.25 });
+        let mut t = sample_trace(100);
+        plan.apply_to_trace(&mut t);
+        assert_eq!(t.len(), 25);
+    }
+
+    #[test]
+    fn scramble_changes_text_same_length() {
+        let plan = FaultPlan::new(9).with(Fault::ScrambleText { bytes: 8 });
+        let text = "0 1 2 3 4 0x40\n".repeat(20);
+        let out = plan.corrupt_text(&text);
+        assert_eq!(out.len(), text.len());
+        assert_ne!(out, text);
+        assert_eq!(out, plan.corrupt_text(&text), "deterministic");
+    }
+
+    #[test]
+    fn drop_samples_thins_series() {
+        let plan = FaultPlan::new(3).with(Fault::DropSamples { rate: 0.5 });
+        let mut s: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        plan.apply_to_samples(&mut s);
+        assert!(s.len() > 300 && s.len() < 700, "dropped ~half, got {}", s.len());
+    }
+
+    #[test]
+    fn histogram_poisoning() {
+        let mut probs = vec![0.25; 8];
+        FaultPlan::new(5).with(Fault::NanHistogram { count: 1 }).apply_to_histogram(&mut probs);
+        assert!(probs.iter().any(|p| p.is_nan()));
+
+        let mut probs = vec![0.25; 8];
+        FaultPlan::new(5)
+            .with(Fault::NegateHistogram { count: 1 })
+            .apply_to_histogram(&mut probs);
+        assert!(probs.iter().any(|p| *p < 0.0));
+    }
+
+    #[test]
+    fn empty_inputs_are_no_ops() {
+        let plan = FaultPlan::new(0)
+            .with(Fault::NanHistogram { count: 3 })
+            .with(Fault::DropSamples { rate: 1.0 })
+            .with(Fault::TruncateTrace { keep_fraction: 0.0 });
+        plan.apply_to_histogram(&mut []);
+        let mut empty: Vec<f64> = Vec::new();
+        plan.apply_to_samples(&mut empty);
+        let mut t = Trace::new();
+        plan.apply_to_trace(&mut t);
+        assert!(t.is_empty());
+    }
+}

@@ -21,6 +21,8 @@
 //! - [`prefetch`]: the optional next-line prefetcher (paper §3.1 study).
 //! - [`trace`]: trace capture/replay and Dinero-style trace-driven
 //!   analysis (the paper's reference [1]).
+//! - `faults` (behind the `faults` cargo feature): deterministic fault
+//!   injection for robustness testing.
 //!
 //! # Examples
 //!
@@ -42,6 +44,8 @@
 
 pub mod cache;
 pub mod engine;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod hpc;
 pub mod machine;
 pub mod power;

@@ -282,10 +282,13 @@ mod tests {
     fn measurement_never_negative() {
         let p = PowerParams::quad_server();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Quantization can yield zero or dip one ADC step below it when
+        // sensor noise straddles the lowest code, never more than that.
+        let step_w =
+            REGULATOR_EFFICIENCY * RAIL_VOLTS * DAQ_RANGE_A / (1u64 << DAQ_EFFECTIVE_BITS) as f64;
         for _ in 0..100 {
             let m = measure_power(&p, 0.05, 0.030, &mut rng);
-            // Quantization can yield exactly 0, never meaningfully negative.
-            assert!(m >= -0.05, "{m}");
+            assert!(m >= -step_w - 1e-12, "{m}");
         }
     }
 

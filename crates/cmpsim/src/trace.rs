@@ -52,6 +52,12 @@ impl Trace {
         self.steps.push(step);
     }
 
+    /// Mutable access to the recorded steps (trace editing, fault
+    /// injection).
+    pub fn steps_mut(&mut self) -> &mut Vec<Step> {
+        &mut self.steps
+    }
+
     /// Serializes the trace to `w` in the text format
     /// `instructions l1 branches fp stall addr`, one step per line, with
     /// `-` for steps that carry no access. A mutable reference to a
@@ -186,7 +192,10 @@ impl TraceRecorder {
 impl AccessGenerator for TraceRecorder {
     fn next_step(&mut self, rng: &mut dyn RngCore) -> Step {
         let step = self.inner.next_step(rng);
-        self.buffer.lock().expect("trace buffer poisoned").push(step);
+        // Recover from a poisoned lock: a panic in another recording
+        // thread should cost that thread's steps, not this one's.
+        let mut buffer = self.buffer.lock().unwrap_or_else(|p| p.into_inner());
+        buffer.push(step);
         step
     }
 

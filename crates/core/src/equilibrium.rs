@@ -7,7 +7,7 @@
 //! `S_i = G_i(APS_i(S_i) * T)` with a *common* `T`, plus the capacity
 //! constraint `sum_i S_i = A`.
 //!
-//! Two solvers are provided:
+//! Three solver entry points are provided:
 //!
 //! - [`solve`] — a guaranteed-convergent nested bisection: the inner solve
 //!   finds `S_i(T)` per process (monotone in `T`), the outer solve adjusts
@@ -15,16 +15,133 @@
 //! - [`solve_newton`] — Newton–Raphson on the `(S_1..S_k, T)` system, the
 //!   method the paper names. Equivalent at the solution; used by the
 //!   ablation benchmarks and cross-checked against [`solve`] in tests.
+//! - [`solve_robust`] — a staged fallback chain for untrusted or
+//!   adversarial inputs: damped Newton, then perturbed Newton restarts,
+//!   then a bounded fixed-point/bisection solve, and finally a
+//!   proportional-to-API heuristic split that cannot fail. Every stage
+//!   transition is recorded in [`SolveDiagnostics`].
 //!
 //! If the combined demand cannot fill the cache (every process saturates
-//! below its share), the capacity constraint is infeasible; both solvers
+//! below its share), the capacity constraint is infeasible; the solvers
 //! then return the saturated sizes with [`Equilibrium::cache_filled`] set
 //! to `false` — physically, part of the cache simply stays empty.
 
 use crate::feature::FeatureVector;
 use crate::ModelError;
 use mathkit::newton::{newton_raphson, NewtonOptions};
-use mathkit::roots::{bisect, BisectOptions};
+use mathkit::roots::{bisect, fixed_point, BisectOptions, FixedPointOptions};
+use std::cell::Cell;
+use std::fmt;
+use std::time::Instant;
+
+/// Which stage of the solver chain produced a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// Guaranteed nested bisection ([`solve`]).
+    NestedBisection,
+    /// Damped Newton–Raphson on the full system.
+    DampedNewton,
+    /// Newton–Raphson restarted from a perturbed seed.
+    ReseededNewton,
+    /// Bounded damped fixed-point iteration on the inner occupancy solves.
+    FixedPoint,
+    /// Heuristic split proportional to each process's API. Always
+    /// succeeds but ignores the equilibrium condition; results carrying
+    /// this method are flagged [`SolveDiagnostics::degraded`].
+    ProportionalShare,
+}
+
+impl fmt::Display for SolveMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolveMethod::NestedBisection => "nested-bisection",
+            SolveMethod::DampedNewton => "damped-newton",
+            SolveMethod::ReseededNewton => "reseeded-newton",
+            SolveMethod::FixedPoint => "fixed-point",
+            SolveMethod::ProportionalShare => "proportional-share",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One abandoned stage of the fallback chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackEvent {
+    /// The stage that failed.
+    pub stage: SolveMethod,
+    /// Why it was abandoned (solver error or budget exhaustion).
+    pub reason: String,
+}
+
+/// A structured report of how an [`Equilibrium`] was obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveDiagnostics {
+    /// The stage that produced the accepted result.
+    pub method: SolveMethod,
+    /// Iterations (or function evaluations, for bisection-based stages)
+    /// spent by the accepted stage.
+    pub iterations: usize,
+    /// Residual norm of the accepted result: the capacity-constraint
+    /// violation for bisection, the infinity norm of the full system for
+    /// Newton.
+    pub residual: f64,
+    /// Stages tried and abandoned before the accepted one, in order.
+    pub fallbacks: Vec<FallbackEvent>,
+    /// `true` when the result came from the heuristic last resort and
+    /// does not satisfy the equilibrium condition.
+    pub degraded: bool,
+}
+
+impl SolveDiagnostics {
+    fn direct(method: SolveMethod, iterations: usize, residual: f64) -> Self {
+        SolveDiagnostics { method, iterations, residual, fallbacks: Vec::new(), degraded: false }
+    }
+
+    /// One-line human-readable summary (used by the CLI).
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "solved via {} ({} iterations, residual {:.2e})",
+            self.method, self.iterations, self.residual
+        );
+        if !self.fallbacks.is_empty() {
+            let stages: Vec<String> =
+                self.fallbacks.iter().map(|f| f.stage.to_string()).collect();
+            s.push_str(&format!("; fell back from {}", stages.join(", ")));
+        }
+        if self.degraded {
+            s.push_str("; DEGRADED (heuristic split, equilibrium condition not met)");
+        }
+        s
+    }
+}
+
+/// Budgets for [`solve_robust`]'s fallback chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Residual tolerance for the Newton stages.
+    pub tol: f64,
+    /// Iteration cap per Newton attempt.
+    pub max_newton_iter: usize,
+    /// Perturbed restarts after the first Newton attempt fails.
+    pub newton_retries: usize,
+    /// Iteration cap for each inner fixed-point solve.
+    pub max_fixed_point_iter: usize,
+    /// Wall-clock budget for the whole chain, in seconds. When exceeded,
+    /// remaining stages are skipped and the heuristic answers.
+    pub time_budget_s: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tol: 1e-7,
+            max_newton_iter: 200,
+            newton_retries: 2,
+            max_fixed_point_iter: 400,
+            time_budget_s: 5.0,
+        }
+    }
+}
 
 /// The solved steady state for one co-scheduled set.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,15 +160,24 @@ pub struct Equilibrium {
     /// Whether the capacity constraint `sum S_i = A` could be met. `false`
     /// means total demand saturates below the cache size.
     pub cache_filled: bool,
+    /// How this equilibrium was obtained (method, iterations, residual,
+    /// and any fallbacks taken along the way).
+    pub diagnostics: SolveDiagnostics,
 }
 
 impl Equilibrium {
-    fn from_sizes(features: &[&FeatureVector], sizes: Vec<f64>, window: f64, filled: bool) -> Self {
+    fn from_sizes(
+        features: &[&FeatureVector],
+        sizes: Vec<f64>,
+        window: f64,
+        filled: bool,
+        diagnostics: SolveDiagnostics,
+    ) -> Self {
         let mpas: Vec<f64> = features.iter().zip(&sizes).map(|(f, &s)| f.mpa(s)).collect();
         let spis: Vec<f64> =
             features.iter().zip(&mpas).map(|(f, &m)| f.spi_model().spi(m)).collect();
         let apss: Vec<f64> = features.iter().zip(&spis).map(|(f, &s)| f.api() / s).collect();
-        Equilibrium { sizes, mpas, spis, apss, window, cache_filled: filled }
+        Equilibrium { sizes, mpas, spis, apss, window, cache_filled: filled, diagnostics }
     }
 }
 
@@ -103,8 +229,13 @@ pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, M
     let k = features.len();
 
     // Total occupancy as a function of the window T (monotone
-    // non-decreasing in T).
-    let total = |t: f64| -> f64 { features.iter().map(|f| size_for_window(f, a, t)).sum() };
+    // non-decreasing in T). The counter makes outer-solve effort visible
+    // in the diagnostics.
+    let evals = Cell::new(0usize);
+    let total = |t: f64| -> f64 {
+        evals.set(evals.get() + 1);
+        features.iter().map(|f| size_for_window(f, a, t)).sum()
+    };
 
     // Bracket T: expand upward until the cache is filled (to tolerance)
     // or the inner sizes saturate. `G` approaches the associativity
@@ -121,7 +252,12 @@ pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, M
             // Demand can never fill the cache: return saturated sizes.
             let sizes: Vec<f64> = features.iter().map(|f| size_for_window(f, a, cap)).collect();
             let sum: f64 = sizes.iter().sum();
-            return Ok(Equilibrium::from_sizes(features, sizes, cap, sum >= a - 1e-2));
+            let diag = SolveDiagnostics::direct(
+                SolveMethod::NestedBisection,
+                evals.get(),
+                (sum - a).abs(),
+            );
+            return Ok(Equilibrium::from_sizes(features, sizes, cap, sum >= a - 1e-2, diag));
         }
     }
     let _ = k;
@@ -144,6 +280,7 @@ pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, M
     // Distribute any residual capacity error proportionally so the
     // constraint holds exactly (cosmetic: the residual is < 1e-6 ways).
     let sum: f64 = sizes.iter().sum();
+    let residual = (sum - a).abs();
     if sum > 0.0 {
         let scale = a / sum;
         if (scale - 1.0).abs() < 1e-3 {
@@ -152,7 +289,8 @@ pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, M
             }
         }
     }
-    Ok(Equilibrium::from_sizes(features, sizes, t, true))
+    let diag = SolveDiagnostics::direct(SolveMethod::NestedBisection, evals.get(), residual);
+    Ok(Equilibrium::from_sizes(features, sizes, t, true, diag))
 }
 
 /// Solves the equilibrium with damped Newton–Raphson on the
@@ -184,6 +322,30 @@ pub fn solve_newton(features: &[&FeatureVector], assoc: usize) -> Result<Equilib
     let mut x0: Vec<f64> = bisection_seed.sizes.iter().map(|&s| s * 0.9 + 0.1).collect();
     x0.push(bisection_seed.window * 1.1);
 
+    let opts = NewtonOptions { tol: 1e-7, max_iter: 200, fd_step: 1e-6, max_backtrack: 40 };
+    let sol = newton_system(features, a, &x0, opts)
+        .map_err(|e| ModelError::EquilibriumFailed(format!("newton: {e}")))?;
+
+    let sizes = sol.x[..k].to_vec();
+    let window = sol.x[k];
+    let diag = SolveDiagnostics::direct(SolveMethod::DampedNewton, sol.iterations, sol.residual);
+    Ok(Equilibrium::from_sizes(features, sizes, window, true, diag))
+}
+
+/// Runs damped Newton on the `(S_1..S_k, T)` system from `x0` — shared by
+/// [`solve_newton`] and the first stages of [`solve_robust`].
+///
+/// The residual is guarded against NaN/Inf poisoning: any non-finite
+/// intermediate (a corrupted MPA sample, a zero SPI, a wild `G⁻¹`) is
+/// mapped to a large finite penalty so the line search backs away from it
+/// instead of propagating the NaN through the Jacobian.
+fn newton_system(
+    features: &[&FeatureVector],
+    a: f64,
+    x0: &[f64],
+    opts: NewtonOptions,
+) -> Result<mathkit::newton::NewtonSolution, mathkit::MathError> {
+    let k = features.len();
     let lo = 0.02;
     let clamp = move |v: &[f64]| -> Vec<f64> {
         let mut out = Vec::with_capacity(v.len());
@@ -197,6 +359,9 @@ pub fn solve_newton(features: &[&FeatureVector], assoc: usize) -> Result<Equilib
         out
     };
 
+    // A finite stand-in for "infinitely wrong": steers the line search
+    // away without the non-finite contagion that would sink the Jacobian.
+    const PENALTY: f64 = 1e6;
     let feats: Vec<&FeatureVector> = features.to_vec();
     let residual = move |v: &[f64]| -> Vec<f64> {
         let t = v[k];
@@ -204,24 +369,245 @@ pub fn solve_newton(features: &[&FeatureVector], assoc: usize) -> Result<Equilib
         for (i, f) in feats.iter().enumerate() {
             let s = v[i];
             let ginv = f.occupancy().g_inverse(s).max(1e-12);
-            r.push(1.0 - f.aps_at(s) * t / ginv);
+            let ri = 1.0 - f.aps_at(s) * t / ginv;
+            r.push(if ri.is_finite() { ri } else { PENALTY });
         }
         let sum: f64 = v[..k].iter().sum();
-        r.push((sum - a) / a);
+        let rc = (sum - a) / a;
+        r.push(if rc.is_finite() { rc } else { PENALTY });
         r
     };
 
-    let sol = newton_raphson(
-        residual,
-        &x0,
-        clamp,
-        NewtonOptions { tol: 1e-7, max_iter: 200, fd_step: 1e-6, max_backtrack: 40 },
-    )
-    .map_err(|e| ModelError::EquilibriumFailed(format!("newton: {e}")))?;
+    newton_raphson(residual, x0, clamp, opts)
+}
 
-    let sizes = sol.x[..k].to_vec();
-    let window = sol.x[k];
-    Ok(Equilibrium::from_sizes(features, sizes, window, true))
+/// Solves the equilibrium through a staged fallback chain that cannot
+/// panic and only fails on invalid *inputs*, never on solver trouble:
+///
+/// 1. **Damped Newton** from a demand-proportional seed.
+/// 2. **Perturbed Newton restarts** (`newton_retries` of them) when the
+///    first attempt diverges or converges to an infeasible point.
+/// 3. **Bounded fixed-point iteration** on the inner occupancy solves
+///    with a bisection outer loop (guaranteed for monotone curves).
+/// 4. **Proportional-to-API heuristic split** — a last resort that
+///    always produces finite sizes summing to `A`, flagged
+///    [`SolveDiagnostics::degraded`].
+///
+/// Inputs are validated with [`crate::validate::feature_vector`] first,
+/// and every abandoned stage is recorded in the returned
+/// [`Equilibrium::diagnostics`]. A wall-clock budget
+/// ([`SolveOptions::time_budget_s`]) bounds the whole chain; when it
+/// runs out, remaining stages are skipped.
+///
+/// # Errors
+///
+/// - [`ModelError::EmptyInput`] / [`ModelError::EquilibriumFailed`] for
+///   structurally invalid inputs (as for [`solve`]).
+/// - [`ModelError::UnusableProfile`] / [`ModelError::NonFinite`] /
+///   [`ModelError::InvalidDistribution`] when a feature vector fails
+///   validation.
+pub fn solve_robust(
+    features: &[&FeatureVector],
+    assoc: usize,
+    opts: &SolveOptions,
+) -> Result<Equilibrium, ModelError> {
+    validate(features, assoc)?;
+    for f in features {
+        crate::validate::feature_vector(f)?;
+    }
+    let a = assoc as f64;
+    let k = features.len();
+    let start = Instant::now();
+    let mut fallbacks: Vec<FallbackEvent> = Vec::new();
+
+    // Infeasible capacity constraint: if demand saturates below `A` even
+    // at an effectively infinite window, no equilibrium root exists.
+    // Answer with the saturated sizes directly, as `solve` does.
+    let cap = 1e9;
+    let sat_sizes: Vec<f64> = features.iter().map(|f| size_for_window(f, a, cap)).collect();
+    let sat_sum: f64 = sat_sizes.iter().sum();
+    if sat_sum < a - 1e-2 {
+        let diag = SolveDiagnostics::direct(SolveMethod::NestedBisection, k, 0.0);
+        return Ok(Equilibrium::from_sizes(features, sat_sizes, cap, false, diag));
+    }
+
+    // Stages 1 + 2: damped Newton from a demand-proportional seed, then
+    // deterministic perturbed restarts. The perturbations shift both the
+    // size split and the window guess so a restart explores a genuinely
+    // different basin instead of retracing the failed path.
+    let api_total: f64 = features.iter().map(|f| f.api()).sum();
+    let newton_opts = NewtonOptions {
+        tol: opts.tol,
+        max_iter: opts.max_newton_iter,
+        fd_step: 1e-6,
+        max_backtrack: 40,
+    };
+    let window_factors = [1.0, 0.25, 4.0, 0.05, 20.0];
+    for attempt in 0..=opts.newton_retries {
+        let stage =
+            if attempt == 0 { SolveMethod::DampedNewton } else { SolveMethod::ReseededNewton };
+        if start.elapsed().as_secs_f64() > opts.time_budget_s {
+            fallbacks.push(FallbackEvent { stage, reason: "time budget exhausted".into() });
+            break;
+        }
+        let mut x0 = Vec::with_capacity(k + 1);
+        for (i, f) in features.iter().enumerate() {
+            let base = a * f.api() / api_total;
+            let sign = if (i + attempt) % 2 == 0 { 1.0 } else { -1.0 };
+            let jitter = 1.0 + 0.3 * attempt as f64 * sign;
+            x0.push((base * jitter).clamp(0.05, a));
+        }
+        // Window seed: geometric mean of each process's implied window
+        // G⁻¹(S_i) / APS(S_i) at the seed sizes.
+        let mut log_t = 0.0;
+        for (f, &s) in features.iter().zip(&x0) {
+            let ginv = f.occupancy().g_inverse(s).max(1e-12);
+            let aps = f.aps_at(s).max(1e-12);
+            log_t += (ginv / aps).ln();
+        }
+        let t0 = (log_t / k as f64).exp() * window_factors[attempt % window_factors.len()];
+        x0.push(t0.clamp(1e-15, 1e12));
+
+        match newton_system(features, a, &x0, newton_opts) {
+            Ok(sol) => {
+                let sizes = sol.x[..k].to_vec();
+                let window = sol.x[k];
+                let sum: f64 = sizes.iter().sum();
+                let feasible = sizes.iter().all(|s| s.is_finite() && *s >= 0.0)
+                    && window.is_finite()
+                    && window > 0.0
+                    && (sum - a).abs() <= 0.01 * a;
+                if feasible {
+                    let diag = SolveDiagnostics {
+                        method: stage,
+                        iterations: sol.iterations,
+                        residual: sol.residual,
+                        fallbacks,
+                        degraded: false,
+                    };
+                    return Ok(Equilibrium::from_sizes(features, sizes, window, true, diag));
+                }
+                fallbacks.push(FallbackEvent {
+                    stage,
+                    reason: format!(
+                        "converged to infeasible point (sizes sum {sum:.4} vs capacity {a})"
+                    ),
+                });
+            }
+            Err(e) => fallbacks.push(FallbackEvent { stage, reason: e.to_string() }),
+        }
+    }
+
+    // Stage 3: bounded fixed-point iteration (bisection outer loop).
+    if start.elapsed().as_secs_f64() <= opts.time_budget_s {
+        match solve_fixed_point_stage(features, a, opts) {
+            Ok((sizes, t, iterations, residual)) => {
+                let diag = SolveDiagnostics {
+                    method: SolveMethod::FixedPoint,
+                    iterations,
+                    residual,
+                    fallbacks,
+                    degraded: false,
+                };
+                return Ok(Equilibrium::from_sizes(features, sizes, t, true, diag));
+            }
+            Err(e) => fallbacks
+                .push(FallbackEvent { stage: SolveMethod::FixedPoint, reason: e.to_string() }),
+        }
+    } else {
+        fallbacks.push(FallbackEvent {
+            stage: SolveMethod::FixedPoint,
+            reason: "time budget exhausted".into(),
+        });
+    }
+
+    // Stage 4: proportional-to-API heuristic. Validation guarantees every
+    // API is in (0, 1], so the split is well defined, finite, and sums to
+    // `A` exactly. The window is not meaningful here and reported as 0.
+    let sizes: Vec<f64> = features.iter().map(|f| a * f.api() / api_total).collect();
+    let diag = SolveDiagnostics {
+        method: SolveMethod::ProportionalShare,
+        iterations: 0,
+        residual: 0.0,
+        fallbacks,
+        degraded: true,
+    };
+    Ok(Equilibrium::from_sizes(features, sizes, 0.0, true, diag))
+}
+
+/// The chain's stage 3: inner occupancy solves by bounded damped
+/// fixed-point iteration (falling back to bisection per-evaluation if the
+/// iteration stalls), outer capacity solve by bracketed bisection.
+/// Returns `(sizes, window, iterations, residual)`.
+fn solve_fixed_point_stage(
+    features: &[&FeatureVector],
+    a: f64,
+    opts: &SolveOptions,
+) -> Result<(Vec<f64>, f64, usize, f64), ModelError> {
+    let fp_opts = FixedPointOptions {
+        tol: 1e-9,
+        max_iter: opts.max_fixed_point_iter,
+        damping: 0.5,
+    };
+    let iters = Cell::new(0usize);
+    // `S = G(APS(S)·T)` is a monotone map; iterating up from 0 with
+    // damping converges to the smallest fixed point. If the iteration
+    // budget runs out (slowly saturating curves), the guaranteed
+    // bisection inner solve answers for that evaluation instead.
+    let size_at = |f: &FeatureVector, t: f64| -> f64 {
+        match fixed_point(|s| f.occupancy().g(f.aps_at(s) * t), 0.0, 0.0, a, fp_opts) {
+            Ok(sol) => {
+                iters.set(iters.get() + sol.iterations + 1);
+                sol.x
+            }
+            Err(_) => {
+                iters.set(iters.get() + opts.max_fixed_point_iter);
+                size_for_window(f, a, t)
+            }
+        }
+    };
+    let total = |t: f64| -> f64 { features.iter().map(|f| size_at(f, t)).sum() };
+
+    let fill_eps = 1e-4;
+    let mut t_lo = 1e-12;
+    let mut t_hi = 1e-9;
+    let cap = 1e9;
+    while total(t_hi) < a - fill_eps {
+        t_lo = t_hi;
+        t_hi *= 4.0;
+        if t_hi > cap {
+            return Err(ModelError::EquilibriumFailed(
+                "fixed-point stage: demand saturates below capacity".into(),
+            ));
+        }
+    }
+    let t = if total(t_hi) <= a + fill_eps {
+        t_hi
+    } else {
+        bisect(
+            |t| total(t) - a,
+            t_lo,
+            t_hi,
+            BisectOptions { x_tol: 0.0, f_tol: 1e-9, max_iter: 500 },
+        )
+        .map_err(|e| ModelError::EquilibriumFailed(format!("fixed-point outer bisection: {e}")))?
+    };
+
+    let mut sizes: Vec<f64> = features.iter().map(|f| size_at(f, t)).collect();
+    let sum: f64 = sizes.iter().sum();
+    let residual = (sum - a).abs();
+    if !residual.is_finite() {
+        return Err(ModelError::NonFinite("fixed-point stage produced non-finite sizes".into()));
+    }
+    if sum > 0.0 {
+        let scale = a / sum;
+        if (scale - 1.0).abs() < 1e-3 {
+            for s in &mut sizes {
+                *s *= scale;
+            }
+        }
+    }
+    Ok((sizes, t, iters.get(), residual))
 }
 
 fn validate(features: &[&FeatureVector], assoc: usize) -> Result<(), ModelError> {
@@ -373,5 +759,92 @@ mod tests {
         let b = fv(SpecWorkload::Gzip);
         let eq = solve(&[&a, &b], 16).unwrap();
         assert!(eq.window > 0.0);
+    }
+
+    #[test]
+    fn solve_reports_bisection_diagnostics() {
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Gzip);
+        let eq = solve(&[&a, &b], 16).unwrap();
+        assert_eq!(eq.diagnostics.method, SolveMethod::NestedBisection);
+        assert!(eq.diagnostics.iterations > 0);
+        assert!(eq.diagnostics.fallbacks.is_empty());
+        assert!(!eq.diagnostics.degraded);
+        assert!(eq.diagnostics.summary().contains("nested-bisection"));
+    }
+
+    #[test]
+    fn robust_agrees_with_bisection() {
+        let pairs = [
+            (SpecWorkload::Mcf, SpecWorkload::Gzip),
+            (SpecWorkload::Art, SpecWorkload::Twolf),
+            (SpecWorkload::Vpr, SpecWorkload::Bzip2),
+        ];
+        for (wa, wb) in pairs {
+            let a = fv(wa);
+            let b = fv(wb);
+            let bis = solve(&[&a, &b], 16).unwrap();
+            let rob = solve_robust(&[&a, &b], 16, &SolveOptions::default()).unwrap();
+            assert!(!rob.diagnostics.degraded, "{wa}/{wb}: {:?}", rob.diagnostics);
+            for i in 0..2 {
+                assert!(
+                    (bis.sizes[i] - rob.sizes[i]).abs() < 0.05,
+                    "{wa}/{wb} proc {i}: bisect {} vs robust {}",
+                    bis.sizes[i],
+                    rob.sizes[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn robust_falls_back_when_newton_budget_is_tiny() {
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Art);
+        // tol = 0 makes Newton convergence impossible: the chain must fall
+        // through to the fixed-point stage and still nail the constraint.
+        let opts = SolveOptions { tol: 0.0, max_newton_iter: 2, newton_retries: 1, ..Default::default() };
+        let eq = solve_robust(&[&a, &b], 16, &opts).unwrap();
+        assert_eq!(eq.diagnostics.method, SolveMethod::FixedPoint, "{:?}", eq.diagnostics);
+        assert_eq!(eq.diagnostics.fallbacks.len(), 2, "{:?}", eq.diagnostics.fallbacks);
+        assert!(!eq.diagnostics.degraded);
+        assert!((eq.sizes.iter().sum::<f64>() - 16.0).abs() < 1e-6);
+        assert!(eq.spis.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn robust_exhausted_budget_degrades_to_heuristic() {
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Gzip);
+        let opts = SolveOptions { time_budget_s: 0.0, ..Default::default() };
+        let eq = solve_robust(&[&a, &b], 16, &opts).unwrap();
+        assert_eq!(eq.diagnostics.method, SolveMethod::ProportionalShare);
+        assert!(eq.diagnostics.degraded);
+        assert!(!eq.diagnostics.fallbacks.is_empty());
+        assert!((eq.sizes.iter().sum::<f64>() - 16.0).abs() < 1e-9);
+        assert!(eq.sizes.iter().all(|s| s.is_finite() && *s > 0.0));
+        assert!(eq.spis.iter().all(|s| s.is_finite() && *s > 0.0));
+        assert!(eq.diagnostics.summary().contains("DEGRADED"));
+    }
+
+    #[test]
+    fn robust_handles_saturating_demand() {
+        use crate::histogram::ReuseHistogram;
+        use crate::spi::SpiModel;
+        // All reuse within 2 ways and no streaming tail: the process can
+        // never hold more than ~2 of the 8 ways.
+        let h = ReuseHistogram::new(vec![0.7, 0.3], 0.0).unwrap();
+        let f = FeatureVector::new(
+            "tiny",
+            h,
+            0.01,
+            SpiModel::new(2e-8, 1e-8).unwrap(),
+            8,
+        )
+        .unwrap();
+        let eq = solve_robust(&[&f], 8, &SolveOptions::default()).unwrap();
+        assert!(!eq.cache_filled);
+        assert!(eq.sizes[0] < 3.0, "{}", eq.sizes[0]);
+        assert!(!eq.diagnostics.degraded);
     }
 }

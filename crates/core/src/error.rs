@@ -19,6 +19,11 @@ pub enum ModelError {
     /// Profiling produced data the model cannot use (e.g. a process that
     /// never accessed the L2).
     UnusableProfile(String),
+    /// An input carried NaN or infinity where a finite value is required.
+    NonFinite(String),
+    /// A result was produced by a degraded fallback path and the caller
+    /// asked (strict mode) for degradation to be treated as failure.
+    Degraded(String),
 }
 
 impl fmt::Display for ModelError {
@@ -31,6 +36,8 @@ impl fmt::Display for ModelError {
             ModelError::EquilibriumFailed(msg) => write!(f, "equilibrium solve failed: {msg}"),
             ModelError::InvalidAssignment(msg) => write!(f, "invalid assignment: {msg}"),
             ModelError::UnusableProfile(msg) => write!(f, "unusable profile: {msg}"),
+            ModelError::NonFinite(msg) => write!(f, "non-finite input: {msg}"),
+            ModelError::Degraded(msg) => write!(f, "degraded result rejected: {msg}"),
         }
     }
 }

@@ -38,6 +38,11 @@
 //! # }
 //! ```
 
+// Library code must surface failures as `ModelError`, not panic; tests
+// may still unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod assignment;
 pub mod equilibrium;
 pub mod feature;
@@ -49,6 +54,7 @@ pub mod power;
 pub mod profile;
 pub mod sharing;
 pub mod spi;
+pub mod validate;
 
 mod error;
 

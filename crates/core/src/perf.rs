@@ -5,7 +5,7 @@
 //! assigned to cores sharing one last-level cache, predict each process's
 //! effective cache size, MPA, and SPI *before running them together*.
 
-use crate::equilibrium::{self, Equilibrium};
+use crate::equilibrium::{self, Equilibrium, SolveOptions};
 use crate::feature::FeatureVector;
 use crate::ModelError;
 
@@ -17,6 +17,11 @@ pub enum SolverKind {
     Bisection,
     /// Newton–Raphson, the paper's named method.
     Newton,
+    /// The staged fallback chain ([`equilibrium::solve_robust`]): Newton,
+    /// perturbed restarts, bounded fixed point, heuristic split. Never
+    /// fails on solver trouble; check
+    /// [`Equilibrium::diagnostics`] for degradation.
+    Robust,
 }
 
 /// Prediction for one process in a co-scheduled set.
@@ -110,6 +115,9 @@ impl PerformanceModel {
         match self.solver {
             SolverKind::Bisection => equilibrium::solve(&refs, self.assoc),
             SolverKind::Newton => equilibrium::solve_newton(&refs, self.assoc),
+            SolverKind::Robust => {
+                equilibrium::solve_robust(&refs, self.assoc, &SolveOptions::default())
+            }
         }
     }
 }
@@ -149,8 +157,14 @@ mod tests {
             .with_solver(SolverKind::Newton)
             .predict(&feats)
             .unwrap();
+        let r = PerformanceModel::new(16)
+            .with_solver(SolverKind::Robust)
+            .predict(&feats)
+            .unwrap();
         assert!((b[0].ways - n[0].ways).abs() < 0.05);
         assert!((b[1].mpa - n[1].mpa).abs() < 0.01);
+        assert!((b[0].ways - r[0].ways).abs() < 0.05);
+        assert!((b[1].mpa - r[1].mpa).abs() < 0.01);
     }
 
     #[test]

@@ -88,7 +88,7 @@ fn write_feature_body<W: Write>(feature: &FeatureVector, w: &mut W) -> std::io::
 pub fn read_profile<R: Read>(r: R) -> Result<ProcessProfile, ModelError> {
     let fields = parse_fields(r)?;
     let feature = feature_from_fields(&fields)?;
-    Ok(ProcessProfile {
+    let profile = ProcessProfile {
         feature,
         l1rpi: field_f64(&fields, "l1rpi")?,
         l2rpi: field_f64(&fields, "l2rpi")?,
@@ -96,7 +96,9 @@ pub fn read_profile<R: Read>(r: R) -> Result<ProcessProfile, ModelError> {
         fppi: field_f64(&fields, "fppi")?,
         processor_alone_w: field_f64(&fields, "processor_alone_w")?,
         idle_processor_w: field_f64(&fields, "idle_processor_w")?,
-    })
+    };
+    crate::validate::profile(&profile)?;
+    Ok(profile)
 }
 
 /// Reads a bare [`FeatureVector`] written by [`write_feature`].
@@ -108,7 +110,9 @@ pub fn read_feature<R: Read>(r: R) -> Result<FeatureVector, ModelError> {
     let fields = parse_fields(r)?;
     // Power-profile keys may be present (a full profile is a superset);
     // they are simply ignored here.
-    feature_from_fields(&fields)
+    let feature = feature_from_fields(&fields)?;
+    crate::validate::feature_vector(&feature)?;
+    Ok(feature)
 }
 
 const FEATURE_KEYS: [&str; 7] = ["name", "assoc", "api", "alpha", "beta", "hist", "p_inf"];
@@ -147,7 +151,19 @@ fn feature_from_fields(fields: &BTreeMap<String, String>) -> Result<FeatureVecto
         .get("name")
         .ok_or(ModelError::UnusableProfile("missing key 'name'".into()))?
         .clone();
-    let assoc = field_f64(fields, "assoc")? as usize;
+    let assoc_raw = fields
+        .get("assoc")
+        .ok_or(ModelError::UnusableProfile("missing key 'assoc'".into()))?;
+    // Associativity is a count: parse as an integer rather than truncating
+    // a float, so "16.7", "-2", and "1e3" are rejected loudly.
+    let assoc = assoc_raw.parse::<usize>().map_err(|_| {
+        ModelError::UnusableProfile(format!("bad value for 'assoc': '{assoc_raw}' (want a positive integer)"))
+    })?;
+    if assoc == 0 || assoc > 4096 {
+        return Err(ModelError::UnusableProfile(format!(
+            "assoc {assoc} outside supported range 1..=4096"
+        )));
+    }
     let api = field_f64(fields, "api")?;
     let alpha = field_f64(fields, "alpha")?;
     let beta = field_f64(fields, "beta")?;
@@ -171,8 +187,17 @@ fn field_f64(fields: &BTreeMap<String, String>, key: &str) -> Result<f64, ModelE
     let raw = fields
         .get(key)
         .ok_or_else(|| ModelError::UnusableProfile(format!("missing key '{key}'")))?;
-    raw.parse::<f64>()
-        .map_err(|_| ModelError::UnusableProfile(format!("bad value for '{key}': '{raw}'")))
+    let v = raw
+        .parse::<f64>()
+        .map_err(|_| ModelError::UnusableProfile(format!("bad value for '{key}': '{raw}'")))?;
+    // `f64::from_str` happily accepts "NaN" and "inf"; a profile carrying
+    // them would poison every solver downstream.
+    if !v.is_finite() {
+        return Err(ModelError::UnusableProfile(format!(
+            "non-finite value for '{key}': '{raw}'"
+        )));
+    }
+    Ok(v)
 }
 
 /// Writes a fitted Eq. 9 power model (intercept + five coefficients).
@@ -355,6 +380,59 @@ mod tests {
 
     fn regex_like_replace(text: &str, prefix: &str, with: &str) -> String {
         text.replacen(prefix, with, 1)
+    }
+
+    #[test]
+    fn rejects_non_finite_and_fractional_fields() {
+        let profile = sample_profile();
+        let mut buf = Vec::new();
+        write_profile(&profile, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        // "NaN"/"inf" parse as f64 but must not survive into the model.
+        let api_line = text.lines().find(|l| l.starts_with("api ")).unwrap().to_string();
+        for bad in ["api NaN", "api inf", "api -inf"] {
+            let broken = text.replace(&api_line, bad);
+            let err = read_profile(broken.as_bytes()).unwrap_err();
+            assert!(matches!(err, ModelError::UnusableProfile(_)), "{bad}: {err}");
+        }
+
+        // Associativity must be a positive integer.
+        for bad in ["assoc 16.7", "assoc -2", "assoc 0", "assoc 1e3", "assoc 9999999"] {
+            let broken = text.replace("assoc 16", bad);
+            assert!(read_profile(broken.as_bytes()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_rate_fields() {
+        let profile = sample_profile();
+        let mut buf = Vec::new();
+        write_profile(&profile, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let broken = text.replace("l1rpi 0.42", "l1rpi NaN");
+        assert!(read_profile(broken.as_bytes()).is_err());
+        let broken = text.replace("fppi 0", "fppi -1");
+        assert!(read_profile(broken.as_bytes()).is_err(), "negative rate");
+    }
+
+    #[test]
+    fn truncated_file_is_typed_error() {
+        let profile = sample_profile();
+        let mut buf = Vec::new();
+        write_profile(&profile, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Drop trailing lines: every prefix is missing at least one key.
+        for keep in 1..lines.len() {
+            let cut = lines[..keep].join("\n");
+            assert!(read_profile(cut.as_bytes()).is_err(), "{keep} lines must not parse");
+        }
+        // Tear the hist line mid-token: the histogram loses mass and the
+        // normalization check must reject it.
+        let hist_line = lines.iter().find(|l| l.starts_with("hist ")).unwrap();
+        let torn = text.replace(hist_line, &hist_line[..hist_line.len() / 2]);
+        assert!(read_profile(torn.as_bytes()).is_err(), "torn hist must not parse");
     }
 
     #[test]

@@ -217,7 +217,7 @@ impl Profiler {
         // definition, sorted and deduplicated in S, clipped to be
         // non-increasing (noise would otherwise become negative histogram
         // mass in Eq. 8), then resampled at integer sizes 0..=A.
-        points.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite occupancies"));
+        points.sort_by(|x, y| x.0.total_cmp(&y.0));
         let mut xs = vec![0.0];
         let mut ys = vec![1.0];
         for &(s, m) in &points {

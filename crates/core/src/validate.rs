@@ -1,0 +1,251 @@
+//! Validation and sanitization of solver-reachable inputs.
+//!
+//! Everything the pipeline consumes from outside — persisted profiles,
+//! measured histograms, hand-edited feature files — passes through here
+//! before it can reach a numerical routine. Each check returns a typed
+//! [`ModelError`] instead of letting a NaN propagate into a solver or a
+//! panic surface in library code.
+//!
+//! The checks mirror the physical invariants of the paper's model:
+//! histogram mass is a probability distribution (non-negative, sums to 1),
+//! MPA curves are miss *ratios* in `[0, 1]` and non-increasing in the
+//! cache size (more cache can only help), SPI coefficients are finite and
+//! physical, and event rates are finite and non-negative.
+
+use crate::feature::FeatureVector;
+use crate::histogram::ReuseHistogram;
+use crate::profile::ProcessProfile;
+use crate::ModelError;
+
+/// Slack allowed on normalization and monotonicity checks. Persisted
+/// curves round-trip through decimal text, so exact comparisons would
+/// reject files the model itself wrote.
+pub const TOLERANCE: f64 = 1e-6;
+
+/// Checks that `x` is finite, passing it through on success.
+///
+/// # Errors
+///
+/// [`ModelError::NonFinite`] naming `what` if `x` is NaN or infinite.
+pub fn finite(x: f64, what: &str) -> Result<f64, ModelError> {
+    if x.is_finite() {
+        Ok(x)
+    } else {
+        Err(ModelError::NonFinite(format!("{what} is {x}")))
+    }
+}
+
+/// Checks that `x` is finite and `>= 0`, passing it through on success.
+///
+/// # Errors
+///
+/// [`ModelError::NonFinite`] for NaN/infinity,
+/// [`ModelError::InvalidDistribution`] for negative values.
+pub fn non_negative(x: f64, what: &str) -> Result<f64, ModelError> {
+    finite(x, what)?;
+    if x < 0.0 {
+        return Err(ModelError::InvalidDistribution(format!("{what} is negative ({x})")));
+    }
+    Ok(x)
+}
+
+/// Validates a reuse-distance histogram: all mass finite, non-negative,
+/// and totalling 1 within [`TOLERANCE`].
+///
+/// [`ReuseHistogram::new`] enforces this at construction, so this is a
+/// re-check for values that arrived by other routes (persisted files,
+/// fault-injection tests, manual edits through public fields elsewhere).
+///
+/// # Errors
+///
+/// [`ModelError::NonFinite`] or [`ModelError::InvalidDistribution`].
+pub fn histogram(h: &ReuseHistogram) -> Result<(), ModelError> {
+    for (i, &p) in h.probs().iter().enumerate() {
+        non_negative(p, &format!("histogram probability p[{i}]"))?;
+    }
+    non_negative(h.p_inf(), "histogram tail mass p_inf")?;
+    let total: f64 = h.probs().iter().sum::<f64>() + h.p_inf();
+    if (total - 1.0).abs() > TOLERANCE {
+        return Err(ModelError::InvalidDistribution(format!(
+            "histogram mass sums to {total}, expected 1"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a tabulated MPA curve sampled at integer cache sizes: every
+/// value finite, inside `[0, 1]`, and non-increasing (within
+/// [`TOLERANCE`]) — a larger cache cannot miss more often.
+///
+/// # Errors
+///
+/// [`ModelError::NonFinite`], [`ModelError::InvalidDistribution`], or
+/// [`ModelError::EmptyInput`] for an empty curve.
+pub fn mpa_curve(mpas: &[f64]) -> Result<(), ModelError> {
+    if mpas.is_empty() {
+        return Err(ModelError::EmptyInput("MPA curve has no samples"));
+    }
+    for (s, &m) in mpas.iter().enumerate() {
+        finite(m, &format!("MPA({s})"))?;
+        if !(-TOLERANCE..=1.0 + TOLERANCE).contains(&m) {
+            return Err(ModelError::InvalidDistribution(format!(
+                "MPA({s}) = {m} outside [0, 1]"
+            )));
+        }
+    }
+    for (s, w) in mpas.windows(2).enumerate() {
+        if w[1] > w[0] + TOLERANCE {
+            return Err(ModelError::InvalidDistribution(format!(
+                "MPA curve not monotone: MPA({}) = {} > MPA({s}) = {}",
+                s + 1,
+                w[1],
+                w[0]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a feature vector end to end: API in `(0, 1]`, finite
+/// physical SPI coefficients, a well-formed histogram, and a monotone
+/// MPA curve over the integer sizes `0..=A`.
+///
+/// # Errors
+///
+/// Any error from the underlying checks, tagged with the process name.
+pub fn feature_vector(f: &FeatureVector) -> Result<(), ModelError> {
+    let tag = |e: ModelError| {
+        ModelError::UnusableProfile(format!("feature vector '{}': {e}", f.name()))
+    };
+    finite(f.api(), "API").map_err(tag)?;
+    if !(f.api() > 0.0 && f.api() <= 1.0) {
+        return Err(ModelError::UnusableProfile(format!(
+            "feature vector '{}': API {} outside (0, 1]",
+            f.name(),
+            f.api()
+        )));
+    }
+    non_negative(f.spi_model().alpha(), "SPI alpha").map_err(tag)?;
+    finite(f.spi_model().beta(), "SPI beta").map_err(tag)?;
+    if f.spi_model().beta() <= 0.0 {
+        return Err(ModelError::UnusableProfile(format!(
+            "feature vector '{}': SPI beta {} must be positive",
+            f.name(),
+            f.spi_model().beta()
+        )));
+    }
+    histogram(f.histogram()).map_err(tag)?;
+    let mpas: Vec<f64> = (0..=f.assoc()).map(|s| f.mpa(s as f64)).collect();
+    mpa_curve(&mpas).map_err(tag)?;
+    Ok(())
+}
+
+/// Validates the §5 process profile: a usable feature vector plus finite,
+/// non-negative event rates and physically ordered power readings
+/// (running a process cannot draw less than the idle processor, beyond
+/// measurement noise).
+///
+/// # Errors
+///
+/// Any error from the underlying checks, tagged with the process name.
+pub fn profile(p: &ProcessProfile) -> Result<(), ModelError> {
+    feature_vector(&p.feature)?;
+    let name = p.feature.name();
+    non_negative(p.l1rpi, "L1 references per instruction")
+        .and_then(|_| non_negative(p.l2rpi, "L2 references per instruction"))
+        .and_then(|_| non_negative(p.brpi, "branches per instruction"))
+        .and_then(|_| non_negative(p.fppi, "FP operations per instruction"))
+        .and_then(|_| non_negative(p.processor_alone_w, "alone power"))
+        .and_then(|_| non_negative(p.idle_processor_w, "idle power"))
+        .map_err(|e| ModelError::UnusableProfile(format!("profile '{name}': {e}")))?;
+    // One ADC step of headroom: quantization can legitimately rank a
+    // lightly loaded processor at or a hair below the idle reading.
+    if p.processor_alone_w < p.idle_processor_w - 0.5 {
+        return Err(ModelError::UnusableProfile(format!(
+            "profile '{name}': alone power {} W below idle power {} W",
+            p.processor_alone_w, p.idle_processor_w
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spi::SpiModel;
+
+    fn hist(probs: Vec<f64>, p_inf: f64) -> ReuseHistogram {
+        ReuseHistogram::new(probs, p_inf).unwrap()
+    }
+
+    fn fv() -> FeatureVector {
+        FeatureVector::new(
+            "t",
+            hist(vec![0.4, 0.3], 0.3),
+            0.01,
+            SpiModel::new(2e-8, 1e-8).unwrap(),
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finite_accepts_and_rejects() {
+        assert_eq!(finite(1.5, "x").unwrap(), 1.5);
+        assert!(matches!(finite(f64::NAN, "x"), Err(ModelError::NonFinite(_))));
+        assert!(matches!(finite(f64::INFINITY, "x"), Err(ModelError::NonFinite(_))));
+    }
+
+    #[test]
+    fn non_negative_rejects_negatives() {
+        assert!(non_negative(-0.1, "x").is_err());
+        assert!(non_negative(0.0, "x").is_ok());
+    }
+
+    #[test]
+    fn good_histogram_passes() {
+        assert!(histogram(&hist(vec![0.5, 0.2], 0.3)).is_ok());
+    }
+
+    #[test]
+    fn mpa_curve_checks() {
+        assert!(mpa_curve(&[1.0, 0.5, 0.2, 0.2]).is_ok());
+        assert!(mpa_curve(&[]).is_err());
+        assert!(mpa_curve(&[1.0, f64::NAN]).is_err());
+        assert!(mpa_curve(&[1.0, 1.5]).is_err(), "out of [0,1]");
+        assert!(mpa_curve(&[0.2, 0.5]).is_err(), "increasing");
+        // Round-off wiggle within tolerance is fine.
+        assert!(mpa_curve(&[0.5, 0.5 + 1e-9]).is_ok());
+    }
+
+    #[test]
+    fn valid_feature_vector_passes() {
+        assert!(feature_vector(&fv()).is_ok());
+    }
+
+    #[test]
+    fn valid_profile_passes_and_bad_rates_fail() {
+        let good = ProcessProfile {
+            feature: fv(),
+            l1rpi: 0.3,
+            l2rpi: 0.01,
+            brpi: 0.2,
+            fppi: 0.1,
+            processor_alone_w: 40.0,
+            idle_processor_w: 30.0,
+        };
+        assert!(profile(&good).is_ok());
+
+        let mut bad = good.clone();
+        bad.l1rpi = f64::NAN;
+        assert!(matches!(profile(&bad), Err(ModelError::UnusableProfile(_))));
+
+        let mut bad = good.clone();
+        bad.fppi = -1.0;
+        assert!(profile(&bad).is_err());
+
+        let mut bad = good;
+        bad.processor_alone_w = 10.0; // far below idle
+        assert!(profile(&bad).is_err());
+    }
+}

@@ -61,13 +61,13 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let (max_pl, max_run) = runs
         .iter()
         .max_by(|a, b| {
-            a.1.avg_measured_power().partial_cmp(&b.1.avg_measured_power()).expect("finite")
+            a.1.avg_measured_power().total_cmp(&b.1.avg_measured_power())
         })
         .expect("non-empty pool");
     let (min_pl, min_run) = runs
         .iter()
         .min_by(|a, b| {
-            a.1.avg_measured_power().partial_cmp(&b.1.avg_measured_power()).expect("finite")
+            a.1.avg_measured_power().total_cmp(&b.1.avg_measured_power())
         })
         .expect("non-empty pool");
 

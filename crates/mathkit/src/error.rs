@@ -36,6 +36,9 @@ pub enum MathError {
     },
     /// An argument was outside its documented domain.
     InvalidArgument(String),
+    /// A function evaluation produced NaN or infinity where a finite
+    /// value is required (e.g. a residual inside a solver).
+    NonFinite(String),
 }
 
 impl fmt::Display for MathError {
@@ -56,6 +59,9 @@ impl fmt::Display for MathError {
                 write!(f, "bracket [{lo}, {hi}] does not contain a sign change")
             }
             MathError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MathError::NonFinite(what) => {
+                write!(f, "non-finite value encountered: {what}")
+            }
         }
     }
 }
@@ -75,6 +81,7 @@ mod tests {
             MathError::InsufficientData { needed: 2, got: 1 },
             MathError::InvalidBracket { lo: 0.0, hi: 1.0 },
             MathError::InvalidArgument("x".into()),
+            MathError::NonFinite("residual".into()),
         ];
         for e in errors {
             let s = e.to_string();

@@ -60,7 +60,12 @@ impl PiecewiseLinear {
     }
 
     /// Evaluates the interpolant at `x`, clamping outside the knot range.
+    /// A NaN input yields NaN rather than a panic, so callers can detect
+    /// poisoned values downstream.
     pub fn eval(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
         let n = self.xs.len();
         if x <= self.xs[0] {
             return self.ys[0];
@@ -68,8 +73,10 @@ impl PiecewiseLinear {
         if x >= self.xs[n - 1] {
             return self.ys[n - 1];
         }
-        // Binary search for the containing segment.
-        let idx = match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+        // Binary search for the containing segment. The knots are strictly
+        // increasing (checked at construction) and x is not NaN, so
+        // total_cmp agrees with the numeric order here.
+        let idx = match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) => return self.ys[i],
             Err(i) => i, // xs[i-1] < x < xs[i]
         };

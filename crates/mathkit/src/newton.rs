@@ -50,6 +50,8 @@ pub struct NewtonSolution {
 ///
 /// - [`MathError::InvalidArgument`] if `x0` is empty or `f(x0)` has a
 ///   different length than `x0`.
+/// - [`MathError::NonFinite`] if the starting point or `f(x0)` contains NaN
+///   or infinity, or a Jacobian column evaluates to a non-finite value.
 /// - [`MathError::Singular`] if the Jacobian becomes numerically singular.
 /// - [`MathError::NoConvergence`] if the tolerance is not reached within
 ///   `max_iter` iterations.
@@ -87,6 +89,9 @@ where
         return Err(MathError::InvalidArgument("empty initial guess".into()));
     }
     let mut x = clamp(x0);
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(MathError::NonFinite("newton starting point".into()));
+    }
     let mut fx = f(&x);
     if fx.len() != n {
         return Err(MathError::InvalidArgument(format!(
@@ -94,6 +99,9 @@ where
             fx.len(),
             n
         )));
+    }
+    if fx.iter().any(|v| !v.is_finite()) {
+        return Err(MathError::NonFinite("residual at newton starting point".into()));
     }
     let mut res = norm_inf(&fx);
 
@@ -132,6 +140,10 @@ where
             }
         }
 
+        if (0..n).any(|i| (0..n).any(|j| !jac[(i, j)].is_finite())) {
+            return Err(MathError::NonFinite(format!("jacobian at iteration {iter}")));
+        }
+
         let qr = Qr::factor(&jac)?;
         let neg_fx: Vec<f64> = fx.iter().map(|v| -v).collect();
         let step = qr.solve_least_squares(&neg_fx)?;
@@ -144,7 +156,9 @@ where
             let cand = clamp(&cand);
             let fc = f(&cand);
             let rc = norm_inf(&fc);
-            if rc.is_finite() && rc < res {
+            // Check the components, not just the norm: norm_inf folds with
+            // `max`, which silently drops NaN entries.
+            if fc.iter().all(|v| v.is_finite()) && rc < res {
                 x = cand;
                 fx = fc;
                 res = rc;
@@ -255,6 +269,28 @@ mod tests {
             newton_raphson(|_| vec![0.0, 0.0], &[1.0], no_clamp, NewtonOptions::default()),
             Err(MathError::InvalidArgument(_))
         ));
+    }
+
+    #[test]
+    fn nan_residual_is_typed_error() {
+        let r = newton_raphson(
+            |v| vec![(v[0] - 2.0).sqrt()], // NaN for v[0] < 2
+            &[0.0],
+            no_clamp,
+            NewtonOptions::default(),
+        );
+        assert!(matches!(r, Err(MathError::NonFinite(_))), "{r:?}");
+    }
+
+    #[test]
+    fn nan_start_is_typed_error() {
+        let r = newton_raphson(
+            |v| vec![v[0] - 1.0],
+            &[f64::NAN],
+            no_clamp,
+            NewtonOptions::default(),
+        );
+        assert!(matches!(r, Err(MathError::NonFinite(_))), "{r:?}");
     }
 
     #[test]

@@ -102,17 +102,19 @@ impl ErrorSummary {
 
 /// The `q`-quantile (0 <= q <= 1) by linear interpolation between order
 /// statistics; 0 for empty input.
+/// NaN values sort after every finite value (IEEE total order), so a
+/// poisoned sample surfaces as a NaN upper percentile instead of a panic.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn percentile(v: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
     if v.is_empty() {
         return 0.0;
     }
     let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -102,6 +102,43 @@ proptest! {
     }
 
     #[test]
+    fn robust_solver_conserves_capacity_and_stays_finite(
+        hist_a in histogram_strategy(12),
+        hist_b in histogram_strategy(12),
+        hist_c in histogram_strategy(12),
+        api_a in 0.002f64..0.05,
+        api_b in 0.002f64..0.05,
+        api_c in 0.002f64..0.05,
+    ) {
+        let assoc = 16usize;
+        let mut features = Vec::new();
+        for (name, hist, api) in
+            [("a", hist_a, api_a), ("b", hist_b, api_b), ("c", hist_c, api_c)]
+        {
+            let spi = SpiModel::new(2e-6 * api, 5e-8).unwrap();
+            features.push(FeatureVector::new(name, hist, api, spi, assoc).unwrap());
+        }
+        let refs: Vec<&FeatureVector> = features.iter().collect();
+        let eq = equilibrium::solve_robust(&refs, assoc, &equilibrium::SolveOptions::default())
+            .unwrap();
+        let total: f64 = eq.sizes.iter().sum();
+        if eq.cache_filled {
+            prop_assert!(
+                (total - assoc as f64).abs() < 1e-2 * assoc as f64,
+                "sum of ways {total} ({})",
+                eq.diagnostics.summary()
+            );
+        } else {
+            prop_assert!(total <= assoc as f64 + 1e-6);
+        }
+        for i in 0..refs.len() {
+            prop_assert!(eq.sizes[i].is_finite() && eq.sizes[i] >= 0.0);
+            prop_assert!(eq.mpas[i].is_finite());
+            prop_assert!(eq.spis[i].is_finite() && eq.spis[i] > 0.0, "SPI must stay finite");
+        }
+    }
+
+    #[test]
     fn cache_matches_lru_oracle(
         accesses in proptest::collection::vec((0u64..64, 0u32..3), 1..400),
         assoc in 1usize..8,
