@@ -1,0 +1,267 @@
+//! JSON benchmark harness: measures the three perf-critical paths
+//! (simulator throughput, profiling, equilibrium solves) with plain
+//! `Instant` timing and writes machine-readable baselines to
+//! `BENCH_simulator.json`, `BENCH_profiling.json` and
+//! `BENCH_equilibrium.json`.
+//!
+//! Unlike the criterion-shim benches (which print human-oriented lines),
+//! this binary exists so the repo can commit comparable numbers and CI
+//! can smoke-test that the measured paths still run. Usage:
+//!
+//! ```text
+//! bench_json [--tiny] [--out DIR] [--workers N]
+//! ```
+//!
+//! `--tiny` shrinks every workload to smoke-test size (CI), `--out`
+//! selects the output directory (default: current directory), and
+//! `--workers` sets the worker count used for the parallel batch
+//! profiling entry (default 4).
+
+use bench::synthetic_feature;
+use cmpsim::engine::{simulate, Placement, SimOptions};
+use cmpsim::machine::MachineConfig;
+use cmpsim::process::ProcessSpec;
+use mpmc_model::equilibrium;
+use mpmc_model::feature::FeatureVector;
+use mpmc_model::profile::{ProfileOptions, Profiler};
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::spec::SpecWorkload;
+
+/// One measured benchmark entry.
+struct Entry {
+    name: String,
+    median_ns_per_op: f64,
+    /// Operations (iterations) per second implied by the median.
+    ops_per_s: f64,
+    /// Optional domain throughput, e.g. simulated accesses per second.
+    throughput_unit: Option<&'static str>,
+    throughput_per_s: Option<f64>,
+    reps: usize,
+}
+
+struct Config {
+    tiny: bool,
+    out_dir: String,
+    workers: usize,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config { tiny: false, out_dir: ".".to_string(), workers: 4 };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tiny" => cfg.tiny = true,
+            "--out" => {
+                if let Some(d) = args.next() {
+                    cfg.out_dir = d;
+                }
+            }
+            "--workers" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.workers = n;
+                }
+            }
+            other => {
+                eprintln!("bench_json: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+/// Times `op` `reps` times and returns the median wall-clock seconds of
+/// one call. `units` is the number of domain operations one call
+/// performs (for ns/op normalization).
+fn measure<F: FnMut() -> u64>(reps: usize, mut op: F) -> (f64, u64) {
+    let mut times = Vec::with_capacity(reps);
+    let mut units = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        units = op();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], units)
+}
+
+fn entry(name: impl Into<String>, median_s: f64, units: u64, unit: Option<&'static str>, reps: usize) -> Entry {
+    let per_op_s = median_s / units.max(1) as f64;
+    Entry {
+        name: name.into(),
+        median_ns_per_op: per_op_s * 1e9,
+        ops_per_s: if per_op_s > 0.0 { 1.0 / per_op_s } else { 0.0 },
+        throughput_unit: unit,
+        throughput_per_s: unit.map(|_| if median_s > 0.0 { units as f64 / median_s } else { 0.0 }),
+        reps,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_suite(cfg: &Config, suite: &str, entries: &[Entry]) {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"suite\": \"{}\",", json_escape(suite));
+    let _ = writeln!(out, "  \"mode\": \"{}\",", if cfg.tiny { "tiny" } else { "full" });
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let _ = writeln!(out, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let mut fields = format!(
+            "\"name\": \"{}\", \"median_ns_per_op\": {:.1}, \"ops_per_s\": {:.3}, \"reps\": {}",
+            json_escape(&e.name),
+            e.median_ns_per_op,
+            e.ops_per_s,
+            e.reps
+        );
+        if let (Some(unit), Some(tp)) = (e.throughput_unit, e.throughput_per_s) {
+            let _ = write!(fields, ", \"throughput_unit\": \"{}\", \"throughput_per_s\": {:.1}", unit, tp);
+        }
+        let _ = writeln!(out, "    {{ {fields} }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    let path = format!("{}/BENCH_{}.json", cfg.out_dir, suite);
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!("bench_json: cannot create {}: {e}", cfg.out_dir);
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("bench_json: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+    print!("{out}");
+}
+
+fn sim_co_run(machine: &MachineConfig, pairs: &[(usize, SpecWorkload)], duration_s: f64) -> u64 {
+    let mut pl = Placement::idle(machine.num_cores());
+    for (i, &(core, w)) in pairs.iter().enumerate() {
+        pl.assign(
+            core,
+            ProcessSpec::new(w.name(), Box::new(w.params().generator(machine.l2_sets, i as u64 + 1))),
+        )
+        .expect("core in range");
+    }
+    let r = simulate(
+        machine,
+        pl,
+        SimOptions { duration_s, warmup_s: 0.0, seed: 1, ..Default::default() },
+    )
+    .expect("simulate");
+    r.processes.iter().map(|p| p.counters.l2_refs).sum()
+}
+
+fn bench_simulator(cfg: &Config) {
+    let machine = MachineConfig::four_core_server();
+    let duration = if cfg.tiny { 0.01 } else { 0.1 };
+    let reps = if cfg.tiny { 3 } else { 9 };
+    let pairs2 = [(0usize, SpecWorkload::Mcf), (1, SpecWorkload::Gzip)];
+    let pairs4 = [
+        (0usize, SpecWorkload::Mcf),
+        (1, SpecWorkload::Gzip),
+        (2, SpecWorkload::Art),
+        (3, SpecWorkload::Twolf),
+    ];
+    let mut entries = Vec::new();
+    let (t2, a2) = measure(reps, || sim_co_run(&machine, &pairs2, duration));
+    entries.push(entry("co_run_accesses/2", t2, a2, Some("accesses/s"), reps));
+    let (t4, a4) = measure(reps, || sim_co_run(&machine, &pairs4, duration));
+    entries.push(entry("co_run_accesses/4", t4, a4, Some("accesses/s"), reps));
+    write_suite(cfg, "simulator", &entries);
+}
+
+fn bench_profiling(cfg: &Config) {
+    let machine = MachineConfig { l2_sets: 64, l2_assoc: 8, ..MachineConfig::two_core_workstation() };
+    // Tiny mode still needs enough simulated time for a usable profile
+    // (too-short runs yield no occupancy points).
+    let duration = if cfg.tiny { 0.06 } else { 0.15 };
+    let warmup = if cfg.tiny { 0.02 } else { 0.05 };
+    let reps = if cfg.tiny { 2 } else { 5 };
+    let opts = |workers| ProfileOptions { duration_s: duration, warmup_s: warmup, seed: 1, workers, ..Default::default() };
+    let suite: Vec<_> =
+        [SpecWorkload::Mcf, SpecWorkload::Gzip, SpecWorkload::Art, SpecWorkload::Twolf]
+            .iter()
+            .map(|w| w.params())
+            .collect();
+    let mut entries = Vec::new();
+
+    let profiler1 = Profiler::new(machine.clone()).with_options(opts(1));
+    let params = SpecWorkload::Twolf.params();
+    let (ts, _) = measure(reps, || {
+        profiler1.profile(&params).expect("profile");
+        1
+    });
+    entries.push(entry("profile_single_8way_tiny", ts, 1, Some("profiles/s"), reps));
+
+    let (t1, n1) = measure(reps, || {
+        profiler1.profile_batch(&suite).expect("batch").len() as u64
+    });
+    entries.push(entry("profile_batch/workers=1", t1, n1, Some("profiles/s"), reps));
+
+    let profiler_n = Profiler::new(machine.clone()).with_options(opts(cfg.workers));
+    let (tn, nn) = measure(reps, || {
+        profiler_n.profile_batch(&suite).expect("batch").len() as u64
+    });
+    entries.push(entry(format!("profile_batch/workers={}", cfg.workers), tn, nn, Some("profiles/s"), reps));
+
+    write_suite(cfg, "profiling", &entries);
+}
+
+fn bench_equilibrium(cfg: &Config) {
+    let machine = MachineConfig::four_core_server();
+    let reps = if cfg.tiny { 3 } else { 9 };
+    let iters = if cfg.tiny { 20u64 } else { 400 };
+    let mut entries = Vec::new();
+    for k in [2usize, 3, 4] {
+        let feats: Vec<FeatureVector> = (0..k)
+            .map(|i| {
+                synthetic_feature(
+                    &format!("p{i}"),
+                    &machine,
+                    8 + 2 * i,
+                    0.1 + 0.08 * i as f64,
+                    0.005 + 0.01 * i as f64,
+                )
+            })
+            .collect();
+        let refs: Vec<&FeatureVector> = feats.iter().collect();
+        let (tb, nb) = measure(reps, || {
+            for _ in 0..iters {
+                equilibrium::solve(&refs, 16).expect("solve");
+            }
+            iters
+        });
+        entries.push(entry(format!("bisection/{k}"), tb, nb, Some("solves/s"), reps));
+        let (tn, nn) = measure(reps, || {
+            for _ in 0..iters {
+                equilibrium::solve_newton(&refs, 16).expect("solve");
+            }
+            iters
+        });
+        entries.push(entry(format!("newton/{k}"), tn, nn, Some("solves/s"), reps));
+    }
+    let (tf, nf) = measure(reps, || {
+        for _ in 0..iters {
+            std::hint::black_box(synthetic_feature("p", &machine, 12, 0.15, 0.02));
+        }
+        iters
+    });
+    entries.push(entry("feature_vector_construction", tf, nf, Some("features/s"), reps));
+    write_suite(cfg, "equilibrium", &entries);
+}
+
+fn main() {
+    let cfg = parse_args();
+    bench_simulator(&cfg);
+    bench_profiling(&cfg);
+    bench_equilibrium(&cfg);
+}

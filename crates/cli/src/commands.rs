@@ -330,10 +330,15 @@ pub fn simulate_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     for (core, q) in per_core.iter().enumerate() {
         for name in q {
             let w = resolve::workload(name)?;
-            placement.assign(
-                core,
-                ProcessSpec::new(w.name(), Box::new(w.params().generator(machine.l2_sets, region))),
-            );
+            placement
+                .assign(
+                    core,
+                    ProcessSpec::new(
+                        w.name(),
+                        Box::new(w.params().generator(machine.l2_sets, region)),
+                    ),
+                )
+                .map_err(mpmc_model::ModelError::from)?;
             region += 1;
         }
     }

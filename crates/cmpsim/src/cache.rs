@@ -36,16 +36,184 @@ impl AccessOutcome {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Line {
-    addr: LineAddr,
     owner: ProcessId,
     /// Set by prefetch insertion, cleared on the first demand touch.
     prefetched: bool,
 }
 
-#[derive(Debug, Clone, Default)]
+/// Slot-index sentinel for "no slot" in the recency links.
+const NIL: u32 = u32::MAX;
+
+/// One cache set: dense slot storage plus an intrusive doubly-linked
+/// recency list, so a hit promotes to MRU and a miss evicts the LRU with
+/// O(1) pointer updates instead of the `Vec::remove`/`insert(0, …)`
+/// memmove pair the first implementation paid on every access.
+///
+/// Slots are kept dense with swap-remove (the vacated slot is refilled by
+/// the last slot, whose links are patched), so the tag probe scans a
+/// contiguous `Vec<u64>` of addresses — the only O(ways) step left on the
+/// access path. *Recency* order lives purely in the links: `head` is the
+/// MRU slot, `tail` the LRU victim, `next` points one step toward LRU.
+#[derive(Debug, Clone)]
 struct CacheSet {
-    /// Resident lines in LRU order: index 0 is MRU, last is LRU victim.
+    /// Line addresses by slot (probe array, address-only for density).
+    addrs: Vec<u64>,
+    /// Owner/prefetch metadata by slot.
     lines: Vec<Line>,
+    /// Recency links by slot: `next` toward LRU, `prev` toward MRU.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// MRU slot, or `NIL` when the set is empty.
+    head: u32,
+    /// LRU slot, or `NIL` when the set is empty.
+    tail: u32,
+}
+
+impl Default for CacheSet {
+    fn default() -> Self {
+        CacheSet {
+            addrs: Vec::new(),
+            lines: Vec::new(),
+            next: Vec::new(),
+            prev: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+}
+
+impl CacheSet {
+    fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Slot holding `addr`, if resident.
+    fn find(&self, addr: LineAddr) -> Option<usize> {
+        self.addrs.iter().position(|&a| a == addr.0)
+    }
+
+    /// Detaches slot `i` from the recency list (links only; the slot
+    /// itself stays allocated).
+    fn unlink(&mut self, i: usize) {
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Links the (detached) slot `i` in as MRU.
+    fn link_front(&mut self, i: usize) {
+        self.prev[i] = NIL;
+        self.next[i] = self.head;
+        if self.head == NIL {
+            self.tail = i as u32;
+        } else {
+            self.prev[self.head as usize] = i as u32;
+        }
+        self.head = i as u32;
+    }
+
+    fn move_to_front(&mut self, i: usize) {
+        if self.head == i as u32 {
+            return;
+        }
+        self.unlink(i);
+        self.link_front(i);
+    }
+
+    /// Appends a new line and links it as MRU. Caller guarantees space.
+    fn push_front(&mut self, addr: LineAddr, line: Line) {
+        let i = self.len();
+        self.addrs.push(addr.0);
+        self.lines.push(line);
+        self.next.push(NIL);
+        self.prev.push(NIL);
+        self.link_front(i);
+    }
+
+    /// Inserts a new line at recency position `pos` (0 = MRU, `len` =
+    /// LRU). Caller guarantees space and `pos <= len`.
+    fn insert_at_recency(&mut self, pos: usize, addr: LineAddr, line: Line) {
+        let i = self.len();
+        self.addrs.push(addr.0);
+        self.lines.push(line);
+        self.next.push(NIL);
+        self.prev.push(NIL);
+        // The node currently at position `pos`, or NIL to append at LRU.
+        let mut at = self.head;
+        for _ in 0..pos {
+            if at == NIL {
+                break;
+            }
+            at = self.next[at as usize];
+        }
+        if at == self.head {
+            self.link_front(i);
+            return;
+        }
+        let before = if at == NIL { self.tail } else { self.prev[at as usize] };
+        self.prev[i] = before;
+        self.next[i] = at;
+        self.next[before as usize] = i as u32;
+        if at == NIL {
+            self.tail = i as u32;
+        } else {
+            self.prev[at as usize] = i as u32;
+        }
+    }
+
+    /// Removes slot `i`, keeping storage dense by moving the last slot
+    /// into the hole and patching its links. Returns the removed line.
+    fn remove(&mut self, i: usize) -> (LineAddr, Line) {
+        self.unlink(i);
+        let removed_addr = LineAddr(self.addrs[i]);
+        let removed_line = self.lines[i];
+        let last = self.len() - 1;
+        if i != last {
+            self.addrs[i] = self.addrs[last];
+            self.lines[i] = self.lines[last];
+            // Read the moved slot's links *after* the unlink above, in
+            // case the removed slot was its neighbour.
+            let (p, n) = (self.prev[last], self.next[last]);
+            self.prev[i] = p;
+            self.next[i] = n;
+            if p == NIL {
+                self.head = i as u32;
+            } else {
+                self.next[p as usize] = i as u32;
+            }
+            if n == NIL {
+                self.tail = i as u32;
+            } else {
+                self.prev[n as usize] = i as u32;
+            }
+        }
+        self.addrs.pop();
+        self.lines.pop();
+        self.next.pop();
+        self.prev.pop();
+        (removed_addr, removed_line)
+    }
+
+    /// LRU-most slot satisfying `pred`, walking from the LRU tail toward
+    /// MRU (the linked-list equivalent of the old `rposition`).
+    fn lru_where<F: FnMut(&Line) -> bool>(&self, mut pred: F) -> Option<usize> {
+        let mut cur = self.tail;
+        while cur != NIL {
+            if pred(&self.lines[cur as usize]) {
+                return Some(cur as usize);
+            }
+            cur = self.prev[cur as usize];
+        }
+        None
+    }
 }
 
 /// A set-associative cache with LRU replacement.
@@ -68,6 +236,9 @@ struct CacheSet {
 pub struct SetAssocCache {
     sets: Vec<CacheSet>,
     assoc: usize,
+    /// `num_sets - 1` when the set count is a power of two, so the
+    /// per-access set mapping is a mask instead of a 64-bit modulo.
+    set_mask: Option<u64>,
     /// Resident line count per process id (indexed by `ProcessId.0`).
     owner_lines: Vec<u64>,
     /// Optional per-owner way quotas (way partitioning, as in cache
@@ -88,6 +259,7 @@ impl SetAssocCache {
         SetAssocCache {
             sets: vec![CacheSet::default(); num_sets],
             assoc,
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
             owner_lines: Vec::new(),
             quotas: Vec::new(),
         }
@@ -123,6 +295,7 @@ impl SetAssocCache {
     }
 
     fn owner_lines_in_set(&self, si: usize, owner: ProcessId) -> usize {
+        // Dense scan; slot order is irrelevant for a count.
         self.sets[si].lines.iter().filter(|l| l.owner == owner).count()
     }
 
@@ -142,29 +315,32 @@ impl SetAssocCache {
     }
 
     fn set_index(&self, addr: LineAddr) -> usize {
-        (addr.0 % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (addr.0 & mask) as usize,
+            None => (addr.0 % self.sets.len() as u64) as usize,
+        }
     }
 
     /// Accesses `addr` on behalf of `owner`, applying LRU update/replacement.
     pub fn access(&mut self, addr: LineAddr, owner: ProcessId) -> AccessOutcome {
         let si = self.set_index(addr);
-        if let Some(pos) = self.sets[si].lines.iter().position(|l| l.addr == addr) {
+        if let Some(slot) = self.sets[si].find(addr) {
             // Hit: promote to MRU. Ownership follows the toucher, mirroring
             // the paper's accounting where a line "belongs" to whoever keeps
             // it alive (relevant when processes share no data, so in
             // practice owners never change; kept for generality).
-            let line = self.sets[si].lines.remove(pos);
+            let line = self.sets[si].lines[slot];
             if line.owner != owner {
                 self.dec_owner(line.owner);
                 self.inc_owner(owner);
             }
-            let prefetch_covered = line.prefetched;
-            self.sets[si].lines.insert(0, Line { addr: line.addr, owner, prefetched: false });
-            return AccessOutcome::Hit { prefetch_covered };
+            self.sets[si].lines[slot] = Line { owner, prefetched: false };
+            self.sets[si].move_to_front(slot);
+            return AccessOutcome::Hit { prefetch_covered: line.prefetched };
         }
         // Miss: insert at MRU, choosing a victim that respects quotas.
         let evicted = self.make_room(si, owner);
-        self.sets[si].lines.insert(0, Line { addr, owner, prefetched: false });
+        self.sets[si].push_front(addr, Line { owner, prefetched: false });
         self.inc_owner(owner);
         AccessOutcome::Miss { evicted }
     }
@@ -175,33 +351,48 @@ impl SetAssocCache {
         // Quota check: an at-quota owner recycles its own LRU line.
         if let Some(q) = self.way_quota(owner) {
             if q < self.assoc && self.owner_lines_in_set(si, owner) >= q {
-                let pos = self.sets[si]
-                    .lines
-                    .iter()
-                    .rposition(|l| l.owner == owner)
+                let slot = self.sets[si]
+                    .lru_where(|l| l.owner == owner)
                     .expect("owner at quota has lines in the set");
-                let victim = self.sets[si].lines.remove(pos);
+                let (vaddr, victim) = self.sets[si].remove(slot);
                 self.dec_owner(victim.owner);
-                return Some((victim.addr, victim.owner));
+                return Some((vaddr, victim.owner));
             }
         }
-        if self.sets[si].lines.len() < self.assoc {
+        if self.sets[si].len() < self.assoc {
             return None;
         }
         // Full set: prefer the LRU line of an over-quota owner; fall back
         // to the global LRU line.
-        let pos = self
-            .sets[si]
-            .lines
-            .iter()
-            .rposition(|l| match self.way_quota(l.owner) {
-                Some(q) => self.owner_lines_in_set(si, l.owner) > q,
-                None => false,
-            })
-            .unwrap_or(self.sets[si].lines.len() - 1);
-        let victim = self.sets[si].lines.remove(pos);
+        let slot = if self.quotas.is_empty() {
+            self.sets[si].tail as usize
+        } else {
+            // Count per owner up front so the tail walk does not rescan
+            // the set for every candidate.
+            let quotas = &self.quotas;
+            let counts: Vec<usize> = {
+                let mut counts = vec![0usize; self.owner_lines.len().max(1)];
+                for l in &self.sets[si].lines {
+                    let idx = l.owner.0 as usize;
+                    if idx >= counts.len() {
+                        counts.resize(idx + 1, 0);
+                    }
+                    counts[idx] += 1;
+                }
+                counts
+            };
+            self.sets[si]
+                .lru_where(|l| {
+                    match quotas.get(l.owner.0 as usize).copied().flatten() {
+                        Some(q) => counts.get(l.owner.0 as usize).copied().unwrap_or(0) > q,
+                        None => false,
+                    }
+                })
+                .unwrap_or(self.sets[si].tail as usize)
+        };
+        let (vaddr, victim) = self.sets[si].remove(slot);
         self.dec_owner(victim.owner);
-        Some((victim.addr, victim.owner))
+        Some((vaddr, victim.owner))
     }
 
     /// Inserts `addr` for `owner` without counting a demand access — used by
@@ -210,18 +401,19 @@ impl SetAssocCache {
     /// promoted, so prefetch hints cannot refresh LRU state).
     pub fn insert_prefetch(&mut self, addr: LineAddr, owner: ProcessId) -> bool {
         let si = self.set_index(addr);
-        if self.sets[si].lines.iter().any(|l| l.addr == addr) {
+        if self.sets[si].find(addr).is_some() {
             return false;
         }
-        if self.sets[si].lines.len() == self.assoc {
-            let victim = self.sets[si].lines.pop().expect("full set has a victim");
+        if self.sets[si].len() == self.assoc {
+            let slot = self.sets[si].tail as usize;
+            let (_, victim) = self.sets[si].remove(slot);
             self.dec_owner(victim.owner);
         }
         // Prefetches insert at LRU+1 position (middle-of-stack insertion is
         // common in real LLCs to limit pollution); we insert just below MRU
         // half to keep them evictable.
-        let pos = self.sets[si].lines.len() / 2;
-        self.sets[si].lines.insert(pos, Line { addr, owner, prefetched: true });
+        let pos = self.sets[si].len() / 2;
+        self.sets[si].insert_at_recency(pos, addr, Line { owner, prefetched: true });
         self.inc_owner(owner);
         true
     }
@@ -229,7 +421,7 @@ impl SetAssocCache {
     /// Whether `addr` is currently resident (does not touch LRU state).
     pub fn contains(&self, addr: LineAddr) -> bool {
         let si = self.set_index(addr);
-        self.sets[si].lines.iter().any(|l| l.addr == addr)
+        self.sets[si].find(addr).is_some()
     }
 
     /// Number of resident lines owned by `owner`.
@@ -251,7 +443,16 @@ impl SetAssocCache {
     /// Removes every line owned by `owner` (e.g. at process termination).
     pub fn flush_owner(&mut self, owner: ProcessId) {
         for set in &mut self.sets {
-            set.lines.retain(|l| l.owner != owner);
+            // Swap-remove refills slot `i` from the end, so only advance
+            // past slots that survive.
+            let mut i = 0;
+            while i < set.len() {
+                if set.lines[i].owner == owner {
+                    set.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
         }
         if let Some(slot) = self.owner_lines.get_mut(owner.0 as usize) {
             *slot = 0;
@@ -261,7 +462,12 @@ impl SetAssocCache {
     /// Empties the cache entirely.
     pub fn flush_all(&mut self) {
         for set in &mut self.sets {
+            set.addrs.clear();
             set.lines.clear();
+            set.next.clear();
+            set.prev.clear();
+            set.head = NIL;
+            set.tail = NIL;
         }
         self.owner_lines.clear();
     }

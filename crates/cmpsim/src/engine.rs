@@ -59,12 +59,20 @@ impl Placement {
 
     /// Adds a process to `core`'s run queue.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `core` is out of range.
-    pub fn assign(&mut self, core: usize, spec: ProcessSpec) -> &mut Self {
-        self.per_core[core].push(spec);
-        self
+    /// [`SimError::InvalidPlacement`] if `core` is out of range.
+    pub fn assign(&mut self, core: usize, spec: ProcessSpec) -> Result<&mut Self, SimError> {
+        let num_cores = self.per_core.len();
+        match self.per_core.get_mut(core) {
+            Some(queue) => {
+                queue.push(spec);
+                Ok(self)
+            }
+            None => Err(SimError::InvalidPlacement(format!(
+                "core {core} out of range for {num_cores} cores"
+            ))),
+        }
     }
 
     /// Total number of processes in the placement.
@@ -263,6 +271,12 @@ struct CoreState {
     procs: Vec<usize>,
     sched: Option<TimeSliceScheduler>,
     buckets: Vec<CounterSet>,
+    /// Current HPC bucket (`clock / period_cycles`, capped at the
+    /// overflow bucket) tracked incrementally so the per-step attribution
+    /// needs no division.
+    bucket: usize,
+    /// Clock at which `bucket` advances (`(bucket + 1) * period_cycles`).
+    bucket_edge: Cycles,
     done: bool,
 }
 
@@ -372,6 +386,8 @@ pub fn simulate(
             procs: idxs,
             sched,
             buckets: vec![CounterSet::new(); num_buckets + 1],
+            bucket: 0,
+            bucket_edge: period_cycles,
             done: false,
         });
     }
@@ -495,8 +511,11 @@ pub fn simulate(
         };
 
         // Core-level HPC bucket (completion-time attribution).
-        let bucket = ((core.clock / period_cycles) as usize).min(num_buckets);
-        core.buckets[bucket].merge(&delta);
+        while core.clock >= core.bucket_edge && core.bucket < num_buckets {
+            core.bucket += 1;
+            core.bucket_edge += period_cycles;
+        }
+        core.buckets[core.bucket].merge(&delta);
 
         // Process-level post-warmup totals.
         if core.clock >= warmup_cycles {
@@ -517,8 +536,10 @@ pub fn simulate(
     }
     let mut power_rng = ChaCha8Rng::seed_from_u64(master_rng.gen());
     let mut power = Vec::with_capacity(num_buckets);
+    let mut rates: Vec<EventRates> = Vec::with_capacity(num_cores);
     for b in 0..num_buckets {
-        let rates: Vec<EventRates> = core_samples.iter().map(|cs| cs[b]).collect();
+        rates.clear();
+        rates.extend(core_samples.iter().map(|cs| cs[b]));
         let true_watts = machine.power.processor_power(&rates);
         let measured_watts = measure_power(&machine.power, true_watts, period_s, &mut power_rng);
         power.push(PowerSample { period: b, t_start: b as f64 * period_s, true_watts, measured_watts });
@@ -614,7 +635,7 @@ mod tests {
         let m = small_machine();
         let mut pl = Placement::idle(2);
         // Footprint 32 lines in a 64-line cache: after warmup, ~no misses.
-        pl.assign(0, cyclic(0, 32, 20));
+        pl.assign(0, cyclic(0, 32, 20)).unwrap();
         let r = simulate(&m, pl, quick_opts()).unwrap();
         let p = &r.processes[0];
         assert!(p.mpa() < 0.02, "mpa {}", p.mpa());
@@ -629,7 +650,7 @@ mod tests {
         let mut pl = Placement::idle(2);
         // Footprint 256 lines cycled in order through a 64-line LRU cache:
         // classic worst case, everything misses.
-        pl.assign(0, cyclic(0, 256, 20));
+        pl.assign(0, cyclic(0, 256, 20)).unwrap();
         let r = simulate(&m, pl, quick_opts()).unwrap();
         assert!(r.processes[0].mpa() > 0.95, "mpa {}", r.processes[0].mpa());
     }
@@ -638,9 +659,9 @@ mod tests {
     fn misses_slow_a_process_down() {
         let m = small_machine();
         let mut fit = Placement::idle(2);
-        fit.assign(0, cyclic(0, 32, 20));
+        fit.assign(0, cyclic(0, 32, 20)).unwrap();
         let mut thrash = Placement::idle(2);
-        thrash.assign(0, cyclic(0, 1024, 20));
+        thrash.assign(0, cyclic(0, 1024, 20)).unwrap();
         let fast = simulate(&m, fit, quick_opts()).unwrap();
         let slow = simulate(&m, thrash, quick_opts()).unwrap();
         assert!(slow.processes[0].spi() > 2.0 * fast.processes[0].spi());
@@ -651,8 +672,8 @@ mod tests {
         let m = small_machine();
         let mut pl = Placement::idle(2);
         // Both want 48 of 64 lines; they must share.
-        pl.assign(0, cyclic(0, 48, 20));
-        pl.assign(1, cyclic(10_000, 48, 20));
+        pl.assign(0, cyclic(0, 48, 20)).unwrap();
+        pl.assign(1, cyclic(10_000, 48, 20)).unwrap();
         let r = simulate(&m, pl, quick_opts()).unwrap();
         let w0 = r.processes[0].avg_ways;
         let w1 = r.processes[1].avg_ways;
@@ -668,8 +689,8 @@ mod tests {
     fn time_sharing_context_switches() {
         let m = small_machine();
         let mut pl = Placement::idle(2);
-        pl.assign(0, cyclic(0, 16, 20));
-        pl.assign(0, cyclic(5_000, 16, 20));
+        pl.assign(0, cyclic(0, 16, 20)).unwrap();
+        pl.assign(0, cyclic(5_000, 16, 20)).unwrap();
         let r = simulate(&m, pl, quick_opts()).unwrap();
         assert!(r.context_switches > 5, "{}", r.context_switches);
         // Both processes made progress.
@@ -684,8 +705,8 @@ mod tests {
     fn weighted_time_sharing() {
         let m = small_machine();
         let mut pl = Placement::idle(2);
-        pl.assign(0, cyclic(0, 16, 20));
-        pl.assign(0, cyclic(5_000, 16, 20));
+        pl.assign(0, cyclic(0, 16, 20)).unwrap();
+        pl.assign(0, cyclic(5_000, 16, 20)).unwrap();
         let opts = SimOptions {
             weights: Some(vec![vec![3.0, 1.0], vec![]]),
             ..quick_opts()
@@ -700,8 +721,8 @@ mod tests {
         let m = small_machine();
         let idle = simulate(&m, Placement::idle(2), quick_opts()).unwrap();
         let mut pl = Placement::idle(2);
-        pl.assign(0, cyclic(0, 32, 10));
-        pl.assign(1, cyclic(10_000, 32, 10));
+        pl.assign(0, cyclic(0, 32, 10)).unwrap();
+        pl.assign(1, cyclic(10_000, 32, 10)).unwrap();
         let busy = simulate(&m, pl, quick_opts()).unwrap();
         assert!(busy.avg_measured_power() > idle.avg_measured_power() + 1.0);
     }
@@ -711,8 +732,8 @@ mod tests {
         let m = small_machine();
         let run = |seed| {
             let mut pl = Placement::idle(2);
-            pl.assign(0, cyclic(0, 48, 20));
-            pl.assign(1, cyclic(10_000, 24, 30));
+            pl.assign(0, cyclic(0, 48, 20)).unwrap();
+            pl.assign(1, cyclic(10_000, 24, 30)).unwrap();
             simulate(&m, pl, SimOptions { seed, ..quick_opts() }).unwrap()
         };
         let a = run(11);
@@ -759,9 +780,9 @@ mod tests {
             }
         }
         let mut off = Placement::idle(2);
-        off.assign(0, ProcessSpec::new("s", Box::new(Stream(0))));
+        off.assign(0, ProcessSpec::new("s", Box::new(Stream(0)))).unwrap();
         let mut on = Placement::idle(2);
-        on.assign(0, ProcessSpec::new("s", Box::new(Stream(0))));
+        on.assign(0, ProcessSpec::new("s", Box::new(Stream(0)))).unwrap();
         let base = simulate(&m, off, quick_opts()).unwrap();
         let pf = simulate(
             &m,
@@ -782,7 +803,7 @@ mod tests {
     fn process_lookup_by_name() {
         let m = small_machine();
         let mut pl = Placement::idle(2);
-        pl.assign(0, cyclic(0, 8, 10));
+        pl.assign(0, cyclic(0, 8, 10)).unwrap();
         let r = simulate(&m, pl, quick_opts()).unwrap();
         assert!(r.process("cyc0").is_some());
         assert!(r.process("nope").is_none());

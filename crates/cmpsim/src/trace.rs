@@ -271,19 +271,31 @@ pub fn miss_ratio_curve(addrs: &[LineAddr], num_sets: usize, max_assoc: usize) -
 pub fn stack_distance_histogram(addrs: &[LineAddr], num_sets: usize) -> Vec<u64> {
     assert!(num_sets > 0, "need at least one set");
     const DEPTH: usize = 64;
-    let mut stacks: Vec<Vec<LineAddr>> = vec![Vec::new(); num_sets];
+    let mut stacks: Vec<Vec<LineAddr>> =
+        (0..num_sets).map(|_| Vec::with_capacity(DEPTH)).collect();
     let mut hist = vec![0u64; DEPTH];
     for &addr in addrs {
         let set = (addr.0 % num_sets as u64) as usize;
         let stack = &mut stacks[set];
-        if let Some(pos) = stack.iter().position(|&a| a == addr) {
-            if pos < DEPTH {
+        // Promote to MRU with one rotation: shift the slots above the hit
+        // (or the whole stack on a miss) right by one and write the
+        // address at the top. One memmove per access instead of the
+        // `remove` + `insert(0, …)` pair.
+        match stack.iter().position(|&a| a == addr) {
+            Some(pos) => {
                 hist[pos] += 1;
+                stack.copy_within(0..pos, 1);
+                stack[0] = addr;
             }
-            stack.remove(pos);
+            None => {
+                if stack.len() < DEPTH {
+                    stack.push(addr);
+                }
+                let last = stack.len() - 1;
+                stack.copy_within(0..last, 1);
+                stack[0] = addr;
+            }
         }
-        stack.insert(0, addr);
-        stack.truncate(DEPTH);
     }
     hist
 }

@@ -1,0 +1,281 @@
+//! Behaviour-equivalence check for the intrusive-list LRU rewrite.
+//!
+//! `RefCache` below is the original `Vec::remove`/`insert(0, …)`
+//! implementation of [`SetAssocCache`], kept verbatim as an executable
+//! specification. Random streams of accesses, prefetch inserts, quota
+//! changes and flushes are replayed against both implementations; every
+//! externally observable outcome (hit/miss, prefetch coverage, victim
+//! identity, residency, per-owner occupancy) must match exactly. This is
+//! the proof that the O(1) recency-list rewrite preserved replacement
+//! semantics bit-for-bit.
+
+use cmpsim::cache::{AccessOutcome, SetAssocCache};
+use cmpsim::types::{LineAddr, ProcessId};
+use proptest::prelude::*;
+
+/// A resident line in the reference model.
+#[derive(Clone, Copy)]
+struct RefLine {
+    addr: u64,
+    owner: ProcessId,
+    prefetched: bool,
+}
+
+/// The pre-rewrite cache: each set is a `Vec` ordered MRU → LRU, with
+/// `remove`/`insert(0, …)` shifting on every touch.
+struct RefCache {
+    sets: Vec<Vec<RefLine>>,
+    assoc: usize,
+    owner_lines: Vec<u64>,
+    quotas: Vec<Option<usize>>,
+}
+
+impl RefCache {
+    fn new(num_sets: usize, assoc: usize) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); num_sets],
+            assoc,
+            owner_lines: Vec::new(),
+            quotas: Vec::new(),
+        }
+    }
+
+    fn set_way_quota(&mut self, owner: ProcessId, ways: usize) {
+        let idx = owner.0 as usize;
+        if self.quotas.len() <= idx {
+            self.quotas.resize(idx + 1, None);
+        }
+        self.quotas[idx] = Some(ways);
+    }
+
+    fn clear_way_quotas(&mut self) {
+        self.quotas.clear();
+    }
+
+    fn way_quota(&self, owner: ProcessId) -> Option<usize> {
+        self.quotas.get(owner.0 as usize).copied().flatten()
+    }
+
+    fn owner_lines_in_set(&self, si: usize, owner: ProcessId) -> usize {
+        self.sets[si].iter().filter(|l| l.owner == owner).count()
+    }
+
+    fn set_index(&self, addr: LineAddr) -> usize {
+        (addr.0 % self.sets.len() as u64) as usize
+    }
+
+    fn access(&mut self, addr: LineAddr, owner: ProcessId) -> AccessOutcome {
+        let si = self.set_index(addr);
+        if let Some(pos) = self.sets[si].iter().position(|l| l.addr == addr.0) {
+            let line = self.sets[si].remove(pos);
+            if line.owner != owner {
+                self.dec_owner(line.owner);
+                self.inc_owner(owner);
+            }
+            let prefetch_covered = line.prefetched;
+            self.sets[si].insert(0, RefLine { addr: line.addr, owner, prefetched: false });
+            return AccessOutcome::Hit { prefetch_covered };
+        }
+        let evicted = self.make_room(si, owner);
+        self.sets[si].insert(0, RefLine { addr: addr.0, owner, prefetched: false });
+        self.inc_owner(owner);
+        AccessOutcome::Miss { evicted }
+    }
+
+    fn make_room(&mut self, si: usize, owner: ProcessId) -> Option<(LineAddr, ProcessId)> {
+        if let Some(q) = self.way_quota(owner) {
+            if q < self.assoc && self.owner_lines_in_set(si, owner) >= q {
+                let pos = self.sets[si]
+                    .iter()
+                    .rposition(|l| l.owner == owner)
+                    .expect("owner at quota has lines in the set");
+                let victim = self.sets[si].remove(pos);
+                self.dec_owner(victim.owner);
+                return Some((LineAddr(victim.addr), victim.owner));
+            }
+        }
+        if self.sets[si].len() < self.assoc {
+            return None;
+        }
+        let pos = self
+            .sets[si]
+            .iter()
+            .rposition(|l| match self.way_quota(l.owner) {
+                Some(q) => self.owner_lines_in_set(si, l.owner) > q,
+                None => false,
+            })
+            .unwrap_or(self.sets[si].len() - 1);
+        let victim = self.sets[si].remove(pos);
+        self.dec_owner(victim.owner);
+        Some((LineAddr(victim.addr), victim.owner))
+    }
+
+    fn insert_prefetch(&mut self, addr: LineAddr, owner: ProcessId) -> bool {
+        let si = self.set_index(addr);
+        if self.sets[si].iter().any(|l| l.addr == addr.0) {
+            return false;
+        }
+        if self.sets[si].len() == self.assoc {
+            let victim = self.sets[si].pop().expect("full set has a victim");
+            self.dec_owner(victim.owner);
+        }
+        let pos = self.sets[si].len() / 2;
+        self.sets[si].insert(pos, RefLine { addr: addr.0, owner, prefetched: true });
+        self.inc_owner(owner);
+        true
+    }
+
+    fn contains(&self, addr: LineAddr) -> bool {
+        let si = self.set_index(addr);
+        self.sets[si].iter().any(|l| l.addr == addr.0)
+    }
+
+    fn lines_of(&self, owner: ProcessId) -> u64 {
+        self.owner_lines.get(owner.0 as usize).copied().unwrap_or(0)
+    }
+
+    fn flush_owner(&mut self, owner: ProcessId) {
+        for set in &mut self.sets {
+            set.retain(|l| l.owner != owner);
+        }
+        if let Some(slot) = self.owner_lines.get_mut(owner.0 as usize) {
+            *slot = 0;
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.owner_lines.clear();
+    }
+
+    fn inc_owner(&mut self, owner: ProcessId) {
+        let idx = owner.0 as usize;
+        if self.owner_lines.len() <= idx {
+            self.owner_lines.resize(idx + 1, 0);
+        }
+        self.owner_lines[idx] += 1;
+    }
+
+    fn dec_owner(&mut self, owner: ProcessId) {
+        if let Some(slot) = self.owner_lines.get_mut(owner.0 as usize) {
+            *slot = slot.saturating_sub(1);
+        }
+    }
+}
+
+/// One step of a replayed stream. Encoded from `(kind, addr, owner, ways)`
+/// tuples so the proptest shim's tuple strategies can generate it.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Access { addr: u64, owner: u32 },
+    Prefetch { addr: u64, owner: u32 },
+    SetQuota { owner: u32, ways: usize },
+    ClearQuotas,
+    FlushOwner { owner: u32 },
+    FlushAll,
+}
+
+fn decode(kind: u8, addr: u64, owner: u32, ways: usize) -> Op {
+    match kind {
+        // Accesses dominate the stream so recency order gets exercised
+        // deeply between the rarer structural operations.
+        0..=9 => Op::Access { addr, owner },
+        10..=12 => Op::Prefetch { addr, owner },
+        13 => Op::SetQuota { owner, ways },
+        14 => Op::ClearQuotas,
+        15 => Op::FlushOwner { owner },
+        _ => Op::FlushAll,
+    }
+}
+
+const OWNERS: u32 = 3;
+
+fn replay(num_sets: usize, assoc: usize, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut new = SetAssocCache::new(num_sets, assoc);
+    let mut old = RefCache::new(num_sets, assoc);
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Access { addr, owner } => {
+                let (a, p) = (LineAddr(addr), ProcessId(owner));
+                let got = new.access(a, p);
+                let want = old.access(a, p);
+                prop_assert_eq!(got, want, "access outcome diverged at step {}", step);
+            }
+            Op::Prefetch { addr, owner } => {
+                let (a, p) = (LineAddr(addr), ProcessId(owner));
+                let got = new.insert_prefetch(a, p);
+                let want = old.insert_prefetch(a, p);
+                prop_assert_eq!(got, want, "prefetch outcome diverged at step {}", step);
+            }
+            Op::SetQuota { owner, ways } => {
+                let ways = ways.clamp(1, assoc);
+                new.set_way_quota(ProcessId(owner), ways);
+                old.set_way_quota(ProcessId(owner), ways);
+            }
+            Op::ClearQuotas => {
+                new.clear_way_quotas();
+                old.clear_way_quotas();
+            }
+            Op::FlushOwner { owner } => {
+                new.flush_owner(ProcessId(owner));
+                old.flush_owner(ProcessId(owner));
+            }
+            Op::FlushAll => {
+                new.flush_all();
+                old.flush_all();
+            }
+        }
+        // Observable state must agree after every step, not just at the end.
+        for o in 0..OWNERS {
+            prop_assert_eq!(
+                new.lines_of(ProcessId(o)),
+                old.lines_of(ProcessId(o)),
+                "occupancy of owner {} diverged at step {}",
+                o,
+                step
+            );
+        }
+        prop_assert_eq!(new.resident_lines(), old.owner_lines.iter().sum::<u64>());
+    }
+    // Final residency sweep over the whole (small) address space.
+    for addr in 0..64u64 {
+        prop_assert_eq!(new.contains(LineAddr(addr)), old.contains(LineAddr(addr)));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn intrusive_lru_matches_vec_reference(
+        num_sets in 1usize..4,
+        assoc in 1usize..9,
+        raw in proptest::collection::vec(
+            (0u8..17, 0u64..48, 0u32..OWNERS, 1usize..9),
+            1..400,
+        ),
+    ) {
+        let ops: Vec<Op> =
+            raw.iter().map(|&(k, a, o, w)| decode(k, a, o, w)).collect();
+        replay(num_sets, assoc, &ops)?;
+    }
+
+    #[test]
+    fn intrusive_lru_matches_reference_under_heavy_conflict(
+        assoc in 2usize..9,
+        raw in proptest::collection::vec(
+            (0u8..17, 0u64..12, 0u32..OWNERS, 1usize..9),
+            50..600,
+        ),
+    ) {
+        // Single set, tiny address space: every access conflicts, so the
+        // victim-selection paths (quota recycle, over-quota preference,
+        // global LRU) all fire constantly.
+        let ops: Vec<Op> =
+            raw.iter().map(|&(k, a, o, w)| decode(k, a, o, w)).collect();
+        replay(1, assoc, &ops)?;
+    }
+}

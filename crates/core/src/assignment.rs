@@ -11,6 +11,7 @@
 //! into power. Averaging over the Eq. 10 process combinations yields the
 //! processor power of the assignment — using profiling data only.
 
+use crate::equilibrium::Equilibrium;
 use crate::feature::FeatureVector;
 use crate::perf::PerformanceModel;
 use crate::power::CorePowerModel;
@@ -20,6 +21,8 @@ use crate::ModelError;
 use cmpsim::hpc::EventRates;
 use cmpsim::machine::MachineConfig;
 use cmpsim::types::{CoreId, DieId};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// A tentative process-to-core mapping over profile indices.
 ///
@@ -87,17 +90,42 @@ impl Assignment {
 }
 
 /// The combined model: performance model + power model + profiles.
+///
+/// Equilibrium solves are memoized: the same set of co-runners on the
+/// same cache recurs constantly — across the Eq. 10 combinations of one
+/// assignment, and across the candidate assignments of a Fig. 1 greedy
+/// sweep (dies the tentative process does not land on are unchanged).
+/// The cache key is the ordered list of co-runner *content* fingerprints
+/// (histogram + API + SPI coefficients + associativity), so it stays
+/// valid even if callers re-index or rebuild their profile slices.
 pub struct CombinedModel<'a, M: CorePowerModel> {
     machine: &'a MachineConfig,
     power: &'a M,
     perf: PerformanceModel,
+    eq_cache: Mutex<HashMap<Vec<u64>, Equilibrium>>,
 }
 
 impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
     /// Creates a combined model for `machine` using the fitted core power
     /// model `power`.
     pub fn new(machine: &'a MachineConfig, power: &'a M) -> Self {
-        CombinedModel { machine, power, perf: PerformanceModel::new(machine.l2_assoc()) }
+        CombinedModel {
+            machine,
+            power,
+            perf: PerformanceModel::new(machine.l2_assoc()),
+            eq_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of distinct co-runner sets whose equilibrium is currently
+    /// memoized (diagnostics / tests).
+    pub fn cached_equilibria(&self) -> usize {
+        self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Drops all memoized equilibrium solves.
+    pub fn clear_equilibrium_cache(&self) {
+        self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
     /// Estimated average processor power of `assignment`, from profiling
@@ -185,6 +213,34 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         self.estimate_processor_power(profiles, &current.with_assigned(core, profile_idx))
     }
 
+    /// Evaluates [`CombinedModel::estimate_after_assigning`] for every
+    /// candidate core in parallel (`workers = 0` means auto), returning
+    /// one estimate per entry of `cores` in order. The workers share the
+    /// equilibrium memo cache, so co-runner sets common to several
+    /// candidates (every die the tentative process does not touch) are
+    /// solved once. Estimation is deterministic, so the result is
+    /// identical to a sequential loop for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// The error of the first (lowest-index) failing candidate, exactly
+    /// as a sequential loop would report.
+    pub fn estimate_candidates(
+        &self,
+        profiles: &[ProcessProfile],
+        current: &Assignment,
+        profile_idx: usize,
+        cores: &[usize],
+        workers: usize,
+    ) -> Result<Vec<f64>, ModelError>
+    where
+        M: Sync,
+    {
+        mathkit::parallel::try_par_map(cores.to_vec(), workers, |_, core| {
+            self.estimate_after_assigning(profiles, current, profile_idx, core)
+        })
+    }
+
     /// Power of the die for one concrete process combination: the chosen
     /// processes run simultaneously and share the die's cache.
     fn combination_power(
@@ -211,8 +267,7 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         }
 
         // Contended: performance model predicts SPI and MPA per process.
-        let features: Vec<&FeatureVector> = running.iter().map(|(_, p)| &p.feature).collect();
-        let eq = self.perf.solve(&features)?;
+        let eq = self.solve_cached(&running)?;
         let mut power = idle_cores as f64 * idle_w;
         for (i, (_slot, prof)) in running.iter().enumerate() {
             let spi = eq.spis[i];
@@ -228,6 +283,26 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
             power += self.power.predict_core(&rates);
         }
         Ok(power)
+    }
+
+    /// Memoized equilibrium solve for an ordered co-runner set. Failed
+    /// solves are not cached so transient-looking errors keep surfacing.
+    fn solve_cached(
+        &self,
+        running: &[(usize, &ProcessProfile)],
+    ) -> Result<Equilibrium, ModelError> {
+        let key: Vec<u64> =
+            running.iter().map(|(_, p)| feature_fingerprint(&p.feature)).collect();
+        if let Some(eq) = self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return Ok(eq.clone());
+        }
+        let features: Vec<&FeatureVector> = running.iter().map(|(_, p)| &p.feature).collect();
+        let eq = self.perf.solve(&features)?;
+        self.eq_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, eq.clone());
+        Ok(eq)
     }
 
     fn validate(&self, profiles: &[ProcessProfile], asg: &Assignment) -> Result<(), ModelError> {
@@ -259,6 +334,32 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         let _ = CoreId(0);
         Ok(())
     }
+}
+
+/// Content fingerprint of a feature vector for the equilibrium memo key:
+/// FNV-1a over the exact bit patterns of everything a solve consumes
+/// (histogram mass, API, SPI coefficients, associativity — the occupancy
+/// curve is a pure function of histogram and associativity).
+fn feature_fingerprint(f: &FeatureVector) -> u64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut fold = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    };
+    fold(f.api().to_bits());
+    fold(f.spi_model().alpha().to_bits());
+    fold(f.spi_model().beta().to_bits());
+    fold(f.assoc() as u64);
+    let hist = f.histogram();
+    fold(hist.p_inf().to_bits());
+    fold(hist.probs().len() as u64);
+    for &p in hist.probs() {
+        fold(p.to_bits());
+    }
+    h
 }
 
 #[cfg(test)]
@@ -443,6 +544,73 @@ mod tests {
         assert!(cm.estimate_processor_power(&[], &asg).is_err());
         // Out-of-range core in incremental query.
         assert!(cm.estimate_after_assigning(&[], &Assignment::new(4), 0, 9).is_err());
+    }
+
+    #[test]
+    fn memoized_estimates_are_identical_and_cached() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let ps = vec![a, b];
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let cold = cm.estimate_processor_power(&ps, &asg).unwrap();
+        assert_eq!(cm.cached_equilibria(), 1, "one contended pair solved");
+        let warm = cm.estimate_processor_power(&ps, &asg).unwrap();
+        assert_eq!(cold.to_bits(), warm.to_bits(), "cache must not change results");
+        cm.clear_equilibrium_cache();
+        assert_eq!(cm.cached_equilibria(), 0);
+        let refilled = cm.estimate_processor_power(&ps, &asg).unwrap();
+        assert_eq!(cold.to_bits(), refilled.to_bits());
+    }
+
+    #[test]
+    fn cache_distinguishes_profile_content_not_index() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let ab = cm.estimate_processor_power(&[a.clone(), b.clone()], &asg).unwrap();
+        // Same indices, swapped contents: must NOT hit the stale entry.
+        let ba = cm.estimate_processor_power(&[b.clone(), a.clone()], &asg).unwrap();
+        let fresh = CombinedModel::new(&m, &pm);
+        let ba_ref = fresh.estimate_processor_power(&[b, a], &asg).unwrap();
+        assert_eq!(ba.to_bits(), ba_ref.to_bits(), "stale cache hit");
+        // Symmetric pair, so powers agree loosely but the solves differ.
+        assert!((ab - ba).abs() < 1.0);
+    }
+
+    #[test]
+    fn estimate_candidates_matches_sequential_for_all_worker_counts() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let a = synthetic_profile("a", 0.3, 0.02, &m);
+        let b = synthetic_profile("b", 0.2, 0.015, &m);
+        let c = synthetic_profile("c", 0.5, 0.04, &m);
+        let ps = vec![a, b, c];
+        let mut current = Assignment::new(4);
+        current.assign(0, 0).assign(2, 1);
+        let cores = [0usize, 1, 2, 3];
+        let seq: Vec<f64> = {
+            let cm = CombinedModel::new(&m, &pm);
+            cores
+                .iter()
+                .map(|&core| cm.estimate_after_assigning(&ps, &current, 2, core).unwrap())
+                .collect()
+        };
+        for workers in [1usize, 2, 8] {
+            let cm = CombinedModel::new(&m, &pm);
+            let par = cm.estimate_candidates(&ps, &current, 2, &cores, workers).unwrap();
+            let seq_bits: Vec<u64> = seq.iter().map(|x| x.to_bits()).collect();
+            let par_bits: Vec<u64> = par.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "workers = {workers}");
+            assert!(cm.cached_equilibria() >= 1);
+        }
     }
 
     #[test]

@@ -37,9 +37,25 @@ use mathkit::interp::PiecewiseLinear;
 pub struct ReuseHistogram {
     probs: Vec<f64>,
     p_inf: f64,
+    /// Precomputed tail masses: `tail[s] = sum_{p > s} probs + p_inf`, so
+    /// `tail[s] == mpa_int(s)` for `s <= probs.len()`. The equilibrium
+    /// solvers call `mpa` in their innermost loop; caching the suffix sums
+    /// makes each lookup O(1) instead of O(depth).
+    tail: Vec<f64>,
 }
 
 impl ReuseHistogram {
+    /// Finishes construction from normalized parts, building the suffix-sum
+    /// table.
+    fn from_parts(probs: Vec<f64>, p_inf: f64) -> Self {
+        let mut tail = vec![0.0; probs.len() + 1];
+        tail[probs.len()] = p_inf;
+        for s in (0..probs.len()).rev() {
+            tail[s] = probs[s] + tail[s + 1];
+        }
+        ReuseHistogram { probs, p_inf, tail }
+    }
+
     /// Creates a histogram from per-position probabilities (`probs[i]` is
     /// the mass at position `i + 1`) and the infinite-distance mass.
     ///
@@ -62,7 +78,7 @@ impl ReuseHistogram {
         }
         // Renormalize the tiny numerical slack.
         let probs = probs.iter().map(|p| p / total).collect();
-        Ok(ReuseHistogram { probs, p_inf: p_inf / total })
+        Ok(ReuseHistogram::from_parts(probs, p_inf / total))
     }
 
     /// Builds a histogram from a measured MPA curve (Eq. 8):
@@ -97,10 +113,10 @@ impl ReuseHistogram {
         if total <= 0.0 {
             return Err(ModelError::InvalidDistribution("MPA curve is identically zero".into()));
         }
-        Ok(ReuseHistogram {
-            probs: probs.iter().map(|p| p / total).collect(),
-            p_inf: p_inf / total,
-        })
+        Ok(ReuseHistogram::from_parts(
+            probs.iter().map(|p| p / total).collect(),
+            p_inf / total,
+        ))
     }
 
     /// Per-position probabilities (`probs()[i]` is position `i + 1`).
@@ -133,7 +149,7 @@ impl ReuseHistogram {
 
     /// Miss probability at an integer size (tail mass beyond position `s`).
     pub fn mpa_int(&self, s: usize) -> f64 {
-        self.probs.iter().skip(s).sum::<f64>() + self.p_inf
+        self.tail[s.min(self.probs.len())]
     }
 
     /// The MPA curve tabulated at integer sizes `0..=max_ways`, as a
@@ -262,6 +278,15 @@ mod tests {
         assert!((h.mean_position() - 1.6 / 0.9).abs() < 1e-12);
         let all_inf = ReuseHistogram::new(vec![], 1.0).unwrap();
         assert_eq!(all_inf.mean_position(), 0.0);
+    }
+
+    #[test]
+    fn cached_tail_matches_naive_sum() {
+        let h = ReuseHistogram::new(vec![0.25, 0.2, 0.15, 0.1, 0.05], 0.25).unwrap();
+        for s in 0..=8 {
+            let naive: f64 = h.probs().iter().skip(s).sum::<f64>() + h.p_inf();
+            assert!((h.mpa_int(s) - naive).abs() < 1e-12, "s={s}");
+        }
     }
 
     #[test]

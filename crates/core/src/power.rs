@@ -227,7 +227,7 @@ pub fn build_training_set(
                     params.name,
                     Box::new(params.generator(machine.l2_sets, (core + 1) as u64)),
                 ),
-            );
+            )?;
         }
         let run = simulate(
             machine,
@@ -262,7 +262,7 @@ pub fn build_training_set(
                     (100 + core) as u64,
                 )),
             ),
-        );
+        )?;
     }
     let run = simulate(
         machine,

@@ -45,6 +45,11 @@ pub struct ProfileOptions {
     pub seed: u64,
     /// MPA-sample anchoring strategy.
     pub anchoring: Anchoring,
+    /// Worker threads for the stressmark fan-out and batch profiling
+    /// (`0` = auto, see [`mathkit::parallel::resolve_workers`]). Every
+    /// run's seed depends only on the master seed and the run's identity,
+    /// so results are bit-identical for any worker count.
+    pub workers: usize,
 }
 
 impl Default for ProfileOptions {
@@ -54,6 +59,7 @@ impl Default for ProfileOptions {
             warmup_s: 0.35,
             seed: 0xBEEF,
             anchoring: Anchoring::Measured,
+            workers: 0,
         }
     }
 }
@@ -171,6 +177,53 @@ impl Profiler {
         })
     }
 
+    /// Profiles a whole suite, one [`FeatureVector`] per workload, fanning
+    /// the workloads out across `opts.workers` threads. Each workload is
+    /// profiled exactly as [`Profiler::profile`] would (same seeds, which
+    /// do not depend on batch position), so the output is bit-identical
+    /// to a sequential loop for any worker count. Inside the batch each
+    /// per-workload stressmark sweep runs sequentially to keep the thread
+    /// count bounded by `opts.workers`.
+    ///
+    /// # Errors
+    ///
+    /// The error of the first (lowest-index) failing workload, as a
+    /// sequential loop would report.
+    pub fn profile_batch(&self, suite: &[WorkloadParams]) -> Result<Vec<FeatureVector>, ModelError> {
+        let inner = self.sequential_inner();
+        mathkit::parallel::try_par_map(
+            (0..suite.len()).collect::<Vec<usize>>(),
+            self.opts.workers,
+            |_, i| inner.profile(&suite[i]),
+        )
+    }
+
+    /// Batch variant of [`Profiler::profile_full`]; same determinism and
+    /// error contract as [`Profiler::profile_batch`].
+    ///
+    /// # Errors
+    ///
+    /// The error of the first (lowest-index) failing workload.
+    pub fn profile_full_batch(
+        &self,
+        suite: &[WorkloadParams],
+    ) -> Result<Vec<ProcessProfile>, ModelError> {
+        let inner = self.sequential_inner();
+        mathkit::parallel::try_par_map(
+            (0..suite.len()).collect::<Vec<usize>>(),
+            self.opts.workers,
+            |_, i| inner.profile_full(&suite[i]),
+        )
+    }
+
+    /// A copy of this profiler whose per-workload sweep runs on one
+    /// thread, used inside batch fan-outs to avoid nested thread growth.
+    fn sequential_inner(&self) -> Profiler {
+        let mut inner = self.clone();
+        inner.opts.workers = 1;
+        inner
+    }
+
     /// Shared implementation: returns the feature vector and the solo-run
     /// result (for the power-profile fields).
     fn profile_runs(&self, params: &WorkloadParams) -> Result<(FeatureVector, SimResult), ModelError> {
@@ -199,10 +252,17 @@ impl Profiler {
             Anchoring::Measured => stats.avg_ways,
             Anchoring::Nominal => a as f64,
         };
+        // Each co-run's seed is salted by `s_stress` alone, so the runs
+        // are independent of execution order and the fan-out below is
+        // bit-identical to the old sequential loop for any worker count.
         let mut points: Vec<(f64, f64)> = vec![(solo_anchor, stats.mpa())];
         let mut spi_points: Vec<(f64, f64)> = vec![(stats.mpa(), stats.spi())];
-        for s_stress in 1..a {
-            let run = self.run_pair(params, Some(s_stress), s_stress as u64)?;
+        let runs = mathkit::parallel::try_par_map(
+            (1..a).collect::<Vec<usize>>(),
+            self.opts.workers,
+            |_, s_stress| self.run_pair(params, Some(s_stress), s_stress as u64),
+        )?;
+        for (s_stress, run) in (1..a).zip(runs) {
             let p = &run.processes[0];
             let anchor = match self.opts.anchoring {
                 Anchoring::Measured => p.avg_ways,
@@ -252,7 +312,7 @@ impl Profiler {
         salt: u64,
     ) -> Result<SimResult, ModelError> {
         let mut placement = Placement::idle(self.machine.num_cores());
-        placement.assign(0, ProcessSpec::new(params.name, Box::new(params.generator(self.machine.l2_sets, 1))));
+        placement.assign(0, ProcessSpec::new(params.name, Box::new(params.generator(self.machine.l2_sets, 1))))?;
         if let Some(s) = stress_ways {
             placement.assign(
                 1,
@@ -260,7 +320,7 @@ impl Profiler {
                     format!("stress{s}"),
                     Box::new(Stressmark::new(s, self.machine.l2_sets, 2)),
                 ),
-            );
+            )?;
         }
         Ok(simulate(
             &self.machine,

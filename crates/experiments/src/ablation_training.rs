@@ -48,14 +48,8 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let busy = harness::random_one_per_core(8, suite.len(), &[0, 1, 2, 3], 4, &mut rng);
     let sparse = harness::random_spread(8, suite.len(), 2, 1, 4, &mut rng); // 3 cores idle
 
-    let mut runs_busy = Vec::new();
-    for (i, pl) in busy.iter().enumerate() {
-        runs_busy.push(harness::run_assignment(&machine, &suite, pl, scale, 500 + i as u64)?);
-    }
-    let mut runs_sparse = Vec::new();
-    for (i, pl) in sparse.iter().enumerate() {
-        runs_sparse.push(harness::run_assignment(&machine, &suite, pl, scale, 800 + i as u64)?);
-    }
+    let runs_busy = harness::run_assignments(&machine, &suite, &busy, scale, 500)?;
+    let runs_sparse = harness::run_assignments(&machine, &suite, &sparse, scale, 800)?;
 
     let title = "EXT-5: Power-Model Training-Corpus Ablation";
     let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));

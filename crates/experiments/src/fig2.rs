@@ -53,26 +53,20 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
 
     // Pool of candidate assignments; pick the max/min average power.
     let pool = harness::random_one_per_core(12, suite.len(), &[0, 1, 2, 3], 4, &mut rng);
-    let mut runs = Vec::new();
-    for (i, pl) in pool.iter().enumerate() {
-        let run = harness::run_assignment(&machine, &suite, pl, scale, 400 + i as u64)?;
-        runs.push((pl.clone(), run));
-    }
-    let (max_pl, max_run) = runs
-        .iter()
-        .max_by(|a, b| {
-            a.1.avg_measured_power().total_cmp(&b.1.avg_measured_power())
+    let runs = harness::run_assignments(&machine, &suite, &pool, scale, 400)?;
+    let max_i = (0..runs.len())
+        .max_by(|&a, &b| {
+            runs[a].avg_measured_power().total_cmp(&runs[b].avg_measured_power())
         })
         .expect("non-empty pool");
-    let (min_pl, min_run) = runs
-        .iter()
-        .min_by(|a, b| {
-            a.1.avg_measured_power().total_cmp(&b.1.avg_measured_power())
+    let min_i = (0..runs.len())
+        .min_by(|&a, &b| {
+            runs[a].avg_measured_power().total_cmp(&runs[b].avg_measured_power())
         })
         .expect("non-empty pool");
 
-    let tmax = trace(&model, max_run, "maximum-power assignment", max_pl);
-    let tmin = trace(&model, min_run, "minimum-power assignment", min_pl);
+    let tmax = trace(&model, &runs[max_i], "maximum-power assignment", &pool[max_i]);
+    let tmin = trace(&model, &runs[min_i], "minimum-power assignment", &pool[min_i]);
 
     let mut out = String::new();
     let title = "Figure 2: Power Model Validation Traces (4-core server)";

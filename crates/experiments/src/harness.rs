@@ -32,6 +32,10 @@ pub struct RunScale {
     pub share_warmup_s: f64,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for profiling and validation-run fan-outs (`0` =
+    /// auto). Seeds depend only on each run's identity, never on
+    /// execution order, so results are identical for any worker count.
+    pub workers: usize,
 }
 
 impl RunScale {
@@ -49,6 +53,7 @@ impl RunScale {
             share_duration_s: 17.0,
             share_warmup_s: 1.0,
             seed: 0xDAC2_0100,
+            workers: 0,
         }
     }
 
@@ -62,16 +67,27 @@ impl RunScale {
             share_duration_s: 8.5,
             share_warmup_s: 0.5,
             seed: 0xDAC2_0100,
+            workers: 0,
         }
     }
 
-    /// Parses `--fast` from the command line of an experiment binary.
+    /// Parses `--fast` and `--workers N` from the command line of an
+    /// experiment binary.
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--fast") {
+        let mut scale = if std::env::args().any(|a| a == "--fast") {
             RunScale::fast()
         } else {
             RunScale::full()
+        };
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--workers" {
+                if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                    scale.workers = n;
+                }
+            }
         }
+        scale
     }
 
     /// Profiling options derived from this scale.
@@ -80,6 +96,7 @@ impl RunScale {
             duration_s: self.profile_duration_s,
             warmup_s: self.profile_warmup_s,
             seed: self.seed ^ 0x9_0F11E,
+            workers: self.workers,
             ..Default::default()
         }
     }
@@ -120,7 +137,8 @@ pub fn profile_suite(
     scale: &RunScale,
 ) -> Result<Vec<ProcessProfile>, ModelError> {
     let profiler = Profiler::new(machine.clone()).with_options(scale.profile_options());
-    suite.iter().map(|w| profiler.profile_full(&w.params())).collect()
+    let params: Vec<WorkloadParams> = suite.iter().map(|w| w.params()).collect();
+    profiler.profile_full_batch(&params)
 }
 
 /// A multi-process placement description by suite index:
@@ -129,11 +147,16 @@ pub type IndexPlacement = Vec<Vec<usize>>;
 
 /// Builds an engine placement from suite indices, giving every process a
 /// distinct address region.
+///
+/// # Errors
+///
+/// [`cmpsim::engine::SimError::InvalidPlacement`] (as a [`ModelError`])
+/// if the index placement names a core the machine does not have.
 pub fn build_placement(
     machine: &MachineConfig,
     suite: &[SpecWorkload],
     placement: &IndexPlacement,
-) -> Placement {
+) -> Result<Placement, ModelError> {
     let mut pl = Placement::idle(machine.num_cores());
     let mut region = 1u64;
     for (core, idxs) in placement.iter().enumerate() {
@@ -142,11 +165,11 @@ pub fn build_placement(
             pl.assign(
                 core,
                 ProcessSpec::new(params.name, Box::new(params.generator(machine.l2_sets, region))),
-            );
+            )?;
             region += 1;
         }
     }
-    pl
+    Ok(pl)
 }
 
 /// Runs one validation assignment and returns the simulation result.
@@ -168,7 +191,29 @@ pub fn run_assignment(
         opts.duration_s = scale.share_duration_s;
         opts.warmup_s = scale.share_warmup_s;
     }
-    Ok(simulate(machine, build_placement(machine, suite, placement), opts)?)
+    Ok(simulate(machine, build_placement(machine, suite, placement)?, opts)?)
+}
+
+/// Runs a batch of validation assignments across `scale.workers` threads,
+/// returning the results in placement order. Assignment `i` uses salt
+/// `salt_base + i`, exactly as the sequential loops this replaces, so the
+/// outputs are bit-identical for any worker count.
+///
+/// # Errors
+///
+/// The error of the first (lowest-index) failing run.
+pub fn run_assignments(
+    machine: &MachineConfig,
+    suite: &[SpecWorkload],
+    placements: &[IndexPlacement],
+    scale: &RunScale,
+    salt_base: u64,
+) -> Result<Vec<SimResult>, ModelError> {
+    mathkit::parallel::try_par_map(
+        (0..placements.len()).collect::<Vec<usize>>(),
+        scale.workers,
+        |_, i| run_assignment(machine, suite, &placements[i], scale, salt_base + i as u64),
+    )
 }
 
 /// Trains the paper's MVLR power model on `machine` using the full §4.1
@@ -334,8 +379,16 @@ mod tests {
     fn placement_builder_counts() {
         let m = MachineConfig::four_core_server();
         let suite = SpecWorkload::table1_suite();
-        let pl = build_placement(&m, &suite, &vec![vec![0], vec![1, 2], vec![], vec![]]);
+        let pl = build_placement(&m, &suite, &vec![vec![0], vec![1, 2], vec![], vec![]]).unwrap();
         assert_eq!(pl.num_processes(), 3);
+    }
+
+    #[test]
+    fn placement_builder_rejects_out_of_range_core() {
+        let m = MachineConfig::four_core_server();
+        let suite = SpecWorkload::table1_suite();
+        let bad = vec![vec![], vec![], vec![], vec![], vec![0]];
+        assert!(build_placement(&m, &suite, &bad).is_err());
     }
 
     #[test]

@@ -35,8 +35,7 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let mut rng = harness::rng(scale.seed ^ 0x4E4E);
     let placements = harness::random_one_per_core(10, suite.len(), &[0, 1, 2, 3], 4, &mut rng);
     let mut samples: Vec<(Vec<EventRates>, f64)> = Vec::new();
-    for (i, pl) in placements.iter().enumerate() {
-        let run = harness::run_assignment(&machine, &suite, pl, scale, 7_000 + i as u64)?;
+    for run in harness::run_assignments(&machine, &suite, &placements, scale, 7_000)? {
         for s in run.settled_power() {
             let rates: Vec<EventRates> =
                 run.core_samples.iter().map(|cs| cs[s.period]).collect();

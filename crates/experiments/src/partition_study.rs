@@ -42,7 +42,7 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
             pl.assign(
                 0,
                 ProcessSpec::new(params.name, Box::new(params.generator(machine.l2_sets, 1))),
-            );
+            )?;
             let run = simulate(
                 &machine,
                 pl,
@@ -90,8 +90,8 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
         let fva = profiler.profile(&pa)?;
         let fvb = profiler.profile(&pb)?;
         let mut pl = Placement::idle(machine.num_cores());
-        pl.assign(0, ProcessSpec::new(pa.name, Box::new(pa.generator(machine.l2_sets, 1))));
-        pl.assign(1, ProcessSpec::new(pb.name, Box::new(pb.generator(machine.l2_sets, 2))));
+        pl.assign(0, ProcessSpec::new(pa.name, Box::new(pa.generator(machine.l2_sets, 1))))?;
+        pl.assign(1, ProcessSpec::new(pb.name, Box::new(pb.generator(machine.l2_sets, 2))))?;
         let run = simulate(
             &machine,
             pl,

@@ -64,11 +64,11 @@ fn measure_phased_pair(
     duration_s: f64,
 ) -> Result<(f64, f64), ModelError> {
     let mut pl = Placement::idle(machine.num_cores());
-    pl.assign(0, phased_spec(machine, 1, phase_instructions));
+    pl.assign(0, phased_spec(machine, 1, phase_instructions))?;
     pl.assign(
         1,
         ProcessSpec::new(partner.name, Box::new(partner.generator(machine.l2_sets, 10))),
-    );
+    )?;
     let run = simulate(
         machine,
         pl,

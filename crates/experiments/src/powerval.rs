@@ -45,8 +45,7 @@ pub fn run_scenario(
 ) -> Result<ScenarioResult, ModelError> {
     let mut sample_errors: Vec<f64> = Vec::new();
     let mut avg_errors: Vec<f64> = Vec::new();
-    for (i, pl) in placements.iter().enumerate() {
-        let run = harness::run_assignment(machine, suite, pl, scale, salt_base + i as u64)?;
+    for run in harness::run_assignments(machine, suite, placements, scale, salt_base)? {
         let (samples, avg) = harness::power_validation_errors(model, &run);
         sample_errors.extend(samples);
         avg_errors.push(avg);

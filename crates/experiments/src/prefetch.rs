@@ -45,7 +45,7 @@ fn run_once(
     pl.assign(
         0,
         ProcessSpec::new(params.name, Box::new(params.generator(machine.l2_sets, 1))),
-    );
+    )?;
     let run = simulate(
         machine,
         pl,

@@ -79,13 +79,17 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     ];
 
     let mut rows = Vec::new();
-    let mut salt = 10_000u64;
+    // Validation runs fan out per scenario; `salt_base` advances by the
+    // scenario size so every run keeps the salt the old sequential
+    // counter gave it. Estimates reuse `combined`'s equilibrium memo
+    // cache across placements (co-runner sets repeat constantly here).
+    let mut salt_base = 10_000u64;
     for (label, placements) in &scenarios {
+        let runs = harness::run_assignments(&machine, &suite, placements, scale, salt_base)?;
+        salt_base += placements.len() as u64;
         let mut errs = Vec::new();
-        for pl in placements {
+        for (pl, run) in placements.iter().zip(&runs) {
             let est = combined.estimate_processor_power(&profiles, &to_assignment(pl))?;
-            let run = harness::run_assignment(&machine, &suite, pl, scale, salt)?;
-            salt += 1;
             let meas = run.avg_measured_power();
             errs.push((est - meas).abs() / meas);
         }

@@ -12,6 +12,8 @@
 //!   model alternative the paper evaluates and rejects).
 //! - [`stats`]: error metrics used throughout the evaluation.
 //! - [`interp`]: monotone piecewise-linear interpolation and inversion.
+//! - [`parallel`]: deterministic bounded-worker `par_map` on std threads
+//!   (order-preserving, with per-task seed derivation).
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub mod linreg;
 pub mod matrix;
 pub mod newton;
 pub mod nn;
+pub mod parallel;
 pub mod roots;
 pub mod stats;
 

@@ -1,0 +1,222 @@
+//! Deterministic bounded-worker parallelism on std threads.
+//!
+//! The workspace's dependencies are offline shims, so there is no rayon;
+//! this module provides the small slice of it the model pipeline needs:
+//! an order-preserving [`par_map`] over owned items, built on
+//! [`std::thread::scope`] with a shared atomic cursor.
+//!
+//! # Determinism contract
+//!
+//! Parallel execution must be **bit-identical** to sequential execution.
+//! Two rules make that hold by construction:
+//!
+//! 1. Results are written into a pre-sized slot table indexed by input
+//!    position, so output order never depends on completion order.
+//! 2. Any randomness a task needs must be derived from the task *index*
+//!    (see [`derive_seed`]), never from shared mutable state, so the
+//!    stream a task sees is independent of which worker ran it and when.
+//!
+//! The task closure receives `(index, item)` precisely so callers can
+//! follow rule 2.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Environment variable overriding the worker count for `workers = 0`
+/// ("auto") callers: `MPMC_WORKERS=4`.
+pub const WORKERS_ENV: &str = "MPMC_WORKERS";
+
+/// Resolves a requested worker count to a concrete one.
+///
+/// `0` means "auto": the `MPMC_WORKERS` environment variable if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+/// Any positive request is returned unchanged.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(WORKERS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Derives the seed for task `index` from a master seed.
+///
+/// SplitMix64 finalization over `master + (index + 1) * golden_gamma`:
+/// cheap, stateless, and well-mixed, so per-task RNG streams are
+/// decorrelated and depend only on `(master, index)` — never on thread
+/// scheduling. `index + 1` keeps task 0 from reusing the raw master seed.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add((index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `items` with at most `workers` OS threads, preserving
+/// input order. `workers = 0` means auto (see [`resolve_workers`]);
+/// `workers = 1` (or a single item) runs inline on the caller's thread
+/// with no thread spawns at all.
+///
+/// `f` is called as `f(index, item)`. Output slot `i` always holds
+/// `f(i, items[i])`, so the result is identical to
+/// `items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect()`
+/// regardless of worker count.
+///
+/// # Panics
+///
+/// If `f` panics on any item the panic is propagated to the caller after
+/// the scope unwinds.
+pub fn par_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = resolve_workers(workers).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let n = items.len();
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i].lock().unwrap().take().expect("task taken twice");
+                let out = f(i, item);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("worker left an empty slot"))
+        .collect()
+}
+
+/// Fallible [`par_map`]: maps `f` over `items` and returns either every
+/// result in input order or the error from the **lowest-index** failing
+/// task.
+///
+/// All tasks run to completion even if an earlier one fails, so the
+/// reported error is deterministic (sequential execution would surface
+/// the same one) and does not depend on which worker hit it first.
+pub fn try_par_map<T, R, E, F>(items: Vec<T>, workers: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    let outcomes = par_map(items, workers, f);
+    let mut results = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let seq: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = par_map(items.clone(), workers, |_, x| x * 3 + 1);
+            assert_eq!(got, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_matching_index() {
+        let items = vec![10usize, 20, 30, 40, 50];
+        let got = par_map(items, 4, |i, x| (i, x));
+        assert_eq!(got, vec![(0, 10), (1, 20), (2, 30), (3, 40), (4, 50)]);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(empty, 8, |_, x| x).is_empty());
+        assert_eq!(par_map(vec![7u32], 8, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_index_error() {
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1, 2, 8] {
+            let got: Result<Vec<usize>, usize> = try_par_map(items.clone(), workers, |i, x| {
+                if x % 7 == 3 {
+                    Err(i)
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(got, Err(3), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_ok_matches_sequential() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        let got: Result<Vec<u64>, ()> = try_par_map(items, 8, |_, x| Ok(x * x));
+        assert_eq!(got.unwrap(), seq);
+    }
+
+    #[test]
+    fn derive_seed_is_pure_and_spread() {
+        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Not the raw master seed either.
+        assert_ne!(derive_seed(42, 0), 42);
+    }
+
+    #[test]
+    fn resolve_workers_positive_passthrough() {
+        assert_eq!(resolve_workers(3), 3);
+        assert!(resolve_workers(0) >= 1);
+    }
+
+    #[test]
+    fn par_map_heavy_tasks_stay_ordered() {
+        // Tasks with wildly unequal cost still land in order.
+        let items: Vec<u64> = (0..32).rev().collect();
+        let got = par_map(items.clone(), 8, |_, x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i ^ acc.rotate_left(7));
+            }
+            (x, acc)
+        });
+        for (slot, (x, _)) in got.iter().enumerate() {
+            assert_eq!(*x, items[slot]);
+        }
+    }
+}

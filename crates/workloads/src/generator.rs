@@ -23,7 +23,6 @@ use cmpsim::process::{AccessGenerator, Step};
 use cmpsim::types::LineAddr;
 use rand::Rng;
 use rand::RngCore;
-use std::collections::VecDeque;
 
 /// The reuse (stack-position) behaviour of a workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,8 +131,12 @@ pub struct StackDistGenerator {
     mix: InstructionMix,
     num_sets: usize,
     region: u64,
-    /// Per-set private LRU stacks of this process's own lines.
-    stacks: Vec<VecDeque<LineAddr>>,
+    /// Per-set private LRU stacks of this process's own lines, ordered
+    /// MRU-first and capped at `stack_cap`.
+    stacks: Vec<Vec<LineAddr>>,
+    /// `num_sets - 1` when the set count is a power of two (mask instead
+    /// of modulo on the per-access set mapping).
+    set_mask: Option<u64>,
     /// Monotone allocator for fresh lines.
     next_unique: u64,
     /// Remaining lines in the current streaming run.
@@ -176,7 +179,8 @@ impl StackDistGenerator {
             mix,
             num_sets,
             region,
-            stacks: vec![VecDeque::new(); num_sets],
+            stacks: vec![Vec::new(); num_sets],
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
             next_unique: 0,
             run_left: 0,
             last_addr: LineAddr(0),
@@ -193,13 +197,27 @@ impl StackDistGenerator {
     }
 
     fn touch(&mut self, addr: LineAddr) {
-        let set = (addr.0 % self.num_sets as u64) as usize;
+        let set = match self.set_mask {
+            Some(mask) => (addr.0 & mask) as usize,
+            None => (addr.0 % self.num_sets as u64) as usize,
+        };
         let stack = &mut self.stacks[set];
-        if let Some(pos) = stack.iter().position(|&a| a == addr) {
-            stack.remove(pos);
+        // Promote to MRU with one rotation (shift the slots above the old
+        // position right by one) instead of a remove + push_front pair.
+        match stack.iter().position(|&a| a == addr) {
+            Some(pos) => {
+                stack.copy_within(0..pos, 1);
+                stack[0] = addr;
+            }
+            None => {
+                if stack.len() < self.stack_cap {
+                    stack.push(addr);
+                }
+                let last = stack.len() - 1;
+                stack.copy_within(0..last, 1);
+                stack[0] = addr;
+            }
         }
-        stack.push_front(addr);
-        stack.truncate(self.stack_cap);
     }
 
     fn next_access(&mut self, rng: &mut dyn RngCore) -> LineAddr {
@@ -223,18 +241,19 @@ impl StackDistGenerator {
             self.touch(addr);
             return addr;
         }
-        // Ordinary stack-position draw.
+        // Ordinary stack-position draw. The CDF is non-decreasing, so a
+        // binary search finds the same index the old linear scan did.
         let set = self.advance_cursor();
         let u: f64 = rng.gen_range(0.0..1.0);
-        let addr = match self.cdf.iter().position(|&c| u < c) {
-            Some(idx) => {
-                // Position idx + 1 in this set's private stack.
-                match self.stacks[set].get(idx).copied() {
-                    Some(a) => a,
-                    None => self.fresh_line(set), // stack not yet deep enough
-                }
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        let addr = if idx < self.cdf.len() {
+            // Position idx + 1 in this set's private stack.
+            match self.stacks[set].get(idx).copied() {
+                Some(a) => a,
+                None => self.fresh_line(set), // stack not yet deep enough
             }
-            None => self.fresh_line(set), // the p_new tail
+        } else {
+            self.fresh_line(set) // the p_new tail
         };
         self.last_addr = addr;
         self.touch(addr);
@@ -245,7 +264,16 @@ impl StackDistGenerator {
         // Walk sets with a large odd stride so consecutive accesses spread
         // across the index space while still covering every set uniformly.
         let set = self.set_cursor;
-        self.set_cursor = (self.set_cursor + 17) % self.num_sets;
+        let next = self.set_cursor + 17;
+        // cursor < num_sets, so one subtraction wraps unless the set
+        // count is tiny; fall back to modulo for those.
+        self.set_cursor = if next < self.num_sets {
+            next
+        } else if next - self.num_sets < self.num_sets {
+            next - self.num_sets
+        } else {
+            next % self.num_sets
+        };
         set
     }
 

@@ -68,11 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         placement.assign(
             0,
             ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1))),
-        );
+        ).unwrap();
         placement.assign(
             core,
             ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(machine.l2_sets, 2))),
-        );
+        ).unwrap();
         let run = simulate(
             &machine,
             placement,

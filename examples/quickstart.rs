@@ -47,11 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     placement.assign(
         0,
         ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1))),
-    );
+    ).unwrap();
     placement.assign(
         1,
         ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(machine.l2_sets, 2))),
-    );
+    ).unwrap();
     let run = simulate(
         &machine,
         placement,

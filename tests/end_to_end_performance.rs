@@ -33,11 +33,11 @@ fn profile_predict_measure_pipeline() {
     placement.assign(
         0,
         ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1))),
-    );
+    ).unwrap();
     placement.assign(
         1,
         ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(machine.l2_sets, 2))),
-    );
+    ).unwrap();
     let run = simulate(
         &machine,
         placement,
@@ -118,14 +118,14 @@ fn contention_hurts_both_processes_in_measurement_and_model() {
     // And the simulator agrees.
     let run_alone = {
         let mut pl = Placement::idle(2);
-        pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))));
+        pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
         simulate(&machine, pl, SimOptions { duration_s: 0.5, warmup_s: 0.15, seed: 5, ..Default::default() })
             .unwrap()
     };
     let run_pair = {
         let mut pl = Placement::idle(2);
-        pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))));
-        pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2))));
+        pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
+        pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2)))).unwrap();
         simulate(&machine, pl, SimOptions { duration_s: 0.5, warmup_s: 0.15, seed: 5, ..Default::default() })
             .unwrap()
     };

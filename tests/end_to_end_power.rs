@@ -51,8 +51,8 @@ fn power_model_tracks_unseen_assignment() {
     // Validate on an assignment the training never saw (two different
     // processes, not N copies of one).
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("vpr", Box::new(SpecWorkload::Vpr.params().generator(64, 1))));
-    pl.assign(1, ProcessSpec::new("ammp", Box::new(SpecWorkload::Ammp.params().generator(64, 2))));
+    pl.assign(0, ProcessSpec::new("vpr", Box::new(SpecWorkload::Vpr.params().generator(64, 1)))).unwrap();
+    pl.assign(1, ProcessSpec::new("ammp", Box::new(SpecWorkload::Ammp.params().generator(64, 2)))).unwrap();
     let run = simulate(
         &machine,
         pl,
@@ -105,8 +105,8 @@ fn combined_model_estimates_pair_power_from_profiles_only() {
     let est = combined.estimate_processor_power(&profiles, &asg).unwrap();
 
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))));
-    pl.assign(1, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 2))));
+    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
+    pl.assign(1, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 2)))).unwrap();
     let run = simulate(
         &machine,
         pl,
@@ -163,8 +163,8 @@ fn time_shared_core_estimate_matches_measurement() {
     let est = combined.estimate_processor_power(&profiles, &asg).unwrap();
 
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1))));
-    pl.assign(0, ProcessSpec::new("twolf", Box::new(SpecWorkload::Twolf.params().generator(64, 2))));
+    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1)))).unwrap();
+    pl.assign(0, ProcessSpec::new("twolf", Box::new(SpecWorkload::Twolf.params().generator(64, 2)))).unwrap();
     let run = simulate(
         &machine,
         pl,

@@ -22,8 +22,8 @@ fn opts(seed: u64) -> SimOptions {
 fn engine_enforces_way_quotas() {
     let m = tiny_machine();
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))));
-    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2))));
+    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
+    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2)))).unwrap();
 
     // Unconstrained: two hogs split roughly evenly.
     let free = simulate(&m, pl, opts(1)).unwrap();
@@ -31,8 +31,8 @@ fn engine_enforces_way_quotas() {
 
     // Quota mcf to 2 ways: its occupancy must drop to ~2 and its MPA rise.
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))));
-    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2))));
+    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
+    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2)))).unwrap();
     let capped = simulate(
         &m,
         pl,
@@ -51,13 +51,13 @@ fn engine_enforces_way_quotas() {
 fn engine_rejects_bad_quotas() {
     let m = tiny_machine();
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1))));
+    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1)))).unwrap();
     // Quota for a process that does not exist.
     let err = simulate(&m, pl, SimOptions { way_quotas: vec![(5, 2)], ..opts(2) }).unwrap_err();
     assert!(matches!(err, SimError::InvalidOptions(_)));
     // Quota out of range.
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1))));
+    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1)))).unwrap();
     let err = simulate(&m, pl, SimOptions { way_quotas: vec![(0, 99)], ..opts(2) }).unwrap_err();
     assert!(matches!(err, SimError::InvalidOptions(_)));
 }
@@ -70,14 +70,14 @@ fn trace_replay_reproduces_engine_statistics() {
     let gen = SpecWorkload::Twolf.params().generator(64, 1);
     let (rec, handle) = TraceRecorder::new(Box::new(gen));
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("twolf", Box::new(rec)));
+    pl.assign(0, ProcessSpec::new("twolf", Box::new(rec))).unwrap();
     let original = simulate(&m, pl, opts(3)).unwrap();
 
     // Replay the captured trace: same machine, same placement shape. The
     // replayer is RNG-independent, so the cache behaviour is identical.
     let trace = handle.lock().unwrap().clone();
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("twolf-replay", Box::new(TraceReplayer::new(trace))));
+    pl.assign(0, ProcessSpec::new("twolf-replay", Box::new(TraceReplayer::new(trace)))).unwrap();
     let replayed = simulate(&m, pl, opts(999)).unwrap(); // different seed on purpose
 
     let a = &original.processes[0];
@@ -101,8 +101,8 @@ fn phased_workload_runs_under_contention() {
     pl.assign(
         0,
         ProcessSpec::new("phased", Box::new(PhasedGenerator::new("phased", phases, 64, 1))),
-    );
-    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 5))));
+    ).unwrap();
+    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 5)))).unwrap();
     let run = simulate(&m, pl, SimOptions { duration_s: 0.8, warmup_s: 0.2, seed: 4, ..Default::default() })
         .unwrap();
     let p = &run.processes[0];

@@ -1,0 +1,225 @@
+//! Determinism parity: every parallel fan-out in the pipeline must be
+//! bit-identical to its sequential equivalent, for any worker count.
+//!
+//! The parallel primitives write results into per-index slots and derive
+//! all randomness from the task index, never from scheduling order, so
+//! `workers ∈ {1, 2, 8}` (and the sequential baseline) must agree on
+//! every output bit. These tests pin that contract for the three wired
+//! fan-outs: stressmark co-runs inside one profile, batch profiling, and
+//! candidate-assignment evaluation.
+
+use mpmc::model::assignment::{Assignment, CombinedModel};
+use mpmc::model::feature::FeatureVector;
+use mpmc::model::histogram::ReuseHistogram;
+use mpmc::model::power::{PowerModel, PowerObservation};
+use mpmc::model::profile::{ProcessProfile, ProfileOptions, Profiler};
+use mpmc::model::spi::SpiModel;
+use mpmc::sim::machine::MachineConfig;
+use mpmc::workloads::spec::{SpecWorkload, WorkloadParams};
+use rand::Rng;
+use rand::SeedableRng;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn tiny_machine() -> MachineConfig {
+    MachineConfig { l2_sets: 64, l2_assoc: 8, ..MachineConfig::two_core_workstation() }
+}
+
+fn quick_opts(workers: usize) -> ProfileOptions {
+    ProfileOptions { duration_s: 0.06, warmup_s: 0.02, seed: 42, workers, ..Default::default() }
+}
+
+fn suite() -> Vec<WorkloadParams> {
+    [SpecWorkload::Mcf, SpecWorkload::Gzip, SpecWorkload::Art]
+        .iter()
+        .map(|w| w.params())
+        .collect()
+}
+
+/// Exact (bitwise) equality of two feature vectors via their public
+/// surface: histogram masses, API, and SPI coefficients determine every
+/// derived quantity.
+fn assert_features_identical(a: &FeatureVector, b: &FeatureVector, what: &str) {
+    assert_eq!(a.name(), b.name(), "{what}: name");
+    assert_eq!(a.assoc(), b.assoc(), "{what}: assoc");
+    assert_eq!(a.api().to_bits(), b.api().to_bits(), "{what}: api");
+    assert_eq!(
+        a.spi_model().alpha().to_bits(),
+        b.spi_model().alpha().to_bits(),
+        "{what}: alpha"
+    );
+    assert_eq!(a.spi_model().beta().to_bits(), b.spi_model().beta().to_bits(), "{what}: beta");
+    assert_eq!(
+        a.histogram().p_inf().to_bits(),
+        b.histogram().p_inf().to_bits(),
+        "{what}: p_inf"
+    );
+    let (pa, pb) = (a.histogram().probs(), b.histogram().probs());
+    assert_eq!(pa.len(), pb.len(), "{what}: histogram depth");
+    for (i, (x, y)) in pa.iter().zip(pb).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: histogram position {}", i + 1);
+    }
+}
+
+fn assert_profiles_identical(a: &ProcessProfile, b: &ProcessProfile, what: &str) {
+    assert_features_identical(&a.feature, &b.feature, what);
+    for (x, y, field) in [
+        (a.l1rpi, b.l1rpi, "l1rpi"),
+        (a.l2rpi, b.l2rpi, "l2rpi"),
+        (a.brpi, b.brpi, "brpi"),
+        (a.fppi, b.fppi, "fppi"),
+        (a.processor_alone_w, b.processor_alone_w, "processor_alone_w"),
+        (a.idle_processor_w, b.idle_processor_w, "idle_processor_w"),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: {field}");
+    }
+}
+
+#[test]
+fn single_profile_is_worker_count_invariant() {
+    // The stressmark co-run loop inside one profile fans out over the
+    // stress sizes; the derived feature vector must not depend on how
+    // many workers ran it.
+    let machine = tiny_machine();
+    let params = SpecWorkload::Twolf.params();
+    let baseline =
+        Profiler::new(machine.clone()).with_options(quick_opts(1)).profile(&params).unwrap();
+    for workers in [2, 8] {
+        let fv = Profiler::new(machine.clone())
+            .with_options(quick_opts(workers))
+            .profile(&params)
+            .unwrap();
+        assert_features_identical(&baseline, &fv, &format!("profile workers={workers}"));
+    }
+}
+
+#[test]
+fn batch_profiling_matches_sequential_loop() {
+    let machine = tiny_machine();
+    let suite = suite();
+    // Sequential ground truth: one profile() call per workload.
+    let sequential: Vec<FeatureVector> = {
+        let p = Profiler::new(machine.clone()).with_options(quick_opts(1));
+        suite.iter().map(|w| p.profile(w).unwrap()).collect()
+    };
+    for workers in WORKER_COUNTS {
+        let batch = Profiler::new(machine.clone())
+            .with_options(quick_opts(workers))
+            .profile_batch(&suite)
+            .unwrap();
+        assert_eq!(batch.len(), sequential.len());
+        for (i, (s, b)) in sequential.iter().zip(&batch).enumerate() {
+            assert_features_identical(s, b, &format!("batch[{i}] workers={workers}"));
+        }
+    }
+}
+
+#[test]
+fn full_batch_profiling_matches_sequential_loop() {
+    let machine = tiny_machine();
+    let suite = suite();
+    let sequential: Vec<ProcessProfile> = {
+        let p = Profiler::new(machine.clone()).with_options(quick_opts(1));
+        suite.iter().map(|w| p.profile_full(w).unwrap()).collect()
+    };
+    for workers in WORKER_COUNTS {
+        let batch = Profiler::new(machine.clone())
+            .with_options(quick_opts(workers))
+            .profile_full_batch(&suite)
+            .unwrap();
+        for (i, (s, b)) in sequential.iter().zip(&batch).enumerate() {
+            assert_profiles_identical(s, b, &format!("full_batch[{i}] workers={workers}"));
+        }
+    }
+}
+
+/// A hand-built profile so the assignment test needs no simulation runs.
+fn synthetic_profile(name: &str, tail: f64, api: f64, machine: &MachineConfig) -> ProcessProfile {
+    let head = 1.0 - tail;
+    let hist =
+        ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail).unwrap();
+    let alpha = api * (machine.mem_cycles - machine.l2_hit_cycles) as f64 / machine.freq_hz;
+    let beta = (machine.cpi_base + api * machine.l2_hit_cycles as f64) / machine.freq_hz;
+    let feature = FeatureVector::new(
+        name,
+        hist,
+        api,
+        SpiModel::new(alpha, beta).unwrap(),
+        machine.l2_assoc(),
+    )
+    .unwrap();
+    ProcessProfile {
+        feature,
+        l1rpi: 0.35,
+        l2rpi: api,
+        brpi: 0.2,
+        fppi: 0.1,
+        processor_alone_w: 60.0,
+        idle_processor_w: 44.0,
+    }
+}
+
+/// A power model fitted on synthetic observations from the machine's
+/// ground truth (cheap: no simulator involved).
+fn synthetic_power_model(machine: &MachineConfig) -> PowerModel {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let n = machine.num_cores() as f64;
+    let mut obs = Vec::new();
+    for _ in 0..200 {
+        let ips = rng.gen_range(1e6..2.4e7);
+        let rates = mpmc::sim::hpc::EventRates {
+            ips,
+            l1rps: ips * rng.gen_range(0.2..0.5),
+            l2rps: ips * rng.gen_range(0.001..0.05),
+            l2mps: ips * rng.gen_range(0.0..0.02),
+            brps: ips * rng.gen_range(0.05..0.3),
+            fpps: ips * rng.gen_range(0.0..0.3),
+        };
+        let watts = machine.power.core_power(&rates) + machine.power.uncore_w / n;
+        obs.push(PowerObservation { rates, core_watts: watts });
+    }
+    PowerModel::fit_mvlr(&obs).unwrap()
+}
+
+#[test]
+fn candidate_estimation_matches_sequential_loop() {
+    let machine = MachineConfig::four_core_server();
+    let power = synthetic_power_model(&machine);
+    let profiles: Vec<ProcessProfile> = [
+        ("heavy", 0.30, 0.030),
+        ("medium", 0.15, 0.015),
+        ("light", 0.05, 0.004),
+        ("stream", 0.45, 0.040),
+    ]
+    .iter()
+    .map(|&(name, tail, api)| synthetic_profile(name, tail, api, &machine))
+    .collect();
+
+    let mut current = Assignment::new(machine.num_cores());
+    current.assign(0, 0).assign(2, 1).assign(3, 3);
+    let cores: Vec<usize> = (0..machine.num_cores()).collect();
+
+    // Sequential ground truth on a fresh model (empty memo cache).
+    let combined = CombinedModel::new(&machine, &power);
+    let sequential: Vec<f64> = cores
+        .iter()
+        .map(|&c| combined.estimate_after_assigning(&profiles, &current, 2, c).unwrap())
+        .collect();
+
+    for workers in WORKER_COUNTS {
+        // Fresh model per worker count so the memo cache cannot leak
+        // state between configurations.
+        let combined = CombinedModel::new(&machine, &power);
+        let parallel =
+            combined.estimate_candidates(&profiles, &current, 2, &cores, workers).unwrap();
+        assert_eq!(parallel.len(), sequential.len());
+        for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "candidate core {i} diverged at workers={workers}: {s} vs {p}"
+            );
+        }
+        assert!(combined.cached_equilibria() > 0, "memo cache should have been populated");
+    }
+}

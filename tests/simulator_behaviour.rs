@@ -14,8 +14,8 @@ fn tiny_machine() -> MachineConfig {
 
 fn run_pair(machine: &MachineConfig, a: SpecWorkload, b: SpecWorkload, seed: u64) -> SimResult {
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new(a.name(), Box::new(a.params().generator(machine.l2_sets, 1))));
-    pl.assign(1, ProcessSpec::new(b.name(), Box::new(b.params().generator(machine.l2_sets, 2))));
+    pl.assign(0, ProcessSpec::new(a.name(), Box::new(a.params().generator(machine.l2_sets, 1)))).unwrap();
+    pl.assign(1, ProcessSpec::new(b.name(), Box::new(b.params().generator(machine.l2_sets, 2)))).unwrap();
     simulate(
         machine,
         pl,
@@ -94,8 +94,8 @@ fn stressmark_partitions_the_cache_as_designed() {
                 victim.name(),
                 Box::new(victim.params().generator(m.l2_sets, 1)),
             ),
-        );
-        pl.assign(1, ProcessSpec::new("stress", Box::new(Stressmark::new(s, m.l2_sets, 2))));
+        ).unwrap();
+        pl.assign(1, ProcessSpec::new("stress", Box::new(Stressmark::new(s, m.l2_sets, 2)))).unwrap();
         let r = simulate(
             &m,
             pl,
@@ -136,7 +136,7 @@ fn memory_bound_workloads_draw_less_power_than_compute_bound() {
     let m = tiny_machine();
     let run_alone = |w: SpecWorkload| {
         let mut pl = Placement::idle(2);
-        pl.assign(0, ProcessSpec::new(w.name(), Box::new(w.params().generator(m.l2_sets, 1))));
+        pl.assign(0, ProcessSpec::new(w.name(), Box::new(w.params().generator(m.l2_sets, 1)))).unwrap();
         simulate(
             &m,
             pl,
@@ -161,7 +161,7 @@ fn four_core_machine_runs_all_dies() {
         pl.assign(
             core,
             ProcessSpec::new(w.name(), Box::new(w.params().generator(m.l2_sets, core as u64 + 1))),
-        );
+        ).unwrap();
     }
     let r = simulate(
         &m,
