@@ -43,6 +43,11 @@ commands:
                                         record an access trace
   mrc <tracefile> [--sets N] [--assoc A]
                                         miss-ratio curve of a trace
+  validate [--tiny | --fast] [--machine M] [--sets N] [--mixes N] [--seed N]
+           [--out FILE]                 differential model-vs-simulator
+                                        validation plus invariant and
+                                        metamorphic checks; writes a
+                                        machine-readable VALIDATION.json
 
 assignment syntax: per-core lists, ';' between cores, ',' within a core,
 e.g. \"mcf,art;gzip\" = mcf+art time-shared on core 0, gzip on core 1.
@@ -294,7 +299,9 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
     let mut asg = Assignment::new(machine.num_cores());
     for (core, q) in per_core.iter().enumerate() {
         for s in q {
-            let idx = specs.iter().position(|x| x == s).expect("spec recorded above");
+            let idx = specs.iter().position(|x| x == s).ok_or_else(|| {
+                CliError::solver(format!("estimate: internal error: spec '{s}' lost in dedup"))
+            })?;
             asg.assign(core, idx);
         }
     }
@@ -446,6 +453,48 @@ pub fn mrc(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `mpmc validate [--tiny | --fast] ...`
+///
+/// Runs the differential model-vs-simulator sweep plus the invariant
+/// and metamorphic battery (see `experiments::diffval`), writes the
+/// machine-readable report to `--out` (default `VALIDATION.json`), and
+/// fails with the solver exit code if any check diverges.
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure; a failed validation
+/// maps to [`exit_code::SOLVER`](crate::resolve::exit_code::SOLVER).
+pub fn validate(args: &ParsedArgs) -> Result<String, CliError> {
+    use experiments::diffval::{self, DiffConfig};
+
+    let machine = machine_from(args)?;
+    let explicit_sets = args.opt("sets").is_some().then_some(machine.l2_sets);
+    let mut cfg = if args.flag("tiny") {
+        DiffConfig::tiny(machine)
+    } else if args.flag("fast") {
+        DiffConfig::fast(machine)
+    } else {
+        DiffConfig::full(machine)
+    };
+    // `tiny` shrinks the cache itself; an explicit --sets wins.
+    if let Some(sets) = explicit_sets {
+        cfg.machine.l2_sets = sets;
+    }
+    cfg.max_mixes = args.opt_parse("mixes", cfg.max_mixes)?;
+    cfg.scale.seed = args.opt_parse("seed", cfg.scale.seed)?;
+
+    let report = diffval::run(&cfg).map_err(CliError::from)?;
+    let out_path = args.opt("out").unwrap_or("VALIDATION.json");
+    std::fs::write(out_path, report.to_json())
+        .map_err(|e| CliError::io(format!("{out_path}: {e}")))?;
+    let mut text = report.summary();
+    text.push_str(&format!("report written to {out_path}\n"));
+    if !report.pass {
+        return Err(CliError::solver(format!("validation FAILED\n{text}")));
+    }
+    Ok(text)
+}
+
 /// Dispatches a full command line (without the program name).
 ///
 /// # Errors
@@ -457,7 +506,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err(CliError::usage(USAGE));
     };
-    let args = ParsedArgs::parse(rest.iter().cloned(), &["fast", "full", "strict"])?;
+    let args = ParsedArgs::parse(rest.iter().cloned(), &["fast", "full", "strict", "tiny"])?;
     match cmd.as_str() {
         "machines" => Ok(machines()),
         "workloads" => Ok(workloads_cmd()),
@@ -468,6 +517,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "simulate" => simulate_cmd(&args),
         "trace" => trace(&args),
         "mrc" => mrc(&args),
+        "validate" => validate(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
@@ -566,6 +616,25 @@ mod tests {
         assert!(out.contains("miss ratio"));
         let _ = std::fs::remove_file(&path);
         assert!(run(&["mrc", "/nonexistent/file"]).is_err());
+    }
+
+    #[test]
+    fn validate_tiny_writes_report() {
+        let path = std::env::temp_dir().join("mpmc_cli_validation_test.json");
+        let path_s = path.to_str().unwrap();
+        let out = run(&["validate", "--tiny", "--mixes", "2", "--out", path_s]).unwrap();
+        assert!(out.contains("verdict: PASS"), "{out}");
+        assert!(out.contains("report written to"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"pass\": true"));
+        assert!(json.contains("\"mixes\""));
+        let _ = std::fs::remove_file(&path);
+        // Unwritable report path is an I/O failure.
+        let err = run(&[
+            "validate", "--tiny", "--mixes", "2", "--out", "/nonexistent-dir/v.json",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, exit_code::IO);
     }
 
     #[test]

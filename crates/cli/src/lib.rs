@@ -8,6 +8,11 @@
 //! estimate against the simulator. Commands are plain functions returning
 //! their output text, so everything is unit-testable.
 
+// Command code must report failures through `CliError` (with its exit-code
+// taxonomy), never panic; tests may still unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod args;
 pub mod commands;
 pub mod resolve;

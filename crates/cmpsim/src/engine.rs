@@ -251,6 +251,52 @@ impl SimResult {
     pub fn process(&self, name: &str) -> Option<&ProcessStats> {
         self.processes.iter().find(|p| p.name == name)
     }
+
+    /// Mean *ground-truth* processor power over the post-warmup window
+    /// (no clamp/DAQ noise). Only a simulator can provide this; the
+    /// differential validation harness uses it as the oracle the power
+    /// model is judged against, separating model error from
+    /// measurement-chain error.
+    pub fn avg_true_power(&self) -> f64 {
+        let s = self.settled_power();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().map(|p| p.true_watts).sum::<f64>() / s.len() as f64
+    }
+
+    /// Extracts, per process in placement order, the measured quantities
+    /// the performance model predicts — the replay oracle for
+    /// differential (model-vs-simulator) validation.
+    pub fn oracle_observables(&self) -> Vec<OracleObservables> {
+        self.processes
+            .iter()
+            .map(|p| OracleObservables {
+                name: p.name.clone(),
+                avg_ways: p.avg_ways,
+                mpa: p.mpa(),
+                spi: p.spi(),
+                api: p.api(),
+            })
+            .collect()
+    }
+}
+
+/// The per-process measurements a differential check compares model
+/// predictions against: effective cache size `S_i` (time-averaged ways),
+/// miss ratio `MPA_i`, speed `SPI_i`, and access rate `API_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleObservables {
+    /// Display name from the [`ProcessSpec`].
+    pub name: String,
+    /// Time-averaged ways per set occupied in the shared L2.
+    pub avg_ways: f64,
+    /// L2 misses per L2 access.
+    pub mpa: f64,
+    /// Seconds per instruction while scheduled.
+    pub spi: f64,
+    /// L2 accesses per instruction.
+    pub api: f64,
 }
 
 struct ProcState {
@@ -807,5 +853,38 @@ mod tests {
         let r = simulate(&m, pl, quick_opts()).unwrap();
         assert!(r.process("cyc0").is_some());
         assert!(r.process("nope").is_none());
+    }
+
+    #[test]
+    fn oracle_observables_mirror_process_stats() {
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 48, 20)).unwrap();
+        pl.assign(1, cyclic(10_000, 24, 30)).unwrap();
+        let r = simulate(&m, pl, quick_opts()).unwrap();
+        let oracle = r.oracle_observables();
+        assert_eq!(oracle.len(), r.processes.len());
+        for (o, p) in oracle.iter().zip(&r.processes) {
+            assert_eq!(o.name, p.name);
+            assert_eq!(o.avg_ways, p.avg_ways);
+            assert_eq!(o.mpa, p.mpa());
+            assert_eq!(o.spi, p.spi());
+            assert_eq!(o.api, p.api());
+            assert!(o.avg_ways > 0.0 && o.mpa >= 0.0 && o.spi > 0.0);
+        }
+    }
+
+    #[test]
+    fn true_power_tracks_measured_power() {
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 32, 10)).unwrap();
+        let r = simulate(&m, pl, quick_opts()).unwrap();
+        let truth = r.avg_true_power();
+        let measured = r.avg_measured_power();
+        assert!(truth > 0.0);
+        // The measurement chain adds noise and quantization, not bias:
+        // averages must stay within a watt of each other here.
+        assert!((truth - measured).abs() < 1.0, "true {truth} vs measured {measured}");
     }
 }

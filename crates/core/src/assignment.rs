@@ -95,9 +95,10 @@ impl Assignment {
 /// same cache recurs constantly — across the Eq. 10 combinations of one
 /// assignment, and across the candidate assignments of a Fig. 1 greedy
 /// sweep (dies the tentative process does not land on are unchanged).
-/// The cache key is the ordered list of co-runner *content* fingerprints
-/// (histogram + API + SPI coefficients + associativity), so it stays
-/// valid even if callers re-index or rebuild their profile slices.
+/// The cache key is the *canonically ordered* list of co-runner content
+/// fingerprints (histogram + API + SPI coefficients + associativity), so
+/// it stays valid even if callers re-index, re-order, or rebuild their
+/// profile slices, and permuted co-runner sets share one entry.
 pub struct CombinedModel<'a, M: CorePowerModel> {
     machine: &'a MachineConfig,
     power: &'a M,
@@ -285,23 +286,43 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         Ok(power)
     }
 
-    /// Memoized equilibrium solve for an ordered co-runner set. Failed
-    /// solves are not cached so transient-looking errors keep surfacing.
+    /// Memoized equilibrium solve for a co-runner set. The memo key is the
+    /// *canonically ordered* list of content fingerprints, so permuted
+    /// co-runner sets (`[a, b]` vs `[b, a]`) share one entry; the cached
+    /// per-process results are stored in canonical order and permuted back
+    /// to the caller's order on a hit. Because the solvers themselves work
+    /// in the same canonical order internally, a cache hit is bit-equal to
+    /// a fresh solve. Failed solves are not cached so transient-looking
+    /// errors keep surfacing.
     fn solve_cached(
         &self,
         running: &[(usize, &ProcessProfile)],
     ) -> Result<Equilibrium, ModelError> {
-        let key: Vec<u64> =
-            running.iter().map(|(_, p)| feature_fingerprint(&p.feature)).collect();
-        if let Some(eq) = self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
-            return Ok(eq.clone());
+        let fps: Vec<u64> =
+            running.iter().map(|(_, p)| p.feature.content_fingerprint()).collect();
+        let mut order: Vec<usize> = (0..running.len()).collect();
+        order.sort_by_key(|&i| (fps[i], i));
+        let key: Vec<u64> = order.iter().map(|&i| fps[i]).collect();
+        if let Some(canon) = self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            let mut eq = canon.clone();
+            for (ci, &i) in order.iter().enumerate() {
+                eq.sizes[i] = canon.sizes[ci];
+                eq.mpas[i] = canon.mpas[ci];
+                eq.spis[i] = canon.spis[ci];
+                eq.apss[i] = canon.apss[ci];
+            }
+            return Ok(eq);
         }
         let features: Vec<&FeatureVector> = running.iter().map(|(_, p)| &p.feature).collect();
         let eq = self.perf.solve(&features)?;
-        self.eq_cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, eq.clone());
+        let mut canon = eq.clone();
+        for (ci, &i) in order.iter().enumerate() {
+            canon.sizes[ci] = eq.sizes[i];
+            canon.mpas[ci] = eq.mpas[i];
+            canon.spis[ci] = eq.spis[i];
+            canon.apss[ci] = eq.apss[i];
+        }
+        self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).insert(key, canon);
         Ok(eq)
     }
 
@@ -334,32 +355,6 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         let _ = CoreId(0);
         Ok(())
     }
-}
-
-/// Content fingerprint of a feature vector for the equilibrium memo key:
-/// FNV-1a over the exact bit patterns of everything a solve consumes
-/// (histogram mass, API, SPI coefficients, associativity — the occupancy
-/// curve is a pure function of histogram and associativity).
-fn feature_fingerprint(f: &FeatureVector) -> u64 {
-    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut h = OFFSET;
-    let mut fold = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
-        }
-    };
-    fold(f.api().to_bits());
-    fold(f.spi_model().alpha().to_bits());
-    fold(f.spi_model().beta().to_bits());
-    fold(f.assoc() as u64);
-    let hist = f.histogram();
-    fold(hist.p_inf().to_bits());
-    fold(hist.probs().len() as u64);
-    for &p in hist.probs() {
-        fold(p.to_bits());
-    }
-    h
 }
 
 #[cfg(test)]
@@ -611,6 +606,62 @@ mod tests {
             assert_eq!(seq_bits, par_bits, "workers = {workers}");
             assert!(cm.cached_equilibria() >= 1);
         }
+    }
+
+    #[test]
+    fn permuted_corunners_share_one_cache_entry_bit_equal() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let ab = cm.estimate_processor_power(&[a.clone(), b.clone()], &asg).unwrap();
+        assert_eq!(cm.cached_equilibria(), 1);
+        // Swapped profile order: same co-runner *set*, so the canonical
+        // memo key must hit the existing entry...
+        let ba = cm.estimate_processor_power(&[b.clone(), a.clone()], &asg).unwrap();
+        assert_eq!(cm.cached_equilibria(), 1, "permutation must not add an entry");
+        // ...and the permuted cached result must be bit-equal to a fresh
+        // solve in the swapped order.
+        let fresh = CombinedModel::new(&m, &pm);
+        let ba_ref = fresh.estimate_processor_power(&[b, a], &asg).unwrap();
+        assert_eq!(ba.to_bits(), ba_ref.to_bits());
+        // Same physical co-run, so the totals agree (summation order over
+        // cores differs, so only up to rounding).
+        assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn estimate_candidates_order_independent_through_memo_cache() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let a = synthetic_profile("a", 0.3, 0.02, &m);
+        let b = synthetic_profile("b", 0.2, 0.015, &m);
+        let c = synthetic_profile("c", 0.5, 0.04, &m);
+        let cores = [0usize, 1, 2, 3];
+        // Reference: profiles in order [a, b, c], tentative process = c.
+        let ps_ref = vec![a.clone(), b.clone(), c.clone()];
+        let mut cur_ref = Assignment::new(4);
+        cur_ref.assign(0, 0).assign(1, 1);
+        let cm_ref = CombinedModel::new(&m, &pm);
+        let est_ref = cm_ref.estimate_candidates(&ps_ref, &cur_ref, 2, &cores, 2).unwrap();
+        // Permuted: profiles in order [c, b, a]; the same physical
+        // placement (a on core 0, b on core 1, c tentative).
+        let ps_perm = vec![c, b, a];
+        let mut cur_perm = Assignment::new(4);
+        cur_perm.assign(0, 2).assign(1, 1);
+        let cm_perm = CombinedModel::new(&m, &pm);
+        // Warm the permuted model's cache with the reference order first,
+        // so the permuted estimates flow through permuted cache hits.
+        let full_ref = cm_ref.estimate_processor_power(&ps_ref, &cur_ref.with_assigned(1, 2));
+        let warm = cm_perm.estimate_processor_power(&ps_perm, &cur_perm.with_assigned(1, 0));
+        assert_eq!(full_ref.unwrap().to_bits(), warm.unwrap().to_bits());
+        let est_perm = cm_perm.estimate_candidates(&ps_perm, &cur_perm, 0, &cores, 2).unwrap();
+        let ref_bits: Vec<u64> = est_ref.iter().map(|x| x.to_bits()).collect();
+        let perm_bits: Vec<u64> = est_perm.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(ref_bits, perm_bits, "physical placement is identical");
     }
 
     #[test]

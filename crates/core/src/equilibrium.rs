@@ -37,6 +37,11 @@ use std::time::Instant;
 /// Which stage of the solver chain produced a result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveMethod {
+    /// Exact closed-form answer for a degenerate input: no active
+    /// process, a single active process (which takes `min(saturation, A)`
+    /// ways outright), or a unit-associativity cache (where the inner
+    /// occupancy solve reduces to a quadratic).
+    ClosedForm,
     /// Guaranteed nested bisection ([`solve`]).
     NestedBisection,
     /// Damped Newton–Raphson on the full system.
@@ -54,6 +59,7 @@ pub enum SolveMethod {
 impl fmt::Display for SolveMethod {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
+            SolveMethod::ClosedForm => "closed-form",
             SolveMethod::NestedBisection => "nested-bisection",
             SolveMethod::DampedNewton => "damped-newton",
             SolveMethod::ReseededNewton => "reseeded-newton",
@@ -225,9 +231,183 @@ fn size_for_window(f: &FeatureVector, a: f64, t: f64) -> f64 {
 /// ```
 pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, ModelError> {
     validate(features, assoc)?;
+    solve_with(features, assoc, Strategy::Bisection)
+}
+
+/// Window value reported when the capacity constraint is infeasible: the
+/// effectively infinite window the saturated sizes were evaluated at.
+const WINDOW_CAP: f64 = 1e9;
+
+/// A solver core's answer over the *canonically ordered active* features;
+/// the front-end scatters it back to the caller's process order.
+struct CoreSolution {
+    sizes: Vec<f64>,
+    window: f64,
+    filled: bool,
+    diagnostics: SolveDiagnostics,
+}
+
+enum Strategy<'o> {
+    Bisection,
+    Newton,
+    Robust(&'o SolveOptions),
+}
+
+/// Shared front-end for all three solver entry points:
+///
+/// 1. Partition out idle (`API == 0`) processes — they occupy nothing and
+///    must not reach an iterative core (their `APS` is identically zero,
+///    which Newton's normalized residual cannot drive to zero).
+/// 2. Dispatch degenerate inputs (no active process, one active process,
+///    unit associativity) to exact closed forms.
+/// 3. Re-order the remaining active processes canonically by content
+///    fingerprint, so float summation order inside the cores — and hence
+///    every bit of the result — is independent of the caller's process
+///    order, then scatter the core's answer back to input order.
+fn solve_with(
+    features: &[&FeatureVector],
+    assoc: usize,
+    strategy: Strategy,
+) -> Result<Equilibrium, ModelError> {
     let a = assoc as f64;
     let k = features.len();
+    let active: Vec<usize> = (0..k).filter(|&i| features[i].api() > 0.0).collect();
 
+    if active.is_empty() {
+        // Nobody touches the cache: it stays empty and no window exists.
+        let diag = SolveDiagnostics::direct(SolveMethod::ClosedForm, 0, 0.0);
+        return Ok(Equilibrium::from_sizes(features, vec![0.0; k], 0.0, false, diag));
+    }
+    if active.len() == 1 {
+        return solve_single_active(features, active[0], a);
+    }
+
+    let mut order = active;
+    order.sort_by_key(|&i| (features[i].content_fingerprint(), i));
+    let canon: Vec<&FeatureVector> = order.iter().map(|&i| features[i]).collect();
+
+    let core = if assoc == 1 {
+        unit_assoc_core(&canon)?
+    } else {
+        match strategy {
+            Strategy::Bisection => bisection_core(&canon, a)?,
+            Strategy::Newton => newton_core(&canon, a)?,
+            Strategy::Robust(opts) => robust_core(&canon, a, opts)?,
+        }
+    };
+
+    let mut sizes = vec![0.0; k];
+    for (ci, &i) in order.iter().enumerate() {
+        sizes[i] = core.sizes[ci];
+    }
+    Ok(Equilibrium::from_sizes(features, sizes, core.window, core.filled, core.diagnostics))
+}
+
+/// Closed form for exactly one active process (possibly among idles): it
+/// faces no contention, so it simply gets `min(saturation, A)` ways — no
+/// Newton iteration, no bisection.
+fn solve_single_active(
+    features: &[&FeatureVector],
+    idx: usize,
+    a: f64,
+) -> Result<Equilibrium, ModelError> {
+    let f = features[idx];
+    let sat = f.occupancy().saturation().min(a);
+    let mut sizes = vec![0.0; features.len()];
+    let diag = SolveDiagnostics::direct(SolveMethod::ClosedForm, 0, 0.0);
+    if sat >= a - 1e-4 {
+        // Hungry process: takes the whole cache; the implied window is
+        // read straight off the tabulated occupancy curve.
+        sizes[idx] = a;
+        let window = f.occupancy().g_inverse(a) / f.aps_at(a);
+        return Ok(Equilibrium::from_sizes(features, sizes, window, true, diag));
+    }
+    // Demand saturates below capacity: part of the cache stays empty
+    // (same epsilon policy as the iterative cores' infeasible branch).
+    sizes[idx] = sat;
+    Ok(Equilibrium::from_sizes(features, sizes, WINDOW_CAP, sat >= a - 1e-2, diag))
+}
+
+/// Unit-associativity core (`A == 1`, two or more active processes). The
+/// occupancy curve is exactly `G(n) = min(n, 1)` and MPA is linear on
+/// `[0, 1]`, so the inner solve `S = G(APS(S)·T)` reduces to the smallest
+/// root of the quadratic `S·SPI(S) = API·T` — computed exactly. Only the
+/// scalar capacity bracket on `T` remains iterative.
+fn unit_assoc_core(features: &[&FeatureVector]) -> Result<CoreSolution, ModelError> {
+    let a = 1.0;
+    let evals = Cell::new(0usize);
+    let size_at = |f: &FeatureVector, t: f64| -> f64 {
+        // SPI(S) = alpha·(1 − (1 − m1)·S) + beta on S ∈ [0, 1], where m1
+        // is the miss probability at the full single way.
+        let m1 = f.histogram().mpa_int(1);
+        let curv = f.spi_model().alpha() * (1.0 - m1);
+        let b = f.spi_model().alpha() + f.spi_model().beta();
+        let rhs = f.api() * t;
+        let s = if curv <= 0.0 {
+            rhs / b
+        } else {
+            let disc = b * b - 4.0 * curv * rhs;
+            if disc <= 0.0 {
+                return 1.0; // no interior fixed point: the way saturates
+            }
+            (b - disc.sqrt()) / (2.0 * curv)
+        };
+        s.clamp(0.0, 1.0)
+    };
+    let total = |t: f64| -> f64 {
+        evals.set(evals.get() + 1);
+        features.iter().map(|f| size_at(f, t)).sum()
+    };
+
+    let fill_eps = 1e-4;
+    let mut t_lo = 1e-12;
+    let mut t_hi = 1e-9;
+    while total(t_hi) < a - fill_eps {
+        t_lo = t_hi;
+        t_hi *= 4.0;
+        if t_hi > WINDOW_CAP {
+            // Unreachable for two or more active processes (each S_i → 1
+            // as T grows), kept for symmetry with the generic core.
+            let sizes: Vec<f64> = features.iter().map(|f| size_at(f, WINDOW_CAP)).collect();
+            let sum: f64 = sizes.iter().sum();
+            let diag =
+                SolveDiagnostics::direct(SolveMethod::ClosedForm, evals.get(), (sum - a).abs());
+            return Ok(CoreSolution {
+                sizes,
+                window: WINDOW_CAP,
+                filled: sum >= a - 1e-2,
+                diagnostics: diag,
+            });
+        }
+    }
+    let t = if total(t_hi) <= a + fill_eps {
+        t_hi
+    } else {
+        bisect(
+            |t| total(t) - a,
+            t_lo,
+            t_hi,
+            BisectOptions { x_tol: 0.0, f_tol: 1e-9, max_iter: 500 },
+        )
+        .map_err(|e| ModelError::EquilibriumFailed(format!("unit-assoc outer bisection: {e}")))?
+    };
+    let mut sizes: Vec<f64> = features.iter().map(|f| size_at(f, t)).collect();
+    let sum: f64 = sizes.iter().sum();
+    let residual = (sum - a).abs();
+    if sum > 0.0 {
+        let scale = a / sum;
+        if (scale - 1.0).abs() < 1e-3 {
+            for s in &mut sizes {
+                *s *= scale;
+            }
+        }
+    }
+    let diag = SolveDiagnostics::direct(SolveMethod::ClosedForm, evals.get(), residual);
+    Ok(CoreSolution { sizes, window: t, filled: true, diagnostics: diag })
+}
+
+/// The nested-bisection core over canonically ordered active features.
+fn bisection_core(features: &[&FeatureVector], a: f64) -> Result<CoreSolution, ModelError> {
     // Total occupancy as a function of the window T (monotone
     // non-decreasing in T). The counter makes outer-solve effort visible
     // in the diagnostics.
@@ -244,23 +424,27 @@ pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, M
     let fill_eps = 1e-4;
     let mut t_lo = 1e-12;
     let mut t_hi = 1e-9;
-    let cap = 1e9;
     while total(t_hi) < a - fill_eps {
         t_lo = t_hi;
         t_hi *= 4.0;
-        if t_hi > cap {
+        if t_hi > WINDOW_CAP {
             // Demand can never fill the cache: return saturated sizes.
-            let sizes: Vec<f64> = features.iter().map(|f| size_for_window(f, a, cap)).collect();
+            let sizes: Vec<f64> =
+                features.iter().map(|f| size_for_window(f, a, WINDOW_CAP)).collect();
             let sum: f64 = sizes.iter().sum();
             let diag = SolveDiagnostics::direct(
                 SolveMethod::NestedBisection,
                 evals.get(),
                 (sum - a).abs(),
             );
-            return Ok(Equilibrium::from_sizes(features, sizes, cap, sum >= a - 1e-2, diag));
+            return Ok(CoreSolution {
+                sizes,
+                window: WINDOW_CAP,
+                filled: sum >= a - 1e-2,
+                diagnostics: diag,
+            });
         }
     }
-    let _ = k;
 
     // If the expansion landed essentially on the constraint (asymptotic
     // approach from below), accept it; otherwise bisect the crossing.
@@ -290,7 +474,7 @@ pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, M
         }
     }
     let diag = SolveDiagnostics::direct(SolveMethod::NestedBisection, evals.get(), residual);
-    Ok(Equilibrium::from_sizes(features, sizes, t, true, diag))
+    Ok(CoreSolution { sizes, window: t, filled: true, diagnostics: diag })
 }
 
 /// Solves the equilibrium with damped Newton–Raphson on the
@@ -308,12 +492,16 @@ pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, M
 ///   output if it matters).
 pub fn solve_newton(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, ModelError> {
     validate(features, assoc)?;
-    let a = assoc as f64;
+    solve_with(features, assoc, Strategy::Newton)
+}
+
+/// The damped-Newton core over canonically ordered active features.
+fn newton_core(features: &[&FeatureVector], a: f64) -> Result<CoreSolution, ModelError> {
     let k = features.len();
 
     // Initial guess: proportional to demand at a common mid-range window.
-    let bisection_seed = solve(features, assoc)?;
-    if !bisection_seed.cache_filled {
+    let bisection_seed = bisection_core(features, a)?;
+    if !bisection_seed.filled {
         // Infeasible constraint: Newton has no root to find; return the
         // saturated solution directly (same as the paper would observe —
         // the cache simply is not full).
@@ -329,7 +517,7 @@ pub fn solve_newton(features: &[&FeatureVector], assoc: usize) -> Result<Equilib
     let sizes = sol.x[..k].to_vec();
     let window = sol.x[k];
     let diag = SolveDiagnostics::direct(SolveMethod::DampedNewton, sol.iterations, sol.residual);
-    Ok(Equilibrium::from_sizes(features, sizes, window, true, diag))
+    Ok(CoreSolution { sizes, window, filled: true, diagnostics: diag })
 }
 
 /// Runs damped Newton on the `(S_1..S_k, T)` system from `x0` — shared by
@@ -415,7 +603,15 @@ pub fn solve_robust(
     for f in features {
         crate::validate::feature_vector(f)?;
     }
-    let a = assoc as f64;
+    solve_with(features, assoc, Strategy::Robust(opts))
+}
+
+/// The staged fallback chain over canonically ordered active features.
+fn robust_core(
+    features: &[&FeatureVector],
+    a: f64,
+    opts: &SolveOptions,
+) -> Result<CoreSolution, ModelError> {
     let k = features.len();
     let start = Instant::now();
     let mut fallbacks: Vec<FallbackEvent> = Vec::new();
@@ -423,12 +619,17 @@ pub fn solve_robust(
     // Infeasible capacity constraint: if demand saturates below `A` even
     // at an effectively infinite window, no equilibrium root exists.
     // Answer with the saturated sizes directly, as `solve` does.
-    let cap = 1e9;
-    let sat_sizes: Vec<f64> = features.iter().map(|f| size_for_window(f, a, cap)).collect();
+    let sat_sizes: Vec<f64> =
+        features.iter().map(|f| size_for_window(f, a, WINDOW_CAP)).collect();
     let sat_sum: f64 = sat_sizes.iter().sum();
     if sat_sum < a - 1e-2 {
         let diag = SolveDiagnostics::direct(SolveMethod::NestedBisection, k, 0.0);
-        return Ok(Equilibrium::from_sizes(features, sat_sizes, cap, false, diag));
+        return Ok(CoreSolution {
+            sizes: sat_sizes,
+            window: WINDOW_CAP,
+            filled: false,
+            diagnostics: diag,
+        });
     }
 
     // Stages 1 + 2: damped Newton from a demand-proportional seed, then
@@ -485,7 +686,7 @@ pub fn solve_robust(
                         fallbacks,
                         degraded: false,
                     };
-                    return Ok(Equilibrium::from_sizes(features, sizes, window, true, diag));
+                    return Ok(CoreSolution { sizes, window, filled: true, diagnostics: diag });
                 }
                 fallbacks.push(FallbackEvent {
                     stage,
@@ -509,7 +710,7 @@ pub fn solve_robust(
                     fallbacks,
                     degraded: false,
                 };
-                return Ok(Equilibrium::from_sizes(features, sizes, t, true, diag));
+                return Ok(CoreSolution { sizes, window: t, filled: true, diagnostics: diag });
             }
             Err(e) => fallbacks
                 .push(FallbackEvent { stage: SolveMethod::FixedPoint, reason: e.to_string() }),
@@ -521,9 +722,10 @@ pub fn solve_robust(
         });
     }
 
-    // Stage 4: proportional-to-API heuristic. Validation guarantees every
-    // API is in (0, 1], so the split is well defined, finite, and sums to
-    // `A` exactly. The window is not meaningful here and reported as 0.
+    // Stage 4: proportional-to-API heuristic. The front-end guarantees
+    // every API here is positive, so the split is well defined, finite,
+    // and sums to `A` exactly. The window is not meaningful here and
+    // reported as 0.
     let sizes: Vec<f64> = features.iter().map(|f| a * f.api() / api_total).collect();
     let diag = SolveDiagnostics {
         method: SolveMethod::ProportionalShare,
@@ -532,7 +734,7 @@ pub fn solve_robust(
         fallbacks,
         degraded: true,
     };
-    Ok(Equilibrium::from_sizes(features, sizes, 0.0, true, diag))
+    Ok(CoreSolution { sizes, window: 0.0, filled: true, diagnostics: diag })
 }
 
 /// The chain's stage 3: inner occupancy solves by bounded damped
@@ -825,6 +1027,146 @@ mod tests {
         assert!(eq.sizes.iter().all(|s| s.is_finite() && *s > 0.0));
         assert!(eq.spis.iter().all(|s| s.is_finite() && *s > 0.0));
         assert!(eq.diagnostics.summary().contains("DEGRADED"));
+    }
+
+    fn idle_fv(assoc: usize) -> FeatureVector {
+        use crate::histogram::ReuseHistogram;
+        use crate::spi::SpiModel;
+        FeatureVector::new(
+            "idle",
+            ReuseHistogram::new(vec![], 1.0).unwrap(),
+            0.0,
+            SpiModel::new(0.0, 1e-9).unwrap(),
+            assoc,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_hungry_process_is_closed_form() {
+        // k = 1 must not iterate: exact A ways, ClosedForm method, zero
+        // iterations.
+        let a = fv(SpecWorkload::Mcf);
+        for eq in [
+            solve(&[&a], 16).unwrap(),
+            solve_newton(&[&a], 16).unwrap(),
+            solve_robust(&[&a], 16, &SolveOptions::default()).unwrap(),
+        ] {
+            assert_eq!(eq.diagnostics.method, SolveMethod::ClosedForm);
+            assert_eq!(eq.diagnostics.iterations, 0);
+            assert_eq!(eq.sizes[0], 16.0, "exact, not asymptotic");
+            assert!(eq.cache_filled);
+            assert!(eq.window > 0.0 && eq.window.is_finite());
+        }
+    }
+
+    #[test]
+    fn single_saturating_process_is_closed_form() {
+        use crate::histogram::ReuseHistogram;
+        use crate::spi::SpiModel;
+        let h = ReuseHistogram::new(vec![0.7, 0.3], 0.0).unwrap();
+        let f = FeatureVector::new("tiny", h, 0.01, SpiModel::new(2e-8, 1e-8).unwrap(), 8)
+            .unwrap();
+        let eq = solve(&[&f], 8).unwrap();
+        assert_eq!(eq.diagnostics.method, SolveMethod::ClosedForm);
+        assert!(!eq.cache_filled);
+        assert!(eq.sizes[0] < 3.0 && eq.sizes[0] > 1.5, "{}", eq.sizes[0]);
+        assert!((eq.sizes[0] - f.occupancy().saturation()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_associativity_closed_form() {
+        let a = fv(SpecWorkload::Mcf).with_assoc(1).unwrap();
+        let b = fv(SpecWorkload::Gzip).with_assoc(1).unwrap();
+        let eq = solve(&[&a, &b], 1).unwrap();
+        assert_eq!(eq.diagnostics.method, SolveMethod::ClosedForm);
+        assert!(eq.cache_filled);
+        assert!((eq.sizes.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{:?}", eq.sizes);
+        assert!(eq.sizes.iter().all(|&s| s > 0.0 && s < 1.0), "{:?}", eq.sizes);
+        // The hungrier process holds more of the single way.
+        assert!(eq.sizes[0] > eq.sizes[1], "{:?}", eq.sizes);
+        // Exact inner solve: each size satisfies S·SPI(S) = API·T (up to
+        // the outer bracket's fill tolerance and cosmetic rescale).
+        for (i, f) in [&a, &b].iter().enumerate() {
+            let implied = eq.sizes[i] * f.spi_at(eq.sizes[i]);
+            let expect = f.api() * eq.window;
+            assert!(
+                (implied - expect).abs() < 1e-3 * expect,
+                "proc {i}: {implied} vs {expect}"
+            );
+        }
+        // All strategies route A = 1 through the same closed form.
+        let newt = solve_newton(&[&a, &b], 1).unwrap();
+        let rob = solve_robust(&[&a, &b], 1, &SolveOptions::default()).unwrap();
+        assert_eq!(eq.sizes, newt.sizes);
+        assert_eq!(eq.sizes, rob.sizes);
+    }
+
+    #[test]
+    fn zero_api_process_occupies_nothing() {
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Gzip);
+        let idle = idle_fv(16);
+        let with_idle = solve(&[&a, &idle, &b], 16).unwrap();
+        assert_eq!(with_idle.sizes[1], 0.0, "idle process holds no ways");
+        assert!((with_idle.apss[1] - 0.0).abs() < 1e-18);
+        // Metamorphic: adding an idle process must not change the others'
+        // occupancy — bit for bit, because idles are partitioned out
+        // before the core solve.
+        let without = solve(&[&a, &b], 16).unwrap();
+        assert_eq!(without.sizes[0].to_bits(), with_idle.sizes[0].to_bits());
+        assert_eq!(without.sizes[1].to_bits(), with_idle.sizes[2].to_bits());
+        assert_eq!(without.window.to_bits(), with_idle.window.to_bits());
+    }
+
+    #[test]
+    fn all_idle_processes_closed_form() {
+        let i1 = idle_fv(16);
+        let i2 = idle_fv(16);
+        for eq in [
+            solve(&[&i1, &i2], 16).unwrap(),
+            solve_robust(&[&i1, &i2], 16, &SolveOptions::default()).unwrap(),
+        ] {
+            assert_eq!(eq.diagnostics.method, SolveMethod::ClosedForm);
+            assert_eq!(eq.sizes, vec![0.0, 0.0]);
+            assert!(!eq.cache_filled);
+            assert!(!eq.diagnostics.degraded);
+        }
+    }
+
+    #[test]
+    fn solver_results_are_order_independent_bit_for_bit() {
+        let feats =
+            [fv(SpecWorkload::Mcf), fv(SpecWorkload::Gzip), fv(SpecWorkload::Art), fv(SpecWorkload::Twolf)];
+        let base: Vec<&FeatureVector> = feats.iter().collect();
+        let perms: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 3, 0, 2], vec![2, 0, 3, 1]];
+        let opts = SolveOptions::default();
+        let ref_bis = solve(&base, 16).unwrap();
+        let ref_rob = solve_robust(&base, 16, &opts).unwrap();
+        for perm in &perms {
+            let permuted: Vec<&FeatureVector> = perm.iter().map(|&i| base[i]).collect();
+            let bis = solve(&permuted, 16).unwrap();
+            let rob = solve_robust(&permuted, 16, &opts).unwrap();
+            for (slot, &orig) in perm.iter().enumerate() {
+                assert_eq!(
+                    bis.sizes[slot].to_bits(),
+                    ref_bis.sizes[orig].to_bits(),
+                    "bisection perm {perm:?} slot {slot}"
+                );
+                assert_eq!(
+                    bis.spis[slot].to_bits(),
+                    ref_bis.spis[orig].to_bits(),
+                    "bisection SPI perm {perm:?} slot {slot}"
+                );
+                assert_eq!(
+                    rob.sizes[slot].to_bits(),
+                    ref_rob.sizes[orig].to_bits(),
+                    "robust perm {perm:?} slot {slot}"
+                );
+            }
+            assert_eq!(bis.window.to_bits(), ref_bis.window.to_bits());
+        }
     }
 
     #[test]

@@ -44,9 +44,13 @@ pub struct FeatureVector {
 impl FeatureVector {
     /// Assembles a feature vector for a cache of `assoc` ways.
     ///
+    /// `api == 0` denotes an *idle* (L2-silent) process: it issues no L2
+    /// accesses, occupies no cache, and is partitioned out by the
+    /// equilibrium solvers before any iteration.
+    ///
     /// # Errors
     ///
-    /// - [`ModelError::UnusableProfile`] if `api` is not in `(0, 1]`.
+    /// - [`ModelError::UnusableProfile`] if `api` is not in `[0, 1]`.
     /// - Propagates occupancy-curve construction errors.
     pub fn new(
         name: impl Into<String>,
@@ -55,9 +59,9 @@ impl FeatureVector {
         spi: SpiModel,
         assoc: usize,
     ) -> Result<Self, ModelError> {
-        if !api.is_finite() || api <= 0.0 || api > 1.0 {
+        if !api.is_finite() || !(0.0..=1.0).contains(&api) {
             return Err(ModelError::UnusableProfile(format!(
-                "API must be in (0, 1], got {api}"
+                "API must be in [0, 1], got {api}"
             )));
         }
         let occupancy = OccupancyCurve::from_histogram(&hist, assoc, OccupancyOptions::default())?;
@@ -152,6 +156,34 @@ impl FeatureVector {
     pub fn with_assoc(&self, assoc: usize) -> Result<Self, ModelError> {
         FeatureVector::new(self.name.clone(), self.hist.clone(), self.api, self.spi, assoc)
     }
+
+    /// Content fingerprint: FNV-1a over the exact bit patterns of
+    /// everything an equilibrium solve consumes (histogram mass, API, SPI
+    /// coefficients, associativity — the occupancy curve is a pure
+    /// function of histogram and associativity). Two feature vectors with
+    /// equal fingerprints produce bit-identical solver behaviour, which is
+    /// what the equilibrium memo cache and the solvers' canonical process
+    /// ordering key on. The display name is deliberately excluded.
+    pub fn content_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut fold = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        fold(self.api.to_bits());
+        fold(self.spi.alpha().to_bits());
+        fold(self.spi.beta().to_bits());
+        fold(self.assoc() as u64);
+        fold(self.hist.p_inf().to_bits());
+        fold(self.hist.probs().len() as u64);
+        for &p in self.hist.probs() {
+            fold(p.to_bits());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -214,9 +246,24 @@ mod tests {
     fn api_validation() {
         let hist = ReuseHistogram::new(vec![0.5], 0.5).unwrap();
         let spi = SpiModel::new(1e-8, 1e-8).unwrap();
-        assert!(FeatureVector::new("x", hist.clone(), 0.0, spi, 8).is_err());
+        assert!(FeatureVector::new("x", hist.clone(), -0.1, spi, 8).is_err());
         assert!(FeatureVector::new("x", hist.clone(), 1.5, spi, 8).is_err());
+        assert!(FeatureVector::new("x", hist.clone(), f64::NAN, spi, 8).is_err());
+        // API 0 is the idle (L2-silent) process, explicitly allowed.
+        assert!(FeatureVector::new("x", hist.clone(), 0.0, spi, 8).is_ok());
         assert!(FeatureVector::new("x", hist, 0.5, spi, 8).is_ok());
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_content_not_name() {
+        let a = FeatureVector::from_workload(&SpecWorkload::Mcf.params(), &server()).unwrap();
+        let b = FeatureVector::from_workload(&SpecWorkload::Mcf.params(), &server()).unwrap();
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        let other = FeatureVector::from_workload(&SpecWorkload::Gzip.params(), &server()).unwrap();
+        assert_ne!(a.content_fingerprint(), other.content_fingerprint());
+        // Same content, different associativity: distinct.
+        let narrower = a.with_assoc(12).unwrap();
+        assert_ne!(a.content_fingerprint(), narrower.content_fingerprint());
     }
 
     #[test]

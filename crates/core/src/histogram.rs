@@ -46,8 +46,9 @@ pub struct ReuseHistogram {
 
 impl ReuseHistogram {
     /// Finishes construction from normalized parts, building the suffix-sum
-    /// table.
-    fn from_parts(probs: Vec<f64>, p_inf: f64) -> Self {
+    /// table. Crate-visible so fault-injection tests and cross-checks can
+    /// build deliberately unnormalized histograms.
+    pub(crate) fn from_parts(probs: Vec<f64>, p_inf: f64) -> Self {
         let mut tail = vec![0.0; probs.len() + 1];
         tail[probs.len()] = p_inf;
         for s in (0..probs.len()).rev() {
@@ -117,6 +118,50 @@ impl ReuseHistogram {
             probs.iter().map(|p| p / total).collect(),
             p_inf / total,
         ))
+    }
+
+    /// Scales the infinite-distance (tail) mass by `factor` in place and
+    /// renormalizes the whole distribution back to total mass 1. Used by
+    /// the metamorphic validation layer: for `factor >= 1` the predicted
+    /// MPA at every size can only go up (more of the access stream can
+    /// never hit), and conversely for `factor < 1`.
+    ///
+    /// The cached suffix sums are rebuilt, so `mpa()`/`mpa_int()` reflect
+    /// the mutated distribution immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDistribution`] if `factor` is negative
+    /// or non-finite, or if scaling leaves no mass at all (a pure-tail
+    /// histogram scaled by 0).
+    pub fn scale_tail(&mut self, factor: f64) -> Result<(), ModelError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(ModelError::InvalidDistribution(format!(
+                "tail scale factor must be finite and non-negative, got {factor}"
+            )));
+        }
+        let finite_mass: f64 = self.probs.iter().sum();
+        let total = finite_mass + self.p_inf * factor;
+        if total <= 0.0 {
+            return Err(ModelError::InvalidDistribution(
+                "scaling removed all histogram mass".into(),
+            ));
+        }
+        let probs: Vec<f64> = self.probs.iter().map(|p| p / total).collect();
+        *self = ReuseHistogram::from_parts(probs, self.p_inf * factor / total);
+        Ok(())
+    }
+
+    /// A copy with the tail mass scaled by `factor` (see
+    /// [`ReuseHistogram::scale_tail`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReuseHistogram::scale_tail`].
+    pub fn with_scaled_tail(&self, factor: f64) -> Result<Self, ModelError> {
+        let mut h = self.clone();
+        h.scale_tail(factor)?;
+        Ok(h)
     }
 
     /// Per-position probabilities (`probs()[i]` is position `i + 1`).
@@ -286,6 +331,62 @@ mod tests {
         for s in 0..=8 {
             let naive: f64 = h.probs().iter().skip(s).sum::<f64>() + h.p_inf();
             assert!((h.mpa_int(s) - naive).abs() < 1e-12, "s={s}");
+        }
+    }
+
+    #[test]
+    fn mutation_rebuilds_suffix_cache() {
+        // Audit for the suffix-sum cache: query mpa() first (so the cache
+        // is live), mutate, then check every size against a histogram
+        // built fresh from the mutated parts. A stale cache would keep
+        // answering with pre-mutation tail masses.
+        let mut h = simple();
+        let before = h.mpa(1.0);
+        h.scale_tail(3.0).unwrap();
+        let fresh = ReuseHistogram::new(h.probs().to_vec(), h.p_inf()).unwrap();
+        for s in 0..=6 {
+            assert_eq!(
+                h.mpa_int(s).to_bits(),
+                fresh.mpa_int(s).to_bits(),
+                "stale suffix cache at s={s}"
+            );
+        }
+        assert!(h.mpa(1.0) > before, "tripled tail must raise the miss rate");
+        let total: f64 = h.probs().iter().sum::<f64>() + h.p_inf();
+        assert!((total - 1.0).abs() < 1e-12, "mutation must renormalize");
+    }
+
+    #[test]
+    fn tail_scaling_is_monotone_in_mpa() {
+        let h = simple();
+        for factor in [1.0, 1.5, 4.0] {
+            let scaled = h.with_scaled_tail(factor).unwrap();
+            for i in 0..=24 {
+                let s = i as f64 * 0.25;
+                assert!(
+                    scaled.mpa(s) >= h.mpa(s) - 1e-12,
+                    "factor {factor}, s={s}: {} < {}",
+                    scaled.mpa(s),
+                    h.mpa(s)
+                );
+            }
+        }
+        // Shrinking the tail can only lower the miss rate.
+        let shrunk = h.with_scaled_tail(0.5).unwrap();
+        assert!(shrunk.mpa(3.0) <= h.mpa(3.0) + 1e-12);
+    }
+
+    #[test]
+    fn tail_scaling_rejects_bad_factors() {
+        let mut h = simple();
+        assert!(h.scale_tail(-1.0).is_err());
+        assert!(h.scale_tail(f64::NAN).is_err());
+        let mut pure_tail = ReuseHistogram::new(vec![], 1.0).unwrap();
+        assert!(pure_tail.scale_tail(0.0).is_err(), "no mass left");
+        // Factor 1 is the identity (up to renormalization round-off).
+        let same = h.with_scaled_tail(1.0).unwrap();
+        for s in 0..=4 {
+            assert!((same.mpa_int(s) - h.mpa_int(s)).abs() < 1e-15);
         }
     }
 

@@ -44,6 +44,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod assignment;
+pub mod crosscheck;
 pub mod equilibrium;
 pub mod feature;
 pub mod histogram;

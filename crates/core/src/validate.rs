@@ -106,9 +106,10 @@ pub fn mpa_curve(mpas: &[f64]) -> Result<(), ModelError> {
     Ok(())
 }
 
-/// Validates a feature vector end to end: API in `(0, 1]`, finite
-/// physical SPI coefficients, a well-formed histogram, and a monotone
-/// MPA curve over the integer sizes `0..=A`.
+/// Validates a feature vector end to end: API in `[0, 1]` (0 denotes an
+/// idle, L2-silent process), finite physical SPI coefficients, a
+/// well-formed histogram, and a monotone MPA curve over the integer sizes
+/// `0..=A`.
 ///
 /// # Errors
 ///
@@ -118,9 +119,9 @@ pub fn feature_vector(f: &FeatureVector) -> Result<(), ModelError> {
         ModelError::UnusableProfile(format!("feature vector '{}': {e}", f.name()))
     };
     finite(f.api(), "API").map_err(tag)?;
-    if !(f.api() > 0.0 && f.api() <= 1.0) {
+    if !(f.api() >= 0.0 && f.api() <= 1.0) {
         return Err(ModelError::UnusableProfile(format!(
-            "feature vector '{}': API {} outside (0, 1]",
+            "feature vector '{}': API {} outside [0, 1]",
             f.name(),
             f.api()
         )));

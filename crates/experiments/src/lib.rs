@@ -8,6 +8,7 @@
 pub mod ablation_profiling;
 pub mod ablation_training;
 pub mod ctxsw;
+pub mod diffval;
 pub mod duo;
 pub mod fig2;
 pub mod harness;

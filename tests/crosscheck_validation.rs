@@ -1,0 +1,150 @@
+//! Cross-crate integration: the invariant/metamorphic battery of
+//! `mpmc::model::crosscheck` over ground-truth feature vectors, plus a
+//! miniature differential (model-vs-simulator) check — the same layers
+//! `mpmc validate` gates CI with, callable straight from `cargo test`.
+
+use mpmc::model::crosscheck;
+use mpmc::model::equilibrium;
+use mpmc::model::feature::FeatureVector;
+use mpmc::model::perf::PerformanceModel;
+use mpmc::sim::engine::{simulate, Placement, SimOptions};
+use mpmc::sim::machine::MachineConfig;
+use mpmc::sim::process::ProcessSpec;
+use mpmc::workloads::spec::SpecWorkload;
+
+/// Same physics, fewer sets: keeps debug-mode simulation quick.
+fn tiny_machine() -> MachineConfig {
+    MachineConfig { l2_sets: 64, ..MachineConfig::four_core_server() }
+}
+
+fn features(machine: &MachineConfig) -> Vec<FeatureVector> {
+    SpecWorkload::table1_suite()
+        .iter()
+        .map(|w| FeatureVector::from_workload(&w.params(), machine).unwrap())
+        .collect()
+}
+
+#[test]
+fn invariant_battery_clean_for_every_pair() {
+    let machine = MachineConfig::four_core_server();
+    let fvs = features(&machine);
+    let assoc = machine.l2_assoc();
+    for i in 0..fvs.len() {
+        for j in (i + 1)..fvs.len() {
+            let set = [&fvs[i], &fvs[j]];
+            let violations = crosscheck::check_corun_set(&set, assoc).unwrap();
+            assert!(
+                violations.is_empty(),
+                "{}+{}: {violations:?}",
+                fvs[i].name(),
+                fvs[j].name()
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_equilibrium_fails_the_battery() {
+    let machine = MachineConfig::four_core_server();
+    let fvs = features(&machine);
+    let set = [&fvs[0], &fvs[2]];
+    let mut eq = equilibrium::solve(&set, machine.l2_assoc()).unwrap();
+    assert!(crosscheck::check_equilibrium(&set, machine.l2_assoc(), &eq).is_empty());
+    // Capacity violation: sizes inflated beyond the cache.
+    eq.sizes[0] += 5.0;
+    let v = crosscheck::check_equilibrium(&set, machine.l2_assoc(), &eq);
+    assert!(v.iter().any(|v| v.check == "capacity"), "{v:?}");
+    // Window corruption is caught independently.
+    let mut eq = equilibrium::solve(&set, machine.l2_assoc()).unwrap();
+    eq.window = f64::NAN;
+    let v = crosscheck::check_equilibrium(&set, machine.l2_assoc(), &eq);
+    assert!(v.iter().any(|v| v.check == "window"), "{v:?}");
+}
+
+#[test]
+fn metamorphic_checks_hold_for_the_suite() {
+    let machine = MachineConfig::four_core_server();
+    let fvs = features(&machine);
+    let assoc = machine.l2_assoc();
+    for f in &fvs {
+        assert!(
+            crosscheck::metamorphic_tail_scaling(f, 3.0).unwrap().is_empty(),
+            "{}",
+            f.name()
+        );
+    }
+    let set = [&fvs[1], &fvs[4]];
+    assert!(crosscheck::metamorphic_idle_process(&set, assoc).unwrap().is_empty());
+    assert!(crosscheck::check_order_independence(&set, assoc).unwrap().is_empty());
+}
+
+#[test]
+fn differential_pair_against_simulator() {
+    let machine = tiny_machine();
+    let mcf = FeatureVector::from_workload(&SpecWorkload::Mcf.params(), &machine).unwrap();
+    let gzip = FeatureVector::from_workload(&SpecWorkload::Gzip.params(), &machine).unwrap();
+    let pred = PerformanceModel::new(machine.l2_assoc()).predict(&[&mcf, &gzip]).unwrap();
+
+    let mut placement = Placement::idle(machine.num_cores());
+    placement
+        .assign(
+            0,
+            ProcessSpec::new(
+                "mcf",
+                Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1)),
+            ),
+        )
+        .unwrap();
+    placement
+        .assign(
+            1,
+            ProcessSpec::new(
+                "gzip",
+                Box::new(SpecWorkload::Gzip.params().generator(machine.l2_sets, 2)),
+            ),
+        )
+        .unwrap();
+    // Warmup must exceed the cache fill time: the model predicts steady
+    // state, while time-averaged ways include the cold-start ramp.
+    let run = simulate(
+        &machine,
+        placement,
+        SimOptions { duration_s: 2.0, warmup_s: 1.0, seed: 0x51, ..Default::default() },
+    )
+    .unwrap();
+
+    let oracle = run.oracle_observables();
+    assert_eq!(oracle.len(), 2);
+    for (slot, o) in oracle.iter().enumerate() {
+        let p = &pred[slot];
+        assert!(
+            (p.ways - o.avg_ways).abs() < 2.5,
+            "{}: predicted {} ways, measured {}",
+            o.name,
+            p.ways,
+            o.avg_ways
+        );
+        assert!(
+            (p.mpa - o.mpa).abs() < 0.08,
+            "{}: predicted MPA {}, measured {}",
+            o.name,
+            p.mpa,
+            o.mpa
+        );
+        assert!(
+            (p.spi - o.spi).abs() / o.spi < 0.15,
+            "{}: predicted SPI {}, measured {}",
+            o.name,
+            p.spi,
+            o.spi
+        );
+    }
+
+    // Power floor: ground-truth power can never dip below all-idle.
+    let floor_violations = crosscheck::check_power_floor(
+        run.avg_true_power(),
+        machine.num_cores(),
+        machine.power.core_idle_w,
+    );
+    assert!(floor_violations.is_empty(), "{floor_violations:?}");
+}
