@@ -44,18 +44,28 @@ commands:
   mrc <tracefile> [--sets N] [--assoc A]
                                         miss-ratio curve of a trace
   validate [--tiny | --fast] [--machine M] [--sets N] [--mixes N] [--seed N]
-           [--out FILE]                 differential model-vs-simulator
+           [--workers N] [--out FILE]   differential model-vs-simulator
                                         validation plus invariant and
                                         metamorphic checks; writes a
                                         machine-readable VALIDATION.json
+  serve --power FILE [--stdio | --listen ADDR] [--machine M] [--sets N]
+        [--workers N] [--cache-capacity N]
+                                        long-running prediction daemon:
+                                        newline-delimited JSON requests
+                                        (register/estimate/assign/stats)
+                                        over TCP, or stdin/stdout with
+                                        --stdio; see README \"Serving\"
 
 assignment syntax: per-core lists, ';' between cores, ',' within a core,
 e.g. \"mcf,art;gzip\" = mcf+art time-shared on core 0, gzip on core 1.
 machines: server (4 cores, 16-way), workstation (2, 8-way), duo (2, 12-way).
+--workers N overrides the MPMC_WORKERS environment variable; N must be
+positive (omit the flag for auto).
 
 exit codes: 0 success, 2 usage, 3 invalid input data (bad profile/trace/
 histogram), 4 solver or simulation failure, 5 I/O failure, 6 degraded
-result rejected by --strict.
+result rejected by --strict, 7 validation divergence (the model-vs-
+simulator sweep completed but disagreed beyond tolerance).
 ";
 
 fn machine_from(args: &ParsedArgs) -> Result<cmpsim::machine::MachineConfig, CliError> {
@@ -458,12 +468,15 @@ pub fn mrc(args: &ParsedArgs) -> Result<String, CliError> {
 /// Runs the differential model-vs-simulator sweep plus the invariant
 /// and metamorphic battery (see `experiments::diffval`), writes the
 /// machine-readable report to `--out` (default `VALIDATION.json`), and
-/// fails with the solver exit code if any check diverges.
+/// fails with the divergence exit code if any check disagrees.
 ///
 /// # Errors
 ///
-/// Returns a display-ready message on any failure; a failed validation
-/// maps to [`exit_code::SOLVER`](crate::resolve::exit_code::SOLVER).
+/// Returns a display-ready message on any failure. A completed run whose
+/// numbers disagree maps to
+/// [`exit_code::DIVERGENCE`](crate::resolve::exit_code::DIVERGENCE) —
+/// distinct from [`exit_code::SOLVER`](crate::resolve::exit_code::SOLVER),
+/// which means the pipeline itself failed to produce a result.
 pub fn validate(args: &ParsedArgs) -> Result<String, CliError> {
     use experiments::diffval::{self, DiffConfig};
 
@@ -482,6 +495,7 @@ pub fn validate(args: &ParsedArgs) -> Result<String, CliError> {
     }
     cfg.max_mixes = args.opt_parse("mixes", cfg.max_mixes)?;
     cfg.scale.seed = args.opt_parse("seed", cfg.scale.seed)?;
+    cfg.scale.workers = resolve::workers(args)?;
 
     let report = diffval::run(&cfg).map_err(CliError::from)?;
     let out_path = args.opt("out").unwrap_or("VALIDATION.json");
@@ -490,9 +504,60 @@ pub fn validate(args: &ParsedArgs) -> Result<String, CliError> {
     let mut text = report.summary();
     text.push_str(&format!("report written to {out_path}\n"));
     if !report.pass {
-        return Err(CliError::solver(format!("validation FAILED\n{text}")));
+        return Err(CliError::divergence(format!("validation FAILED\n{text}")));
     }
     Ok(text)
+}
+
+/// `mpmc serve ...` — the long-running prediction daemon.
+///
+/// With `--stdio` the session runs over stdin/stdout and the process
+/// exits at end of input or after a `shutdown` request. Otherwise the
+/// daemon binds `--listen` (default `127.0.0.1:0`), prints the bound
+/// address as `listening on HOST:PORT`, and serves connections until a
+/// `shutdown` request arrives. See the README's "Serving" section for
+/// the wire protocol.
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure (a missing or bad
+/// `--power` file, an unbindable address, or session I/O trouble).
+pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    let machine = machine_from(args)?;
+    let power_path = args
+        .opt("power")
+        .ok_or("serve: --power FILE is required (train one with 'mpmc train --out FILE')")?;
+    let file = std::fs::File::open(power_path)
+        .map_err(|e| CliError::io(format!("{power_path}: {e}")))?;
+    let power =
+        persist::read_power_model(file).map_err(|e| CliError::from(e).context(power_path))?;
+    // Resolve the worker count once, up front: the flag beats
+    // MPMC_WORKERS, and a concrete value makes `stats` reporting honest.
+    let workers = mathkit::parallel::resolve_workers(resolve::workers(args)?);
+    let capacity: usize =
+        args.opt_parse("cache-capacity", mpmc_model::eqcache::DEFAULT_CAPACITY)?;
+    let service = mpmc_service::PredictionService::new(machine, power, workers, capacity);
+
+    if args.flag("stdio") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        service
+            .run_stdio(stdin.lock(), stdout.lock())
+            .map_err(|e| CliError::io(format!("serve: {e}")))?;
+        return Ok(String::new());
+    }
+
+    let addr = args.opt("listen").unwrap_or("127.0.0.1:0");
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    let local = listener.local_addr().map_err(|e| CliError::io(format!("serve: {e}")))?;
+    // Announce the bound address immediately (port 0 binds an ephemeral
+    // port) so scripts can connect before the daemon returns.
+    println!("listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    service.run_tcp(listener).map_err(|e| CliError::io(format!("serve: {e}")))?;
+    Ok(format!("service on {local} stopped after shutdown request\n"))
 }
 
 /// Dispatches a full command line (without the program name).
@@ -506,7 +571,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err(CliError::usage(USAGE));
     };
-    let args = ParsedArgs::parse(rest.iter().cloned(), &["fast", "full", "strict", "tiny"])?;
+    let args =
+        ParsedArgs::parse(rest.iter().cloned(), &["fast", "full", "strict", "tiny", "stdio"])?;
     match cmd.as_str() {
         "machines" => Ok(machines()),
         "workloads" => Ok(workloads_cmd()),
@@ -518,6 +584,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "trace" => trace(&args),
         "mrc" => mrc(&args),
         "validate" => validate(&args),
+        "serve" => serve(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
@@ -635,6 +702,35 @@ mod tests {
         ])
         .unwrap_err();
         assert_eq!(err.code, exit_code::IO);
+    }
+
+    #[test]
+    fn serve_argument_errors() {
+        // Missing --power is usage; an unreadable file is I/O; a bad
+        // worker count is usage — all without ever binding a socket.
+        assert_eq!(run(&["serve"]).unwrap_err().code, exit_code::USAGE);
+        assert_eq!(
+            run(&["serve", "--power", "/nonexistent/power.txt"]).unwrap_err().code,
+            exit_code::IO
+        );
+        let path = std::env::temp_dir().join("mpmc_cli_serve_power_test.txt");
+        let model =
+            mpmc_model::power::PowerModel::from_parts(10.0, vec![2e-7, 1e-6, 3e-6, 1e-7, 1e-7])
+                .unwrap();
+        let file = std::fs::File::create(&path).unwrap();
+        persist::write_power_model(&model, file).unwrap();
+        let path_s = path.to_str().unwrap();
+        for bad_workers in ["0", "many"] {
+            let err = run(&["serve", "--power", path_s, "--workers", bad_workers]).unwrap_err();
+            assert_eq!(err.code, exit_code::USAGE, "--workers {bad_workers}");
+        }
+        // A power file that parses but is not a power model is bad data.
+        let bad = std::env::temp_dir().join("mpmc_cli_serve_bad_power_test.txt");
+        std::fs::write(&bad, "mpmc-power v1\nidle nope\n").unwrap();
+        let err = run(&["serve", "--power", bad.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.code, exit_code::INVALID_DATA, "{err}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&bad);
     }
 
     #[test]

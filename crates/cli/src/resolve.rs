@@ -1,6 +1,7 @@
 //! Resolving CLI specifiers: machines, workloads, profiles, and
 //! assignment strings.
 
+use crate::args::ParsedArgs;
 use cmpsim::machine::MachineConfig;
 use mpmc_model::feature::FeatureVector;
 use mpmc_model::ModelError;
@@ -9,19 +10,10 @@ use mpmc_model::profile::{ProcessProfile, ProfileOptions, Profiler};
 use std::fmt;
 use workloads::spec::SpecWorkload;
 
-/// Process exit codes reported by the `mpmc` binary. Zero is success.
-pub mod exit_code {
-    /// Bad usage: unknown command or flag, missing or malformed argument.
-    pub const USAGE: i32 = 2;
-    /// Invalid input data: a profile, trace, or histogram failed validation.
-    pub const INVALID_DATA: i32 = 3;
-    /// A solver or simulation failed to produce a result.
-    pub const SOLVER: i32 = 4;
-    /// An operating-system I/O operation failed.
-    pub const IO: i32 = 5;
-    /// `--strict` rejected a result produced by a degraded fallback path.
-    pub const STRICT: i32 = 6;
-}
+// The exit-code taxonomy lives in the service crate (the wire protocol's
+// `error.code` field mirrors it); the CLI re-exports it so both always
+// agree. Zero is success; see the README's "Exit codes" table.
+pub use mpmc_service::exit_code;
 
 /// An error surfaced to the CLI user: a display-ready message plus the
 /// process exit code it maps to (see [`exit_code`]).
@@ -64,6 +56,12 @@ impl CliError {
         Self::new(exit_code::STRICT, message)
     }
 
+    /// A validation divergence ([`exit_code::DIVERGENCE`]): the
+    /// model-vs-simulator pipeline completed but the numbers disagree.
+    pub fn divergence(message: impl Into<String>) -> Self {
+        Self::new(exit_code::DIVERGENCE, message)
+    }
+
     /// Prefixes the message with `context` (typically the offending
     /// file or spec), keeping the exit code.
     #[must_use]
@@ -94,20 +92,35 @@ impl From<&str> for CliError {
 
 /// Classifies a model error into the CLI exit-code taxonomy: bad input
 /// data is distinguished from solver trouble and strict-mode rejection.
+/// The classification itself lives next to the taxonomy in the service
+/// crate so wire responses and exit codes can never drift apart.
 impl From<ModelError> for CliError {
     fn from(e: ModelError) -> Self {
-        let code = match &e {
-            ModelError::EmptyInput(_)
-            | ModelError::InvalidDistribution(_)
-            | ModelError::InvalidAssignment(_)
-            | ModelError::UnusableProfile(_)
-            | ModelError::NonFinite(_) => exit_code::INVALID_DATA,
-            ModelError::Math(_) | ModelError::Sim(_) | ModelError::EquilibriumFailed(_) => {
-                exit_code::SOLVER
+        CliError::new(mpmc_service::classify_model_error(&e), e.to_string())
+    }
+}
+
+/// Resolves the `--workers` option. Absent means auto (`0`, which lets
+/// [`mathkit::parallel::resolve_workers`] consult `MPMC_WORKERS` and the
+/// machine's parallelism at call time); when given, the flag beats the
+/// environment variable and must be a positive integer — zero or
+/// garbage is a usage error, never a silent fallback to auto.
+///
+/// # Errors
+///
+/// [`exit_code::USAGE`] for a zero, negative, or unparsable value.
+pub fn workers(args: &ParsedArgs) -> Result<usize, CliError> {
+    match args.opt("workers") {
+        None => Ok(0),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(0) => Err(CliError::usage(
+                "option --workers must be at least 1 (omit the flag for auto)",
+            )),
+            Ok(n) => Ok(n),
+            Err(_) => {
+                Err(CliError::usage(format!("option --workers: cannot parse '{raw}'")))
             }
-            ModelError::Degraded(_) => exit_code::STRICT,
-        };
-        CliError::new(code, e.to_string())
+        },
     }
 }
 
@@ -271,6 +284,35 @@ mod tests {
         let e = CliError::io("open failed").context("file.txt");
         assert_eq!(e.code, exit_code::IO);
         assert_eq!(e.to_string(), "file.txt: open failed");
+        assert_eq!(CliError::divergence("off by 12%").code, exit_code::DIVERGENCE);
+    }
+
+    #[test]
+    fn exit_codes_match_the_service_taxonomy() {
+        // The CLI re-exports the service crate's table; pin the values so
+        // scripted callers can rely on them.
+        assert_eq!(exit_code::USAGE, 2);
+        assert_eq!(exit_code::INVALID_DATA, 3);
+        assert_eq!(exit_code::SOLVER, 4);
+        assert_eq!(exit_code::IO, 5);
+        assert_eq!(exit_code::STRICT, 6);
+        assert_eq!(exit_code::DIVERGENCE, 7);
+    }
+
+    #[test]
+    fn workers_resolution() {
+        let parse = |argv: &[&str]| ParsedArgs::parse(argv.iter().copied(), &[]).unwrap();
+        // Absent: auto (0) — resolve_workers consults the environment.
+        assert_eq!(workers(&parse(&[])).unwrap(), 0);
+        // Explicit positive value passes through (beats MPMC_WORKERS,
+        // because mathkit only reads the env when the request is 0).
+        assert_eq!(workers(&parse(&["--workers", "3"])).unwrap(), 3);
+        assert_eq!(mathkit::parallel::resolve_workers(3), 3);
+        // Zero and garbage are usage errors, not silent fallbacks.
+        for bad in [&["--workers", "0"][..], &["--workers", "many"], &["--workers", "-2"]] {
+            let err = workers(&parse(bad)).unwrap_err();
+            assert_eq!(err.code, exit_code::USAGE, "{bad:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! End-to-end exercise of `mpmc serve` through the real binary: a stdio
+//! session and a TCP session, each registering profiles, asking for a
+//! placement, checking stats, and shutting down cleanly.
+
+use mpmc_service::json::{self, Json};
+
+use cmpsim::machine::MachineConfig;
+use mpmc_model::feature::FeatureVector;
+use mpmc_model::histogram::ReuseHistogram;
+use mpmc_model::persist;
+use mpmc_model::power::PowerModel;
+use mpmc_model::profile::ProcessProfile;
+use mpmc_model::spi::SpiModel;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+fn synthetic_profile(name: &str, tail: f64, api: f64, m: &MachineConfig) -> ProcessProfile {
+    let head = 1.0 - tail;
+    let hist =
+        ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail)
+            .unwrap();
+    let alpha = api * (m.mem_cycles - m.l2_hit_cycles) as f64 / m.freq_hz;
+    let beta = (m.cpi_base + api * m.l2_hit_cycles as f64) / m.freq_hz;
+    let feature =
+        FeatureVector::new(name, hist, api, SpiModel::new(alpha, beta).unwrap(), m.l2_assoc())
+            .unwrap();
+    ProcessProfile {
+        feature,
+        l1rpi: 0.35,
+        l2rpi: api,
+        brpi: 0.2,
+        fppi: 0.1,
+        processor_alone_w: 60.0,
+        idle_processor_w: 44.0,
+    }
+}
+
+fn profile_text(p: &ProcessProfile) -> String {
+    let mut buf = Vec::new();
+    persist::write_profile(p, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// Writes a deterministic power-model file and returns its path.
+fn power_file(stem: &str) -> std::path::PathBuf {
+    let model = PowerModel::from_parts(10.0, vec![2e-7, 1e-6, 3e-6, 1e-7, 1e-7]).unwrap();
+    let path = std::env::temp_dir().join(format!("mpmc_serve_e2e_{stem}_power.txt"));
+    let file = std::fs::File::create(&path).unwrap();
+    persist::write_power_model(&model, file).unwrap();
+    path
+}
+
+fn register_req(id: u32, name: &str, text: &str) -> String {
+    Json::Obj(vec![
+        ("id".into(), Json::Num(f64::from(id))),
+        ("op".into(), Json::str("register")),
+        ("name".into(), Json::str(name)),
+        ("profile".into(), Json::str(text)),
+    ])
+    .render()
+}
+
+fn spawn_serve(power: &std::path::Path, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_mpmc"))
+        .args([
+            "serve",
+            "--machine",
+            "workstation",
+            "--power",
+            power.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap()
+}
+
+#[test]
+fn stdio_session_round_trips() {
+    let machine = MachineConfig::two_core_workstation();
+    let power = power_file("stdio");
+    let a = profile_text(&synthetic_profile("a", 0.4, 0.03, &machine));
+    let b = profile_text(&synthetic_profile("b", 0.1, 0.01, &machine));
+
+    let mut child = spawn_serve(&power, &["--stdio"]);
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for line in [
+            register_req(1, "a", &a),
+            register_req(2, "b", &b),
+            r#"{"id":3,"op":"assign","process":"b","current":[["a"]]}"#.to_string(),
+            r#"{"id":4,"op":"stats"}"#.to_string(),
+            r#"{"id":5,"op":"shutdown"}"#.to_string(),
+        ] {
+            stdin.write_all(line.as_bytes()).unwrap();
+            stdin.write_all(b"\n").unwrap();
+        }
+        // stdin drops here; the daemon sees EOF after the shutdown line.
+    }
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let responses: Vec<Json> = String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad response line '{l}': {e}")))
+        .collect();
+    assert_eq!(responses.len(), 5);
+    for (i, resp) in responses.iter().enumerate() {
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "response {i}: {resp:?}");
+        assert_eq!(resp.get("id").and_then(Json::as_usize), Some(i + 1));
+    }
+    let assign = &responses[2];
+    let best_core = assign.get("best_core").and_then(Json::as_usize).unwrap();
+    assert!(best_core < machine.num_cores());
+    assert!(assign.get("best_power_w").and_then(Json::as_f64).unwrap().is_finite());
+    assert_eq!(
+        assign.get("candidates").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(machine.num_cores())
+    );
+    let stats = &responses[3];
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("register"))
+            .and_then(Json::as_f64),
+        Some(2.0)
+    );
+    assert_eq!(stats.get("profiles").and_then(Json::as_usize), Some(2));
+    assert_eq!(stats.get("workers").and_then(Json::as_usize), Some(2));
+
+    let _ = std::fs::remove_file(&power);
+}
+
+#[test]
+fn tcp_session_round_trips_and_shuts_down() {
+    let machine = MachineConfig::two_core_workstation();
+    let power = power_file("tcp");
+    let a = profile_text(&synthetic_profile("a", 0.4, 0.03, &machine));
+    let b = profile_text(&synthetic_profile("b", 0.1, 0.01, &machine));
+
+    let mut child = spawn_serve(&power, &["--listen", "127.0.0.1:0"]);
+    // First stdout line announces the ephemeral port.
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    child_out.read_line(&mut banner).unwrap();
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_string();
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut ask = |req: &str| -> Json {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        json::parse(line.trim()).unwrap()
+    };
+
+    for (i, req) in [
+        register_req(1, "a", &a),
+        register_req(2, "b", &b),
+        r#"{"id":3,"op":"estimate","assignment":[["a"],["b"]]}"#.to_string(),
+        r#"{"id":4,"op":"assign","process":"b","current":[["a"]]}"#.to_string(),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let resp = ask(req);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "request {i}: {resp:?}");
+    }
+    // An error mid-session must not kill the connection.
+    let resp = ask(r#"{"id":5,"op":"assign","process":"ghost"}"#);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        resp.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("invalid_data")
+    );
+    let resp = ask(r#"{"id":6,"op":"ping"}"#);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+
+    // Shutdown stops the daemon; the process must exit 0 by itself.
+    let resp = ask(r#"{"id":7,"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    let status = child.wait().unwrap();
+    assert!(status.success(), "daemon exited with {status:?}");
+
+    let _ = std::fs::remove_file(&power);
+}

@@ -11,6 +11,7 @@
 //! into power. Averaging over the Eq. 10 process combinations yields the
 //! processor power of the assignment — using profiling data only.
 
+use crate::eqcache::{EqCacheStats, EquilibriumCache};
 use crate::equilibrium::Equilibrium;
 use crate::feature::FeatureVector;
 use crate::perf::PerformanceModel;
@@ -21,8 +22,6 @@ use crate::ModelError;
 use cmpsim::hpc::EventRates;
 use cmpsim::machine::MachineConfig;
 use cmpsim::types::{CoreId, DieId};
-use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// A tentative process-to-core mapping over profile indices.
 ///
@@ -99,11 +98,17 @@ impl Assignment {
 /// fingerprints (histogram + API + SPI coefficients + associativity), so
 /// it stays valid even if callers re-index, re-order, or rebuild their
 /// profile slices, and permuted co-runner sets share one entry.
+///
+/// The cache is bounded (sharded LRU, default
+/// [`eqcache::DEFAULT_CAPACITY`](crate::eqcache::DEFAULT_CAPACITY)
+/// entries) so long-running services never grow without limit; an
+/// evicted co-runner set simply re-solves to a bit-identical
+/// [`Equilibrium`] on its next appearance.
 pub struct CombinedModel<'a, M: CorePowerModel> {
     machine: &'a MachineConfig,
     power: &'a M,
     perf: PerformanceModel,
-    eq_cache: Mutex<HashMap<Vec<u64>, Equilibrium>>,
+    eq_cache: EquilibriumCache,
 }
 
 impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
@@ -114,19 +119,41 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
             machine,
             power,
             perf: PerformanceModel::new(machine.l2_assoc()),
-            eq_cache: Mutex::new(HashMap::new()),
+            eq_cache: EquilibriumCache::new(crate::eqcache::DEFAULT_CAPACITY),
         }
+    }
+
+    /// Replaces the equilibrium memo cache with one bounded at
+    /// `capacity` entries (rounded up to a multiple of the shard count;
+    /// 0 disables memoization). Estimates are bit-identical for any
+    /// capacity — the bound only affects time and memory.
+    #[must_use]
+    pub fn with_equilibrium_cache_capacity(mut self, capacity: usize) -> Self {
+        self.eq_cache = EquilibriumCache::new(capacity);
+        self
     }
 
     /// Number of distinct co-runner sets whose equilibrium is currently
     /// memoized (diagnostics / tests).
     pub fn cached_equilibria(&self) -> usize {
-        self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.eq_cache.entries()
+    }
+
+    /// A snapshot of the memo-cache counters (hits, misses, evictions,
+    /// occupancy, capacity).
+    pub fn equilibrium_cache_stats(&self) -> EqCacheStats {
+        self.eq_cache.stats()
+    }
+
+    /// Fresh equilibrium solves that needed the fallback chain or came
+    /// back degraded (service diagnostics).
+    pub fn solver_fallbacks(&self) -> u64 {
+        self.eq_cache.fallback_solves()
     }
 
     /// Drops all memoized equilibrium solves.
     pub fn clear_equilibrium_cache(&self) {
-        self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.eq_cache.clear();
     }
 
     /// Estimated average processor power of `assignment`, from profiling
@@ -303,7 +330,7 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         let mut order: Vec<usize> = (0..running.len()).collect();
         order.sort_by_key(|&i| (fps[i], i));
         let key: Vec<u64> = order.iter().map(|&i| fps[i]).collect();
-        if let Some(canon) = self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        if let Some(canon) = self.eq_cache.get(&key) {
             let mut eq = canon.clone();
             for (ci, &i) in order.iter().enumerate() {
                 eq.sizes[i] = canon.sizes[ci];
@@ -315,6 +342,9 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         }
         let features: Vec<&FeatureVector> = running.iter().map(|(_, p)| &p.feature).collect();
         let eq = self.perf.solve(&features)?;
+        if eq.diagnostics.degraded || !eq.diagnostics.fallbacks.is_empty() {
+            self.eq_cache.note_fallback();
+        }
         let mut canon = eq.clone();
         for (ci, &i) in order.iter().enumerate() {
             canon.sizes[ci] = eq.sizes[i];
@@ -322,7 +352,7 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
             canon.spis[ci] = eq.spis[i];
             canon.apss[ci] = eq.apss[i];
         }
-        self.eq_cache.lock().unwrap_or_else(|e| e.into_inner()).insert(key, canon);
+        self.eq_cache.insert(key, canon);
         Ok(eq)
     }
 
@@ -662,6 +692,59 @@ mod tests {
         let ref_bits: Vec<u64> = est_ref.iter().map(|x| x.to_bits()).collect();
         let perm_bits: Vec<u64> = est_perm.iter().map(|x| x.to_bits()).collect();
         assert_eq!(ref_bits, perm_bits, "physical placement is identical");
+    }
+
+    #[test]
+    fn cache_stays_bounded_and_evicted_entries_resolve_bit_identical() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        // A deliberately tiny bound so a modest sweep overflows it.
+        let cm = CombinedModel::new(&m, &pm).with_equilibrium_cache_capacity(8);
+        let cap = cm.equilibrium_cache_stats().capacity;
+        assert!((8..=16).contains(&cap), "rounded-up capacity, got {cap}");
+
+        // Sweep far more distinct contended pairs than the bound holds.
+        let partner = synthetic_profile("partner", 0.2, 0.015, &m);
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let mut cold = Vec::new();
+        for i in 0..3 * cap {
+            let p = synthetic_profile("p", 0.1 + 0.7 * (i as f64) / (3 * cap) as f64, 0.02, &m);
+            let ps = vec![p, partner.clone()];
+            cold.push(cm.estimate_processor_power(&ps, &asg).unwrap());
+            let st = cm.equilibrium_cache_stats();
+            assert!(st.entries <= st.capacity, "iteration {i}: {st:?}");
+        }
+        let st = cm.equilibrium_cache_stats();
+        assert!(st.evictions > 0, "sweep must overflow the bound: {st:?}");
+        assert_eq!(st.misses as usize, 3 * cap, "each distinct pair solves once");
+
+        // Replaying the sweep forces re-solves of evicted pairs; every
+        // estimate must be bit-identical to its cold pass.
+        for (i, &cold_est) in cold.iter().enumerate() {
+            let p = synthetic_profile("p", 0.1 + 0.7 * (i as f64) / (3 * cap) as f64, 0.02, &m);
+            let ps = vec![p, partner.clone()];
+            let warm = cm.estimate_processor_power(&ps, &asg).unwrap();
+            assert_eq!(cold_est.to_bits(), warm.to_bits(), "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_estimates_identically() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let ps = vec![a, b];
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let cached = CombinedModel::new(&m, &pm);
+        let uncached = CombinedModel::new(&m, &pm).with_equilibrium_cache_capacity(0);
+        let x = cached.estimate_processor_power(&ps, &asg).unwrap();
+        let y = uncached.estimate_processor_power(&ps, &asg).unwrap();
+        assert_eq!(x.to_bits(), y.to_bits());
+        assert_eq!(uncached.cached_equilibria(), 0);
+        assert_eq!(uncached.equilibrium_cache_stats().capacity, 0);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 pub mod assignment;
 pub mod crosscheck;
+pub mod eqcache;
 pub mod equilibrium;
 pub mod feature;
 pub mod histogram;

@@ -82,8 +82,18 @@ impl RunScale {
         let mut args = std::env::args();
         while let Some(a) = args.next() {
             if a == "--workers" {
-                if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
-                    scale.workers = n;
+                // Zero or garbage is a usage error, never a silent
+                // fallback to auto (exit code 2, like the CLI).
+                let raw = args.next().unwrap_or_default();
+                match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => scale.workers = n,
+                    _ => {
+                        eprintln!(
+                            "--workers must be a positive integer, got '{raw}' \
+                             (omit the flag for auto)"
+                        );
+                        std::process::exit(2);
+                    }
                 }
             }
         }

@@ -1,0 +1,167 @@
+//! A fixed-bucket latency histogram with lock-free recording.
+//!
+//! Long-running services need latency percentiles without unbounded
+//! sample buffers. This histogram uses 64 power-of-two buckets (bucket
+//! `i` covers durations whose highest set bit is `i`), each an
+//! [`AtomicU64`], so `record` is a single relaxed increment from any
+//! thread and memory use is constant. Percentiles are read from the
+//! cumulative bucket counts and reported as the bucket's upper bound —
+//! at most 2x the true value, which is plenty for service dashboards.
+//!
+//! # Examples
+//!
+//! ```
+//! use mathkit::latency::LatencyHistogram;
+//!
+//! let h = LatencyHistogram::new();
+//! for us in [120u64, 130, 140, 9000] {
+//!     h.record(us * 1_000); // nanoseconds
+//! }
+//! assert_eq!(h.count(), 4);
+//! assert!(h.percentile(0.5) >= 120_000);
+//! assert!(h.percentile(1.0) >= 9_000_000);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets (covers the full `u64` range).
+pub const BUCKETS: usize = 64;
+
+/// A concurrent fixed-memory histogram of durations in nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+/// The bucket index for a duration: the position of its highest set bit
+/// (0 for a zero-duration sample).
+fn bucket_of(nanos: u64) -> usize {
+    (63 - nanos.max(1).leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i`.
+fn upper_bound(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration of `nanos` nanoseconds. Lock-free; safe to
+    /// call from any number of threads.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, reported as the
+    /// upper bound of the bucket holding that rank. Returns 0 when no
+    /// samples were recorded. `q` outside `[0, 1]` is clamped.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the requested quantile, 1-based; q = 0 maps to rank 1.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in snapshot.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_bound(i);
+            }
+        }
+        upper_bound(BUCKETS - 1)
+    }
+
+    /// A copy of the raw bucket counts (diagnostics / serialization).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(upper_bound(0), 1);
+        assert_eq!(upper_bound(1), 3);
+        assert_eq!(upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentiles_track_distribution() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (~1 us), 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        // p50 lands in the ~1 us bucket; p99 in the ~1 ms bucket. Bucket
+        // upper bounds are at most 2x the sample.
+        assert!((1_000..4_000).contains(&p50), "p50 = {p50}");
+        assert!((1_000_000..4_000_000).contains(&p99), "p99 = {p99}");
+        assert!(h.percentile(0.0) >= 1_000);
+        assert_eq!(h.percentile(1.0), p99);
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        assert_eq!(h.percentile(7.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record((t * 1000 + i) + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().iter().sum::<u64>(), 4000);
+    }
+}

@@ -14,6 +14,8 @@
 //! - [`interp`]: monotone piecewise-linear interpolation and inversion.
 //! - [`parallel`]: deterministic bounded-worker `par_map` on std threads
 //!   (order-preserving, with per-task seed derivation).
+//! - [`lru`]: a capacity-bounded LRU map with eviction counters.
+//! - [`latency`]: a fixed-bucket concurrent latency histogram.
 //!
 //! # Examples
 //!
@@ -40,7 +42,9 @@
 
 pub mod decomp;
 pub mod interp;
+pub mod latency;
 pub mod linreg;
+pub mod lru;
 pub mod matrix;
 pub mod newton;
 pub mod nn;

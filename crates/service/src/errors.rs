@@ -1,0 +1,157 @@
+//! Error taxonomy shared by the service wire protocol and the `mpmc`
+//! CLI exit codes.
+//!
+//! This module is the single source of truth: the CLI re-exports
+//! [`exit_code`] so `mpmc` process exit codes and the `code` field of a
+//! service error response always agree. Keep the table in the README
+//! ("Exit codes") in sync with [`exit_code`].
+
+use mpmc_model::ModelError;
+
+/// Process exit codes reported by the `mpmc` binary and mirrored in the
+/// `error.code` field of service responses. Zero is success.
+pub mod exit_code {
+    /// Bad usage: unknown command, flag, or request field; missing or
+    /// malformed argument.
+    pub const USAGE: i32 = 2;
+    /// Invalid input data: a profile, trace, or histogram failed validation.
+    pub const INVALID_DATA: i32 = 3;
+    /// A solver or simulation failed to produce a result.
+    pub const SOLVER: i32 = 4;
+    /// An operating-system I/O operation failed.
+    pub const IO: i32 = 5;
+    /// `--strict` rejected a result produced by a degraded fallback path.
+    pub const STRICT: i32 = 6;
+    /// `mpmc validate` found a model-vs-simulator divergence beyond
+    /// tolerance. Distinct from [`SOLVER`]: the pipeline ran to
+    /// completion and the numbers disagreed.
+    pub const DIVERGENCE: i32 = 7;
+}
+
+/// The stable wire name for an exit code (`error.kind` in responses).
+#[must_use]
+pub fn kind_name(code: i32) -> &'static str {
+    match code {
+        exit_code::USAGE => "usage",
+        exit_code::INVALID_DATA => "invalid_data",
+        exit_code::SOLVER => "solver",
+        exit_code::IO => "io",
+        exit_code::STRICT => "strict",
+        exit_code::DIVERGENCE => "divergence",
+        _ => "error",
+    }
+}
+
+/// Classifies a model error into the exit-code taxonomy: bad input data
+/// is distinguished from solver trouble and strict-mode rejection.
+#[must_use]
+pub fn classify_model_error(e: &ModelError) -> i32 {
+    match e {
+        ModelError::EmptyInput(_)
+        | ModelError::InvalidDistribution(_)
+        | ModelError::InvalidAssignment(_)
+        | ModelError::UnusableProfile(_)
+        | ModelError::NonFinite(_) => exit_code::INVALID_DATA,
+        ModelError::Math(_) | ModelError::Sim(_) | ModelError::EquilibriumFailed(_) => {
+            exit_code::SOLVER
+        }
+        ModelError::Degraded(_) => exit_code::STRICT,
+    }
+}
+
+/// An error produced while handling one service request: a
+/// display-ready message plus the taxonomy code it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Display-ready message.
+    pub message: String,
+    /// Taxonomy code (see [`exit_code`]).
+    pub code: i32,
+}
+
+impl ServiceError {
+    /// An error with an explicit code.
+    pub fn new(code: i32, message: impl Into<String>) -> Self {
+        ServiceError { message: message.into(), code }
+    }
+
+    /// A usage/malformed-request error ([`exit_code::USAGE`]).
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self::new(exit_code::USAGE, message)
+    }
+
+    /// An invalid-input-data error ([`exit_code::INVALID_DATA`]).
+    pub fn data(message: impl Into<String>) -> Self {
+        Self::new(exit_code::INVALID_DATA, message)
+    }
+
+    /// An I/O failure ([`exit_code::IO`]).
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::new(exit_code::IO, message)
+    }
+
+    /// The stable wire name of this error's code.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        kind_name(self.code)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<ModelError> for ServiceError {
+    fn from(e: ModelError) -> Self {
+        ServiceError::new(classify_model_error(&e), e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        let codes = [
+            exit_code::USAGE,
+            exit_code::INVALID_DATA,
+            exit_code::SOLVER,
+            exit_code::IO,
+            exit_code::STRICT,
+            exit_code::DIVERGENCE,
+        ];
+        assert_eq!(codes, [2, 3, 4, 5, 6, 7]);
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(kind_name(exit_code::USAGE), "usage");
+        assert_eq!(kind_name(exit_code::DIVERGENCE), "divergence");
+        assert_eq!(kind_name(99), "error");
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            classify_model_error(&ModelError::UnusableProfile("p".into())),
+            exit_code::INVALID_DATA
+        );
+        assert_eq!(
+            classify_model_error(&ModelError::EquilibriumFailed("e".into())),
+            exit_code::SOLVER
+        );
+        assert_eq!(classify_model_error(&ModelError::Degraded("d".into())), exit_code::STRICT);
+        let e = ServiceError::from(ModelError::NonFinite("nan".into()));
+        assert_eq!(e.code, exit_code::INVALID_DATA);
+        assert_eq!(e.kind(), "invalid_data");
+        assert!(e.to_string().contains("non-finite"));
+    }
+}

@@ -1,0 +1,896 @@
+//! The prediction daemon: answers assignment-time power-estimation
+//! queries over newline-delimited JSON.
+//!
+//! One request per line, one response per line. Every request is an
+//! object with an `op` field and an optional `id` that is echoed back
+//! verbatim, so clients may pipeline requests over one connection.
+//! Successful responses carry `"ok": true` plus op-specific fields;
+//! failures carry `"ok": false` and an `error` object whose `code`
+//! mirrors the `mpmc` process exit-code taxonomy
+//! ([`crate::errors::exit_code`]).
+//!
+//! Operations:
+//!
+//! | op           | request fields                        | response fields |
+//! |--------------|---------------------------------------|-----------------|
+//! | `register`   | `name`, `profile` (persist v1 text)   | `replaced`, `fingerprint` |
+//! | `unregister` | `name`                                | — |
+//! | `estimate`   | `assignment` (per-core name arrays)   | `power_w` |
+//! | `assign`     | `process`, `current`?, `cores`?       | `best_core`, `best_power_w`, `candidates` |
+//! | `stats`      | —                                     | counters, cache + latency stats |
+//! | `ping`       | —                                     | — |
+//! | `shutdown`   | —                                     | — (daemon stops) |
+//!
+//! All sessions of one service share a single [`CombinedModel`], so the
+//! bounded equilibrium memo cache is warmed across connections; `assign`
+//! fans its candidate placements out over [`mathkit::parallel`] workers.
+
+use crate::errors::ServiceError;
+use crate::json::{self, Json};
+use cmpsim::machine::MachineConfig;
+use mathkit::latency::LatencyHistogram;
+use mpmc_model::assignment::{Assignment, CombinedModel};
+use mpmc_model::persist;
+use mpmc_model::power::PowerModel;
+use mpmc_model::profile::ProcessProfile;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+/// How long a blocked TCP read waits before re-checking the shutdown
+/// flag. Bounds both shutdown latency and idle-connection wake-ups.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Per-operation request counters (relaxed; read only for diagnostics).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    register: AtomicU64,
+    unregister: AtomicU64,
+    estimate: AtomicU64,
+    assign: AtomicU64,
+    stats: AtomicU64,
+    ping: AtomicU64,
+    shutdown: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// The long-running prediction service: a profile registry plus the
+/// machinery to answer requests concurrently against one shared
+/// [`CombinedModel`].
+///
+/// The service owns the machine description and fitted power model;
+/// sessions ([`run_stdio`](PredictionService::run_stdio) /
+/// [`run_tcp`](PredictionService::run_tcp)) borrow them for the model's
+/// lifetime. A `shutdown` request (or
+/// [`request_shutdown`](PredictionService::request_shutdown)) stops all
+/// sessions within one [`POLL_INTERVAL`].
+pub struct PredictionService {
+    machine: MachineConfig,
+    power: PowerModel,
+    workers: usize,
+    cache_capacity: usize,
+    registry: RwLock<BTreeMap<String, ProcessProfile>>,
+    counters: Counters,
+    latency: LatencyHistogram,
+    shutdown: AtomicBool,
+}
+
+impl PredictionService {
+    /// Creates a service for `machine` with the fitted `power` model.
+    ///
+    /// `workers` is the *resolved* candidate fan-out width (the CLI
+    /// resolves `--workers` / `MPMC_WORKERS` before constructing the
+    /// service; `0` still means auto at call time). `cache_capacity`
+    /// bounds the shared equilibrium memo cache.
+    pub fn new(
+        machine: MachineConfig,
+        power: PowerModel,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> Self {
+        PredictionService {
+            machine,
+            power,
+            workers,
+            cache_capacity,
+            registry: RwLock::new(BTreeMap::new()),
+            counters: Counters::default(),
+            latency: LatencyHistogram::default(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The machine this service predicts for.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The resolved candidate fan-out width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Asks all running sessions to stop (idempotent, thread-safe).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Registered profile count.
+    pub fn num_profiles(&self) -> usize {
+        self.read_registry().len()
+    }
+
+    /// Registers `profile` under `name`, replacing any previous profile
+    /// of that name. Returns whether a profile was replaced.
+    ///
+    /// # Errors
+    ///
+    /// Rejects profiles built for a different cache associativity than
+    /// this service's machine.
+    pub fn register_profile(
+        &self,
+        name: &str,
+        profile: ProcessProfile,
+    ) -> Result<bool, ServiceError> {
+        if name.is_empty() {
+            return Err(ServiceError::usage("profile name must not be empty"));
+        }
+        if profile.feature.assoc() != self.machine.l2_assoc() {
+            return Err(ServiceError::data(format!(
+                "profile '{name}' was built for {} ways, machine cache has {}",
+                profile.feature.assoc(),
+                self.machine.l2_assoc()
+            )));
+        }
+        Ok(self.write_registry().insert(name.to_string(), profile).is_some())
+    }
+
+    /// A fresh combined model sharing this service's machine and power
+    /// model, with the configured equilibrium-cache bound. One model
+    /// per *session runner* — `run_tcp` shares it across connections.
+    fn model(&self) -> CombinedModel<'_, PowerModel> {
+        CombinedModel::new(&self.machine, &self.power)
+            .with_equilibrium_cache_capacity(self.cache_capacity)
+    }
+
+    fn read_registry(&self) -> RwLockReadGuard<'_, BTreeMap<String, ProcessProfile>> {
+        self.registry.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_registry(&self) -> RwLockWriteGuard<'_, BTreeMap<String, ProcessProfile>> {
+        self.registry.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Serves one blocking session over arbitrary line-oriented streams
+    /// (stdin/stdout in `mpmc serve --stdio`; in-memory buffers in
+    /// tests). Returns at end of input or after a `shutdown` request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors on the streams.
+    pub fn run_stdio<R: BufRead, W: Write>(
+        &self,
+        mut input: R,
+        mut output: W,
+    ) -> std::io::Result<()> {
+        let model = self.model();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if input.read_line(&mut line)? == 0 {
+                return Ok(());
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let (response, stop) = self.handle_line(&model, trimmed);
+            output.write_all(response.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+            if stop {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serves connections from `listener` until a `shutdown` request
+    /// arrives (on any connection) or [`request_shutdown`] is called.
+    /// Each connection gets its own thread; all of them share one
+    /// combined model, so the equilibrium cache is warmed globally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors. Per-connection errors only
+    /// terminate that connection.
+    ///
+    /// [`request_shutdown`]: PredictionService::request_shutdown
+    pub fn run_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let model = self.model();
+        std::thread::scope(|scope| {
+            loop {
+                if self.is_shutdown() {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        let model = &model;
+                        scope.spawn(move || {
+                            let _ = self.serve_connection(model, stream);
+                        });
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL.min(Duration::from_millis(10)));
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+
+    /// One TCP connection: short read timeouts let the loop poll the
+    /// shutdown flag without losing partially received lines (the
+    /// buffered reader keeps them across retries).
+    fn serve_connection(
+        &self,
+        model: &CombinedModel<'_, PowerModel>,
+        stream: TcpStream,
+    ) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            if self.is_shutdown() {
+                return Ok(());
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()),
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if !trimmed.is_empty() {
+                        let (response, stop) = self.handle_line(model, trimmed);
+                        writer.write_all(response.as_bytes())?;
+                        writer.write_all(b"\n")?;
+                        writer.flush()?;
+                        if stop {
+                            return Ok(());
+                        }
+                    }
+                    line.clear();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Handles one request line; returns the rendered response and
+    /// whether the session should stop (successful `shutdown`).
+    fn handle_line(
+        &self,
+        model: &CombinedModel<'_, PowerModel>,
+        line: &str,
+    ) -> (String, bool) {
+        let start = Instant::now();
+        Counters::bump(&self.counters.requests);
+        let (id, outcome) = match json::parse(line) {
+            Err(e) => {
+                (Json::Null, Err(ServiceError::usage(format!("malformed request JSON: {e}"))))
+            }
+            Ok(req) => {
+                let id = req.get("id").cloned().unwrap_or(Json::Null);
+                match req.get("op").and_then(Json::as_str) {
+                    None => (id, Err(ServiceError::usage("missing or non-string 'op' field"))),
+                    Some(op) => (id, self.dispatch(model, op, &req)),
+                }
+            }
+        };
+        let mut fields: Vec<(String, Json)> = vec![("id".into(), id)];
+        let mut stop = false;
+        match outcome {
+            Ok((extra, requested_stop)) => {
+                fields.push(("ok".into(), Json::Bool(true)));
+                fields.extend(extra);
+                stop = requested_stop;
+            }
+            Err(e) => {
+                Counters::bump(&self.counters.errors);
+                fields.push(("ok".into(), Json::Bool(false)));
+                fields.push((
+                    "error".into(),
+                    Json::Obj(vec![
+                        ("kind".into(), Json::str(e.kind())),
+                        ("code".into(), Json::Num(f64::from(e.code))),
+                        ("message".into(), Json::str(e.message)),
+                    ]),
+                ));
+            }
+        }
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.latency.record(nanos);
+        (Json::Obj(fields).render(), stop)
+    }
+
+    /// Routes `op` to its handler. Returns the response's op-specific
+    /// fields plus whether the session should stop afterwards.
+    #[allow(clippy::type_complexity)]
+    fn dispatch(
+        &self,
+        model: &CombinedModel<'_, PowerModel>,
+        op: &str,
+        req: &Json,
+    ) -> Result<(Vec<(String, Json)>, bool), ServiceError> {
+        let tagged = |mut extra: Vec<(String, Json)>| {
+            extra.insert(0, ("op".into(), Json::str(op)));
+            extra
+        };
+        match op {
+            "ping" => {
+                Counters::bump(&self.counters.ping);
+                Ok((tagged(Vec::new()), false))
+            }
+            "register" => {
+                Counters::bump(&self.counters.register);
+                self.op_register(req).map(|extra| (tagged(extra), false))
+            }
+            "unregister" => {
+                Counters::bump(&self.counters.unregister);
+                self.op_unregister(req).map(|extra| (tagged(extra), false))
+            }
+            "estimate" => {
+                Counters::bump(&self.counters.estimate);
+                self.op_estimate(model, req).map(|extra| (tagged(extra), false))
+            }
+            "assign" => {
+                Counters::bump(&self.counters.assign);
+                self.op_assign(model, req).map(|extra| (tagged(extra), false))
+            }
+            "stats" => {
+                Counters::bump(&self.counters.stats);
+                Ok((tagged(self.op_stats(model)), false))
+            }
+            "shutdown" => {
+                Counters::bump(&self.counters.shutdown);
+                self.request_shutdown();
+                Ok((tagged(Vec::new()), true))
+            }
+            other => Err(ServiceError::usage(format!(
+                "unknown op '{other}'; expected register, unregister, estimate, assign, \
+                 stats, ping, or shutdown"
+            ))),
+        }
+    }
+
+    fn op_register(&self, req: &Json) -> Result<Vec<(String, Json)>, ServiceError> {
+        let name = str_field(req, "name")?;
+        let text = str_field(req, "profile")?;
+        let profile = persist::read_profile(text.as_bytes())
+            .map_err(ServiceError::from)
+            .map_err(|mut e| {
+                e.message = format!("profile '{name}': {}", e.message);
+                e
+            })?;
+        let fingerprint = profile.feature.content_fingerprint();
+        let replaced = self.register_profile(name, profile)?;
+        Ok(vec![
+            ("name".into(), Json::str(name)),
+            ("replaced".into(), Json::Bool(replaced)),
+            ("fingerprint".into(), Json::str(format!("{fingerprint:016x}"))),
+        ])
+    }
+
+    fn op_unregister(&self, req: &Json) -> Result<Vec<(String, Json)>, ServiceError> {
+        let name = str_field(req, "name")?;
+        if self.write_registry().remove(name).is_none() {
+            return Err(ServiceError::data(format!("no registered profile named '{name}'")));
+        }
+        Ok(vec![("name".into(), Json::str(name))])
+    }
+
+    fn op_estimate(
+        &self,
+        model: &CombinedModel<'_, PowerModel>,
+        req: &Json,
+    ) -> Result<Vec<(String, Json)>, ServiceError> {
+        let spec = req
+            .get("assignment")
+            .ok_or_else(|| ServiceError::usage("missing 'assignment' field"))?;
+        let mut profiles = Vec::new();
+        let mut index = BTreeMap::new();
+        let asg = {
+            let registry = self.read_registry();
+            self.build_assignment(spec, "assignment", &registry, &mut index, &mut profiles)?
+        };
+        let power = model.estimate_processor_power(&profiles, &asg)?;
+        Ok(vec![
+            ("power_w".into(), Json::Num(power)),
+            ("processes".into(), Json::Num(asg.num_processes() as f64)),
+        ])
+    }
+
+    fn op_assign(
+        &self,
+        model: &CombinedModel<'_, PowerModel>,
+        req: &Json,
+    ) -> Result<Vec<(String, Json)>, ServiceError> {
+        let process = str_field(req, "process")?;
+        let cores = self.candidate_cores(req)?;
+        let mut profiles = Vec::new();
+        let mut index = BTreeMap::new();
+        let (current, process_idx) = {
+            let registry = self.read_registry();
+            let current = match req.get("current") {
+                Some(spec) => self.build_assignment(
+                    spec,
+                    "current",
+                    &registry,
+                    &mut index,
+                    &mut profiles,
+                )?,
+                None => Assignment::new(self.machine.num_cores()),
+            };
+            let idx = match index.get(process) {
+                Some(&i) => i,
+                None => {
+                    let p = registry.get(process).ok_or_else(|| {
+                        ServiceError::data(format!("no registered profile named '{process}'"))
+                    })?;
+                    profiles.push(p.clone());
+                    profiles.len() - 1
+                }
+            };
+            (current, idx)
+        };
+        let estimates =
+            model.estimate_candidates(&profiles, &current, process_idx, &cores, self.workers)?;
+        // Best placement: lowest power, ties to the lowest core id (the
+        // candidate list is already validated as strictly increasing).
+        let mut best = 0;
+        for i in 1..cores.len() {
+            if estimates[i] < estimates[best] {
+                best = i;
+            }
+        }
+        let candidates: Vec<Json> = cores
+            .iter()
+            .zip(&estimates)
+            .map(|(&core, &power)| {
+                Json::Obj(vec![
+                    ("core".into(), Json::Num(core as f64)),
+                    ("power_w".into(), Json::Num(power)),
+                ])
+            })
+            .collect();
+        Ok(vec![
+            ("process".into(), Json::str(process)),
+            ("best_core".into(), Json::Num(cores[best] as f64)),
+            ("best_power_w".into(), Json::Num(estimates[best])),
+            ("candidates".into(), Json::Arr(candidates)),
+        ])
+    }
+
+    fn op_stats(&self, model: &CombinedModel<'_, PowerModel>) -> Vec<(String, Json)> {
+        let c = &self.counters;
+        let eq = model.equilibrium_cache_stats();
+        let count = |x: &AtomicU64| Json::Num(Counters::get(x) as f64);
+        let requests = Json::Obj(vec![
+            ("total".into(), count(&c.requests)),
+            ("register".into(), count(&c.register)),
+            ("unregister".into(), count(&c.unregister)),
+            ("estimate".into(), count(&c.estimate)),
+            ("assign".into(), count(&c.assign)),
+            ("stats".into(), count(&c.stats)),
+            ("ping".into(), count(&c.ping)),
+            ("shutdown".into(), count(&c.shutdown)),
+            ("errors".into(), count(&c.errors)),
+        ]);
+        let eq_cache = Json::Obj(vec![
+            ("hits".into(), Json::Num(eq.hits as f64)),
+            ("misses".into(), Json::Num(eq.misses as f64)),
+            ("evictions".into(), Json::Num(eq.evictions as f64)),
+            ("entries".into(), Json::Num(eq.entries as f64)),
+            ("capacity".into(), Json::Num(eq.capacity as f64)),
+        ]);
+        let latency = Json::Obj(vec![
+            ("count".into(), Json::Num(self.latency.count() as f64)),
+            ("p50_ns".into(), Json::Num(self.latency.percentile(0.50) as f64)),
+            ("p90_ns".into(), Json::Num(self.latency.percentile(0.90) as f64)),
+            ("p99_ns".into(), Json::Num(self.latency.percentile(0.99) as f64)),
+        ]);
+        vec![
+            ("requests".into(), requests),
+            ("profiles".into(), Json::Num(self.num_profiles() as f64)),
+            ("eq_cache".into(), eq_cache),
+            ("solver_fallbacks".into(), Json::Num(model.solver_fallbacks() as f64)),
+            ("latency".into(), latency),
+            ("workers".into(), Json::Num(self.workers as f64)),
+        ]
+    }
+
+    /// Parses a `[[name, ...], ...]` per-core assignment spec against
+    /// the registry, reusing `index`/`profiles` so several specs in one
+    /// request share profile indices.
+    fn build_assignment(
+        &self,
+        spec: &Json,
+        field: &str,
+        registry: &BTreeMap<String, ProcessProfile>,
+        index: &mut BTreeMap<String, usize>,
+        profiles: &mut Vec<ProcessProfile>,
+    ) -> Result<Assignment, ServiceError> {
+        let cores = spec.as_arr().ok_or_else(|| {
+            ServiceError::usage(format!("'{field}' must be an array of per-core name arrays"))
+        })?;
+        let num_cores = self.machine.num_cores();
+        if cores.len() > num_cores {
+            return Err(ServiceError::usage(format!(
+                "'{field}' names {} cores but the machine has {num_cores}",
+                cores.len()
+            )));
+        }
+        let mut asg = Assignment::new(num_cores);
+        for (core, queue) in cores.iter().enumerate() {
+            let queue = queue.as_arr().ok_or_else(|| {
+                ServiceError::usage(format!("'{field}' core {core} must be an array of names"))
+            })?;
+            for name in queue {
+                let name = name.as_str().ok_or_else(|| {
+                    ServiceError::usage(format!("'{field}' core {core}: names must be strings"))
+                })?;
+                let idx = match index.get(name) {
+                    Some(&i) => i,
+                    None => {
+                        let p = registry.get(name).ok_or_else(|| {
+                            ServiceError::data(format!("no registered profile named '{name}'"))
+                        })?;
+                        profiles.push(p.clone());
+                        index.insert(name.to_string(), profiles.len() - 1);
+                        profiles.len() - 1
+                    }
+                };
+                asg.assign(core, idx);
+            }
+        }
+        Ok(asg)
+    }
+
+    /// The candidate core list for `assign`: the optional `cores` field,
+    /// validated as strictly increasing and in range; all cores when
+    /// absent.
+    fn candidate_cores(&self, req: &Json) -> Result<Vec<usize>, ServiceError> {
+        let num_cores = self.machine.num_cores();
+        let Some(spec) = req.get("cores") else {
+            return Ok((0..num_cores).collect());
+        };
+        let items = spec
+            .as_arr()
+            .ok_or_else(|| ServiceError::usage("'cores' must be an array of core indices"))?;
+        if items.is_empty() {
+            return Err(ServiceError::usage("'cores' must not be empty"));
+        }
+        let mut cores = Vec::with_capacity(items.len());
+        for item in items {
+            let core = item.as_usize().ok_or_else(|| {
+                ServiceError::usage("'cores' entries must be non-negative integers")
+            })?;
+            if core >= num_cores {
+                return Err(ServiceError::usage(format!(
+                    "core {core} out of range for {num_cores} cores"
+                )));
+            }
+            if cores.last().is_some_and(|&prev| prev >= core) {
+                return Err(ServiceError::usage(
+                    "'cores' must be strictly increasing (no duplicates)",
+                ));
+            }
+            cores.push(core);
+        }
+        Ok(cores)
+    }
+}
+
+fn str_field<'a>(req: &'a Json, field: &str) -> Result<&'a str, ServiceError> {
+    req.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::usage(format!("missing or non-string '{field}' field")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::exit_code;
+    use mpmc_model::feature::FeatureVector;
+    use mpmc_model::histogram::ReuseHistogram;
+    use mpmc_model::spi::SpiModel;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::two_core_workstation()
+    }
+
+    /// A hand-built profile so tests do not need simulation runs.
+    fn synthetic_profile(name: &str, tail: f64, api: f64, m: &MachineConfig) -> ProcessProfile {
+        let head = 1.0 - tail;
+        let hist = ReuseHistogram::new(
+            vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05],
+            tail,
+        )
+        .unwrap();
+        let alpha = api * (m.mem_cycles - m.l2_hit_cycles) as f64 / m.freq_hz;
+        let beta = (m.cpi_base + api * m.l2_hit_cycles as f64) / m.freq_hz;
+        let feature = FeatureVector::new(
+            name,
+            hist,
+            api,
+            SpiModel::new(alpha, beta).unwrap(),
+            m.l2_assoc(),
+        )
+        .unwrap();
+        ProcessProfile {
+            feature,
+            l1rpi: 0.35,
+            l2rpi: api,
+            brpi: 0.2,
+            fppi: 0.1,
+            processor_alone_w: 60.0,
+            idle_processor_w: 44.0,
+        }
+    }
+
+    fn power_model() -> PowerModel {
+        PowerModel::from_parts(10.0, vec![2e-7, 1e-6, 3e-6, 1e-7, 1e-7]).unwrap()
+    }
+
+    fn profile_text(p: &ProcessProfile) -> String {
+        let mut buf = Vec::new();
+        persist::write_profile(p, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    fn service() -> PredictionService {
+        PredictionService::new(machine(), power_model(), 1, 64)
+    }
+
+    fn ask(svc: &PredictionService, model: &CombinedModel<'_, PowerModel>, req: &str) -> Json {
+        let (response, _) = svc.handle_line(model, req);
+        json::parse(&response).unwrap()
+    }
+
+    fn register_req(id: u32, name: &str, text: &str) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::Num(f64::from(id))),
+            ("op".into(), Json::str("register")),
+            ("name".into(), Json::str(name)),
+            ("profile".into(), Json::str(text)),
+        ])
+        .render()
+    }
+
+    #[test]
+    fn register_estimate_assign_flow() {
+        let svc = service();
+        let model = svc.model();
+        let m = machine();
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+
+        let resp = ask(&svc, &model, &register_req(1, "a", &profile_text(&a)));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("id").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(resp.get("replaced"), Some(&Json::Bool(false)));
+        let resp = ask(&svc, &model, &register_req(2, "b", &profile_text(&b)));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(svc.num_profiles(), 2);
+
+        // Estimate a concrete two-core placement.
+        let resp = ask(
+            &svc,
+            &model,
+            r#"{"id":3,"op":"estimate","assignment":[["a"],["b"]]}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        let power = resp.get("power_w").and_then(Json::as_f64).unwrap();
+        assert!(power.is_finite() && power > 0.0);
+
+        // Assign must agree bit-for-bit with a direct CombinedModel call.
+        let resp = ask(
+            &svc,
+            &model,
+            r#"{"id":4,"op":"assign","process":"b","current":[["a"]]}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        let best_core = resp.get("best_core").and_then(Json::as_usize).unwrap();
+        let best_power = resp.get("best_power_w").and_then(Json::as_f64).unwrap();
+        let reference = CombinedModel::new(&m, &svc.power);
+        let mut current = Assignment::new(2);
+        current.assign(0, 0);
+        let profiles = vec![a.clone(), b.clone()];
+        let expect: Vec<f64> = (0..2)
+            .map(|core| {
+                reference.estimate_after_assigning(&profiles, &current, 1, core).unwrap()
+            })
+            .collect();
+        let expect_best = if expect[1] < expect[0] { 1 } else { 0 };
+        assert_eq!(best_core, expect_best);
+        assert_eq!(best_power.to_bits(), expect[expect_best].to_bits());
+        let candidates = resp.get("candidates").and_then(Json::as_arr).unwrap();
+        assert_eq!(candidates.len(), 2);
+        for (core, cand) in candidates.iter().enumerate() {
+            let got = cand.get("power_w").and_then(Json::as_f64).unwrap();
+            assert_eq!(got.to_bits(), expect[core].to_bits(), "core {core}");
+        }
+
+        // Stats reflect the traffic.
+        let resp = ask(&svc, &model, r#"{"id":5,"op":"stats"}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let requests = resp.get("requests").unwrap();
+        assert_eq!(requests.get("register").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(requests.get("assign").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(requests.get("errors").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(resp.get("profiles").and_then(Json::as_usize), Some(2));
+        let eq = resp.get("eq_cache").unwrap();
+        assert!(eq.get("misses").and_then(Json::as_f64).unwrap() >= 1.0);
+        // The stats request itself is timed after its snapshot is built,
+        // so the count covers the four preceding requests.
+        let latency = resp.get("latency").unwrap();
+        assert!(latency.get("count").and_then(Json::as_f64).unwrap() >= 4.0);
+        assert!(latency.get("p50_ns").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn error_responses_carry_the_taxonomy() {
+        let svc = service();
+        let model = svc.model();
+        // Malformed JSON -> usage, id null.
+        let resp = ask(&svc, &model, "{not json");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(resp.get("id"), Some(&Json::Null));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_f64), Some(f64::from(exit_code::USAGE)));
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("usage"));
+        // Unknown op -> usage, id echoed.
+        let resp = ask(&svc, &model, r#"{"id":"x","op":"frobnicate"}"#);
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("x"));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_f64), Some(f64::from(exit_code::USAGE)));
+        // Unknown profile -> invalid data.
+        let resp = ask(&svc, &model, r#"{"id":1,"op":"assign","process":"ghost"}"#);
+        let err = resp.get("error").unwrap();
+        assert_eq!(
+            err.get("code").and_then(Json::as_f64),
+            Some(f64::from(exit_code::INVALID_DATA))
+        );
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("invalid_data"));
+        // Bad profile text -> invalid data.
+        let resp = ask(&svc, &model, &register_req(2, "bad", "mpmc-profile v9\n"));
+        let err = resp.get("error").unwrap();
+        assert_eq!(
+            err.get("code").and_then(Json::as_f64),
+            Some(f64::from(exit_code::INVALID_DATA))
+        );
+        // Too many cores in an assignment -> usage.
+        let resp =
+            ask(&svc, &model, r#"{"id":3,"op":"estimate","assignment":[[],[],[]]}"#);
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_f64), Some(f64::from(exit_code::USAGE)));
+        // Bad candidate lists -> usage.
+        for cores in ["[]", "[0,0]", "[1,0]", "[9]", "[0.5]"] {
+            let req = format!(r#"{{"id":4,"op":"assign","process":"ghost","cores":{cores}}}"#);
+            let resp = ask(&svc, &model, &req);
+            let err = resp.get("error").unwrap();
+            assert_eq!(
+                err.get("code").and_then(Json::as_f64),
+                Some(f64::from(exit_code::USAGE)),
+                "cores={cores}"
+            );
+        }
+        // Errors were counted.
+        let resp = ask(&svc, &model, r#"{"op":"stats"}"#);
+        assert_eq!(
+            resp.get("requests").unwrap().get("errors").and_then(Json::as_f64),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn register_rejects_mismatched_associativity() {
+        let svc = service();
+        let other = MachineConfig::four_core_server();
+        assert_ne!(other.l2_assoc(), machine().l2_assoc());
+        let p = synthetic_profile("wrong", 0.3, 0.02, &other);
+        let err = svc.register_profile("wrong", p).unwrap_err();
+        assert_eq!(err.code, exit_code::INVALID_DATA);
+        assert!(svc.register_profile("", synthetic_profile("x", 0.3, 0.02, &machine())).is_err());
+    }
+
+    #[test]
+    fn unregister_and_replace() {
+        let svc = service();
+        let model = svc.model();
+        let m = machine();
+        let text = profile_text(&synthetic_profile("a", 0.4, 0.03, &m));
+        assert_eq!(
+            ask(&svc, &model, &register_req(1, "a", &text)).get("replaced"),
+            Some(&Json::Bool(false))
+        );
+        assert_eq!(
+            ask(&svc, &model, &register_req(2, "a", &text)).get("replaced"),
+            Some(&Json::Bool(true))
+        );
+        let resp = ask(&svc, &model, r#"{"id":3,"op":"unregister","name":"a"}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(svc.num_profiles(), 0);
+        let resp = ask(&svc, &model, r#"{"id":4,"op":"unregister","name":"a"}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn stdio_session_runs_to_shutdown() {
+        let svc = service();
+        let m = machine();
+        let text = profile_text(&synthetic_profile("a", 0.4, 0.03, &m));
+        let mut script = String::new();
+        script.push_str(&register_req(1, "a", &text));
+        script.push('\n');
+        script.push('\n'); // blank lines are skipped
+        script.push_str(r#"{"id":2,"op":"ping"}"#);
+        script.push('\n');
+        script.push_str(r#"{"id":3,"op":"shutdown"}"#);
+        script.push('\n');
+        script.push_str(r#"{"id":4,"op":"ping"}"#); // after shutdown: not served
+        script.push('\n');
+        let mut out = Vec::new();
+        svc.run_stdio(script.as_bytes(), &mut out).unwrap();
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3, "shutdown ends the session");
+        assert!(lines.iter().all(|r| r.get("ok") == Some(&Json::Bool(true))));
+        assert_eq!(lines[2].get("op").and_then(Json::as_str), Some("shutdown"));
+        assert!(svc.is_shutdown());
+    }
+
+    #[test]
+    fn estimate_with_duplicate_name_shares_one_profile() {
+        let svc = service();
+        let model = svc.model();
+        let m = machine();
+        let text = profile_text(&synthetic_profile("a", 0.4, 0.03, &m));
+        ask(&svc, &model, &register_req(1, "a", &text));
+        // The same process time-shared against itself on one core.
+        let resp = ask(
+            &svc,
+            &model,
+            r#"{"id":2,"op":"estimate","assignment":[["a","a"]]}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("processes").and_then(Json::as_usize), Some(2));
+    }
+}
