@@ -30,11 +30,8 @@ fn bench_train(c: &mut Criterion) {
 fn bench_predict(c: &mut Criterion) {
     let machine = MachineConfig::four_core_server();
     let obs = synthetic_observations(&machine, 200);
-    let nn = NnPowerModel::fit(
-        &obs,
-        TrainOptions { hidden: 8, epochs: 100, ..Default::default() },
-    )
-    .expect("train");
+    let nn = NnPowerModel::fit(&obs, TrainOptions { hidden: 8, epochs: 100, ..Default::default() })
+        .expect("train");
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
     let r = random_rates(&mut rng);
     c.bench_function("nn/predict_core", |b| b.iter(|| nn.predict_core(black_box(&r))));

@@ -15,9 +15,7 @@ fn bench_predict(c: &mut Criterion) {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
     let rates: Vec<_> = (0..4).map(|_| random_rates(&mut rng)).collect();
 
-    c.bench_function("power/predict_core", |b| {
-        b.iter(|| model.predict_core(black_box(&rates[0])))
-    });
+    c.bench_function("power/predict_core", |b| b.iter(|| model.predict_core(black_box(&rates[0]))));
     c.bench_function("power/predict_processor_4core", |b| {
         b.iter(|| model.predict_processor(black_box(&rates)))
     });
@@ -31,12 +29,7 @@ fn bench_sample_stream(c: &mut Criterion) {
     let stream: Vec<Vec<_>> =
         (0..33).map(|_| (0..4).map(|_| random_rates(&mut rng)).collect()).collect();
     c.bench_function("power/validate_33_samples", |b| {
-        b.iter(|| {
-            stream
-                .iter()
-                .map(|rates| model.predict_processor(black_box(rates)))
-                .sum::<f64>()
-        })
+        b.iter(|| stream.iter().map(|rates| model.predict_processor(black_box(rates))).sum::<f64>())
     });
 }
 

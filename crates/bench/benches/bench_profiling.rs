@@ -12,8 +12,12 @@ fn tiny_machine() -> MachineConfig {
 }
 
 fn bench_profile(c: &mut Criterion) {
-    let profiler = Profiler::new(tiny_machine())
-        .with_options(ProfileOptions { duration_s: 0.15, warmup_s: 0.05, seed: 1, ..Default::default() });
+    let profiler = Profiler::new(tiny_machine()).with_options(ProfileOptions {
+        duration_s: 0.15,
+        warmup_s: 0.05,
+        seed: 1,
+        ..Default::default()
+    });
     let params = SpecWorkload::Twolf.params();
     let mut group = c.benchmark_group("profiling");
     group.sample_size(10);

@@ -13,8 +13,12 @@ fn run(machine: &MachineConfig, pairs: &[(usize, SpecWorkload)], duration_s: f64
     for (i, &(core, w)) in pairs.iter().enumerate() {
         pl.assign(
             core,
-            ProcessSpec::new(w.name(), Box::new(w.params().generator(machine.l2_sets, i as u64 + 1))),
-        ).unwrap();
+            ProcessSpec::new(
+                w.name(),
+                Box::new(w.params().generator(machine.l2_sets, i as u64 + 1)),
+            ),
+        )
+        .unwrap();
     }
     let r = simulate(
         machine,

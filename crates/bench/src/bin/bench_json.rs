@@ -78,6 +78,8 @@ fn measure<F: FnMut() -> u64>(reps: usize, mut op: F) -> (f64, u64) {
     let mut times = Vec::with_capacity(reps);
     let mut units = 0u64;
     for _ in 0..reps {
+        // Bench harness: timing the operation is the whole point.
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         units = op();
         times.push(start.elapsed().as_secs_f64());
@@ -86,7 +88,13 @@ fn measure<F: FnMut() -> u64>(reps: usize, mut op: F) -> (f64, u64) {
     (times[times.len() / 2], units)
 }
 
-fn entry(name: impl Into<String>, median_s: f64, units: u64, unit: Option<&'static str>, reps: usize) -> Entry {
+fn entry(
+    name: impl Into<String>,
+    median_s: f64,
+    units: u64,
+    unit: Option<&'static str>,
+    reps: usize,
+) -> Entry {
     let per_op_s = median_s / units.max(1) as f64;
     Entry {
         name: name.into(),
@@ -123,7 +131,11 @@ fn write_suite(cfg: &Config, suite: &str, entries: &[Entry]) {
             e.reps
         );
         if let (Some(unit), Some(tp)) = (e.throughput_unit, e.throughput_per_s) {
-            let _ = write!(fields, ", \"throughput_unit\": \"{}\", \"throughput_per_s\": {:.1}", unit, tp);
+            let _ = write!(
+                fields,
+                ", \"throughput_unit\": \"{}\", \"throughput_per_s\": {:.1}",
+                unit, tp
+            );
         }
         let _ = writeln!(out, "    {{ {fields} }}{comma}");
     }
@@ -147,7 +159,10 @@ fn sim_co_run(machine: &MachineConfig, pairs: &[(usize, SpecWorkload)], duration
     for (i, &(core, w)) in pairs.iter().enumerate() {
         pl.assign(
             core,
-            ProcessSpec::new(w.name(), Box::new(w.params().generator(machine.l2_sets, i as u64 + 1))),
+            ProcessSpec::new(
+                w.name(),
+                Box::new(w.params().generator(machine.l2_sets, i as u64 + 1)),
+            ),
         )
         .expect("core in range");
     }
@@ -180,13 +195,20 @@ fn bench_simulator(cfg: &Config) {
 }
 
 fn bench_profiling(cfg: &Config) {
-    let machine = MachineConfig { l2_sets: 64, l2_assoc: 8, ..MachineConfig::two_core_workstation() };
+    let machine =
+        MachineConfig { l2_sets: 64, l2_assoc: 8, ..MachineConfig::two_core_workstation() };
     // Tiny mode still needs enough simulated time for a usable profile
     // (too-short runs yield no occupancy points).
     let duration = if cfg.tiny { 0.06 } else { 0.15 };
     let warmup = if cfg.tiny { 0.02 } else { 0.05 };
     let reps = if cfg.tiny { 2 } else { 5 };
-    let opts = |workers| ProfileOptions { duration_s: duration, warmup_s: warmup, seed: 1, workers, ..Default::default() };
+    let opts = |workers| ProfileOptions {
+        duration_s: duration,
+        warmup_s: warmup,
+        seed: 1,
+        workers,
+        ..Default::default()
+    };
     let suite: Vec<_> =
         [SpecWorkload::Mcf, SpecWorkload::Gzip, SpecWorkload::Art, SpecWorkload::Twolf]
             .iter()
@@ -202,16 +224,18 @@ fn bench_profiling(cfg: &Config) {
     });
     entries.push(entry("profile_single_8way_tiny", ts, 1, Some("profiles/s"), reps));
 
-    let (t1, n1) = measure(reps, || {
-        profiler1.profile_batch(&suite).expect("batch").len() as u64
-    });
+    let (t1, n1) = measure(reps, || profiler1.profile_batch(&suite).expect("batch").len() as u64);
     entries.push(entry("profile_batch/workers=1", t1, n1, Some("profiles/s"), reps));
 
     let profiler_n = Profiler::new(machine.clone()).with_options(opts(cfg.workers));
-    let (tn, nn) = measure(reps, || {
-        profiler_n.profile_batch(&suite).expect("batch").len() as u64
-    });
-    entries.push(entry(format!("profile_batch/workers={}", cfg.workers), tn, nn, Some("profiles/s"), reps));
+    let (tn, nn) = measure(reps, || profiler_n.profile_batch(&suite).expect("batch").len() as u64);
+    entries.push(entry(
+        format!("profile_batch/workers={}", cfg.workers),
+        tn,
+        nn,
+        Some("profiles/s"),
+        reps,
+    ));
 
     write_suite(cfg, "profiling", &entries);
 }

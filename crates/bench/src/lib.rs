@@ -5,6 +5,10 @@
 //! framework's own costs: equilibrium solves, power evaluation, the
 //! combined Fig. 1 estimator, profiling, and the simulator substrate.
 
+// The models need no unsafe code anywhere; enforced by mpmc-lint's
+// unsafe_audit rule workspace-wide.
+#![forbid(unsafe_code)]
+
 use cmpsim::hpc::EventRates;
 use cmpsim::machine::MachineConfig;
 use mpmc_model::feature::FeatureVector;
@@ -41,12 +45,23 @@ pub fn synthetic_feature(
     let hist = synthetic_histogram(depth, tail, 0.8);
     let alpha = api * (machine.mem_cycles - machine.l2_hit_cycles) as f64 / machine.freq_hz;
     let beta = (machine.cpi_base + api * machine.l2_hit_cycles as f64) / machine.freq_hz;
-    FeatureVector::new(name, hist, api, SpiModel::new(alpha, beta).expect("valid"), machine.l2_assoc())
-        .expect("valid feature")
+    FeatureVector::new(
+        name,
+        hist,
+        api,
+        SpiModel::new(alpha, beta).expect("valid"),
+        machine.l2_assoc(),
+    )
+    .expect("valid feature")
 }
 
 /// A full synthetic process profile for the combined-model benches.
-pub fn synthetic_profile(name: &str, machine: &MachineConfig, tail: f64, api: f64) -> ProcessProfile {
+pub fn synthetic_profile(
+    name: &str,
+    machine: &MachineConfig,
+    tail: f64,
+    api: f64,
+) -> ProcessProfile {
     ProcessProfile {
         feature: synthetic_feature(name, machine, 12, tail, api),
         l1rpi: 0.35,

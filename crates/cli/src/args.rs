@@ -40,9 +40,8 @@ impl ParsedArgs {
                 let (key, value) = match name.split_once('=') {
                     Some((k, v)) => (k.to_string(), v.to_string()),
                     None => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| format!("option --{name} needs a value"))?;
+                        let v =
+                            it.next().ok_or_else(|| format!("option --{name} needs a value"))?;
                         (name.to_string(), v)
                     }
                 };
@@ -74,9 +73,9 @@ impl ParsedArgs {
     pub fn opt_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.opt(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse::<T>()
-                .map_err(|_| format!("option --{name}: cannot parse '{raw}'")),
+            Some(raw) => {
+                raw.parse::<T>().map_err(|_| format!("option --{name}: cannot parse '{raw}'"))
+            }
         }
     }
 

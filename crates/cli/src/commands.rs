@@ -3,13 +3,13 @@
 
 use crate::args::ParsedArgs;
 use crate::resolve::{self, CliError};
-use mpmc_model::perf::SolverKind;
 use cmpsim::engine::{simulate, Placement, SimOptions};
 use cmpsim::process::ProcessSpec;
 use cmpsim::trace::{miss_ratio_curve, stack_distance_histogram, Trace, TraceRecorder};
 use cmpsim::types::LineAddr;
 use mpmc_model::assignment::{Assignment, CombinedModel};
 use mpmc_model::perf::PerformanceModel;
+use mpmc_model::perf::SolverKind;
 use mpmc_model::persist;
 use mpmc_model::power::{build_training_set, CorePowerModel, TrainingOptions};
 use mpmc_model::profile::Profiler;
@@ -55,6 +55,11 @@ commands:
                                         (register/estimate/assign/stats)
                                         over TCP, or stdin/stdout with
                                         --stdio; see README \"Serving\"
+  lint [--format text|json] [--config FILE]
+                                        run the workspace static analyzer
+                                        (mpmc-lint) from the enclosing
+                                        workspace root; see README
+                                        \"Static analysis\"
 
 assignment syntax: per-core lists, ';' between cores, ',' within a core,
 e.g. \"mcf,art;gzip\" = mcf+art time-shared on core 0, gzip on core 1.
@@ -65,7 +70,8 @@ positive (omit the flag for auto).
 exit codes: 0 success, 2 usage, 3 invalid input data (bad profile/trace/
 histogram), 4 solver or simulation failure, 5 I/O failure, 6 degraded
 result rejected by --strict, 7 validation divergence (the model-vs-
-simulator sweep completed but disagreed beyond tolerance).
+simulator sweep completed but disagreed beyond tolerance), 8 unwaived
+deny-level lint findings.
 ";
 
 fn machine_from(args: &ParsedArgs) -> Result<cmpsim::machine::MachineConfig, CliError> {
@@ -100,8 +106,7 @@ pub fn machines() -> String {
 
 /// `mpmc workloads`
 pub fn workloads_cmd() -> String {
-    let mut out =
-        String::from("workload   API      L1RPI  BRPI   FPPI   reuse depth  streaming\n");
+    let mut out = String::from("workload   API      L1RPI  BRPI   FPPI   reuse depth  streaming\n");
     for w in SpecWorkload::duo_suite() {
         let p = w.params();
         out.push_str(&format!(
@@ -124,22 +129,16 @@ pub fn workloads_cmd() -> String {
 ///
 /// Returns a display-ready message on any failure.
 pub fn profile(args: &ParsedArgs) -> Result<String, CliError> {
-    let name = args
-        .positionals()
-        .first()
-        .ok_or("profile: which workload? (try 'mpmc workloads')")?;
+    let name =
+        args.positionals().first().ok_or("profile: which workload? (try 'mpmc workloads')")?;
     let machine = machine_from(args)?;
     let w = resolve::workload(name)?;
-    let profiler = Profiler::new(machine.clone())
-        .with_options(resolve::profile_options(args.flag("fast")));
+    let profiler =
+        Profiler::new(machine.clone()).with_options(resolve::profile_options(args.flag("fast")));
     let prof = profiler.profile_full(&w.params()).map_err(CliError::from)?;
 
-    let mut out = format!(
-        "profiled '{}' on {} ({} runs)\n",
-        name,
-        machine.name,
-        machine.l2_assoc()
-    );
+    let mut out =
+        format!("profiled '{}' on {} ({} runs)\n", name, machine.name, machine.l2_assoc());
     out.push_str(&format!(
         "API {:.4}  alpha {:.3e}  beta {:.3e}\n",
         prof.feature.api(),
@@ -156,10 +155,8 @@ pub fn profile(args: &ParsedArgs) -> Result<String, CliError> {
     }
     out.push('\n');
     if let Some(path) = args.opt("out") {
-        let file =
-            std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
-        persist::write_profile(&prof, file)
-            .map_err(|e| CliError::io(format!("{path}: {e}")))?;
+        let file = std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+        persist::write_profile(&prof, file).map_err(|e| CliError::io(format!("{path}: {e}")))?;
         out.push_str(&format!("saved to {path}\n"));
     }
     Ok(out)
@@ -193,12 +190,12 @@ pub fn predict(args: &ParsedArgs) -> Result<String, CliError> {
         )));
     }
 
-    let mut out = format!(
-        "equilibrium on a {}-way shared cache ({}):\n",
-        machine.l2_assoc(),
-        machine.name
-    );
-    out.push_str(&format!("{:<12}{:>8}{:>9}{:>13}{:>14}\n", "process", "ways", "MPA", "SPI", "IPS"));
+    let mut out =
+        format!("equilibrium on a {}-way shared cache ({}):\n", machine.l2_assoc(), machine.name);
+    out.push_str(&format!(
+        "{:<12}{:>8}{:>9}{:>13}{:>14}\n",
+        "process", "ways", "MPA", "SPI", "IPS"
+    ));
     for (i, fv) in features.iter().enumerate() {
         out.push_str(&format!(
             "{:<12}{:>8.2}{:>9.3}{:>13.3e}{:>14.3e}\n",
@@ -248,8 +245,7 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
         model.coefficients()
     ));
     if let Some(path) = args.opt("out") {
-        let file =
-            std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+        let file = std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
         persist::write_power_model(&model, file)
             .map_err(|e| CliError::io(format!("{path}: {e}")))?;
         out.push_str(&format!("saved to {path}\n"));
@@ -283,8 +279,7 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
                 microbench_duration_s: if fast { 1.0 } else { 2.4 },
                 ..Default::default()
             };
-            let suite: Vec<_> =
-                SpecWorkload::table1_suite().iter().map(|w| w.params()).collect();
+            let suite: Vec<_> = SpecWorkload::table1_suite().iter().map(|w| w.params()).collect();
             let obs = build_training_set(&machine, &suite, &opts).map_err(CliError::from)?;
             mpmc_model::power::PowerModel::fit_mvlr(&obs).map_err(CliError::from)?
         }
@@ -302,10 +297,8 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
     if specs.is_empty() {
         return Err("estimate: the assignment is empty".into());
     }
-    let profiles: Vec<_> = specs
-        .iter()
-        .map(|s| resolve::profile(s, &machine, fast))
-        .collect::<Result<_, _>>()?;
+    let profiles: Vec<_> =
+        specs.iter().map(|s| resolve::profile(s, &machine, fast)).collect::<Result<_, _>>()?;
     let mut asg = Assignment::new(machine.num_cores());
     for (core, q) in per_core.iter().enumerate() {
         for s in q {
@@ -317,8 +310,7 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
     }
 
     let combined = CombinedModel::new(&machine, &power);
-    let total =
-        combined.estimate_processor_power(&profiles, &asg).map_err(CliError::from)?;
+    let total = combined.estimate_processor_power(&profiles, &asg).map_err(CliError::from)?;
     let mut out = format!("combined-model estimate for \"{assign}\" on {}:\n", machine.name);
     for die in 0..machine.dies {
         let die_power = combined
@@ -412,14 +404,11 @@ pub fn trace(args: &ParsedArgs) -> Result<String, CliError> {
     for _ in 0..steps {
         cmpsim::process::AccessGenerator::next_step(&mut rec, &mut rng);
     }
-    let trace = handle
-        .lock()
-        .map_err(|_| CliError::solver("trace: recorder buffer poisoned"))?
-        .clone();
+    let trace =
+        handle.lock().map_err(|_| CliError::solver("trace: recorder buffer poisoned"))?.clone();
     let mut out = format!("recorded {} steps of '{name}'\n", trace.len());
     if let Some(path) = args.opt("out") {
-        let file =
-            std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+        let file = std::fs::File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
         trace.write_text(file).map_err(|e| CliError::io(format!("{path}: {e}")))?;
         out.push_str(&format!("saved to {path}\n"));
     } else {
@@ -527,8 +516,8 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     let power_path = args
         .opt("power")
         .ok_or("serve: --power FILE is required (train one with 'mpmc train --out FILE')")?;
-    let file = std::fs::File::open(power_path)
-        .map_err(|e| CliError::io(format!("{power_path}: {e}")))?;
+    let file =
+        std::fs::File::open(power_path).map_err(|e| CliError::io(format!("{power_path}: {e}")))?;
     let power =
         persist::read_power_model(file).map_err(|e| CliError::from(e).context(power_path))?;
     // Resolve the worker count once, up front: the flag beats
@@ -560,6 +549,44 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(format!("service on {local} stopped after shutdown request\n"))
 }
 
+/// `mpmc lint [--format text|json] [--config FILE]`
+///
+/// Runs the workspace static analyzer from the enclosing workspace root
+/// (found by walking up from the current directory). `--config` defaults
+/// to `<root>/lint.toml` when that file exists.
+fn lint_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    let format = args.opt("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(CliError::usage(format!("--format must be text or json, got '{format}'")));
+    }
+    let cwd = std::env::current_dir().map_err(|e| CliError::io(format!("getcwd: {e}")))?;
+    let root = mpmc_lint::find_workspace_root(&cwd).map_err(CliError::io)?;
+    let mut cfg = mpmc_lint::Config::default();
+    match args.opt("config") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+            cfg.apply_toml(&text).map_err(CliError::data)?;
+        }
+        None => {
+            let default = root.join("lint.toml");
+            if default.is_file() {
+                let text = std::fs::read_to_string(&default)
+                    .map_err(|e| CliError::io(format!("{}: {e}", default.display())))?;
+                cfg.apply_toml(&text).map_err(CliError::data)?;
+            }
+        }
+    }
+    let report = mpmc_lint::run(&root, &cfg).map_err(CliError::io)?;
+    let rendered = if format == "json" { report.render_json() } else { report.render_text() };
+    if report.exit_code() == 0 {
+        Ok(rendered)
+    } else {
+        // The findings themselves are the error message; stderr + exit 8.
+        Err(CliError::lint(rendered))
+    }
+}
+
 /// Dispatches a full command line (without the program name).
 ///
 /// # Errors
@@ -585,6 +612,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "mrc" => mrc(&args),
         "validate" => validate(&args),
         "serve" => serve(&args),
+        "lint" => lint_cmd(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
@@ -651,6 +679,22 @@ mod tests {
     }
 
     #[test]
+    fn lint_subcommand_runs_clean_on_this_workspace() {
+        let out = run(&["lint"]).expect("the workspace must stay lint-clean");
+        assert!(out.contains("0 errors"), "{out}");
+        let out = run(&["lint", "--format", "json"]).expect("json format");
+        assert!(
+            out.contains("\"tool\": \"mpmc-lint\"") || out.contains("\"tool\":\"mpmc-lint\""),
+            "{out}"
+        );
+        assert_eq!(run(&["lint", "--format", "yaml"]).unwrap_err().code, exit_code::USAGE);
+        assert_eq!(
+            run(&["lint", "--config", "/nonexistent-lint.toml"]).unwrap_err().code,
+            exit_code::IO
+        );
+    }
+
+    #[test]
     fn simulate_small_machine() {
         let out = run(&[
             "simulate",
@@ -674,10 +718,8 @@ mod tests {
     fn trace_and_mrc_roundtrip() {
         let path = std::env::temp_dir().join("mpmc_cli_trace_test.txt");
         let path_s = path.to_str().unwrap();
-        let out = run(&[
-            "trace", "twolf", "--steps", "3000", "--out", path_s, "--sets", "32",
-        ])
-        .unwrap();
+        let out =
+            run(&["trace", "twolf", "--steps", "3000", "--out", path_s, "--sets", "32"]).unwrap();
         assert!(out.contains("recorded 3000"));
         let out = run(&["mrc", path_s, "--sets", "32", "--assoc", "8"]).unwrap();
         assert!(out.contains("miss ratio"));
@@ -697,10 +739,8 @@ mod tests {
         assert!(json.contains("\"mixes\""));
         let _ = std::fs::remove_file(&path);
         // Unwritable report path is an I/O failure.
-        let err = run(&[
-            "validate", "--tiny", "--mixes", "2", "--out", "/nonexistent-dir/v.json",
-        ])
-        .unwrap_err();
+        let err = run(&["validate", "--tiny", "--mixes", "2", "--out", "/nonexistent-dir/v.json"])
+            .unwrap_err();
         assert_eq!(err.code, exit_code::IO);
     }
 
@@ -738,15 +778,22 @@ mod tests {
         let path = std::env::temp_dir().join("mpmc_cli_prof_test.txt");
         let path_s = path.to_str().unwrap();
         let out = run(&[
-            "profile", "gzip", "--machine", "workstation", "--sets", "32", "--fast", "--out",
+            "profile",
+            "gzip",
+            "--machine",
+            "workstation",
+            "--sets",
+            "32",
+            "--fast",
+            "--out",
             path_s,
         ])
         .unwrap();
         assert!(out.contains("API"));
         assert!(out.contains("saved"));
         // The saved profile feeds predict.
-        let out = run(&["predict", path_s, "mcf", "--machine", "workstation", "--sets", "32"])
-            .unwrap();
+        let out =
+            run(&["predict", path_s, "mcf", "--machine", "workstation", "--sets", "32"]).unwrap();
         assert!(out.contains("gzip"));
         let _ = std::fs::remove_file(&path);
     }

@@ -8,6 +8,9 @@
 //! estimate against the simulator. Commands are plain functions returning
 //! their output text, so everything is unit-testable.
 
+// The models need no unsafe code anywhere; enforced by mpmc-lint's
+// unsafe_audit rule workspace-wide.
+#![forbid(unsafe_code)]
 // Command code must report failures through `CliError` (with its exit-code
 // taxonomy), never panic; tests may still unwrap freely.
 #![warn(clippy::unwrap_used)]

@@ -4,9 +4,9 @@
 use crate::args::ParsedArgs;
 use cmpsim::machine::MachineConfig;
 use mpmc_model::feature::FeatureVector;
-use mpmc_model::ModelError;
 use mpmc_model::persist;
 use mpmc_model::profile::{ProcessProfile, ProfileOptions, Profiler};
+use mpmc_model::ModelError;
 use std::fmt;
 use workloads::spec::SpecWorkload;
 
@@ -62,6 +62,11 @@ impl CliError {
         Self::new(exit_code::DIVERGENCE, message)
     }
 
+    /// Unwaived deny-level lint findings ([`exit_code::LINT`]).
+    pub fn lint(message: impl Into<String>) -> Self {
+        Self::new(exit_code::LINT, message)
+    }
+
     /// Prefixes the message with `context` (typically the offending
     /// file or spec), keeping the exit code.
     #[must_use]
@@ -113,13 +118,11 @@ pub fn workers(args: &ParsedArgs) -> Result<usize, CliError> {
     match args.opt("workers") {
         None => Ok(0),
         Some(raw) => match raw.parse::<usize>() {
-            Ok(0) => Err(CliError::usage(
-                "option --workers must be at least 1 (omit the flag for auto)",
-            )),
-            Ok(n) => Ok(n),
-            Err(_) => {
-                Err(CliError::usage(format!("option --workers: cannot parse '{raw}'")))
+            Ok(0) => {
+                Err(CliError::usage("option --workers must be at least 1 (omit the flag for auto)"))
             }
+            Ok(n) => Ok(n),
+            Err(_) => Err(CliError::usage(format!("option --workers: cannot parse '{raw}'"))),
         },
     }
 }
@@ -158,16 +161,10 @@ pub fn machine(name: &str, sets_override: Option<usize>) -> Result<MachineConfig
 ///
 /// Returns a message listing valid names for an unknown workload.
 pub fn workload(name: &str) -> Result<SpecWorkload, CliError> {
-    SpecWorkload::duo_suite()
-        .into_iter()
-        .find(|w| w.name() == name)
-        .ok_or_else(|| {
-            let names: Vec<&str> = SpecWorkload::duo_suite().iter().map(|w| w.name()).collect();
-            CliError::usage(format!(
-                "unknown workload '{name}'; choose one of {}",
-                names.join(", ")
-            ))
-        })
+    SpecWorkload::duo_suite().into_iter().find(|w| w.name() == name).ok_or_else(|| {
+        let names: Vec<&str> = SpecWorkload::duo_suite().iter().map(|w| w.name()).collect();
+        CliError::usage(format!("unknown workload '{name}'; choose one of {}", names.join(", ")))
+    })
 }
 
 /// Profiling options for CLI runs (`--fast` trades accuracy for speed).
@@ -185,10 +182,7 @@ pub fn profile_options(fast: bool) -> ProfileOptions {
 /// # Errors
 ///
 /// Returns a message for unknown specs or unreadable/mismatched files.
-pub fn feature(
-    spec: &str,
-    machine: &MachineConfig,
-) -> Result<FeatureVector, CliError> {
+pub fn feature(spec: &str, machine: &MachineConfig) -> Result<FeatureVector, CliError> {
     if std::path::Path::new(spec).exists() {
         let file = std::fs::File::open(spec).map_err(|e| CliError::io(format!("{spec}: {e}")))?;
         let fv = persist::read_feature(file).map_err(|e| CliError::from(e).context(spec))?;
@@ -200,8 +194,7 @@ pub fn feature(
         return Ok(fv);
     }
     let w = workload(spec)?;
-    FeatureVector::from_workload(&w.params(), machine)
-        .map_err(|e| CliError::from(e).context(spec))
+    FeatureVector::from_workload(&w.params(), machine).map_err(|e| CliError::from(e).context(spec))
 }
 
 /// Resolves a full process-profile spec: an existing file or a built-in
@@ -236,18 +229,11 @@ pub fn profile(
 /// # Errors
 ///
 /// Returns a message when more cores are named than the machine has.
-pub fn assignment_string(
-    spec: &str,
-    num_cores: usize,
-) -> Result<Vec<Vec<String>>, CliError> {
+pub fn assignment_string(spec: &str, num_cores: usize) -> Result<Vec<Vec<String>>, CliError> {
     let mut per_core: Vec<Vec<String>> = spec
         .split(';')
         .map(|core| {
-            core.split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(str::to_string)
-                .collect()
+            core.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect()
         })
         .collect();
     if per_core.len() > num_cores {
@@ -297,6 +283,7 @@ mod tests {
         assert_eq!(exit_code::IO, 5);
         assert_eq!(exit_code::STRICT, 6);
         assert_eq!(exit_code::DIVERGENCE, 7);
+        assert_eq!(exit_code::LINT, 8);
     }
 
     #[test]

@@ -18,8 +18,7 @@ use std::process::{Child, Command, Stdio};
 fn synthetic_profile(name: &str, tail: f64, api: f64, m: &MachineConfig) -> ProcessProfile {
     let head = 1.0 - tail;
     let hist =
-        ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail)
-            .unwrap();
+        ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail).unwrap();
     let alpha = api * (m.mem_cycles - m.l2_hit_cycles) as f64 / m.freq_hz;
     let beta = (m.cpi_base + api * m.l2_hit_cycles as f64) / m.freq_hz;
     let feature =
@@ -125,10 +124,7 @@ fn stdio_session_round_trips() {
     );
     let stats = &responses[3];
     assert_eq!(
-        stats
-            .get("requests")
-            .and_then(|r| r.get("register"))
-            .and_then(Json::as_f64),
+        stats.get("requests").and_then(|r| r.get("register")).and_then(Json::as_f64),
         Some(2.0)
     );
     assert_eq!(stats.get("profiles").and_then(Json::as_usize), Some(2));

@@ -382,11 +382,9 @@ impl SetAssocCache {
                 counts
             };
             self.sets[si]
-                .lru_where(|l| {
-                    match quotas.get(l.owner.0 as usize).copied().flatten() {
-                        Some(q) => counts.get(l.owner.0 as usize).copied().unwrap_or(0) > q,
-                        None => false,
-                    }
+                .lru_where(|l| match quotas.get(l.owner.0 as usize).copied().flatten() {
+                    Some(q) => counts.get(l.owner.0 as usize).copied().unwrap_or(0) > q,
+                    None => false,
                 })
                 .unwrap_or(self.sets[si].tail as usize)
         };
@@ -596,7 +594,7 @@ mod tests {
         c.access(LineAddr(0), p(0));
         c.access(LineAddr(1), p(0)); // LRU: 0
         assert!(!c.insert_prefetch(LineAddr(0), p(0))); // already resident
-        // 0 is still LRU, so inserting 2 evicts 0.
+                                                        // 0 is still LRU, so inserting 2 evicts 0.
         let out = c.access(LineAddr(2), p(0));
         assert_eq!(out, AccessOutcome::Miss { evicted: Some((LineAddr(0), p(0))) });
     }

@@ -242,9 +242,7 @@ impl SimResult {
     pub fn settled_core_rates(&self) -> Vec<Vec<EventRates>> {
         let start = self.warmup_periods;
         let periods = self.power.len();
-        (start..periods)
-            .map(|p| self.core_samples.iter().map(|cs| cs[p]).collect())
-            .collect()
+        (start..periods).map(|p| self.core_samples.iter().map(|cs| cs[p]).collect()).collect()
     }
 
     /// Finds the stats of the process named `name`.
@@ -456,9 +454,8 @@ pub fn simulate(
         let die = cores[procs[pid as usize].core].die;
         l2s[die].set_way_quota(ProcessId(pid), ways);
     }
-    let mut prefetchers: Vec<Option<NextLinePrefetcher>> = (0..machine.dies)
-        .map(|_| opts.prefetch.map(NextLinePrefetcher::new))
-        .collect();
+    let mut prefetchers: Vec<Option<NextLinePrefetcher>> =
+        (0..machine.dies).map(|_| opts.prefetch.map(NextLinePrefetcher::new)).collect();
 
     // Idle cores are done from the start.
     for core in &mut cores {
@@ -588,7 +585,12 @@ pub fn simulate(
         rates.extend(core_samples.iter().map(|cs| cs[b]));
         let true_watts = machine.power.processor_power(&rates);
         let measured_watts = measure_power(&machine.power, true_watts, period_s, &mut power_rng);
-        power.push(PowerSample { period: b, t_start: b as f64 * period_s, true_watts, measured_watts });
+        power.push(PowerSample {
+            period: b,
+            t_start: b as f64 * period_s,
+            true_watts,
+            measured_watts,
+        });
     }
 
     let prefetches_issued = procs.iter().map(|p| p.counters.prefetches).sum();
@@ -655,15 +657,9 @@ mod tests {
     fn options_validation() {
         let m = small_machine();
         let bad = SimOptions { duration_s: 0.0, ..Default::default() };
-        assert!(matches!(
-            simulate(&m, Placement::idle(2), bad),
-            Err(SimError::InvalidOptions(_))
-        ));
+        assert!(matches!(simulate(&m, Placement::idle(2), bad), Err(SimError::InvalidOptions(_))));
         let bad = SimOptions { duration_s: 1.0, warmup_s: 1.0, ..Default::default() };
-        assert!(matches!(
-            simulate(&m, Placement::idle(2), bad),
-            Err(SimError::InvalidOptions(_))
-        ));
+        assert!(matches!(simulate(&m, Placement::idle(2), bad), Err(SimError::InvalidOptions(_))));
     }
 
     #[test]
@@ -753,10 +749,7 @@ mod tests {
         let mut pl = Placement::idle(2);
         pl.assign(0, cyclic(0, 16, 20)).unwrap();
         pl.assign(0, cyclic(5_000, 16, 20)).unwrap();
-        let opts = SimOptions {
-            weights: Some(vec![vec![3.0, 1.0], vec![]]),
-            ..quick_opts()
-        };
+        let opts = SimOptions { weights: Some(vec![vec![3.0, 1.0], vec![]]), ..quick_opts() };
         let r = simulate(&m, pl, opts).unwrap();
         let ratio = r.processes[0].active_seconds / r.processes[1].active_seconds;
         assert!(ratio > 2.0 && ratio < 4.5, "{ratio}");

@@ -217,9 +217,7 @@ mod tests {
         assert_eq!(a, b);
         // A different seed corrupts differently.
         let mut c = sample_trace(100);
-        FaultPlan::new(43)
-            .with(Fault::CorruptTraceAddresses { rate: 0.5 })
-            .apply_to_trace(&mut c);
+        FaultPlan::new(43).with(Fault::CorruptTraceAddresses { rate: 0.5 }).apply_to_trace(&mut c);
         assert_ne!(a, c);
     }
 
@@ -256,9 +254,7 @@ mod tests {
         assert!(probs.iter().any(|p| p.is_nan()));
 
         let mut probs = vec![0.25; 8];
-        FaultPlan::new(5)
-            .with(Fault::NegateHistogram { count: 1 })
-            .apply_to_histogram(&mut probs);
+        FaultPlan::new(5).with(Fault::NegateHistogram { count: 1 }).apply_to_histogram(&mut probs);
         assert!(probs.iter().any(|p| *p < 0.0));
     }
 

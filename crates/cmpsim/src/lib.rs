@@ -42,6 +42,10 @@
 //! # }
 //! ```
 
+// The models need no unsafe code anywhere; enforced by mpmc-lint's
+// unsafe_audit rule workspace-wide.
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod engine;
 #[cfg(feature = "faults")]

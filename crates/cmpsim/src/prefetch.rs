@@ -52,12 +52,7 @@ impl NextLinePrefetcher {
     /// run is established, inserts up to `degree` subsequent lines into
     /// `cache`. Returns the number of prefetches issued (0 when the stream
     /// is not sequential or lines were already resident).
-    pub fn observe(
-        &mut self,
-        cache: &mut SetAssocCache,
-        owner: ProcessId,
-        addr: LineAddr,
-    ) -> u64 {
+    pub fn observe(&mut self, cache: &mut SetAssocCache, owner: ProcessId, addr: LineAddr) -> u64 {
         let idx = owner.0 as usize;
         if self.streams.len() <= idx {
             self.streams.resize(idx + 1, StreamState::default());

@@ -119,9 +119,8 @@ mod tests {
     fn cyclic_generator_cycles() {
         let mut g = CyclicGenerator::new(100, 3, 10);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
-        let seq: Vec<u64> = (0..6)
-            .map(|_| g.next_step(&mut rng).access.expect("always accesses").0)
-            .collect();
+        let seq: Vec<u64> =
+            (0..6).map(|_| g.next_step(&mut rng).access.expect("always accesses").0).collect();
         assert_eq!(seq, vec![100, 101, 102, 100, 101, 102]);
     }
 

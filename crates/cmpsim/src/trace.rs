@@ -271,8 +271,7 @@ pub fn miss_ratio_curve(addrs: &[LineAddr], num_sets: usize, max_assoc: usize) -
 pub fn stack_distance_histogram(addrs: &[LineAddr], num_sets: usize) -> Vec<u64> {
     assert!(num_sets > 0, "need at least one set");
     const DEPTH: usize = 64;
-    let mut stacks: Vec<Vec<LineAddr>> =
-        (0..num_sets).map(|_| Vec::with_capacity(DEPTH)).collect();
+    let mut stacks: Vec<Vec<LineAddr>> = (0..num_sets).map(|_| Vec::with_capacity(DEPTH)).collect();
     let mut hist = vec![0u64; DEPTH];
     for &addr in addrs {
         let set = (addr.0 % num_sets as u64) as usize;

@@ -4,6 +4,8 @@ use std::fmt;
 
 /// A cache-line-granular memory address. The low bits select the set
 /// (`addr % num_sets`) and the full value doubles as the tag.
+// Derived PartialOrd on integer fields expands to the banned partial_cmp.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct LineAddr(pub u64);
 
@@ -22,6 +24,8 @@ impl fmt::Display for LineAddr {
 }
 
 /// Identifies a simulated process within one simulation run.
+// Derived PartialOrd on integer fields expands to the banned partial_cmp.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ProcessId(pub u32);
 
@@ -32,6 +36,8 @@ impl fmt::Display for ProcessId {
 }
 
 /// Identifies a core within a machine (dense, `0..num_cores`).
+// Derived PartialOrd on integer fields expands to the banned partial_cmp.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct CoreId(pub u32);
 
@@ -42,6 +48,8 @@ impl fmt::Display for CoreId {
 }
 
 /// Identifies a die (a group of cores sharing one L2 cache).
+// Derived PartialOrd on integer fields expands to the banned partial_cmp.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct DieId(pub u32);
 

@@ -97,8 +97,7 @@ impl RefCache {
         if self.sets[si].len() < self.assoc {
             return None;
         }
-        let pos = self
-            .sets[si]
+        let pos = self.sets[si]
             .iter()
             .rposition(|l| match self.way_quota(l.owner) {
                 Some(q) => self.owner_lines_in_set(si, l.owner) > q,

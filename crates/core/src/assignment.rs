@@ -325,8 +325,7 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         &self,
         running: &[(usize, &ProcessProfile)],
     ) -> Result<Equilibrium, ModelError> {
-        let fps: Vec<u64> =
-            running.iter().map(|(_, p)| p.feature.content_fingerprint()).collect();
+        let fps: Vec<u64> = running.iter().map(|(_, p)| p.feature.content_fingerprint()).collect();
         let mut order: Vec<usize> = (0..running.len()).collect();
         order.sort_by_key(|&i| (fps[i], i));
         let key: Vec<u64> = order.iter().map(|&i| fps[i]).collect();
@@ -397,13 +396,16 @@ mod tests {
     use rand::SeedableRng;
 
     /// A hand-built profile so tests do not need simulation runs.
-    fn synthetic_profile(name: &str, tail: f64, api: f64, machine: &MachineConfig) -> ProcessProfile {
+    fn synthetic_profile(
+        name: &str,
+        tail: f64,
+        api: f64,
+        machine: &MachineConfig,
+    ) -> ProcessProfile {
         let head = 1.0 - tail;
-        let hist = ReuseHistogram::new(
-            vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05],
-            tail,
-        )
-        .unwrap();
+        let hist =
+            ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail)
+                .unwrap();
         let alpha = api * (machine.mem_cycles - machine.l2_hit_cycles) as f64 / machine.freq_hz;
         let beta = (machine.cpi_base + api * machine.l2_hit_cycles as f64) / machine.freq_hz;
         let feature = FeatureVector::new(
@@ -550,9 +552,7 @@ mod tests {
         let mut current = Assignment::new(4);
         current.assign(0, 0);
         let inc = cm.estimate_after_assigning(&ps, &current, 1, 1).unwrap();
-        let full = cm
-            .estimate_processor_power(&ps, &current.with_assigned(1, 1))
-            .unwrap();
+        let full = cm.estimate_processor_power(&ps, &current.with_assigned(1, 1)).unwrap();
         assert_eq!(inc, full);
     }
 
@@ -759,9 +759,8 @@ mod tests {
         asg_big.assign(0, 0);
         let mut asg_small = Assignment::new(2);
         asg_small.assign(0, 0);
-        let e_big = CombinedModel::new(&big, &pm_big)
-            .estimate_processor_power(&[p_big], &asg_big)
-            .unwrap();
+        let e_big =
+            CombinedModel::new(&big, &pm_big).estimate_processor_power(&[p_big], &asg_big).unwrap();
         let e_small = CombinedModel::new(&small, &pm_small)
             .estimate_processor_power(&[p_small], &asg_small)
             .unwrap();

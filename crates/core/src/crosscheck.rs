@@ -320,10 +320,13 @@ pub fn metamorphic_idle_process(
     let eq = equilibrium::solve_robust(&with_idle, assoc, &SolveOptions::default())?;
     let mut out = Vec::new();
     let k = features.len();
-    if eq.sizes[k] != 0.0 || eq.apss[k] != 0.0 {
+    if !mathkit::float::exactly_zero(eq.sizes[k]) || !mathkit::float::exactly_zero(eq.apss[k]) {
         out.push(Violation::new(
             "metamorphic-idle",
-            format!("idle process got {} ways, {} APS; expected exactly 0", eq.sizes[k], eq.apss[k]),
+            format!(
+                "idle process got {} ways, {} APS; expected exactly 0",
+                eq.sizes[k], eq.apss[k]
+            ),
         ));
     }
     for (i, f) in features.iter().enumerate() {
@@ -466,7 +469,8 @@ mod tests {
 
     #[test]
     fn order_independence_check_passes() {
-        let (mcf, gzip, art) = (fv(SpecWorkload::Mcf), fv(SpecWorkload::Gzip), fv(SpecWorkload::Art));
+        let (mcf, gzip, art) =
+            (fv(SpecWorkload::Mcf), fv(SpecWorkload::Gzip), fv(SpecWorkload::Art));
         let v = check_order_independence(&[&mcf, &gzip, &art], 16).unwrap();
         assert!(v.is_empty(), "{v:?}");
     }

@@ -110,8 +110,7 @@ impl SolveDiagnostics {
             self.method, self.iterations, self.residual
         );
         if !self.fallbacks.is_empty() {
-            let stages: Vec<String> =
-                self.fallbacks.iter().map(|f| f.stage.to_string()).collect();
+            let stages: Vec<String> = self.fallbacks.iter().map(|f| f.stage.to_string()).collect();
             s.push_str(&format!("; fell back from {}", stages.join(", ")));
         }
         if self.degraded {
@@ -198,8 +197,7 @@ fn size_for_window(f: &FeatureVector, a: f64, t: f64) -> f64 {
         return a; // demand saturates the whole cache within this window
     }
     // phi(0) = -G(APS(0) * T) <= 0; find the crossing.
-    bisect(phi, 0.0, a, BisectOptions { x_tol: 1e-9, f_tol: 1e-12, max_iter: 300 })
-        .unwrap_or(a)
+    bisect(phi, 0.0, a, BisectOptions { x_tol: 1e-9, f_tol: 1e-12, max_iter: 300 }).unwrap_or(a)
 }
 
 /// Solves the equilibrium for `features` sharing an `assoc`-way cache by
@@ -613,14 +611,15 @@ fn robust_core(
     opts: &SolveOptions,
 ) -> Result<CoreSolution, ModelError> {
     let k = features.len();
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(determinism) -- diagnostics-only: wall time feeds SolveDiagnostics.elapsed, never the solution itself
     let start = Instant::now();
     let mut fallbacks: Vec<FallbackEvent> = Vec::new();
 
     // Infeasible capacity constraint: if demand saturates below `A` even
     // at an effectively infinite window, no equilibrium root exists.
     // Answer with the saturated sizes directly, as `solve` does.
-    let sat_sizes: Vec<f64> =
-        features.iter().map(|f| size_for_window(f, a, WINDOW_CAP)).collect();
+    let sat_sizes: Vec<f64> = features.iter().map(|f| size_for_window(f, a, WINDOW_CAP)).collect();
     let sat_sum: f64 = sat_sizes.iter().sum();
     if sat_sum < a - 1e-2 {
         let diag = SolveDiagnostics::direct(SolveMethod::NestedBisection, k, 0.0);
@@ -746,11 +745,8 @@ fn solve_fixed_point_stage(
     a: f64,
     opts: &SolveOptions,
 ) -> Result<(Vec<f64>, f64, usize, f64), ModelError> {
-    let fp_opts = FixedPointOptions {
-        tol: 1e-9,
-        max_iter: opts.max_fixed_point_iter,
-        damping: 0.5,
-    };
+    let fp_opts =
+        FixedPointOptions { tol: 1e-9, max_iter: opts.max_fixed_point_iter, damping: 0.5 };
     let iters = Cell::new(0usize);
     // `S = G(APS(S)·T)` is a monotone map; iterating up from 0 with
     // damping converges to the smallest fixed point. If the iteration
@@ -856,12 +852,7 @@ mod tests {
         let hog = fv(SpecWorkload::Mcf);
         let friendly = fv(SpecWorkload::Gzip);
         let eq = solve(&[&hog, &friendly], 16).unwrap();
-        assert!(
-            eq.sizes[0] > 3.0 * eq.sizes[1],
-            "mcf {} vs gzip {}",
-            eq.sizes[0],
-            eq.sizes[1]
-        );
+        assert!(eq.sizes[0] > 3.0 * eq.sizes[1], "mcf {} vs gzip {}", eq.sizes[0], eq.sizes[1]);
     }
 
     #[test]
@@ -1005,7 +996,8 @@ mod tests {
         let b = fv(SpecWorkload::Art);
         // tol = 0 makes Newton convergence impossible: the chain must fall
         // through to the fixed-point stage and still nail the constraint.
-        let opts = SolveOptions { tol: 0.0, max_newton_iter: 2, newton_retries: 1, ..Default::default() };
+        let opts =
+            SolveOptions { tol: 0.0, max_newton_iter: 2, newton_retries: 1, ..Default::default() };
         let eq = solve_robust(&[&a, &b], 16, &opts).unwrap();
         assert_eq!(eq.diagnostics.method, SolveMethod::FixedPoint, "{:?}", eq.diagnostics);
         assert_eq!(eq.diagnostics.fallbacks.len(), 2, "{:?}", eq.diagnostics.fallbacks);
@@ -1065,8 +1057,7 @@ mod tests {
         use crate::histogram::ReuseHistogram;
         use crate::spi::SpiModel;
         let h = ReuseHistogram::new(vec![0.7, 0.3], 0.0).unwrap();
-        let f = FeatureVector::new("tiny", h, 0.01, SpiModel::new(2e-8, 1e-8).unwrap(), 8)
-            .unwrap();
+        let f = FeatureVector::new("tiny", h, 0.01, SpiModel::new(2e-8, 1e-8).unwrap(), 8).unwrap();
         let eq = solve(&[&f], 8).unwrap();
         assert_eq!(eq.diagnostics.method, SolveMethod::ClosedForm);
         assert!(!eq.cache_filled);
@@ -1090,10 +1081,7 @@ mod tests {
         for (i, f) in [&a, &b].iter().enumerate() {
             let implied = eq.sizes[i] * f.spi_at(eq.sizes[i]);
             let expect = f.api() * eq.window;
-            assert!(
-                (implied - expect).abs() < 1e-3 * expect,
-                "proc {i}: {implied} vs {expect}"
-            );
+            assert!((implied - expect).abs() < 1e-3 * expect, "proc {i}: {implied} vs {expect}");
         }
         // All strategies route A = 1 through the same closed form.
         let newt = solve_newton(&[&a, &b], 1).unwrap();
@@ -1136,8 +1124,12 @@ mod tests {
 
     #[test]
     fn solver_results_are_order_independent_bit_for_bit() {
-        let feats =
-            [fv(SpecWorkload::Mcf), fv(SpecWorkload::Gzip), fv(SpecWorkload::Art), fv(SpecWorkload::Twolf)];
+        let feats = [
+            fv(SpecWorkload::Mcf),
+            fv(SpecWorkload::Gzip),
+            fv(SpecWorkload::Art),
+            fv(SpecWorkload::Twolf),
+        ];
         let base: Vec<&FeatureVector> = feats.iter().collect();
         let perms: Vec<Vec<usize>> =
             vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 3, 0, 2], vec![2, 0, 3, 1]];
@@ -1176,14 +1168,7 @@ mod tests {
         // All reuse within 2 ways and no streaming tail: the process can
         // never hold more than ~2 of the 8 ways.
         let h = ReuseHistogram::new(vec![0.7, 0.3], 0.0).unwrap();
-        let f = FeatureVector::new(
-            "tiny",
-            h,
-            0.01,
-            SpiModel::new(2e-8, 1e-8).unwrap(),
-            8,
-        )
-        .unwrap();
+        let f = FeatureVector::new("tiny", h, 0.01, SpiModel::new(2e-8, 1e-8).unwrap(), 8).unwrap();
         let eq = solve_robust(&[&f], 8, &SolveOptions::default()).unwrap();
         assert!(!eq.cache_filled);
         assert!(eq.sizes[0] < 3.0, "{}", eq.sizes[0]);

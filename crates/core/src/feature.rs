@@ -60,9 +60,7 @@ impl FeatureVector {
         assoc: usize,
     ) -> Result<Self, ModelError> {
         if !api.is_finite() || !(0.0..=1.0).contains(&api) {
-            return Err(ModelError::UnusableProfile(format!(
-                "API must be in [0, 1], got {api}"
-            )));
+            return Err(ModelError::UnusableProfile(format!("API must be in [0, 1], got {api}")));
         }
         let occupancy = OccupancyCurve::from_histogram(&hist, assoc, OccupancyOptions::default())?;
         Ok(FeatureVector { name: name.into(), hist, api, spi, occupancy })
@@ -92,10 +90,9 @@ impl FeatureVector {
         let p_inf = f_run + (1.0 - f_run) * pattern.p_new;
         let hist = ReuseHistogram::new(probs, p_inf)?;
         let api = params.mix.api;
-        let alpha = api * (machine.mem_cycles as f64 - machine.l2_hit_cycles as f64)
-            / machine.freq_hz;
-        let beta =
-            (machine.cpi_base + api * machine.l2_hit_cycles as f64) / machine.freq_hz;
+        let alpha =
+            api * (machine.mem_cycles as f64 - machine.l2_hit_cycles as f64) / machine.freq_hz;
+        let beta = (machine.cpi_base + api * machine.l2_hit_cycles as f64) / machine.freq_hz;
         let spi = SpiModel::new(alpha, beta)?;
         FeatureVector::new(params.name, hist, api, spi, machine.l2_assoc())
     }

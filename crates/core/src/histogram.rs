@@ -107,17 +107,17 @@ impl ReuseHistogram {
         for w in mpa_at.windows(2) {
             probs.push((w[0] - w[1]).max(0.0));
         }
-        let p_inf = *mpa_at.last().expect("checked non-empty");
+        let p_inf = match mpa_at.last() {
+            Some(&m) => m,
+            None => return Err(ModelError::EmptyInput("MPA curve")),
+        };
         // The curve may not start exactly at MPA(0) = 1 (noise, or the
         // caller measured from s=1); renormalize to total mass 1.
         let total: f64 = probs.iter().sum::<f64>() + p_inf;
         if total <= 0.0 {
             return Err(ModelError::InvalidDistribution("MPA curve is identically zero".into()));
         }
-        Ok(ReuseHistogram::from_parts(
-            probs.iter().map(|p| p / total).collect(),
-            p_inf / total,
-        ))
+        Ok(ReuseHistogram::from_parts(probs.iter().map(|p| p / total).collect(), p_inf / total))
     }
 
     /// Scales the infinite-distance (tail) mass by `factor` in place and
@@ -185,7 +185,7 @@ impl ReuseHistogram {
         let floor = s.floor() as usize;
         let frac = s - floor as f64;
         let m0 = self.mpa_int(floor);
-        if frac == 0.0 {
+        if mathkit::float::exactly_zero(frac) {
             return m0;
         }
         let m1 = self.mpa_int(floor + 1);
@@ -226,7 +226,7 @@ impl ReuseHistogram {
     /// cache-friendly), or 0 if all mass is infinite.
     pub fn mean_position(&self) -> f64 {
         let finite: f64 = self.probs.iter().sum();
-        if finite == 0.0 {
+        if mathkit::float::exactly_zero(finite) {
             return 0.0;
         }
         self.probs.iter().enumerate().map(|(i, &p)| (i + 1) as f64 * p).sum::<f64>() / finite

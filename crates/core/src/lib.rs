@@ -38,6 +38,9 @@
 //! # }
 //! ```
 
+// The models need no unsafe code anywhere; enforced by mpmc-lint's
+// unsafe_audit rule workspace-wide.
+#![forbid(unsafe_code)]
 // Library code must surface failures as `ModelError`, not panic; tests
 // may still unwrap freely.
 #![warn(clippy::unwrap_used)]

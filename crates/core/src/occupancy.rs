@@ -115,7 +115,7 @@ impl OccupancyCurve {
                 ys[i] = ys[i - 1];
             }
         }
-        let saturation = *ys.last().expect("at least one point");
+        let saturation = ys.last().copied().unwrap_or(0.0);
         Ok(OccupancyCurve { curve: PiecewiseLinear::new(xs, ys)?, max_ways, saturation })
     }
 
@@ -128,9 +128,10 @@ impl OccupancyCurve {
     /// Smallest per-set access count with expected occupancy `s`; returns
     /// the tabulation limit if `s` is at or beyond the saturation level.
     pub fn g_inverse(&self, s: f64) -> f64 {
-        self.curve
-            .inverse_monotone(s)
-            .expect("G is non-decreasing by construction")
+        // G is non-decreasing by construction (the tabulation loop
+        // clamps), so inversion cannot fail; degrade to the tabulation
+        // limit rather than panicking if that ever changes.
+        self.curve.inverse_monotone(s).unwrap_or_else(|_| self.curve.domain().1)
     }
 
     /// The associativity this curve was built for.

@@ -110,7 +110,10 @@ impl PerformanceModel {
     /// # Errors
     ///
     /// Propagates equilibrium-solver errors.
-    pub fn solve<F: AsRef<FeatureVector>>(&self, features: &[F]) -> Result<Equilibrium, ModelError> {
+    pub fn solve<F: AsRef<FeatureVector>>(
+        &self,
+        features: &[F],
+    ) -> Result<Equilibrium, ModelError> {
         let refs: Vec<&FeatureVector> = features.iter().map(|f| f.as_ref()).collect();
         match self.solver {
             SolverKind::Bisection => equilibrium::solve(&refs, self.assoc),
@@ -153,14 +156,8 @@ mod tests {
     fn solver_kinds_agree() {
         let feats = vec![fv(SpecWorkload::Art), fv(SpecWorkload::Twolf)];
         let b = PerformanceModel::new(16).predict(&feats).unwrap();
-        let n = PerformanceModel::new(16)
-            .with_solver(SolverKind::Newton)
-            .predict(&feats)
-            .unwrap();
-        let r = PerformanceModel::new(16)
-            .with_solver(SolverKind::Robust)
-            .predict(&feats)
-            .unwrap();
+        let n = PerformanceModel::new(16).with_solver(SolverKind::Newton).predict(&feats).unwrap();
+        let r = PerformanceModel::new(16).with_solver(SolverKind::Robust).predict(&feats).unwrap();
         assert!((b[0].ways - n[0].ways).abs() < 0.05);
         assert!((b[1].mpa - n[1].mpa).abs() < 0.01);
         assert!((b[0].ways - r[0].ways).abs() < 0.05);

@@ -147,17 +147,16 @@ fn parse_fields<R: Read>(r: R) -> Result<BTreeMap<String, String>, ModelError> {
 }
 
 fn feature_from_fields(fields: &BTreeMap<String, String>) -> Result<FeatureVector, ModelError> {
-    let name = fields
-        .get("name")
-        .ok_or(ModelError::UnusableProfile("missing key 'name'".into()))?
-        .clone();
-    let assoc_raw = fields
-        .get("assoc")
-        .ok_or(ModelError::UnusableProfile("missing key 'assoc'".into()))?;
+    let name =
+        fields.get("name").ok_or(ModelError::UnusableProfile("missing key 'name'".into()))?.clone();
+    let assoc_raw =
+        fields.get("assoc").ok_or(ModelError::UnusableProfile("missing key 'assoc'".into()))?;
     // Associativity is a count: parse as an integer rather than truncating
     // a float, so "16.7", "-2", and "1e3" are rejected loudly.
     let assoc = assoc_raw.parse::<usize>().map_err(|_| {
-        ModelError::UnusableProfile(format!("bad value for 'assoc': '{assoc_raw}' (want a positive integer)"))
+        ModelError::UnusableProfile(format!(
+            "bad value for 'assoc': '{assoc_raw}' (want a positive integer)"
+        ))
     })?;
     if assoc == 0 || assoc > 4096 {
         return Err(ModelError::UnusableProfile(format!(
@@ -168,9 +167,8 @@ fn feature_from_fields(fields: &BTreeMap<String, String>) -> Result<FeatureVecto
     let alpha = field_f64(fields, "alpha")?;
     let beta = field_f64(fields, "beta")?;
     let p_inf = field_f64(fields, "p_inf")?;
-    let hist_raw = fields
-        .get("hist")
-        .ok_or(ModelError::UnusableProfile("missing key 'hist'".into()))?;
+    let hist_raw =
+        fields.get("hist").ok_or(ModelError::UnusableProfile("missing key 'hist'".into()))?;
     let probs: Vec<f64> = hist_raw
         .split_whitespace()
         .map(|tok| {
@@ -193,9 +191,7 @@ fn field_f64(fields: &BTreeMap<String, String>, key: &str) -> Result<f64, ModelE
     // `f64::from_str` happily accepts "NaN" and "inf"; a profile carrying
     // them would poison every solver downstream.
     if !v.is_finite() {
-        return Err(ModelError::UnusableProfile(format!(
-            "non-finite value for '{key}': '{raw}'"
-        )));
+        return Err(ModelError::UnusableProfile(format!("non-finite value for '{key}': '{raw}'")));
     }
     Ok(v)
 }
@@ -249,9 +245,7 @@ pub fn read_power_model<R: Read>(r: R) -> Result<crate::power::PowerModel, Model
                         .split_whitespace()
                         .map(|tok| {
                             tok.parse::<f64>().map_err(|_| {
-                                ModelError::UnusableProfile(format!(
-                                    "bad coefficient '{tok}'"
-                                ))
+                                ModelError::UnusableProfile(format!("bad coefficient '{tok}'"))
                             })
                         })
                         .collect::<Result<Vec<f64>, _>>()?,
@@ -266,8 +260,7 @@ pub fn read_power_model<R: Read>(r: R) -> Result<crate::power::PowerModel, Model
         }
     }
     let idle = idle.ok_or(ModelError::UnusableProfile("missing key 'idle_core_w'".into()))?;
-    let coeffs =
-        coeffs.ok_or(ModelError::UnusableProfile("missing key 'coefficients'".into()))?;
+    let coeffs = coeffs.ok_or(ModelError::UnusableProfile("missing key 'coefficients'".into()))?;
     crate::power::PowerModel::from_parts(idle, coeffs)
 }
 
@@ -279,8 +272,7 @@ mod tests {
 
     fn sample_profile() -> ProcessProfile {
         let machine = MachineConfig::four_core_server();
-        let feature =
-            FeatureVector::from_workload(&SpecWorkload::Mcf.params(), &machine).unwrap();
+        let feature = FeatureVector::from_workload(&SpecWorkload::Mcf.params(), &machine).unwrap();
         ProcessProfile {
             feature,
             l1rpi: 0.42,
@@ -338,10 +330,7 @@ mod tests {
     #[test]
     fn rejects_unknown_and_duplicate_keys() {
         let text = "name x\nbogus 1\n";
-        assert!(matches!(
-            read_feature(text.as_bytes()),
-            Err(ModelError::UnusableProfile(_))
-        ));
+        assert!(matches!(read_feature(text.as_bytes()), Err(ModelError::UnusableProfile(_))));
         let text = "name x\nname y\n";
         assert!(read_feature(text.as_bytes()).is_err());
     }
@@ -363,7 +352,8 @@ mod tests {
         let profile = sample_profile();
         let mut buf = Vec::new();
         write_profile(&profile, &mut buf).unwrap();
-        let text = format!("# leading comment\n\n{}\n# trailing\n", String::from_utf8(buf).unwrap());
+        let text =
+            format!("# leading comment\n\n{}\n# trailing\n", String::from_utf8(buf).unwrap());
         assert!(read_profile(text.as_bytes()).is_ok());
     }
 
@@ -438,8 +428,7 @@ mod tests {
     #[test]
     fn power_model_roundtrip() {
         use crate::power::{CorePowerModel, PowerModel};
-        let model =
-            PowerModel::from_parts(11.5, vec![1e-6, 8e-6, -1.3e-5, 1.4e-6, 8e-7]).unwrap();
+        let model = PowerModel::from_parts(11.5, vec![1e-6, 8e-6, -1.3e-5, 1.4e-6, 8e-7]).unwrap();
         let mut buf = Vec::new();
         write_power_model(&model, &mut buf).unwrap();
         let back = read_power_model(buf.as_slice()).unwrap();

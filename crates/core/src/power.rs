@@ -331,10 +331,7 @@ fn collect_observations(
 
 /// Convenience: model accuracy in percent over `(rates, measured)` pairs,
 /// the figure of merit the paper quotes (100 % minus mean relative error).
-pub fn model_accuracy_pct<M: CorePowerModel>(
-    model: &M,
-    samples: &[(Vec<EventRates>, f64)],
-) -> f64 {
+pub fn model_accuracy_pct<M: CorePowerModel>(model: &M, samples: &[(Vec<EventRates>, f64)]) -> f64 {
     let predicted: Vec<f64> =
         samples.iter().map(|(rates, _)| model.predict_processor(rates)).collect();
     let measured: Vec<f64> = samples.iter().map(|&(_, m)| m).collect();
@@ -416,16 +413,12 @@ mod tests {
         let m = tiny_machine();
         let obs = build_training_set(&m, &small_suite(), &quick_training()).unwrap();
         let mvlr = PowerModel::fit_mvlr(&obs).unwrap();
-        let nn = NnPowerModel::fit(
-            &obs,
-            TrainOptions { epochs: 150, hidden: 6, ..Default::default() },
-        )
-        .unwrap();
+        let nn =
+            NnPowerModel::fit(&obs, TrainOptions { epochs: 150, hidden: 6, ..Default::default() })
+                .unwrap();
         // Compare mean relative error on the training set.
         let err = |f: &dyn Fn(&EventRates) -> f64| -> f64 {
-            obs.iter()
-                .map(|o| (f(&o.rates) - o.core_watts).abs() / o.core_watts)
-                .sum::<f64>()
+            obs.iter().map(|o| (f(&o.rates) - o.core_watts).abs() / o.core_watts).sum::<f64>()
                 / obs.len() as f64
         };
         let e_mvlr = err(&|r| mvlr.predict_core(r));

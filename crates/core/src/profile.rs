@@ -189,7 +189,10 @@ impl Profiler {
     ///
     /// The error of the first (lowest-index) failing workload, as a
     /// sequential loop would report.
-    pub fn profile_batch(&self, suite: &[WorkloadParams]) -> Result<Vec<FeatureVector>, ModelError> {
+    pub fn profile_batch(
+        &self,
+        suite: &[WorkloadParams],
+    ) -> Result<Vec<FeatureVector>, ModelError> {
         let inner = self.sequential_inner();
         mathkit::parallel::try_par_map(
             (0..suite.len()).collect::<Vec<usize>>(),
@@ -226,7 +229,10 @@ impl Profiler {
 
     /// Shared implementation: returns the feature vector and the solo-run
     /// result (for the power-profile fields).
-    fn profile_runs(&self, params: &WorkloadParams) -> Result<(FeatureVector, SimResult), ModelError> {
+    fn profile_runs(
+        &self,
+        params: &WorkloadParams,
+    ) -> Result<(FeatureVector, SimResult), ModelError> {
         let a = self.machine.l2_assoc();
         let num_sets = self.machine.l2_sets;
 
@@ -284,7 +290,7 @@ impl Profiler {
             if s <= xs.last().copied().unwrap_or(0.0) + 1e-6 {
                 continue;
             }
-            let clipped = m.min(*ys.last().expect("anchored"));
+            let clipped = m.min(ys.last().copied().unwrap_or(1.0));
             xs.push(s);
             ys.push(clipped);
         }
@@ -312,7 +318,10 @@ impl Profiler {
         salt: u64,
     ) -> Result<SimResult, ModelError> {
         let mut placement = Placement::idle(self.machine.num_cores());
-        placement.assign(0, ProcessSpec::new(params.name, Box::new(params.generator(self.machine.l2_sets, 1))))?;
+        placement.assign(
+            0,
+            ProcessSpec::new(params.name, Box::new(params.generator(self.machine.l2_sets, 1))),
+        )?;
         if let Some(s) = stress_ways {
             placement.assign(
                 1,
@@ -342,11 +351,7 @@ mod tests {
 
     /// A small, fast machine for unit tests: same physics, fewer sets.
     fn tiny_machine() -> MachineConfig {
-        MachineConfig {
-            l2_sets: 64,
-            l2_assoc: 8,
-            ..MachineConfig::two_core_workstation()
-        }
+        MachineConfig { l2_sets: 64, l2_assoc: 8, ..MachineConfig::two_core_workstation() }
     }
 
     fn fast_profiler() -> Profiler {
@@ -375,10 +380,7 @@ mod tests {
         for s in 2..=8usize {
             let truth = params.pattern.true_mpa(s);
             let got = fv.mpa(s as f64);
-            assert!(
-                (got - truth).abs() < 0.1,
-                "s={s}: profiled {got:.3} vs truth {truth:.3}"
-            );
+            assert!((got - truth).abs() < 0.1, "s={s}: profiled {got:.3} vs truth {truth:.3}");
         }
     }
 

@@ -81,7 +81,8 @@ pub fn combination_average<F: FnMut(&[usize]) -> f64>(
             "combination average needs at least one process".into(),
         ));
     }
-    let mut combo: Vec<usize> = set_sizes.iter().map(|&s| if s == 0 { usize::MAX } else { 0 }).collect();
+    let mut combo: Vec<usize> =
+        set_sizes.iter().map(|&s| if s == 0 { usize::MAX } else { 0 }).collect();
     let mut sum = 0.0;
     let mut count = 0usize;
     loop {

@@ -95,10 +95,12 @@ mod tests {
 
     #[test]
     fn fit_recovers_exact_line() {
-        let pts: Vec<(f64, f64)> = (0..8).map(|i| {
-            let m = i as f64 / 8.0;
-            (m, 3e-8 * m + 5e-9)
-        }).collect();
+        let pts: Vec<(f64, f64)> = (0..8)
+            .map(|i| {
+                let m = i as f64 / 8.0;
+                (m, 3e-8 * m + 5e-9)
+            })
+            .collect();
         let model = SpiModel::fit(&pts).unwrap();
         assert!((model.alpha() - 3e-8).abs() < 1e-16);
         assert!((model.beta() - 5e-9).abs() < 1e-16);

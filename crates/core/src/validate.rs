@@ -88,9 +88,7 @@ pub fn mpa_curve(mpas: &[f64]) -> Result<(), ModelError> {
     for (s, &m) in mpas.iter().enumerate() {
         finite(m, &format!("MPA({s})"))?;
         if !(-TOLERANCE..=1.0 + TOLERANCE).contains(&m) {
-            return Err(ModelError::InvalidDistribution(format!(
-                "MPA({s}) = {m} outside [0, 1]"
-            )));
+            return Err(ModelError::InvalidDistribution(format!("MPA({s}) = {m} outside [0, 1]")));
         }
     }
     for (s, w) in mpas.windows(2).enumerate() {
@@ -115,9 +113,8 @@ pub fn mpa_curve(mpas: &[f64]) -> Result<(), ModelError> {
 ///
 /// Any error from the underlying checks, tagged with the process name.
 pub fn feature_vector(f: &FeatureVector) -> Result<(), ModelError> {
-    let tag = |e: ModelError| {
-        ModelError::UnusableProfile(format!("feature vector '{}': {e}", f.name()))
-    };
+    let tag =
+        |e: ModelError| ModelError::UnusableProfile(format!("feature vector '{}': {e}", f.name()));
     finite(f.api(), "API").map_err(tag)?;
     if !(f.api() >= 0.0 && f.api() <= 1.0) {
         return Err(ModelError::UnusableProfile(format!(

@@ -55,8 +55,7 @@ fn pairwise_spi_error(
 pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let machine = MachineConfig::four_core_server();
     // A representative 4-workload slice keeps the 3x sweep affordable.
-    let suite =
-        vec![SpecWorkload::Gzip, SpecWorkload::Mcf, SpecWorkload::Twolf, SpecWorkload::Art];
+    let suite = vec![SpecWorkload::Gzip, SpecWorkload::Mcf, SpecWorkload::Twolf, SpecWorkload::Art];
 
     // Ground truth.
     let truth: Vec<FeatureVector> = suite
@@ -70,10 +69,8 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
         suite.iter().map(|w| prof_measured.profile(&w.params())).collect::<Result<_, _>>()?;
 
     // Profiled, nominal anchoring.
-    let prof_nominal = Profiler::new(machine.clone()).with_options(ProfileOptions {
-        anchoring: Anchoring::Nominal,
-        ..scale.profile_options()
-    });
+    let prof_nominal = Profiler::new(machine.clone())
+        .with_options(ProfileOptions { anchoring: Anchoring::Nominal, ..scale.profile_options() });
     let nominal: Vec<FeatureVector> =
         suite.iter().map(|w| prof_nominal.profile(&w.params())).collect::<Result<_, _>>()?;
 
@@ -83,7 +80,10 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
 
     let title = "EXT-3/4: Profiling Ablation (SPI prediction error over 10 pairs)";
     let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));
-    out.push_str(&format!("{:<34}{:>12}{:>12}\n", "feature-vector source", "avg err %", "max err %"));
+    out.push_str(&format!(
+        "{:<34}{:>12}{:>12}\n",
+        "feature-vector source", "avg err %", "max err %"
+    ));
     for (label, avg, max) in [
         ("ground truth (no profiling error)", e_truth, m_truth),
         ("profiled, measured anchoring", e_meas, m_meas),

@@ -165,14 +165,12 @@ impl ValidationReport {
         let _ = writeln!(
             out,
             "differential validation: {} on machine '{}' ({} mixes)",
-            self.scale, self.machine, self.mixes.len()
+            self.scale,
+            self.machine,
+            self.mixes.len()
         );
         for mix in &self.mixes {
-            let worst = mix
-                .processes
-                .iter()
-                .map(|p| p.errors.2)
-                .fold(0.0f64, f64::max);
+            let worst = mix.processes.iter().map(|p| p.errors.2).fold(0.0f64, f64::max);
             let _ = writeln!(
                 out,
                 "  {:<24} {}  (worst SPI err {:.2}%)",
@@ -371,10 +369,8 @@ pub fn run(cfg: &DiffConfig) -> Result<ValidationReport, ModelError> {
         let label: Vec<&str> = mix.iter().map(|&w| suite[w].name()).collect();
         let label = label.join("+");
 
-        let mut violations: Vec<String> = crosscheck::check_corun_set(&fvs, assoc)?
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let mut violations: Vec<String> =
+            crosscheck::check_corun_set(&fvs, assoc)?.iter().map(ToString::to_string).collect();
         if mi == 0 {
             violations.append(&mut worker_violations);
         }
@@ -462,11 +458,7 @@ mod tests {
         let report = run(&cfg).unwrap();
         assert_eq!(report.scale, "tiny");
         assert!(!report.mixes.is_empty());
-        assert!(
-            report.pass,
-            "tiny differential sweep must be clean:\n{}",
-            report.summary()
-        );
+        assert!(report.pass, "tiny differential sweep must be clean:\n{}", report.summary());
         let json = report.to_json();
         assert!(json.contains("\"pass\": true"));
         assert!(json.contains("\"mixes\""));

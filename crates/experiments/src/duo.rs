@@ -19,10 +19,8 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let suite = SpecWorkload::duo_suite().to_vec();
     let t = table1::run_pairwise(&machine, &suite, scale)?;
     let (mpa, _, spi, spi5) = t.overall();
-    let mut out = table1::render(
-        &t,
-        "S6.2 duo validation: Performance Model on the P6800-like duo laptop",
-    );
+    let mut out =
+        table1::render(&t, "S6.2 duo validation: Performance Model on the P6800-like duo laptop");
     out.push_str(&format!(
         "\n55 pair combinations of 10 benchmarks\npaper: avg SPI error 1.57%\nours:  avg SPI error {}% (MPA {}%, SPI >5% rate {}%)\n",
         harness::pct(spi),

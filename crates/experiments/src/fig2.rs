@@ -55,14 +55,10 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let pool = harness::random_one_per_core(12, suite.len(), &[0, 1, 2, 3], 4, &mut rng);
     let runs = harness::run_assignments(&machine, &suite, &pool, scale, 400)?;
     let max_i = (0..runs.len())
-        .max_by(|&a, &b| {
-            runs[a].avg_measured_power().total_cmp(&runs[b].avg_measured_power())
-        })
+        .max_by(|&a, &b| runs[a].avg_measured_power().total_cmp(&runs[b].avg_measured_power()))
         .expect("non-empty pool");
     let min_i = (0..runs.len())
-        .min_by(|&a, &b| {
-            runs[a].avg_measured_power().total_cmp(&runs[b].avg_measured_power())
-        })
+        .min_by(|&a, &b| runs[a].avg_measured_power().total_cmp(&runs[b].avg_measured_power()))
         .expect("non-empty pool");
 
     let tmax = trace(&model, &runs[max_i], "maximum-power assignment", &pool[max_i]);

@@ -128,7 +128,11 @@ impl RunScale {
             duration_s: self.run_duration_s.max(0.6),
             warmup_s: self.run_warmup_s,
             seed: self.seed ^ 0x7EA1,
-            microbench_level_instructions: if self.run_duration_s < 1.0 { 120_000 } else { 400_000 },
+            microbench_level_instructions: if self.run_duration_s < 1.0 {
+                120_000
+            } else {
+                400_000
+            },
             microbench_duration_s: if self.run_duration_s < 1.0 { 1.2 } else { 3.0 },
             ..Default::default()
         }
@@ -245,16 +249,12 @@ pub fn train_power_model(
 /// Per-sample power comparison of a finished run against a model applied
 /// to the measured HPC rates (the §6.3 validation method). Returns
 /// `(per-sample relative errors, avg-power relative error)`.
-pub fn power_validation_errors<M: CorePowerModel>(
-    model: &M,
-    run: &SimResult,
-) -> (Vec<f64>, f64) {
+pub fn power_validation_errors<M: CorePowerModel>(model: &M, run: &SimResult) -> (Vec<f64>, f64) {
     let mut sample_errors = Vec::new();
     let mut est_sum = 0.0;
     let mut meas_sum = 0.0;
     for sample in run.settled_power() {
-        let rates: Vec<EventRates> =
-            run.core_samples.iter().map(|cs| cs[sample.period]).collect();
+        let rates: Vec<EventRates> = run.core_samples.iter().map(|cs| cs[sample.period]).collect();
         let est = model.predict_processor(&rates);
         let meas = sample.measured_watts;
         sample_errors.push((est - meas).abs() / meas);

@@ -5,6 +5,10 @@
 //!
 //! Every binary accepts `--fast` for a reduced-fidelity smoke run.
 
+// The models need no unsafe code anywhere; enforced by mpmc-lint's
+// unsafe_audit rule workspace-wide.
+#![forbid(unsafe_code)]
+
 pub mod ablation_profiling;
 pub mod ablation_training;
 pub mod ctxsw;
@@ -17,8 +21,8 @@ pub mod partition_study;
 pub mod phase_study;
 pub mod portability_study;
 pub mod powerval;
-pub mod scheduler_study;
 pub mod prefetch;
+pub mod scheduler_study;
 pub mod table1;
 pub mod table2;
 pub mod table3;

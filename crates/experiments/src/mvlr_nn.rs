@@ -8,9 +8,7 @@ use crate::harness::{self, RunScale};
 use cmpsim::hpc::EventRates;
 use cmpsim::machine::MachineConfig;
 use mathkit::nn::TrainOptions;
-use mpmc_model::power::{
-    build_training_set, model_accuracy_pct, NnPowerModel, PowerModel,
-};
+use mpmc_model::power::{build_training_set, model_accuracy_pct, NnPowerModel, PowerModel};
 use mpmc_model::ModelError;
 use workloads::spec::SpecWorkload;
 
@@ -37,8 +35,7 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let mut samples: Vec<(Vec<EventRates>, f64)> = Vec::new();
     for run in harness::run_assignments(&machine, &suite, &placements, scale, 7_000)? {
         for s in run.settled_power() {
-            let rates: Vec<EventRates> =
-                run.core_samples.iter().map(|cs| cs[s.period]).collect();
+            let rates: Vec<EventRates> = run.core_samples.iter().map(|cs| cs[s.period]).collect();
             samples.push((rates, s.measured_watts));
         }
     }
@@ -49,7 +46,10 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));
     out.push_str(&format!("training observations: {}\n", obs.len()));
     out.push_str(&format!("validation samples:    {}\n", samples.len()));
-    out.push_str(&format!("MVLR accuracy: {acc_mvlr:.2}%  (R^2 on training: {:.4})\n", mvlr.r_squared()));
+    out.push_str(&format!(
+        "MVLR accuracy: {acc_mvlr:.2}%  (R^2 on training: {:.4})\n",
+        mvlr.r_squared()
+    ));
     out.push_str(&format!("NN accuracy:   {acc_nn:.2}%\n"));
     out.push_str(&format!(
         "MVLR coefficients (L1RPS, L2RPS, L2MPS, BRPS, FPPS): {:?}\n",

@@ -32,7 +32,10 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     // Part 1: single process under a sweep of quotas.
     let solo_workloads = [SpecWorkload::Mcf, SpecWorkload::Twolf, SpecWorkload::Gzip];
     out.push_str("\nsolo processes under way quotas (predicted vs measured MPA):\n");
-    out.push_str(&format!("{:<8}{:>6}{:>12}{:>12}{:>10}\n", "proc", "quota", "pred MPA", "meas MPA", "err"));
+    out.push_str(&format!(
+        "{:<8}{:>6}{:>12}{:>12}{:>10}\n",
+        "proc", "quota", "pred MPA", "meas MPA", "err"
+    ));
     let mut solo_errs = Vec::new();
     for w in solo_workloads {
         let params = w.params();
@@ -103,9 +106,7 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
                 ..Default::default()
             },
         )?;
-        for (fv, quota, stats) in
-            [(&fva, qa, &run.processes[0]), (&fvb, qb, &run.processes[1])]
-        {
+        for (fv, quota, stats) in [(&fva, qa, &run.processes[0]), (&fvb, qb, &run.processes[1])] {
             let pred_spi = fv.spi_at(quota as f64);
             let err = (pred_spi - stats.spi()).abs() / stats.spi();
             pair_errs.push(err);

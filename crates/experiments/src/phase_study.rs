@@ -65,10 +65,7 @@ fn measure_phased_pair(
 ) -> Result<(f64, f64), ModelError> {
     let mut pl = Placement::idle(machine.num_cores());
     pl.assign(0, phased_spec(machine, 1, phase_instructions))?;
-    pl.assign(
-        1,
-        ProcessSpec::new(partner.name, Box::new(partner.generator(machine.l2_sets, 10))),
-    )?;
+    pl.assign(1, ProcessSpec::new(partner.name, Box::new(partner.generator(machine.l2_sets, 10))))?;
     let run = simulate(
         machine,
         pl,

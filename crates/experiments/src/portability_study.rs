@@ -67,7 +67,11 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
                 errs_ported.push(ep);
                 out.push_str(&format!(
                     "{:<16}{:>14.3e}{:>16.2}{:>16.2}\n",
-                    format!("{}/{}", stats.name, if slot == 0 { suite[j].name() } else { suite[i].name() }),
+                    format!(
+                        "{}/{}",
+                        stats.name,
+                        if slot == 0 { suite[j].name() } else { suite[i].name() }
+                    ),
                     stats.spi(),
                     en * 100.0,
                     ep * 100.0

@@ -42,10 +42,7 @@ fn run_once(
 ) -> Result<f64, ModelError> {
     let params = w.params();
     let mut pl = Placement::idle(machine.num_cores());
-    pl.assign(
-        0,
-        ProcessSpec::new(params.name, Box::new(params.generator(machine.l2_sets, 1))),
-    )?;
+    pl.assign(0, ProcessSpec::new(params.name, Box::new(params.generator(machine.l2_sets, 1))))?;
     let run = simulate(
         machine,
         pl,
@@ -70,8 +67,7 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let mut cases = Vec::new();
     for (i, w) in SpecWorkload::duo_suite().iter().enumerate() {
         let spi_off = run_once(&machine, *w, None, scale, i as u64)?;
-        let spi_on =
-            run_once(&machine, *w, Some(PrefetchConfig::default()), scale, i as u64)?;
+        let spi_on = run_once(&machine, *w, Some(PrefetchConfig::default()), scale, i as u64)?;
         cases.push(PrefetchCase { name: w.name(), spi_off, spi_on });
     }
 
@@ -79,7 +75,10 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
     let avg = stats::mean(&speedups);
     let title = "S3.1 study: Performance Impact of Hardware Prefetching";
     let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));
-    out.push_str(&format!("{:<10}{:>14}{:>14}{:>12}\n", "Benchmark", "SPI off", "SPI on", "speedup %"));
+    out.push_str(&format!(
+        "{:<10}{:>14}{:>14}{:>12}\n",
+        "Benchmark", "SPI off", "SPI on", "speedup %"
+    ));
     for c in &cases {
         out.push_str(&format!(
             "{:<10}{:>14.3e}{:>14.3e}{:>12.2}\n",

@@ -62,8 +62,7 @@ fn estimate_throughput(
     let mut total = 0.0;
     for die in 0..machine.dies {
         let cores = machine.cores_of(cmpsim::types::DieId(die as u32));
-        let queues: Vec<&[usize]> =
-            cores.iter().map(|c| asg.processes_on(c.0 as usize)).collect();
+        let queues: Vec<&[usize]> = cores.iter().map(|c| asg.processes_on(c.0 as usize)).collect();
         let sizes: Vec<usize> = queues.iter().map(|q| q.len()).collect();
         if sizes.iter().all(|&s| s == 0) {
             continue;
@@ -111,7 +110,8 @@ fn place(
                 let mut best = (0usize, f64::INFINITY);
                 let mut worst = (0usize, f64::NEG_INFINITY);
                 for core in 0..num_cores {
-                    let watts = combined.estimate_after_assigning(profiles, &asg, proc_idx, core)?;
+                    let watts =
+                        combined.estimate_after_assigning(profiles, &asg, proc_idx, core)?;
                     let objective = if policy == Policy::ModelEpi {
                         let next = asg.with_assigned(core, proc_idx);
                         let ips = estimate_throughput(machine, profiles, &next)?;
@@ -164,8 +164,7 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
         })
         .collect();
 
-    let policies =
-        [Policy::ModelGreedy, Policy::ModelEpi, Policy::RoundRobin, Policy::WorstCase];
+    let policies = [Policy::ModelGreedy, Policy::ModelEpi, Policy::RoundRobin, Policy::WorstCase];
     let title = "EXT-9: Power-Aware Assignment (the S5 application)";
     let mut out = format!("{title}\n{}\n", "=".repeat(title.len()));
     out.push_str(&format!(

@@ -94,8 +94,8 @@ pub fn run_pairwise(
     scale: &RunScale,
 ) -> Result<Table1, ModelError> {
     // Profile every benchmark once (the O(k) step).
-    let profiler = mpmc_model::profile::Profiler::new(machine.clone())
-        .with_options(scale.profile_options());
+    let profiler =
+        mpmc_model::profile::Profiler::new(machine.clone()).with_options(scale.profile_options());
     let mut features: Vec<FeatureVector> = Vec::new();
     for w in suite {
         features.push(profiler.profile(&w.params())?);
@@ -108,9 +108,8 @@ pub fn run_pairwise(
         for j in i..suite.len() {
             // Predict, then measure.
             let pred = model.predict(&[&features[i], &features[j]])?;
-            let placement = vec![vec![i], vec![j], Vec::new(), Vec::new()]
-                [..machine.num_cores()]
-                .to_vec();
+            let placement =
+                vec![vec![i], vec![j], Vec::new(), Vec::new()][..machine.num_cores()].to_vec();
             let run = harness::run_assignment(machine, suite, &placement, scale, salt)?;
             salt += 1;
             let pa = &run.processes[0];

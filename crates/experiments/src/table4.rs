@@ -113,8 +113,6 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
             r.max * 100.0
         ));
     }
-    out.push_str(
-        "\npaper (avg/max %): 2.84/5.78, 1.92/6.29, 2.68/5.48, 2.53/5.99, 0.49/1.95\n",
-    );
+    out.push_str("\npaper (avg/max %): 2.84/5.78, 1.92/6.29, 2.68/5.48, 2.53/5.99, 0.49/1.95\n");
     Ok(harness::save_report("table4", out))
 }

@@ -50,8 +50,14 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
 
         // Measure the weighted co-run: both on core 0, slices 3:1.
         let mut pl = Placement::idle(machine.num_cores());
-        pl.assign(0, ProcessSpec::new(wa.name(), Box::new(wa.params().generator(machine.l2_sets, 1))))?;
-        pl.assign(0, ProcessSpec::new(wb.name(), Box::new(wb.params().generator(machine.l2_sets, 2))))?;
+        pl.assign(
+            0,
+            ProcessSpec::new(wa.name(), Box::new(wa.params().generator(machine.l2_sets, 1))),
+        )?;
+        pl.assign(
+            0,
+            ProcessSpec::new(wb.name(), Box::new(wb.params().generator(machine.l2_sets, 2))),
+        )?;
         let run = simulate(
             &machine,
             pl,

@@ -1,0 +1,181 @@
+//! The `mpmc-lint` binary: `cargo run -p mpmc-lint -- --check`.
+//!
+//! Exit codes follow the workspace taxonomy
+//! ([`mpmc_service::exit_code`]): 0 clean, 2 usage, 3 bad `lint.toml`,
+//! 5 I/O trouble, 8 unwaived deny-level findings.
+
+#![forbid(unsafe_code)]
+
+use mpmc_lint::{engine, Config};
+use mpmc_service::exit_code;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+mpmc-lint — static analysis for the mpmc workspace (see DESIGN.md §12)
+
+usage: mpmc-lint --check [--format text|json] [--root DIR] [--config FILE]
+       mpmc-lint --list-rules
+
+  --check          run the lint (the only analysis mode; explicit so CI
+                   invocations read as what they are)
+  --format FMT     report format: text (default) or json
+  --root DIR       workspace root (default: walk up from the current
+                   directory to the Cargo.toml with [workspace])
+  --config FILE    lint configuration (default: ROOT/lint.toml when it
+                   exists, else compiled-in defaults)
+  --list-rules     print the known rule keys and their configured levels
+
+exit codes: 0 clean, 2 usage, 3 invalid lint.toml, 5 I/O failure,
+8 unwaived deny-level findings.
+";
+
+struct Opts {
+    check: bool,
+    list_rules: bool,
+    format: String,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        check: false,
+        list_rules: false,
+        format: "text".to_string(),
+        root: None,
+        config: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--list-rules" => opts.list_rules = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                if v != "text" && v != "json" {
+                    return Err(format!("--format: expected text|json, got '{v}'"));
+                }
+                opts.format = v.clone();
+            }
+            "--root" => opts.root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?)),
+            "--config" => {
+                opts.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?));
+            }
+            "--help" | "-h" => {
+                opts.check = false;
+                opts.list_rules = false;
+                return Err(String::new()); // printed as usage, exit 2
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if !opts.check && !opts.list_rules {
+        return Err("nothing to do: pass --check (or --list-rules)".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&argv));
+}
+
+fn run(argv: &[String]) -> i32 {
+    let opts = match parse_args(argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return 0;
+            }
+            eprintln!("mpmc-lint: {msg}\n\n{USAGE}");
+            return exit_code::USAGE;
+        }
+    };
+
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("mpmc-lint: current dir: {e}");
+                    return exit_code::IO;
+                }
+            };
+            match engine::find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("mpmc-lint: {e}");
+                    return exit_code::IO;
+                }
+            }
+        }
+    };
+
+    let mut cfg = Config::default();
+    let config_path = opts.config.clone().or_else(|| {
+        let default = root.join("lint.toml");
+        default.is_file().then_some(default)
+    });
+    if let Some(path) = config_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mpmc-lint: {}: {e}", path.display());
+                return exit_code::IO;
+            }
+        };
+        if let Err(e) = cfg.apply_toml(&text) {
+            eprintln!("mpmc-lint: {}: {e}", path.display());
+            return exit_code::INVALID_DATA;
+        }
+    }
+
+    if opts.list_rules {
+        for key in mpmc_lint::config::RULE_KEYS {
+            println!("{key:<14} {:?}", cfg.level(key));
+        }
+        return 0;
+    }
+
+    let report = match engine::run(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mpmc-lint: {e}");
+            return exit_code::IO;
+        }
+    };
+    match opts.format.as_str() {
+        "json" => println!("{}", report.render_json()),
+        _ => print!("{}", report.render_text()),
+    }
+    report.exit_code()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_errors_are_usage() {
+        assert!(parse_args(&args(&["--frob"])).is_err());
+        assert!(parse_args(&args(&["--format", "xml"])).is_err());
+        assert!(parse_args(&args(&[])).is_err(), "no mode given");
+        assert!(parse_args(&args(&["--check", "--format", "json"])).is_ok());
+    }
+
+    #[test]
+    fn self_run_on_workspace_is_clean() {
+        // The binary run against the real workspace must exit 0 — the
+        // same guarantee the CI gate enforces.
+        let root = engine::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let code = run(&args(&["--check", "--root", root.to_str().expect("utf8 root")]));
+        assert_eq!(code, 0, "workspace has unwaived lint findings");
+    }
+}

@@ -1,0 +1,294 @@
+//! `lint.toml` configuration: rule severities and scopes.
+//!
+//! The workspace has no TOML dependency, so this is a deliberately
+//! minimal hand-rolled parser covering exactly the subset `lint.toml`
+//! uses: `[section]` headers, `key = "string"`, and single-line
+//! `key = ["a", "b"]` arrays. Anything else is a hard error — a lint
+//! whose own configuration silently misparses would be worse than no
+//! lint at all.
+
+use crate::findings::Severity;
+use std::collections::BTreeMap;
+
+/// The rule keys the engine knows, in reporting order.
+pub const RULE_KEYS: &[&str] = &[
+    "panic_free",
+    "nan_safe",
+    "determinism",
+    "lock_hygiene",
+    "unsafe_audit",
+    "indexing",
+    "waiver_syntax",
+    "waiver_unused",
+];
+
+/// A rule's configured state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleLevel {
+    /// Finding fails the build (exit 8).
+    Deny,
+    /// Finding is reported but never fails the build.
+    Warn,
+    /// Rule does not run.
+    Off,
+}
+
+impl RuleLevel {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "deny" => Ok(RuleLevel::Deny),
+            "warn" => Ok(RuleLevel::Warn),
+            "off" => Ok(RuleLevel::Off),
+            other => Err(format!("unknown level '{other}' (expected deny|warn|off)")),
+        }
+    }
+
+    /// The severity a finding from this rule carries (`Off` never
+    /// produces findings).
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleLevel::Deny => Severity::Deny,
+            _ => Severity::Warn,
+        }
+    }
+}
+
+/// Effective lint configuration: compiled-in defaults overridden by
+/// `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Rule key → level.
+    pub rules: BTreeMap<String, RuleLevel>,
+    /// Rule key → workspace-relative path prefixes the rule applies to.
+    /// An empty list means "everywhere scanned".
+    pub scopes: BTreeMap<String, Vec<String>>,
+    /// Path prefixes excluded from scanning entirely.
+    pub exclude: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut rules = BTreeMap::new();
+        for k in ["panic_free", "nan_safe", "determinism", "lock_hygiene", "unsafe_audit"] {
+            rules.insert(k.to_string(), RuleLevel::Deny);
+        }
+        // Indexing is advisory by default: bounded slice indexing is
+        // pervasive and legitimate in the matrix/cache hot paths, so the
+        // rule exists for fixtures and opt-in sweeps, not the CI gate.
+        rules.insert("indexing".to_string(), RuleLevel::Off);
+        rules.insert("waiver_syntax".to_string(), RuleLevel::Deny);
+        rules.insert("waiver_unused".to_string(), RuleLevel::Warn);
+
+        let mut scopes = BTreeMap::new();
+        // Panic-freedom: the model core, numerics, and the serving path.
+        scopes.insert(
+            "panic_free".to_string(),
+            vec![
+                "crates/core/src".to_string(),
+                "crates/mathkit/src".to_string(),
+                "crates/service/src".to_string(),
+            ],
+        );
+        scopes.insert(
+            "indexing".to_string(),
+            vec![
+                "crates/core/src".to_string(),
+                "crates/mathkit/src".to_string(),
+                "crates/service/src".to_string(),
+            ],
+        );
+        // NaN-safety: everywhere except mathkit, which hosts the blessed
+        // comparator helpers (mathkit::float) themselves.
+        scopes.insert(
+            "nan_safe".to_string(),
+            vec![
+                "crates/bench".to_string(),
+                "crates/cli".to_string(),
+                "crates/cmpsim".to_string(),
+                "crates/core".to_string(),
+                "crates/experiments".to_string(),
+                "crates/lint".to_string(),
+                "crates/service".to_string(),
+                "crates/workloads".to_string(),
+                "src".to_string(),
+            ],
+        );
+        // Determinism: fingerprinting/equilibrium/cache code where
+        // iteration order is load-bearing, plus the serving layer.
+        scopes.insert(
+            "determinism".to_string(),
+            vec![
+                "crates/core/src".to_string(),
+                "crates/mathkit/src/lru.rs".to_string(),
+                "crates/service/src".to_string(),
+            ],
+        );
+        // Lock hygiene and the unsafe audit apply to everything scanned.
+        scopes.insert("lock_hygiene".to_string(), Vec::new());
+        scopes.insert("unsafe_audit".to_string(), Vec::new());
+
+        Config {
+            rules,
+            scopes,
+            // Shims mirror external crates' APIs and track upstream
+            // idioms; fixtures are intentionally violating snippets.
+            exclude: vec!["shims".to_string(), "crates/lint/tests/fixtures".to_string()],
+        }
+    }
+}
+
+impl Config {
+    /// The level of rule `key` (rules absent from the table are off).
+    pub fn level(&self, key: &str) -> RuleLevel {
+        self.rules.get(key).copied().unwrap_or(RuleLevel::Off)
+    }
+
+    /// Whether `relpath` is inside rule `key`'s scope.
+    pub fn in_scope(&self, key: &str, relpath: &str) -> bool {
+        match self.scopes.get(key) {
+            None => true,
+            Some(prefixes) if prefixes.is_empty() => true,
+            Some(prefixes) => prefixes.iter().any(|p| relpath.starts_with(p.as_str())),
+        }
+    }
+
+    /// Whether `relpath` is excluded from scanning.
+    pub fn excluded(&self, relpath: &str) -> bool {
+        self.exclude.iter().any(|p| relpath.starts_with(p.as_str()))
+    }
+
+    /// Applies `lint.toml` text over the defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered message for syntax errors, unknown
+    /// sections, unknown rule keys, or unknown levels.
+    pub fn apply_toml(&mut self, text: &str) -> Result<(), String> {
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "rules" | "scope" | "engine" => {}
+                    other => return Err(format!("lint.toml:{lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match section.as_str() {
+                "rules" => {
+                    if !RULE_KEYS.contains(&key) {
+                        return Err(format!("lint.toml:{lineno}: unknown rule '{key}'"));
+                    }
+                    let level = RuleLevel::parse(
+                        parse_toml_str(value).map_err(|e| format!("lint.toml:{lineno}: {e}"))?,
+                    )
+                    .map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+                    self.rules.insert(key.to_string(), level);
+                }
+                "scope" => {
+                    if !RULE_KEYS.contains(&key) {
+                        return Err(format!("lint.toml:{lineno}: unknown rule '{key}'"));
+                    }
+                    let paths =
+                        parse_toml_array(value).map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+                    self.scopes.insert(key.to_string(), paths);
+                }
+                "engine" => match key {
+                    "exclude" => {
+                        self.exclude = parse_toml_array(value)
+                            .map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+                    }
+                    other => {
+                        return Err(format!("lint.toml:{lineno}: unknown engine key '{other}'"))
+                    }
+                },
+                _ => return Err(format!("lint.toml:{lineno}: key outside any [section]")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Strips a `#` comment, respecting `"` quoting.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"value"`.
+fn parse_toml_str(value: &str) -> Result<&str, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{value}`"))
+}
+
+/// Parses `["a", "b"]` (one line; empty `[]` allowed).
+fn parse_toml_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a `[...]` array, got `{value}`"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner.split(',').map(|item| parse_toml_str(item.trim()).map(String::from)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = Config::default();
+        assert_eq!(cfg.level("panic_free"), RuleLevel::Deny);
+        assert_eq!(cfg.level("indexing"), RuleLevel::Off);
+        assert!(cfg.in_scope("panic_free", "crates/core/src/equilibrium.rs"));
+        assert!(!cfg.in_scope("panic_free", "crates/cli/src/commands.rs"));
+        assert!(cfg.in_scope("lock_hygiene", "crates/cli/src/commands.rs"));
+        assert!(!cfg.in_scope("nan_safe", "crates/mathkit/src/stats.rs"));
+        assert!(cfg.excluded("shims/rand/src/lib.rs"));
+        assert!(cfg.excluded("crates/lint/tests/fixtures/panic_free_bad.rs"));
+    }
+
+    #[test]
+    fn toml_overrides() {
+        let mut cfg = Config::default();
+        cfg.apply_toml(
+            "# comment\n[rules]\nindexing = \"warn\" # trailing\npanic_free = \"off\"\n\n[scope]\ndeterminism = [\"crates/core\"]\n\n[engine]\nexclude = []\n",
+        )
+        .expect("valid toml");
+        assert_eq!(cfg.level("indexing"), RuleLevel::Warn);
+        assert_eq!(cfg.level("panic_free"), RuleLevel::Off);
+        assert_eq!(cfg.scopes["determinism"], ["crates/core"]);
+        assert!(!cfg.excluded("shims/rand/src/lib.rs"));
+    }
+
+    #[test]
+    fn toml_rejects_unknowns() {
+        let mut cfg = Config::default();
+        assert!(cfg.apply_toml("[rules]\nnot_a_rule = \"deny\"\n").is_err());
+        assert!(cfg.apply_toml("[nope]\n").is_err());
+        assert!(cfg.apply_toml("[rules]\npanic_free = \"fatal\"\n").is_err());
+        assert!(cfg.apply_toml("stray = \"x\"\n").is_err());
+        assert!(cfg.apply_toml("[rules]\npanic_free = deny\n").is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! The analysis driver: walks the workspace source trees, runs the
+//! configured rules on each file, and resolves waivers into a
+//! [`Report`].
+
+use crate::config::{Config, RuleLevel};
+use crate::findings::{Finding, Report, Severity};
+use crate::lexer;
+use crate::rules::{self, RawFinding};
+use std::path::{Path, PathBuf};
+
+/// Lints one file's source text under `cfg`, exactly as the workspace
+/// run does. `relpath` decides rule scoping (fixture tests pass
+/// synthetic paths like `crates/core/src/snippet.rs` to land in a
+/// rule's scope).
+pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let is_crate_root = relpath.ends_with("src/lib.rs");
+    let mut raws: Vec<(RawFinding, Severity)> = Vec::new();
+
+    let mut run_rule = |key: &'static str, f: &dyn Fn(&mut Vec<RawFinding>)| {
+        let level = cfg.level(key);
+        if level == RuleLevel::Off || !cfg.in_scope(key, relpath) {
+            return;
+        }
+        let mut out = Vec::new();
+        f(&mut out);
+        raws.extend(out.into_iter().map(|r| (r, level.severity())));
+    };
+    run_rule("panic_free", &|out| rules::panic_free(&lexed.toks, out));
+    run_rule("indexing", &|out| rules::indexing(&lexed.toks, out));
+    run_rule("nan_safe", &|out| rules::nan_safe(&lexed.toks, out));
+    run_rule("determinism", &|out| rules::determinism(&lexed.toks, out));
+    run_rule("lock_hygiene", &|out| rules::lock_hygiene(relpath, &lexed.toks, out));
+    run_rule("unsafe_audit", &|out| rules::unsafe_audit(is_crate_root, &lexed.toks, out));
+
+    // Resolve waivers. A waiver covers findings of its rules (or `all`)
+    // on its target line; each use is recorded so unused waivers can be
+    // reported.
+    let mut used = vec![false; lexed.waivers.len()];
+    let mut findings: Vec<Finding> = Vec::new();
+    for (r, severity) in raws {
+        let mut waived = false;
+        let mut waive_reason = None;
+        for (wi, w) in lexed.waivers.iter().enumerate() {
+            let rule_matches = w.rules.iter().any(|k| k == r.rule || k == "all");
+            if w.target_line == r.line && rule_matches && w.reason.is_some() {
+                used[wi] = true;
+                waived = true;
+                waive_reason = w.reason.clone();
+                break;
+            }
+        }
+        findings.push(Finding {
+            rule: r.rule.to_string(),
+            severity,
+            file: relpath.to_string(),
+            line: r.line,
+            col: r.col,
+            message: r.message,
+            waived,
+            waive_reason,
+        });
+    }
+
+    // Waiver hygiene findings.
+    if cfg.level("waiver_syntax") != RuleLevel::Off {
+        let sev = cfg.level("waiver_syntax").severity();
+        for (line, msg) in &lexed.bad_waivers {
+            findings.push(Finding {
+                rule: "waiver_syntax".to_string(),
+                severity: sev,
+                file: relpath.to_string(),
+                line: *line,
+                col: 1,
+                message: msg.clone(),
+                waived: false,
+                waive_reason: None,
+            });
+        }
+        for w in &lexed.waivers {
+            if w.reason.is_none() {
+                findings.push(Finding {
+                    rule: "waiver_syntax".to_string(),
+                    severity: sev,
+                    file: relpath.to_string(),
+                    line: w.line,
+                    col: 1,
+                    message: "waiver is missing its justification: \
+                              `// lint:allow(<rule>) -- <reason>`"
+                        .to_string(),
+                    waived: false,
+                    waive_reason: None,
+                });
+            }
+        }
+    }
+    if cfg.level("waiver_unused") != RuleLevel::Off {
+        let sev = cfg.level("waiver_unused").severity();
+        for (wi, w) in lexed.waivers.iter().enumerate() {
+            if !used[wi] && w.reason.is_some() {
+                findings.push(Finding {
+                    rule: "waiver_unused".to_string(),
+                    severity: sev,
+                    file: relpath.to_string(),
+                    line: w.line,
+                    col: 1,
+                    message: format!(
+                        "waiver for {} matches no finding; remove it",
+                        w.rules.join(", ")
+                    ),
+                    waived: false,
+                    waive_reason: None,
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Runs the full workspace lint rooted at `root`.
+///
+/// Scans the non-test source trees — `src/` of the workspace package and
+/// of every `crates/*` member (integration `tests/`, `benches/`, and
+/// `examples/` are dynamic-test territory, out of static scope) — minus
+/// the configured excludes.
+///
+/// # Errors
+///
+/// Returns a message for I/O failures walking or reading sources.
+pub fn run(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+            .filter_map(Result::ok)
+            .map(|d| d.path())
+            .collect();
+        members.sort();
+        for m in members {
+            let src = m.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for key in crate::config::RULE_KEYS {
+        if cfg.level(key) != RuleLevel::Off {
+            report.rules_run.push((*key).to_string());
+        }
+    }
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| format!("{}: outside the workspace root", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg.excluded(&rel) {
+            continue;
+        }
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        report.findings.extend(lint_source(&rel, &source, cfg));
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic reports.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|d| d.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` looking for a
+/// `Cargo.toml` containing a `[workspace]` table.
+///
+/// # Errors
+///
+/// Returns a message when no workspace root is found.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("{}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root (Cargo.toml with [workspace]) above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waivers_suppress_and_unused_waivers_warn() {
+        let cfg = Config::default();
+        let src = "fn f() {\n    x.unwrap(); // lint:allow(panic_free) -- invariant: x is Some by construction\n}\n";
+        let fs = lint_source("crates/core/src/snippet.rs", src, &cfg);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived);
+        assert_eq!(fs[0].waive_reason.as_deref(), Some("invariant: x is Some by construction"));
+
+        let src = "fn f() {\n    // lint:allow(panic_free) -- nothing here violates it\n    let y = 1;\n}\n";
+        let fs = lint_source("crates/core/src/snippet.rs", src, &cfg);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "waiver_unused");
+        assert_eq!(fs[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn waiver_without_reason_does_not_waive() {
+        let cfg = Config::default();
+        let src = "fn f() {\n    x.unwrap(); // lint:allow(panic_free)\n}\n";
+        let fs = lint_source("crates/core/src/snippet.rs", src, &cfg);
+        let panic: Vec<_> = fs.iter().filter(|f| f.rule == "panic_free").collect();
+        assert_eq!(panic.len(), 1);
+        assert!(!panic[0].waived, "reason-less waivers must not waive");
+        assert!(fs.iter().any(|f| f.rule == "waiver_syntax"));
+    }
+
+    #[test]
+    fn scoping_gates_rules_by_path() {
+        let cfg = Config::default();
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(!lint_source("crates/core/src/a.rs", src, &cfg).is_empty());
+        assert!(lint_source("crates/cli/src/a.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_line() {
+        let cfg = Config::default();
+        let src =
+            "fn f() {\n    // lint:allow(panic_free) -- checked two lines up\n    x.unwrap();\n}\n";
+        let fs = lint_source("crates/core/src/a.rs", src, &cfg);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived);
+    }
+
+    #[test]
+    fn workspace_root_discovery() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates").is_dir());
+        assert!(find_workspace_root(Path::new("/nonexistent-zzz")).is_err());
+    }
+}

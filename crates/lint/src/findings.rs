@@ -1,0 +1,207 @@
+//! Typed lint findings and the report they aggregate into.
+
+use mpmc_service::json::Json;
+
+/// How a finding affects the exit code.
+// Derived PartialOrd on integer fields expands to the banned partial_cmp.
+#[allow(clippy::disallowed_methods)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but never fails the build.
+    Warn,
+    /// Fails the build (exit code 8) unless waived.
+    Deny,
+}
+
+impl Severity {
+    /// The stable lowercase name (`deny` / `warn`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One finding at one source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule key (`panic_free`, `nan_safe`, ...).
+    pub rule: String,
+    /// Effective severity after configuration.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Whether a `lint:allow` waiver covers this finding.
+    pub waived: bool,
+    /// The waiver's justification, when waived.
+    pub waive_reason: Option<String>,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, waived ones included (they stay visible in JSON
+    /// output so waivers remain auditable).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Rules that ran (after `off` filtering), in order.
+    pub rules_run: Vec<String>,
+}
+
+impl Report {
+    /// Findings that count against the exit code: unwaived denies.
+    pub fn active_denies(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Deny && !f.waived)
+    }
+
+    /// Unwaived warn-level findings.
+    pub fn active_warns(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Warn && !f.waived)
+    }
+
+    /// The process exit code for this report: 0 when clean,
+    /// [`mpmc_service::exit_code::LINT`] when any unwaived deny finding
+    /// exists.
+    pub fn exit_code(&self) -> i32 {
+        if self.active_denies().next().is_some() {
+            mpmc_service::exit_code::LINT
+        } else {
+            0
+        }
+    }
+
+    /// Canonical ordering: by file, then line, then column, then rule.
+    /// Called by the engine so output is bit-stable run to run.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
+        });
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.waived {
+                continue;
+            }
+            out.push_str(&format!(
+                "{}:{}:{}: {}({}): {}\n",
+                f.file,
+                f.line,
+                f.col,
+                f.severity.name(),
+                f.rule,
+                f.message
+            ));
+        }
+        let denies = self.active_denies().count();
+        let warns = self.active_warns().count();
+        let waived = self.findings.iter().filter(|f| f.waived).count();
+        out.push_str(&format!(
+            "mpmc-lint: {} files scanned, {denies} error{}, {warns} warning{}, {waived} waived\n",
+            self.files_scanned,
+            if denies == 1 { "" } else { "s" },
+            if warns == 1 { "" } else { "s" },
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report (one JSON document).
+    pub fn render_json(&self) -> String {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                let mut fields = vec![
+                    ("rule".to_string(), Json::str(&f.rule)),
+                    ("severity".to_string(), Json::str(f.severity.name())),
+                    ("file".to_string(), Json::str(&f.file)),
+                    ("line".to_string(), Json::Num(f64::from(f.line))),
+                    ("col".to_string(), Json::Num(f64::from(f.col))),
+                    ("message".to_string(), Json::str(&f.message)),
+                    ("waived".to_string(), Json::Bool(f.waived)),
+                ];
+                if let Some(reason) = &f.waive_reason {
+                    fields.push(("waive_reason".to_string(), Json::str(reason)));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("tool".to_string(), Json::str("mpmc-lint")),
+            ("files_scanned".to_string(), Json::Num(self.files_scanned as f64)),
+            ("rules_run".to_string(), Json::Arr(self.rules_run.iter().map(Json::str).collect())),
+            ("errors".to_string(), Json::Num(self.active_denies().count() as f64)),
+            ("warnings".to_string(), Json::Num(self.active_warns().count() as f64)),
+            (
+                "waived".to_string(),
+                Json::Num(self.findings.iter().filter(|f| f.waived).count() as f64),
+            ),
+            ("findings".to_string(), Json::Arr(findings)),
+        ]);
+        doc.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, sev: Severity, waived: bool) -> Finding {
+        Finding {
+            rule: rule.into(),
+            severity: sev,
+            file: "crates/core/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            message: "m".into(),
+            waived,
+            waive_reason: waived.then(|| "reason".to_string()),
+        }
+    }
+
+    #[test]
+    fn exit_code_follows_active_denies() {
+        let mut r = Report::default();
+        assert_eq!(r.exit_code(), 0);
+        r.findings.push(finding("panic_free", Severity::Warn, false));
+        assert_eq!(r.exit_code(), 0, "warns never fail the build");
+        r.findings.push(finding("panic_free", Severity::Deny, true));
+        assert_eq!(r.exit_code(), 0, "waived denies never fail the build");
+        r.findings.push(finding("panic_free", Severity::Deny, false));
+        assert_eq!(r.exit_code(), mpmc_service::exit_code::LINT);
+    }
+
+    #[test]
+    fn json_round_trips_and_carries_fields() {
+        let mut r = Report { files_scanned: 2, ..Default::default() };
+        r.rules_run.push("panic_free".into());
+        r.findings.push(finding("panic_free", Severity::Deny, false));
+        r.findings.push(finding("nan_safe", Severity::Deny, true));
+        let parsed = mpmc_service::json::parse(&r.render_json()).expect("valid JSON");
+        assert_eq!(parsed.get("errors").and_then(Json::as_usize), Some(1));
+        assert_eq!(parsed.get("waived").and_then(Json::as_usize), Some(1));
+        let arr = parsed.get("findings").and_then(Json::as_arr).expect("findings array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("rule").and_then(Json::as_str), Some("panic_free"));
+        assert_eq!(arr[1].get("waive_reason").and_then(Json::as_str), Some("reason"));
+    }
+
+    #[test]
+    fn text_report_names_file_line_rule() {
+        let mut r = Report { files_scanned: 1, ..Default::default() };
+        r.findings.push(finding("lock_hygiene", Severity::Deny, false));
+        let text = r.render_text();
+        assert!(text.contains("crates/core/src/x.rs:3:7: deny(lock_hygiene)"), "{text}");
+        assert!(text.contains("1 error"), "{text}");
+    }
+}

@@ -1,0 +1,574 @@
+//! A small Rust lexer: just enough structure for the lint rules.
+//!
+//! The offline-shim constraint rules out `syn`, so `mpmc-lint` works on
+//! a token stream instead of an AST. The lexer strips comments and
+//! string/char literals (so rule patterns never fire on prose), records
+//! `// lint:allow(rule) -- reason` waiver comments, and marks the token
+//! regions that belong to test code (`#[cfg(test)]` items, `#[test]`
+//! functions, and `mod tests` blocks) so rules can exempt them.
+
+/// What a token is. Literal *contents* are discarded — rules only ever
+/// need the kind — which guarantees string text can never match a rule
+/// pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`, ...).
+    Ident,
+    /// An integer literal.
+    IntLit,
+    /// A floating-point literal (`1.0`, `2e-3`, `0.5f64`).
+    FloatLit,
+    /// A string, byte-string, or char literal (text discarded).
+    StrLit,
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// Punctuation; multi-char operators the rules care about are fused
+    /// (`::`, `==`, `!=`, `->`, `=>`, `<=`, `>=`, `..`, `&&`, `||`).
+    Punct,
+}
+
+/// One token with its source position and test-scope flag.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (empty for [`TokKind::StrLit`]).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (byte offset within the line).
+    pub col: u32,
+    /// Whether the token sits inside test-only code.
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A `// lint:allow(rule, ...) -- reason` waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The line the comment itself is on.
+    pub line: u32,
+    /// The line whose findings it waives: its own line for a trailing
+    /// comment, the next line for a standalone comment line.
+    pub target_line: u32,
+    /// Rule keys being waived (`all` waives every rule).
+    pub rules: Vec<String>,
+    /// The justification after ` -- ` (required; enforced by the engine).
+    pub reason: Option<String>,
+}
+
+/// A lexed source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// The token stream, comments and literal bodies stripped.
+    pub toks: Vec<Tok>,
+    /// All waiver comments found.
+    pub waivers: Vec<Waiver>,
+    /// Lines carrying a malformed `lint:allow` comment, with a message.
+    pub bad_waivers: Vec<(u32, String)>,
+}
+
+/// Lexes `src`, returning tokens, waivers, and malformed-waiver notes.
+/// The lexer is total: unexpected bytes become single-char punctuation
+/// rather than errors, so a half-edited file still lints.
+pub fn lex(src: &str) -> LexedFile {
+    let mut lx = Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        line_has_code: false,
+        out: LexedFile::default(),
+    };
+    lx.run();
+    mark_test_regions(&mut lx.out.toks);
+    lx.out
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Whether a token has been emitted on the current line (decides
+    /// whether a waiver comment is trailing or standalone).
+    line_has_code: bool,
+    out: LexedFile,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_code = false;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.line_has_code = true;
+        self.out.toks.push(Tok { kind, text, line, col, in_test: false });
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.bytes.len() {
+            let (line, col) = (self.line, self.col);
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_lit(line, col),
+                b'r' | b'b' if self.raw_or_byte_prefix() => self.prefixed_lit(line, col),
+                b'\'' => self.char_or_lifetime(line, col),
+                _ if b.is_ascii_digit() => self.number(line, col),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+    }
+
+    /// Whether `pos` starts `r"`, `r#`, `b"`, `b'`, `br"`, or `br#`
+    /// (a raw/byte literal rather than an identifier).
+    fn raw_or_byte_prefix(&self) -> bool {
+        matches!(
+            (self.peek(0), self.peek(1), self.peek(2)),
+            (b'r', b'"' | b'#', _) | (b'b', b'"' | b'\'', _) | (b'b', b'r', b'"' | b'#')
+        )
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code;
+        // Doc comments (`///`, `//!`) are rustdoc prose, not waiver
+        // carriers — prose *about* the waiver grammar must not waive.
+        let is_doc = matches!(self.peek(2), b'/' | b'!');
+        let mut text = String::new();
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            text.push(self.bump() as char);
+        }
+        if !is_doc {
+            self.scan_waiver(&text, line, trailing);
+        }
+    }
+
+    /// Parses a waiver out of one comment's text, recording it (or a
+    /// malformed-waiver note) on `line`.
+    fn scan_waiver(&mut self, comment: &str, line: u32, trailing: bool) {
+        let Some(at) = comment.find("lint:allow") else { return };
+        let rest = &comment[at + "lint:allow".len()..];
+        let malformed = |msg: &str| (line, format!("malformed waiver: {msg}"));
+        let Some(open) = rest.find('(') else {
+            self.out.bad_waivers.push(malformed("expected `lint:allow(<rule>) -- <reason>`"));
+            return;
+        };
+        if rest[..open].trim() != "" {
+            self.out.bad_waivers.push(malformed("text between `lint:allow` and `(`"));
+            return;
+        }
+        let Some(close) = rest.find(')') else {
+            self.out.bad_waivers.push(malformed("unclosed `(`"));
+            return;
+        };
+        let rules: Vec<String> = rest[open + 1..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            self.out.bad_waivers.push(malformed("no rule key inside `(...)`"));
+            return;
+        }
+        let reason = rest[close + 1..]
+            .trim()
+            .strip_prefix("--")
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty());
+        let target_line = if trailing { line } else { line + 1 };
+        self.out.waivers.push(Waiver { line, target_line, rules, reason });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn string_lit(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::StrLit, String::new(), line, col);
+    }
+
+    /// Raw strings (`r".."`, `r#".."#`), byte strings, and byte chars.
+    fn prefixed_lit(&mut self, line: u32, col: u32) {
+        while matches!(self.peek(0), b'r' | b'b') {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            // Byte char `b'x'`.
+            self.bump();
+            while self.pos < self.bytes.len() {
+                match self.bump() {
+                    b'\\' => {
+                        self.bump();
+                    }
+                    b'\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::StrLit, String::new(), line, col);
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) != b'"' {
+            // `r#ident` raw identifier: lex the ident part normally.
+            let (l, c) = (self.line, self.col);
+            self.ident(l, c);
+            return;
+        }
+        self.bump(); // opening quote
+        'outer: while self.pos < self.bytes.len() {
+            if self.bump() == b'"' {
+                for k in 0..hashes {
+                    if self.peek(k) != b'#' {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::StrLit, String::new(), line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // `'` then: escape → char; ident-char followed by `'` → char;
+        // otherwise a lifetime.
+        let one = self.peek(1);
+        let is_char = one == b'\\' || (one != 0 && self.peek(2) == b'\'' && one != b'\'');
+        if is_char {
+            self.bump(); // '
+            while self.pos < self.bytes.len() {
+                match self.bump() {
+                    b'\\' => {
+                        self.bump();
+                    }
+                    b'\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::StrLit, String::new(), line, col);
+        } else {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                text.push(self.bump() as char);
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            let b = self.bump();
+            text.push(b as char);
+            // `2e-3` / `2E+10`: the sign belongs to the exponent.
+            if (b == b'e' || b == b'E')
+                && matches!(self.peek(0), b'+' | b'-')
+                && self.peek(1).is_ascii_digit()
+                && !text.starts_with("0x")
+            {
+                float = true;
+                text.push(self.bump() as char);
+            }
+        }
+        // A `.` continues the number only for `1.5` or a trailing `1.`
+        // (not `1..2` ranges or `1.min(x)` method calls).
+        if self.peek(0) == b'.' {
+            let after = self.peek(1);
+            if after.is_ascii_digit() {
+                float = true;
+                text.push(self.bump() as char);
+                while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                    text.push(self.bump() as char);
+                }
+            } else if after != b'.' && !(after == b'_' || after.is_ascii_alphabetic()) {
+                float = true;
+                text.push(self.bump() as char);
+            }
+        }
+        if text.contains("f32") || text.contains("f64") {
+            float = true;
+        }
+        let kind = if float { TokKind::FloatLit } else { TokKind::IntLit };
+        self.push(kind, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+            text.push(self.bump() as char);
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        let a = self.bump();
+        let b = self.peek(0);
+        let fused = matches!(
+            (a, b),
+            (b':', b':')
+                | (b'=', b'=')
+                | (b'!', b'=')
+                | (b'=', b'>')
+                | (b'-', b'>')
+                | (b'<', b'=')
+                | (b'>', b'=')
+                | (b'.', b'.')
+                | (b'&', b'&')
+                | (b'|', b'|')
+        );
+        let mut text = String::from(a as char);
+        if fused {
+            text.push(self.bump() as char);
+        }
+        self.push(TokKind::Punct, text, line, col);
+    }
+}
+
+/// Marks tokens inside test-only code: items under `#[cfg(test)]` or
+/// `#[test]` attributes, and `mod tests { ... }` blocks.
+///
+/// The pass tracks one pending test attribute at a time; the braced body
+/// that follows it (skipping parenthesized/bracketed groups like fn
+/// arguments) is marked, as is everything nested inside. An attribute on
+/// a body-less item (`#[cfg(test)] use x;`) is discharged by the `;`.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut brace_depth = 0u32;
+    // Depths (at the `{`) of test regions currently open.
+    let mut test_at: Vec<u32> = Vec::new();
+    let mut pending = false;
+    // Paren/bracket nesting since the pending attribute was seen.
+    let mut pending_group = 0i32;
+    let mut i = 0;
+    while i < toks.len() {
+        // Attribute: `#[ ... ]` or `#![ ... ]` — scan its tokens for
+        // `test` (covers `cfg(test)`, `test`, `cfg(any(test, ...))`).
+        if toks[i].is_punct("#") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_punct("!") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("[") {
+                let mut depth = 0i32;
+                let mut has_test = false;
+                let mut has_not = false;
+                let start = i;
+                while j < toks.len() {
+                    if toks[j].is_punct("[") {
+                        depth += 1;
+                    } else if toks[j].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if toks[j].is_ident("test") {
+                        has_test = true;
+                    } else if toks[j].is_ident("not") {
+                        // `#[cfg(not(test))]` marks *live* code.
+                        has_not = true;
+                    }
+                    j += 1;
+                }
+                let has_test = has_test && !has_not;
+                if !test_at.is_empty() {
+                    let end = (j + 1).min(toks.len());
+                    for t in &mut toks[start..end] {
+                        t.in_test = true;
+                    }
+                }
+                if has_test {
+                    pending = true;
+                    pending_group = 0;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        // `mod tests` / `mod test` without an attribute.
+        if toks[i].is_ident("mod")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("tests") || t.is_ident("test"))
+        {
+            pending = true;
+            pending_group = 0;
+        }
+        let t = &toks[i];
+        if pending {
+            match t.text.as_str() {
+                "(" | "[" if t.kind == TokKind::Punct => pending_group += 1,
+                ")" | "]" if t.kind == TokKind::Punct => pending_group -= 1,
+                ";" if t.kind == TokKind::Punct && pending_group == 0 => pending = false,
+                "{" if t.kind == TokKind::Punct && pending_group == 0 => {
+                    pending = false;
+                    test_at.push(brace_depth);
+                }
+                _ => {}
+            }
+        }
+        if t.is_punct("{") {
+            brace_depth += 1;
+        } else if t.is_punct("}") {
+            brace_depth = brace_depth.saturating_sub(1);
+            if test_at.last() == Some(&brace_depth) {
+                test_at.pop();
+                toks[i].in_test = true; // the closing brace itself
+            }
+        }
+        if !test_at.is_empty() || pending {
+            toks[i].in_test = true;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let toks = lex("let x = \"unwrap() // not code\"; // .unwrap()\n/* panic! */ y");
+        let idents: Vec<_> =
+            toks.toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| &t.text).collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = lex(r###"let s = r#"has "quotes" and unwrap()"#; let b = b"bytes"; c"###);
+        let idents: Vec<_> =
+            toks.toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| &t.text).collect();
+        assert_eq!(idents, ["let", "s", "let", "b", "c"]);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = lex("let c = 'x'; fn f<'a>(v: &'a str) {}");
+        let lifetimes: Vec<_> =
+            toks.toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(toks.toks.iter().filter(|t| t.kind == TokKind::StrLit).count(), 1);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let kinds: Vec<_> = lex("1.5 2 0..3 4e-2 5.min(x) 6.").toks;
+        let floats: Vec<_> =
+            kinds.iter().filter(|t| t.kind == TokKind::FloatLit).map(|t| t.text.clone()).collect();
+        assert_eq!(floats, ["1.5", "4e-2", "6."]);
+        let ints: Vec<_> =
+            kinds.iter().filter(|t| t.kind == TokKind::IntLit).map(|t| t.text.clone()).collect();
+        assert_eq!(ints, ["2", "0", "3", "5"]);
+    }
+
+    #[test]
+    fn fused_punct() {
+        assert!(texts("a == b != c :: d").contains(&"==".to_string()));
+        assert_eq!(texts("x..y"), ["x", "..", "y"]);
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let f = lex("foo(); // lint:allow(panic_free) -- checked above\n// lint:allow(nan_safe, determinism) -- next line\nbar();\n// lint:allow(panic_free)\nbaz();\n");
+        assert_eq!(f.waivers.len(), 3);
+        assert_eq!(f.waivers[0].target_line, 1);
+        assert_eq!(f.waivers[0].rules, ["panic_free"]);
+        assert_eq!(f.waivers[0].reason.as_deref(), Some("checked above"));
+        assert_eq!(f.waivers[1].target_line, 3);
+        assert_eq!(f.waivers[1].rules, ["nan_safe", "determinism"]);
+        assert!(f.waivers[2].reason.is_none(), "missing reason is recorded as None");
+        assert!(f.bad_waivers.is_empty());
+    }
+
+    #[test]
+    fn malformed_waiver_is_reported() {
+        let f = lex("// lint:allow panic_free -- no parens\n// lint:allow() -- empty\n");
+        assert_eq!(f.bad_waivers.len(), 2);
+    }
+
+    #[test]
+    fn cfg_test_scoping() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = lex(src);
+        let unwraps: Vec<bool> =
+            f.toks.iter().filter(|t| t.is_ident("unwrap")).map(|t| t.in_test).collect();
+        assert_eq!(unwraps, [false, true]);
+        let live2 = f.toks.iter().find(|t| t.is_ident("live2")).unwrap();
+        assert!(!live2.in_test, "code after the test mod is live again");
+    }
+
+    #[test]
+    fn test_attr_on_fn_and_bodyless_item() {
+        let src = "#[test]\nfn t(a: u32) { a.unwrap(); }\n#[cfg(test)]\nuse std::fmt;\nfn live() { b.unwrap(); }\n";
+        let f = lex(src);
+        let unwraps: Vec<bool> =
+            f.toks.iter().filter(|t| t.is_ident("unwrap")).map(|t| t.in_test).collect();
+        assert_eq!(unwraps, [true, false]);
+    }
+}

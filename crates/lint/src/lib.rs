@@ -1,0 +1,37 @@
+//! `mpmc-lint`: repo-native static analysis for the mpmc workspace.
+//!
+//! The DAC 2010 reproduction's correctness rests on invariants —
+//! bit-exact order independence, NaN-free iteration, panic-free core
+//! and serving paths — that PRs 1–4 check *dynamically* (crosscheck,
+//! proptests, differential validation). This crate enforces them
+//! *statically*, at `cargo` time, so a regression is caught in the PR
+//! that introduces it rather than in the next validation sweep that
+//! happens to cover the offending path.
+//!
+//! The offline-shim constraint (no registry, so no `syn`) means the
+//! analysis is lexical, not syntactic: a small Rust lexer ([`lexer`])
+//! strips comments and literals, resolves `#[cfg(test)]`/`mod tests`
+//! scopes, and records `// lint:allow(<rule>) -- <reason>` waivers;
+//! the rules ([`rules`]) then pattern-match the token stream. See
+//! DESIGN.md §12 for the rule catalog and the precision trade-offs.
+//!
+//! Run it three ways:
+//!
+//! - `cargo run --release -p mpmc-lint -- --check [--format json|text]`
+//! - `mpmc lint` (the CLI subcommand)
+//! - the CI `lint` job, which uploads the JSON findings as an artifact
+//!
+//! Exit code 8 ([`mpmc_service::exit_code::LINT`]) means unwaived
+//! deny-level findings; 0 means clean.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use engine::{find_workspace_root, lint_source, run};
+pub use findings::{Finding, Report, Severity};

@@ -1,0 +1,229 @@
+//! Fixture-corpus tests: every rule family pins at least one true
+//! positive (exact rule key and line), one clean control, and one
+//! waived site, so a rule regression fails loudly rather than silently
+//! shrinking coverage.
+//!
+//! The fixture `.rs` files under `tests/fixtures/` are never compiled —
+//! they are linted as text through [`mpmc_lint::lint_source`] with
+//! synthetic workspace-relative paths chosen to land in each rule's
+//! scope (and only that rule's, where isolation matters).
+
+#![forbid(unsafe_code)]
+
+use mpmc_lint::config::{Config, RuleLevel};
+use mpmc_lint::findings::{Finding, Report, Severity};
+use mpmc_lint::{engine, lint_source};
+
+/// `(rule, line)` of every finding a waiver did not suppress, sorted by
+/// line (`lint_source` reports in rule order; only `Report` sorts).
+fn unwaived(fs: &[Finding]) -> Vec<(String, u32)> {
+    let mut v: Vec<_> = fs.iter().filter(|f| !f.waived).map(|f| (f.rule.clone(), f.line)).collect();
+    v.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    v
+}
+
+fn lint(relpath: &str, source: &str) -> Vec<Finding> {
+    lint_source(relpath, source, &Config::default())
+}
+
+#[test]
+fn panic_free_bad_pins_rule_and_lines() {
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/panic_free/bad.rs"));
+    let expect =
+        ["panic_free", "panic_free", "panic_free"].iter().map(|s| s.to_string()).zip([3, 7, 11]);
+    assert_eq!(unwaived(&fs), expect.collect::<Vec<_>>());
+    assert!(fs.iter().all(|f| f.severity == Severity::Deny));
+}
+
+#[test]
+fn panic_free_good_and_waived_pass() {
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/panic_free/good.rs"));
+    assert!(fs.is_empty(), "{fs:?}");
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/panic_free/waived.rs"));
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+    assert_eq!(fs.len(), 1, "the waived finding is still reported");
+    assert!(fs[0].waived && fs[0].waive_reason.is_some());
+}
+
+#[test]
+fn nan_safe_bad_pins_rule_and_lines() {
+    // `crates/cli/src` is in nan_safe scope but not panic_free scope, so
+    // the `.unwrap()` on the partial_cmp line attributes to nan_safe only.
+    let fs = lint("crates/cli/src/fixture.rs", include_str!("fixtures/nan_safe/bad.rs"));
+    let got = unwaived(&fs);
+    assert_eq!(
+        got,
+        vec![
+            ("nan_safe".to_string(), 3),
+            ("nan_safe".to_string(), 7),
+            ("nan_safe".to_string(), 11)
+        ],
+        "{fs:?}"
+    );
+}
+
+#[test]
+fn nan_safe_good_and_waived_pass() {
+    let fs = lint("crates/cli/src/fixture.rs", include_str!("fixtures/nan_safe/good.rs"));
+    assert!(fs.is_empty(), "{fs:?}");
+    let fs = lint("crates/cli/src/fixture.rs", include_str!("fixtures/nan_safe/waived.rs"));
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+    assert!(fs.iter().any(|f| f.rule == "nan_safe" && f.waived));
+}
+
+#[test]
+fn nan_safe_skips_mathkit_blessed_helpers() {
+    // mathkit hosts the comparator helpers themselves; the raw `==` the
+    // helpers contain must not self-flag.
+    let fs = lint("crates/mathkit/src/float.rs", include_str!("fixtures/nan_safe/bad.rs"));
+    assert!(!fs.iter().any(|f| f.rule == "nan_safe"), "{fs:?}");
+}
+
+#[test]
+fn determinism_bad_pins_rule_and_lines() {
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/determinism/bad.rs"));
+    let got = unwaived(&fs);
+    // Two wall-clock reads on line 6 (Instant, SystemTime) and the
+    // HashMap iteration on line 11.
+    assert_eq!(
+        got,
+        vec![
+            ("determinism".to_string(), 6),
+            ("determinism".to_string(), 6),
+            ("determinism".to_string(), 11)
+        ],
+        "{fs:?}"
+    );
+}
+
+#[test]
+fn determinism_good_and_waived_pass() {
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/determinism/good.rs"));
+    assert!(fs.is_empty(), "BTreeMap iteration and HashMap lookup are fine: {fs:?}");
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/determinism/waived.rs"));
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+}
+
+#[test]
+fn lock_hygiene_bad_pins_rule_and_lines() {
+    // `crates/cli/src` keeps panic_free out of scope so the `.unwrap()`
+    // attributes to lock_hygiene alone.
+    let fs = lint("crates/cli/src/fixture.rs", include_str!("fixtures/lock_hygiene/bad.rs"));
+    assert_eq!(unwaived(&fs), vec![("lock_hygiene".to_string(), 5)], "{fs:?}");
+
+    // The guard-across-blocking-I/O heuristic only runs in the service.
+    let io_src = include_str!("fixtures/lock_hygiene/bad_io.rs");
+    let fs = lint("crates/service/src/fixture.rs", io_src);
+    assert_eq!(unwaived(&fs), vec![("lock_hygiene".to_string(), 6)], "{fs:?}");
+    let fs = lint("crates/cli/src/fixture.rs", io_src);
+    assert!(fs.is_empty(), "outside the service the I/O heuristic is off: {fs:?}");
+}
+
+#[test]
+fn lock_hygiene_good_and_multi_rule_waiver_pass() {
+    let fs = lint("crates/cli/src/fixture.rs", include_str!("fixtures/lock_hygiene/good.rs"));
+    assert!(fs.is_empty(), "poison-tolerant unwrap_or_else is the blessed idiom: {fs:?}");
+
+    // In core scope the same line trips lock_hygiene AND panic_free; one
+    // comma-list waiver covers both.
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/lock_hygiene/waived.rs"));
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+    let rules: Vec<_> = fs.iter().map(|f| f.rule.as_str()).collect();
+    assert!(rules.contains(&"lock_hygiene") && rules.contains(&"panic_free"), "{rules:?}");
+}
+
+#[test]
+fn unsafe_audit_bad_pins_rule_and_lines() {
+    // Passed as a crate root: missing forbid reports at line 1, the
+    // unsafe block at line 3.
+    let fs = lint("crates/cmpsim/src/lib.rs", include_str!("fixtures/unsafe_audit/bad.rs"));
+    assert_eq!(
+        unwaived(&fs),
+        vec![("unsafe_audit".to_string(), 1), ("unsafe_audit".to_string(), 3)],
+        "{fs:?}"
+    );
+}
+
+#[test]
+fn unsafe_audit_good_waived_and_deny_variants() {
+    let fs = lint("crates/cmpsim/src/lib.rs", include_str!("fixtures/unsafe_audit/good.rs"));
+    assert!(fs.is_empty(), "{fs:?}");
+    // A waived unsafe block in a non-root module.
+    let fs = lint("crates/cmpsim/src/ffi.rs", include_str!("fixtures/unsafe_audit/waived.rs"));
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+    // `deny(unsafe_code)` at a crate root needs (and here has) a waiver.
+    let deny_src = include_str!("fixtures/unsafe_audit/deny.rs");
+    let fs = lint("crates/cmpsim/src/lib.rs", deny_src);
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+    assert!(fs.iter().any(|f| f.rule == "unsafe_audit" && f.waived));
+    // Without the waiver it is a finding.
+    let stripped: String =
+        deny_src.lines().filter(|l| !l.contains("lint:allow")).collect::<Vec<_>>().join("\n");
+    let fs = lint("crates/cmpsim/src/lib.rs", &stripped);
+    assert_eq!(unwaived(&fs).len(), 1, "{fs:?}");
+}
+
+#[test]
+fn waiver_hygiene_bad_pins_rule_and_lines() {
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/waiver_hygiene/bad.rs"));
+    let got = unwaived(&fs);
+    // Reason-less waiver (line 3) does not waive, so the unwrap (line 4)
+    // survives; the no-op waiver with a reason (line 8) is flagged unused.
+    assert!(got.contains(&("waiver_syntax".to_string(), 3)), "{got:?}");
+    assert!(got.contains(&("panic_free".to_string(), 4)), "{got:?}");
+    assert!(got.contains(&("waiver_unused".to_string(), 8)), "{got:?}");
+    let unused = fs.iter().find(|f| f.rule == "waiver_unused").expect("unused waiver finding");
+    assert_eq!(unused.severity, Severity::Warn, "unused waivers warn, not fail");
+}
+
+#[test]
+fn indexing_rule_is_opt_in_and_pins_line() {
+    let bad = include_str!("fixtures/indexing/bad.rs");
+    // Off by default: no findings even on the bad fixture.
+    let fs = lint("crates/core/src/fixture.rs", bad);
+    assert!(fs.is_empty(), "indexing is advisory/off by default: {fs:?}");
+
+    let mut cfg = Config::default();
+    cfg.rules.insert("indexing".to_string(), RuleLevel::Warn);
+    let fs = lint_source("crates/core/src/fixture.rs", bad, &cfg);
+    assert_eq!(unwaived(&fs), vec![("indexing".to_string(), 3)], "{fs:?}");
+    assert!(fs.iter().all(|f| f.severity == Severity::Warn));
+
+    let fs =
+        lint_source("crates/core/src/fixture.rs", include_str!("fixtures/indexing/good.rs"), &cfg);
+    assert!(fs.is_empty(), ".get() and range slicing pass: {fs:?}");
+}
+
+#[test]
+fn deny_findings_drive_exit_code_8() {
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/panic_free/bad.rs"));
+    let report = Report { findings: fs, files_scanned: 1, rules_run: Vec::new() };
+    assert_eq!(report.exit_code(), mpmc_service::exit_code::LINT);
+
+    let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/panic_free/waived.rs"));
+    let report = Report { findings: fs, files_scanned: 1, rules_run: Vec::new() };
+    assert_eq!(report.exit_code(), 0, "waived findings never fail the build");
+}
+
+/// End-to-end: seeding a violation into a synthetic workspace makes the
+/// full engine run exit 8; removing it returns the run to 0.
+#[test]
+fn seeded_violation_fails_full_run_with_exit_8() {
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-seeded");
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+
+    let seeded = src_dir.join("seeded.rs");
+    std::fs::write(&seeded, "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n").expect("seed");
+    let report = engine::run(&root, &Config::default()).expect("run");
+    assert_eq!(report.exit_code(), mpmc_service::exit_code::LINT);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "panic_free" && f.file == "crates/core/src/seeded.rs" && f.line == 2));
+
+    std::fs::write(&seeded, "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n").expect("fix");
+    let report = engine::run(&root, &Config::default()).expect("run");
+    assert_eq!(report.exit_code(), 0, "{:?}", report.findings);
+}

@@ -1,0 +1,15 @@
+// Fixture: determinism true positives (never compiled).
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+fn clocks() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+fn sum(m: HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (_k, v) in m.iter() {
+        acc += v;
+    }
+    acc
+}

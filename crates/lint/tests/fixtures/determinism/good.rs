@@ -1,0 +1,14 @@
+// Fixture: determinism-clean control (never compiled).
+use std::collections::BTreeMap;
+
+fn sum(m: BTreeMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (_k, v) in m.iter() {
+        acc += v;
+    }
+    acc
+}
+
+fn lookup(m: &std::collections::HashMap<u32, u32>) -> Option<u32> {
+    m.get(&1).copied()
+}

@@ -1,0 +1,7 @@
+// Fixture: waived determinism site (never compiled).
+use std::time::Instant;
+
+fn f() -> Instant {
+    // lint:allow(determinism) -- diagnostics-only: timing a log line, never model output
+    Instant::now()
+}

@@ -1,0 +1,4 @@
+// Fixture: indexing true positive (never compiled).
+fn f(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}

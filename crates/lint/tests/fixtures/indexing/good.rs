@@ -1,0 +1,8 @@
+// Fixture: indexing-clean control (never compiled).
+fn f(xs: &[u32], i: usize) -> u32 {
+    xs.get(i).copied().unwrap_or(0)
+}
+
+fn g(xs: &[u32], n: usize) -> &[u32] {
+    &xs[..n]
+}

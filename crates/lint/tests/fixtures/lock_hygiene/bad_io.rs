@@ -1,0 +1,7 @@
+// Fixture: lock_hygiene guard-across-I/O true positive (never compiled).
+use std::io::Write;
+use std::sync::RwLock;
+
+fn f(out: &mut impl Write, reg: &RwLock<String>) {
+    out.write_all(reg.read().unwrap_or_else(|e| e.into_inner()).as_bytes()).ok();
+}

@@ -1,0 +1,6 @@
+// Fixture: lock_hygiene-clean control (never compiled).
+use std::sync::Mutex;
+
+fn f(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,7 @@
+// Fixture: multi-rule waiver covering lock_hygiene and panic_free (never compiled).
+use std::sync::Mutex;
+
+fn f(m: &Mutex<u32>) -> u32 {
+    // lint:allow(lock_hygiene, panic_free) -- single-threaded tool: poisoning is unreachable
+    *m.lock().unwrap()
+}

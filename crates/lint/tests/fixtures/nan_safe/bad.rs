@@ -1,0 +1,12 @@
+// Fixture: nan_safe true positives (never compiled).
+fn f(a: f64) -> bool {
+    a == 0.0
+}
+
+fn g(a: f64) -> bool {
+    a != -1.5
+}
+
+fn h(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}

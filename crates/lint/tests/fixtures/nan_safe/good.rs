@@ -1,0 +1,8 @@
+// Fixture: nan_safe-clean control (never compiled).
+fn f(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+fn g(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}

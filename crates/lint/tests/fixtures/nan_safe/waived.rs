@@ -1,0 +1,5 @@
+// Fixture: waived nan_safe sentinel (never compiled).
+fn f(sigma: f64) -> bool {
+    // lint:allow(nan_safe) -- exact sentinel: 0.0 disables the noise term entirely
+    sigma == 0.0
+}

@@ -1,0 +1,12 @@
+// Fixture: panic_free true positives (never compiled).
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn g(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn h() {
+    panic!("boom");
+}

@@ -1,0 +1,12 @@
+// Fixture: panic_free-clean control (never compiled).
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(1).unwrap();
+    }
+}

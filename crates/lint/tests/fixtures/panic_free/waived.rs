@@ -1,0 +1,5 @@
+// Fixture: waived panic_free site (never compiled).
+fn f(x: Option<u32>) -> u32 {
+    // lint:allow(panic_free) -- invariant: the caller checked is_some() first
+    x.unwrap()
+}

@@ -1,0 +1,4 @@
+// Fixture: unsafe_audit true positives (never compiled).
+pub fn f(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+//! Fixture: deny(unsafe_code) needs a waiver at the crate root (never compiled).
+
+// lint:allow(unsafe_audit) -- downstream benches override the lint deliberately
+#![deny(unsafe_code)]

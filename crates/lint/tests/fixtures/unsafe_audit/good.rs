@@ -1,0 +1,6 @@
+//! Fixture: unsafe_audit-clean crate root (never compiled).
+#![forbid(unsafe_code)]
+
+pub fn f() -> u32 {
+    0
+}

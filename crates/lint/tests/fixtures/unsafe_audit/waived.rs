@@ -1,0 +1,5 @@
+// Fixture: waived unsafe site (never compiled).
+pub fn f(p: *const u32) -> u32 {
+    // lint:allow(unsafe_audit) -- fixture: documented FFI boundary with a checked pointer
+    unsafe { *p }
+}

@@ -1,0 +1,10 @@
+// Fixture: waiver hygiene violations (never compiled).
+fn f(x: Option<u32>) -> u32 {
+    // lint:allow(panic_free)
+    x.unwrap()
+}
+
+fn g() -> u32 {
+    // lint:allow(determinism) -- nothing here reads the clock
+    0
+}

@@ -187,13 +187,9 @@ mod tests {
 
     #[test]
     fn solves_overdetermined_consistent_system() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-            vec![1.0, 3.0],
-            vec![1.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
+                .unwrap();
         // y = 2 + 3 t, consistent.
         let b = [5.0, 8.0, 11.0, 14.0];
         let x = solve(&a, &b);

@@ -1,0 +1,89 @@
+//! Blessed NaN-aware float comparisons.
+//!
+//! Raw `==`/`!=` on floats is NaN-unsafe — NaN compares unequal to
+//! everything, including itself — so `mpmc-lint`'s `nan_safe` rule
+//! forbids it outside this crate. These helpers say what a comparison
+//! *means* so the NaN behaviour is a documented choice rather than an
+//! accident.
+
+/// Whether `x` is exactly `0.0` (positive or negative zero).
+///
+/// NaN is not zero: a NaN input returns `false` and flows onward, which
+/// is the correct behaviour for the "skip the degenerate case" guards
+/// this is used in — the NaN then surfaces in the caller's own
+/// validation instead of being silently routed down the zero path.
+#[inline]
+#[must_use]
+pub fn exactly_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Bit-pattern equality: `a` and `b` are the same `f64`, bit for bit.
+///
+/// This is the right equality for the workspace's bit-exactness
+/// invariants (equilibrium results independent of process order, cache
+/// hits identical to recomputation): NaN equals NaN of the same
+/// payload, and `0.0` differs from `-0.0`.
+#[inline]
+#[must_use]
+pub fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// Equality under IEEE 754 `totalOrder` — which coincides with bit
+/// equality ([`bits_eq`]), since `totalOrder` also ranks NaN payloads
+/// and zero signs. Provided so call sites that order with
+/// [`f64::total_cmp`] can test equality in the same vocabulary.
+#[inline]
+#[must_use]
+pub fn total_eq(a: f64, b: f64) -> bool {
+    a.total_cmp(&b).is_eq()
+}
+
+/// Whether `a` and `b` are within `tol` of each other. Any NaN (or a
+/// NaN tolerance) returns `false` — approximate equality to NaN is
+/// meaningless.
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_zero_semantics() {
+        assert!(exactly_zero(0.0));
+        assert!(exactly_zero(-0.0));
+        assert!(!exactly_zero(f64::NAN));
+        assert!(!exactly_zero(1e-300));
+    }
+
+    #[test]
+    fn bits_eq_distinguishes_zero_signs_and_matches_nan() {
+        assert!(bits_eq(1.5, 1.5));
+        assert!(!bits_eq(0.0, -0.0));
+        assert!(bits_eq(f64::NAN, f64::NAN));
+        assert!(!bits_eq(f64::NAN, -f64::NAN));
+    }
+
+    #[test]
+    fn total_eq_matches_bit_equality() {
+        assert!(total_eq(f64::NAN, f64::NAN));
+        // totalOrder ranks NaN payloads, so payload-differing NaNs differ.
+        let payload = f64::from_bits(f64::NAN.to_bits() | 1);
+        assert!(!total_eq(f64::NAN, payload));
+        assert!(!total_eq(0.0, -0.0));
+        assert!(total_eq(1.5, 1.5));
+    }
+
+    #[test]
+    fn approx_eq_rejects_nan() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 2.0, 1e-9));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1e-9));
+        assert!(!approx_eq(1.0, 1.0, f64::NAN));
+    }
+}

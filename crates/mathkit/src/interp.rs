@@ -136,6 +136,7 @@ impl PiecewiseLinear {
 
     /// Domain of the interpolant, `(first knot, last knot)`.
     pub fn domain(&self) -> (f64, f64) {
+        // lint:allow(panic_free) -- constructor rejects fewer than two knots, so first/last always exist
         (self.xs[0], *self.xs.last().expect("at least two knots"))
     }
 }

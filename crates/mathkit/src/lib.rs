@@ -16,6 +16,8 @@
 //!   (order-preserving, with per-task seed derivation).
 //! - [`lru`]: a capacity-bounded LRU map with eviction counters.
 //! - [`latency`]: a fixed-bucket concurrent latency histogram.
+//! - [`float`]: the blessed NaN-aware comparison helpers (`mpmc-lint`
+//!   forbids raw float `==`/`!=` outside this crate).
 //!
 //! # Examples
 //!
@@ -40,7 +42,12 @@
 //! # }
 //! ```
 
+// The models need no unsafe code anywhere; enforced by mpmc-lint's
+// unsafe_audit rule workspace-wide.
+#![forbid(unsafe_code)]
+
 pub mod decomp;
+pub mod float;
 pub mod interp;
 pub mod latency;
 pub mod linreg;

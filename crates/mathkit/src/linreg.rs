@@ -219,9 +219,8 @@ mod tests {
 
     #[test]
     fn recovers_exact_plane() {
-        let xs: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![i as f64, (i * i) as f64 % 7.0, (3 * i) as f64 % 5.0])
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            (0..10).map(|i| vec![i as f64, (i * i) as f64 % 7.0, (3 * i) as f64 % 5.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 4.0 - 2.0 * x[0] + 0.5 * x[1] + 3.0 * x[2]).collect();
         let fit = LinearRegression::fit(&xs, &ys).unwrap();
         assert!((fit.intercept() - 4.0).abs() < 1e-8);
@@ -236,7 +235,9 @@ mod tests {
         // Columns spanning 9 orders of magnitude, as HPC event rates do.
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
         let xs: Vec<Vec<f64>> = (0..50)
-            .map(|_| vec![rng.gen_range(1e8..5e9), rng.gen_range(0.1..10.0), rng.gen_range(1e3..1e5)])
+            .map(|_| {
+                vec![rng.gen_range(1e8..5e9), rng.gen_range(0.1..10.0), rng.gen_range(1e3..1e5)]
+            })
             .collect();
         let ys: Vec<f64> =
             xs.iter().map(|x| 12.0 + 3e-9 * x[0] + 0.7 * x[1] + 2e-4 * x[2]).collect();
@@ -276,10 +277,7 @@ mod tests {
     fn too_few_observations() {
         let xs = vec![vec![1.0, 2.0]];
         let ys = vec![1.0];
-        assert!(matches!(
-            LinearRegression::fit(&xs, &ys),
-            Err(MathError::InsufficientData { .. })
-        ));
+        assert!(matches!(LinearRegression::fit(&xs, &ys), Err(MathError::InsufficientData { .. })));
     }
 
     #[test]

@@ -32,6 +32,7 @@ impl Matrix {
     ///
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        // lint:allow(panic_free) -- documented panic: a dimension product overflowing usize is a programming error, not input data
         let len = rows.checked_mul(cols).expect("matrix size overflow");
         Matrix { rows, cols, data: vec![0.0; len] }
     }

@@ -220,13 +220,9 @@ mod tests {
         // Root of x^2 - 4 with x clamped to [0.1, 10]: finds +2 even when the
         // start lies outside the domain (the clamp pins it to 0.1 first).
         let clamp = |v: &[f64]| vec![v[0].clamp(0.1, 10.0)];
-        let sol = newton_raphson(
-            |v| vec![v[0] * v[0] - 4.0],
-            &[-5.0],
-            clamp,
-            NewtonOptions::default(),
-        )
-        .unwrap();
+        let sol =
+            newton_raphson(|v| vec![v[0] * v[0] - 4.0], &[-5.0], clamp, NewtonOptions::default())
+                .unwrap();
         assert!((sol.x[0] - 2.0).abs() < 1e-8);
     }
 
@@ -284,12 +280,8 @@ mod tests {
 
     #[test]
     fn nan_start_is_typed_error() {
-        let r = newton_raphson(
-            |v| vec![v[0] - 1.0],
-            &[f64::NAN],
-            no_clamp,
-            NewtonOptions::default(),
-        );
+        let r =
+            newton_raphson(|v| vec![v[0] - 1.0], &[f64::NAN], no_clamp, NewtonOptions::default());
         assert!(matches!(r, Err(MathError::NonFinite(_))), "{r:?}");
     }
 

@@ -276,11 +276,7 @@ mod tests {
             TrainOptions { hidden: 12, epochs: 1500, learning_rate: 0.1, ..Default::default() },
         )
         .unwrap();
-        let mse: f64 = xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, &y)| (net.predict(x) - y).powi(2))
-            .sum::<f64>()
+        let mse: f64 = xs.iter().zip(&ys).map(|(x, &y)| (net.predict(x) - y).powi(2)).sum::<f64>()
             / xs.len() as f64;
         assert!(mse < 0.5, "mse {mse}");
     }
@@ -343,12 +339,8 @@ mod tests {
     fn predict_length_checked() {
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let net = SigmoidNetwork::train(
-            &xs,
-            &ys,
-            TrainOptions { epochs: 5, ..Default::default() },
-        )
-        .unwrap();
+        let net = SigmoidNetwork::train(&xs, &ys, TrainOptions { epochs: 5, ..Default::default() })
+            .unwrap();
         net.predict(&[1.0, 2.0]);
     }
 }

@@ -97,16 +97,28 @@ where
                 if i >= n {
                     break;
                 }
-                let item = tasks[i].lock().unwrap().take().expect("task taken twice");
+                // Poison-tolerant: a panic in one worker must not turn
+                // into a second panic here while the scope unwinds.
+                let item = tasks[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    // lint:allow(panic_free) -- cursor fetch_add hands each index to exactly one worker
+                    .expect("task taken twice");
                 let out = f(i, item);
-                *slots[i].lock().unwrap() = Some(out);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
             });
         }
     });
 
     slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("worker left an empty slot"))
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                // lint:allow(panic_free) -- scope join proves every worker filled its slot; a mid-task panic propagates before this line
+                .expect("worker left an empty slot")
+        })
         .collect()
 }
 
@@ -167,13 +179,8 @@ mod tests {
     fn try_par_map_reports_lowest_index_error() {
         let items: Vec<usize> = (0..64).collect();
         for workers in [1, 2, 8] {
-            let got: Result<Vec<usize>, usize> = try_par_map(items.clone(), workers, |i, x| {
-                if x % 7 == 3 {
-                    Err(i)
-                } else {
-                    Ok(x)
-                }
-            });
+            let got: Result<Vec<usize>, usize> =
+                try_par_map(items.clone(), workers, |i, x| if x % 7 == 3 { Err(i) } else { Ok(x) });
             assert_eq!(got, Err(3), "workers = {workers}");
         }
     }

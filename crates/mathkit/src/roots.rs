@@ -261,8 +261,7 @@ mod tests {
     #[test]
     fn expanding_bracket_saturates_at_cap() {
         // f never crosses zero below the cap -> cap returned.
-        let r =
-            bisect_expanding(|x| x - 100.0, 0.0, 1.0, 50.0, BisectOptions::default()).unwrap();
+        let r = bisect_expanding(|x| x - 100.0, 0.0, 1.0, 50.0, BisectOptions::default()).unwrap();
         assert_eq!(r, 50.0);
     }
 

@@ -23,7 +23,11 @@ pub fn std_dev(v: &[f64]) -> f64 {
 
 /// Maximum value; 0 for empty input.
 pub fn max(v: &[f64]) -> f64 {
-    v.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x)).max(if v.is_empty() { 0.0 } else { f64::NEG_INFINITY })
+    v.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x)).max(if v.is_empty() {
+        0.0
+    } else {
+        f64::NEG_INFINITY
+    })
 }
 
 /// Relative error `|predicted - actual| / |actual|`, as a fraction.
@@ -134,11 +138,7 @@ pub fn accuracy_pct(predicted: &[f64], actual: &[f64]) -> f64 {
     if predicted.is_empty() {
         return 100.0;
     }
-    let mre = predicted
-        .iter()
-        .zip(actual)
-        .map(|(&p, &a)| relative_error(p, a))
-        .sum::<f64>()
+    let mre = predicted.iter().zip(actual).map(|(&p, &a)| relative_error(p, a)).sum::<f64>()
         / predicted.len() as f64;
     100.0 * (1.0 - mre)
 }

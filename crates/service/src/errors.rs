@@ -26,6 +26,10 @@ pub mod exit_code {
     /// tolerance. Distinct from [`SOLVER`]: the pipeline ran to
     /// completion and the numbers disagreed.
     pub const DIVERGENCE: i32 = 7;
+    /// `mpmc-lint` (or `mpmc lint`) found unwaived deny-level static
+    /// analysis findings: a determinism, NaN-safety, panic-freedom,
+    /// lock-hygiene, or unsafe-audit invariant is violated in source.
+    pub const LINT: i32 = 8;
 }
 
 /// The stable wire name for an exit code (`error.kind` in responses).
@@ -38,6 +42,7 @@ pub fn kind_name(code: i32) -> &'static str {
         exit_code::IO => "io",
         exit_code::STRICT => "strict",
         exit_code::DIVERGENCE => "divergence",
+        exit_code::LINT => "lint",
         _ => "error",
     }
 }
@@ -122,8 +127,9 @@ mod tests {
             exit_code::IO,
             exit_code::STRICT,
             exit_code::DIVERGENCE,
+            exit_code::LINT,
         ];
-        assert_eq!(codes, [2, 3, 4, 5, 6, 7]);
+        assert_eq!(codes, [2, 3, 4, 5, 6, 7, 8]);
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {
                 assert_ne!(a, b);
@@ -135,6 +141,7 @@ mod tests {
     fn kind_names() {
         assert_eq!(kind_name(exit_code::USAGE), "usage");
         assert_eq!(kind_name(exit_code::DIVERGENCE), "divergence");
+        assert_eq!(kind_name(exit_code::LINT), "lint");
         assert_eq!(kind_name(99), "error");
     }
 

@@ -64,7 +64,11 @@ impl Json {
     /// exact integral value.
     pub fn as_usize(&self) -> Option<usize> {
         match self {
-            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 => {
+            Json::Num(x)
+                if *x >= 0.0
+                    && mathkit::float::exactly_zero(x.fract())
+                    && *x <= u32::MAX as f64 =>
+            {
                 Some(*x as usize)
             }
             _ => None,
@@ -185,7 +189,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -231,8 +235,7 @@ impl<'a> Parser<'a> {
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| format!("bad number at byte {start}"))?;
-        let x: f64 =
-            raw.parse().map_err(|_| format!("bad number '{raw}' at byte {start}"))?;
+        let x: f64 = raw.parse().map_err(|_| format!("bad number '{raw}' at byte {start}"))?;
         if !x.is_finite() {
             return Err(format!("non-finite number '{raw}' at byte {start}"));
         }
@@ -240,7 +243,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -267,7 +270,7 @@ impl<'a> Parser<'a> {
                                 // High surrogate: require the paired low one.
                                 if self.peek() == Some(b'\\') {
                                     self.pos += 1;
-                                    self.expect(b'u')?;
+                                    self.expect_byte(b'u')?;
                                     let lo = self.hex4()?;
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err("bad low surrogate".to_string());
@@ -313,7 +316,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -337,7 +340,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -348,7 +351,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value(depth + 1)?;
             if fields.iter().any(|(k, _)| *k == key) {
                 return Err(format!("duplicate key '{key}'"));
@@ -418,8 +421,17 @@ mod tests {
     #[test]
     fn malformed_inputs_are_errors() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
-            "{\"a\":1,\"a\":2}", "[1] trailing", "nan", "{\"a\" 1}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1,\"a\":2}",
+            "[1] trailing",
+            "nan",
+            "{\"a\" 1}",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} must not parse");
         }

@@ -18,6 +18,9 @@
 //! - [`errors`] — the error taxonomy shared with the CLI's process exit
 //!   codes ([`exit_code`]), including the `validate` divergence code.
 
+// The models need no unsafe code anywhere; enforced by mpmc-lint's
+// unsafe_audit rule workspace-wide.
+#![forbid(unsafe_code)]
 // Library code must surface failures as errors, not panic; tests may
 // still unwrap freely.
 #![warn(clippy::unwrap_used)]

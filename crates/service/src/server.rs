@@ -227,24 +227,22 @@ impl PredictionService {
     pub fn run_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
         listener.set_nonblocking(true)?;
         let model = self.model();
-        std::thread::scope(|scope| {
-            loop {
-                if self.is_shutdown() {
-                    return Ok(());
+        std::thread::scope(|scope| loop {
+            if self.is_shutdown() {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let model = &model;
+                    scope.spawn(move || {
+                        let _ = self.serve_connection(model, stream);
+                    });
                 }
-                match listener.accept() {
-                    Ok((stream, _addr)) => {
-                        let model = &model;
-                        scope.spawn(move || {
-                            let _ = self.serve_connection(model, stream);
-                        });
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        std::thread::sleep(POLL_INTERVAL.min(Duration::from_millis(10)));
-                    }
-                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                    Err(e) => return Err(e),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL.min(Duration::from_millis(10)));
                 }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
             }
         })
     }
@@ -292,11 +290,9 @@ impl PredictionService {
 
     /// Handles one request line; returns the rendered response and
     /// whether the session should stop (successful `shutdown`).
-    fn handle_line(
-        &self,
-        model: &CombinedModel<'_, PowerModel>,
-        line: &str,
-    ) -> (String, bool) {
+    fn handle_line(&self, model: &CombinedModel<'_, PowerModel>, line: &str) -> (String, bool) {
+        #[allow(clippy::disallowed_methods)]
+        // lint:allow(determinism) -- diagnostics-only: wall time feeds the stats latency histogram, never a prediction
         let start = Instant::now();
         Counters::bump(&self.counters.requests);
         let (id, outcome) = match json::parse(line) {
@@ -390,12 +386,12 @@ impl PredictionService {
     fn op_register(&self, req: &Json) -> Result<Vec<(String, Json)>, ServiceError> {
         let name = str_field(req, "name")?;
         let text = str_field(req, "profile")?;
-        let profile = persist::read_profile(text.as_bytes())
-            .map_err(ServiceError::from)
-            .map_err(|mut e| {
+        let profile = persist::read_profile(text.as_bytes()).map_err(ServiceError::from).map_err(
+            |mut e| {
                 e.message = format!("profile '{name}': {}", e.message);
                 e
-            })?;
+            },
+        )?;
         let fingerprint = profile.feature.content_fingerprint();
         let replaced = self.register_profile(name, profile)?;
         Ok(vec![
@@ -446,13 +442,9 @@ impl PredictionService {
         let (current, process_idx) = {
             let registry = self.read_registry();
             let current = match req.get("current") {
-                Some(spec) => self.build_assignment(
-                    spec,
-                    "current",
-                    &registry,
-                    &mut index,
-                    &mut profiles,
-                )?,
+                Some(spec) => {
+                    self.build_assignment(spec, "current", &registry, &mut index, &mut profiles)?
+                }
                 None => Assignment::new(self.machine.num_cores()),
             };
             let idx = match index.get(process) {
@@ -636,21 +628,14 @@ mod tests {
     /// A hand-built profile so tests do not need simulation runs.
     fn synthetic_profile(name: &str, tail: f64, api: f64, m: &MachineConfig) -> ProcessProfile {
         let head = 1.0 - tail;
-        let hist = ReuseHistogram::new(
-            vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05],
-            tail,
-        )
-        .unwrap();
+        let hist =
+            ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail)
+                .unwrap();
         let alpha = api * (m.mem_cycles - m.l2_hit_cycles) as f64 / m.freq_hz;
         let beta = (m.cpi_base + api * m.l2_hit_cycles as f64) / m.freq_hz;
-        let feature = FeatureVector::new(
-            name,
-            hist,
-            api,
-            SpiModel::new(alpha, beta).unwrap(),
-            m.l2_assoc(),
-        )
-        .unwrap();
+        let feature =
+            FeatureVector::new(name, hist, api, SpiModel::new(alpha, beta).unwrap(), m.l2_assoc())
+                .unwrap();
         ProcessProfile {
             feature,
             l1rpi: 0.35,
@@ -708,21 +693,13 @@ mod tests {
         assert_eq!(svc.num_profiles(), 2);
 
         // Estimate a concrete two-core placement.
-        let resp = ask(
-            &svc,
-            &model,
-            r#"{"id":3,"op":"estimate","assignment":[["a"],["b"]]}"#,
-        );
+        let resp = ask(&svc, &model, r#"{"id":3,"op":"estimate","assignment":[["a"],["b"]]}"#);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
         let power = resp.get("power_w").and_then(Json::as_f64).unwrap();
         assert!(power.is_finite() && power > 0.0);
 
         // Assign must agree bit-for-bit with a direct CombinedModel call.
-        let resp = ask(
-            &svc,
-            &model,
-            r#"{"id":4,"op":"assign","process":"b","current":[["a"]]}"#,
-        );
+        let resp = ask(&svc, &model, r#"{"id":4,"op":"assign","process":"b","current":[["a"]]}"#);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
         let best_core = resp.get("best_core").and_then(Json::as_usize).unwrap();
         let best_power = resp.get("best_power_w").and_then(Json::as_f64).unwrap();
@@ -731,9 +708,7 @@ mod tests {
         current.assign(0, 0);
         let profiles = vec![a.clone(), b.clone()];
         let expect: Vec<f64> = (0..2)
-            .map(|core| {
-                reference.estimate_after_assigning(&profiles, &current, 1, core).unwrap()
-            })
+            .map(|core| reference.estimate_after_assigning(&profiles, &current, 1, core).unwrap())
             .collect();
         let expect_best = if expect[1] < expect[0] { 1 } else { 0 };
         assert_eq!(best_core, expect_best);
@@ -794,8 +769,7 @@ mod tests {
             Some(f64::from(exit_code::INVALID_DATA))
         );
         // Too many cores in an assignment -> usage.
-        let resp =
-            ask(&svc, &model, r#"{"id":3,"op":"estimate","assignment":[[],[],[]]}"#);
+        let resp = ask(&svc, &model, r#"{"id":3,"op":"estimate","assignment":[[],[],[]]}"#);
         let err = resp.get("error").unwrap();
         assert_eq!(err.get("code").and_then(Json::as_f64), Some(f64::from(exit_code::USAGE)));
         // Bad candidate lists -> usage.
@@ -811,10 +785,7 @@ mod tests {
         }
         // Errors were counted.
         let resp = ask(&svc, &model, r#"{"op":"stats"}"#);
-        assert_eq!(
-            resp.get("requests").unwrap().get("errors").and_then(Json::as_f64),
-            Some(10.0)
-        );
+        assert_eq!(resp.get("requests").unwrap().get("errors").and_then(Json::as_f64), Some(10.0));
     }
 
     #[test]
@@ -866,11 +837,8 @@ mod tests {
         script.push('\n');
         let mut out = Vec::new();
         svc.run_stdio(script.as_bytes(), &mut out).unwrap();
-        let lines: Vec<Json> = String::from_utf8(out)
-            .unwrap()
-            .lines()
-            .map(|l| json::parse(l).unwrap())
-            .collect();
+        let lines: Vec<Json> =
+            String::from_utf8(out).unwrap().lines().map(|l| json::parse(l).unwrap()).collect();
         assert_eq!(lines.len(), 3, "shutdown ends the session");
         assert!(lines.iter().all(|r| r.get("ok") == Some(&Json::Bool(true))));
         assert_eq!(lines[2].get("op").and_then(Json::as_str), Some("shutdown"));
@@ -885,11 +853,7 @@ mod tests {
         let text = profile_text(&synthetic_profile("a", 0.4, 0.03, &m));
         ask(&svc, &model, &register_req(1, "a", &text));
         // The same process time-shared against itself on one core.
-        let resp = ask(
-            &svc,
-            &model,
-            r#"{"id":2,"op":"estimate","assignment":[["a","a"]]}"#,
-        );
+        let resp = ask(&svc, &model, r#"{"id":2,"op":"estimate","assignment":[["a","a"]]}"#);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
         assert_eq!(resp.get("processes").and_then(Json::as_usize), Some(2));
     }

@@ -18,8 +18,7 @@ use std::net::{TcpListener, TcpStream};
 fn synthetic_profile(name: &str, tail: f64, api: f64, m: &MachineConfig) -> ProcessProfile {
     let head = 1.0 - tail;
     let hist =
-        ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail)
-            .unwrap();
+        ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail).unwrap();
     let alpha = api * (m.mem_cycles - m.l2_hit_cycles) as f64 / m.freq_hz;
     let beta = (m.cpi_base + api * m.l2_hit_cycles as f64) / m.freq_hz;
     let feature =
@@ -74,9 +73,7 @@ fn concurrent_tcp_clients_get_identical_answers_and_clean_shutdown() {
             .iter()
             .flat_map(|p| {
                 ["a", "b", "c", "d"].iter().map(move |q| {
-                    format!(
-                        r#"{{"id":0,"op":"assign","process":"{p}","current":[["{q}"]]}}"#
-                    )
+                    format!(r#"{{"id":0,"op":"assign","process":"{p}","current":[["{q}"]]}}"#)
                 })
             })
             .collect();
@@ -112,10 +109,8 @@ fn concurrent_tcp_clients_get_identical_answers_and_clean_shutdown() {
                                 Some(&Json::Bool(true)),
                                 "query {i}: {resp:?}"
                             );
-                            let core =
-                                resp.get("best_core").and_then(Json::as_usize).unwrap();
-                            let power =
-                                resp.get("best_power_w").and_then(Json::as_f64).unwrap();
+                            let core = resp.get("best_core").and_then(Json::as_usize).unwrap();
+                            let power = resp.get("best_power_w").and_then(Json::as_f64).unwrap();
                             assert_eq!(
                                 (core, power.to_bits()),
                                 expected[i],
@@ -135,11 +130,8 @@ fn concurrent_tcp_clients_get_identical_answers_and_clean_shutdown() {
         let entries = eq.get("entries").and_then(Json::as_f64).unwrap();
         let capacity = eq.get("capacity").and_then(Json::as_f64).unwrap();
         assert!(entries <= capacity, "cache exceeded its bound: {stats:?}");
-        let total = stats
-            .get("requests")
-            .and_then(|r| r.get("total"))
-            .and_then(Json::as_f64)
-            .unwrap();
+        let total =
+            stats.get("requests").and_then(|r| r.get("total")).and_then(Json::as_f64).unwrap();
         assert!(total >= (16 + 4 * 16 * 3) as f64, "total={total}");
 
         // Shutdown stops the daemon; the server thread joins cleanly.

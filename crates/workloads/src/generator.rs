@@ -71,6 +71,7 @@ impl AccessPattern {
 
     /// Fraction of all emitted accesses that belong to streaming runs.
     pub fn streaming_fraction(&self) -> f64 {
+        // lint:allow(nan_safe) -- exact sentinel: probability 0.0 disables streaming runs; validation rejects NaN parameters upstream
         if self.seq_run_prob == 0.0 || self.seq_run_len == 0 {
             return 0.0;
         }
@@ -462,8 +463,10 @@ mod tests {
 
     #[test]
     fn regions_do_not_collide() {
-        let mut a = StackDistGenerator::new("a", simple_pattern(), InstructionMix::integer(0.1), 16, 1);
-        let mut b = StackDistGenerator::new("b", simple_pattern(), InstructionMix::integer(0.1), 16, 2);
+        let mut a =
+            StackDistGenerator::new("a", simple_pattern(), InstructionMix::integer(0.1), 16, 1);
+        let mut b =
+            StackDistGenerator::new("b", simple_pattern(), InstructionMix::integer(0.1), 16, 2);
         let mut rng = rng();
         let addrs_a: std::collections::HashSet<u64> =
             (0..500).map(|_| a.next_step(&mut rng).access.unwrap().0).collect();

@@ -28,6 +28,10 @@
 //! # let _ = gen;
 //! ```
 
+// The models need no unsafe code anywhere; enforced by mpmc-lint's
+// unsafe_audit rule workspace-wide.
+#![forbid(unsafe_code)]
+
 pub mod generator;
 pub mod microbench;
 pub mod phased;

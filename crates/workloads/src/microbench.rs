@@ -38,7 +38,14 @@ pub enum PhaseKind {
 impl PhaseKind {
     /// The canonical six-phase order of the paper's microbenchmark.
     pub fn schedule() -> [PhaseKind; 6] {
-        [PhaseKind::Idle, PhaseKind::L1, PhaseKind::L2Hit, PhaseKind::L2Miss, PhaseKind::Branch, PhaseKind::Fp]
+        [
+            PhaseKind::Idle,
+            PhaseKind::L1,
+            PhaseKind::L2Hit,
+            PhaseKind::L2Miss,
+            PhaseKind::Branch,
+            PhaseKind::Fp,
+        ]
     }
 }
 
@@ -172,7 +179,8 @@ impl AccessGenerator for Microbench {
             PhaseKind::L2Hit => {
                 // One candidate L2 access per block, issued with
                 // probability `i`: API sweeps 0 .. 1/block across levels.
-                let access = if rng.gen_range(0.0..1.0) < i { Some(self.l2hit_line()) } else { None };
+                let access =
+                    if rng.gen_range(0.0..1.0) < i { Some(self.l2hit_line()) } else { None };
                 Step {
                     instructions: block,
                     l1_refs: stochastic_count(block, 0.4, rng),
@@ -183,7 +191,8 @@ impl AccessGenerator for Microbench {
                 }
             }
             PhaseKind::L2Miss => {
-                let access = if rng.gen_range(0.0..1.0) < i { Some(self.fresh_line()) } else { None };
+                let access =
+                    if rng.gen_range(0.0..1.0) < i { Some(self.fresh_line()) } else { None };
                 Step {
                     instructions: block,
                     l1_refs: stochastic_count(block, 0.4, rng),

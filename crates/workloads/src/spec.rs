@@ -28,6 +28,8 @@
 use crate::generator::{AccessPattern, InstructionMix, StackDistGenerator};
 
 /// One named synthetic workload.
+// Derived PartialOrd on integer fields expands to the banned partial_cmp.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SpecWorkload {
     /// Cache-friendly integer compressor.
@@ -236,8 +238,7 @@ mod tests {
 
     #[test]
     fn apis_span_an_order_of_magnitude() {
-        let apis: Vec<f64> =
-            SpecWorkload::duo_suite().iter().map(|w| w.params().mix.api).collect();
+        let apis: Vec<f64> = SpecWorkload::duo_suite().iter().map(|w| w.params().mix.api).collect();
         let max = apis.iter().cloned().fold(0.0, f64::max);
         let min = apis.iter().cloned().fold(1.0, f64::min);
         assert!(max / min > 5.0, "span {max}/{min}");

@@ -153,7 +153,10 @@ mod tests {
             cache.access(s.next_step(&mut rng).access.unwrap(), ProcessId(0));
             if i % 2 == 0 {
                 // Thrasher: always-new lines, round-robin sets.
-                cache.access(LineAddr((fresh % num_sets as u64) + num_sets as u64 * (1 << 41 | fresh)), ProcessId(1));
+                cache.access(
+                    LineAddr((fresh % num_sets as u64) + num_sets as u64 * (1 << 41 | fresh)),
+                    ProcessId(1),
+                );
                 fresh += 1;
             }
         }

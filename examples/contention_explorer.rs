@@ -48,10 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push((partner.name().into(), pred[0].ways, pred[0].mpa, slowdown, pred[1].ways));
     }
     // Worst neighbours first.
-    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite slowdowns"));
+    rows.sort_by(|a, b| b.3.total_cmp(&a.3));
     for (partner, ways, mpa, slow, pways) in rows {
         println!("{partner:<10}{ways:>12.2}{mpa:>12.3}{slow:>12.2}{pways:>14.2}");
     }
-    println!("\n(the paper's O(k) promise: these {} predictions reused one profile per process)", suite.len());
+    println!(
+        "\n(the paper's O(k) promise: these {} predictions reused one profile per process)",
+        suite.len()
+    );
     Ok(())
 }

@@ -26,12 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Profile the three processes (performance feature vector + power
     // profiling vector in one pass).
     println!("profiling processes ...");
-    let profiler = Profiler::new(machine.clone())
-        .with_options(ProfileOptions { duration_s: 0.6, warmup_s: 0.2, seed: 11, ..Default::default() });
-    let profiles: Vec<_> = suite
-        .iter()
-        .map(|w| profiler.profile_full(&w.params()))
-        .collect::<Result<_, _>>()?;
+    let profiler = Profiler::new(machine.clone()).with_options(ProfileOptions {
+        duration_s: 0.6,
+        warmup_s: 0.2,
+        seed: 11,
+        ..Default::default()
+    });
+    let profiles: Vec<_> =
+        suite.iter().map(|w| profiler.profile_full(&w.params())).collect::<Result<_, _>>()?;
 
     // Train the Eq. 9 power model on the standard corpus.
     println!("training power model ...");
@@ -65,18 +67,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut measured_best = (usize::MAX, f64::INFINITY);
     for core in 0..machine.num_cores() {
         let mut placement = Placement::idle(machine.num_cores());
-        placement.assign(
-            0,
-            ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1))),
-        ).unwrap();
-        placement.assign(
-            core,
-            ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(machine.l2_sets, 2))),
-        ).unwrap();
+        placement
+            .assign(
+                0,
+                ProcessSpec::new(
+                    "mcf",
+                    Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1)),
+                ),
+            )
+            .unwrap();
+        placement
+            .assign(
+                core,
+                ProcessSpec::new(
+                    "art",
+                    Box::new(SpecWorkload::Art.params().generator(machine.l2_sets, 2)),
+                ),
+            )
+            .unwrap();
         let run = simulate(
             &machine,
             placement,
-            SimOptions { duration_s: 2.0, warmup_s: 0.5, seed: 77 + core as u64, ..Default::default() },
+            SimOptions {
+                duration_s: 2.0,
+                warmup_s: 0.5,
+                seed: 77 + core as u64,
+                ..Default::default()
+            },
         )?;
         let w = run.avg_measured_power();
         println!("  core {core}: {w:6.2} W");

@@ -26,18 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("profiling '{}' on {} ({}-way shared L2)", workload, machine.name, assoc);
     println!("runs: 1 solo + {} stressmark co-runs\n", assoc - 1);
 
-    let profiler = Profiler::new(machine.clone())
-        .with_options(ProfileOptions { duration_s: 0.8, warmup_s: 0.3, seed: 3, ..Default::default() });
+    let profiler = Profiler::new(machine.clone()).with_options(ProfileOptions {
+        duration_s: 0.8,
+        warmup_s: 0.3,
+        seed: 3,
+        ..Default::default()
+    });
     let fv = profiler.profile(&params)?;
 
     // The measured MPA curve vs the generator's ground truth.
     println!("{:>6}{:>16}{:>14}", "ways", "profiled MPA", "true MPA");
     for s in 0..=assoc {
-        println!(
-            "{s:>6}{:>16.4}{:>14.4}",
-            fv.mpa(s as f64),
-            params.pattern.true_mpa(s)
-        );
+        println!("{s:>6}{:>16.4}{:>14.4}", fv.mpa(s as f64), params.pattern.true_mpa(s));
     }
 
     // The recovered reuse-distance histogram (Eq. 8 differences).
@@ -54,10 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fv.spi_model().alpha(),
         fv.spi_model().beta()
     );
-    let alpha_true = params.mix.api * (machine.mem_cycles - machine.l2_hit_cycles) as f64
-        / machine.freq_hz;
-    let beta_true = (machine.cpi_base + params.mix.api * machine.l2_hit_cycles as f64)
-        / machine.freq_hz;
+    let alpha_true =
+        params.mix.api * (machine.mem_cycles - machine.l2_hit_cycles) as f64 / machine.freq_hz;
+    let beta_true =
+        (machine.cpi_base + params.mix.api * machine.l2_hit_cycles as f64) / machine.freq_hz;
     println!("timing-model truth:  alpha {alpha_true:.3e}, beta {beta_true:.3e}");
     println!("\nfeature vector complete: histogram + API ({:.4}) + (alpha, beta).", fv.api());
     Ok(())

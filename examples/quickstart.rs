@@ -22,36 +22,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 1 — profile each process once with the stressmark (O(k) runs
     // cover all 2^k - 1 co-run subsets).
-    let profiler = Profiler::new(machine.clone())
-        .with_options(ProfileOptions { duration_s: 0.6, warmup_s: 0.2, seed: 7, ..Default::default() });
+    let profiler = Profiler::new(machine.clone()).with_options(ProfileOptions {
+        duration_s: 0.6,
+        warmup_s: 0.2,
+        seed: 7,
+        ..Default::default()
+    });
     let mcf = profiler.profile(&SpecWorkload::Mcf.params())?;
     let gzip = profiler.profile(&SpecWorkload::Gzip.params())?;
-    println!("profiled {} (API {:.4}) and {} (API {:.4})", mcf.name(), mcf.api(), gzip.name(), gzip.api());
+    println!(
+        "profiled {} (API {:.4}) and {} (API {:.4})",
+        mcf.name(),
+        mcf.api(),
+        gzip.name(),
+        gzip.api()
+    );
 
     // Step 2 — predict the steady state of the pair sharing the cache.
     let model = PerformanceModel::new(machine.l2_assoc());
     let pred = model.predict(&[&mcf, &gzip])?;
     println!("\nprediction (16-way shared cache):");
     for (fv, p) in [&mcf, &gzip].iter().zip(&pred) {
-        println!(
-            "  {:<6} ways {:5.2}  MPA {:.3}  SPI {:.3e}",
-            fv.name(),
-            p.ways,
-            p.mpa,
-            p.spi
-        );
+        println!("  {:<6} ways {:5.2}  MPA {:.3}  SPI {:.3e}", fv.name(), p.ways, p.mpa, p.spi);
     }
 
     // Step 3 — check against an actual co-run on the simulator.
     let mut placement = Placement::idle(machine.num_cores());
-    placement.assign(
-        0,
-        ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1))),
-    ).unwrap();
-    placement.assign(
-        1,
-        ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(machine.l2_sets, 2))),
-    ).unwrap();
+    placement
+        .assign(
+            0,
+            ProcessSpec::new(
+                "mcf",
+                Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1)),
+            ),
+        )
+        .unwrap();
+    placement
+        .assign(
+            1,
+            ProcessSpec::new(
+                "gzip",
+                Box::new(SpecWorkload::Gzip.params().generator(machine.l2_sets, 2)),
+            ),
+        )
+        .unwrap();
     let run = simulate(
         &machine,
         placement,

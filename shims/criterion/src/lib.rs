@@ -60,6 +60,8 @@ impl Bencher {
         for _ in 0..self.iterations.min(3) {
             black_box(routine());
         }
+        // Bench shim: timing the routine is the whole point.
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         for _ in 0..self.iterations {
             black_box(routine());
@@ -68,7 +70,12 @@ impl Bencher {
     }
 }
 
-fn run_one(label: &str, sample_size: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     // Calibrate the iteration count so each benchmark takes roughly
     // sample_size milliseconds rather than a fixed count.
     let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };

@@ -250,8 +250,8 @@ pub mod collection {
 /// The common imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
     };
 }
 

@@ -130,8 +130,7 @@ mod tests {
         use rand::Rng;
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let n = 20_000;
-        let mean =
-            (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 

@@ -39,6 +39,10 @@
 //! # }
 //! ```
 
+// The models need no unsafe code anywhere; enforced by mpmc-lint's
+// unsafe_audit rule workspace-wide.
+#![forbid(unsafe_code)]
+
 pub use cmpsim as sim;
 pub use mathkit as math;
 pub use mpmc_model as model;

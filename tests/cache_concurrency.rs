@@ -16,8 +16,7 @@ use mpmc_model::spi::SpiModel;
 fn synthetic_profile(name: &str, tail: f64, api: f64, m: &MachineConfig) -> ProcessProfile {
     let head = 1.0 - tail;
     let hist =
-        ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail)
-            .unwrap();
+        ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail).unwrap();
     let alpha = api * (m.mem_cycles - m.l2_hit_cycles) as f64 / m.freq_hz;
     let beta = (m.cpi_base + api * m.l2_hit_cycles as f64) / m.freq_hz;
     let feature =
@@ -41,9 +40,7 @@ fn power_model() -> PowerModel {
 /// A pool of distinct profiles plus a set of overlapping "current"
 /// assignments; every (assignment, tentative process) query is one work
 /// item shared by all threads.
-fn workload(
-    machine: &MachineConfig,
-) -> (Vec<ProcessProfile>, Vec<(Assignment, usize)>) {
+fn workload(machine: &MachineConfig) -> (Vec<ProcessProfile>, Vec<(Assignment, usize)>) {
     let profiles: Vec<ProcessProfile> = (0..6)
         .map(|i| {
             synthetic_profile(
@@ -95,8 +92,7 @@ fn threaded_estimate_candidates_is_bit_identical_to_sequential() {
     // A tiny bound forces continuous cross-thread eviction; a roomy one
     // exercises the mostly-hits path. Both must match the reference.
     for capacity in [8usize, 4096] {
-        let model =
-            CombinedModel::new(&machine, &power).with_equilibrium_cache_capacity(capacity);
+        let model = CombinedModel::new(&machine, &power).with_equilibrium_cache_capacity(capacity);
         let model = &model;
         let profiles = &profiles;
         let queries = &queries;
@@ -110,9 +106,8 @@ fn threaded_estimate_candidates_is_bit_identical_to_sequential() {
                     for step in 0..queries.len() {
                         let i = (step * 5 + t * 7) % queries.len();
                         let (current, idx) = &queries[i];
-                        let got = model
-                            .estimate_candidates(profiles, current, *idx, cores, 2)
-                            .unwrap();
+                        let got =
+                            model.estimate_candidates(profiles, current, *idx, cores, 2).unwrap();
                         let bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
                         assert_eq!(bits, reference[i], "thread {t}, query {i}");
                     }

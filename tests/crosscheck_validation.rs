@@ -33,12 +33,7 @@ fn invariant_battery_clean_for_every_pair() {
         for j in (i + 1)..fvs.len() {
             let set = [&fvs[i], &fvs[j]];
             let violations = crosscheck::check_corun_set(&set, assoc).unwrap();
-            assert!(
-                violations.is_empty(),
-                "{}+{}: {violations:?}",
-                fvs[i].name(),
-                fvs[j].name()
-            );
+            assert!(violations.is_empty(), "{}+{}: {violations:?}", fvs[i].name(), fvs[j].name());
         }
     }
 }
@@ -67,11 +62,7 @@ fn metamorphic_checks_hold_for_the_suite() {
     let fvs = features(&machine);
     let assoc = machine.l2_assoc();
     for f in &fvs {
-        assert!(
-            crosscheck::metamorphic_tail_scaling(f, 3.0).unwrap().is_empty(),
-            "{}",
-            f.name()
-        );
+        assert!(crosscheck::metamorphic_tail_scaling(f, 3.0).unwrap().is_empty(), "{}", f.name());
     }
     let set = [&fvs[1], &fvs[4]];
     assert!(crosscheck::metamorphic_idle_process(&set, assoc).unwrap().is_empty());

@@ -30,14 +30,24 @@ fn profile_predict_measure_pipeline() {
 
     // Measured co-run.
     let mut placement = Placement::idle(2);
-    placement.assign(
-        0,
-        ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1))),
-    ).unwrap();
-    placement.assign(
-        1,
-        ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(machine.l2_sets, 2))),
-    ).unwrap();
+    placement
+        .assign(
+            0,
+            ProcessSpec::new(
+                "mcf",
+                Box::new(SpecWorkload::Mcf.params().generator(machine.l2_sets, 1)),
+            ),
+        )
+        .unwrap();
+    placement
+        .assign(
+            1,
+            ProcessSpec::new(
+                "gzip",
+                Box::new(SpecWorkload::Gzip.params().generator(machine.l2_sets, 2)),
+            ),
+        )
+        .unwrap();
     let run = simulate(
         &machine,
         placement,
@@ -71,10 +81,7 @@ fn newton_and_bisection_agree_on_profiled_features() {
     let b = profiler.profile(&SpecWorkload::Twolf.params()).unwrap();
 
     let bis = PerformanceModel::new(8).predict(&[&a, &b]).unwrap();
-    let newt = PerformanceModel::new(8)
-        .with_solver(SolverKind::Newton)
-        .predict(&[&a, &b])
-        .unwrap();
+    let newt = PerformanceModel::new(8).with_solver(SolverKind::Newton).predict(&[&a, &b]).unwrap();
     for i in 0..2 {
         assert!(
             (bis[i].ways - newt[i].ways).abs() < 0.1,
@@ -118,16 +125,36 @@ fn contention_hurts_both_processes_in_measurement_and_model() {
     // And the simulator agrees.
     let run_alone = {
         let mut pl = Placement::idle(2);
-        pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
-        simulate(&machine, pl, SimOptions { duration_s: 0.5, warmup_s: 0.15, seed: 5, ..Default::default() })
-            .unwrap()
+        pl.assign(
+            0,
+            ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))),
+        )
+        .unwrap();
+        simulate(
+            &machine,
+            pl,
+            SimOptions { duration_s: 0.5, warmup_s: 0.15, seed: 5, ..Default::default() },
+        )
+        .unwrap()
     };
     let run_pair = {
         let mut pl = Placement::idle(2);
-        pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
-        pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2)))).unwrap();
-        simulate(&machine, pl, SimOptions { duration_s: 0.5, warmup_s: 0.15, seed: 5, ..Default::default() })
-            .unwrap()
+        pl.assign(
+            0,
+            ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))),
+        )
+        .unwrap();
+        pl.assign(
+            1,
+            ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2))),
+        )
+        .unwrap();
+        simulate(
+            &machine,
+            pl,
+            SimOptions { duration_s: 0.5, warmup_s: 0.15, seed: 5, ..Default::default() },
+        )
+        .unwrap()
     };
     assert!(run_pair.processes[0].spi() > run_alone.processes[0].spi());
 }

@@ -51,8 +51,10 @@ fn power_model_tracks_unseen_assignment() {
     // Validate on an assignment the training never saw (two different
     // processes, not N copies of one).
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("vpr", Box::new(SpecWorkload::Vpr.params().generator(64, 1)))).unwrap();
-    pl.assign(1, ProcessSpec::new("ammp", Box::new(SpecWorkload::Ammp.params().generator(64, 2)))).unwrap();
+    pl.assign(0, ProcessSpec::new("vpr", Box::new(SpecWorkload::Vpr.params().generator(64, 1))))
+        .unwrap();
+    pl.assign(1, ProcessSpec::new("ammp", Box::new(SpecWorkload::Ammp.params().generator(64, 2))))
+        .unwrap();
     let run = simulate(
         &machine,
         pl,
@@ -82,18 +84,19 @@ fn idle_prediction_matches_idle_measurement() {
     .unwrap();
     let est = model.predict_processor(&[EventRates::default(), EventRates::default()]);
     let meas = run.avg_measured_power();
-    assert!(
-        (est - meas).abs() / meas < 0.08,
-        "idle estimate {est:.2} vs measured {meas:.2}"
-    );
+    assert!((est - meas).abs() / meas < 0.08, "idle estimate {est:.2} vs measured {meas:.2}");
 }
 
 #[test]
 fn combined_model_estimates_pair_power_from_profiles_only() {
     let machine = tiny_machine();
     let model = train(&machine);
-    let profiler = Profiler::new(machine.clone())
-        .with_options(ProfileOptions { duration_s: 0.3, warmup_s: 0.1, seed: 17, ..Default::default() });
+    let profiler = Profiler::new(machine.clone()).with_options(ProfileOptions {
+        duration_s: 0.3,
+        warmup_s: 0.1,
+        seed: 17,
+        ..Default::default()
+    });
     let profiles = vec![
         profiler.profile_full(&SpecWorkload::Mcf.params()).unwrap(),
         profiler.profile_full(&SpecWorkload::Gzip.params()).unwrap(),
@@ -105,8 +108,10 @@ fn combined_model_estimates_pair_power_from_profiles_only() {
     let est = combined.estimate_processor_power(&profiles, &asg).unwrap();
 
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
-    pl.assign(1, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 2)))).unwrap();
+    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))))
+        .unwrap();
+    pl.assign(1, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 2))))
+        .unwrap();
     let run = simulate(
         &machine,
         pl,
@@ -122,8 +127,12 @@ fn combined_model_estimates_pair_power_from_profiles_only() {
 fn combined_model_ranks_light_vs_heavy_assignments() {
     let machine = tiny_machine();
     let model = train(&machine);
-    let profiler = Profiler::new(machine.clone())
-        .with_options(ProfileOptions { duration_s: 0.3, warmup_s: 0.1, seed: 27, ..Default::default() });
+    let profiler = Profiler::new(machine.clone()).with_options(ProfileOptions {
+        duration_s: 0.3,
+        warmup_s: 0.1,
+        seed: 27,
+        ..Default::default()
+    });
     let profiles = vec![
         profiler.profile_full(&SpecWorkload::Ammp.params()).unwrap(), // busy FP
         profiler.profile_full(&SpecWorkload::Gzip.params()).unwrap(), // light, cache-friendly
@@ -150,8 +159,12 @@ fn combined_model_ranks_light_vs_heavy_assignments() {
 fn time_shared_core_estimate_matches_measurement() {
     let machine = tiny_machine();
     let model = train(&machine);
-    let profiler = Profiler::new(machine.clone())
-        .with_options(ProfileOptions { duration_s: 0.3, warmup_s: 0.1, seed: 31, ..Default::default() });
+    let profiler = Profiler::new(machine.clone()).with_options(ProfileOptions {
+        duration_s: 0.3,
+        warmup_s: 0.1,
+        seed: 31,
+        ..Default::default()
+    });
     let profiles = vec![
         profiler.profile_full(&SpecWorkload::Gzip.params()).unwrap(),
         profiler.profile_full(&SpecWorkload::Twolf.params()).unwrap(),
@@ -163,8 +176,13 @@ fn time_shared_core_estimate_matches_measurement() {
     let est = combined.estimate_processor_power(&profiles, &asg).unwrap();
 
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1)))).unwrap();
-    pl.assign(0, ProcessSpec::new("twolf", Box::new(SpecWorkload::Twolf.params().generator(64, 2)))).unwrap();
+    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1))))
+        .unwrap();
+    pl.assign(
+        0,
+        ProcessSpec::new("twolf", Box::new(SpecWorkload::Twolf.params().generator(64, 2))),
+    )
+    .unwrap();
     let run = simulate(
         &machine,
         pl,

@@ -22,8 +22,10 @@ fn opts(seed: u64) -> SimOptions {
 fn engine_enforces_way_quotas() {
     let m = tiny_machine();
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
-    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2)))).unwrap();
+    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))))
+        .unwrap();
+    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2))))
+        .unwrap();
 
     // Unconstrained: two hogs split roughly evenly.
     let free = simulate(&m, pl, opts(1)).unwrap();
@@ -31,14 +33,11 @@ fn engine_enforces_way_quotas() {
 
     // Quota mcf to 2 ways: its occupancy must drop to ~2 and its MPA rise.
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1)))).unwrap();
-    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2)))).unwrap();
-    let capped = simulate(
-        &m,
-        pl,
-        SimOptions { way_quotas: vec![(0, 2)], ..opts(1) },
-    )
-    .unwrap();
+    pl.assign(0, ProcessSpec::new("mcf", Box::new(SpecWorkload::Mcf.params().generator(64, 1))))
+        .unwrap();
+    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 2))))
+        .unwrap();
+    let capped = simulate(&m, pl, SimOptions { way_quotas: vec![(0, 2)], ..opts(1) }).unwrap();
     let capped_ways = capped.processes[0].avg_ways;
     assert!(capped_ways <= 2.0 + 1e-9, "quota violated: {capped_ways}");
     assert!(capped_ways < free_ways, "quota had no effect: {capped_ways} vs {free_ways}");
@@ -51,13 +50,15 @@ fn engine_enforces_way_quotas() {
 fn engine_rejects_bad_quotas() {
     let m = tiny_machine();
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1)))).unwrap();
+    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1))))
+        .unwrap();
     // Quota for a process that does not exist.
     let err = simulate(&m, pl, SimOptions { way_quotas: vec![(5, 2)], ..opts(2) }).unwrap_err();
     assert!(matches!(err, SimError::InvalidOptions(_)));
     // Quota out of range.
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1)))).unwrap();
+    pl.assign(0, ProcessSpec::new("gzip", Box::new(SpecWorkload::Gzip.params().generator(64, 1))))
+        .unwrap();
     let err = simulate(&m, pl, SimOptions { way_quotas: vec![(0, 99)], ..opts(2) }).unwrap_err();
     assert!(matches!(err, SimError::InvalidOptions(_)));
 }
@@ -101,10 +102,16 @@ fn phased_workload_runs_under_contention() {
     pl.assign(
         0,
         ProcessSpec::new("phased", Box::new(PhasedGenerator::new("phased", phases, 64, 1))),
-    ).unwrap();
-    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 5)))).unwrap();
-    let run = simulate(&m, pl, SimOptions { duration_s: 0.8, warmup_s: 0.2, seed: 4, ..Default::default() })
+    )
+    .unwrap();
+    pl.assign(1, ProcessSpec::new("art", Box::new(SpecWorkload::Art.params().generator(64, 5))))
         .unwrap();
+    let run = simulate(
+        &m,
+        pl,
+        SimOptions { duration_s: 0.8, warmup_s: 0.2, seed: 4, ..Default::default() },
+    )
+    .unwrap();
     let p = &run.processes[0];
     assert!(p.counters.instructions > 500_000, "phased process must progress");
     // Its API must be between the two phases' APIs (it mixes them).
@@ -116,8 +123,7 @@ fn phased_workload_runs_under_contention() {
 fn recorded_trace_survives_text_roundtrip_at_scale() {
     let mut gen = SpecWorkload::Parser.params().generator(64, 1);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
-    let trace: mpmc::sim::trace::Trace =
-        (0..5_000).map(|_| gen.next_step(&mut rng)).collect();
+    let trace: mpmc::sim::trace::Trace = (0..5_000).map(|_| gen.next_step(&mut rng)).collect();
     let mut buf = Vec::new();
     trace.write_text(&mut buf).unwrap();
     let back = mpmc::sim::trace::Trace::read_text(buf.as_slice()).unwrap();

@@ -119,10 +119,7 @@ fn corrupted_profile_files_are_typed_errors() {
 
     // A file torn mid-way has lost required keys: always a typed error.
     let torn = &text[..text.len() / 2];
-    assert!(matches!(
-        persist::read_feature(torn.as_bytes()),
-        Err(ModelError::UnusableProfile(_))
-    ));
+    assert!(matches!(persist::read_feature(torn.as_bytes()), Err(ModelError::UnusableProfile(_))));
 }
 
 /// Explicit NaN in a numeric field is a typed error, not a NaN that
@@ -170,12 +167,8 @@ fn starved_solver_budget_degrades_gracefully() {
     let refs: Vec<&FeatureVector> = features.iter().collect();
 
     // Newton cannot converge to tol = 0; the chain must move on.
-    let opts = SolveOptions {
-        tol: 0.0,
-        max_newton_iter: 2,
-        newton_retries: 1,
-        ..SolveOptions::default()
-    };
+    let opts =
+        SolveOptions { tol: 0.0, max_newton_iter: 2, newton_retries: 1, ..SolveOptions::default() };
     let eq = equilibrium::solve_robust(&refs, assoc, &opts).expect("chain never fails");
     assert!(!eq.diagnostics.fallbacks.is_empty(), "expected recorded fallbacks");
     let total: f64 = eq.sizes.iter().sum();

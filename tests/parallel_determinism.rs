@@ -30,10 +30,7 @@ fn quick_opts(workers: usize) -> ProfileOptions {
 }
 
 fn suite() -> Vec<WorkloadParams> {
-    [SpecWorkload::Mcf, SpecWorkload::Gzip, SpecWorkload::Art]
-        .iter()
-        .map(|w| w.params())
-        .collect()
+    [SpecWorkload::Mcf, SpecWorkload::Gzip, SpecWorkload::Art].iter().map(|w| w.params()).collect()
 }
 
 /// Exact (bitwise) equality of two feature vectors via their public
@@ -43,17 +40,9 @@ fn assert_features_identical(a: &FeatureVector, b: &FeatureVector, what: &str) {
     assert_eq!(a.name(), b.name(), "{what}: name");
     assert_eq!(a.assoc(), b.assoc(), "{what}: assoc");
     assert_eq!(a.api().to_bits(), b.api().to_bits(), "{what}: api");
-    assert_eq!(
-        a.spi_model().alpha().to_bits(),
-        b.spi_model().alpha().to_bits(),
-        "{what}: alpha"
-    );
+    assert_eq!(a.spi_model().alpha().to_bits(), b.spi_model().alpha().to_bits(), "{what}: alpha");
     assert_eq!(a.spi_model().beta().to_bits(), b.spi_model().beta().to_bits(), "{what}: beta");
-    assert_eq!(
-        a.histogram().p_inf().to_bits(),
-        b.histogram().p_inf().to_bits(),
-        "{what}: p_inf"
-    );
+    assert_eq!(a.histogram().p_inf().to_bits(), b.histogram().p_inf().to_bits(), "{what}: p_inf");
     let (pa, pb) = (a.histogram().probs(), b.histogram().probs());
     assert_eq!(pa.len(), pb.len(), "{what}: histogram depth");
     for (i, (x, y)) in pa.iter().zip(pb).enumerate() {

@@ -171,7 +171,7 @@ proptest! {
         mut knots in proptest::collection::vec((0.0f64..100.0, 0.0f64..10.0), 2..12),
     ) {
         // Build strictly increasing xs and non-decreasing ys.
-        knots.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        knots.sort_by(|a, b| a.0.total_cmp(&b.0));
         knots.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-6);
         prop_assume!(knots.len() >= 2);
         let xs: Vec<f64> = knots.iter().map(|k| k.0).collect();

@@ -14,8 +14,10 @@ fn tiny_machine() -> MachineConfig {
 
 fn run_pair(machine: &MachineConfig, a: SpecWorkload, b: SpecWorkload, seed: u64) -> SimResult {
     let mut pl = Placement::idle(2);
-    pl.assign(0, ProcessSpec::new(a.name(), Box::new(a.params().generator(machine.l2_sets, 1)))).unwrap();
-    pl.assign(1, ProcessSpec::new(b.name(), Box::new(b.params().generator(machine.l2_sets, 2)))).unwrap();
+    pl.assign(0, ProcessSpec::new(a.name(), Box::new(a.params().generator(machine.l2_sets, 1))))
+        .unwrap();
+    pl.assign(1, ProcessSpec::new(b.name(), Box::new(b.params().generator(machine.l2_sets, 2))))
+        .unwrap();
     simulate(
         machine,
         pl,
@@ -54,8 +56,7 @@ fn event_counts_are_internally_consistent() {
     // for single-process cores (within warmup-boundary slack).
     for core in 0..2 {
         let p = &r.processes[core];
-        let total_instr: f64 = r
-            .core_samples[core]
+        let total_instr: f64 = r.core_samples[core]
             .iter()
             .skip(r.warmup_periods)
             .map(|s| s.ips * r.sample_period_s)
@@ -90,12 +91,11 @@ fn stressmark_partitions_the_cache_as_designed() {
         let mut pl = Placement::idle(2);
         pl.assign(
             0,
-            ProcessSpec::new(
-                victim.name(),
-                Box::new(victim.params().generator(m.l2_sets, 1)),
-            ),
-        ).unwrap();
-        pl.assign(1, ProcessSpec::new("stress", Box::new(Stressmark::new(s, m.l2_sets, 2)))).unwrap();
+            ProcessSpec::new(victim.name(), Box::new(victim.params().generator(m.l2_sets, 1))),
+        )
+        .unwrap();
+        pl.assign(1, ProcessSpec::new("stress", Box::new(Stressmark::new(s, m.l2_sets, 2))))
+            .unwrap();
         let r = simulate(
             &m,
             pl,
@@ -136,7 +136,8 @@ fn memory_bound_workloads_draw_less_power_than_compute_bound() {
     let m = tiny_machine();
     let run_alone = |w: SpecWorkload| {
         let mut pl = Placement::idle(2);
-        pl.assign(0, ProcessSpec::new(w.name(), Box::new(w.params().generator(m.l2_sets, 1)))).unwrap();
+        pl.assign(0, ProcessSpec::new(w.name(), Box::new(w.params().generator(m.l2_sets, 1))))
+            .unwrap();
         simulate(
             &m,
             pl,
@@ -161,7 +162,8 @@ fn four_core_machine_runs_all_dies() {
         pl.assign(
             core,
             ProcessSpec::new(w.name(), Box::new(w.params().generator(m.l2_sets, core as u64 + 1))),
-        ).unwrap();
+        )
+        .unwrap();
     }
     let r = simulate(
         &m,
