@@ -50,11 +50,17 @@ commands:
                                         machine-readable VALIDATION.json
   serve --power FILE [--stdio | --listen ADDR] [--machine M] [--sets N]
         [--workers N] [--cache-capacity N]
+        [--max-line-bytes N] [--max-connections N]
+        [--max-inflight N] [--max-queued N] [--queue-wait-ms MS]
+        [--default-deadline-ms MS] [--breaker-window N]
+        [--breaker-threshold N] [--breaker-cooldown N]
+        [--singleflight-wait-ms MS]
                                         long-running prediction daemon:
                                         newline-delimited JSON requests
                                         (register/estimate/assign/stats)
                                         over TCP, or stdin/stdout with
-                                        --stdio; see README \"Serving\"
+                                        --stdio; overload limits per
+                                        README \"Operational robustness\"
   lint [--format text|json] [--config FILE]
                                         run the workspace static analyzer
                                         (mpmc-lint) from the enclosing
@@ -71,7 +77,10 @@ exit codes: 0 success, 2 usage, 3 invalid input data (bad profile/trace/
 histogram), 4 solver or simulation failure, 5 I/O failure, 6 degraded
 result rejected by --strict, 7 validation divergence (the model-vs-
 simulator sweep completed but disagreed beyond tolerance), 8 unwaived
-deny-level lint findings.
+deny-level lint findings. Service responses additionally use 9 request
+shed under overload, 10 deadline exceeded, 11 request line too long,
+12 connection cap reached (wire `error.code` values, mirrored as exit
+codes by clients).
 ";
 
 fn machine_from(args: &ParsedArgs) -> Result<cmpsim::machine::MachineConfig, CliError> {
@@ -525,7 +534,28 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     let workers = mathkit::parallel::resolve_workers(resolve::workers(args)?);
     let capacity: usize =
         args.opt_parse("cache-capacity", mpmc_model::eqcache::DEFAULT_CAPACITY)?;
-    let service = mpmc_service::PredictionService::new(machine, power, workers, capacity);
+    let defaults = mpmc_service::ServeOptions::default();
+    let opts = mpmc_service::ServeOptions {
+        workers,
+        cache_capacity: capacity,
+        max_line_bytes: args.opt_parse("max-line-bytes", defaults.max_line_bytes)?,
+        max_connections: args.opt_parse("max-connections", defaults.max_connections)?,
+        max_inflight: args.opt_parse("max-inflight", defaults.max_inflight)?,
+        max_queued: args.opt_parse("max-queued", defaults.max_queued)?,
+        queue_wait_ms: args.opt_parse("queue-wait-ms", defaults.queue_wait_ms)?,
+        default_deadline_ms: args.opt_parse("default-deadline-ms", defaults.default_deadline_ms)?,
+        breaker_window: args.opt_parse("breaker-window", defaults.breaker_window)?,
+        breaker_threshold: args.opt_parse("breaker-threshold", defaults.breaker_threshold)?,
+        breaker_cooldown: args.opt_parse("breaker-cooldown", defaults.breaker_cooldown)?,
+        singleflight_wait_ms: args
+            .opt_parse("singleflight-wait-ms", defaults.singleflight_wait_ms)?,
+    };
+    if opts.max_connections == 0 || opts.max_inflight == 0 {
+        return Err(CliError::usage(
+            "serve: --max-connections and --max-inflight must be positive",
+        ));
+    }
+    let service = mpmc_service::PredictionService::with_options(machine, power, opts);
 
     if args.flag("stdio") {
         let stdin = std::io::stdin();
@@ -763,6 +793,18 @@ mod tests {
         for bad_workers in ["0", "many"] {
             let err = run(&["serve", "--power", path_s, "--workers", bad_workers]).unwrap_err();
             assert_eq!(err.code, exit_code::USAGE, "--workers {bad_workers}");
+        }
+        // Overload-limit flags must parse; zero caps that would make the
+        // daemon unreachable are rejected up front.
+        for bad in [
+            ["--max-inflight", "none"],
+            ["--queue-wait-ms", "-1"],
+            ["--max-line-bytes", "big"],
+            ["--max-connections", "0"],
+            ["--max-inflight", "0"],
+        ] {
+            let err = run(&["serve", "--power", path_s, bad[0], bad[1]]).unwrap_err();
+            assert_eq!(err.code, exit_code::USAGE, "{bad:?}");
         }
         // A power file that parses but is not a power model is bad data.
         let bad = std::env::temp_dir().join("mpmc_cli_serve_bad_power_test.txt");

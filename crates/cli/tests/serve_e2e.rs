@@ -193,3 +193,86 @@ fn tcp_session_round_trips_and_shuts_down() {
 
     let _ = std::fs::remove_file(&power);
 }
+
+#[test]
+fn oversized_line_is_shed_and_connection_survives() {
+    let power = power_file("linecap");
+    let mut child = spawn_serve(&power, &["--listen", "127.0.0.1:0", "--max-line-bytes", "128"]);
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    child_out.read_line(&mut banner).unwrap();
+    let addr = banner.trim().strip_prefix("listening on ").unwrap().to_string();
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut ask = |req: &str| -> Json {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        json::parse(line.trim()).unwrap()
+    };
+
+    // A flood far past the cap gets a typed refusal, not a hangup...
+    let flood = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(4096));
+    let resp = ask(&flood);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp:?}");
+    assert_eq!(
+        resp.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("line_too_long")
+    );
+    assert_eq!(resp.get("error").and_then(|e| e.get("code")).and_then(Json::as_f64), Some(11.0));
+    // ...and the very same connection keeps working.
+    let resp = ask(r#"{"id":2,"op":"ping"}"#);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+    let resp = ask(r#"{"id":3,"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    assert!(child.wait().unwrap().success());
+    let _ = std::fs::remove_file(&power);
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_greeting() {
+    let power = power_file("conncap");
+    let mut child = spawn_serve(&power, &["--listen", "127.0.0.1:0", "--max-connections", "1"]);
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    child_out.read_line(&mut banner).unwrap();
+    let addr = banner.trim().strip_prefix("listening on ").unwrap().to_string();
+
+    // First connection occupies the only slot (prove it is live).
+    let first = TcpStream::connect(&addr).unwrap();
+    let mut first_reader = BufReader::new(first.try_clone().unwrap());
+    let mut first_writer = first;
+    first_writer.write_all(b"{\"id\":1,\"op\":\"ping\"}\n").unwrap();
+    first_writer.flush().unwrap();
+    let mut line = String::new();
+    first_reader.read_line(&mut line).unwrap();
+    assert_eq!(json::parse(line.trim()).unwrap().get("ok"), Some(&Json::Bool(true)));
+
+    // Second connection is refused with a well-formed greeting, then
+    // closed (read_line returns 0 at EOF).
+    let second = TcpStream::connect(&addr).unwrap();
+    let mut second_reader = BufReader::new(second);
+    let mut greeting = String::new();
+    second_reader.read_line(&mut greeting).unwrap();
+    let resp = json::parse(greeting.trim()).unwrap();
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp:?}");
+    assert_eq!(
+        resp.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("too_many_connections")
+    );
+    let mut rest = String::new();
+    assert_eq!(second_reader.read_line(&mut rest).unwrap(), 0, "socket must be closed");
+
+    // The admitted connection still works and can shut the daemon down.
+    first_writer.write_all(b"{\"id\":2,\"op\":\"shutdown\"}\n").unwrap();
+    first_writer.flush().unwrap();
+    let mut line = String::new();
+    first_reader.read_line(&mut line).unwrap();
+    assert_eq!(json::parse(line.trim()).unwrap().get("ok"), Some(&Json::Bool(true)));
+    assert!(child.wait().unwrap().success());
+    let _ = std::fs::remove_file(&power);
+}

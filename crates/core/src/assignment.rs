@@ -12,7 +12,7 @@
 //! processor power of the assignment — using profiling data only.
 
 use crate::eqcache::{EqCacheStats, EquilibriumCache};
-use crate::equilibrium::Equilibrium;
+use crate::equilibrium::{self, Equilibrium, SolveDiagnostics};
 use crate::feature::FeatureVector;
 use crate::perf::PerformanceModel;
 use crate::power::CorePowerModel;
@@ -22,6 +22,8 @@ use crate::ModelError;
 use cmpsim::hpc::EventRates;
 use cmpsim::machine::MachineConfig;
 use cmpsim::types::{CoreId, DieId};
+use mathkit::sync::CancelToken;
+use std::cell::Cell;
 
 /// A tentative process-to-core mapping over profile indices.
 ///
@@ -86,6 +88,64 @@ impl Assignment {
         next.assign(core, profile_idx);
         next
     }
+}
+
+/// Where a degraded estimate's equilibria came from, ordered best to
+/// worst. When one estimate mixes tiers across its Eq. 10 combinations,
+/// the *worst* tier used is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedSource {
+    /// Every contended combination was answered from a (possibly stale)
+    /// exact cache entry — numerically identical to a fresh solve.
+    ExactCache,
+    /// At least one combination reused a cached *neighbor* co-run's
+    /// cache split (same co-runner count, all but one fingerprint
+    /// shared), re-rated against the requesting co-run's own curves.
+    StaleNeighbor,
+    /// At least one combination fell through to the proportional-to-API
+    /// closed-form split ([`equilibrium::solve_proportional`]).
+    ProportionalSplit,
+}
+
+impl Ord for DegradedSource {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+impl PartialOrd for DegradedSource {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl DegradedSource {
+    /// Stable lowercase label for wire protocols and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradedSource::ExactCache => "exact_cache",
+            DegradedSource::StaleNeighbor => "stale_neighbor",
+            DegradedSource::ProportionalSplit => "proportional_split",
+        }
+    }
+}
+
+/// A degraded-tier power estimate: the value plus an honest account of
+/// where its equilibria came from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedEstimate {
+    /// Estimated average processor power (watts).
+    pub power_w: f64,
+    /// The worst equilibrium source any combination needed.
+    pub source: DegradedSource,
+}
+
+/// How [`CombinedModel::combination_power`] obtains equilibria: the
+/// exact solver (with a cancellation token) or the no-solve degraded
+/// tier (tracking the worst source used).
+enum SolveMode<'c> {
+    Exact(&'c CancelToken),
+    Degraded(&'c Cell<DegradedSource>),
 }
 
 /// The combined model: performance model + power model + profiles.
@@ -169,10 +229,64 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         profiles: &[ProcessProfile],
         assignment: &Assignment,
     ) -> Result<f64, ModelError> {
+        self.estimate_processor_power_cancellable(profiles, assignment, &CancelToken::never())
+    }
+
+    /// [`CombinedModel::estimate_processor_power`] with a cooperative
+    /// cancellation token threaded into every equilibrium solve, so a
+    /// serving deadline can reclaim the worker mid-estimate. Bit-identical
+    /// to the plain method under a never-firing token.
+    ///
+    /// # Errors
+    ///
+    /// Everything the plain method returns, plus
+    /// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)` once
+    /// the token fires.
+    pub fn estimate_processor_power_cancellable(
+        &self,
+        profiles: &[ProcessProfile],
+        assignment: &Assignment,
+        cancel: &CancelToken,
+    ) -> Result<f64, ModelError> {
+        self.estimate_power_mode(profiles, assignment, &SolveMode::Exact(cancel))
+    }
+
+    /// Degraded-tier estimate: answers **without running the equilibrium
+    /// solvers**, for a serving layer whose circuit breaker has tripped.
+    /// Each contended combination is answered from the best available
+    /// no-solve source — a (possibly stale) exact memo-cache entry, else
+    /// the nearest cached neighbor co-run's split re-rated against the
+    /// requesting processes' own curves, else the proportional-to-API
+    /// closed form — and the *worst* tier any combination needed is
+    /// reported alongside the estimate. Degraded lookups never promote,
+    /// insert, or count toward cache/fallback statistics.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors as for
+    /// [`CombinedModel::estimate_processor_power`]; the no-solve tiers
+    /// themselves cannot fail on valid inputs.
+    pub fn estimate_processor_power_degraded(
+        &self,
+        profiles: &[ProcessProfile],
+        assignment: &Assignment,
+    ) -> Result<DegradedEstimate, ModelError> {
+        let worst = Cell::new(DegradedSource::ExactCache);
+        let power_w =
+            self.estimate_power_mode(profiles, assignment, &SolveMode::Degraded(&worst))?;
+        Ok(DegradedEstimate { power_w, source: worst.get() })
+    }
+
+    fn estimate_power_mode(
+        &self,
+        profiles: &[ProcessProfile],
+        assignment: &Assignment,
+        mode: &SolveMode<'_>,
+    ) -> Result<f64, ModelError> {
         self.validate(profiles, assignment)?;
         let mut total = 0.0;
         for die in 0..self.machine.dies {
-            total += self.estimate_die_power(profiles, assignment, DieId(die as u32))?;
+            total += self.die_power_mode(profiles, assignment, DieId(die as u32), mode)?;
         }
         Ok(total)
     }
@@ -188,6 +302,16 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         profiles: &[ProcessProfile],
         assignment: &Assignment,
         die: DieId,
+    ) -> Result<f64, ModelError> {
+        self.die_power_mode(profiles, assignment, die, &SolveMode::Exact(&CancelToken::never()))
+    }
+
+    fn die_power_mode(
+        &self,
+        profiles: &[ProcessProfile],
+        assignment: &Assignment,
+        die: DieId,
+        mode: &SolveMode<'_>,
     ) -> Result<f64, ModelError> {
         let cores = self.machine.cores_of(die);
         let queues: Vec<&[usize]> =
@@ -205,7 +329,7 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
             if first_err.is_some() {
                 return 0.0;
             }
-            match self.combination_power(profiles, &queues, combo, idle_w) {
+            match self.combination_power(profiles, &queues, combo, idle_w, mode) {
                 Ok(p) => p,
                 Err(e) => {
                     first_err = Some(e);
@@ -232,13 +356,42 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         profile_idx: usize,
         core: usize,
     ) -> Result<f64, ModelError> {
+        self.estimate_after_assigning_cancellable(
+            profiles,
+            current,
+            profile_idx,
+            core,
+            &CancelToken::never(),
+        )
+    }
+
+    /// [`CombinedModel::estimate_after_assigning`] with a cooperative
+    /// cancellation token (see
+    /// [`CombinedModel::estimate_processor_power_cancellable`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CombinedModel::estimate_after_assigning`], plus
+    /// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)`.
+    pub fn estimate_after_assigning_cancellable(
+        &self,
+        profiles: &[ProcessProfile],
+        current: &Assignment,
+        profile_idx: usize,
+        core: usize,
+        cancel: &CancelToken,
+    ) -> Result<f64, ModelError> {
         if core >= current.num_cores() {
             return Err(ModelError::InvalidAssignment(format!(
                 "core {core} out of range for {} cores",
                 current.num_cores()
             )));
         }
-        self.estimate_processor_power(profiles, &current.with_assigned(core, profile_idx))
+        self.estimate_processor_power_cancellable(
+            profiles,
+            &current.with_assigned(core, profile_idx),
+            cancel,
+        )
     }
 
     /// Evaluates [`CombinedModel::estimate_after_assigning`] for every
@@ -264,8 +417,39 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
     where
         M: Sync,
     {
+        self.estimate_candidates_cancellable(
+            profiles,
+            current,
+            profile_idx,
+            cores,
+            workers,
+            &CancelToken::never(),
+        )
+    }
+
+    /// [`CombinedModel::estimate_candidates`] with one cooperative
+    /// cancellation token shared by all workers: when it fires, every
+    /// in-flight candidate stops at its next solver iteration and the
+    /// sweep reports [`mathkit::MathError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CombinedModel::estimate_candidates`], plus
+    /// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)`.
+    pub fn estimate_candidates_cancellable(
+        &self,
+        profiles: &[ProcessProfile],
+        current: &Assignment,
+        profile_idx: usize,
+        cores: &[usize],
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> Result<Vec<f64>, ModelError>
+    where
+        M: Sync,
+    {
         mathkit::parallel::try_par_map(cores.to_vec(), workers, |_, core| {
-            self.estimate_after_assigning(profiles, current, profile_idx, core)
+            self.estimate_after_assigning_cancellable(profiles, current, profile_idx, core, cancel)
         })
     }
 
@@ -277,6 +461,7 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         queues: &[&[usize]],
         combo: &[usize],
         idle_w: f64,
+        mode: &SolveMode<'_>,
     ) -> Result<f64, ModelError> {
         // Gather the simultaneously running processes.
         let mut running: Vec<(usize, &ProcessProfile)> = Vec::new(); // (core slot, profile)
@@ -295,7 +480,10 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         }
 
         // Contended: performance model predicts SPI and MPA per process.
-        let eq = self.solve_cached(&running)?;
+        let eq = match mode {
+            SolveMode::Exact(cancel) => self.solve_cached(&running, cancel)?,
+            SolveMode::Degraded(worst) => self.solve_degraded(&running, worst)?,
+        };
         let mut power = idle_cores as f64 * idle_w;
         for (i, (_slot, prof)) in running.iter().enumerate() {
             let spi = eq.spis[i];
@@ -324,23 +512,14 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
     fn solve_cached(
         &self,
         running: &[(usize, &ProcessProfile)],
+        cancel: &CancelToken,
     ) -> Result<Equilibrium, ModelError> {
-        let fps: Vec<u64> = running.iter().map(|(_, p)| p.feature.content_fingerprint()).collect();
-        let mut order: Vec<usize> = (0..running.len()).collect();
-        order.sort_by_key(|&i| (fps[i], i));
-        let key: Vec<u64> = order.iter().map(|&i| fps[i]).collect();
+        let (order, key) = Self::canonical_key(running);
         if let Some(canon) = self.eq_cache.get(&key) {
-            let mut eq = canon.clone();
-            for (ci, &i) in order.iter().enumerate() {
-                eq.sizes[i] = canon.sizes[ci];
-                eq.mpas[i] = canon.mpas[ci];
-                eq.spis[i] = canon.spis[ci];
-                eq.apss[i] = canon.apss[ci];
-            }
-            return Ok(eq);
+            return Ok(Self::permute_back(&canon, &order));
         }
         let features: Vec<&FeatureVector> = running.iter().map(|(_, p)| &p.feature).collect();
-        let eq = self.perf.solve(&features)?;
+        let eq = self.perf.solve_cancellable(&features, cancel)?;
         if eq.diagnostics.degraded || !eq.diagnostics.fallbacks.is_empty() {
             self.eq_cache.note_fallback();
         }
@@ -353,6 +532,79 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         }
         self.eq_cache.insert(key, canon);
         Ok(eq)
+    }
+
+    /// No-solve equilibrium for the degraded tier: exact (possibly stale)
+    /// cache entry, else the nearest cached neighbor's split re-rated on
+    /// the caller's own feature curves, else the proportional closed
+    /// form. Never iterates, never touches the fallback counter, and
+    /// never promotes or inserts cache entries — degraded traffic must
+    /// not distort the healthy path's statistics or recency order.
+    fn solve_degraded(
+        &self,
+        running: &[(usize, &ProcessProfile)],
+        worst: &Cell<DegradedSource>,
+    ) -> Result<Equilibrium, ModelError> {
+        let (order, key) = Self::canonical_key(running);
+        if let Some(canon) = self.eq_cache.peek(&key) {
+            return Ok(Self::permute_back(&canon, &order));
+        }
+        let features: Vec<&FeatureVector> = running.iter().map(|(_, p)| &p.feature).collect();
+        if let Some((_, near)) = self.eq_cache.neighbor(&key) {
+            Self::note_worst(worst, DegradedSource::StaleNeighbor);
+            // Borrow the neighbor's cache split positionally (both sides
+            // are in canonical order) and re-rate MPA/SPI/APS against the
+            // requesting processes' own curves.
+            let canon_features: Vec<&FeatureVector> = order.iter().map(|&i| features[i]).collect();
+            let diag = SolveDiagnostics {
+                method: near.diagnostics.method,
+                iterations: 0,
+                residual: 0.0,
+                fallbacks: Vec::new(),
+                degraded: true,
+            };
+            let canon = Equilibrium::from_sizes(
+                &canon_features,
+                near.sizes.clone(),
+                near.window,
+                near.cache_filled,
+                diag,
+            );
+            return Ok(Self::permute_back(&canon, &order));
+        }
+        Self::note_worst(worst, DegradedSource::ProportionalSplit);
+        equilibrium::solve_proportional(&features, self.machine.l2_assoc())
+    }
+
+    /// Canonical solve order and memo key for a co-runner set: indices
+    /// sorted by (content fingerprint, index), and the fingerprints in
+    /// that order.
+    fn canonical_key(running: &[(usize, &ProcessProfile)]) -> (Vec<usize>, Vec<u64>) {
+        let fps: Vec<u64> = running.iter().map(|(_, p)| p.feature.content_fingerprint()).collect();
+        let mut order: Vec<usize> = (0..running.len()).collect();
+        order.sort_by_key(|&i| (fps[i], i));
+        let key: Vec<u64> = order.iter().map(|&i| fps[i]).collect();
+        (order, key)
+    }
+
+    /// Scatters a canonical-order equilibrium back to the caller's
+    /// process order.
+    fn permute_back(canon: &Equilibrium, order: &[usize]) -> Equilibrium {
+        let mut eq = canon.clone();
+        for (ci, &i) in order.iter().enumerate() {
+            eq.sizes[i] = canon.sizes[ci];
+            eq.mpas[i] = canon.mpas[ci];
+            eq.spis[i] = canon.spis[ci];
+            eq.apss[i] = canon.apss[ci];
+        }
+        eq
+    }
+
+    /// Records `tier` if it is worse than anything seen so far.
+    fn note_worst(worst: &Cell<DegradedSource>, tier: DegradedSource) {
+        if tier > worst.get() {
+            worst.set(tier);
+        }
     }
 
     fn validate(&self, profiles: &[ProcessProfile], asg: &Assignment) -> Result<(), ModelError> {
@@ -745,6 +997,145 @@ mod tests {
         assert_eq!(x.to_bits(), y.to_bits());
         assert_eq!(uncached.cached_equilibria(), 0);
         assert_eq!(uncached.equilibrium_cache_stats().capacity, 0);
+    }
+
+    #[test]
+    fn cancellable_with_never_token_is_bit_exact() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let ps = vec![a, b];
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let plain = cm.estimate_processor_power(&ps, &asg).unwrap();
+        cm.clear_equilibrium_cache();
+        let never =
+            cm.estimate_processor_power_cancellable(&ps, &asg, &CancelToken::never()).unwrap();
+        assert_eq!(plain.to_bits(), never.to_bits());
+        let cands = cm.estimate_candidates(&ps, &Assignment::new(4), 0, &[0, 1], 2).unwrap();
+        let cands_c = cm
+            .estimate_candidates_cancellable(
+                &ps,
+                &Assignment::new(4),
+                0,
+                &[0, 1],
+                2,
+                &CancelToken::never(),
+            )
+            .unwrap();
+        let xb: Vec<u64> = cands.iter().map(|x| x.to_bits()).collect();
+        let yb: Vec<u64> = cands_c.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(xb, yb);
+    }
+
+    #[test]
+    fn fired_token_propagates_typed_cancellation() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let ps = vec![a, b];
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let fired = CancelToken::from_fn(|| true);
+        let err = cm.estimate_processor_power_cancellable(&ps, &asg, &fired).unwrap_err();
+        assert!(
+            matches!(err, ModelError::Math(mathkit::MathError::Cancelled)),
+            "want typed cancellation, got {err:?}"
+        );
+        // Candidate sweep: core 1 shares core 0's die, so the candidate
+        // co-run is contended and must hit the cancellation point.
+        let mut cur = Assignment::new(4);
+        cur.assign(0, 0);
+        let err = cm.estimate_candidates_cancellable(&ps, &cur, 1, &[1], 2, &fired).unwrap_err();
+        assert!(matches!(err, ModelError::Math(mathkit::MathError::Cancelled)));
+        // A cached hit needs no solve, so even a fired token cannot stop
+        // it: warm the cache with a healthy solve, then re-ask.
+        let warm = cm.estimate_processor_power(&ps, &asg).unwrap();
+        let hot = cm.estimate_processor_power_cancellable(&ps, &asg, &fired).unwrap();
+        assert_eq!(warm.to_bits(), hot.to_bits());
+    }
+
+    #[test]
+    fn degraded_exact_cache_tier_is_bit_exact_with_healthy_estimate() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let ps = vec![a, b];
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let healthy = cm.estimate_processor_power(&ps, &asg).unwrap();
+        let stats_before = cm.equilibrium_cache_stats();
+        let deg = cm.estimate_processor_power_degraded(&ps, &asg).unwrap();
+        assert_eq!(deg.source, DegradedSource::ExactCache);
+        assert_eq!(deg.power_w.to_bits(), healthy.to_bits());
+        let stats_after = cm.equilibrium_cache_stats();
+        assert_eq!(stats_before, stats_after, "degraded reads must not touch counters");
+        assert_eq!(cm.solver_fallbacks(), 0, "degraded answers are not solver fallbacks");
+    }
+
+    #[test]
+    fn degraded_neighbor_tier_reuses_nearest_cached_split() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let c = synthetic_profile("c", 0.45, 0.032, &m);
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        // Warm the cache with the (a, b) pair, then ask degraded for
+        // (c, b): same cardinality, shares b's fingerprint -> neighbor.
+        cm.estimate_processor_power(&[a.clone(), b.clone()], &asg).unwrap();
+        let deg = cm.estimate_processor_power_degraded(&[c.clone(), b.clone()], &asg).unwrap();
+        assert_eq!(deg.source, DegradedSource::StaleNeighbor);
+        assert!(deg.power_w.is_finite() && deg.power_w > 0.0);
+        // The neighbor answer re-rates on c's own curves, so it should be
+        // in the neighborhood of the true (c, b) estimate.
+        let truth = cm.estimate_processor_power(&[c, b], &asg).unwrap();
+        assert!(
+            (deg.power_w - truth).abs() < 0.2 * truth,
+            "neighbor estimate {} too far from truth {truth}",
+            deg.power_w
+        );
+    }
+
+    #[test]
+    fn degraded_cold_cache_falls_back_to_proportional_split() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let ps = vec![a, b];
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let deg = cm.estimate_processor_power_degraded(&ps, &asg).unwrap();
+        assert_eq!(deg.source, DegradedSource::ProportionalSplit);
+        assert!(deg.power_w.is_finite() && deg.power_w > 0.0);
+        assert_eq!(cm.cached_equilibria(), 0, "degraded solves must not populate the cache");
+        // Uncontended shapes never need an equilibrium, so even the
+        // proportional tier reports the exact-cache (best) source.
+        let mut solo = Assignment::new(4);
+        solo.assign(0, 0);
+        let deg_solo = cm.estimate_processor_power_degraded(&ps, &solo).unwrap();
+        assert_eq!(deg_solo.source, DegradedSource::ExactCache);
+        let healthy_solo = cm.estimate_processor_power(&ps, &solo).unwrap();
+        assert_eq!(deg_solo.power_w.to_bits(), healthy_solo.to_bits());
+    }
+
+    #[test]
+    fn degraded_source_order_and_names() {
+        assert!(DegradedSource::ExactCache < DegradedSource::StaleNeighbor);
+        assert!(DegradedSource::StaleNeighbor < DegradedSource::ProportionalSplit);
+        assert_eq!(DegradedSource::ExactCache.name(), "exact_cache");
+        assert_eq!(DegradedSource::StaleNeighbor.name(), "stale_neighbor");
+        assert_eq!(DegradedSource::ProportionalSplit.name(), "proportional_split");
     }
 
     #[test]

@@ -28,8 +28,9 @@
 
 use crate::feature::FeatureVector;
 use crate::ModelError;
-use mathkit::newton::{newton_raphson, NewtonOptions};
-use mathkit::roots::{bisect, fixed_point, BisectOptions, FixedPointOptions};
+use mathkit::newton::{newton_raphson_cancellable, NewtonOptions};
+use mathkit::roots::{bisect, bisect_cancellable, fixed_point, BisectOptions, FixedPointOptions};
+use mathkit::sync::CancelToken;
 use std::cell::Cell;
 use std::fmt;
 use std::time::Instant;
@@ -171,7 +172,11 @@ pub struct Equilibrium {
 }
 
 impl Equilibrium {
-    fn from_sizes(
+    /// Derives per-process MPA/SPI/APS from each feature's own curves at
+    /// the given sizes. Crate-visible so the degraded estimation tier can
+    /// re-rate a neighbor's cache split against the requesting co-run's
+    /// own features.
+    pub(crate) fn from_sizes(
         features: &[&FeatureVector],
         sizes: Vec<f64>,
         window: f64,
@@ -228,8 +233,27 @@ fn size_for_window(f: &FeatureVector, a: f64, t: f64) -> f64 {
 /// # }
 /// ```
 pub fn solve(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, ModelError> {
+    solve_cancellable(features, assoc, &CancelToken::never())
+}
+
+/// [`solve`] with cooperative cancellation points in the outer window
+/// solve (bracket expansion and bisection iterations).
+///
+/// With a never-firing token the result is bit-identical to [`solve`];
+/// once `cancel` fires the solve stops with
+/// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)` within one
+/// inner-solve evaluation.
+///
+/// # Errors
+///
+/// Everything [`solve`] returns, plus the cancellation error above.
+pub fn solve_cancellable(
+    features: &[&FeatureVector],
+    assoc: usize,
+    cancel: &CancelToken,
+) -> Result<Equilibrium, ModelError> {
     validate(features, assoc)?;
-    solve_with(features, assoc, Strategy::Bisection)
+    solve_with(features, assoc, Strategy::Bisection, cancel)
 }
 
 /// Window value reported when the capacity constraint is infeasible: the
@@ -266,6 +290,7 @@ fn solve_with(
     features: &[&FeatureVector],
     assoc: usize,
     strategy: Strategy,
+    cancel: &CancelToken,
 ) -> Result<Equilibrium, ModelError> {
     let a = assoc as f64;
     let k = features.len();
@@ -285,12 +310,12 @@ fn solve_with(
     let canon: Vec<&FeatureVector> = order.iter().map(|&i| features[i]).collect();
 
     let core = if assoc == 1 {
-        unit_assoc_core(&canon)?
+        unit_assoc_core(&canon, cancel)?
     } else {
         match strategy {
-            Strategy::Bisection => bisection_core(&canon, a)?,
-            Strategy::Newton => newton_core(&canon, a)?,
-            Strategy::Robust(opts) => robust_core(&canon, a, opts)?,
+            Strategy::Bisection => bisection_core(&canon, a, cancel)?,
+            Strategy::Newton => newton_core(&canon, a, cancel)?,
+            Strategy::Robust(opts) => robust_core(&canon, a, opts, cancel)?,
         }
     };
 
@@ -331,7 +356,10 @@ fn solve_single_active(
 /// `[0, 1]`, so the inner solve `S = G(APS(S)·T)` reduces to the smallest
 /// root of the quadratic `S·SPI(S) = API·T` — computed exactly. Only the
 /// scalar capacity bracket on `T` remains iterative.
-fn unit_assoc_core(features: &[&FeatureVector]) -> Result<CoreSolution, ModelError> {
+fn unit_assoc_core(
+    features: &[&FeatureVector],
+    cancel: &CancelToken,
+) -> Result<CoreSolution, ModelError> {
     let a = 1.0;
     let evals = Cell::new(0usize);
     let size_at = |f: &FeatureVector, t: f64| -> f64 {
@@ -361,6 +389,7 @@ fn unit_assoc_core(features: &[&FeatureVector]) -> Result<CoreSolution, ModelErr
     let mut t_lo = 1e-12;
     let mut t_hi = 1e-9;
     while total(t_hi) < a - fill_eps {
+        cancel.check()?;
         t_lo = t_hi;
         t_hi *= 4.0;
         if t_hi > WINDOW_CAP {
@@ -381,13 +410,14 @@ fn unit_assoc_core(features: &[&FeatureVector]) -> Result<CoreSolution, ModelErr
     let t = if total(t_hi) <= a + fill_eps {
         t_hi
     } else {
-        bisect(
+        bisect_cancellable(
             |t| total(t) - a,
             t_lo,
             t_hi,
             BisectOptions { x_tol: 0.0, f_tol: 1e-9, max_iter: 500 },
+            cancel,
         )
-        .map_err(|e| ModelError::EquilibriumFailed(format!("unit-assoc outer bisection: {e}")))?
+        .map_err(|e| outer_bisection_error("unit-assoc outer bisection", e))?
     };
     let mut sizes: Vec<f64> = features.iter().map(|f| size_at(f, t)).collect();
     let sum: f64 = sizes.iter().sum();
@@ -404,8 +434,23 @@ fn unit_assoc_core(features: &[&FeatureVector]) -> Result<CoreSolution, ModelErr
     Ok(CoreSolution { sizes, window: t, filled: true, diagnostics: diag })
 }
 
+/// Keeps a cancellation firing distinguishable from genuine bracket
+/// trouble: `Cancelled` stays a typed [`ModelError::Math`] (the serving
+/// layer maps it to `deadline_exceeded`), everything else becomes the
+/// usual [`ModelError::EquilibriumFailed`].
+fn outer_bisection_error(context: &str, e: mathkit::MathError) -> ModelError {
+    match e {
+        mathkit::MathError::Cancelled => ModelError::Math(e),
+        e => ModelError::EquilibriumFailed(format!("{context}: {e}")),
+    }
+}
+
 /// The nested-bisection core over canonically ordered active features.
-fn bisection_core(features: &[&FeatureVector], a: f64) -> Result<CoreSolution, ModelError> {
+fn bisection_core(
+    features: &[&FeatureVector],
+    a: f64,
+    cancel: &CancelToken,
+) -> Result<CoreSolution, ModelError> {
     // Total occupancy as a function of the window T (monotone
     // non-decreasing in T). The counter makes outer-solve effort visible
     // in the diagnostics.
@@ -423,6 +468,7 @@ fn bisection_core(features: &[&FeatureVector], a: f64) -> Result<CoreSolution, M
     let mut t_lo = 1e-12;
     let mut t_hi = 1e-9;
     while total(t_hi) < a - fill_eps {
+        cancel.check()?;
         t_lo = t_hi;
         t_hi *= 4.0;
         if t_hi > WINDOW_CAP {
@@ -449,13 +495,14 @@ fn bisection_core(features: &[&FeatureVector], a: f64) -> Result<CoreSolution, M
     let t = if total(t_hi) <= a + fill_eps {
         t_hi
     } else {
-        bisect(
+        bisect_cancellable(
             |t| total(t) - a,
             t_lo,
             t_hi,
             BisectOptions { x_tol: 0.0, f_tol: 1e-9, max_iter: 500 },
+            cancel,
         )
-        .map_err(|e| ModelError::EquilibriumFailed(format!("outer bisection: {e}")))?
+        .map_err(|e| outer_bisection_error("outer bisection", e))?
     };
 
     let mut sizes: Vec<f64> = features.iter().map(|f| size_for_window(f, a, t)).collect();
@@ -489,16 +536,37 @@ fn bisection_core(features: &[&FeatureVector], a: f64) -> Result<CoreSolution, M
 ///   [`solve`], plus Newton non-convergence (rare; seed with [`solve`]'s
 ///   output if it matters).
 pub fn solve_newton(features: &[&FeatureVector], assoc: usize) -> Result<Equilibrium, ModelError> {
+    solve_newton_cancellable(features, assoc, &CancelToken::never())
+}
+
+/// [`solve_newton`] with cooperative cancellation points (seed solve and
+/// Newton iterations). Bit-identical to [`solve_newton`] under a
+/// never-firing token.
+///
+/// # Errors
+///
+/// Everything [`solve_newton`] returns, plus
+/// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)` once
+/// `cancel` fires.
+pub fn solve_newton_cancellable(
+    features: &[&FeatureVector],
+    assoc: usize,
+    cancel: &CancelToken,
+) -> Result<Equilibrium, ModelError> {
     validate(features, assoc)?;
-    solve_with(features, assoc, Strategy::Newton)
+    solve_with(features, assoc, Strategy::Newton, cancel)
 }
 
 /// The damped-Newton core over canonically ordered active features.
-fn newton_core(features: &[&FeatureVector], a: f64) -> Result<CoreSolution, ModelError> {
+fn newton_core(
+    features: &[&FeatureVector],
+    a: f64,
+    cancel: &CancelToken,
+) -> Result<CoreSolution, ModelError> {
     let k = features.len();
 
     // Initial guess: proportional to demand at a common mid-range window.
-    let bisection_seed = bisection_core(features, a)?;
+    let bisection_seed = bisection_core(features, a, cancel)?;
     if !bisection_seed.filled {
         // Infeasible constraint: Newton has no root to find; return the
         // saturated solution directly (same as the paper would observe —
@@ -509,8 +577,8 @@ fn newton_core(features: &[&FeatureVector], a: f64) -> Result<CoreSolution, Mode
     x0.push(bisection_seed.window * 1.1);
 
     let opts = NewtonOptions { tol: 1e-7, max_iter: 200, fd_step: 1e-6, max_backtrack: 40 };
-    let sol = newton_system(features, a, &x0, opts)
-        .map_err(|e| ModelError::EquilibriumFailed(format!("newton: {e}")))?;
+    let sol = newton_system(features, a, &x0, opts, cancel)
+        .map_err(|e| outer_bisection_error("newton", e))?;
 
     let sizes = sol.x[..k].to_vec();
     let window = sol.x[k];
@@ -530,6 +598,7 @@ fn newton_system(
     a: f64,
     x0: &[f64],
     opts: NewtonOptions,
+    cancel: &CancelToken,
 ) -> Result<mathkit::newton::NewtonSolution, mathkit::MathError> {
     let k = features.len();
     let lo = 0.02;
@@ -564,7 +633,7 @@ fn newton_system(
         r
     };
 
-    newton_raphson(residual, x0, clamp, opts)
+    newton_raphson_cancellable(residual, x0, clamp, opts, cancel)
 }
 
 /// Solves the equilibrium through a staged fallback chain that cannot
@@ -597,11 +666,81 @@ pub fn solve_robust(
     assoc: usize,
     opts: &SolveOptions,
 ) -> Result<Equilibrium, ModelError> {
+    solve_robust_cancellable(features, assoc, opts, &CancelToken::never())
+}
+
+/// [`solve_robust`] with cooperative cancellation points in every stage
+/// of the fallback chain (Newton iterations, fixed-point outer loop,
+/// bracket expansions).
+///
+/// A fired token stops the chain immediately with
+/// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)` — it does
+/// *not* fall through to the proportional heuristic, because a caller
+/// that imposed a deadline wants the worker back, not a degraded answer
+/// it no longer has time to use (the serving layer decides separately
+/// whether to answer degraded). Bit-identical to [`solve_robust`] under
+/// a never-firing token.
+///
+/// # Errors
+///
+/// Everything [`solve_robust`] returns, plus the cancellation error.
+pub fn solve_robust_cancellable(
+    features: &[&FeatureVector],
+    assoc: usize,
+    opts: &SolveOptions,
+    cancel: &CancelToken,
+) -> Result<Equilibrium, ModelError> {
     validate(features, assoc)?;
     for f in features {
         crate::validate::feature_vector(f)?;
     }
-    solve_with(features, assoc, Strategy::Robust(opts))
+    solve_with(features, assoc, Strategy::Robust(opts), cancel)
+}
+
+/// The proportional-to-API closed-form split — [`solve_robust`]'s stage-4
+/// last resort, exposed directly so the serving layer's circuit breaker
+/// can answer degraded requests without running (and failing) the full
+/// chain first.
+///
+/// Always succeeds on valid inputs, never iterates, and is explicitly
+/// flagged [`SolveDiagnostics::degraded`] (method
+/// [`SolveMethod::ProportionalShare`], window 0): the split ignores the
+/// equilibrium condition entirely. Idle (`API == 0`) processes get zero
+/// ways, actives split `A` proportionally to API; the shares are summed
+/// in canonical fingerprint order so the result is bit-independent of
+/// the caller's process order, like the full solvers.
+///
+/// # Errors
+///
+/// [`ModelError::EmptyInput`] / [`ModelError::EquilibriumFailed`] for
+/// structurally invalid inputs, as for [`solve`].
+pub fn solve_proportional(
+    features: &[&FeatureVector],
+    assoc: usize,
+) -> Result<Equilibrium, ModelError> {
+    validate(features, assoc)?;
+    let a = assoc as f64;
+    let k = features.len();
+    let active: Vec<usize> = (0..k).filter(|&i| features[i].api() > 0.0).collect();
+    if active.is_empty() {
+        let diag = SolveDiagnostics::direct(SolveMethod::ClosedForm, 0, 0.0);
+        return Ok(Equilibrium::from_sizes(features, vec![0.0; k], 0.0, false, diag));
+    }
+    let mut order = active;
+    order.sort_by_key(|&i| (features[i].content_fingerprint(), i));
+    let api_total: f64 = order.iter().map(|&i| features[i].api()).sum();
+    let mut sizes = vec![0.0; k];
+    for &i in &order {
+        sizes[i] = a * features[i].api() / api_total;
+    }
+    let diag = SolveDiagnostics {
+        method: SolveMethod::ProportionalShare,
+        iterations: 0,
+        residual: 0.0,
+        fallbacks: Vec::new(),
+        degraded: true,
+    };
+    Ok(Equilibrium::from_sizes(features, sizes, 0.0, true, diag))
 }
 
 /// The staged fallback chain over canonically ordered active features.
@@ -609,12 +748,14 @@ fn robust_core(
     features: &[&FeatureVector],
     a: f64,
     opts: &SolveOptions,
+    cancel: &CancelToken,
 ) -> Result<CoreSolution, ModelError> {
     let k = features.len();
     #[allow(clippy::disallowed_methods)]
     // lint:allow(determinism) -- diagnostics-only: wall time feeds SolveDiagnostics.elapsed, never the solution itself
     let start = Instant::now();
     let mut fallbacks: Vec<FallbackEvent> = Vec::new();
+    cancel.check()?;
 
     // Infeasible capacity constraint: if demand saturates below `A` even
     // at an effectively infinite window, no equilibrium root exists.
@@ -646,6 +787,7 @@ fn robust_core(
     for attempt in 0..=opts.newton_retries {
         let stage =
             if attempt == 0 { SolveMethod::DampedNewton } else { SolveMethod::ReseededNewton };
+        cancel.check()?;
         if start.elapsed().as_secs_f64() > opts.time_budget_s {
             fallbacks.push(FallbackEvent { stage, reason: "time budget exhausted".into() });
             break;
@@ -668,7 +810,10 @@ fn robust_core(
         let t0 = (log_t / k as f64).exp() * window_factors[attempt % window_factors.len()];
         x0.push(t0.clamp(1e-15, 1e12));
 
-        match newton_system(features, a, &x0, newton_opts) {
+        match newton_system(features, a, &x0, newton_opts, cancel) {
+            Err(mathkit::MathError::Cancelled) => {
+                return Err(ModelError::Math(mathkit::MathError::Cancelled))
+            }
             Ok(sol) => {
                 let sizes = sol.x[..k].to_vec();
                 let window = sol.x[k];
@@ -700,7 +845,10 @@ fn robust_core(
 
     // Stage 3: bounded fixed-point iteration (bisection outer loop).
     if start.elapsed().as_secs_f64() <= opts.time_budget_s {
-        match solve_fixed_point_stage(features, a, opts) {
+        match solve_fixed_point_stage(features, a, opts, cancel) {
+            Err(ModelError::Math(mathkit::MathError::Cancelled)) => {
+                return Err(ModelError::Math(mathkit::MathError::Cancelled))
+            }
             Ok((sizes, t, iterations, residual)) => {
                 let diag = SolveDiagnostics {
                     method: SolveMethod::FixedPoint,
@@ -744,6 +892,7 @@ fn solve_fixed_point_stage(
     features: &[&FeatureVector],
     a: f64,
     opts: &SolveOptions,
+    cancel: &CancelToken,
 ) -> Result<(Vec<f64>, f64, usize, f64), ModelError> {
     let fp_opts =
         FixedPointOptions { tol: 1e-9, max_iter: opts.max_fixed_point_iter, damping: 0.5 };
@@ -771,6 +920,7 @@ fn solve_fixed_point_stage(
     let mut t_hi = 1e-9;
     let cap = 1e9;
     while total(t_hi) < a - fill_eps {
+        cancel.check()?;
         t_lo = t_hi;
         t_hi *= 4.0;
         if t_hi > cap {
@@ -782,13 +932,14 @@ fn solve_fixed_point_stage(
     let t = if total(t_hi) <= a + fill_eps {
         t_hi
     } else {
-        bisect(
+        bisect_cancellable(
             |t| total(t) - a,
             t_lo,
             t_hi,
             BisectOptions { x_tol: 0.0, f_tol: 1e-9, max_iter: 500 },
+            cancel,
         )
-        .map_err(|e| ModelError::EquilibriumFailed(format!("fixed-point outer bisection: {e}")))?
+        .map_err(|e| outer_bisection_error("fixed-point outer bisection", e))?
     };
 
     let mut sizes: Vec<f64> = features.iter().map(|f| size_at(f, t)).collect();
@@ -1158,6 +1309,67 @@ mod tests {
                 );
             }
             assert_eq!(bis.window.to_bits(), ref_bis.window.to_bits());
+        }
+    }
+
+    #[test]
+    fn proportional_split_is_exact_degraded_and_order_independent() {
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Gzip);
+        let idle = idle_fv(16);
+        let eq = solve_proportional(&[&a, &idle, &b], 16).unwrap();
+        assert_eq!(eq.diagnostics.method, SolveMethod::ProportionalShare);
+        assert!(eq.diagnostics.degraded);
+        assert_eq!(eq.sizes[1], 0.0, "idle process holds no ways");
+        assert!((eq.sizes.iter().sum::<f64>() - 16.0).abs() < 1e-9);
+        assert!(eq.spis.iter().all(|s| s.is_finite() && *s > 0.0));
+        // Shares follow API ratios exactly.
+        assert!((eq.sizes[0] / eq.sizes[2] - a.api() / b.api()).abs() < 1e-12);
+        // Bit-independent of caller order, like the full solvers.
+        let flipped = solve_proportional(&[&b, &idle, &a], 16).unwrap();
+        assert_eq!(eq.sizes[0].to_bits(), flipped.sizes[2].to_bits());
+        assert_eq!(eq.sizes[2].to_bits(), flipped.sizes[0].to_bits());
+        // Matches robust's stage-4 answer when the chain is forced there.
+        let opts = SolveOptions { time_budget_s: 0.0, ..Default::default() };
+        let forced = solve_robust(&[&a, &idle, &b], 16, &opts).unwrap();
+        for i in 0..3 {
+            assert_eq!(eq.sizes[i].to_bits(), forced.sizes[i].to_bits(), "proc {i}");
+        }
+    }
+
+    #[test]
+    fn fired_token_cancels_every_solver_with_typed_error() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let fired = CancelToken::flag(Arc::new(AtomicBool::new(true)));
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Gzip);
+        for r in [
+            solve_cancellable(&[&a, &b], 16, &fired),
+            solve_newton_cancellable(&[&a, &b], 16, &fired),
+            solve_robust_cancellable(&[&a, &b], 16, &SolveOptions::default(), &fired),
+        ] {
+            assert!(matches!(r, Err(ModelError::Math(mathkit::MathError::Cancelled))), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn never_token_is_bit_exact_with_plain_solvers() {
+        let never = CancelToken::never();
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Art);
+        let plain = solve(&[&a, &b], 16).unwrap();
+        let cancl = solve_cancellable(&[&a, &b], 16, &never).unwrap();
+        for i in 0..2 {
+            assert_eq!(plain.sizes[i].to_bits(), cancl.sizes[i].to_bits());
+            assert_eq!(plain.spis[i].to_bits(), cancl.spis[i].to_bits());
+        }
+        assert_eq!(plain.window.to_bits(), cancl.window.to_bits());
+        let rob = solve_robust(&[&a, &b], 16, &SolveOptions::default()).unwrap();
+        let robc =
+            solve_robust_cancellable(&[&a, &b], 16, &SolveOptions::default(), &never).unwrap();
+        for i in 0..2 {
+            assert_eq!(rob.sizes[i].to_bits(), robc.sizes[i].to_bits());
         }
     }
 

@@ -8,6 +8,7 @@
 use crate::equilibrium::{self, Equilibrium, SolveOptions};
 use crate::feature::FeatureVector;
 use crate::ModelError;
+use mathkit::sync::CancelToken;
 
 /// Which equilibrium solver to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,13 +115,33 @@ impl PerformanceModel {
         &self,
         features: &[F],
     ) -> Result<Equilibrium, ModelError> {
+        self.solve_cancellable(features, &CancelToken::never())
+    }
+
+    /// [`PerformanceModel::solve`] with a cooperative cancellation token
+    /// threaded into the selected solver's iteration loops. Bit-identical
+    /// to [`PerformanceModel::solve`] under a never-firing token.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PerformanceModel::solve`] returns, plus
+    /// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)` once
+    /// the token fires.
+    pub fn solve_cancellable<F: AsRef<FeatureVector>>(
+        &self,
+        features: &[F],
+        cancel: &CancelToken,
+    ) -> Result<Equilibrium, ModelError> {
         let refs: Vec<&FeatureVector> = features.iter().map(|f| f.as_ref()).collect();
         match self.solver {
-            SolverKind::Bisection => equilibrium::solve(&refs, self.assoc),
-            SolverKind::Newton => equilibrium::solve_newton(&refs, self.assoc),
-            SolverKind::Robust => {
-                equilibrium::solve_robust(&refs, self.assoc, &SolveOptions::default())
-            }
+            SolverKind::Bisection => equilibrium::solve_cancellable(&refs, self.assoc, cancel),
+            SolverKind::Newton => equilibrium::solve_newton_cancellable(&refs, self.assoc, cancel),
+            SolverKind::Robust => equilibrium::solve_robust_cancellable(
+                &refs,
+                self.assoc,
+                &SolveOptions::default(),
+                cancel,
+            ),
         }
     }
 }

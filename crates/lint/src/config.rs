@@ -18,6 +18,7 @@ pub const RULE_KEYS: &[&str] = &[
     "lock_hygiene",
     "unsafe_audit",
     "indexing",
+    "bounded_io",
     "waiver_syntax",
     "waiver_unused",
 ];
@@ -76,6 +77,10 @@ impl Default for Config {
         // pervasive and legitimate in the matrix/cache hot paths, so the
         // rule exists for fixtures and opt-in sweeps, not the CI gate.
         rules.insert("indexing".to_string(), RuleLevel::Off);
+        // Bounded I/O is advisory: the serving layer's capped LineReader
+        // is the blessed idiom, and the sweep stays clean, but a token
+        // heuristic about allocation provenance should nudge, not gate.
+        rules.insert("bounded_io".to_string(), RuleLevel::Warn);
         rules.insert("waiver_syntax".to_string(), RuleLevel::Deny);
         rules.insert("waiver_unused".to_string(), RuleLevel::Warn);
 
@@ -123,6 +128,8 @@ impl Default for Config {
                 "crates/service/src".to_string(),
             ],
         );
+        // Bounded I/O: only the wire-facing layer reads hostile input.
+        scopes.insert("bounded_io".to_string(), vec!["crates/service/src".to_string()]);
         // Lock hygiene and the unsafe audit apply to everything scanned.
         scopes.insert("lock_hygiene".to_string(), Vec::new());
         scopes.insert("unsafe_audit".to_string(), Vec::new());

@@ -31,6 +31,7 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     run_rule("nan_safe", &|out| rules::nan_safe(&lexed.toks, out));
     run_rule("determinism", &|out| rules::determinism(&lexed.toks, out));
     run_rule("lock_hygiene", &|out| rules::lock_hygiene(relpath, &lexed.toks, out));
+    run_rule("bounded_io", &|out| rules::bounded_io(&lexed.toks, out));
     run_rule("unsafe_audit", &|out| rules::unsafe_audit(is_crate_root, &lexed.toks, out));
 
     // Resolve waivers. A waiver covers findings of its rules (or `all`)

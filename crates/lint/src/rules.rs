@@ -385,6 +385,104 @@ pub fn lock_hygiene(relpath: &str, toks: &[Tok], out: &mut Vec<RawFinding>) {
     }
 }
 
+/// `bounded_io` (advisory): unbounded reads and peer-sized allocations
+/// in the wire-facing layer. A network peer controls both the length of
+/// what it sends and any numbers inside it, so:
+///
+/// - `.read_to_string()` / `.read_to_end()` buffer until the peer stops
+///   sending — a slow flood is an OOM, not an error;
+/// - `.read_line()` grows its buffer until the peer deigns to send a
+///   newline — the capped `LineReader` idiom is the replacement;
+/// - `with_capacity(n)` / `reserve(n)` where `n` traces to a
+///   wire-decoded number (`as_usize`/`as_f64` in the argument or in the
+///   flagged name's binding statement) lets the peer command the
+///   allocation before any validation runs.
+///
+/// Sizes taken from already-materialized collections (`.len()`) are
+/// fine: that memory is already spent and capped upstream.
+pub fn bounded_io(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    // Pass 1: names bound from wire-decoded numbers — a `let` whose
+    // initializer statement calls the JSON number decoders.
+    let mut wire_sized: BTreeSet<&str> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        while toks.get(j).is_some_and(|n| n.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).filter(|n| n.kind == TokKind::Ident) else { continue };
+        let mut k = j + 1;
+        while let Some(n) = toks.get(k) {
+            if n.is_punct(";") {
+                break;
+            }
+            if n.kind == TokKind::Ident && matches!(n.text.as_str(), "as_usize" | "as_f64") {
+                wire_sized.insert(&name.text);
+                break;
+            }
+            k += 1;
+        }
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        // Unbounded reads.
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident
+                    && matches!(n.text.as_str(), "read_to_string" | "read_to_end" | "read_line")
+            })
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            let m = &toks[i + 1];
+            let hint = if m.text == "read_line" {
+                "grows its buffer until the peer sends a newline; use a capped line \
+                 reader (the server's LineReader idiom) or Read::take"
+            } else {
+                "buffers until the peer stops sending; bound it with Read::take \
+                 or an incremental capped reader"
+            };
+            out.push(raw("bounded_io", m, format!(".{}() {hint}", m.text)));
+        }
+        // Peer-sized allocations.
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "with_capacity" | "reserve" | "reserve_exact")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let mut depth = 0i32;
+            let mut tainted = false;
+            for n in &toks[i + 1..] {
+                if n.is_punct("(") {
+                    depth += 1;
+                } else if n.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if n.kind == TokKind::Ident
+                    && (matches!(n.text.as_str(), "as_usize" | "as_f64")
+                        || wire_sized.contains(n.text.as_str()))
+                {
+                    tainted = true;
+                }
+            }
+            if tainted {
+                out.push(raw(
+                    "bounded_io",
+                    t,
+                    "allocation sized by a wire-decoded number lets the peer command \
+                     memory before validation; clamp the size first"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
 /// `unsafe_audit`: no `unsafe` anywhere, and every crate root must carry
 /// `#![forbid(unsafe_code)]` (`deny` is accepted only under a waiver).
 pub fn unsafe_audit(is_crate_root: bool, toks: &[Tok], out: &mut Vec<RawFinding>) {
@@ -566,6 +664,37 @@ mod tests {
             &mut out,
         );
         assert_eq!(out.len(), 1, "unsafe blocks are flagged everywhere");
+    }
+
+    #[test]
+    fn bounded_io_catches_unbounded_reads() {
+        let f = run(
+            bounded_io,
+            "fn f(r: &mut impl BufRead) { r.read_line(&mut s); sock.read_to_string(&mut t); \
+             sock.read_to_end(&mut v); }",
+        );
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(run(bounded_io, "fn f(r: &mut impl BufRead) { let b = r.fill_buf(); }").is_empty());
+        assert!(
+            run(bounded_io, "#[cfg(test)]\nmod tests { fn t() { r.read_line(&mut s); } }")
+                .is_empty(),
+            "tests read however they like"
+        );
+    }
+
+    #[test]
+    fn bounded_io_catches_peer_sized_allocations() {
+        // Direct decode in the argument, and a decode laundered through
+        // a `let` binding.
+        let f = run(bounded_io, "fn f(j: &Json) { let v = Vec::with_capacity(j.as_usize()); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let src =
+            "fn f(j: &Json) { let n = j.get(\"count\").and_then(Json::as_usize).unwrap_or(0); \
+                   let mut v = Vec::new(); v.reserve(n); }";
+        assert_eq!(run(bounded_io, src).len(), 1);
+        // `.len()` of a materialized collection is already-spent memory.
+        let src = "fn f(items: &[Json]) { let v: Vec<f64> = Vec::with_capacity(items.len()); }";
+        assert!(run(bounded_io, src).is_empty());
     }
 
     #[test]

@@ -195,6 +195,35 @@ fn indexing_rule_is_opt_in_and_pins_line() {
 }
 
 #[test]
+fn bounded_io_bad_pins_rule_and_lines() {
+    let bad = include_str!("fixtures/bounded_io/bad.rs");
+    let fs = lint("crates/service/src/fixture.rs", bad);
+    assert_eq!(
+        unwaived(&fs),
+        vec![
+            ("bounded_io".to_string(), 5),
+            ("bounded_io".to_string(), 11),
+            ("bounded_io".to_string(), 17)
+        ],
+        "{fs:?}"
+    );
+    assert!(fs.iter().all(|f| f.severity == Severity::Warn), "advisory rule warns: {fs:?}");
+
+    // Outside the wire-facing layer the rule does not run.
+    let fs = lint("crates/core/src/fixture.rs", bad);
+    assert!(!fs.iter().any(|f| f.rule == "bounded_io"), "{fs:?}");
+}
+
+#[test]
+fn bounded_io_good_and_waived_pass() {
+    let fs = lint("crates/service/src/fixture.rs", include_str!("fixtures/bounded_io/good.rs"));
+    assert!(fs.is_empty(), "capped fill_buf loop and .len() capacity pass: {fs:?}");
+    let fs = lint("crates/service/src/fixture.rs", include_str!("fixtures/bounded_io/waived.rs"));
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+    assert!(fs.iter().any(|f| f.rule == "bounded_io" && f.waived && f.waive_reason.is_some()));
+}
+
+#[test]
 fn deny_findings_drive_exit_code_8() {
     let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/panic_free/bad.rs"));
     let report = Report { findings: fs, files_scanned: 1, rules_run: Vec::new() };

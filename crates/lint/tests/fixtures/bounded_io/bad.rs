@@ -1,0 +1,18 @@
+//! Fixture: unbounded wire reads and peer-sized allocations.
+
+fn slurp(sock: &mut impl std::io::Read) -> std::io::Result<String> {
+    let mut text = String::new();
+    sock.read_to_string(&mut text)?;
+    Ok(text)
+}
+
+fn next_line(reader: &mut impl std::io::BufRead) -> std::io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(line)
+}
+
+fn preallocate(req: &Json) -> Vec<f64> {
+    let n = req.get("count").and_then(Json::as_usize).unwrap_or(0);
+    Vec::with_capacity(n)
+}

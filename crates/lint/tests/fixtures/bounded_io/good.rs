@@ -1,0 +1,26 @@
+//! Fixture: cap-aware incremental reads and content-sized allocations.
+
+const CAP: usize = 4096;
+
+fn next_line(reader: &mut impl std::io::BufRead) -> std::io::Result<Vec<u8>> {
+    let mut line = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            break;
+        }
+        let take = available.len().min(CAP - line.len());
+        line.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if line.last() == Some(&b'\n') || line.len() == CAP {
+            break;
+        }
+    }
+    Ok(line)
+}
+
+fn preallocate(names: &[String]) -> Vec<f64> {
+    // Sized by an already-materialized collection, not a peer number:
+    // that memory is already spent and capped upstream.
+    Vec::with_capacity(names.len())
+}

@@ -39,6 +39,10 @@ pub enum MathError {
     /// A function evaluation produced NaN or infinity where a finite
     /// value is required (e.g. a residual inside a solver).
     NonFinite(String),
+    /// A cooperative cancellation point observed that the caller's
+    /// [`CancelToken`](crate::sync::CancelToken) fired (deadline or
+    /// shutdown); the computation stopped early without a result.
+    Cancelled,
 }
 
 impl fmt::Display for MathError {
@@ -62,6 +66,7 @@ impl fmt::Display for MathError {
             MathError::NonFinite(what) => {
                 write!(f, "non-finite value encountered: {what}")
             }
+            MathError::Cancelled => write!(f, "computation cancelled before convergence"),
         }
     }
 }
@@ -82,6 +87,7 @@ mod tests {
             MathError::InvalidBracket { lo: 0.0, hi: 1.0 },
             MathError::InvalidArgument("x".into()),
             MathError::NonFinite("residual".into()),
+            MathError::Cancelled,
         ];
         for e in errors {
             let s = e.to_string();

@@ -16,6 +16,8 @@
 //!   (order-preserving, with per-task seed derivation).
 //! - [`lru`]: a capacity-bounded LRU map with eviction counters.
 //! - [`latency`]: a fixed-bucket concurrent latency histogram.
+//! - [`sync`]: cooperative cancellation tokens and a bounded counting
+//!   semaphore for the serving path's admission control.
 //! - [`float`]: the blessed NaN-aware comparison helpers (`mpmc-lint`
 //!   forbids raw float `==`/`!=` outside this crate).
 //!
@@ -58,6 +60,7 @@ pub mod nn;
 pub mod parallel;
 pub mod roots;
 pub mod stats;
+pub mod sync;
 
 mod error;
 

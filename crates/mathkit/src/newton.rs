@@ -8,6 +8,7 @@
 
 use crate::decomp::Qr;
 use crate::matrix::{norm_inf, Matrix};
+use crate::sync::CancelToken;
 use crate::MathError;
 
 /// Options controlling a Newton–Raphson solve.
@@ -75,10 +76,35 @@ pub struct NewtonSolution {
 /// # }
 /// ```
 pub fn newton_raphson<F, C>(
+    f: F,
+    x0: &[f64],
+    clamp: C,
+    opts: NewtonOptions,
+) -> Result<NewtonSolution, MathError>
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+    C: FnMut(&[f64]) -> Vec<f64>,
+{
+    newton_raphson_cancellable(f, x0, clamp, opts, &CancelToken::never())
+}
+
+/// [`newton_raphson`] with a cooperative cancellation point at the top of
+/// every Newton iteration.
+///
+/// The token is polled once per iteration (not per function evaluation),
+/// so cancellation latency is bounded by one Jacobian build plus one line
+/// search — milliseconds for the equilibrium systems this crate serves.
+///
+/// # Errors
+///
+/// Everything [`newton_raphson`] returns, plus [`MathError::Cancelled`]
+/// once `cancel` fires.
+pub fn newton_raphson_cancellable<F, C>(
     mut f: F,
     x0: &[f64],
     mut clamp: C,
     opts: NewtonOptions,
+    cancel: &CancelToken,
 ) -> Result<NewtonSolution, MathError>
 where
     F: FnMut(&[f64]) -> Vec<f64>,
@@ -106,6 +132,7 @@ where
     let mut res = norm_inf(&fx);
 
     for iter in 0..opts.max_iter {
+        cancel.check()?;
         if res <= opts.tol {
             return Ok(NewtonSolution { x, residual: res, iterations: iter });
         }
@@ -283,6 +310,36 @@ mod tests {
         let r =
             newton_raphson(|v| vec![v[0] - 1.0], &[f64::NAN], no_clamp, NewtonOptions::default());
         assert!(matches!(r, Err(MathError::NonFinite(_))), "{r:?}");
+    }
+
+    #[test]
+    fn pre_fired_token_cancels_before_first_iteration() {
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let r = newton_raphson_cancellable(
+            |v| vec![v[0] * v[0] - 4.0],
+            &[3.0],
+            no_clamp,
+            NewtonOptions::default(),
+            &CancelToken::flag(flag),
+        );
+        assert_eq!(r.unwrap_err(), MathError::Cancelled);
+    }
+
+    #[test]
+    fn never_token_matches_plain_solve_bit_exactly() {
+        let plain =
+            newton_raphson(|v| vec![v[0] * v[0] - 4.0], &[3.0], no_clamp, NewtonOptions::default())
+                .unwrap();
+        let cancellable = newton_raphson_cancellable(
+            |v| vec![v[0] * v[0] - 4.0],
+            &[3.0],
+            no_clamp,
+            NewtonOptions::default(),
+            &CancelToken::never(),
+        )
+        .unwrap();
+        assert_eq!(plain.x[0].to_bits(), cancellable.x[0].to_bits());
+        assert_eq!(plain.iterations, cancellable.iterations);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! Brent scheme) is used because the functions involved are monotone but
 //! only piecewise smooth.
 
+use crate::sync::CancelToken;
 use crate::MathError;
 
 /// Options controlling a bisection solve.
@@ -51,10 +52,27 @@ impl Default for BisectOptions {
 /// # }
 /// ```
 pub fn bisect<F: FnMut(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    opts: BisectOptions,
+) -> Result<f64, MathError> {
+    bisect_cancellable(f, lo, hi, opts, &CancelToken::never())
+}
+
+/// [`bisect`] with a cooperative cancellation point at the top of every
+/// iteration.
+///
+/// # Errors
+///
+/// Everything [`bisect`] returns, plus [`MathError::Cancelled`] once
+/// `cancel` fires.
+pub fn bisect_cancellable<F: FnMut(f64) -> f64>(
     mut f: F,
     lo: f64,
     hi: f64,
     opts: BisectOptions,
+    cancel: &CancelToken,
 ) -> Result<f64, MathError> {
     if !lo.is_finite() || !hi.is_finite() || lo >= hi {
         return Err(MathError::InvalidBracket { lo, hi });
@@ -75,6 +93,7 @@ pub fn bisect<F: FnMut(f64) -> f64>(
 
     let mut last_f = fa.abs().min(fb.abs());
     for iter in 0..opts.max_iter {
+        cancel.check()?;
         // Candidate: secant point if it lands strictly inside the bracket,
         // otherwise the midpoint. Alternate with plain bisection every other
         // step to guarantee geometric bracket shrinkage.
@@ -116,11 +135,29 @@ pub fn bisect<F: FnMut(f64) -> f64>(
 /// Returns [`MathError::InvalidBracket`] if `lo >= hi` or the inputs are not
 /// finite, and propagates [`bisect`] errors.
 pub fn bisect_expanding<F: FnMut(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    hi_limit: f64,
+    opts: BisectOptions,
+) -> Result<f64, MathError> {
+    bisect_expanding_cancellable(f, lo, hi, hi_limit, opts, &CancelToken::never())
+}
+
+/// [`bisect_expanding`] with cooperative cancellation points in both the
+/// expansion loop and the inner bisection.
+///
+/// # Errors
+///
+/// Everything [`bisect_expanding`] returns, plus [`MathError::Cancelled`]
+/// once `cancel` fires.
+pub fn bisect_expanding_cancellable<F: FnMut(f64) -> f64>(
     mut f: F,
     lo: f64,
     hi: f64,
     hi_limit: f64,
     opts: BisectOptions,
+    cancel: &CancelToken,
 ) -> Result<f64, MathError> {
     if !lo.is_finite() || !hi.is_finite() || lo >= hi {
         return Err(MathError::InvalidBracket { lo, hi });
@@ -133,6 +170,7 @@ pub fn bisect_expanding<F: FnMut(f64) -> f64>(
     let mut fb = f(b);
     let mut a = lo;
     while flo * fb > 0.0 {
+        cancel.check()?;
         if b >= hi_limit {
             return Ok(hi_limit);
         }
@@ -140,7 +178,7 @@ pub fn bisect_expanding<F: FnMut(f64) -> f64>(
         b = (b * 2.0).min(hi_limit);
         fb = f(b);
     }
-    bisect(f, a, b, opts)
+    bisect_cancellable(f, a, b, opts, cancel)
 }
 
 /// Options controlling a damped fixed-point iteration.
@@ -184,11 +222,29 @@ pub struct FixedPointSolution {
 /// - [`MathError::NonFinite`] if `g` returns NaN/infinity at any iterate.
 /// - [`MathError::NoConvergence`] if the budget runs out first.
 pub fn fixed_point<F: FnMut(f64) -> f64>(
+    g: F,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    opts: FixedPointOptions,
+) -> Result<FixedPointSolution, MathError> {
+    fixed_point_cancellable(g, x0, lo, hi, opts, &CancelToken::never())
+}
+
+/// [`fixed_point`] with a cooperative cancellation point at the top of
+/// every iteration.
+///
+/// # Errors
+///
+/// Everything [`fixed_point`] returns, plus [`MathError::Cancelled`] once
+/// `cancel` fires.
+pub fn fixed_point_cancellable<F: FnMut(f64) -> f64>(
     mut g: F,
     x0: f64,
     lo: f64,
     hi: f64,
     opts: FixedPointOptions,
+    cancel: &CancelToken,
 ) -> Result<FixedPointSolution, MathError> {
     if !lo.is_finite() || !hi.is_finite() || lo > hi {
         return Err(MathError::InvalidArgument(format!("fixed-point bounds [{lo}, {hi}]")));
@@ -202,6 +258,7 @@ pub fn fixed_point<F: FnMut(f64) -> f64>(
     let mut x = x0.clamp(lo, hi);
     let mut residual = f64::INFINITY;
     for iter in 0..opts.max_iter {
+        cancel.check()?;
         let gx = g(x);
         if !gx.is_finite() {
             return Err(MathError::NonFinite(format!("g({x}) at fixed-point iteration {iter}")));
@@ -301,6 +358,54 @@ mod tests {
         assert!(fixed_point(|x| x, f64::NAN, 0.0, 2.0, opts).is_err());
         let bad = FixedPointOptions { damping: 0.0, ..opts };
         assert!(fixed_point(|x| x, 1.0, 0.0, 2.0, bad).is_err());
+    }
+
+    #[test]
+    fn cancelled_token_stops_every_solver() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let fired = CancelToken::flag(Arc::new(AtomicBool::new(true)));
+        let b = bisect_cancellable(|x| x * x - 2.0, 0.0, 2.0, BisectOptions::default(), &fired);
+        assert_eq!(b.unwrap_err(), MathError::Cancelled);
+        let e = bisect_expanding_cancellable(
+            |x| x - 1000.0,
+            0.0,
+            1.0,
+            1e9,
+            BisectOptions::default(),
+            &fired,
+        );
+        assert_eq!(e.unwrap_err(), MathError::Cancelled);
+        let f = fixed_point_cancellable(
+            |x| x.cos(),
+            1.0,
+            0.0,
+            2.0,
+            FixedPointOptions::default(),
+            &fired,
+        );
+        assert_eq!(f.unwrap_err(), MathError::Cancelled);
+    }
+
+    #[test]
+    fn never_token_is_bit_exact_with_plain_solvers() {
+        let never = CancelToken::never();
+        let plain = bisect(|x| x * x - 2.0, 0.0, 2.0, BisectOptions::default()).unwrap();
+        let cancl = bisect_cancellable(|x| x * x - 2.0, 0.0, 2.0, BisectOptions::default(), &never)
+            .unwrap();
+        assert_eq!(plain.to_bits(), cancl.to_bits());
+        let p = fixed_point(|x| x.cos(), 1.0, 0.0, 2.0, FixedPointOptions::default()).unwrap();
+        let c = fixed_point_cancellable(
+            |x| x.cos(),
+            1.0,
+            0.0,
+            2.0,
+            FixedPointOptions::default(),
+            &never,
+        )
+        .unwrap();
+        assert_eq!(p.x.to_bits(), c.x.to_bits());
+        assert_eq!(p.iterations, c.iterations);
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Cooperative-cancellation and admission primitives for the serving
+//! path.
+//!
+//! The workspace's dependencies are offline shims, so there is no tokio
+//! or parking_lot; this module provides the two small synchronization
+//! pieces the overload-hardened service needs, on `std` alone:
+//!
+//! - [`CancelToken`]: a cheap, cloneable "should I stop?" flag that
+//!   iterative solvers poll at their cancellation points. The token is
+//!   deliberately clock-free — callers that want wall-clock deadlines
+//!   wrap one in a closure ([`CancelToken::from_fn`]); callers that want
+//!   deterministic tests use a shared flag ([`CancelToken::flag`]).
+//! - [`Semaphore`]: a counting semaphore with a bounded waiter queue and
+//!   timeout-capable acquisition, used as the service's in-flight
+//!   request budget.
+//!
+//! Both are deliberately boring: no fairness games, no async, no
+//! spinning beyond a condvar wait.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A cheap, cloneable cancellation signal polled at solver cancellation
+/// points.
+///
+/// The default token ([`CancelToken::never`]) never fires and costs one
+/// enum-tag check per poll, so threading a token through a hot loop is
+/// effectively free in the common (no-deadline) case.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Inner,
+}
+
+#[derive(Clone, Default)]
+enum Inner {
+    /// Never fires.
+    #[default]
+    Never,
+    /// Fires once the shared flag is set (deterministic / test-friendly).
+    Flag(Arc<AtomicBool>),
+    /// Fires when the closure reports so (e.g. a wall-clock deadline
+    /// owned by the caller; this crate itself stays clock-free).
+    Func(Arc<dyn Fn() -> bool + Send + Sync>),
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.inner {
+            Inner::Never => "never",
+            Inner::Flag(_) => "flag",
+            Inner::Func(_) => "func",
+        };
+        f.debug_struct("CancelToken").field("kind", &kind).finish()
+    }
+}
+
+impl CancelToken {
+    /// A token that never fires (the default).
+    pub fn never() -> Self {
+        CancelToken { inner: Inner::Never }
+    }
+
+    /// A token backed by a shared flag; fires once the flag is `true`.
+    pub fn flag(flag: Arc<AtomicBool>) -> Self {
+        CancelToken { inner: Inner::Flag(flag) }
+    }
+
+    /// A token backed by an arbitrary predicate. The predicate must be
+    /// cheap — solvers poll it every iteration.
+    pub fn from_fn(f: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        CancelToken { inner: Inner::Func(Arc::new(f)) }
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            Inner::Never => false,
+            Inner::Flag(flag) => flag.load(Ordering::Relaxed),
+            Inner::Func(f) => f(),
+        }
+    }
+
+    /// A cancellation point: `Err(MathError::Cancelled)` once the token
+    /// has fired, `Ok(())` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MathError::Cancelled`] when the token has fired.
+    pub fn check(&self) -> Result<(), crate::MathError> {
+        if self.is_cancelled() {
+            Err(crate::MathError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Why a [`Semaphore`] acquisition did not return a permit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireError {
+    /// The bounded waiter queue was already full; the caller should shed
+    /// immediately rather than pile on.
+    QueueFull,
+    /// The wait timed out before a permit freed up.
+    Timeout,
+}
+
+#[derive(Debug, Default)]
+struct SemState {
+    available: usize,
+    waiters: usize,
+}
+
+/// A counting semaphore with a bounded waiter queue.
+///
+/// `permits` bounds concurrent holders; `max_waiters` bounds how many
+/// threads may block waiting for a permit — one past that bound,
+/// acquisition fails fast with [`AcquireError::QueueFull`], which is the
+/// load-shedding behavior an overloaded service wants (a queue that
+/// grows without bound just converts overload into latency and memory).
+#[derive(Debug)]
+pub struct Semaphore {
+    state: Mutex<SemState>,
+    cv: Condvar,
+    permits: usize,
+    max_waiters: usize,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` concurrent permits and at most
+    /// `max_waiters` queued waiters. `permits` is clamped to at least 1.
+    pub fn new(permits: usize, max_waiters: usize) -> Self {
+        let permits = permits.max(1);
+        Semaphore {
+            state: Mutex::new(SemState { available: permits, waiters: 0 }),
+            cv: Condvar::new(),
+            permits,
+            max_waiters,
+        }
+    }
+
+    /// Total permits this semaphore was built with.
+    pub fn permits(&self) -> usize {
+        self.permits
+    }
+
+    /// Permits currently held (diagnostics; racy by nature).
+    pub fn in_use(&self) -> usize {
+        let st = self.lock();
+        self.permits - st.available
+    }
+
+    /// Threads currently queued waiting for a permit (diagnostics).
+    pub fn queued(&self) -> usize {
+        self.lock().waiters
+    }
+
+    /// Acquires a permit without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`AcquireError::QueueFull`] when no permit is free (a non-blocking
+    /// try never queues, so "no permit" and "queue full" coincide).
+    pub fn try_acquire(&self) -> Result<Permit<'_>, AcquireError> {
+        let mut st = self.lock();
+        if st.available > 0 {
+            st.available -= 1;
+            Ok(Permit { sem: self })
+        } else {
+            Err(AcquireError::QueueFull)
+        }
+    }
+
+    /// Acquires a permit, waiting up to `timeout` in the bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// [`AcquireError::QueueFull`] if the waiter queue is at capacity,
+    /// [`AcquireError::Timeout`] if no permit freed up in time.
+    pub fn acquire_timeout(&self, timeout: Duration) -> Result<Permit<'_>, AcquireError> {
+        let mut st = self.lock();
+        if st.available > 0 {
+            st.available -= 1;
+            return Ok(Permit { sem: self });
+        }
+        if st.waiters >= self.max_waiters {
+            return Err(AcquireError::QueueFull);
+        }
+        st.waiters += 1;
+        let deadline_left = timeout;
+        let (mut st, timed_out) = {
+            let mut remaining = deadline_left;
+            let mut guard = st;
+            loop {
+                let (g, wait) =
+                    self.cv.wait_timeout(guard, remaining).unwrap_or_else(|e| e.into_inner());
+                guard = g;
+                if guard.available > 0 {
+                    break (guard, false);
+                }
+                if wait.timed_out() {
+                    break (guard, true);
+                }
+                // Spurious wake-up with nothing available: wait again for
+                // the full remaining slice (condvar timeouts are coarse;
+                // the service's deadline check catches real overruns).
+                remaining = deadline_left;
+            }
+        };
+        st.waiters -= 1;
+        if timed_out {
+            return Err(AcquireError::Timeout);
+        }
+        st.available -= 1;
+        Ok(Permit { sem: self })
+    }
+
+    fn release(&self) {
+        let mut st = self.lock();
+        st.available = (st.available + 1).min(self.permits);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SemState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// An RAII permit; dropping it releases the semaphore slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn never_token_never_fires() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn flag_token_fires_once_set() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = CancelToken::flag(flag.clone());
+        let t2 = t.clone();
+        assert!(t.check().is_ok());
+        flag.store(true, Ordering::Relaxed);
+        assert!(t.is_cancelled());
+        assert_eq!(t2.check(), Err(crate::MathError::Cancelled), "clones share the flag");
+    }
+
+    #[test]
+    fn fn_token_delegates_to_closure() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = calls.clone();
+        let t = CancelToken::from_fn(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+            calls_so_far(&c) > 2
+        });
+        fn calls_so_far(c: &AtomicUsize) -> usize {
+            c.load(Ordering::Relaxed)
+        }
+        assert!(!t.is_cancelled());
+        assert!(!t.is_cancelled());
+        assert!(t.is_cancelled());
+        assert!(calls.load(Ordering::Relaxed) >= 3);
+    }
+
+    #[test]
+    fn semaphore_try_acquire_exhausts_and_releases() {
+        let sem = Semaphore::new(2, 4);
+        assert_eq!(sem.permits(), 2);
+        let a = sem.try_acquire().unwrap();
+        let b = sem.try_acquire().unwrap();
+        assert_eq!(sem.in_use(), 2);
+        assert!(sem.try_acquire().is_err());
+        drop(a);
+        assert_eq!(sem.in_use(), 1);
+        let c = sem.try_acquire().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(sem.in_use(), 0);
+    }
+
+    #[test]
+    fn acquire_timeout_times_out_when_held() {
+        let sem = Semaphore::new(1, 4);
+        let held = sem.try_acquire().unwrap();
+        let got = sem.acquire_timeout(Duration::from_millis(10));
+        assert_eq!(got.unwrap_err(), AcquireError::Timeout);
+        drop(held);
+        assert!(sem.acquire_timeout(Duration::from_millis(10)).is_ok());
+    }
+
+    #[test]
+    fn waiter_queue_is_bounded() {
+        let sem = Arc::new(Semaphore::new(1, 1));
+        let held = sem.try_acquire().unwrap();
+        let sem2 = sem.clone();
+        // One waiter is allowed to queue...
+        let waiter =
+            std::thread::spawn(move || sem2.acquire_timeout(Duration::from_secs(5)).map(|_| ()));
+        // ...wait until it is actually queued.
+        for _ in 0..500 {
+            if sem.queued() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(sem.queued(), 1);
+        // A second waiter bounces off the bounded queue immediately.
+        assert_eq!(
+            sem.acquire_timeout(Duration::from_secs(5)).unwrap_err(),
+            AcquireError::QueueFull
+        );
+        drop(held);
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn zero_permits_clamps_to_one() {
+        let sem = Semaphore::new(0, 0);
+        assert_eq!(sem.permits(), 1);
+        let p = sem.try_acquire().unwrap();
+        assert!(sem.try_acquire().is_err(), "zero-waiter queue sheds instantly");
+        drop(p);
+    }
+}

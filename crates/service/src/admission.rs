@@ -1,0 +1,167 @@
+//! Admission control: a bounded in-flight budget with a bounded wait
+//! queue in front of the solve path.
+//!
+//! The service's expensive operations (`estimate`, `assign`) pass
+//! through an [`AdmissionGate`] before touching the model. The gate is a
+//! thin policy layer over [`mathkit::sync::Semaphore`]: up to
+//! `max_inflight` requests solve concurrently, up to `max_queued` more
+//! wait (bounded, with a timeout), and everything beyond that is *shed*
+//! with a typed `overloaded` error rather than queued into latency
+//! collapse or a dropped connection.
+//!
+//! Shedding is deliberately cheap — a failed `try`/timed acquire and a
+//! counter bump — so an overloaded daemon spends its time finishing
+//! admitted work, not bookkeeping the backlog.
+
+use mathkit::sync::{AcquireError, Permit, Semaphore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Why the gate refused a request (both map to the `overloaded` error
+/// kind on the wire; the distinction feeds the stats counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The in-flight budget and the wait queue were both full.
+    QueueFull,
+    /// The request waited its full queue budget without a permit freeing.
+    Timeout,
+}
+
+/// A point-in-time snapshot of the gate's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests that got a permit (immediately or after queuing).
+    pub admitted: u64,
+    /// Requests shed because budget and queue were full.
+    pub shed_queue_full: u64,
+    /// Requests shed because the queue wait timed out.
+    pub shed_timeout: u64,
+    /// Permits currently held (racy diagnostic).
+    pub in_flight: usize,
+    /// Requests currently waiting in the queue (racy diagnostic).
+    pub queued: usize,
+    /// The configured in-flight budget.
+    pub max_inflight: usize,
+}
+
+impl AdmissionStats {
+    /// Total shed requests, both reasons combined.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_timeout
+    }
+}
+
+/// The admission gate: bounded concurrency plus bounded queuing, with
+/// typed shedding beyond that.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    sem: Semaphore,
+    queue_wait: Duration,
+    admitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_timeout: AtomicU64,
+}
+
+impl AdmissionGate {
+    /// A gate admitting `max_inflight` concurrent requests with at most
+    /// `max_queued` waiters, each waiting up to `queue_wait` before
+    /// being shed. `max_inflight` is clamped to at least 1 (the
+    /// semaphore does the clamping).
+    pub fn new(max_inflight: usize, max_queued: usize, queue_wait: Duration) -> Self {
+        AdmissionGate {
+            sem: Semaphore::new(max_inflight, max_queued),
+            queue_wait,
+            admitted: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_timeout: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to admit one request, waiting in the bounded queue if the
+    /// budget is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ShedReason`] when the request must be shed; the caller converts
+    /// this into a typed `overloaded` wire error with a retry hint.
+    pub fn admit(&self) -> Result<Permit<'_>, ShedReason> {
+        let got = if self.queue_wait.is_zero() {
+            self.sem.try_acquire()
+        } else {
+            self.sem.acquire_timeout(self.queue_wait)
+        };
+        match got {
+            Ok(permit) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(permit)
+            }
+            Err(AcquireError::QueueFull) => {
+                self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                Err(ShedReason::QueueFull)
+            }
+            Err(AcquireError::Timeout) => {
+                self.shed_timeout.fetch_add(1, Ordering::Relaxed);
+                Err(ShedReason::Timeout)
+            }
+        }
+    }
+
+    /// A snapshot of the counters for `stats` responses.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_timeout: self.shed_timeout.load(Ordering::Relaxed),
+            in_flight: self.sem.in_use(),
+            queued: self.sem.queued(),
+            max_inflight: self.sem.permits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_within_budget_and_sheds_beyond() {
+        let gate = AdmissionGate::new(2, 0, Duration::ZERO);
+        let a = gate.admit().unwrap();
+        let b = gate.admit().unwrap();
+        assert_eq!(gate.admit().unwrap_err(), ShedReason::QueueFull);
+        drop(a);
+        let c = gate.admit().unwrap();
+        drop(b);
+        drop(c);
+        let st = gate.stats();
+        assert_eq!(st.admitted, 3);
+        assert_eq!(st.shed(), 1);
+        assert_eq!(st.shed_queue_full, 1);
+        assert_eq!(st.in_flight, 0);
+        assert_eq!(st.max_inflight, 2);
+    }
+
+    #[test]
+    fn queue_wait_timeout_sheds_with_timeout_reason() {
+        let gate = AdmissionGate::new(1, 4, Duration::from_millis(5));
+        let held = gate.admit().unwrap();
+        assert_eq!(gate.admit().unwrap_err(), ShedReason::Timeout);
+        drop(held);
+        assert!(gate.admit().is_ok());
+        let st = gate.stats();
+        assert_eq!(st.shed_timeout, 1);
+        assert_eq!(st.admitted, 2);
+    }
+
+    #[test]
+    fn permit_released_on_drop_even_under_churn() {
+        let gate = AdmissionGate::new(1, 0, Duration::ZERO);
+        for _ in 0..100 {
+            let p = gate.admit().unwrap();
+            drop(p);
+        }
+        assert_eq!(gate.stats().in_flight, 0);
+        assert_eq!(gate.stats().admitted, 100);
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-request deadlines bridged into the solvers' cooperative
+//! cancellation points.
+//!
+//! A [`Deadline`] is the service-side owner of "how long may this
+//! request take". It converts into a [`CancelToken`] that the combined
+//! model polls at every solver iteration, so an expired deadline stops
+//! the solve *mid-iteration* and surfaces as the typed
+//! `deadline_exceeded` error — never a hung connection.
+//!
+//! Three flavors keep the rest of the stack honest:
+//!
+//! - [`Deadline::none`] — no limit; the token never fires and costs one
+//!   enum-tag check per poll.
+//! - [`Deadline::after_ms`] — a wall-clock budget. This is the only
+//!   clock read on the request path and it is waived explicitly; the
+//!   solvers themselves stay clock-free.
+//! - [`Deadline::manual`] — a shared flag for deterministic tests and
+//!   the chaos harness ("clock-free deadline pressure"): tests expire a
+//!   request at an exact cancellation point without sleeping.
+//!
+//! `after_ms(0)` is *already expired* by definition — a cheap, fully
+//! deterministic way for clients (and the chaos harness) to exercise
+//! the deadline path without any timing dependence.
+
+use mathkit::sync::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A request deadline, convertible into a solver cancellation token.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    /// No deadline.
+    Never,
+    /// Expired before it began (`deadline_ms: 0`).
+    Expired,
+    /// Wall-clock expiry instant.
+    At(Instant),
+    /// Shared-flag expiry for deterministic tests and chaos runs.
+    Flag(Arc<AtomicBool>),
+}
+
+impl Deadline {
+    /// No deadline: the token never fires.
+    pub fn none() -> Self {
+        Deadline { inner: Inner::Never }
+    }
+
+    /// A wall-clock deadline `ms` milliseconds from now. `ms == 0` is
+    /// already expired (deterministic deadline pressure).
+    pub fn after_ms(ms: u64) -> Self {
+        if ms == 0 {
+            return Deadline { inner: Inner::Expired };
+        }
+        // A wall-clock deadline is inherently wall-clock; the solvers
+        // stay clock-free and only poll the derived token.
+        #[allow(clippy::disallowed_methods)]
+        // lint:allow(determinism) -- the one sanctioned clock read on the request path
+        let at = Instant::now() + std::time::Duration::from_millis(ms);
+        Deadline { inner: Inner::At(at) }
+    }
+
+    /// A deadline that expires when `flag` becomes true (deterministic
+    /// tests, chaos harness).
+    pub fn manual(flag: Arc<AtomicBool>) -> Self {
+        Deadline { inner: Inner::Flag(flag) }
+    }
+
+    /// Whether the deadline has expired.
+    pub fn expired(&self) -> bool {
+        match &self.inner {
+            Inner::Never => false,
+            Inner::Expired => true,
+            #[allow(clippy::disallowed_methods)]
+            // lint:allow(determinism) -- polling the sanctioned wall-clock deadline
+            Inner::At(at) => Instant::now() >= *at,
+            Inner::Flag(flag) => flag.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The cancellation token solvers poll. Never-expiring deadlines
+    /// yield the free never-firing token.
+    pub fn token(&self) -> CancelToken {
+        match &self.inner {
+            Inner::Never => CancelToken::never(),
+            Inner::Expired => CancelToken::from_fn(|| true),
+            Inner::At(at) => {
+                let at = *at;
+                CancelToken::from_fn(move || {
+                    #[allow(clippy::disallowed_methods)]
+                    // lint:allow(determinism) -- polling the sanctioned wall-clock deadline
+                    let now = Instant::now();
+                    now >= at
+                })
+            }
+            Inner::Flag(flag) => CancelToken::flag(flag.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert!(!d.token().is_cancelled());
+    }
+
+    #[test]
+    fn zero_ms_is_expired_immediately() {
+        let d = Deadline::after_ms(0);
+        assert!(d.expired());
+        assert!(d.token().is_cancelled());
+    }
+
+    #[test]
+    fn far_future_deadline_is_not_expired() {
+        let d = Deadline::after_ms(3_600_000);
+        assert!(!d.expired());
+        assert!(!d.token().is_cancelled());
+    }
+
+    #[test]
+    fn manual_flag_expires_on_demand() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let d = Deadline::manual(flag.clone());
+        let tok = d.token();
+        assert!(!d.expired());
+        assert!(!tok.is_cancelled());
+        flag.store(true, Ordering::Relaxed);
+        assert!(d.expired());
+        assert!(tok.is_cancelled(), "token shares the flag");
+    }
+
+    #[test]
+    fn clones_share_the_manual_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let d = Deadline::manual(flag.clone());
+        let d2 = d.clone();
+        flag.store(true, Ordering::Relaxed);
+        assert!(d2.expired());
+    }
+}

@@ -30,6 +30,19 @@ pub mod exit_code {
     /// analysis findings: a determinism, NaN-safety, panic-freedom,
     /// lock-hygiene, or unsafe-audit invariant is violated in source.
     pub const LINT: i32 = 8;
+    /// The service shed the request under load: the in-flight budget and
+    /// its bounded admission queue were both full (or the queue wait
+    /// timed out). The response carries a `retry_after_ms` hint.
+    pub const OVERLOADED: i32 = 9;
+    /// The request's deadline expired before (or while) solving; the
+    /// solver was cancelled cooperatively and no estimate is returned.
+    pub const DEADLINE_EXCEEDED: i32 = 10;
+    /// A request line exceeded the configured byte cap and was discarded
+    /// without being parsed. The connection survives.
+    pub const LINE_TOO_LONG: i32 = 11;
+    /// The TCP listener is at its connection cap; the new connection got
+    /// this error as a greeting and was closed.
+    pub const TOO_MANY_CONNECTIONS: i32 = 12;
 }
 
 /// The stable wire name for an exit code (`error.kind` in responses).
@@ -43,6 +56,10 @@ pub fn kind_name(code: i32) -> &'static str {
         exit_code::STRICT => "strict",
         exit_code::DIVERGENCE => "divergence",
         exit_code::LINT => "lint",
+        exit_code::OVERLOADED => "overloaded",
+        exit_code::DEADLINE_EXCEEDED => "deadline_exceeded",
+        exit_code::LINE_TOO_LONG => "line_too_long",
+        exit_code::TOO_MANY_CONNECTIONS => "too_many_connections",
         _ => "error",
     }
 }
@@ -57,6 +74,9 @@ pub fn classify_model_error(e: &ModelError) -> i32 {
         | ModelError::InvalidAssignment(_)
         | ModelError::UnusableProfile(_)
         | ModelError::NonFinite(_) => exit_code::INVALID_DATA,
+        // A cancelled solve is the cooperative deadline token firing, not
+        // solver trouble: the caller ran out of time, not the math.
+        ModelError::Math(mathkit::MathError::Cancelled) => exit_code::DEADLINE_EXCEEDED,
         ModelError::Math(_) | ModelError::Sim(_) | ModelError::EquilibriumFailed(_) => {
             exit_code::SOLVER
         }
@@ -72,12 +92,22 @@ pub struct ServiceError {
     pub message: String,
     /// Taxonomy code (see [`exit_code`]).
     pub code: i32,
+    /// Backoff hint attached to shed (`overloaded`) responses, in
+    /// milliseconds; rendered as `retry_after_ms` on the wire.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ServiceError {
     /// An error with an explicit code.
     pub fn new(code: i32, message: impl Into<String>) -> Self {
-        ServiceError { message: message.into(), code }
+        ServiceError { message: message.into(), code, retry_after_ms: None }
+    }
+
+    /// Attaches a backoff hint (milliseconds) to this error.
+    #[must_use]
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 
     /// A usage/malformed-request error ([`exit_code::USAGE`]).
@@ -93,6 +123,26 @@ impl ServiceError {
     /// An I/O failure ([`exit_code::IO`]).
     pub fn io(message: impl Into<String>) -> Self {
         Self::new(exit_code::IO, message)
+    }
+
+    /// A load-shedding error ([`exit_code::OVERLOADED`]).
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        Self::new(exit_code::OVERLOADED, message)
+    }
+
+    /// A deadline expiry ([`exit_code::DEADLINE_EXCEEDED`]).
+    pub fn deadline(message: impl Into<String>) -> Self {
+        Self::new(exit_code::DEADLINE_EXCEEDED, message)
+    }
+
+    /// An oversized request line ([`exit_code::LINE_TOO_LONG`]).
+    pub fn line_too_long(message: impl Into<String>) -> Self {
+        Self::new(exit_code::LINE_TOO_LONG, message)
+    }
+
+    /// A connection-cap rejection ([`exit_code::TOO_MANY_CONNECTIONS`]).
+    pub fn too_many_connections(message: impl Into<String>) -> Self {
+        Self::new(exit_code::TOO_MANY_CONNECTIONS, message)
     }
 
     /// The stable wire name of this error's code.
@@ -128,8 +178,12 @@ mod tests {
             exit_code::STRICT,
             exit_code::DIVERGENCE,
             exit_code::LINT,
+            exit_code::OVERLOADED,
+            exit_code::DEADLINE_EXCEEDED,
+            exit_code::LINE_TOO_LONG,
+            exit_code::TOO_MANY_CONNECTIONS,
         ];
-        assert_eq!(codes, [2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(codes, [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {
                 assert_ne!(a, b);
@@ -142,7 +196,34 @@ mod tests {
         assert_eq!(kind_name(exit_code::USAGE), "usage");
         assert_eq!(kind_name(exit_code::DIVERGENCE), "divergence");
         assert_eq!(kind_name(exit_code::LINT), "lint");
+        assert_eq!(kind_name(exit_code::OVERLOADED), "overloaded");
+        assert_eq!(kind_name(exit_code::DEADLINE_EXCEEDED), "deadline_exceeded");
+        assert_eq!(kind_name(exit_code::LINE_TOO_LONG), "line_too_long");
+        assert_eq!(kind_name(exit_code::TOO_MANY_CONNECTIONS), "too_many_connections");
         assert_eq!(kind_name(99), "error");
+    }
+
+    #[test]
+    fn overload_constructors_and_cancellation_classification() {
+        assert_eq!(ServiceError::overloaded("shed").code, exit_code::OVERLOADED);
+        assert_eq!(ServiceError::overloaded("shed").kind(), "overloaded");
+        assert_eq!(ServiceError::overloaded("shed").retry_after_ms, None);
+        assert_eq!(ServiceError::overloaded("shed").with_retry_after(7).retry_after_ms, Some(7));
+        assert_eq!(ServiceError::deadline("late").code, exit_code::DEADLINE_EXCEEDED);
+        assert_eq!(ServiceError::line_too_long("big").code, exit_code::LINE_TOO_LONG);
+        assert_eq!(
+            ServiceError::too_many_connections("full").code,
+            exit_code::TOO_MANY_CONNECTIONS
+        );
+        // A cancelled solve is a deadline expiry, not solver trouble.
+        assert_eq!(
+            classify_model_error(&ModelError::Math(mathkit::MathError::Cancelled)),
+            exit_code::DEADLINE_EXCEEDED
+        );
+        assert_eq!(
+            classify_model_error(&ModelError::Math(mathkit::MathError::Singular)),
+            exit_code::SOLVER
+        );
     }
 
     #[test]

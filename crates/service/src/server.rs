@@ -15,34 +15,228 @@
 //! |--------------|---------------------------------------|-----------------|
 //! | `register`   | `name`, `profile` (persist v1 text)   | `replaced`, `fingerprint` |
 //! | `unregister` | `name`                                | — |
-//! | `estimate`   | `assignment` (per-core name arrays)   | `power_w` |
-//! | `assign`     | `process`, `current`?, `cores`?       | `best_core`, `best_power_w`, `candidates` |
-//! | `stats`      | —                                     | counters, cache + latency stats |
+//! | `estimate`   | `assignment` (per-core name arrays), `deadline_ms`? | `power_w`, `degraded`? |
+//! | `assign`     | `process`, `current`?, `cores`?, `deadline_ms`?     | `best_core`, `best_power_w`, `candidates`, `degraded`? |
+//! | `stats`      | —                                     | counters, cache + latency + overload stats |
 //! | `ping`       | —                                     | — |
 //! | `shutdown`   | —                                     | — (daemon stops) |
 //!
 //! All sessions of one service share a single [`CombinedModel`], so the
 //! bounded equilibrium memo cache is warmed across connections; `assign`
 //! fans its candidate placements out over [`mathkit::parallel`] workers.
+//!
+//! # Overload behavior (DESIGN.md §13)
+//!
+//! The solve ops (`estimate`, `assign`) pass through, in order:
+//!
+//! 1. **Admission** — a bounded in-flight budget plus bounded queue
+//!    ([`crate::admission`]); beyond it the request is shed with a typed
+//!    `overloaded` error carrying a `retry_after_ms` hint. Cheap ops
+//!    (`ping`, `stats`, registry changes) bypass admission so the daemon
+//!    stays observable under load.
+//! 2. **Deadline** — `deadline_ms` (default `--default-deadline-ms`)
+//!    becomes a cooperative [`CancelToken`](mathkit::sync::CancelToken)
+//!    polled inside solver iterations; expiry is the typed
+//!    `deadline_exceeded` error. `deadline_ms: 0` expires instantly.
+//! 3. **Breaker** — a clock-free circuit breaker ([`crate::breaker`])
+//!    over exact-solve outcomes; while open, answers come from the
+//!    degraded tier (exact cache peek, stale neighbor, proportional
+//!    closed form) and are tagged `"degraded": true` with a
+//!    `degraded_source`.
+//! 4. **Single-flight** — concurrent `estimate`s for the same exact
+//!    co-run key coalesce into one solve ([`crate::singleflight`]);
+//!    bit-identical by model determinism, invisible on the wire.
+//!
+//! Oversized request lines are discarded with a typed `line_too_long`
+//! error (the connection survives); connections beyond the TCP cap get
+//! a typed `too_many_connections` greeting and are closed.
 
-use crate::errors::ServiceError;
+use crate::admission::AdmissionGate;
+use crate::breaker::{CircuitBreaker, Decision};
+use crate::chaos::FaultPlan;
+use crate::deadline::Deadline;
+use crate::errors::{exit_code, ServiceError};
 use crate::json::{self, Json};
+use crate::singleflight::{Flight, SingleFlight};
 use cmpsim::machine::MachineConfig;
 use mathkit::latency::LatencyHistogram;
-use mpmc_model::assignment::{Assignment, CombinedModel};
+use mpmc_model::assignment::{Assignment, CombinedModel, DegradedSource};
 use mpmc_model::persist;
 use mpmc_model::power::PowerModel;
 use mpmc_model::profile::ProcessProfile;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// How long a blocked TCP read waits before re-checking the shutdown
 /// flag. Bounds both shutdown latency and idle-connection wake-ups.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Tunable limits for an overload-hardened service (DESIGN.md §13).
+///
+/// Everything has a deliberately conservative default; the CLI maps
+/// `mpmc serve` flags onto the fields it exposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Resolved candidate fan-out width for `assign` (0 = auto).
+    pub workers: usize,
+    /// Bound on the shared equilibrium memo cache (entries).
+    pub cache_capacity: usize,
+    /// Longest accepted request line in bytes (0 = unlimited). Longer
+    /// lines are discarded with a typed `line_too_long` error.
+    pub max_line_bytes: usize,
+    /// Concurrent TCP connections served; further connections get a
+    /// typed `too_many_connections` greeting and are closed.
+    pub max_connections: usize,
+    /// Solve requests allowed in flight concurrently.
+    pub max_inflight: usize,
+    /// Solve requests allowed to queue for admission beyond the
+    /// in-flight budget; more than this is shed immediately.
+    pub max_queued: usize,
+    /// How long a queued request waits for admission before being shed.
+    pub queue_wait_ms: u64,
+    /// Default `deadline_ms` applied to solve requests that do not set
+    /// one (0 = no default deadline).
+    pub default_deadline_ms: u64,
+    /// Sliding window of exact-solve outcomes the breaker watches.
+    pub breaker_window: usize,
+    /// Failures within the window that trip the breaker open.
+    pub breaker_threshold: u32,
+    /// Degraded requests served before the open breaker half-opens.
+    pub breaker_cooldown: u32,
+    /// How long a coalesced follower waits for its leader's solve.
+    pub singleflight_wait_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 0,
+            cache_capacity: 4096,
+            max_line_bytes: 1 << 20,
+            max_connections: 64,
+            max_inflight: 4,
+            max_queued: 8,
+            queue_wait_ms: 100,
+            default_deadline_ms: 0,
+            breaker_window: 32,
+            breaker_threshold: 8,
+            breaker_cooldown: 16,
+            singleflight_wait_ms: 2_000,
+        }
+    }
+}
+
+/// What one [`LineReader::poll`] produced.
+#[derive(Debug, PartialEq, Eq)]
+enum ReadOutcome {
+    /// End of input with nothing pending.
+    Eof,
+    /// One complete line (newline stripped, trailing `\r` dropped).
+    Line(String),
+    /// A line exceeded the byte cap; `dropped` bytes were discarded up
+    /// to (not including) the terminating newline or EOF.
+    TooLong { dropped: usize },
+    /// A complete line was not valid UTF-8.
+    BadUtf8,
+}
+
+/// An incremental, byte-capped line reader over any [`BufRead`].
+///
+/// Unlike `read_line`, an oversized line never grows an unbounded
+/// `String` from wire-controlled input: once the running length passes
+/// the cap the reader switches to *discard* mode, counts what it drops,
+/// and reports [`ReadOutcome::TooLong`] at the next newline — after
+/// which the stream is back in sync and the connection can continue.
+///
+/// `poll` propagates `WouldBlock`/`TimedOut` errors from the underlying
+/// reader while keeping all partial-line state, which is exactly what
+/// the TCP session loop's short read timeouts need.
+#[derive(Debug)]
+struct LineReader {
+    cap: usize,
+    buf: Vec<u8>,
+    discarding: bool,
+    dropped: usize,
+}
+
+impl LineReader {
+    /// A reader capping lines at `cap` bytes (0 = unlimited).
+    fn new(cap: usize) -> Self {
+        let cap = if cap == 0 { usize::MAX } else { cap };
+        LineReader { cap, buf: Vec::new(), discarding: false, dropped: 0 }
+    }
+
+    /// Reads until one [`ReadOutcome`] is available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates underlying I/O errors (including `WouldBlock` timeouts
+    /// on non-blocking sources); partial-line state survives them.
+    fn poll<R: BufRead>(&mut self, reader: &mut R) -> std::io::Result<ReadOutcome> {
+        loop {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                // EOF: flush whatever is pending.
+                if self.discarding {
+                    self.discarding = false;
+                    let dropped = std::mem::take(&mut self.dropped);
+                    return Ok(ReadOutcome::TooLong { dropped });
+                }
+                if self.buf.is_empty() {
+                    return Ok(ReadOutcome::Eof);
+                }
+                return Ok(Self::finish(std::mem::take(&mut self.buf)));
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if self.discarding {
+                        self.dropped += pos;
+                        reader.consume(pos + 1);
+                        self.discarding = false;
+                        let dropped = std::mem::take(&mut self.dropped);
+                        return Ok(ReadOutcome::TooLong { dropped });
+                    }
+                    if self.buf.len() + pos > self.cap {
+                        let dropped = self.buf.len() + pos;
+                        self.buf.clear();
+                        reader.consume(pos + 1);
+                        return Ok(ReadOutcome::TooLong { dropped });
+                    }
+                    self.buf.extend_from_slice(&available[..pos]);
+                    reader.consume(pos + 1);
+                    return Ok(Self::finish(std::mem::take(&mut self.buf)));
+                }
+                None => {
+                    let n = available.len();
+                    if self.discarding {
+                        self.dropped += n;
+                    } else if self.buf.len() + n > self.cap {
+                        self.discarding = true;
+                        self.dropped = self.buf.len() + n;
+                        self.buf.clear();
+                    } else {
+                        self.buf.extend_from_slice(available);
+                    }
+                    reader.consume(n);
+                }
+            }
+        }
+    }
+
+    fn finish(mut bytes: Vec<u8>) -> ReadOutcome {
+        if bytes.last() == Some(&b'\r') {
+            bytes.pop();
+        }
+        match String::from_utf8(bytes) {
+            Ok(line) => ReadOutcome::Line(line),
+            Err(_) => ReadOutcome::BadUtf8,
+        }
+    }
+}
 
 /// Per-operation request counters (relaxed; read only for diagnostics).
 #[derive(Debug, Default)]
@@ -56,6 +250,11 @@ struct Counters {
     stats: AtomicU64,
     ping: AtomicU64,
     shutdown: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    degraded: AtomicU64,
+    line_too_long: AtomicU64,
+    too_many_connections: AtomicU64,
 }
 
 impl Counters {
@@ -81,16 +280,22 @@ impl Counters {
 pub struct PredictionService {
     machine: MachineConfig,
     power: PowerModel,
-    workers: usize,
-    cache_capacity: usize,
+    opts: ServeOptions,
     registry: RwLock<BTreeMap<String, ProcessProfile>>,
     counters: Counters,
     latency: LatencyHistogram,
     shutdown: AtomicBool,
+    gate: AdmissionGate,
+    breaker: CircuitBreaker,
+    flights: SingleFlight<Vec<u64>, Result<f64, ServiceError>>,
+    chaos: Option<FaultPlan>,
+    solve_events: AtomicU64,
+    conn_active: AtomicUsize,
 }
 
 impl PredictionService {
-    /// Creates a service for `machine` with the fitted `power` model.
+    /// Creates a service for `machine` with the fitted `power` model and
+    /// default overload limits.
     ///
     /// `workers` is the *resolved* candidate fan-out width (the CLI
     /// resolves `--workers` / `MPMC_WORKERS` before constructing the
@@ -102,16 +307,45 @@ impl PredictionService {
         workers: usize,
         cache_capacity: usize,
     ) -> Self {
+        Self::with_options(
+            machine,
+            power,
+            ServeOptions { workers, cache_capacity, ..ServeOptions::default() },
+        )
+    }
+
+    /// Creates a service with explicit overload limits.
+    pub fn with_options(machine: MachineConfig, power: PowerModel, opts: ServeOptions) -> Self {
+        let gate = AdmissionGate::new(
+            opts.max_inflight,
+            opts.max_queued,
+            Duration::from_millis(opts.queue_wait_ms),
+        );
+        let breaker =
+            CircuitBreaker::new(opts.breaker_window, opts.breaker_threshold, opts.breaker_cooldown);
         PredictionService {
             machine,
             power,
-            workers,
-            cache_capacity,
+            opts,
             registry: RwLock::new(BTreeMap::new()),
             counters: Counters::default(),
             latency: LatencyHistogram::default(),
             shutdown: AtomicBool::new(false),
+            gate,
+            breaker,
+            flights: SingleFlight::new(),
+            chaos: None,
+            solve_events: AtomicU64::new(0),
+            conn_active: AtomicUsize::new(0),
         }
+    }
+
+    /// Installs a deterministic chaos fault plan: exact solves are
+    /// delayed per [`FaultPlan::solver_spike`]. Testing only.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
     }
 
     /// The machine this service predicts for.
@@ -119,9 +353,14 @@ impl PredictionService {
         &self.machine
     }
 
+    /// The configured overload limits.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
     /// The resolved candidate fan-out width.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.opts.workers
     }
 
     /// Asks all running sessions to stop (idempotent, thread-safe).
@@ -169,7 +408,7 @@ impl PredictionService {
     /// per *session runner* — `run_tcp` shares it across connections.
     fn model(&self) -> CombinedModel<'_, PowerModel> {
         CombinedModel::new(&self.machine, &self.power)
-            .with_equilibrium_cache_capacity(self.cache_capacity)
+            .with_equilibrium_cache_capacity(self.opts.cache_capacity)
     }
 
     fn read_registry(&self) -> RwLockReadGuard<'_, BTreeMap<String, ProcessProfile>> {
@@ -193,17 +432,23 @@ impl PredictionService {
         mut output: W,
     ) -> std::io::Result<()> {
         let model = self.model();
-        let mut line = String::new();
+        let mut lines = LineReader::new(self.opts.max_line_bytes);
         loop {
-            line.clear();
-            if input.read_line(&mut line)? == 0 {
-                return Ok(());
-            }
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            let (response, stop) = self.handle_line(&model, trimmed);
+            let (response, stop) = match lines.poll(&mut input)? {
+                ReadOutcome::Eof => return Ok(()),
+                ReadOutcome::Line(line) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    self.handle_line(&model, trimmed)
+                }
+                ReadOutcome::TooLong { dropped } => (self.line_guard_response(dropped), false),
+                ReadOutcome::BadUtf8 => (
+                    self.oob_response(&ServiceError::usage("request line is not valid UTF-8")),
+                    false,
+                ),
+            };
             output.write_all(response.as_bytes())?;
             output.write_all(b"\n")?;
             output.flush()?;
@@ -217,6 +462,8 @@ impl PredictionService {
     /// arrives (on any connection) or [`request_shutdown`] is called.
     /// Each connection gets its own thread; all of them share one
     /// combined model, so the equilibrium cache is warmed globally.
+    /// Connections beyond [`ServeOptions::max_connections`] receive a
+    /// typed `too_many_connections` error as a greeting and are closed.
     ///
     /// # Errors
     ///
@@ -233,9 +480,27 @@ impl PredictionService {
             }
             match listener.accept() {
                 Ok((stream, _addr)) => {
+                    if self.conn_active.load(Ordering::Relaxed) >= self.opts.max_connections {
+                        Counters::bump(&self.counters.too_many_connections);
+                        Counters::bump(&self.counters.errors);
+                        let greeting = format!(
+                            "{}\n",
+                            self.render_oob(&ServiceError::too_many_connections(format!(
+                                "connection cap {} reached; retry later",
+                                self.opts.max_connections
+                            )))
+                        );
+                        let mut rejected = stream;
+                        let _ = rejected.write_all(greeting.as_bytes());
+                        // Dropping the stream closes it; the client got a
+                        // well-formed refusal, never a silent hangup.
+                        continue;
+                    }
+                    self.conn_active.fetch_add(1, Ordering::Relaxed);
                     let model = &model;
                     scope.spawn(move || {
                         let _ = self.serve_connection(model, stream);
+                        self.conn_active.fetch_sub(1, Ordering::Relaxed);
                     });
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -249,7 +514,7 @@ impl PredictionService {
 
     /// One TCP connection: short read timeouts let the loop poll the
     /// shutdown flag without losing partially received lines (the
-    /// buffered reader keeps them across retries).
+    /// capped line reader keeps them across retries).
     fn serve_connection(
         &self,
         model: &CombinedModel<'_, PowerModel>,
@@ -258,34 +523,85 @@ impl PredictionService {
         stream.set_read_timeout(Some(POLL_INTERVAL))?;
         let mut writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
-        let mut line = String::new();
+        let mut lines = LineReader::new(self.opts.max_line_bytes);
         loop {
             if self.is_shutdown() {
                 return Ok(());
             }
-            match reader.read_line(&mut line) {
-                Ok(0) => return Ok(()),
-                Ok(_) => {
-                    let trimmed = line.trim();
-                    if !trimmed.is_empty() {
-                        let (response, stop) = self.handle_line(model, trimmed);
-                        writer.write_all(response.as_bytes())?;
-                        writer.write_all(b"\n")?;
-                        writer.flush()?;
-                        if stop {
-                            return Ok(());
-                        }
-                    }
-                    line.clear();
-                }
+            let outcome = match lines.poll(&mut reader) {
+                Ok(outcome) => outcome,
                 Err(e)
                     if matches!(
                         e.kind(),
                         ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                    ) => {}
+                    ) =>
+                {
+                    continue;
+                }
                 Err(e) => return Err(e),
+            };
+            let (response, stop) = match outcome {
+                ReadOutcome::Eof => return Ok(()),
+                ReadOutcome::Line(line) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    self.handle_line(model, trimmed)
+                }
+                ReadOutcome::TooLong { dropped } => (self.line_guard_response(dropped), false),
+                ReadOutcome::BadUtf8 => (
+                    self.oob_response(&ServiceError::usage("request line is not valid UTF-8")),
+                    false,
+                ),
+            };
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if stop {
+                return Ok(());
             }
         }
+    }
+
+    /// The error object rendered into failure responses.
+    fn error_object(e: &ServiceError) -> Json {
+        let mut fields = vec![
+            ("kind".into(), Json::str(e.kind())),
+            ("code".into(), Json::Num(f64::from(e.code))),
+            ("message".into(), Json::str(e.message.clone())),
+        ];
+        if let Some(ms) = e.retry_after_ms {
+            fields.push(("retry_after_ms".into(), Json::Num(ms as f64)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Renders an out-of-band failure (no parsed request to echo an id
+    /// from) without touching counters.
+    fn render_oob(&self, e: &ServiceError) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::Null),
+            ("ok".into(), Json::Bool(false)),
+            ("error".into(), Self::error_object(e)),
+        ])
+        .render()
+    }
+
+    /// An out-of-band failure response, counted into the error stats.
+    fn oob_response(&self, e: &ServiceError) -> String {
+        Counters::bump(&self.counters.errors);
+        self.render_oob(e)
+    }
+
+    /// The typed response for a discarded oversized line.
+    fn line_guard_response(&self, dropped: usize) -> String {
+        Counters::bump(&self.counters.line_too_long);
+        self.oob_response(&ServiceError::line_too_long(format!(
+            "request line exceeded {} bytes ({dropped} bytes discarded); \
+             the connection remains usable",
+            self.opts.max_line_bytes
+        )))
     }
 
     /// Handles one request line; returns the rendered response and
@@ -317,15 +633,15 @@ impl PredictionService {
             }
             Err(e) => {
                 Counters::bump(&self.counters.errors);
+                match e.code {
+                    exit_code::OVERLOADED => Counters::bump(&self.counters.overloaded),
+                    exit_code::DEADLINE_EXCEEDED => {
+                        Counters::bump(&self.counters.deadline_exceeded);
+                    }
+                    _ => {}
+                }
                 fields.push(("ok".into(), Json::Bool(false)));
-                fields.push((
-                    "error".into(),
-                    Json::Obj(vec![
-                        ("kind".into(), Json::str(e.kind())),
-                        ("code".into(), Json::Num(f64::from(e.code))),
-                        ("message".into(), Json::str(e.message)),
-                    ]),
-                ));
+                fields.push(("error".into(), Self::error_object(&e)));
             }
         }
         let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -409,11 +725,83 @@ impl PredictionService {
         Ok(vec![("name".into(), Json::str(name))])
     }
 
-    fn op_estimate(
+    /// The retry hint attached to `overloaded` errors: the median
+    /// request latency is the natural "one slot's worth" backoff.
+    fn retry_after_ms(&self) -> u64 {
+        (self.latency.percentile(0.50) / 1_000_000).max(1)
+    }
+
+    /// Passes one solve request through the admission gate.
+    fn admit(&self) -> Result<mathkit::sync::Permit<'_>, ServiceError> {
+        self.gate.admit().map_err(|reason| {
+            let what = match reason {
+                crate::admission::ShedReason::QueueFull => {
+                    "in-flight budget and admission queue are full"
+                }
+                crate::admission::ShedReason::Timeout => "admission queue wait timed out",
+            };
+            ServiceError::overloaded(format!("request shed: {what}"))
+                .with_retry_after(self.retry_after_ms())
+        })
+    }
+
+    /// The request's deadline: explicit `deadline_ms`, else the
+    /// configured default, else none. `deadline_ms: 0` expires
+    /// instantly (deterministic deadline pressure).
+    fn deadline_from(&self, req: &Json) -> Result<Deadline, ServiceError> {
+        match req.get("deadline_ms") {
+            None => Ok(if self.opts.default_deadline_ms == 0 {
+                Deadline::none()
+            } else {
+                Deadline::after_ms(self.opts.default_deadline_ms)
+            }),
+            Some(v) => {
+                let ms = v.as_usize().ok_or_else(|| {
+                    ServiceError::usage("'deadline_ms' must be a non-negative integer")
+                })?;
+                Ok(Deadline::after_ms(ms as u64))
+            }
+        }
+    }
+
+    /// Injects the chaos plan's solver-latency spike, if one is due.
+    fn chaos_spike(&self) {
+        if let Some(plan) = &self.chaos {
+            let event = self.solve_events.fetch_add(1, Ordering::Relaxed);
+            if let Some(delay) = plan.solver_spike(event) {
+                std::thread::sleep(delay);
+            }
+        }
+    }
+
+    /// The exact single-flight key for an estimate: the full structural
+    /// flattening of the assignment (cores, queue order, and for every
+    /// placed process its content fingerprint plus all power-scalar
+    /// bits). Two requests get the same key only if their solves are
+    /// provably bit-identical — no hashing, so no collisions.
+    fn estimate_key(profiles: &[ProcessProfile], asg: &Assignment) -> Vec<u64> {
+        let mut key = Vec::with_capacity(1 + asg.num_cores() * 4);
+        key.push(asg.num_cores() as u64);
+        for core in 0..asg.num_cores() {
+            key.push(u64::MAX); // core separator
+            for &idx in asg.processes_on(core) {
+                let p = &profiles[idx];
+                key.push(p.feature.content_fingerprint());
+                for scalar in
+                    [p.l1rpi, p.l2rpi, p.brpi, p.fppi, p.processor_alone_w, p.idle_processor_w]
+                {
+                    key.push(scalar.to_bits());
+                }
+            }
+        }
+        key
+    }
+
+    /// Parses the `assignment` spec of an estimate request.
+    fn parse_estimate(
         &self,
-        model: &CombinedModel<'_, PowerModel>,
         req: &Json,
-    ) -> Result<Vec<(String, Json)>, ServiceError> {
+    ) -> Result<(Vec<ProcessProfile>, Assignment), ServiceError> {
         let spec = req
             .get("assignment")
             .ok_or_else(|| ServiceError::usage("missing 'assignment' field"))?;
@@ -423,11 +811,70 @@ impl PredictionService {
             let registry = self.read_registry();
             self.build_assignment(spec, "assignment", &registry, &mut index, &mut profiles)?
         };
-        let power = model.estimate_processor_power(&profiles, &asg)?;
-        Ok(vec![
+        Ok((profiles, asg))
+    }
+
+    /// Response fields for an estimate, tagging degraded answers.
+    fn estimate_fields(
+        power: f64,
+        processes: usize,
+        degraded: Option<DegradedSource>,
+    ) -> Vec<(String, Json)> {
+        let mut fields = vec![
             ("power_w".into(), Json::Num(power)),
-            ("processes".into(), Json::Num(asg.num_processes() as f64)),
-        ])
+            ("processes".into(), Json::Num(processes as f64)),
+        ];
+        if let Some(source) = degraded {
+            fields.push(("degraded".into(), Json::Bool(true)));
+            fields.push(("degraded_source".into(), Json::str(source.name())));
+        }
+        fields
+    }
+
+    fn op_estimate(
+        &self,
+        model: &CombinedModel<'_, PowerModel>,
+        req: &Json,
+    ) -> Result<Vec<(String, Json)>, ServiceError> {
+        let _permit = self.admit()?;
+        let deadline = self.deadline_from(req)?;
+        if deadline.expired() {
+            return Err(ServiceError::deadline("deadline expired before the solve began"));
+        }
+        let (profiles, asg) = self.parse_estimate(req)?;
+        let processes = asg.num_processes();
+        match self.breaker.decide() {
+            Decision::Degraded => {
+                let est = model.estimate_processor_power_degraded(&profiles, &asg)?;
+                Counters::bump(&self.counters.degraded);
+                Ok(Self::estimate_fields(est.power_w, processes, Some(est.source)))
+            }
+            Decision::Exact | Decision::Probe => {
+                let key = Self::estimate_key(&profiles, &asg);
+                let wait = Duration::from_millis(self.opts.singleflight_wait_ms);
+                let flight = self.flights.run(key, wait, || {
+                    self.chaos_spike();
+                    let fallbacks_before = model.solver_fallbacks();
+                    let token = deadline.token();
+                    let result = model
+                        .estimate_processor_power_cancellable(&profiles, &asg, &token)
+                        .map_err(ServiceError::from);
+                    let failed = result.is_err() || model.solver_fallbacks() > fallbacks_before;
+                    self.breaker.record(failed);
+                    result
+                });
+                match flight {
+                    Flight::Led(result) | Flight::Shared(result) => {
+                        let power = result?;
+                        Ok(Self::estimate_fields(power, processes, None))
+                    }
+                    Flight::TimedOut => Err(ServiceError::overloaded(
+                        "coalesced solve did not finish within the single-flight wait",
+                    )
+                    .with_retry_after(self.retry_after_ms())),
+                }
+            }
+        }
     }
 
     fn op_assign(
@@ -435,6 +882,11 @@ impl PredictionService {
         model: &CombinedModel<'_, PowerModel>,
         req: &Json,
     ) -> Result<Vec<(String, Json)>, ServiceError> {
+        let _permit = self.admit()?;
+        let deadline = self.deadline_from(req)?;
+        if deadline.expired() {
+            return Err(ServiceError::deadline("deadline expired before the solve began"));
+        }
         let process = str_field(req, "process")?;
         let cores = self.candidate_cores(req)?;
         let mut profiles = Vec::new();
@@ -459,8 +911,38 @@ impl PredictionService {
             };
             (current, idx)
         };
-        let estimates =
-            model.estimate_candidates(&profiles, &current, process_idx, &cores, self.workers)?;
+        let (estimates, degraded) = match self.breaker.decide() {
+            Decision::Degraded => {
+                let mut estimates = Vec::with_capacity(cores.len());
+                let mut worst = DegradedSource::ExactCache;
+                for &core in &cores {
+                    let trial = current.with_assigned(core, process_idx);
+                    let est = model.estimate_processor_power_degraded(&profiles, &trial)?;
+                    if est.source > worst {
+                        worst = est.source;
+                    }
+                    estimates.push(est.power_w);
+                }
+                Counters::bump(&self.counters.degraded);
+                (estimates, Some(worst))
+            }
+            Decision::Exact | Decision::Probe => {
+                self.chaos_spike();
+                let fallbacks_before = model.solver_fallbacks();
+                let token = deadline.token();
+                let result = model.estimate_candidates_cancellable(
+                    &profiles,
+                    &current,
+                    process_idx,
+                    &cores,
+                    self.opts.workers,
+                    &token,
+                );
+                let failed = result.is_err() || model.solver_fallbacks() > fallbacks_before;
+                self.breaker.record(failed);
+                (result?, None)
+            }
+        };
         // Best placement: lowest power, ties to the lowest core id (the
         // candidate list is already validated as strictly increasing).
         let mut best = 0;
@@ -479,12 +961,17 @@ impl PredictionService {
                 ])
             })
             .collect();
-        Ok(vec![
+        let mut fields = vec![
             ("process".into(), Json::str(process)),
             ("best_core".into(), Json::Num(cores[best] as f64)),
             ("best_power_w".into(), Json::Num(estimates[best])),
             ("candidates".into(), Json::Arr(candidates)),
-        ])
+        ];
+        if let Some(source) = degraded {
+            fields.push(("degraded".into(), Json::Bool(true)));
+            fields.push(("degraded_source".into(), Json::str(source.name())));
+        }
+        Ok(fields)
     }
 
     fn op_stats(&self, model: &CombinedModel<'_, PowerModel>) -> Vec<(String, Json)> {
@@ -501,6 +988,11 @@ impl PredictionService {
             ("ping".into(), count(&c.ping)),
             ("shutdown".into(), count(&c.shutdown)),
             ("errors".into(), count(&c.errors)),
+            ("overloaded".into(), count(&c.overloaded)),
+            ("deadline_exceeded".into(), count(&c.deadline_exceeded)),
+            ("degraded".into(), count(&c.degraded)),
+            ("line_too_long".into(), count(&c.line_too_long)),
+            ("too_many_connections".into(), count(&c.too_many_connections)),
         ]);
         let eq_cache = Json::Obj(vec![
             ("hits".into(), Json::Num(eq.hits as f64)),
@@ -515,13 +1007,45 @@ impl PredictionService {
             ("p90_ns".into(), Json::Num(self.latency.percentile(0.90) as f64)),
             ("p99_ns".into(), Json::Num(self.latency.percentile(0.99) as f64)),
         ]);
+        let ad = self.gate.stats();
+        let admission = Json::Obj(vec![
+            ("admitted".into(), Json::Num(ad.admitted as f64)),
+            ("shed".into(), Json::Num(ad.shed() as f64)),
+            ("shed_queue_full".into(), Json::Num(ad.shed_queue_full as f64)),
+            ("shed_timeout".into(), Json::Num(ad.shed_timeout as f64)),
+            ("in_flight".into(), Json::Num(ad.in_flight as f64)),
+            ("queued".into(), Json::Num(ad.queued as f64)),
+            ("max_inflight".into(), Json::Num(ad.max_inflight as f64)),
+        ]);
+        let br = self.breaker.stats();
+        let breaker = Json::Obj(vec![
+            ("mode".into(), Json::str(self.breaker.mode().name())),
+            ("trips".into(), Json::Num(br.trips as f64)),
+            ("probes".into(), Json::Num(br.probes as f64)),
+            ("degraded_decides".into(), Json::Num(br.degraded_decides as f64)),
+        ]);
+        let sf = self.flights.stats();
+        let singleflight = Json::Obj(vec![
+            ("leaders".into(), Json::Num(sf.leaders as f64)),
+            ("shared".into(), Json::Num(sf.shared as f64)),
+            ("timeouts".into(), Json::Num(sf.timeouts as f64)),
+        ]);
+        let connections = Json::Obj(vec![
+            ("active".into(), Json::Num(self.conn_active.load(Ordering::Relaxed) as f64)),
+            ("max".into(), Json::Num(self.opts.max_connections as f64)),
+            ("rejected".into(), count(&c.too_many_connections)),
+        ]);
         vec![
             ("requests".into(), requests),
             ("profiles".into(), Json::Num(self.num_profiles() as f64)),
             ("eq_cache".into(), eq_cache),
             ("solver_fallbacks".into(), Json::Num(model.solver_fallbacks() as f64)),
             ("latency".into(), latency),
-            ("workers".into(), Json::Num(self.workers as f64)),
+            ("workers".into(), Json::Num(self.opts.workers as f64)),
+            ("admission".into(), admission),
+            ("breaker".into(), breaker),
+            ("singleflight".into(), singleflight),
+            ("connections".into(), connections),
         ]
     }
 
@@ -676,6 +1200,17 @@ mod tests {
         .render()
     }
 
+    /// Registers the standard two test profiles and returns the model.
+    fn service_with_ab() -> (PredictionService, ProcessProfile, ProcessProfile) {
+        let svc = service();
+        let m = machine();
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        svc.register_profile("a", a.clone()).unwrap();
+        svc.register_profile("b", b.clone()).unwrap();
+        (svc, a, b)
+    }
+
     #[test]
     fn register_estimate_assign_flow() {
         let svc = service();
@@ -697,6 +1232,7 @@ mod tests {
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
         let power = resp.get("power_w").and_then(Json::as_f64).unwrap();
         assert!(power.is_finite() && power > 0.0);
+        assert_eq!(resp.get("degraded"), None, "healthy answers are not tagged");
 
         // Assign must agree bit-for-bit with a direct CombinedModel call.
         let resp = ask(&svc, &model, r#"{"id":4,"op":"assign","process":"b","current":[["a"]]}"#);
@@ -856,5 +1392,361 @@ mod tests {
         let resp = ask(&svc, &model, r#"{"id":2,"op":"estimate","assignment":[["a","a"]]}"#);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
         assert_eq!(resp.get("processes").and_then(Json::as_usize), Some(2));
+    }
+
+    // ---- overload hardening ----
+
+    #[test]
+    fn line_reader_reads_lines_crlf_and_eof_partial() {
+        let mut r = LineReader::new(64);
+        let mut input: &[u8] = b"one\r\ntwo\nlast-no-newline";
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Line("one".into()));
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Line("two".into()));
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Line("last-no-newline".into()));
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Eof);
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn line_reader_caps_oversized_lines_and_resyncs() {
+        let mut r = LineReader::new(8);
+        let mut input: &[u8] = b"0123456789abcdef\nshort\n";
+        match r.poll(&mut input).unwrap() {
+            ReadOutcome::TooLong { dropped } => assert_eq!(dropped, 16),
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+        // The stream is back in sync: the next line parses normally.
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Line("short".into()));
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn line_reader_caps_unterminated_flood_at_eof() {
+        let mut r = LineReader::new(4);
+        let mut input: &[u8] = b"too-long-and-never-terminated";
+        match r.poll(&mut input).unwrap() {
+            ReadOutcome::TooLong { dropped } => assert_eq!(dropped, 29),
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn line_reader_flags_bad_utf8_and_survives() {
+        let mut r = LineReader::new(64);
+        let mut input: &[u8] = b"\xff\xfe broken\nok\n";
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::BadUtf8);
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Line("ok".into()));
+    }
+
+    #[test]
+    fn line_reader_keeps_state_across_wouldblock() {
+        /// Yields its chunks one per `fill_buf`, with a `WouldBlock`
+        /// error between them — a stand-in for a slow-loris client on a
+        /// read-timeout socket.
+        struct Chunky {
+            chunks: Vec<Vec<u8>>,
+            at: usize,
+            consumed: usize,
+            block_next: bool,
+        }
+        impl std::io::Read for Chunky {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                unreachable!("BufRead only")
+            }
+        }
+        impl BufRead for Chunky {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                if self.block_next {
+                    self.block_next = false;
+                    return Err(std::io::Error::from(ErrorKind::WouldBlock));
+                }
+                if self.at >= self.chunks.len() {
+                    return Ok(&[]);
+                }
+                Ok(&self.chunks[self.at][self.consumed..])
+            }
+            fn consume(&mut self, amt: usize) {
+                self.consumed += amt;
+                if self.consumed >= self.chunks[self.at].len() {
+                    self.at += 1;
+                    self.consumed = 0;
+                    self.block_next = true;
+                }
+            }
+        }
+        let mut input = Chunky {
+            chunks: vec![b"{\"op\":".to_vec(), b"\"ping\"}\n".to_vec()],
+            at: 0,
+            consumed: 0,
+            block_next: false,
+        };
+        let mut r = LineReader::new(64);
+        // First poll consumes the first chunk, then hits WouldBlock.
+        let err = r.poll(&mut input).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WouldBlock);
+        // Retrying completes the line from preserved state.
+        assert_eq!(r.poll(&mut input).unwrap(), ReadOutcome::Line("{\"op\":\"ping\"}".into()));
+    }
+
+    #[test]
+    fn oversized_line_gets_typed_error_and_session_survives() {
+        let m = machine();
+        let svc = PredictionService::with_options(
+            m.clone(),
+            power_model(),
+            ServeOptions {
+                workers: 1,
+                cache_capacity: 64,
+                max_line_bytes: 64,
+                ..ServeOptions::default()
+            },
+        );
+        let mut script = String::new();
+        script.push_str(&format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}\n", "x".repeat(200)));
+        script.push_str(r#"{"id":2,"op":"ping"}"#);
+        script.push('\n');
+        let mut out = Vec::new();
+        svc.run_stdio(script.as_bytes(), &mut out).unwrap();
+        let lines: Vec<Json> =
+            String::from_utf8(out).unwrap().lines().map(|l| json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        let err = lines[0].get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("line_too_long"));
+        assert_eq!(
+            err.get("code").and_then(Json::as_f64),
+            Some(f64::from(exit_code::LINE_TOO_LONG))
+        );
+        assert_eq!(lines[1].get("ok"), Some(&Json::Bool(true)), "session survived");
+        // The guard counters registered it.
+        let model = svc.model();
+        let stats = ask(&svc, &model, r#"{"op":"stats"}"#);
+        let req = stats.get("requests").unwrap();
+        assert_eq!(req.get("line_too_long").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn shed_when_budget_and_queue_are_full() {
+        let m = machine();
+        let svc = PredictionService::with_options(
+            m,
+            power_model(),
+            ServeOptions {
+                workers: 1,
+                cache_capacity: 64,
+                max_inflight: 1,
+                max_queued: 0,
+                queue_wait_ms: 0,
+                ..ServeOptions::default()
+            },
+        );
+        let a = synthetic_profile("a", 0.4, 0.03, svc.machine());
+        svc.register_profile("a", a).unwrap();
+        let model = svc.model();
+        // Hold the only permit, simulating an in-flight solve.
+        let held = svc.gate.admit().unwrap();
+        let resp = ask(&svc, &model, r#"{"id":1,"op":"estimate","assignment":[["a"]]}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(err.get("code").and_then(Json::as_f64), Some(f64::from(exit_code::OVERLOADED)));
+        assert!(
+            err.get("retry_after_ms").and_then(Json::as_f64).unwrap() >= 1.0,
+            "shed responses carry a backoff hint"
+        );
+        // Cheap ops bypass admission and still work while saturated.
+        let resp = ask(&svc, &model, r#"{"id":2,"op":"ping"}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        drop(held);
+        // With the permit free the same request succeeds.
+        let resp = ask(&svc, &model, r#"{"id":3,"op":"estimate","assignment":[["a"]]}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        let stats = ask(&svc, &model, r#"{"op":"stats"}"#);
+        let ad = stats.get("admission").unwrap();
+        assert!(ad.get("shed").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert_eq!(
+            stats.get("requests").unwrap().get("overloaded").and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn deadline_zero_is_typed_deadline_exceeded() {
+        let (svc, _a, _b) = service_with_ab();
+        let model = svc.model();
+        let resp = ask(
+            &svc,
+            &model,
+            r#"{"id":1,"op":"estimate","assignment":[["a"],["b"]],"deadline_ms":0}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("deadline_exceeded"));
+        assert_eq!(
+            err.get("code").and_then(Json::as_f64),
+            Some(f64::from(exit_code::DEADLINE_EXCEEDED))
+        );
+        // Same for assign.
+        let resp = ask(&svc, &model, r#"{"id":2,"op":"assign","process":"b","deadline_ms":0}"#);
+        assert_eq!(
+            resp.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        // Bad deadline values are usage errors.
+        let resp =
+            ask(&svc, &model, r#"{"id":3,"op":"estimate","assignment":[["a"]],"deadline_ms":-5}"#);
+        assert_eq!(resp.get("error").unwrap().get("kind").and_then(Json::as_str), Some("usage"));
+        let stats = ask(&svc, &model, r#"{"op":"stats"}"#);
+        assert_eq!(
+            stats.get("requests").unwrap().get("deadline_exceeded").and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn breaker_trip_degrades_then_probe_recovers() {
+        let m = machine();
+        let svc = PredictionService::with_options(
+            m,
+            power_model(),
+            ServeOptions {
+                workers: 1,
+                cache_capacity: 64,
+                breaker_window: 4,
+                breaker_threshold: 2,
+                breaker_cooldown: 2,
+                ..ServeOptions::default()
+            },
+        );
+        let a = synthetic_profile("a", 0.4, 0.03, svc.machine());
+        let b = synthetic_profile("b", 0.1, 0.01, svc.machine());
+        svc.register_profile("a", a).unwrap();
+        svc.register_profile("b", b).unwrap();
+        let model = svc.model();
+        let est = r#"{"op":"estimate","assignment":[["a"],["b"]]}"#;
+
+        // Warm the healthy answer (and the equilibrium cache).
+        let healthy = ask(&svc, &model, est);
+        let healthy_bits = healthy.get("power_w").and_then(Json::as_f64).unwrap().to_bits();
+
+        // Trip the breaker as if two exact solves had failed.
+        svc.breaker.record(true);
+        svc.breaker.record(true);
+        assert_eq!(svc.breaker.mode(), crate::breaker::Mode::Open);
+
+        // Cooldown: degraded answers, explicitly tagged, bit-exact here
+        // because the exact cache still holds the co-run.
+        for _ in 0..2 {
+            let resp = ask(&svc, &model, est);
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+            assert_eq!(resp.get("degraded"), Some(&Json::Bool(true)));
+            assert_eq!(resp.get("degraded_source").and_then(Json::as_str), Some("exact_cache"));
+            let bits = resp.get("power_w").and_then(Json::as_f64).unwrap().to_bits();
+            assert_eq!(bits, healthy_bits, "cache-tier degraded answer is bit-exact");
+        }
+        assert_eq!(svc.breaker.mode(), crate::breaker::Mode::HalfOpen);
+
+        // The next request is the recovery probe; the solver is healthy,
+        // so it closes the breaker and the answer is untagged.
+        let resp = ask(&svc, &model, est);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("degraded"), None);
+        assert_eq!(svc.breaker.mode(), crate::breaker::Mode::Closed);
+
+        let stats = ask(&svc, &model, r#"{"op":"stats"}"#);
+        let br = stats.get("breaker").unwrap();
+        assert_eq!(br.get("mode").and_then(Json::as_str), Some("closed"));
+        assert!(br.get("trips").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert!(br.get("probes").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert_eq!(
+            stats.get("requests").unwrap().get("degraded").and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn degraded_assign_is_tagged_and_ranks_candidates() {
+        let (svc, _a, _b) = service_with_ab();
+        let model = svc.model();
+        // Trip the default breaker (threshold 8).
+        for _ in 0..8 {
+            svc.breaker.record(true);
+        }
+        let resp = ask(&svc, &model, r#"{"id":1,"op":"assign","process":"b","current":[["a"]]}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("degraded"), Some(&Json::Bool(true)));
+        let source = resp.get("degraded_source").and_then(Json::as_str).unwrap();
+        assert!(
+            ["exact_cache", "stale_neighbor", "proportional_split"].contains(&source),
+            "{source}"
+        );
+        let candidates = resp.get("candidates").and_then(Json::as_arr).unwrap();
+        assert_eq!(candidates.len(), 2);
+        for cand in candidates {
+            assert!(cand.get("power_w").and_then(Json::as_f64).unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn single_flight_coalesced_answers_are_bit_exact() {
+        let (svc, _a, _b) = service_with_ab();
+        let model = svc.model();
+        let est = r#"{"id":1,"op":"estimate","assignment":[["a"],["b"]]}"#;
+        let sequential = ask(&svc, &model, est);
+        let expect_bits = sequential.get("power_w").and_then(Json::as_f64).unwrap().to_bits();
+        // Fan the identical request out over several threads; every
+        // answer (led or shared) must carry the same bits.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    let (svc, model) = (&svc, &model);
+                    scope.spawn(move || ask(svc, model, est))
+                })
+                .collect();
+            for h in handles {
+                let resp = h.join().unwrap();
+                assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+                let bits = resp.get("power_w").and_then(Json::as_f64).unwrap().to_bits();
+                assert_eq!(bits, expect_bits);
+            }
+        });
+        let st = svc.flights.stats();
+        assert!(st.leaders >= 1);
+        assert_eq!(st.timeouts, 0);
+    }
+
+    #[test]
+    fn chaos_spikes_do_not_change_answers() {
+        let (svc, _a, _b) = service_with_ab();
+        let reference = ask(&svc, &svc.model(), r#"{"op":"estimate","assignment":[["a"],["b"]]}"#);
+        let expect_bits = reference.get("power_w").and_then(Json::as_f64).unwrap().to_bits();
+
+        let mut plan = FaultPlan::quiet(1);
+        plan.spike_one_in = 1; // every solve spikes...
+        plan.spike_ms = 1; // ...briefly
+        let (chaotic, _a2, _b2) = service_with_ab();
+        let chaotic = chaotic.with_chaos(plan);
+        let model = chaotic.model();
+        let resp = ask(&chaotic, &model, r#"{"op":"estimate","assignment":[["a"],["b"]]}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let bits = resp.get("power_w").and_then(Json::as_f64).unwrap().to_bits();
+        assert_eq!(bits, expect_bits, "latency faults must never change the numbers");
+    }
+
+    #[test]
+    fn stats_expose_overload_sections() {
+        let svc = service();
+        let model = svc.model();
+        let stats = ask(&svc, &model, r#"{"op":"stats"}"#);
+        for section in ["admission", "breaker", "singleflight", "connections"] {
+            assert!(stats.get(section).is_some(), "missing stats section '{section}'");
+        }
+        let ad = stats.get("admission").unwrap();
+        assert_eq!(ad.get("max_inflight").and_then(Json::as_f64), Some(4.0));
+        let br = stats.get("breaker").unwrap();
+        assert_eq!(br.get("mode").and_then(Json::as_str), Some("closed"));
+        let conn = stats.get("connections").unwrap();
+        assert_eq!(conn.get("active").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(conn.get("max").and_then(Json::as_f64), Some(64.0));
     }
 }

@@ -1,0 +1,244 @@
+//! Single-flight deduplication: concurrent identical solves coalesce
+//! into one.
+//!
+//! Under load a burst of clients often asks for the *same* co-run
+//! estimate (placement sweeps, retries after a shed). Solving it once
+//! and fanning the answer out is free capacity — and because the model
+//! is deterministic, the shared answer is bit-identical to what each
+//! follower would have computed alone, so coalescing is invisible to
+//! correctness.
+//!
+//! The key must be *exact* (no hashing): two requests coalesce only if
+//! they would provably produce the same bits. The server builds keys as
+//! the full structural flattening of the request (assignment shape plus
+//! every profile's content fingerprint and power-scalar bits), so a
+//! collision is impossible rather than merely unlikely.
+//!
+//! Followers wait on the leader with a bounded timeout; a follower that
+//! waits too long reports [`Flight::TimedOut`] and the server sheds it
+//! with a typed `overloaded` error (the leader keeps running — its
+//! answer still lands in the equilibrium cache for the retry).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How a call through [`SingleFlight::run`] was resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Flight<V> {
+    /// This call executed the work itself.
+    Led(V),
+    /// This call shared a concurrent leader's result.
+    Shared(V),
+    /// This call waited its budget without the leader finishing.
+    TimedOut,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    done: Mutex<Option<V>>,
+    cv: Condvar,
+}
+
+/// Counters for `stats` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SingleFlightStats {
+    /// Calls that executed the work.
+    pub leaders: u64,
+    /// Calls that shared a leader's result.
+    pub shared: u64,
+    /// Follower waits that timed out.
+    pub timeouts: u64,
+}
+
+/// A keyed single-flight group: at most one execution per key at a
+/// time, with followers sharing the leader's result.
+#[derive(Debug)]
+pub struct SingleFlight<K: Ord + Clone, V: Clone> {
+    slots: Mutex<BTreeMap<K, Arc<Slot<V>>>>,
+    leaders: AtomicU64,
+    shared: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> SingleFlight<K, V> {
+    /// An empty group.
+    pub fn new() -> Self {
+        SingleFlight {
+            slots: Mutex::new(BTreeMap::new()),
+            leaders: AtomicU64::new(0),
+            shared: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `work` under `key`, coalescing with any concurrent call for
+    /// the same key. The leader always runs `work` exactly once and
+    /// publishes the result; followers wait up to `wait` for it.
+    ///
+    /// The slot is removed once the leader finishes, so *sequential*
+    /// calls each execute — single-flight deduplicates concurrency, it
+    /// is not a cache (the equilibrium cache does the caching).
+    pub fn run(&self, key: K, wait: Duration, work: impl FnOnce() -> V) -> Flight<V> {
+        let (slot, leader) = {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            match slots.get(&key) {
+                Some(s) => (Arc::clone(s), false),
+                None => {
+                    let s = Arc::new(Slot { done: Mutex::new(None), cv: Condvar::new() });
+                    slots.insert(key.clone(), Arc::clone(&s));
+                    (s, true)
+                }
+            }
+        };
+        if leader {
+            let value = work();
+            {
+                let mut done = slot.done.lock().unwrap_or_else(|e| e.into_inner());
+                *done = Some(value.clone());
+            }
+            slot.cv.notify_all();
+            // Followers already hold their own Arc to the slot and read
+            // the published value from it; removing the map entry only
+            // stops *new* arrivals from attaching to a finished flight.
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            slots.remove(&key);
+            drop(slots);
+            self.leaders.fetch_add(1, Ordering::Relaxed);
+            return Flight::Led(value);
+        }
+        let mut done = slot.done.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = done.as_ref() {
+                self.shared.fetch_add(1, Ordering::Relaxed);
+                return Flight::Shared(v.clone());
+            }
+            let (guard, timed_out) =
+                slot.cv.wait_timeout(done, wait).unwrap_or_else(|e| e.into_inner());
+            done = guard;
+            if timed_out.timed_out() && done.is_none() {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Flight::TimedOut;
+            }
+            // Spurious wake-up: re-check and, if still unfinished, wait
+            // again for a full slice (coarse, like the semaphore; the
+            // request deadline bounds the true total).
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> SingleFlightStats {
+        SingleFlightStats {
+            leaders: self.leaders.load(Ordering::Relaxed),
+            shared: self.shared.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_execute() {
+        let sf: SingleFlight<u64, usize> = SingleFlight::new();
+        let calls = AtomicUsize::new(0);
+        for i in 0..3 {
+            let got = sf.run(7, Duration::from_secs(1), || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i
+            });
+            assert_eq!(got, Flight::Led(i), "no caching across sequential calls");
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(sf.stats().leaders, 3);
+        assert_eq!(sf.stats().shared, 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_coalesces_to_one_execution() {
+        let sf: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(Barrier::new(4));
+        let inside = Arc::new(Barrier::new(2));
+        // The leader blocks inside `work` until a follower has attached.
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let (sf, calls, start, inside) =
+                    (sf.clone(), calls.clone(), start.clone(), inside.clone());
+                std::thread::spawn(move || {
+                    start.wait();
+                    if i == 0 {
+                        sf.run(42, Duration::from_secs(10), || {
+                            inside.wait(); // hold until at least the main thread signals
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            99u64
+                        })
+                    } else {
+                        // Give the leader a head start so key 42 is in flight.
+                        std::thread::sleep(Duration::from_millis(20));
+                        sf.run(42, Duration::from_secs(10), || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            99u64
+                        })
+                    }
+                })
+            })
+            .collect();
+        // Release the leader once the followers have had time to attach.
+        std::thread::sleep(Duration::from_millis(60));
+        inside.wait();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Everyone got the value; at least one led, and nobody timed out.
+        for r in &results {
+            assert!(matches!(r, Flight::Led(99) | Flight::Shared(99)), "got {r:?}");
+        }
+        let st = sf.stats();
+        assert_eq!(st.timeouts, 0);
+        assert_eq!(st.leaders + st.shared, 4);
+        assert!(st.leaders < 4, "at least one call must have been coalesced");
+        assert_eq!(calls.load(Ordering::Relaxed) as u64, st.leaders);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf: SingleFlight<u64, u64> = SingleFlight::new();
+        assert_eq!(sf.run(1, Duration::from_secs(1), || 10), Flight::Led(10));
+        assert_eq!(sf.run(2, Duration::from_secs(1), || 20), Flight::Led(20));
+        assert_eq!(sf.stats().leaders, 2);
+    }
+
+    #[test]
+    fn follower_times_out_when_leader_is_slow() {
+        let sf: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new());
+        let sf2 = sf.clone();
+        let release = Arc::new(Barrier::new(2));
+        let release2 = release.clone();
+        let leader = std::thread::spawn(move || {
+            sf2.run(5, Duration::from_secs(10), || {
+                release2.wait();
+                7u64
+            })
+        });
+        // Wait until the flight is registered, then join as a follower
+        // with a tiny wait budget.
+        std::thread::sleep(Duration::from_millis(30));
+        let got = sf.run(5, Duration::from_millis(5), || 7u64);
+        assert_eq!(got, Flight::TimedOut);
+        release.wait();
+        assert_eq!(leader.join().unwrap(), Flight::Led(7));
+        let st = sf.stats();
+        assert_eq!(st.timeouts, 1);
+        assert_eq!(st.leaders, 1);
+    }
+}

@@ -212,3 +212,105 @@ fn candidate_estimation_matches_sequential_loop() {
         assert!(combined.cached_equilibria() > 0, "memo cache should have been populated");
     }
 }
+
+/// The serving layer must not cost a single bit of determinism: answers
+/// produced under concurrency — through admission control, single-flight
+/// coalescing, and the cancellable (deadline-carrying) solver entry
+/// point — are bit-identical to a sequential `CombinedModel` solve of
+/// the same placement. Degraded answers are excluded by construction:
+/// the breaker never trips here, and the test asserts no response
+/// carries the `degraded` tag.
+#[test]
+fn service_answers_match_sequential_solves_bit_for_bit() {
+    use mpmc_service::json::{self, Json};
+    use mpmc_service::{PredictionService, ServeOptions};
+    use std::io::{BufRead, BufReader, Write};
+
+    let machine = MachineConfig::two_core_workstation();
+    let power = synthetic_power_model(&machine);
+    let a = synthetic_profile("a", 0.4, 0.03, &machine);
+    let b = synthetic_profile("b", 0.1, 0.01, &machine);
+
+    // Sequential ground truth: both processes share the L2, so this is
+    // a real contended equilibrium solve.
+    let mut asg = Assignment::new(machine.num_cores());
+    asg.assign(0, 0).assign(1, 1);
+    let reference = CombinedModel::new(&machine, &power);
+    let truth = reference
+        .estimate_processor_power(&[a.clone(), b.clone()], &asg)
+        .expect("sequential solve");
+
+    // A service with room for everyone: nothing sheds, nothing
+    // degrades; concurrency and single-flight are the only variables.
+    let opts = ServeOptions {
+        workers: 2,
+        max_inflight: 16,
+        max_queued: 16,
+        singleflight_wait_ms: 30_000,
+        ..ServeOptions::default()
+    };
+    let service = PredictionService::with_options(machine.clone(), power.clone(), opts);
+    service.register_profile("a", a).expect("register a");
+    service.register_profile("b", b).expect("register b");
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::scope(|scope| {
+        let service = &service;
+        let server = scope.spawn(move || service.run_tcp(listener));
+
+        let clients = 8;
+        let rounds = 3;
+        let mut workers = Vec::new();
+        for c in 0..clients {
+            workers.push(scope.spawn(move || -> Vec<u64> {
+                let stream = std::net::TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let mut bits = Vec::new();
+                for r in 0..rounds {
+                    // Odd clients route through the deadline-carrying
+                    // (cancellable) solver entry point; the budget is
+                    // far too generous to ever fire.
+                    let req = if c % 2 == 1 {
+                        format!(
+                            r#"{{"id":{r},"op":"estimate","assignment":[["a"],["b"]],"deadline_ms":600000}}"#
+                        )
+                    } else {
+                        format!(r#"{{"id":{r},"op":"estimate","assignment":[["a"],["b"]]}}"#)
+                    };
+                    writer.write_all(req.as_bytes()).expect("send");
+                    writer.write_all(b"\n").expect("send");
+                    writer.flush().expect("flush");
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("recv");
+                    let resp = json::parse(line.trim()).expect("well-formed response");
+                    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+                    assert_eq!(resp.get("degraded"), None, "healthy answers are untagged");
+                    bits.push(
+                        resp.get("power_w").and_then(Json::as_f64).expect("power_w").to_bits(),
+                    );
+                }
+                bits
+            }));
+        }
+        for worker in workers {
+            for (r, got) in worker.join().expect("client").into_iter().enumerate() {
+                assert_eq!(
+                    got,
+                    truth.to_bits(),
+                    "round {r}: service answer diverged from the sequential solve"
+                );
+            }
+        }
+
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writer.write_all(b"{\"op\":\"shutdown\"}\n").expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv");
+        server.join().expect("server thread").expect("run_tcp");
+    });
+}
