@@ -31,13 +31,24 @@ use workloads::spec::SpecWorkload;
 /// One measured benchmark entry.
 struct Entry {
     name: String,
+    /// Fastest observed repetition (the least-noise floor).
+    min_ns_per_op: f64,
     median_ns_per_op: f64,
+    /// 90th-percentile repetition (tail stability).
+    p90_ns_per_op: f64,
     /// Operations (iterations) per second implied by the median.
     ops_per_s: f64,
     /// Optional domain throughput, e.g. simulated accesses per second.
     throughput_unit: Option<&'static str>,
     throughput_per_s: Option<f64>,
     reps: usize,
+}
+
+/// min / median / p90 wall-clock seconds of one call across repetitions.
+struct Timing {
+    min_s: f64,
+    median_s: f64,
+    p90_s: f64,
 }
 
 struct Config {
@@ -71,10 +82,10 @@ fn parse_args() -> Config {
     cfg
 }
 
-/// Times `op` `reps` times and returns the median wall-clock seconds of
-/// one call. `units` is the number of domain operations one call
+/// Times `op` `reps` times and returns min/median/p90 wall-clock seconds
+/// of one call. `units` is the number of domain operations one call
 /// performs (for ns/op normalization).
-fn measure<F: FnMut() -> u64>(reps: usize, mut op: F) -> (f64, u64) {
+fn measure<F: FnMut() -> u64>(reps: usize, mut op: F) -> (Timing, u64) {
     let mut times = Vec::with_capacity(reps);
     let mut units = 0u64;
     for _ in 0..reps {
@@ -85,23 +96,37 @@ fn measure<F: FnMut() -> u64>(reps: usize, mut op: F) -> (f64, u64) {
         times.push(start.elapsed().as_secs_f64());
     }
     times.sort_by(f64::total_cmp);
-    (times[times.len() / 2], units)
+    let timing = Timing {
+        min_s: times[0],
+        median_s: times[times.len() / 2],
+        p90_s: times[(times.len() - 1) * 9 / 10],
+    };
+    (timing, units)
 }
 
 fn entry(
     name: impl Into<String>,
-    median_s: f64,
+    timing: Timing,
     units: u64,
     unit: Option<&'static str>,
     reps: usize,
 ) -> Entry {
-    let per_op_s = median_s / units.max(1) as f64;
+    let per_op = |s: f64| s / units.max(1) as f64;
+    let median_per_op_s = per_op(timing.median_s);
     Entry {
         name: name.into(),
-        median_ns_per_op: per_op_s * 1e9,
-        ops_per_s: if per_op_s > 0.0 { 1.0 / per_op_s } else { 0.0 },
+        min_ns_per_op: per_op(timing.min_s) * 1e9,
+        median_ns_per_op: median_per_op_s * 1e9,
+        p90_ns_per_op: per_op(timing.p90_s) * 1e9,
+        ops_per_s: if median_per_op_s > 0.0 { 1.0 / median_per_op_s } else { 0.0 },
         throughput_unit: unit,
-        throughput_per_s: unit.map(|_| if median_s > 0.0 { units as f64 / median_s } else { 0.0 }),
+        throughput_per_s: unit.map(|_| {
+            if timing.median_s > 0.0 {
+                units as f64 / timing.median_s
+            } else {
+                0.0
+            }
+        }),
         reps,
     }
 }
@@ -110,7 +135,20 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The current `"entries"` array body of an existing suite file, so a
+/// regeneration can keep the previous generation's numbers visible as
+/// `"previous_entries"` (one generation of trajectory, never nested).
+fn previous_entries(path: &str) -> Option<String> {
+    let old = std::fs::read_to_string(path).ok()?;
+    let start = old.find("\"entries\": [")? + "\"entries\": [".len();
+    let end = start + old[start..].find("\n  ]")?;
+    let body = old[start..end].trim_matches('\n');
+    (!body.trim().is_empty()).then(|| body.to_string())
+}
+
 fn write_suite(cfg: &Config, suite: &str, entries: &[Entry]) {
+    let path = format!("{}/BENCH_{}.json", cfg.out_dir, suite);
+    let previous = previous_entries(&path);
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"suite\": \"{}\",", json_escape(suite));
@@ -124,9 +162,12 @@ fn write_suite(cfg: &Config, suite: &str, entries: &[Entry]) {
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         let mut fields = format!(
-            "\"name\": \"{}\", \"median_ns_per_op\": {:.1}, \"ops_per_s\": {:.3}, \"reps\": {}",
+            "\"name\": \"{}\", \"min_ns_per_op\": {:.1}, \"median_ns_per_op\": {:.1}, \
+             \"p90_ns_per_op\": {:.1}, \"ops_per_s\": {:.3}, \"reps\": {}",
             json_escape(&e.name),
+            e.min_ns_per_op,
             e.median_ns_per_op,
+            e.p90_ns_per_op,
             e.ops_per_s,
             e.reps
         );
@@ -139,9 +180,18 @@ fn write_suite(cfg: &Config, suite: &str, entries: &[Entry]) {
         }
         let _ = writeln!(out, "    {{ {fields} }}{comma}");
     }
-    let _ = writeln!(out, "  ]");
+    match previous {
+        Some(body) => {
+            let _ = writeln!(out, "  ],");
+            let _ = writeln!(out, "  \"previous_entries\": [");
+            let _ = writeln!(out, "{body}");
+            let _ = writeln!(out, "  ]");
+        }
+        None => {
+            let _ = writeln!(out, "  ]");
+        }
+    }
     let _ = writeln!(out, "}}");
-    let path = format!("{}/BENCH_{}.json", cfg.out_dir, suite);
     if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
         eprintln!("bench_json: cannot create {}: {e}", cfg.out_dir);
         std::process::exit(1);
@@ -242,7 +292,9 @@ fn bench_profiling(cfg: &Config) {
 
 fn bench_equilibrium(cfg: &Config) {
     let machine = MachineConfig::four_core_server();
-    let reps = if cfg.tiny { 3 } else { 9 };
+    // Enough repetitions for a stable median and a meaningful p90; the
+    // solver is fast enough now that reps are cheap.
+    let reps = if cfg.tiny { 3 } else { 25 };
     let iters = if cfg.tiny { 20u64 } else { 400 };
     let mut entries = Vec::new();
     for k in [2usize, 3, 4] {
@@ -273,6 +325,37 @@ fn bench_equilibrium(cfg: &Config) {
         });
         entries.push(entry(format!("newton/{k}"), tn, nn, Some("solves/s"), reps));
     }
+    // Batched solving: 16 distinct three-way co-run sets through
+    // solve_batch (shared scratch, single pass) vs one solve per set.
+    let batch_feats: Vec<FeatureVector> = (0..8)
+        .map(|i| {
+            synthetic_feature(
+                &format!("q{i}"),
+                &machine,
+                6 + i,
+                0.08 + 0.05 * i as f64,
+                0.004 + 0.006 * i as f64,
+            )
+        })
+        .collect();
+    let batch_sets: Vec<equilibrium::CorunSet<'_>> = (0..16)
+        .map(|i| equilibrium::CorunSet {
+            features: vec![
+                &batch_feats[i % 8],
+                &batch_feats[(i + 3) % 8],
+                &batch_feats[(i + 5) % 8],
+            ],
+        })
+        .collect();
+    let batch_iters = iters / 10;
+    let (tb, nb) = measure(reps, || {
+        for _ in 0..batch_iters.max(1) {
+            equilibrium::solve_batch(&batch_sets, 16).expect("batch solve");
+        }
+        batch_iters.max(1) * batch_sets.len() as u64
+    });
+    entries.push(entry("newton_batch_16x3", tb, nb, Some("solves/s"), reps));
+
     let (tf, nf) = measure(reps, || {
         for _ in 0..iters {
             std::hint::black_box(synthetic_feature("p", &machine, 12, 0.15, 0.02));

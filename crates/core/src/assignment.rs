@@ -23,7 +23,8 @@ use cmpsim::hpc::EventRates;
 use cmpsim::machine::MachineConfig;
 use cmpsim::types::{CoreId, DieId};
 use mathkit::sync::CancelToken;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
 
 /// A tentative process-to-core mapping over profile indices.
 ///
@@ -146,6 +147,11 @@ pub struct DegradedEstimate {
 enum SolveMode<'c> {
     Exact(&'c CancelToken),
     Degraded(&'c Cell<DegradedSource>),
+    /// Dry run for the batch prestage: records each contended co-run
+    /// set's profile indices (in combination-enumeration order) instead
+    /// of solving. The power values returned under this mode are
+    /// meaningless and must be discarded.
+    Collect(&'c RefCell<Vec<Vec<usize>>>),
 }
 
 /// The combined model: performance model + power model + profiles.
@@ -169,6 +175,7 @@ pub struct CombinedModel<'a, M: CorePowerModel> {
     power: &'a M,
     perf: PerformanceModel,
     eq_cache: EquilibriumCache,
+    warm_start: bool,
 }
 
 impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
@@ -180,7 +187,25 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
             power,
             perf: PerformanceModel::new(machine.l2_assoc()),
             eq_cache: EquilibriumCache::new(crate::eqcache::DEFAULT_CAPACITY),
+            warm_start: false,
         }
+    }
+
+    /// Enables warm-started Newton on equilibrium cache misses: when a
+    /// same-cardinality neighbor co-run is cached, its split seeds a
+    /// damped Newton solve instead of the cold solver, falling back to
+    /// the configured cold solver if the warm solve does not converge
+    /// (counted in [`EqCacheStats::warm_fallbacks`]).
+    ///
+    /// Off by default because it is a *different deterministic policy*,
+    /// not a bit-identical speedup: a warm-started solve converges to the
+    /// same fixed point as the cold Newton solve but along a different
+    /// iterate path, so last-bit results can differ from the cold-solver
+    /// baseline and depend on which co-runs were estimated previously.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
+        self
     }
 
     /// Replaces the equilibrium memo cache with one bounded at
@@ -284,11 +309,112 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         mode: &SolveMode<'_>,
     ) -> Result<f64, ModelError> {
         self.validate(profiles, assignment)?;
+        if let SolveMode::Exact(cancel) = mode {
+            let sets = self.collect_contended_sets(profiles, assignment)?;
+            self.prestage_sets(profiles, sets, 0, cancel)?;
+        }
         let mut total = 0.0;
         for die in 0..self.machine.dies {
             total += self.die_power_mode(profiles, assignment, DieId(die as u32), mode)?;
         }
         Ok(total)
+    }
+
+    /// Enumerates the contended co-run sets (profile indices) an exact
+    /// estimate of `assignment` will need, in combination-enumeration
+    /// order, without solving anything.
+    fn collect_contended_sets(
+        &self,
+        profiles: &[ProcessProfile],
+        assignment: &Assignment,
+    ) -> Result<Vec<Vec<usize>>, ModelError> {
+        let sink = RefCell::new(Vec::new());
+        let mode = SolveMode::Collect(&sink);
+        for die in 0..self.machine.dies {
+            self.die_power_mode(profiles, assignment, DieId(die as u32), &mode)?;
+        }
+        Ok(sink.into_inner())
+    }
+
+    /// Batch-prestages the equilibrium cache: deduplicates `sets` on the
+    /// canonical fingerprint key, drops the ones already cached (peeked,
+    /// so no counters move), and solves the rest into the cache so the
+    /// per-combination walk afterwards runs on cache hits.
+    ///
+    /// Only engages when at least two distinct sets are missing: a single
+    /// missing set gains nothing from batching, and skipping it keeps the
+    /// hit/miss counters of simple estimates identical to the sequential
+    /// path. With warm-start enabled the missing sets are solved strictly
+    /// sequentially through [`CombinedModel::solve_cached`] in
+    /// first-encounter order — warm seeds depend on what was inserted
+    /// just before, so batching them would change the (deterministic)
+    /// seeding sequence.
+    ///
+    /// Per-set solve errors are *not* surfaced here: a failed set is left
+    /// uncached and the main walk re-encounters the same deterministic
+    /// error at its proper (lowest-index) position. Cancellation does
+    /// surface immediately.
+    fn prestage_sets(
+        &self,
+        profiles: &[ProcessProfile],
+        sets: Vec<Vec<usize>>,
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> Result<(), ModelError> {
+        if self.eq_cache.capacity() == 0 || sets.len() < 2 {
+            return Ok(());
+        }
+        let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+        let mut missing: Vec<Vec<usize>> = Vec::new();
+        for idxs in sets {
+            let running: Vec<(usize, &ProcessProfile)> =
+                idxs.iter().map(|&p| (0, &profiles[p])).collect();
+            let (_, key) = Self::canonical_key(&running);
+            if !seen.insert(key.clone()) || self.eq_cache.peek(&key).is_some() {
+                continue;
+            }
+            missing.push(idxs);
+        }
+        if missing.len() < 2 {
+            return Ok(());
+        }
+
+        if self.warm_start {
+            for idxs in &missing {
+                let running: Vec<(usize, &ProcessProfile)> =
+                    idxs.iter().map(|&p| (0, &profiles[p])).collect();
+                // Non-cancellation errors re-surface in order on the main walk.
+                if let Err(ModelError::Math(mathkit::MathError::Cancelled)) =
+                    self.solve_cached(&running, cancel)
+                {
+                    return Err(ModelError::Math(mathkit::MathError::Cancelled));
+                }
+            }
+            return Ok(());
+        }
+
+        let corun_sets: Vec<equilibrium::CorunSet<'_>> = missing
+            .iter()
+            .map(|idxs| equilibrium::CorunSet {
+                features: idxs.iter().map(|&p| &profiles[p].feature).collect(),
+            })
+            .collect();
+        let results = self.perf.solve_batch_results(&corun_sets, workers, cancel);
+        for (idxs, res) in missing.iter().zip(results) {
+            match res {
+                Ok(eq) => {
+                    let running: Vec<(usize, &ProcessProfile)> =
+                        idxs.iter().map(|&p| (0, &profiles[p])).collect();
+                    let (order, key) = Self::canonical_key(&running);
+                    self.memoize(&order, key, &eq);
+                }
+                Err(ModelError::Math(mathkit::MathError::Cancelled)) => {
+                    return Err(ModelError::Math(mathkit::MathError::Cancelled))
+                }
+                Err(_) => {} // leave uncached; the main walk reports it in order
+            }
+        }
+        Ok(())
     }
 
     /// Estimated average power of one die's cores under `assignment`
@@ -448,6 +574,23 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
     where
         M: Sync,
     {
+        // Prestage the union of every candidate's contended co-run sets so
+        // the per-candidate estimates below mostly hit the shared memo
+        // cache. Invalid candidates are skipped here — they report their
+        // own error at the proper position in the sweep.
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        for &core in cores {
+            if core >= current.num_cores() {
+                continue;
+            }
+            let tentative = current.with_assigned(core, profile_idx);
+            if self.validate(profiles, &tentative).is_err() {
+                continue;
+            }
+            sets.extend(self.collect_contended_sets(profiles, &tentative)?);
+        }
+        self.prestage_sets(profiles, sets, workers, cancel)?;
+
         mathkit::parallel::try_par_map(cores.to_vec(), workers, |_, core| {
             self.estimate_after_assigning_cancellable(profiles, current, profile_idx, core, cancel)
         })
@@ -483,6 +626,16 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         let eq = match mode {
             SolveMode::Exact(cancel) => self.solve_cached(&running, cancel)?,
             SolveMode::Degraded(worst) => self.solve_degraded(&running, worst)?,
+            SolveMode::Collect(sink) => {
+                let idxs: Vec<usize> = queues
+                    .iter()
+                    .zip(combo)
+                    .filter(|&(_, &pick)| pick != usize::MAX)
+                    .map(|(&q, &pick)| q[pick])
+                    .collect();
+                sink.borrow_mut().push(idxs);
+                return Ok(0.0);
+            }
         };
         let mut power = idle_cores as f64 * idle_w;
         for (i, (_slot, prof)) in running.iter().enumerate() {
@@ -519,10 +672,22 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
             return Ok(Self::permute_back(&canon, &order));
         }
         let features: Vec<&FeatureVector> = running.iter().map(|(_, p)| &p.feature).collect();
+        if let Some(warm) = self.solve_warm(&features, &order, &key, cancel) {
+            let eq = warm?;
+            self.memoize(&order, key, &eq);
+            return Ok(eq);
+        }
         let eq = self.perf.solve_cancellable(&features, cancel)?;
         if eq.diagnostics.degraded || !eq.diagnostics.fallbacks.is_empty() {
             self.eq_cache.note_fallback();
         }
+        self.memoize(&order, key, &eq);
+        Ok(eq)
+    }
+
+    /// Stores `eq` (given in caller order) in the memo cache in canonical
+    /// order under `key`.
+    fn memoize(&self, order: &[usize], key: Vec<u64>, eq: &Equilibrium) {
         let mut canon = eq.clone();
         for (ci, &i) in order.iter().enumerate() {
             canon.sizes[ci] = eq.sizes[i];
@@ -531,7 +696,79 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
             canon.apss[ci] = eq.apss[i];
         }
         self.eq_cache.insert(key, canon);
-        Ok(eq)
+    }
+
+    /// Warm-started Newton on a cache miss: seeds the solve from the
+    /// nearest cached neighbor's split (see
+    /// [`CombinedModel::with_warm_start`]). Returns `None` when warm-start
+    /// is disabled, no neighbor exists, or the warm solve did not converge
+    /// (cold fallback — counted as a warm fallback but *not* as a solver
+    /// fallback, since the cold path is expected to succeed normally).
+    fn solve_warm(
+        &self,
+        features: &[&FeatureVector],
+        order: &[usize],
+        key: &[u64],
+        cancel: &CancelToken,
+    ) -> Option<Result<Equilibrium, ModelError>> {
+        if !self.warm_start {
+            return None;
+        }
+        let (nkey, near) = self.eq_cache.neighbor(key)?;
+        self.eq_cache.note_warm_attempt();
+
+        // Two-pointer multiset match of the sorted canonical keys: matched
+        // positions inherit the neighbor's canonical split, the (at most
+        // one) unmatched position gets the leftover capacity.
+        let a = self.machine.l2_assoc() as f64;
+        let mut seed_canon = vec![f64::NAN; key.len()];
+        let mut matched_sum = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < key.len() && j < nkey.len() {
+            match key[i].cmp(&nkey[j]) {
+                std::cmp::Ordering::Equal => {
+                    seed_canon[i] = near.sizes[j];
+                    matched_sum += near.sizes[j];
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+            }
+        }
+        let leftover = (a - matched_sum).clamp(0.05, a);
+        for s in &mut seed_canon {
+            if s.is_nan() {
+                *s = leftover;
+            }
+        }
+
+        // Scatter the canonical seed back to caller order; the warm solver
+        // re-canonicalizes internally.
+        let mut seed = vec![0.0; key.len()];
+        for (ci, &idx) in order.iter().enumerate() {
+            seed[idx] = seed_canon[ci];
+        }
+
+        match equilibrium::solve_newton_warm_cancellable(
+            features,
+            self.machine.l2_assoc(),
+            &seed,
+            near.window,
+            cancel,
+        ) {
+            Ok(eq) => {
+                self.eq_cache.note_warm_hit();
+                Some(Ok(eq))
+            }
+            Err(ModelError::Math(mathkit::MathError::Cancelled)) => {
+                Some(Err(ModelError::Math(mathkit::MathError::Cancelled)))
+            }
+            Err(_) => {
+                self.eq_cache.note_warm_fallback();
+                None
+            }
+        }
     }
 
     /// No-solve equilibrium for the degraded tier: exact (possibly stale)
@@ -1136,6 +1373,87 @@ mod tests {
         assert_eq!(DegradedSource::ExactCache.name(), "exact_cache");
         assert_eq!(DegradedSource::StaleNeighbor.name(), "stale_neighbor");
         assert_eq!(DegradedSource::ProportionalSplit.name(), "proportional_split");
+    }
+
+    #[test]
+    fn warm_start_converges_to_cold_fixed_point_and_counts() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cold = CombinedModel::new(&m, &pm);
+        let warm = CombinedModel::new(&m, &pm).with_warm_start(true);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let c = synthetic_profile("c", 0.45, 0.032, &m);
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        // First estimate on each model is a cold solve (empty cache, no
+        // neighbor) and therefore bit-identical.
+        let x0 = cold.estimate_processor_power(&[a.clone(), b.clone()], &asg).unwrap();
+        let y0 = warm.estimate_processor_power(&[a.clone(), b.clone()], &asg).unwrap();
+        assert_eq!(x0.to_bits(), y0.to_bits(), "no neighbor -> identical cold path");
+        assert_eq!(warm.equilibrium_cache_stats().warm_attempts, 0);
+        // Second pair has a cached same-cardinality neighbor sharing b:
+        // the warm model seeds Newton from it and must land on the same
+        // fixed point the cold model finds (same equations, tight tol).
+        let x1 = cold.estimate_processor_power(&[c.clone(), b.clone()], &asg).unwrap();
+        let y1 = warm.estimate_processor_power(&[c, b], &asg).unwrap();
+        assert!((x1 - y1).abs() <= 1e-6 * x1.abs(), "cold {x1} vs warm {y1}");
+        let st = warm.equilibrium_cache_stats();
+        assert_eq!(st.warm_attempts, 1, "{st:?}");
+        assert_eq!(st.warm_hits + st.warm_fallbacks, st.warm_attempts, "{st:?}");
+        assert_eq!(warm.solver_fallbacks(), 0, "warm fallback is not a solver-health event");
+        assert_eq!(cold.equilibrium_cache_stats().warm_attempts, 0);
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_across_runs() {
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let a = synthetic_profile("a", 0.4, 0.03, &m);
+        let b = synthetic_profile("b", 0.1, 0.01, &m);
+        let c = synthetic_profile("c", 0.45, 0.032, &m);
+        let ps = vec![a, b, c];
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0).assign(1, 1);
+        let run = || {
+            let cm = CombinedModel::new(&m, &pm).with_warm_start(true);
+            let mut out = Vec::new();
+            out.push(cm.estimate_processor_power(&ps, &asg).unwrap());
+            out.push(cm.estimate_after_assigning(&ps, &asg, 2, 2).unwrap());
+            out.extend(cm.estimate_candidates(&ps, &asg, 2, &[0, 1, 2, 3], 2).unwrap());
+            let st = cm.equilibrium_cache_stats();
+            (out.iter().map(|x| x.to_bits()).collect::<Vec<u64>>(), st.warm_attempts, st.warm_hits)
+        };
+        let (bits1, att1, hit1) = run();
+        let (bits2, att2, hit2) = run();
+        assert_eq!(bits1, bits2, "warm-start policy must be deterministic");
+        assert_eq!(att1, att2);
+        assert_eq!(hit1, hit2);
+    }
+
+    #[test]
+    fn candidate_prestage_leaves_results_bit_identical() {
+        // The candidate sweep prestages the union of all candidates'
+        // co-run sets through the batch solver; estimates must stay
+        // bit-identical to a model that never prestages (capacity 0
+        // disables the cache and with it the prestage).
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let a = synthetic_profile("a", 0.3, 0.02, &m);
+        let b = synthetic_profile("b", 0.2, 0.015, &m);
+        let c = synthetic_profile("c", 0.5, 0.04, &m);
+        let ps = vec![a, b, c];
+        let mut current = Assignment::new(4);
+        current.assign(0, 0).assign(2, 1);
+        let cores = [0usize, 1, 2, 3];
+        let plain = CombinedModel::new(&m, &pm).with_equilibrium_cache_capacity(0);
+        let staged = CombinedModel::new(&m, &pm);
+        let x = plain.estimate_candidates(&ps, &current, 2, &cores, 2).unwrap();
+        let y = staged.estimate_candidates(&ps, &current, 2, &cores, 2).unwrap();
+        let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb);
+        assert!(staged.cached_equilibria() >= 2, "prestage should have populated the cache");
     }
 
     #[test]

@@ -28,8 +28,11 @@
 
 use crate::feature::FeatureVector;
 use crate::ModelError;
-use mathkit::newton::{newton_raphson_cancellable, NewtonOptions};
-use mathkit::roots::{bisect, bisect_cancellable, fixed_point, BisectOptions, FixedPointOptions};
+use mathkit::newton::{newton_raphson_workspace_cancellable, NewtonOptions, NewtonWorkspace};
+use mathkit::parallel::{par_map, resolve_workers};
+use mathkit::roots::{
+    bisect_cancellable, bisect_seeded_cancellable, fixed_point, BisectOptions, FixedPointOptions,
+};
 use mathkit::sync::CancelToken;
 use std::cell::Cell;
 use std::fmt;
@@ -198,11 +201,23 @@ impl Equilibrium {
 /// `phi(A) >= 0` because `G <= A`).
 fn size_for_window(f: &FeatureVector, a: f64, t: f64) -> f64 {
     let phi = |s: f64| s - f.occupancy().g(f.aps_at(s) * t);
-    if phi(a) <= 0.0 {
+    let phi_a = phi(a);
+    if phi_a <= 0.0 {
         return a; // demand saturates the whole cache within this window
     }
-    // phi(0) = -G(APS(0) * T) <= 0; find the crossing.
-    bisect(phi, 0.0, a, BisectOptions { x_tol: 1e-9, f_tol: 1e-12, max_iter: 300 }).unwrap_or(a)
+    // phi(0) = -G(APS(0) * T) <= 0; find the crossing. The endpoint values
+    // are seeded so the already-computed phi(a) is not evaluated again.
+    let phi_0 = phi(0.0);
+    bisect_seeded_cancellable(
+        phi,
+        0.0,
+        a,
+        phi_0,
+        phi_a,
+        BisectOptions { x_tol: 1e-9, f_tol: 1e-12, max_iter: 300 },
+        &CancelToken::never(),
+    )
+    .unwrap_or(a)
 }
 
 /// Solves the equilibrium for `features` sharing an `assoc`-way cache by
@@ -292,6 +307,19 @@ fn solve_with(
     strategy: Strategy,
     cancel: &CancelToken,
 ) -> Result<Equilibrium, ModelError> {
+    solve_with_scratch(features, assoc, strategy, cancel, &mut NewtonScratch::default())
+}
+
+/// [`solve_with`] with caller-owned Newton scratch buffers, so batched
+/// solving pays the scratch allocations once per chunk instead of once per
+/// set. The scratch carries no numeric state between solves.
+fn solve_with_scratch(
+    features: &[&FeatureVector],
+    assoc: usize,
+    strategy: Strategy,
+    cancel: &CancelToken,
+    scratch: &mut NewtonScratch,
+) -> Result<Equilibrium, ModelError> {
     let a = assoc as f64;
     let k = features.len();
     let active: Vec<usize> = (0..k).filter(|&i| features[i].api() > 0.0).collect();
@@ -314,7 +342,7 @@ fn solve_with(
     } else {
         match strategy {
             Strategy::Bisection => bisection_core(&canon, a, cancel)?,
-            Strategy::Newton => newton_core(&canon, a, cancel)?,
+            Strategy::Newton => newton_core(&canon, a, cancel, scratch)?,
             Strategy::Robust(opts) => robust_core(&canon, a, opts, cancel)?,
         }
     };
@@ -557,8 +585,256 @@ pub fn solve_newton_cancellable(
     solve_with(features, assoc, Strategy::Newton, cancel)
 }
 
+/// [`solve_newton_cancellable`] seeded from a previously solved neighbor
+/// equilibrium instead of the cold demand-proportional guess.
+///
+/// `warm_sizes` / `warm_window` are a candidate starting point in the
+/// *caller's* process order (the front-end permutes them canonically along
+/// with the features). This entry is strict: if the warm-seeded Newton does
+/// not converge it returns an error rather than silently re-solving cold,
+/// so callers (the eqcache warm-start path) can count fallbacks and run
+/// the cold solver of their choice. Degenerate inputs (≤1 active process,
+/// unit associativity) ignore the seed and take the usual closed forms.
+///
+/// # Errors
+///
+/// Everything [`solve_newton`] returns, plus non-convergence from the
+/// warm seed and a seed-shape mismatch.
+pub fn solve_newton_warm_cancellable(
+    features: &[&FeatureVector],
+    assoc: usize,
+    warm_sizes: &[f64],
+    warm_window: f64,
+    cancel: &CancelToken,
+) -> Result<Equilibrium, ModelError> {
+    validate(features, assoc)?;
+    if warm_sizes.len() != features.len() {
+        return Err(ModelError::EquilibriumFailed(format!(
+            "warm-start seed has {} sizes for {} processes",
+            warm_sizes.len(),
+            features.len()
+        )));
+    }
+    let a = assoc as f64;
+    let k = features.len();
+    let active: Vec<usize> = (0..k).filter(|&i| features[i].api() > 0.0).collect();
+    if active.len() <= 1 || assoc == 1 {
+        // Closed forms: the seed adds nothing and the result is already
+        // bit-identical to the cold path.
+        return solve_newton_cancellable(features, assoc, cancel);
+    }
+    let mut order = active;
+    order.sort_by_key(|&i| (features[i].content_fingerprint(), i));
+    let canon: Vec<&FeatureVector> = order.iter().map(|&i| features[i]).collect();
+    let seed: Vec<f64> = order.iter().map(|&i| warm_sizes[i]).collect();
+    let sat_sum: f64 = canon.iter().map(|f| f.occupancy().saturation().min(a)).sum();
+    if sat_sum < a - 1e-2 {
+        // Infeasible capacity constraint: no root for a warm seed to reach.
+        return Err(ModelError::EquilibriumFailed(
+            "warm-start: saturated demand below capacity".into(),
+        ));
+    }
+    let mut scratch = NewtonScratch::default();
+    let core = fast_newton_core(&canon, a, Some((&seed, warm_window)), cancel, &mut scratch)
+        .map_err(|e| outer_bisection_error("warm-start newton", e))?;
+    let mut sizes = vec![0.0; k];
+    for (ci, &i) in order.iter().enumerate() {
+        sizes[i] = core.sizes[ci];
+    }
+    Ok(Equilibrium::from_sizes(features, sizes, core.window, core.filled, core.diagnostics))
+}
+
+/// One co-scheduled set in a batched solve: borrowed feature vectors in
+/// the caller's slot order. Results come back in the same per-set order.
+#[derive(Debug, Clone)]
+pub struct CorunSet<'a> {
+    /// The co-runners sharing one cache.
+    pub features: Vec<&'a FeatureVector>,
+}
+
+/// Which solver a batched solve runs per set (mirror of the public
+/// per-solve entry points, minus the lifetime coupling of `Strategy`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BatchStrategy {
+    Bisection,
+    Newton,
+    Robust(SolveOptions),
+}
+
+/// Solves many co-run sets with the Newton solver, amortizing scratch
+/// allocations across sets and fanning chunks of the batch out over
+/// `mathkit::parallel` workers.
+///
+/// Each set's result is **bit-identical** to a standalone
+/// [`solve_newton`] call on the same features: sets are solved
+/// independently (chunking only changes which thread runs a set, never
+/// the arithmetic), and duplicate sets (same feature content, same order)
+/// are solved once and cloned.
+///
+/// # Errors
+///
+/// The first per-set error in set order, if any ([`solve_newton`]'s
+/// errors apply per set).
+pub fn solve_batch(sets: &[CorunSet<'_>], assoc: usize) -> Result<Vec<Equilibrium>, ModelError> {
+    solve_batch_cancellable(sets, assoc, 0, &CancelToken::never())
+}
+
+/// [`solve_batch`] with a worker count (`0` = auto) and cooperative
+/// cancellation.
+///
+/// # Errors
+///
+/// Everything [`solve_batch`] returns, plus
+/// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)` once
+/// `cancel` fires.
+pub fn solve_batch_cancellable(
+    sets: &[CorunSet<'_>],
+    assoc: usize,
+    workers: usize,
+    cancel: &CancelToken,
+) -> Result<Vec<Equilibrium>, ModelError> {
+    let mut out = Vec::with_capacity(sets.len());
+    for res in solve_batch_results(sets, assoc, BatchStrategy::Newton, workers, cancel) {
+        out.push(res?);
+    }
+    Ok(out)
+}
+
+/// Batch driver shared by the public entry and `PerformanceModel`: solves
+/// each set with `strategy`, returning one `Result` per set (so callers
+/// like the cache prestage can keep going past individual failures).
+///
+/// Work is deduplicated on the ordered tuple of content fingerprints
+/// (identical sets solve once; the solver is deterministic in exactly
+/// those inputs, so a clone is bit-identical to a re-solve) and unique
+/// sets are chunked contiguously over `min(workers, n)` parallel workers,
+/// each chunk reusing one scratch allocation.
+pub(crate) fn solve_batch_results(
+    sets: &[CorunSet<'_>],
+    assoc: usize,
+    strategy: BatchStrategy,
+    workers: usize,
+    cancel: &CancelToken,
+) -> Vec<Result<Equilibrium, ModelError>> {
+    use std::collections::BTreeMap;
+
+    // Dedup identical ordered fingerprint tuples.
+    let mut first_of: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
+    let mut rep_of: Vec<usize> = Vec::with_capacity(sets.len());
+    let mut uniques: Vec<usize> = Vec::new();
+    for (i, set) in sets.iter().enumerate() {
+        let key: Vec<u64> = set.features.iter().map(|f| f.content_fingerprint()).collect();
+        let rep = *first_of.entry(key).or_insert(i);
+        if rep == i {
+            uniques.push(i);
+        }
+        rep_of.push(rep);
+    }
+
+    // Contiguous chunks over the unique sets; each chunk runs sequentially
+    // with one scratch, chunks run in parallel.
+    let n = uniques.len();
+    let workers = resolve_workers(workers).min(n).max(1);
+    let chunk_len = n.div_ceil(workers.max(1)).max(1);
+    let ranges: Vec<(usize, usize)> =
+        (0..workers).map(|c| (c * chunk_len, ((c + 1) * chunk_len).min(n))).collect();
+    let chunk_results: Vec<Vec<(usize, Result<Equilibrium, ModelError>)>> =
+        par_map(ranges, workers, |_, (lo, hi)| {
+            let mut scratch = NewtonScratch::default();
+            let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+            for &set_idx in &uniques[lo.min(n)..hi] {
+                out.push((
+                    set_idx,
+                    solve_batch_one(&sets[set_idx], assoc, strategy, cancel, &mut scratch),
+                ));
+            }
+            out
+        });
+
+    let mut solved: BTreeMap<usize, Result<Equilibrium, ModelError>> = BTreeMap::new();
+    for chunk in chunk_results {
+        for (set_idx, res) in chunk {
+            solved.insert(set_idx, res);
+        }
+    }
+
+    // Scatter back to set order; duplicates clone their representative's
+    // answer (or re-solve on the rare error, which is deterministic and
+    // therefore reproduces the representative's error exactly).
+    let mut scratch = NewtonScratch::default();
+    let mut out: Vec<Result<Equilibrium, ModelError>> = Vec::with_capacity(sets.len());
+    for (i, set) in sets.iter().enumerate() {
+        let rep = rep_of[i];
+        let res = match solved.get(&rep) {
+            Some(Ok(eq)) => Ok(eq.clone()),
+            _ => solve_batch_one(set, assoc, strategy, cancel, &mut scratch),
+        };
+        out.push(res);
+    }
+    out
+}
+
+/// One set of a batch: the same validation + solve chain as the matching
+/// standalone entry point, with caller-owned scratch.
+fn solve_batch_one(
+    set: &CorunSet<'_>,
+    assoc: usize,
+    strategy: BatchStrategy,
+    cancel: &CancelToken,
+    scratch: &mut NewtonScratch,
+) -> Result<Equilibrium, ModelError> {
+    let features = &set.features;
+    validate(features, assoc)?;
+    match strategy {
+        BatchStrategy::Bisection => {
+            solve_with_scratch(features, assoc, Strategy::Bisection, cancel, scratch)
+        }
+        BatchStrategy::Newton => {
+            solve_with_scratch(features, assoc, Strategy::Newton, cancel, scratch)
+        }
+        BatchStrategy::Robust(opts) => {
+            for f in features.iter() {
+                crate::validate::feature_vector(f)?;
+            }
+            solve_with_scratch(features, assoc, Strategy::Robust(&opts), cancel, scratch)
+        }
+    }
+}
+
 /// The damped-Newton core over canonically ordered active features.
+///
+/// Dispatch: a cheap O(k) saturation precheck sends infeasible inputs to
+/// [`bisection_core`] (which produces the canonical saturated answer, same
+/// as the legacy path that seeded Newton from a full bisection solve);
+/// feasible inputs go to the analytic-Jacobian fast path, and any fast-path
+/// failure falls back to the legacy bisection-seeded finite-difference
+/// Newton so the result is always well-defined.
 fn newton_core(
+    features: &[&FeatureVector],
+    a: f64,
+    cancel: &CancelToken,
+    scratch: &mut NewtonScratch,
+) -> Result<CoreSolution, ModelError> {
+    // If total saturated demand cannot fill the cache there is no root for
+    // Newton to find; the bisection core's saturated branch is the answer
+    // (bit-identical to what the legacy seed-then-return path produced).
+    let sat_sum: f64 = features.iter().map(|f| f.occupancy().saturation().min(a)).sum();
+    if sat_sum < a - 1e-2 {
+        return bisection_core(features, a, cancel);
+    }
+    match fast_newton_core(features, a, None, cancel, scratch) {
+        Ok(core) => Ok(core),
+        Err(mathkit::MathError::Cancelled) => Err(ModelError::Math(mathkit::MathError::Cancelled)),
+        // Near-infeasible or pathological curvature: the legacy path is
+        // slower but seeds from a guaranteed bisection solve.
+        Err(_) => newton_core_legacy(features, a, cancel),
+    }
+}
+
+/// The pre-optimization Newton core: seed from a full nested-bisection
+/// solve, then polish with finite-difference Newton. Kept as the fallback
+/// for inputs the analytic fast path rejects.
+fn newton_core_legacy(
     features: &[&FeatureVector],
     a: f64,
     cancel: &CancelToken,
@@ -586,6 +862,230 @@ fn newton_core(
     Ok(CoreSolution { sizes, window, filled: true, diagnostics: diag })
 }
 
+/// Reusable buffers for [`fast_newton_core`]: one allocation set per batch
+/// chunk instead of per solve. Buffers are fully overwritten before use, so
+/// a shared scratch is bit-identical to a fresh one.
+#[derive(Debug, Default)]
+pub(crate) struct NewtonScratch {
+    sizes: Vec<f64>,
+    res: Vec<f64>,
+    diag: Vec<f64>,
+    wcol: Vec<f64>,
+    step: Vec<f64>,
+    cand: Vec<f64>,
+    cand_res: Vec<f64>,
+    cand_diag: Vec<f64>,
+    cand_wcol: Vec<f64>,
+}
+
+/// Residual tolerance of the fast Newton path — same as the legacy
+/// finite-difference path so both converge to the same fixed points.
+const FAST_TOL: f64 = 1e-7;
+const FAST_MAX_ITER: usize = 200;
+const FAST_MAX_BACKTRACK: usize = 40;
+/// A finite stand-in for "infinitely wrong": steers the line search away
+/// without non-finite contagion (same constant as [`newton_system`]).
+const FAST_PENALTY: f64 = 1e6;
+
+/// Evaluates the normalized residual system *and* its analytic arrow-shaped
+/// Jacobian structure in one pass over the flattened curve tables:
+///
+/// - `r[i] = 1 - APS_i(S_i)·T / G_i⁻¹(S_i)` for each process,
+///   `r[k] = (ΣS_i - A)/A` for the capacity row;
+/// - `d[i] = ∂r_i/∂S_i = -T·(APS_i'·G⁻¹ - APS_i·(G⁻¹)') / (G⁻¹)²`;
+/// - `w[i] = ∂r_i/∂T  = -APS_i / G⁻¹`.
+///
+/// Off-diagonal size couplings are exactly zero (process `i`'s window
+/// condition only sees its own size), which is what makes the Newton step
+/// solvable in O(k) instead of O(k³). Returns the residual infinity norm.
+fn fast_eval(
+    features: &[&FeatureVector],
+    a: f64,
+    sizes: &[f64],
+    t: f64,
+    r: &mut [f64],
+    d: &mut [f64],
+    w: &mut [f64],
+) -> f64 {
+    let k = features.len();
+    let mut norm = 0.0f64;
+    let mut sum = 0.0f64;
+    for i in 0..k {
+        let s = sizes[i];
+        sum += s;
+        let (aps, daps) = features[i].aps_with_slope(s);
+        let (g0, gs) = features[i].occupancy().g_inverse_with_slope(s);
+        let ginv = g0.max(1e-12);
+        let ri = 1.0 - aps * t / ginv;
+        let ri = if ri.is_finite() { ri } else { FAST_PENALTY };
+        r[i] = ri;
+        d[i] = -t * (daps * ginv - aps * gs) / (ginv * ginv);
+        w[i] = -aps / ginv;
+        norm = norm.max(ri.abs());
+    }
+    let rc = (sum - a) / a;
+    let rc = if rc.is_finite() { rc } else { FAST_PENALTY };
+    r[k] = rc;
+    norm.max(rc.abs())
+}
+
+/// Damped Newton on the `(S_1..S_k, T)` system with the analytic arrow
+/// Jacobian from [`fast_eval`]. Seeded either warm (a neighbor solution)
+/// or cold (demand-proportional sizes, geometric-mean window — the same
+/// shape as `solve_robust`'s first attempt). Errors are typed so the
+/// caller can fall back; `Cancelled` always propagates.
+fn fast_newton_core(
+    features: &[&FeatureVector],
+    a: f64,
+    warm: Option<(&[f64], f64)>,
+    cancel: &CancelToken,
+    scratch: &mut NewtonScratch,
+) -> Result<CoreSolution, mathkit::MathError> {
+    let k = features.len();
+    let NewtonScratch { sizes, res, diag, wcol, step, cand, cand_res, cand_diag, cand_wcol } =
+        scratch;
+    sizes.clear();
+    let mut t = match warm {
+        Some((warm_sizes, warm_window)) => {
+            if warm_sizes.iter().any(|s| !s.is_finite())
+                || !warm_window.is_finite()
+                || warm_window <= 0.0
+            {
+                return Err(mathkit::MathError::NonFinite("warm-start seed".into()));
+            }
+            sizes.extend(warm_sizes.iter().map(|s| s.clamp(0.02, a)));
+            warm_window.clamp(1e-15, 1e12)
+        }
+        None => {
+            // Demand-proportional sizes at a geometric-mean window: the
+            // same cold seed shape as solve_robust's first attempt.
+            let api_total: f64 = features.iter().map(|f| f.api()).sum();
+            if api_total.is_nan() || api_total <= 0.0 {
+                return Err(mathkit::MathError::NonFinite("zero total API".into()));
+            }
+            sizes.extend(features.iter().map(|f| (a * f.api() / api_total).clamp(0.05, a)));
+            let mut log_t = 0.0;
+            for (i, f) in features.iter().enumerate() {
+                let ginv = f.occupancy().g_inverse_with_slope(sizes[i]).0.max(1e-12);
+                let aps = f.aps_with_slope(sizes[i]).0.max(1e-12);
+                log_t += (ginv / aps).ln();
+            }
+            let t0 = (log_t / k as f64).exp();
+            if !t0.is_finite() {
+                return Err(mathkit::MathError::NonFinite("cold window seed".into()));
+            }
+            t0.clamp(1e-15, 1e12)
+        }
+    };
+    res.clear();
+    res.resize(k + 1, 0.0);
+    diag.clear();
+    diag.resize(k, 0.0);
+    wcol.clear();
+    wcol.resize(k, 0.0);
+    step.clear();
+    step.resize(k, 0.0);
+    cand.clear();
+    cand.resize(k, 0.0);
+    cand_res.clear();
+    cand_res.resize(k + 1, 0.0);
+    cand_diag.clear();
+    cand_diag.resize(k, 0.0);
+    cand_wcol.clear();
+    cand_wcol.resize(k, 0.0);
+
+    let mut norm = fast_eval(features, a, sizes, t, res, diag, wcol);
+    for iter in 0..FAST_MAX_ITER {
+        cancel.check()?;
+        if norm <= FAST_TOL {
+            return Ok(CoreSolution {
+                sizes: sizes.clone(),
+                window: t,
+                filled: true,
+                diagnostics: SolveDiagnostics::direct(SolveMethod::DampedNewton, iter, norm),
+            });
+        }
+
+        // Arrow solve for the Newton step: eliminate each ΔS_i from its own
+        // row (ΔS_i = (-r_i - w_i·ΔT)/d_i), substitute into the capacity
+        // row Σ ΔS_i = -A·r_c, and solve the remaining scalar for ΔT.
+        let mut sum_rinv = 0.0f64;
+        let mut sum_winv = 0.0f64;
+        for i in 0..k {
+            let di = diag[i];
+            if !di.is_finite() || di.abs() < 1e-300 {
+                return Err(mathkit::MathError::Singular);
+            }
+            sum_rinv += -res[i] / di;
+            sum_winv += wcol[i] / di;
+        }
+        if !sum_winv.is_finite() || sum_winv.abs() < 1e-300 {
+            return Err(mathkit::MathError::Singular);
+        }
+        let dt = (sum_rinv + a * res[k]) / sum_winv;
+        if !dt.is_finite() {
+            return Err(mathkit::MathError::NonFinite(format!("newton step at iteration {iter}")));
+        }
+        for i in 0..k {
+            step[i] = (-res[i] - wcol[i] * dt) / diag[i];
+        }
+
+        // Backtracking line search on the residual norm (same clamps as
+        // the legacy newton_system: sizes in [0.02, A], window >= 1e-15).
+        let mut tau = 1.0f64;
+        let mut accepted = false;
+        for _ in 0..=FAST_MAX_BACKTRACK {
+            for i in 0..k {
+                cand[i] = (sizes[i] + tau * step[i]).clamp(0.02, a);
+            }
+            let tc = (t + tau * dt).max(1e-15);
+            let rn = fast_eval(features, a, cand, tc, cand_res, cand_diag, cand_wcol);
+            // fast_eval maps non-finite residual components to a finite
+            // penalty, so accepting on rn < norm cannot smuggle a NaN in.
+            if rn < norm {
+                std::mem::swap(sizes, cand);
+                std::mem::swap(res, cand_res);
+                std::mem::swap(diag, cand_diag);
+                std::mem::swap(wcol, cand_wcol);
+                t = tc;
+                norm = rn;
+                accepted = true;
+                break;
+            }
+            tau *= 0.5;
+        }
+        if !accepted {
+            // Stuck: no descent even with tiny steps. Accept the best point
+            // if it is reasonably converged (same policy as mathkit's
+            // finite-difference Newton), otherwise report non-convergence.
+            if norm <= FAST_TOL * 100.0 {
+                return Ok(CoreSolution {
+                    sizes: sizes.clone(),
+                    window: t,
+                    filled: true,
+                    diagnostics: SolveDiagnostics::direct(
+                        SolveMethod::DampedNewton,
+                        iter + 1,
+                        norm,
+                    ),
+                });
+            }
+            return Err(mathkit::MathError::NoConvergence { iterations: iter + 1, residual: norm });
+        }
+    }
+
+    if norm <= FAST_TOL {
+        Ok(CoreSolution {
+            sizes: sizes.clone(),
+            window: t,
+            filled: true,
+            diagnostics: SolveDiagnostics::direct(SolveMethod::DampedNewton, FAST_MAX_ITER, norm),
+        })
+    } else {
+        Err(mathkit::MathError::NoConvergence { iterations: FAST_MAX_ITER, residual: norm })
+    }
+}
+
 /// Runs damped Newton on the `(S_1..S_k, T)` system from `x0` — shared by
 /// [`solve_newton`] and the first stages of [`solve_robust`].
 ///
@@ -599,6 +1099,19 @@ fn newton_system(
     x0: &[f64],
     opts: NewtonOptions,
     cancel: &CancelToken,
+) -> Result<mathkit::newton::NewtonSolution, mathkit::MathError> {
+    newton_system_workspace(features, a, x0, opts, cancel, &mut NewtonWorkspace::default())
+}
+
+/// [`newton_system`] with caller-owned Jacobian scratch (reused across
+/// `solve_robust`'s retry attempts).
+fn newton_system_workspace(
+    features: &[&FeatureVector],
+    a: f64,
+    x0: &[f64],
+    opts: NewtonOptions,
+    cancel: &CancelToken,
+    ws: &mut NewtonWorkspace,
 ) -> Result<mathkit::newton::NewtonSolution, mathkit::MathError> {
     let k = features.len();
     let lo = 0.02;
@@ -633,7 +1146,7 @@ fn newton_system(
         r
     };
 
-    newton_raphson_cancellable(residual, x0, clamp, opts, cancel)
+    newton_raphson_workspace_cancellable(residual, x0, clamp, opts, cancel, ws)
 }
 
 /// Solves the equilibrium through a staged fallback chain that cannot
@@ -784,6 +1297,7 @@ fn robust_core(
         max_backtrack: 40,
     };
     let window_factors = [1.0, 0.25, 4.0, 0.05, 20.0];
+    let mut nws = NewtonWorkspace::default();
     for attempt in 0..=opts.newton_retries {
         let stage =
             if attempt == 0 { SolveMethod::DampedNewton } else { SolveMethod::ReseededNewton };
@@ -810,7 +1324,7 @@ fn robust_core(
         let t0 = (log_t / k as f64).exp() * window_factors[attempt % window_factors.len()];
         x0.push(t0.clamp(1e-15, 1e12));
 
-        match newton_system(features, a, &x0, newton_opts, cancel) {
+        match newton_system_workspace(features, a, &x0, newton_opts, cancel, &mut nws) {
             Err(mathkit::MathError::Cancelled) => {
                 return Err(ModelError::Math(mathkit::MathError::Cancelled))
             }

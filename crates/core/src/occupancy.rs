@@ -59,6 +59,42 @@ pub struct OccupancyCurve {
     curve: PiecewiseLinear,
     max_ways: usize,
     saturation: f64,
+    flat_inv: FlatInverse,
+}
+
+/// Dense, contiguous tables for inverting `G` with its local slope in one
+/// O(log n) lookup: strictly increasing occupancy knots `ys`, the access
+/// counts `xs` reaching them, and the precomputed per-segment slopes
+/// `d G⁻¹ / d S`. The fast Newton path queries this once per process per
+/// iteration; keeping the three arrays flat and separate (instead of
+/// re-deriving slopes from the piecewise-linear knots per call) is what
+/// lets the inner loop stay branch-light and cache-resident.
+#[derive(Debug, Clone)]
+struct FlatInverse {
+    ys: Vec<f64>,
+    xs: Vec<f64>,
+    slopes: Vec<f64>,
+}
+
+impl FlatInverse {
+    /// Builds the inverse tables from the (weakly monotone) forward knots.
+    /// Flat runs collapse to their leftmost knot, matching
+    /// `inverse_monotone`'s "smallest x with eval(x) >= y" convention.
+    fn build(xs: &[f64], ys: &[f64]) -> Self {
+        let mut inv_xs = Vec::with_capacity(xs.len());
+        let mut inv_ys = Vec::with_capacity(ys.len());
+        for (&x, &y) in xs.iter().zip(ys) {
+            if inv_ys.last().is_none_or(|&last| y > last) {
+                inv_xs.push(x);
+                inv_ys.push(y);
+            }
+        }
+        let mut slopes = Vec::with_capacity(inv_ys.len().saturating_sub(1));
+        for i in 1..inv_ys.len() {
+            slopes.push((inv_xs[i] - inv_xs[i - 1]) / (inv_ys[i] - inv_ys[i - 1]));
+        }
+        FlatInverse { ys: inv_ys, xs: inv_xs, slopes }
+    }
 }
 
 impl OccupancyCurve {
@@ -116,7 +152,8 @@ impl OccupancyCurve {
             }
         }
         let saturation = ys.last().copied().unwrap_or(0.0);
-        Ok(OccupancyCurve { curve: PiecewiseLinear::new(xs, ys)?, max_ways, saturation })
+        let flat_inv = FlatInverse::build(&xs, &ys);
+        Ok(OccupancyCurve { curve: PiecewiseLinear::new(xs, ys)?, max_ways, saturation, flat_inv })
     }
 
     /// Expected occupancy after `n` per-set accesses (clamped to the
@@ -132,6 +169,31 @@ impl OccupancyCurve {
         // clamps), so inversion cannot fail; degrade to the tabulation
         // limit rather than panicking if that ever changes.
         self.curve.inverse_monotone(s).unwrap_or_else(|_| self.curve.domain().1)
+    }
+
+    /// `G⁻¹(s)` together with the local inverse slope `d G⁻¹ / d S`, from
+    /// the precomputed flat tables. Saturating queries (at or beyond the
+    /// curve's reach on either side) report slope 0; NaN propagates.
+    ///
+    /// This is the fast-Newton variant of [`OccupancyCurve::g_inverse`]:
+    /// same saturation semantics, slope-table arithmetic instead of the
+    /// knot-ratio interpolation, so values may differ from `g_inverse` in
+    /// the last bits but are deterministic for a given curve.
+    pub fn g_inverse_with_slope(&self, s: f64) -> (f64, f64) {
+        if s.is_nan() {
+            return (f64::NAN, f64::NAN);
+        }
+        let t = &self.flat_inv;
+        let n = t.ys.len();
+        if n < 2 || s <= t.ys[0] {
+            return (t.xs[0], 0.0);
+        }
+        if s > t.ys[n - 1] {
+            return (t.xs[n - 1], 0.0);
+        }
+        let idx = t.ys.partition_point(|&v| v < s).max(1);
+        let slope = t.slopes[idx - 1];
+        (t.xs[idx - 1] + (s - t.ys[idx - 1]) * slope, slope)
     }
 
     /// The associativity this curve was built for.
@@ -225,6 +287,50 @@ mod tests {
         let h = hist(vec![0.7, 0.3], 0.0); // saturation ~2 ways
         let g = OccupancyCurve::from_histogram(&h, 8, Default::default()).unwrap();
         assert_eq!(g.g_inverse(7.0), g.n_max());
+    }
+
+    #[test]
+    fn flat_inverse_agrees_with_inverse_monotone() {
+        let h = hist(vec![0.5, 0.2, 0.1], 0.2);
+        let g = OccupancyCurve::from_histogram(&h, 16, Default::default()).unwrap();
+        for i in 0..=60 {
+            let s = i as f64 * 0.25;
+            let (fast, _) = g.g_inverse_with_slope(s);
+            let slow = g.g_inverse(s);
+            // Same segment, same endpoints: agreement to interpolation
+            // round-off (the two use different but equivalent arithmetic).
+            let tol = 1e-9 * slow.abs().max(1.0);
+            assert!((fast - slow).abs() <= tol, "s={s}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn flat_inverse_slope_matches_finite_difference() {
+        let h = hist(vec![0.5, 0.2, 0.1], 0.2);
+        let g = OccupancyCurve::from_histogram(&h, 16, Default::default()).unwrap();
+        for s in [0.7, 2.3, 5.1, 9.9] {
+            let (_, slope) = g.g_inverse_with_slope(s);
+            let eps = 1e-7;
+            let fd = (g.g_inverse(s + eps) - g.g_inverse(s - eps)) / (2.0 * eps);
+            assert!(
+                (slope - fd).abs() <= 1e-3 * fd.abs().max(1.0),
+                "s={s}: slope {slope} vs fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_inverse_saturates_with_zero_slope_and_propagates_nan() {
+        let h = hist(vec![0.7, 0.3], 0.0); // saturation ~2 ways
+        let g = OccupancyCurve::from_histogram(&h, 8, Default::default()).unwrap();
+        let (below, s_below) = g.g_inverse_with_slope(-1.0);
+        assert_eq!(below, 0.0);
+        assert_eq!(s_below, 0.0);
+        let (above, s_above) = g.g_inverse_with_slope(7.0);
+        assert!(above > 0.0);
+        assert_eq!(s_above, 0.0);
+        let (nan_v, nan_s) = g.g_inverse_with_slope(f64::NAN);
+        assert!(nan_v.is_nan() && nan_s.is_nan());
     }
 
     #[test]

@@ -144,6 +144,44 @@ impl PerformanceModel {
             ),
         }
     }
+
+    /// Solves many co-run sets in one pass with the configured solver,
+    /// amortizing scratch allocations and fanning chunks out over
+    /// `workers` threads (`0` = auto). Each set's result is bit-identical
+    /// to a standalone [`PerformanceModel::solve`] of the same features.
+    ///
+    /// # Errors
+    ///
+    /// The first per-set error in set order, if any (the configured
+    /// solver's usual errors apply per set).
+    pub fn solve_batch_cancellable(
+        &self,
+        sets: &[equilibrium::CorunSet<'_>],
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> Result<Vec<Equilibrium>, ModelError> {
+        let mut out = Vec::with_capacity(sets.len());
+        for res in self.solve_batch_results(sets, workers, cancel) {
+            out.push(res?);
+        }
+        Ok(out)
+    }
+
+    /// Batch solve returning one `Result` per set, so callers that can
+    /// tolerate individual failures (the estimate prestage) keep going.
+    pub(crate) fn solve_batch_results(
+        &self,
+        sets: &[equilibrium::CorunSet<'_>],
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> Vec<Result<Equilibrium, ModelError>> {
+        let strategy = match self.solver {
+            SolverKind::Bisection => equilibrium::BatchStrategy::Bisection,
+            SolverKind::Newton => equilibrium::BatchStrategy::Newton,
+            SolverKind::Robust => equilibrium::BatchStrategy::Robust(SolveOptions::default()),
+        };
+        equilibrium::solve_batch_results(sets, self.assoc, strategy, workers, cancel)
+    }
 }
 
 impl AsRef<FeatureVector> for FeatureVector {
@@ -197,5 +235,34 @@ mod tests {
     #[test]
     fn assoc_accessor() {
         assert_eq!(PerformanceModel::new(12).assoc(), 12);
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_solver() {
+        use crate::equilibrium::CorunSet;
+        let a = fv(SpecWorkload::Mcf);
+        let b = fv(SpecWorkload::Gzip);
+        let c = fv(SpecWorkload::Art);
+        let d = fv(SpecWorkload::Twolf);
+        let sets = vec![
+            CorunSet { features: vec![&a, &b] },
+            CorunSet { features: vec![&c, &d] },
+            CorunSet { features: vec![&a, &b] }, // duplicate: solved once, cloned
+            CorunSet { features: vec![&a, &c, &d] },
+        ];
+        for kind in [SolverKind::Bisection, SolverKind::Newton, SolverKind::Robust] {
+            let model = PerformanceModel::new(16).with_solver(kind);
+            let batch = model
+                .solve_batch_cancellable(&sets, 2, &CancelToken::never())
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            for (set, got) in sets.iter().zip(&batch) {
+                let solo = model.solve(&set.features).unwrap();
+                assert_eq!(solo.sizes.len(), got.sizes.len(), "{kind:?}");
+                for (x, y) in solo.sizes.iter().zip(&got.sizes) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{kind:?}");
+                }
+                assert_eq!(solo.window.to_bits(), got.window.to_bits(), "{kind:?}");
+            }
+        }
     }
 }

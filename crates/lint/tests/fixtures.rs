@@ -105,6 +105,26 @@ fn determinism_good_and_waived_pass() {
 }
 
 #[test]
+fn flattened_hot_loop_idioms_need_no_waivers() {
+    // The equilibrium fast path's idioms — dense-table interpolation via
+    // partition_point/total_cmp, analytic arrow elimination, scratch
+    // swaps, BTreeMap-keyed batch dedup, contiguous chunking — must lint
+    // clean under the full deny set at their real home (crates/core is in
+    // scope for panic_free, nan_safe, AND determinism simultaneously).
+    // A rule change that forces waivers into the hot loop fails here.
+    let fs = lint(
+        "crates/core/src/equilibrium_fixture.rs",
+        include_str!("fixtures/nan_safe/flat_loop.rs"),
+    );
+    assert!(fs.is_empty(), "flattened numeric loop must need no waivers: {fs:?}");
+    let fs = lint(
+        "crates/core/src/equilibrium_fixture.rs",
+        include_str!("fixtures/determinism/flat_loop.rs"),
+    );
+    assert!(fs.is_empty(), "batch dedup/chunk driver must need no waivers: {fs:?}");
+}
+
+#[test]
 fn lock_hygiene_bad_pins_rule_and_lines() {
     // `crates/cli/src` keeps panic_free out of scope so the `.unwrap()`
     // attributes to lock_hygiene alone.

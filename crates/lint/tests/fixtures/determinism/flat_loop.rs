@@ -1,0 +1,39 @@
+// Fixture: batch-solver orchestration idiom, determinism-clean control
+// (never compiled). Mirrors the solve_batch driver: BTreeMap-keyed
+// dedup on fingerprint tuples and contiguous chunking — ordered
+// containers and index arithmetic only, so no determinism waiver is
+// needed anywhere in the batch path.
+use std::collections::BTreeMap;
+
+fn dedup(keys: &[Vec<u64>]) -> Vec<usize> {
+    let mut first_of: BTreeMap<&[u64], usize> = BTreeMap::new();
+    let mut reps = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        if !first_of.contains_key(k.as_slice()) {
+            first_of.insert(k.as_slice(), i);
+            reps.push(i);
+        }
+    }
+    reps
+}
+
+fn chunks(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    let w = workers.min(n).max(1);
+    let len = n.div_ceil(w).max(1);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + len).min(n);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+fn scatter(reps: BTreeMap<usize, u64>, n: usize) -> Vec<Option<u64>> {
+    let mut out = vec![None; n];
+    for (i, v) in reps.iter() {
+        out[*i] = Some(*v);
+    }
+    out
+}

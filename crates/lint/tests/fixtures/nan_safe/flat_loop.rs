@@ -1,0 +1,29 @@
+// Fixture: flattened-table hot-loop idiom, nan_safe-clean control
+// (never compiled). Mirrors the equilibrium fast path: dense-table
+// interpolation via partition_point/total_cmp, analytic arrow
+// elimination, and scratch-buffer swaps — none of which should need a
+// nan_safe waiver.
+fn interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    let hi = xs.partition_point(|&v| v < x).max(1).min(xs.len() - 1);
+    let (x0, x1) = (xs[hi - 1], xs[hi]);
+    let t = ((x - x0) / (x1 - x0)).clamp(0.0, 1.0);
+    ys[hi - 1] + t * (ys[hi] - ys[hi - 1])
+}
+
+fn arrow_step(res: &[f64], diag: &[f64], wcol: &[f64], a: f64) -> f64 {
+    let mut sum_rinv = 0.0;
+    let mut sum_winv = 0.0;
+    for i in 0..diag.len() {
+        sum_rinv += -res[i] / diag[i];
+        sum_winv += wcol[i] / diag[i];
+    }
+    (sum_rinv + a * res[diag.len() - 1]) / sum_winv
+}
+
+fn accept(norm: f64, cand_norm: f64, sizes: &mut Vec<f64>, cand: &mut Vec<f64>) -> bool {
+    if cand_norm.total_cmp(&norm) == std::cmp::Ordering::Less {
+        std::mem::swap(sizes, cand);
+        return true;
+    }
+    false
+}

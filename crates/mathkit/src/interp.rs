@@ -30,6 +30,12 @@ use crate::MathError;
 pub struct PiecewiseLinear {
     xs: Vec<f64>,
     ys: Vec<f64>,
+    /// Whether `ys` is non-decreasing (within the inversion tolerance),
+    /// decided once at construction. [`PiecewiseLinear::inverse_monotone`]
+    /// sits in the equilibrium solvers' innermost loop; re-validating
+    /// monotonicity with an O(n) sweep on every call dominated the solve
+    /// cost, so the answer is cached here.
+    nondecreasing: bool,
 }
 
 impl PiecewiseLinear {
@@ -56,7 +62,8 @@ impl PiecewiseLinear {
         if xs.windows(2).any(|w| w[0] >= w[1]) {
             return Err(MathError::InvalidArgument("abscissae must be strictly increasing".into()));
         }
-        Ok(PiecewiseLinear { xs, ys })
+        let nondecreasing = !ys.windows(2).any(|w| w[0] > w[1] + 1e-12);
+        Ok(PiecewiseLinear { xs, ys, nondecreasing })
     }
 
     /// Evaluates the interpolant at `x`, clamping outside the knot range.
@@ -99,7 +106,7 @@ impl PiecewiseLinear {
     /// Returns [`MathError::InvalidArgument`] if the curve is decreasing
     /// anywhere (inverse undefined).
     pub fn inverse_monotone(&self, y: f64) -> Result<f64, MathError> {
-        if self.ys.windows(2).any(|w| w[0] > w[1] + 1e-12) {
+        if !self.nondecreasing {
             return Err(MathError::InvalidArgument(
                 "inverse requires a non-decreasing curve".into(),
             ));
@@ -111,11 +118,12 @@ impl PiecewiseLinear {
         if y > self.ys[n - 1] {
             return Ok(self.xs[n - 1]);
         }
-        // Find first segment whose right endpoint reaches y.
-        let mut idx = 1;
-        while idx < n && self.ys[idx] < y {
-            idx += 1;
-        }
+        // First segment whose right endpoint reaches y. `ys` is
+        // non-decreasing and y is comparable (the guards above weed out
+        // NaN), so the partition point is exactly the index the old
+        // linear scan found — same index, same interpolation arithmetic,
+        // bit-identical result in O(log n).
+        let idx = self.ys.partition_point(|&v| v < y).max(1);
         let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
         let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
         if y1 == y0 {

@@ -100,11 +100,53 @@ where
 /// Everything [`newton_raphson`] returns, plus [`MathError::Cancelled`]
 /// once `cancel` fires.
 pub fn newton_raphson_cancellable<F, C>(
+    f: F,
+    x0: &[f64],
+    clamp: C,
+    opts: NewtonOptions,
+    cancel: &CancelToken,
+) -> Result<NewtonSolution, MathError>
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+    C: FnMut(&[f64]) -> Vec<f64>,
+{
+    newton_raphson_workspace_cancellable(
+        f,
+        x0,
+        clamp,
+        opts,
+        cancel,
+        &mut NewtonWorkspace::default(),
+    )
+}
+
+/// Reusable buffers for repeated Newton solves of same-shaped systems.
+///
+/// Batched equilibrium solves run many small `(k+1)`-dimensional systems
+/// back to back; holding the Jacobian and probe vectors here turns the
+/// per-iteration `Matrix` allocation into a one-time cost per batch chunk.
+/// A workspace carries no numeric state between solves — every buffer is
+/// fully overwritten before it is read — so solves through a shared
+/// workspace are bit-identical to solves through a fresh one.
+#[derive(Debug, Default)]
+pub struct NewtonWorkspace {
+    jac: Option<Matrix>,
+    probe: Vec<f64>,
+    neg_fx: Vec<f64>,
+}
+
+/// [`newton_raphson_cancellable`] with caller-owned scratch buffers.
+///
+/// # Errors
+///
+/// Everything [`newton_raphson_cancellable`] returns.
+pub fn newton_raphson_workspace_cancellable<F, C>(
     mut f: F,
     x0: &[f64],
     mut clamp: C,
     opts: NewtonOptions,
     cancel: &CancelToken,
+    ws: &mut NewtonWorkspace,
 ) -> Result<NewtonSolution, MathError>
 where
     F: FnMut(&[f64]) -> Vec<f64>,
@@ -137,20 +179,26 @@ where
             return Ok(NewtonSolution { x, residual: res, iterations: iter });
         }
 
-        // Forward-difference Jacobian, column by column.
-        let mut jac = Matrix::zeros(n, n);
+        // Forward-difference Jacobian, column by column, built into the
+        // workspace matrix (every entry is overwritten before the factor).
+        let jac = match &mut ws.jac {
+            Some(m) if m.rows() == n && m.cols() == n => m,
+            slot => slot.insert(Matrix::zeros(n, n)),
+        };
         for j in 0..n {
             let h = opts.fd_step * x[j].abs().max(1e-3);
-            let mut xp = x.clone();
-            xp[j] += h;
-            let xp = clamp(&xp);
+            ws.probe.clear();
+            ws.probe.extend_from_slice(&x);
+            ws.probe[j] += h;
+            let xp = clamp(&ws.probe);
             let hj = xp[j] - x[j];
             if hj == 0.0 {
                 // Clamp pinned this coordinate against its bound; probe the
                 // other direction instead.
-                let mut xm = x.clone();
-                xm[j] -= h;
-                let xm = clamp(&xm);
+                ws.probe.clear();
+                ws.probe.extend_from_slice(&x);
+                ws.probe[j] -= h;
+                let xm = clamp(&ws.probe);
                 let hm = x[j] - xm[j];
                 if hm == 0.0 {
                     return Err(MathError::Singular);
@@ -171,9 +219,10 @@ where
             return Err(MathError::NonFinite(format!("jacobian at iteration {iter}")));
         }
 
-        let qr = Qr::factor(&jac)?;
-        let neg_fx: Vec<f64> = fx.iter().map(|v| -v).collect();
-        let step = qr.solve_least_squares(&neg_fx)?;
+        let qr = Qr::factor(jac)?;
+        ws.neg_fx.clear();
+        ws.neg_fx.extend(fx.iter().map(|v| -v));
+        let step = qr.solve_least_squares(&ws.neg_fx)?;
 
         // Backtracking line search on the residual norm.
         let mut t = 1.0;
@@ -340,6 +389,42 @@ mod tests {
         .unwrap();
         assert_eq!(plain.x[0].to_bits(), cancellable.x[0].to_bits());
         assert_eq!(plain.iterations, cancellable.iterations);
+    }
+
+    #[test]
+    fn shared_workspace_is_bit_exact_across_solves() {
+        // Two different systems through one workspace must match fresh
+        // solves bit for bit — the workspace carries no numeric state.
+        let mut ws = NewtonWorkspace::default();
+        let circle = |v: &[f64]| vec![v[0] * v[0] + v[1] * v[1] - 25.0, v[0] - 2.0 * v[1] + 5.0];
+        let quad = |v: &[f64]| vec![v[0] * v[0] - 4.0];
+        let never = CancelToken::never();
+        let a = newton_raphson_workspace_cancellable(
+            circle,
+            &[1.0, 1.0],
+            no_clamp,
+            NewtonOptions::default(),
+            &never,
+            &mut ws,
+        )
+        .unwrap();
+        let b = newton_raphson_workspace_cancellable(
+            quad,
+            &[3.0],
+            no_clamp,
+            NewtonOptions::default(),
+            &never,
+            &mut ws,
+        )
+        .unwrap();
+        let fresh_a =
+            newton_raphson(circle, &[1.0, 1.0], no_clamp, NewtonOptions::default()).unwrap();
+        let fresh_b = newton_raphson(quad, &[3.0], no_clamp, NewtonOptions::default()).unwrap();
+        assert_eq!(a.x[0].to_bits(), fresh_a.x[0].to_bits());
+        assert_eq!(a.x[1].to_bits(), fresh_a.x[1].to_bits());
+        assert_eq!(a.iterations, fresh_a.iterations);
+        assert_eq!(b.x[0].to_bits(), fresh_b.x[0].to_bits());
+        assert_eq!(b.iterations, fresh_b.iterations);
     }
 
     #[test]

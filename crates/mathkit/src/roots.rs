@@ -77,10 +77,37 @@ pub fn bisect_cancellable<F: FnMut(f64) -> f64>(
     if !lo.is_finite() || !hi.is_finite() || lo >= hi {
         return Err(MathError::InvalidBracket { lo, hi });
     }
+    let flo = f(lo);
+    let fhi = f(hi);
+    bisect_seeded_cancellable(f, lo, hi, flo, fhi, opts, cancel)
+}
+
+/// [`bisect_cancellable`] with caller-supplied endpoint values `f(lo)` and
+/// `f(hi)`, for hot paths that already evaluated the endpoints (e.g. to
+/// decide whether a bracketed solve is needed at all). With correctly
+/// seeded values the iteration sequence — and hence every bit of the
+/// result — is identical to [`bisect_cancellable`], minus the two
+/// endpoint evaluations.
+///
+/// # Errors
+///
+/// Everything [`bisect_cancellable`] returns.
+pub fn bisect_seeded_cancellable<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    flo: f64,
+    fhi: f64,
+    opts: BisectOptions,
+    cancel: &CancelToken,
+) -> Result<f64, MathError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(MathError::InvalidBracket { lo, hi });
+    }
     let mut a = lo;
     let mut b = hi;
-    let mut fa = f(a);
-    let mut fb = f(b);
+    let mut fa = flo;
+    let mut fb = fhi;
     if fa == 0.0 {
         return Ok(a);
     }
@@ -406,6 +433,45 @@ mod tests {
         .unwrap();
         assert_eq!(p.x.to_bits(), c.x.to_bits());
         assert_eq!(p.iterations, c.iterations);
+    }
+
+    #[test]
+    fn seeded_bisection_is_bit_exact_with_plain() {
+        let f = |x: f64| x * x - 2.0;
+        let plain = bisect(f, 0.0, 2.0, BisectOptions::default()).unwrap();
+        let seeded = bisect_seeded_cancellable(
+            f,
+            0.0,
+            2.0,
+            f(0.0),
+            f(2.0),
+            BisectOptions::default(),
+            &CancelToken::never(),
+        )
+        .unwrap();
+        assert_eq!(plain.to_bits(), seeded.to_bits());
+        // Endpoint roots and bad brackets behave like the plain entry too.
+        let seeded_root = bisect_seeded_cancellable(
+            |x| x,
+            0.0,
+            1.0,
+            0.0,
+            1.0,
+            BisectOptions::default(),
+            &CancelToken::never(),
+        )
+        .unwrap();
+        assert_eq!(seeded_root, 0.0);
+        let bad = bisect_seeded_cancellable(
+            |x| x * x + 1.0,
+            -1.0,
+            1.0,
+            2.0,
+            2.0,
+            BisectOptions::default(),
+            &CancelToken::never(),
+        );
+        assert!(matches!(bad, Err(MathError::InvalidBracket { .. })), "{bad:?}");
     }
 
     #[test]

@@ -213,6 +213,117 @@ fn candidate_estimation_matches_sequential_loop() {
     }
 }
 
+#[test]
+fn solve_batch_matches_sequential_for_all_worker_counts() {
+    use mpmc::math::sync::CancelToken;
+    use mpmc::model::equilibrium::CorunSet;
+    use mpmc::model::perf::{PerformanceModel, SolverKind};
+
+    let machine = MachineConfig::four_core_server();
+    let profiles: Vec<ProcessProfile> = [
+        ("heavy", 0.30, 0.030),
+        ("medium", 0.15, 0.015),
+        ("light", 0.05, 0.004),
+        ("stream", 0.45, 0.040),
+        ("spiky", 0.22, 0.026),
+    ]
+    .iter()
+    .map(|&(name, tail, api)| synthetic_profile(name, tail, api, &machine))
+    .collect();
+    let fv: Vec<&FeatureVector> = profiles.iter().map(|p| &p.feature).collect();
+
+    // A mix of cardinalities, permuted member orders, and duplicates.
+    let sets = vec![
+        CorunSet { features: vec![fv[0], fv[1]] },
+        CorunSet { features: vec![fv[2], fv[3], fv[4]] },
+        CorunSet { features: vec![fv[1], fv[0]] }, // permuted pair
+        CorunSet { features: vec![fv[0], fv[1]] }, // exact duplicate
+        CorunSet { features: vec![fv[3], fv[2]] },
+        CorunSet { features: vec![fv[0], fv[2], fv[3], fv[4]] },
+    ];
+    // The same sets fed in a scrambled order.
+    let scramble = [5usize, 2, 0, 4, 1, 3];
+    let scrambled: Vec<CorunSet<'_>> =
+        scramble.iter().map(|&i| CorunSet { features: sets[i].features.clone() }).collect();
+
+    for kind in [SolverKind::Bisection, SolverKind::Newton, SolverKind::Robust] {
+        let model = PerformanceModel::new(machine.l2_assoc()).with_solver(kind);
+        let sequential: Vec<_> =
+            sets.iter().map(|s| model.solve(&s.features).expect("sequential solve")).collect();
+        for workers in WORKER_COUNTS {
+            let batch = model
+                .solve_batch_cancellable(&sets, workers, &CancelToken::never())
+                .expect("batch solve");
+            for (i, (s, b)) in sequential.iter().zip(&batch).enumerate() {
+                assert_eq!(s.window.to_bits(), b.window.to_bits(), "{kind:?} set {i} w={workers}");
+                for (x, y) in s.sizes.iter().zip(&b.sizes) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{kind:?} set {i} workers={workers}");
+                }
+            }
+            // Scrambled submission order: each set's answer depends only
+            // on its own contents, never on batch position.
+            let shuffled = model
+                .solve_batch_cancellable(&scrambled, workers, &CancelToken::never())
+                .expect("scrambled batch solve");
+            for (pos, &orig) in scramble.iter().enumerate() {
+                let (s, b) = (&sequential[orig], &shuffled[pos]);
+                assert_eq!(s.window.to_bits(), b.window.to_bits(), "{kind:?} scrambled {pos}");
+                for (x, y) in s.sizes.iter().zip(&b.sizes) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{kind:?} scrambled {pos} w={workers}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_start_is_deterministic_and_cold_is_bit_stable() {
+    // Warm-started solving is a *policy* change (different Newton seeds),
+    // so it is not required to be bit-identical to the cold path — but it
+    // must be deterministic across runs and worker counts, and leaving it
+    // off must keep estimates bit-identical to a cache-disabled model.
+    let machine = MachineConfig::four_core_server();
+    let power = synthetic_power_model(&machine);
+    let profiles: Vec<ProcessProfile> = [
+        ("heavy", 0.30, 0.030),
+        ("medium", 0.15, 0.015),
+        ("light", 0.05, 0.004),
+        ("stream", 0.45, 0.040),
+    ]
+    .iter()
+    .map(|&(name, tail, api)| synthetic_profile(name, tail, api, &machine))
+    .collect();
+    let mut current = Assignment::new(machine.num_cores());
+    current.assign(0, 0).assign(1, 1).assign(2, 3);
+    let cores: Vec<usize> = (0..machine.num_cores()).collect();
+
+    let sweep = |warm: bool, workers: usize| -> Vec<u64> {
+        let cm = CombinedModel::new(&machine, &power).with_warm_start(warm);
+        let mut bits = Vec::new();
+        for round in 0..2 {
+            let est = cm.estimate_candidates(&profiles, &current, 2, &cores, workers).unwrap();
+            bits.extend(est.iter().map(|x| x.to_bits()));
+            assert!(round == 0 || !bits.is_empty());
+        }
+        bits
+    };
+
+    let cold_ref = sweep(false, 1);
+    let warm_ref = sweep(true, 1);
+    for workers in WORKER_COUNTS {
+        assert_eq!(sweep(false, workers), cold_ref, "cold workers={workers}");
+        assert_eq!(sweep(true, workers), warm_ref, "warm workers={workers}");
+    }
+    // Cold-path answers are the contract: identical with the cache (and
+    // its batch prestage) disabled entirely.
+    let uncached = CombinedModel::new(&machine, &power).with_equilibrium_cache_capacity(0);
+    let plain: Vec<u64> = cores
+        .iter()
+        .map(|&c| uncached.estimate_after_assigning(&profiles, &current, 2, c).unwrap().to_bits())
+        .collect();
+    assert_eq!(&cold_ref[..cores.len()], &plain[..], "prestage must not change cold answers");
+}
+
 /// The serving layer must not cost a single bit of determinism: answers
 /// produced under concurrency — through admission control, single-flight
 /// coalescing, and the cancellable (deadline-carrying) solver entry

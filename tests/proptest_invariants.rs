@@ -102,6 +102,68 @@ proptest! {
     }
 
     #[test]
+    fn solve_batch_is_bit_identical_to_sequential_solves(
+        hists in proptest::collection::vec(histogram_strategy(10), 3..=5),
+        apis in proptest::collection::vec(0.002f64..0.05, 5),
+        workers in 1usize..=8,
+        scramble_seed in 0u64..1000,
+    ) {
+        use mpmc::model::equilibrium::CorunSet;
+        use mpmc::model::perf::{PerformanceModel, SolverKind};
+
+        let assoc = 16usize;
+        let mut features = Vec::new();
+        for (i, hist) in hists.iter().enumerate() {
+            let api = apis[i];
+            let spi = SpiModel::new(2e-6 * api, 5e-8).unwrap();
+            features.push(
+                FeatureVector::new(format!("p{i}"), hist.clone(), api, spi, assoc).unwrap(),
+            );
+        }
+        // Pairs and triples over the generated features, in an order
+        // scrambled by a cheap deterministic permutation, plus one
+        // duplicate of the first set.
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        for i in 0..features.len() {
+            for j in 0..features.len() {
+                if i < j {
+                    sets.push(vec![i, j]);
+                }
+            }
+        }
+        sets.push(vec![0, 1 % features.len(), 2 % features.len()]);
+        sets.push(sets[0].clone());
+        let n = sets.len();
+        let rot = (scramble_seed as usize) % n;
+        sets.rotate_left(rot);
+
+        let corun: Vec<CorunSet<'_>> = sets
+            .iter()
+            .map(|idxs| CorunSet { features: idxs.iter().map(|&i| &features[i]).collect() })
+            .collect();
+        for kind in [SolverKind::Bisection, SolverKind::Newton, SolverKind::Robust] {
+            let model = PerformanceModel::new(assoc).with_solver(kind);
+            let batch = model
+                .solve_batch_cancellable(&corun, workers, &mpmc::math::sync::CancelToken::never());
+            prop_assert!(batch.is_ok(), "{kind:?}: {:?}", batch.err());
+            let batch = batch.unwrap();
+            for (i, (set, got)) in corun.iter().zip(&batch).enumerate() {
+                let solo = model.solve(&set.features).unwrap();
+                prop_assert_eq!(
+                    solo.window.to_bits(), got.window.to_bits(),
+                    "{:?} set {} workers {}", kind, i, workers
+                );
+                for (x, y) in solo.sizes.iter().zip(&got.sizes) {
+                    prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "{:?} set {} workers {}", kind, i, workers
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn robust_solver_conserves_capacity_and_stays_finite(
         hist_a in histogram_strategy(12),
         hist_b in histogram_strategy(12),
