@@ -1,8 +1,8 @@
 //! JSON benchmark harness: measures the three perf-critical paths
 //! (simulator throughput, profiling, equilibrium solves) with plain
 //! `Instant` timing and writes machine-readable baselines to
-//! `BENCH_simulator.json`, `BENCH_profiling.json` and
-//! `BENCH_equilibrium.json`.
+//! `BENCH_simulator.json`, `BENCH_profiling.json`,
+//! `BENCH_equilibrium.json` and `BENCH_optimize.json`.
 //!
 //! Unlike the criterion-shim benches (which print human-oriented lines),
 //! this binary exists so the repo can commit comparable numbers and CI
@@ -17,7 +17,7 @@
 //! `--workers` sets the worker count used for the parallel batch
 //! profiling entry (default 4).
 
-use bench::synthetic_feature;
+use bench::{synthetic_feature, synthetic_power_model, synthetic_profile};
 use cmpsim::engine::{simulate, Placement, SimOptions};
 use cmpsim::machine::MachineConfig;
 use cmpsim::process::ProcessSpec;
@@ -366,9 +366,107 @@ fn bench_equilibrium(cfg: &Config) {
     write_suite(cfg, "equilibrium", &entries);
 }
 
+fn bench_optimize(cfg: &Config) {
+    use mathkit::sync::CancelToken;
+    use mpmc_model::assignment::CombinedModel;
+    use mpmc_model::optimize::{self, Objective, OptimizeOptions};
+
+    let machine = MachineConfig::four_core_server();
+    // Seeded synthetic instance: varied reuse tails and access rates so
+    // placements genuinely differ in power and makespan.
+    let profiles: Vec<_> = (0..12)
+        .map(|i| {
+            synthetic_profile(
+                &format!("p{i}"),
+                &machine,
+                0.08 + 0.06 * (i % 5) as f64,
+                0.004 + 0.005 * (i % 4) as f64,
+            )
+        })
+        .collect();
+    let power = synthetic_power_model(&machine, 64);
+    let combined = CombinedModel::new(&machine, &power);
+    let cancel = CancelToken::never();
+    let reps = if cfg.tiny { 3 } else { 9 };
+    let n_exact = if cfg.tiny { 5 } else { 8 };
+    let exact_procs: Vec<usize> = (0..n_exact).collect();
+    let local_procs: Vec<usize> = (0..profiles.len()).collect();
+    let mut entries = Vec::new();
+
+    // Time-to-solution of the exact branch-and-bound engine (the path
+    // `mpmc assign --optimize` takes on small machines).
+    let exact_opts = OptimizeOptions { workers: cfg.workers, ..OptimizeOptions::default() };
+    for objective in [Objective::MinPower, Objective::MinMakespan] {
+        let spec = objective.spec().replace(':', "_");
+        let (t, _) = measure(reps, || {
+            optimize::optimize(&combined, &profiles, &exact_procs, objective, &exact_opts, &cancel)
+                .expect("optimize");
+            1
+        });
+        entries.push(entry(format!("exact_4c{n_exact}p/{spec}"), t, 1, Some("searches/s"), reps));
+    }
+
+    // Seeded local search on an instance the exact engine would not be
+    // asked to enumerate (leaf limit 0 forces the large-machine path).
+    let local_opts = OptimizeOptions {
+        workers: cfg.workers,
+        exhaustive_leaf_limit: 0,
+        ..OptimizeOptions::default()
+    };
+    let (tl, _) = measure(reps, || {
+        optimize::optimize(
+            &combined,
+            &profiles,
+            &local_procs,
+            Objective::MinPower,
+            &local_opts,
+            &cancel,
+        )
+        .expect("local search");
+        1
+    });
+    entries.push(entry(
+        format!("local_search_4c{}p/power", local_procs.len()),
+        tl,
+        1,
+        Some("searches/s"),
+        reps,
+    ));
+
+    // Best-found-vs-exhaustive gap on the seeded exact-size instance:
+    // run the local search where brute force is still affordable and
+    // report the power ratio (1.000 = the heuristic found the optimum).
+    // The ratio rides in the throughput field so the min/median/p90
+    // columns keep their time-to-solution meaning.
+    let exhaustive =
+        optimize::brute_force(&combined, &profiles, &exact_procs, Objective::MinPower, &cancel)
+            .expect("brute force");
+    let heuristic = optimize::optimize(
+        &combined,
+        &profiles,
+        &exact_procs,
+        Objective::MinPower,
+        &local_opts,
+        &cancel,
+    )
+    .expect("local search");
+    let (tg, _) = measure(reps, || {
+        optimize::brute_force(&combined, &profiles, &exact_procs, Objective::MinPower, &cancel)
+            .expect("brute force");
+        1
+    });
+    let mut gap_entry =
+        entry(format!("brute_force_4c{n_exact}p/power"), tg, 1, Some("x_exhaustive_power"), reps);
+    gap_entry.throughput_per_s = Some(heuristic.power_w / exhaustive.power_w.max(1e-12));
+    entries.push(gap_entry);
+
+    write_suite(cfg, "optimize", &entries);
+}
+
 fn main() {
     let cfg = parse_args();
     bench_simulator(&cfg);
     bench_profiling(&cfg);
     bench_equilibrium(&cfg);
+    bench_optimize(&cfg);
 }

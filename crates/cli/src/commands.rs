@@ -37,6 +37,21 @@ commands:
   estimate --assign A [--machine M] [--power FILE] [--fast] [--sets N]
                                         combined-model power of a tentative
                                         assignment (profiles only)
+  assign <spec> <spec> [...] --optimize [--objective O] [--machine M]
+         [--power FILE] [--fast] [--sets N] [--workers N] [--seed N]
+         [--brute] [--baseline P]       search for the best placement of the
+                                        processes (specs are profile files or
+                                        workload names; repeats are separate
+                                        processes). Objectives: power
+                                        (default), makespan, capped:<watts>.
+                                        Prints machine-readable JSON. --brute
+                                        scores every raw placement (tiny
+                                        instances only); --baseline P scores
+                                        a reference placement P given as
+                                        per-core process indices, e.g.
+                                        \"0,2;1\". An infeasible power cap
+                                        exits 4 and reports the least-power
+                                        placement found.
   simulate --assign A [--machine M] [--duration S] [--seed N] [--sets N]
                                         run the assignment on the simulator
   trace <workload> [--steps N] [--out FILE] [--sets N]
@@ -262,23 +277,18 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `mpmc estimate --assign A ...`
-///
-/// # Errors
-///
-/// Returns a display-ready message on any failure.
-pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
-    let machine = machine_from(args)?;
-    let assign = args.opt("assign").ok_or("estimate: --assign is required")?;
-    let per_core = resolve::assignment_string(assign, machine.num_cores())?;
-    let fast = args.flag("fast");
-
-    // Power model: from file, or trained on the fly.
-    let power = match args.opt("power") {
+/// Resolves the power model shared by `estimate` and `assign`: read from
+/// `--power FILE` when given, otherwise trained on the fly.
+fn power_model_from(
+    args: &ParsedArgs,
+    machine: &cmpsim::machine::MachineConfig,
+    fast: bool,
+) -> Result<mpmc_model::power::PowerModel, CliError> {
+    match args.opt("power") {
         Some(path) => {
             let file =
                 std::fs::File::open(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
-            persist::read_power_model(file).map_err(|e| CliError::from(e).context(path))?
+            persist::read_power_model(file).map_err(|e| CliError::from(e).context(path))
         }
         None => {
             let opts = TrainingOptions {
@@ -289,10 +299,23 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
                 ..Default::default()
             };
             let suite: Vec<_> = SpecWorkload::table1_suite().iter().map(|w| w.params()).collect();
-            let obs = build_training_set(&machine, &suite, &opts).map_err(CliError::from)?;
-            mpmc_model::power::PowerModel::fit_mvlr(&obs).map_err(CliError::from)?
+            let obs = build_training_set(machine, &suite, &opts).map_err(CliError::from)?;
+            mpmc_model::power::PowerModel::fit_mvlr(&obs).map_err(CliError::from)
         }
-    };
+    }
+}
+
+/// `mpmc estimate --assign A ...`
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure.
+pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
+    let machine = machine_from(args)?;
+    let assign = args.opt("assign").ok_or("estimate: --assign is required")?;
+    let per_core = resolve::assignment_string(assign, machine.num_cores())?;
+    let fast = args.flag("fast");
+    let power = power_model_from(args, &machine, fast)?;
 
     // Profiles: deduplicate specs so each is profiled once.
     let mut specs: Vec<String> = Vec::new();
@@ -314,7 +337,7 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
             let idx = specs.iter().position(|x| x == s).ok_or_else(|| {
                 CliError::solver(format!("estimate: internal error: spec '{s}' lost in dedup"))
             })?;
-            asg.assign(core, idx);
+            asg.try_assign(core, idx).map_err(CliError::from)?;
         }
     }
 
@@ -328,6 +351,134 @@ pub fn estimate(args: &ParsedArgs) -> Result<String, CliError> {
         out.push_str(&format!("  die {die}: {die_power:.2} W\n"));
     }
     out.push_str(&format!("estimated processor power: {total:.2} W\n"));
+    Ok(out)
+}
+
+/// `mpmc assign <spec> <spec> ... --optimize [--objective O] ...`
+///
+/// Searches for the best placement of the named processes with
+/// [`mpmc_model::optimize`] and prints a machine-readable JSON object:
+/// the chosen placement (per-core queues of spec names), both metrics
+/// (`power_w`, `makespan`), the engine used (`method`), and search
+/// diagnostics (`evaluated`, `pruned`). With `--brute` every raw
+/// placement is scored instead (the CI gate compares the two). With
+/// `--baseline P` a reference placement — per-core process indices like
+/// `"0,2;1"` — is scored alongside for a chosen-vs-baseline comparison.
+///
+/// # Errors
+///
+/// Returns a display-ready message on any failure. An infeasible
+/// `capped:<watts>` objective maps to
+/// [`exit_code::SOLVER`](crate::resolve::exit_code::SOLVER) and the
+/// message carries the least-power placement found as a diagnostic.
+pub fn assign_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    use mpmc_model::optimize::{self, Objective, OptimizeOptions};
+    use mpmc_service::json::Json;
+
+    let machine = machine_from(args)?;
+    if !args.flag("optimize") {
+        return Err(CliError::usage(
+            "assign: --optimize is required (placement search is this command's only mode)",
+        ));
+    }
+    if args.positionals().is_empty() {
+        return Err(CliError::usage(
+            "assign: which processes? (profile files or workload names; repeats are \
+             separate processes)",
+        ));
+    }
+    let objective = Objective::from_spec(args.opt("objective").unwrap_or("power"))
+        .map_err(|m| CliError::usage(format!("assign: {m}")))?;
+    let fast = args.flag("fast");
+    let power = power_model_from(args, &machine, fast)?;
+
+    // Deduplicate specs so each is profiled once; every positional is
+    // its own process instance.
+    let mut specs: Vec<String> = Vec::new();
+    let mut processes: Vec<usize> = Vec::new();
+    for s in args.positionals() {
+        let idx = match specs.iter().position(|x| x == s) {
+            Some(i) => i,
+            None => {
+                specs.push(s.clone());
+                specs.len() - 1
+            }
+        };
+        processes.push(idx);
+    }
+    let profiles: Vec<_> =
+        specs.iter().map(|s| resolve::profile(s, &machine, fast)).collect::<Result<_, _>>()?;
+
+    // The baseline is parsed before the search so a bad placement string
+    // fails fast as a usage error.
+    let baseline = match args.opt("baseline") {
+        Some(spec) => {
+            let per_core = resolve::assignment_indices(spec, machine.num_cores(), processes.len())?;
+            let placed: usize = per_core.iter().map(Vec::len).sum();
+            if placed != processes.len() {
+                return Err(CliError::usage(format!(
+                    "assign: baseline places {placed} of {} processes; a fair \
+                     comparison needs all of them",
+                    processes.len()
+                )));
+            }
+            Some(per_core)
+        }
+        None => None,
+    };
+
+    let opts = OptimizeOptions {
+        workers: resolve::workers(args)?,
+        seed: args.opt_parse("seed", 0u64)?,
+        ..Default::default()
+    };
+    let combined = CombinedModel::new(&machine, &power);
+    let cancel = mathkit::sync::CancelToken::never();
+    let got = if args.flag("brute") {
+        optimize::brute_force(&combined, &profiles, &processes, objective, &cancel)
+    } else {
+        optimize::optimize(&combined, &profiles, &processes, objective, &opts, &cancel)
+    }
+    .map_err(CliError::from)?;
+
+    let queues_json = |queues: &[Vec<usize>]| {
+        Json::Arr(
+            queues
+                .iter()
+                .map(|q| Json::Arr(q.iter().map(|&p| Json::str(specs[p].as_str())).collect()))
+                .collect(),
+        )
+    };
+    let mut fields = vec![
+        ("machine".to_string(), Json::str(machine.name.as_str())),
+        ("objective".to_string(), Json::str(objective.spec())),
+        ("method".to_string(), Json::str(got.method.name())),
+        ("placement".to_string(), queues_json(&got.assignment.to_queues())),
+        ("power_w".to_string(), Json::Num(got.power_w)),
+        ("makespan".to_string(), Json::Num(got.makespan)),
+        ("evaluated".to_string(), Json::Num(got.evaluated as f64)),
+        ("pruned".to_string(), Json::Num(got.pruned as f64)),
+    ];
+    if let Some(per_core) = baseline {
+        let mut asg = Assignment::new(machine.num_cores());
+        for (core, q) in per_core.iter().enumerate() {
+            for &proc_idx in q {
+                asg.try_assign(core, processes[proc_idx]).map_err(CliError::from)?;
+            }
+        }
+        let power_w = combined.estimate_processor_power(&profiles, &asg).map_err(CliError::from)?;
+        let makespan = combined.estimate_makespan(&profiles, &asg).map_err(CliError::from)?;
+        fields.push((
+            "baseline".to_string(),
+            Json::Obj(vec![
+                ("placement".to_string(), queues_json(&asg.to_queues())),
+                ("power_w".to_string(), Json::Num(power_w)),
+                ("makespan".to_string(), Json::Num(makespan)),
+            ]),
+        ));
+    }
+    let mut out = Json::Obj(fields).render();
+    out.push('\n');
     Ok(out)
 }
 
@@ -631,7 +782,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     };
     let args = ParsedArgs::parse(
         rest.iter().cloned(),
-        &["fast", "full", "strict", "tiny", "stdio", "warm-start"],
+        &["fast", "full", "strict", "tiny", "stdio", "warm-start", "optimize", "brute"],
     )?;
     match cmd.as_str() {
         "machines" => Ok(machines()),
@@ -640,6 +791,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "predict" => predict(&args),
         "train" => train(&args),
         "estimate" => estimate(&args),
+        "assign" => assign_cmd(&args),
         "simulate" => simulate_cmd(&args),
         "trace" => trace(&args),
         "mrc" => mrc(&args),
@@ -816,6 +968,109 @@ mod tests {
         assert_eq!(err.code, exit_code::INVALID_DATA, "{err}");
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn assign_argument_errors() {
+        // All of these fail before any profiling or training happens.
+        assert_eq!(run(&["assign", "gzip", "twolf"]).unwrap_err().code, exit_code::USAGE);
+        assert_eq!(run(&["assign", "--optimize"]).unwrap_err().code, exit_code::USAGE);
+        let err = run(&["assign", "gzip", "--optimize", "--objective", "speed"]).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+        assert!(err.message.contains("unknown objective"), "{}", err.message);
+        assert_eq!(
+            run(&["assign", "gzip", "--optimize", "--objective", "capped:-1"]).unwrap_err().code,
+            exit_code::USAGE
+        );
+    }
+
+    #[test]
+    fn assign_optimize_reports_placement_brute_agrees_and_infeasible_cap_exits_solver() {
+        // Profile once to a file and train nothing: the power model comes
+        // from a synthetic file, so the optimizer dominates the runtime.
+        let dir = std::env::temp_dir();
+        let power_path = dir.join("mpmc_cli_assign_power_test.txt");
+        let model =
+            mpmc_model::power::PowerModel::from_parts(10.0, vec![2e-7, 1e-6, 3e-6, 1e-7, 1e-7])
+                .unwrap();
+        persist::write_power_model(&model, std::fs::File::create(&power_path).unwrap()).unwrap();
+        let prof_path = dir.join("mpmc_cli_assign_prof_test.txt");
+        let prof_s = prof_path.to_str().unwrap();
+        run(&[
+            "profile",
+            "gzip",
+            "--machine",
+            "workstation",
+            "--sets",
+            "32",
+            "--fast",
+            "--out",
+            prof_s,
+        ])
+        .unwrap();
+        let power_s = power_path.to_str().unwrap();
+        let base = [
+            "assign",
+            prof_s,
+            prof_s,
+            "--optimize",
+            "--machine",
+            "workstation",
+            "--sets",
+            "32",
+            "--power",
+            power_s,
+            "--baseline",
+            "0,1",
+        ];
+
+        let out = run(&base).unwrap();
+        let got = mpmc_service::json::parse(&out).unwrap();
+        assert_eq!(got.get("method").and_then(|j| j.as_str()), Some("exact"));
+        assert_eq!(got.get("objective").and_then(|j| j.as_str()), Some("power"));
+        let placement = got.get("placement").and_then(|j| j.as_arr()).unwrap();
+        assert_eq!(placement.len(), 2, "one queue per workstation core");
+        let placed: usize = placement.iter().map(|q| q.as_arr().map_or(0, <[_]>::len)).sum();
+        assert_eq!(placed, 2, "both processes placed: {out}");
+        let power_w = got.get("power_w").and_then(|j| j.as_f64()).unwrap();
+        assert!(power_w.is_finite() && power_w > 0.0, "{out}");
+        assert!(got.get("makespan").and_then(|j| j.as_f64()).unwrap() > 0.0, "{out}");
+        // The baseline piles both processes on core 0; the optimizer can
+        // never do worse than it.
+        let baseline = got.get("baseline").unwrap();
+        let baseline_power = baseline.get("power_w").and_then(|j| j.as_f64()).unwrap();
+        assert!(power_w <= baseline_power, "{out}");
+
+        // Brute force over all 4 raw placements lands on the same power.
+        let brute_argv: Vec<&str> = base.iter().copied().chain(["--brute"]).collect();
+        let brute = mpmc_service::json::parse(&run(&brute_argv).unwrap()).unwrap();
+        let brute_power = brute.get("power_w").and_then(|j| j.as_f64()).unwrap();
+        assert_eq!(power_w.to_bits(), brute_power.to_bits());
+        assert!(
+            got.get("evaluated").and_then(|j| j.as_f64()).unwrap()
+                <= brute.get("evaluated").and_then(|j| j.as_f64()).unwrap(),
+            "symmetry pruning never evaluates more than brute force"
+        );
+
+        // A baseline that misses a process, duplicates one, or names too
+        // many cores is a usage error before any solving happens.
+        for bad in ["0", "0;0", "0;1;0"] {
+            let argv: Vec<String> = base
+                .iter()
+                .map(|s| if *s == "0,1" { bad.to_string() } else { (*s).to_string() })
+                .collect();
+            assert_eq!(dispatch(&argv).unwrap_err().code, exit_code::USAGE, "baseline {bad}");
+        }
+
+        // An impossible power cap is a solver-domain failure (exit 4)
+        // carrying the least-power placement as a diagnostic.
+        let argv: Vec<&str> = base.iter().copied().chain(["--objective", "capped:0.5"]).collect();
+        let err = dispatch(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err();
+        assert_eq!(err.code, exit_code::SOLVER, "{err}");
+        assert!(err.message.contains("infeasible"), "{err}");
+
+        let _ = std::fs::remove_file(&power_path);
+        let _ = std::fs::remove_file(&prof_path);
     }
 
     #[test]

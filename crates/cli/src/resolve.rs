@@ -228,8 +228,12 @@ pub fn profile(
 ///
 /// # Errors
 ///
-/// Returns a message when more cores are named than the machine has.
+/// [`exit_code::USAGE`] when the machine has no cores or more cores are
+/// named than the machine has.
 pub fn assignment_string(spec: &str, num_cores: usize) -> Result<Vec<Vec<String>>, CliError> {
+    if num_cores == 0 {
+        return Err(CliError::usage("cannot parse an assignment for a machine with zero cores"));
+    }
     let mut per_core: Vec<Vec<String>> = spec
         .split(';')
         .map(|core| {
@@ -241,6 +245,65 @@ pub fn assignment_string(spec: &str, num_cores: usize) -> Result<Vec<Vec<String>
             "assignment names {} cores but the machine has {num_cores}",
             per_core.len()
         )));
+    }
+    per_core.resize(num_cores, Vec::new());
+    Ok(per_core)
+}
+
+/// Parses an *index-based* placement string: per-core lists of process
+/// indices (into a caller-provided process list) separated by `;`,
+/// indices within a core separated by `,`. Empty segments are idle
+/// cores; trailing idle cores may be omitted. Unlike
+/// [`assignment_string`] — whose names may legitimately repeat (two
+/// instances of the same workload) — each process index here is one
+/// concrete process and may appear at most once.
+///
+/// Example with 3 processes on 4 cores: `"0,2;1"` puts processes 0 and
+/// 2 on core 0 (time-shared), process 1 on core 1, cores 2-3 idle.
+///
+/// # Errors
+///
+/// [`exit_code::USAGE`] with a precise message for: a zero-core machine,
+/// more cores named than the machine has, an unparsable index, an index
+/// `>= num_processes`, or a duplicated index.
+pub fn assignment_indices(
+    spec: &str,
+    num_cores: usize,
+    num_processes: usize,
+) -> Result<Vec<Vec<usize>>, CliError> {
+    if num_cores == 0 {
+        return Err(CliError::usage("cannot parse a placement for a machine with zero cores"));
+    }
+    let cores: Vec<&str> = spec.split(';').collect();
+    if cores.len() > num_cores {
+        return Err(CliError::usage(format!(
+            "placement names {} cores but the machine has {num_cores}",
+            cores.len()
+        )));
+    }
+    let mut per_core: Vec<Vec<usize>> = Vec::with_capacity(num_cores);
+    let mut seen = vec![false; num_processes];
+    for core in &cores {
+        let mut queue = Vec::new();
+        for tok in core.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let idx: usize = tok.parse().map_err(|_| {
+                CliError::usage(format!("placement index '{tok}' is not a process number"))
+            })?;
+            if idx >= num_processes {
+                return Err(CliError::usage(format!(
+                    "placement index {idx} out of range: there are {num_processes} processes"
+                )));
+            }
+            if seen[idx] {
+                return Err(CliError::usage(format!(
+                    "placement index {idx} appears more than once; each process \
+                     can run on only one core"
+                )));
+            }
+            seen[idx] = true;
+            queue.push(idx);
+        }
+        per_core.push(queue);
     }
     per_core.resize(num_cores, Vec::new());
     Ok(per_core)
@@ -352,5 +415,57 @@ mod tests {
         // Whitespace tolerated.
         let a = assignment_string(" mcf , art ; gzip ", 2).unwrap();
         assert_eq!(a[0], vec!["mcf", "art"]);
+    }
+
+    #[test]
+    fn assignment_string_rejects_zero_core_machine() {
+        let err = assignment_string("mcf", 0).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+        assert!(err.message.contains("zero cores"), "{}", err.message);
+    }
+
+    #[test]
+    fn assignment_indices_parse_and_pad() {
+        let p = assignment_indices("0,2;1", 4, 3).unwrap();
+        assert_eq!(p, vec![vec![0, 2], vec![1], vec![], vec![]]);
+        // Whitespace and empty segments tolerated.
+        let p = assignment_indices(" 1 ;; 0 ", 3, 2).unwrap();
+        assert_eq!(p, vec![vec![1], vec![], vec![0]]);
+    }
+
+    #[test]
+    fn assignment_indices_reject_duplicate_index() {
+        let err = assignment_indices("0;0", 2, 2).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+        assert!(err.message.contains("more than once"), "{}", err.message);
+        // Duplicates within one core queue are rejected too.
+        let err = assignment_indices("1,1", 2, 2).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+        assert!(err.message.contains("more than once"), "{}", err.message);
+    }
+
+    #[test]
+    fn assignment_indices_reject_out_of_range_core_count() {
+        let err = assignment_indices("0;1;2", 2, 3).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+        assert!(err.message.contains("machine has 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn assignment_indices_reject_out_of_range_process() {
+        let err = assignment_indices("0;3", 4, 2).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+        assert!(err.message.contains("out of range"), "{}", err.message);
+        assert!(err.message.contains("2 processes"), "{}", err.message);
+    }
+
+    #[test]
+    fn assignment_indices_reject_garbage_and_zero_cores() {
+        let err = assignment_indices("0;banana", 4, 2).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+        assert!(err.message.contains("banana"), "{}", err.message);
+        let err = assignment_indices("0", 0, 1).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+        assert!(err.message.contains("zero cores"), "{}", err.message);
     }
 }

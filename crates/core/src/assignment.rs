@@ -51,6 +51,10 @@ impl Assignment {
 
     /// Adds process `profile_idx` to `core`'s run queue.
     ///
+    /// Prefer [`Assignment::try_assign`] anywhere `core` comes from the
+    /// outside world (wire requests, CLI arguments); this infallible name
+    /// is for call sites whose index is locally proved in range.
+    ///
     /// # Panics
     ///
     /// Panics if `core` is out of range.
@@ -59,13 +63,41 @@ impl Assignment {
         self
     }
 
+    /// Fallible [`Assignment::assign`]: rejects an out-of-range `core`
+    /// with a typed error instead of panicking, so wire- and CLI-driven
+    /// callers cannot crash the process with a bad index.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidCore`] if `core >= self.num_cores()`.
+    pub fn try_assign(&mut self, core: usize, profile_idx: usize) -> Result<&mut Self, ModelError> {
+        if core >= self.per_core.len() {
+            return Err(ModelError::InvalidCore { core, num_cores: self.per_core.len() });
+        }
+        self.per_core[core].push(profile_idx);
+        Ok(self)
+    }
+
     /// The processes queued on `core`.
     ///
     /// # Panics
     ///
-    /// Panics if `core` is out of range.
+    /// Panics if `core` is out of range; see
+    /// [`Assignment::try_processes_on`] for untrusted indices.
     pub fn processes_on(&self, core: usize) -> &[usize] {
         &self.per_core[core]
+    }
+
+    /// Fallible [`Assignment::processes_on`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidCore`] if `core >= self.num_cores()`.
+    pub fn try_processes_on(&self, core: usize) -> Result<&[usize], ModelError> {
+        self.per_core
+            .get(core)
+            .map(Vec::as_slice)
+            .ok_or(ModelError::InvalidCore { core, num_cores: self.per_core.len() })
     }
 
     /// Number of cores this assignment covers.
@@ -83,11 +115,33 @@ impl Assignment {
     ///
     /// # Panics
     ///
-    /// Panics if `core` is out of range.
+    /// Panics if `core` is out of range; see
+    /// [`Assignment::try_with_assigned`] for untrusted indices.
     pub fn with_assigned(&self, core: usize, profile_idx: usize) -> Assignment {
         let mut next = self.clone();
         next.assign(core, profile_idx);
         next
+    }
+
+    /// Fallible [`Assignment::with_assigned`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidCore`] if `core >= self.num_cores()`.
+    pub fn try_with_assigned(
+        &self,
+        core: usize,
+        profile_idx: usize,
+    ) -> Result<Assignment, ModelError> {
+        let mut next = self.clone();
+        next.try_assign(core, profile_idx)?;
+        Ok(next)
+    }
+
+    /// The per-core run queues as owned index lists (wire/diagnostic
+    /// serialization helper).
+    pub fn to_queues(&self) -> Vec<Vec<usize>> {
+        self.per_core.clone()
     }
 }
 
@@ -216,6 +270,12 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
     pub fn with_equilibrium_cache_capacity(mut self, capacity: usize) -> Self {
         self.eq_cache = EquilibriumCache::new(capacity);
         self
+    }
+
+    /// The machine this model estimates for (the placement optimizer
+    /// needs the core/die topology to enumerate candidates).
+    pub fn machine(&self) -> &MachineConfig {
+        self.machine
     }
 
     /// Number of distinct co-runner sets whose equilibrium is currently
@@ -432,6 +492,139 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         self.die_power_mode(profiles, assignment, die, &SolveMode::Exact(&CancelToken::never()))
     }
 
+    /// Estimated makespan of `assignment`: the worst per-process relative
+    /// completion time under Eq. 10 round-robin time sharing. Each process
+    /// retiring a fixed instruction budget on a queue of length `q`
+    /// finishes in time proportional to `q * mean_spi`, where `mean_spi`
+    /// is its seconds-per-instruction averaged over the Eq. 10
+    /// combinations it runs in (contended SPIs come from the equilibrium
+    /// cache; a process running alone in a combination uses its predicted
+    /// full-cache SPI). The makespan is the maximum over all assigned
+    /// processes; an empty assignment has makespan `0.0`. Units are
+    /// seconds per instruction of budget — meaningful relative to other
+    /// placements of the same process set on the same machine.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CombinedModel::estimate_processor_power`].
+    pub fn estimate_makespan(
+        &self,
+        profiles: &[ProcessProfile],
+        assignment: &Assignment,
+    ) -> Result<f64, ModelError> {
+        self.estimate_makespan_cancellable(profiles, assignment, &CancelToken::never())
+    }
+
+    /// [`CombinedModel::estimate_makespan`] with a cooperative
+    /// cancellation token (see
+    /// [`CombinedModel::estimate_processor_power_cancellable`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CombinedModel::estimate_makespan`], plus
+    /// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)`.
+    pub fn estimate_makespan_cancellable(
+        &self,
+        profiles: &[ProcessProfile],
+        assignment: &Assignment,
+        cancel: &CancelToken,
+    ) -> Result<f64, ModelError> {
+        self.validate(profiles, assignment)?;
+        let sets = self.collect_contended_sets(profiles, assignment)?;
+        self.prestage_sets(profiles, sets, 0, cancel)?;
+        let mut makespan: f64 = 0.0;
+        for die in 0..self.machine.dies {
+            let cores = self.machine.cores_of(DieId(die as u32));
+            let queues: Vec<&[usize]> =
+                cores.iter().map(|c| assignment.processes_on(c.0 as usize)).collect();
+            let sizes: Vec<usize> = queues.iter().map(|q| q.len()).collect();
+            if sizes.iter().all(|&s| s == 0) {
+                continue;
+            }
+            // Average each process's SPI over the combinations it runs in
+            // (same odometer walk as the power estimate, same memoized
+            // equilibria), then scale by its queue length.
+            let mut spi_sum: Vec<Vec<f64>> = sizes.iter().map(|&s| vec![0.0; s]).collect();
+            let mut spi_n: Vec<Vec<u64>> = sizes.iter().map(|&s| vec![0u64; s]).collect();
+            let assoc = self.machine.l2_assoc() as f64;
+            let mut first_err: Option<ModelError> = None;
+            combination_average(&sizes, |combo| {
+                if first_err.is_some() {
+                    return 0.0;
+                }
+                let mut running: Vec<(usize, &ProcessProfile)> = Vec::new();
+                for (slot, (&q, &pick)) in queues.iter().zip(combo).enumerate() {
+                    if pick == usize::MAX {
+                        continue;
+                    }
+                    running.push((slot, &profiles[q[pick]]));
+                }
+                if running.len() == 1 {
+                    // Alone on the die: no contention, predicted
+                    // full-cache SPI (mirrors the alone-power shortcut
+                    // of the power walk).
+                    let (slot, prof) = running[0];
+                    spi_sum[slot][combo[slot]] += prof.feature.spi_at(assoc);
+                    spi_n[slot][combo[slot]] += 1;
+                    return 0.0;
+                }
+                match self.solve_cached(&running, cancel) {
+                    Ok(eq) => {
+                        for (i, &(slot, _)) in running.iter().enumerate() {
+                            spi_sum[slot][combo[slot]] += eq.spis[i];
+                            spi_n[slot][combo[slot]] += 1;
+                        }
+                    }
+                    Err(e) => first_err = Some(e),
+                }
+                0.0
+            })?;
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            for (slot, sums) in spi_sum.iter().enumerate() {
+                for (pos, &sum) in sums.iter().enumerate() {
+                    let n = spi_n[slot][pos];
+                    if n == 0 {
+                        continue;
+                    }
+                    let completion = sizes[slot] as f64 * (sum / n as f64);
+                    makespan = makespan.max(completion);
+                }
+            }
+        }
+        Ok(makespan)
+    }
+
+    /// Batch-prestages the equilibrium memo cache for a set of candidate
+    /// assignments in one `solve_batch` pass (`workers = 0` means auto),
+    /// so subsequent per-assignment estimates run mostly on cache hits.
+    /// Invalid assignments are skipped — they report their own error when
+    /// actually estimated. Estimates are bit-identical with or without
+    /// prestaging, for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)` once
+    /// the token fires; per-set solve errors are deferred to the actual
+    /// estimates.
+    pub fn prestage_assignments(
+        &self,
+        profiles: &[ProcessProfile],
+        assignments: &[Assignment],
+        workers: usize,
+        cancel: &CancelToken,
+    ) -> Result<(), ModelError> {
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        for asg in assignments {
+            if self.validate(profiles, asg).is_err() {
+                continue;
+            }
+            sets.extend(self.collect_contended_sets(profiles, asg)?);
+        }
+        self.prestage_sets(profiles, sets, workers, cancel)
+    }
+
     fn die_power_mode(
         &self,
         profiles: &[ProcessProfile],
@@ -507,15 +700,9 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         core: usize,
         cancel: &CancelToken,
     ) -> Result<f64, ModelError> {
-        if core >= current.num_cores() {
-            return Err(ModelError::InvalidAssignment(format!(
-                "core {core} out of range for {} cores",
-                current.num_cores()
-            )));
-        }
         self.estimate_processor_power_cancellable(
             profiles,
-            &current.with_assigned(core, profile_idx),
+            &current.try_with_assigned(core, profile_idx)?,
             cancel,
         )
     }

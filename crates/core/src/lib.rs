@@ -53,6 +53,7 @@ pub mod equilibrium;
 pub mod feature;
 pub mod histogram;
 pub mod occupancy;
+pub mod optimize;
 pub mod perf;
 pub mod persist;
 pub mod power;

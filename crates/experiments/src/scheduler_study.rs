@@ -113,7 +113,7 @@ fn place(
                     let watts =
                         combined.estimate_after_assigning(profiles, &asg, proc_idx, core)?;
                     let objective = if policy == Policy::ModelEpi {
-                        let next = asg.with_assigned(core, proc_idx);
+                        let next = asg.try_with_assigned(core, proc_idx)?;
                         let ips = estimate_throughput(machine, profiles, &next)?;
                         watts / ips.max(1.0)
                     } else {
@@ -133,13 +133,28 @@ fn place(
                 }
             }
         };
-        asg.assign(core, proc_idx);
+        asg.try_assign(core, proc_idx)?;
     }
     Ok(asg)
 }
 
 fn to_placement(asg: &Assignment) -> IndexPlacement {
     (0..asg.num_cores()).map(|c| asg.processes_on(c).to_vec()).collect()
+}
+
+/// Uniformly random placement of the same arrival multiset — the null
+/// hypothesis the optimizer has to beat on measured (not predicted) power.
+fn random_assignment<R: rand::Rng>(
+    rng: &mut R,
+    arrivals: &[usize],
+    num_cores: usize,
+) -> Result<Assignment, ModelError> {
+    let mut asg = Assignment::new(num_cores);
+    for &proc_idx in arrivals {
+        let core = rng.gen_range(0..num_cores);
+        asg.try_assign(core, proc_idx)?;
+    }
+    Ok(asg)
 }
 
 /// Entry point used by the `scheduler_study` binary.
@@ -220,6 +235,86 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
             stats::mean(&epi_by_policy[pi])
         ));
     }
+    // Optimizer validation: for each episode, the exact min-power search
+    // over the *whole* arrival multiset (not one-at-a-time greedy) versus
+    // uniformly random placements of the same processes, both measured on
+    // the simulator. The optimizer only knew profiling data; the simulator
+    // is the ground truth, as in the diffval studies.
+    {
+        use mathkit::sync::CancelToken;
+        use mpmc_model::optimize::{self, Objective, OptimizeOptions};
+        const RANDOM_DRAWS: usize = 3;
+        let opts = OptimizeOptions {
+            workers: scale.workers,
+            seed: scale.seed,
+            ..OptimizeOptions::default()
+        };
+        let mut draw_rng = harness::rng(scale.seed ^ 0xA11C);
+        out.push_str(&format!(
+            "\noptimizer chosen-vs-random (min-power objective, {RANDOM_DRAWS} random draws/episode, measured):\n"
+        ));
+        out.push_str(&format!(
+            "{:<10}{:>16}{:>14}{:>14}{:>10}\n",
+            "episode", "predicted (W)", "chosen (W)", "random (W)", "beats"
+        ));
+        let mut wins = 0usize;
+        let mut chosen_ws = Vec::new();
+        let mut random_ws = Vec::new();
+        for (e, arrivals) in episodes.iter().enumerate() {
+            let best = optimize::optimize(
+                &combined,
+                &profiles,
+                arrivals,
+                Objective::MinPower,
+                &opts,
+                &CancelToken::never(),
+            )?;
+            let salt_base = 80_000 + (e as u64) * 10;
+            let chosen_run = harness::run_assignment(
+                &machine,
+                &suite,
+                &to_placement(&best.assignment),
+                scale,
+                salt_base,
+            )?;
+            let chosen_w = chosen_run.avg_measured_power();
+            let mut rand_w = Vec::with_capacity(RANDOM_DRAWS);
+            for j in 0..RANDOM_DRAWS {
+                let rnd = random_assignment(&mut draw_rng, arrivals, machine.num_cores())?;
+                let run = harness::run_assignment(
+                    &machine,
+                    &suite,
+                    &to_placement(&rnd),
+                    scale,
+                    salt_base + 1 + j as u64,
+                )?;
+                rand_w.push(run.avg_measured_power());
+            }
+            let rand_mean = stats::mean(&rand_w);
+            let beats = chosen_w <= rand_mean;
+            wins += usize::from(beats);
+            chosen_ws.push(chosen_w);
+            random_ws.push(rand_mean);
+            out.push_str(&format!(
+                "{:<10}{:>16.2}{:>14.2}{:>14.2}{:>10}\n",
+                format!("  #{e}"),
+                best.power_w,
+                chosen_w,
+                rand_mean,
+                if beats { "yes" } else { "no" }
+            ));
+        }
+        let chosen_mean = stats::mean(&chosen_ws);
+        let random_mean = stats::mean(&random_ws);
+        out.push_str(&format!(
+            "  chosen beats the random mean in {wins}/{} episodes; average measured\n  power {:.2} W vs {:.2} W random ({:.1}% saved). The search saw only the\n  profile-driven Fig. 1 estimates, never the simulator.\n",
+            episodes.len(),
+            chosen_mean,
+            random_mean,
+            (random_mean - chosen_mean) / random_mean.max(1e-9) * 100.0
+        ));
+    }
+
     let greedy_w = stats::mean(&power_by_policy[0]);
     let rr_w = stats::mean(&power_by_policy[2]);
     let epi_epi = stats::mean(&epi_by_policy[1]);
@@ -231,4 +326,27 @@ pub fn report(scale: &RunScale) -> Result<String, ModelError> {
         if epi_epi <= rr_epi { "below" } else { "above" }
     ));
     Ok(harness::save_report("scheduler_study", out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_assignment_places_every_arrival_and_is_seeded() {
+        let arrivals = [0usize, 2, 1, 2, 0, 1];
+        let mut rng = harness::rng(7);
+        let asg = random_assignment(&mut rng, &arrivals, 4).unwrap();
+        let placement = to_placement(&asg);
+        assert_eq!(placement.len(), 4);
+        let mut placed: Vec<usize> = placement.iter().flatten().copied().collect();
+        placed.sort_unstable();
+        let mut want = arrivals.to_vec();
+        want.sort_unstable();
+        assert_eq!(placed, want, "every arrival lands on exactly one core");
+        // Same seed, same draw: the study is reproducible run to run.
+        let mut rng2 = harness::rng(7);
+        let again = random_assignment(&mut rng2, &arrivals, 4).unwrap();
+        assert_eq!(to_placement(&again), placement);
+    }
 }

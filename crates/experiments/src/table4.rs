@@ -32,6 +32,8 @@ fn to_assignment(pl: &IndexPlacement) -> Assignment {
     let mut a = Assignment::new(pl.len());
     for (core, idxs) in pl.iter().enumerate() {
         for &i in idxs {
+            // `core` enumerates a vec whose length sized the assignment,
+            // so the infallible call cannot hit an out-of-range core.
             a.assign(core, i);
         }
     }

@@ -73,13 +73,17 @@ pub fn classify_model_error(e: &ModelError) -> i32 {
         | ModelError::InvalidDistribution(_)
         | ModelError::InvalidAssignment(_)
         | ModelError::UnusableProfile(_)
+        | ModelError::InvalidCore { .. }
         | ModelError::NonFinite(_) => exit_code::INVALID_DATA,
         // A cancelled solve is the cooperative deadline token firing, not
         // solver trouble: the caller ran out of time, not the math.
         ModelError::Math(mathkit::MathError::Cancelled) => exit_code::DEADLINE_EXCEEDED,
-        ModelError::Math(_) | ModelError::Sim(_) | ModelError::EquilibriumFailed(_) => {
-            exit_code::SOLVER
-        }
+        // An infeasible power cap is a solver-domain outcome: the search
+        // ran to completion and no placement satisfied the constraint.
+        ModelError::Math(_)
+        | ModelError::Sim(_)
+        | ModelError::EquilibriumFailed(_)
+        | ModelError::InfeasiblePowerCap { .. } => exit_code::SOLVER,
         ModelError::Degraded(_) => exit_code::STRICT,
     }
 }
@@ -237,6 +241,18 @@ mod tests {
             exit_code::SOLVER
         );
         assert_eq!(classify_model_error(&ModelError::Degraded("d".into())), exit_code::STRICT);
+        assert_eq!(
+            classify_model_error(&ModelError::InvalidCore { core: 9, num_cores: 4 }),
+            exit_code::INVALID_DATA
+        );
+        assert_eq!(
+            classify_model_error(&ModelError::InfeasiblePowerCap {
+                cap_w: 10.0,
+                best_power_w: 20.0,
+                best_placement: vec![vec![0]],
+            }),
+            exit_code::SOLVER
+        );
         let e = ServiceError::from(ModelError::NonFinite("nan".into()));
         assert_eq!(e.code, exit_code::INVALID_DATA);
         assert_eq!(e.kind(), "invalid_data");

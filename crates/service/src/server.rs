@@ -17,6 +17,7 @@
 //! | `unregister` | `name`                                | — |
 //! | `estimate`   | `assignment` (per-core name arrays), `deadline_ms`? | `power_w`, `degraded`? |
 //! | `assign`     | `process`, `current`?, `cores`?, `deadline_ms`?     | `best_core`, `best_power_w`, `candidates`, `degraded`? |
+//! | `optimize`   | `processes` (name array), `objective`?, `seed`?, `deadline_ms`? | `placement`, `power_w`, `makespan`, `method`, `evaluated`, `pruned`, `degraded`? |
 //! | `stats`      | —                                     | counters, cache + latency + overload stats |
 //! | `ping`       | —                                     | — |
 //! | `shutdown`   | —                                     | — (daemon stops) |
@@ -27,7 +28,8 @@
 //!
 //! # Overload behavior (DESIGN.md §13)
 //!
-//! The solve ops (`estimate`, `assign`) pass through, in order:
+//! The solve ops (`estimate`, `assign`, `optimize`) pass through, in
+//! order:
 //!
 //! 1. **Admission** — a bounded in-flight budget plus bounded queue
 //!    ([`crate::admission`]); beyond it the request is shed with a typed
@@ -252,6 +254,7 @@ struct Counters {
     unregister: AtomicU64,
     estimate: AtomicU64,
     assign: AtomicU64,
+    optimize: AtomicU64,
     stats: AtomicU64,
     ping: AtomicU64,
     shutdown: AtomicU64,
@@ -689,6 +692,10 @@ impl PredictionService {
                 Counters::bump(&self.counters.assign);
                 self.op_assign(model, req).map(|extra| (tagged(extra), false))
             }
+            "optimize" => {
+                Counters::bump(&self.counters.optimize);
+                self.op_optimize(model, req).map(|extra| (tagged(extra), false))
+            }
             "stats" => {
                 Counters::bump(&self.counters.stats);
                 Ok((tagged(self.op_stats(model)), false))
@@ -700,7 +707,7 @@ impl PredictionService {
             }
             other => Err(ServiceError::usage(format!(
                 "unknown op '{other}'; expected register, unregister, estimate, assign, \
-                 stats, ping, or shutdown"
+                 optimize, stats, ping, or shutdown"
             ))),
         }
     }
@@ -922,7 +929,7 @@ impl PredictionService {
                 let mut estimates = Vec::with_capacity(cores.len());
                 let mut worst = DegradedSource::ExactCache;
                 for &core in &cores {
-                    let trial = current.with_assigned(core, process_idx);
+                    let trial = current.try_with_assigned(core, process_idx)?;
                     let est = model.estimate_processor_power_degraded(&profiles, &trial)?;
                     if est.source > worst {
                         worst = est.source;
@@ -980,6 +987,129 @@ impl PredictionService {
         Ok(fields)
     }
 
+    /// `optimize`: search for the best placement of a set of registered
+    /// processes (repeats are separate process instances) under an
+    /// objective (`power` default, `makespan`, or `capped:<watts>`).
+    /// While the breaker is open the answer comes from the solver-free
+    /// greedy min-power tier and is tagged `"degraded": true` with the
+    /// worst equilibrium source it needed and `"method":
+    /// "greedy_degraded"` — an honest best-effort placement, not the
+    /// requested objective's optimum.
+    fn op_optimize(
+        &self,
+        model: &CombinedModel<'_, PowerModel>,
+        req: &Json,
+    ) -> Result<Vec<(String, Json)>, ServiceError> {
+        use mpmc_model::optimize::{self, Objective, OptimizeOptions};
+
+        let _permit = self.admit()?;
+        let deadline = self.deadline_from(req)?;
+        if deadline.expired() {
+            return Err(ServiceError::deadline("deadline expired before the search began"));
+        }
+        let objective = match req.get("objective") {
+            None => Objective::MinPower,
+            Some(v) => {
+                let spec = v.as_str().ok_or_else(|| {
+                    ServiceError::usage(
+                        "'objective' must be a string (power, makespan, or capped:<watts>)",
+                    )
+                })?;
+                Objective::from_spec(spec).map_err(ServiceError::usage)?
+            }
+        };
+        let seed = match req.get("seed") {
+            None => 0,
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| ServiceError::usage("'seed' must be a non-negative integer"))?
+                as u64,
+        };
+
+        // Resolve the process names against the registry: repeats are
+        // separate process instances sharing one profile.
+        let items = req
+            .get("processes")
+            .ok_or_else(|| ServiceError::usage("missing 'processes' field"))?
+            .as_arr()
+            .ok_or_else(|| ServiceError::usage("'processes' must be an array of profile names"))?;
+        if items.is_empty() {
+            return Err(ServiceError::usage("'processes' must not be empty"));
+        }
+        let mut names: Vec<String> = Vec::new();
+        let mut profiles: Vec<ProcessProfile> = Vec::new();
+        let mut processes: Vec<usize> = Vec::with_capacity(items.len());
+        {
+            let registry = self.read_registry();
+            for item in items {
+                let name = item
+                    .as_str()
+                    .ok_or_else(|| ServiceError::usage("'processes' entries must be strings"))?;
+                let idx = match names.iter().position(|n| n == name) {
+                    Some(i) => i,
+                    None => {
+                        let p = registry.get(name).ok_or_else(|| {
+                            ServiceError::data(format!("no registered profile named '{name}'"))
+                        })?;
+                        names.push(name.to_string());
+                        profiles.push(p.clone());
+                        profiles.len() - 1
+                    }
+                };
+                processes.push(idx);
+            }
+        }
+
+        let placement_json = |asg: &Assignment| -> Result<Json, ServiceError> {
+            let mut cores = Vec::with_capacity(asg.num_cores());
+            for core in 0..asg.num_cores() {
+                let queue = asg.try_processes_on(core)?;
+                cores
+                    .push(Json::Arr(queue.iter().map(|&p| Json::str(names[p].as_str())).collect()));
+            }
+            Ok(Json::Arr(cores))
+        };
+
+        match self.breaker.decide() {
+            Decision::Degraded => {
+                let (asg, est) = optimize::greedy_min_power_degraded(model, &profiles, &processes)?;
+                Counters::bump(&self.counters.degraded);
+                Ok(vec![
+                    ("objective".into(), Json::str(objective.spec())),
+                    ("method".into(), Json::str("greedy_degraded")),
+                    ("placement".into(), placement_json(&asg)?),
+                    ("power_w".into(), Json::Num(est.power_w)),
+                    ("degraded".into(), Json::Bool(true)),
+                    ("degraded_source".into(), Json::str(est.source.name())),
+                ])
+            }
+            Decision::Exact | Decision::Probe => {
+                self.chaos_spike();
+                let fallbacks_before = model.solver_fallbacks();
+                let token = deadline.token();
+                let opts = OptimizeOptions {
+                    workers: self.opts.workers,
+                    seed,
+                    ..OptimizeOptions::default()
+                };
+                let result =
+                    optimize::optimize(model, &profiles, &processes, objective, &opts, &token);
+                let failed = result.is_err() || model.solver_fallbacks() > fallbacks_before;
+                self.breaker.record(failed);
+                let got = result?;
+                Ok(vec![
+                    ("objective".into(), Json::str(objective.spec())),
+                    ("method".into(), Json::str(got.method.name())),
+                    ("placement".into(), placement_json(&got.assignment)?),
+                    ("power_w".into(), Json::Num(got.power_w)),
+                    ("makespan".into(), Json::Num(got.makespan)),
+                    ("evaluated".into(), Json::Num(got.evaluated as f64)),
+                    ("pruned".into(), Json::Num(got.pruned as f64)),
+                ])
+            }
+        }
+    }
+
     fn op_stats(&self, model: &CombinedModel<'_, PowerModel>) -> Vec<(String, Json)> {
         let c = &self.counters;
         let eq = model.equilibrium_cache_stats();
@@ -990,6 +1120,7 @@ impl PredictionService {
             ("unregister".into(), count(&c.unregister)),
             ("estimate".into(), count(&c.estimate)),
             ("assign".into(), count(&c.assign)),
+            ("optimize".into(), count(&c.optimize)),
             ("stats".into(), count(&c.stats)),
             ("ping".into(), count(&c.ping)),
             ("shutdown".into(), count(&c.shutdown)),
@@ -1099,7 +1230,7 @@ impl PredictionService {
                         profiles.len() - 1
                     }
                 };
-                asg.assign(core, idx);
+                asg.try_assign(core, idx)?;
             }
         }
         Ok(asg)
@@ -1436,6 +1567,106 @@ mod tests {
         let resp = ask(&svc, &model, r#"{"id":2,"op":"estimate","assignment":[["a","a"]]}"#);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
         assert_eq!(resp.get("processes").and_then(Json::as_usize), Some(2));
+    }
+
+    #[test]
+    fn optimize_op_places_processes_and_validates_requests() {
+        let (svc, _a, _b) = service_with_ab();
+        let model = svc.model();
+        // Repeats are separate process instances sharing one profile.
+        let resp = ask(
+            &svc,
+            &model,
+            r#"{"id":1,"op":"optimize","processes":["a","b","a"],"objective":"power"}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("method").and_then(Json::as_str), Some("exact"));
+        assert_eq!(resp.get("objective").and_then(Json::as_str), Some("power"));
+        let placement = resp.get("placement").and_then(Json::as_arr).unwrap();
+        assert_eq!(placement.len(), 2, "one queue per workstation core");
+        let placed: usize = placement.iter().map(|q| q.as_arr().map_or(0, <[Json]>::len)).sum();
+        assert_eq!(placed, 3, "all three processes placed: {resp:?}");
+        assert!(resp.get("power_w").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(resp.get("makespan").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(resp.get("degraded"), None, "healthy answers are not tagged");
+
+        // The makespan objective works over the same wire shape.
+        let resp = ask(
+            &svc,
+            &model,
+            r#"{"id":2,"op":"optimize","processes":["a","b"],"objective":"makespan"}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+
+        // Usage errors: missing/empty/malformed fields.
+        for (req, why) in [
+            (r#"{"op":"optimize"}"#, "missing processes"),
+            (r#"{"op":"optimize","processes":[]}"#, "empty processes"),
+            (r#"{"op":"optimize","processes":[1]}"#, "non-string name"),
+            (r#"{"op":"optimize","processes":["a"],"objective":"speed"}"#, "bad objective"),
+            (r#"{"op":"optimize","processes":["a"],"objective":7}"#, "non-string objective"),
+            (r#"{"op":"optimize","processes":["a"],"seed":-1}"#, "bad seed"),
+        ] {
+            let resp = ask(&svc, &model, req);
+            let err = resp.get("error").unwrap();
+            assert_eq!(
+                err.get("code").and_then(Json::as_f64),
+                Some(f64::from(exit_code::USAGE)),
+                "{why}: {resp:?}"
+            );
+        }
+        // An unregistered name is bad data, not usage.
+        let resp = ask(&svc, &model, r#"{"op":"optimize","processes":["ghost"]}"#);
+        assert_eq!(
+            resp.get("error").unwrap().get("code").and_then(Json::as_f64),
+            Some(f64::from(exit_code::INVALID_DATA))
+        );
+        // An impossible cap is a solver-domain failure with a diagnostic.
+        let resp = ask(
+            &svc,
+            &model,
+            r#"{"op":"optimize","processes":["a","b"],"objective":"capped:0.5"}"#,
+        );
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_f64), Some(f64::from(exit_code::SOLVER)));
+        assert!(
+            err.get("message").and_then(Json::as_str).unwrap().contains("infeasible"),
+            "{resp:?}"
+        );
+        // A pre-expired deadline never reaches the search.
+        let resp = ask(&svc, &model, r#"{"op":"optimize","processes":["a","b"],"deadline_ms":0}"#);
+        assert_eq!(
+            resp.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        // The op has its own counter.
+        let stats = ask(&svc, &model, r#"{"op":"stats"}"#);
+        assert_eq!(
+            stats.get("requests").unwrap().get("optimize").and_then(Json::as_f64),
+            Some(11.0)
+        );
+    }
+
+    #[test]
+    fn optimize_degraded_tier_is_tagged_honestly() {
+        let (svc, _a, _b) = service_with_ab();
+        let model = svc.model();
+        for _ in 0..8 {
+            svc.breaker.record(true); // trip the default breaker
+        }
+        let resp = ask(&svc, &model, r#"{"id":1,"op":"optimize","processes":["a","b"]}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("degraded"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("method").and_then(Json::as_str), Some("greedy_degraded"));
+        let source = resp.get("degraded_source").and_then(Json::as_str).unwrap();
+        assert!(
+            ["exact_cache", "stale_neighbor", "proportional_split"].contains(&source),
+            "{source}"
+        );
+        let placement = resp.get("placement").and_then(Json::as_arr).unwrap();
+        let placed: usize = placement.iter().map(|q| q.as_arr().map_or(0, <[Json]>::len)).sum();
+        assert_eq!(placed, 2, "the degraded tier still places everything");
+        assert!(resp.get("power_w").and_then(Json::as_f64).unwrap().is_finite());
     }
 
     // ---- overload hardening ----

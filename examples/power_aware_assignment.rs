@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // incoming art go? Core 1 shares mcf's cache; cores 2 and 3 are on
     // the other die.
     let mut current = Assignment::new(machine.num_cores());
-    current.assign(0, 1); // mcf on core 0
+    current.try_assign(0, 1)?; // mcf on core 0
     println!("\ncandidate cores for incoming 'art' (mcf already on core 0):");
     let mut best = (usize::MAX, f64::INFINITY);
     for core in 0..machine.num_cores() {

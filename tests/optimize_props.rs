@@ -1,0 +1,219 @@
+//! Property battery for the placement optimizer (`core::optimize`).
+//!
+//! Three contracts, over randomized instances:
+//!
+//! 1. the result is always a *complete, valid* assignment — every
+//!    submitted process lands on exactly one in-range core;
+//! 2. the chosen placement's objective value is never worse than a
+//!    seeded random placement of the same processes (the optimizer must
+//!    at minimum beat the null policy it is replacing);
+//! 3. on instances small enough to enumerate, the default engine's
+//!    answer matches `brute_force` bit for bit.
+
+use mpmc::math::sync::CancelToken;
+use mpmc::model::assignment::{Assignment, CombinedModel};
+use mpmc::model::feature::FeatureVector;
+use mpmc::model::histogram::ReuseHistogram;
+use mpmc::model::optimize::{self, Objective, OptimizeOptions};
+use mpmc::model::power::{PowerModel, PowerObservation};
+use mpmc::model::profile::ProcessProfile;
+use mpmc::model::spi::SpiModel;
+use mpmc::sim::machine::MachineConfig;
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn synthetic_profile(name: &str, tail: f64, api: f64, machine: &MachineConfig) -> ProcessProfile {
+    let head = 1.0 - tail;
+    let hist =
+        ReuseHistogram::new(vec![head * 0.5, head * 0.3, head * 0.15, head * 0.05], tail).unwrap();
+    let alpha = api * (machine.mem_cycles - machine.l2_hit_cycles) as f64 / machine.freq_hz;
+    let beta = (machine.cpi_base + api * machine.l2_hit_cycles as f64) / machine.freq_hz;
+    let feature = FeatureVector::new(
+        name,
+        hist,
+        api,
+        SpiModel::new(alpha, beta).unwrap(),
+        machine.l2_assoc(),
+    )
+    .unwrap();
+    ProcessProfile {
+        feature,
+        l1rpi: 0.35,
+        l2rpi: api,
+        brpi: 0.2,
+        fppi: 0.1,
+        processor_alone_w: 60.0,
+        idle_processor_w: 44.0,
+    }
+}
+
+fn synthetic_power_model(machine: &MachineConfig) -> PowerModel {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let n = machine.num_cores() as f64;
+    let mut obs = Vec::new();
+    for _ in 0..200 {
+        let ips = rng.gen_range(1e6..2.4e7);
+        let rates = mpmc::sim::hpc::EventRates {
+            ips,
+            l1rps: ips * rng.gen_range(0.2..0.5),
+            l2rps: ips * rng.gen_range(0.001..0.05),
+            l2mps: ips * rng.gen_range(0.0..0.02),
+            brps: ips * rng.gen_range(0.05..0.3),
+            fpps: ips * rng.gen_range(0.0..0.3),
+        };
+        let watts = machine.power.core_power(&rates) + machine.power.uncore_w / n;
+        obs.push(PowerObservation { rates, core_watts: watts });
+    }
+    PowerModel::fit_mvlr(&obs).unwrap()
+}
+
+/// A pool of distinct profiles the strategies draw process lists from.
+fn profile_pool(machine: &MachineConfig) -> Vec<ProcessProfile> {
+    [
+        ("heavy", 0.30, 0.030),
+        ("medium", 0.15, 0.015),
+        ("light", 0.05, 0.004),
+        ("stream", 0.45, 0.040),
+        ("spiky", 0.22, 0.026),
+        ("cool", 0.10, 0.008),
+    ]
+    .iter()
+    .map(|&(name, tail, api)| synthetic_profile(name, tail, api, machine))
+    .collect()
+}
+
+/// Uniform random placement of the same process list, from the seed the
+/// optimizer was handed — the baseline property 2 compares against.
+fn random_placement(
+    seed: u64,
+    processes: &[usize],
+    num_cores: usize,
+) -> Result<Assignment, mpmc::model::ModelError> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut asg = Assignment::new(num_cores);
+    for &p in processes {
+        let core = rng.gen_range(0..num_cores);
+        asg.try_assign(core, p)?;
+    }
+    Ok(asg)
+}
+
+fn objective_value<M: mpmc::model::power::CorePowerModel + Sync>(
+    combined: &CombinedModel<'_, M>,
+    profiles: &[ProcessProfile],
+    asg: &Assignment,
+    objective: Objective,
+) -> f64 {
+    match objective {
+        Objective::MinPower => combined.estimate_processor_power(profiles, asg).unwrap(),
+        Objective::MinMakespan => combined.estimate_makespan(profiles, asg).unwrap(),
+        // Under a generous cap the capped objective ranks by makespan
+        // among feasible placements; the huge cap keeps everything
+        // feasible so the makespan is the comparable value.
+        Objective::PowerCapped { .. } => combined.estimate_makespan(profiles, asg).unwrap(),
+    }
+}
+
+fn objective_from(tag: u8) -> Objective {
+    match tag % 3 {
+        0 => Objective::MinPower,
+        1 => Objective::MinMakespan,
+        _ => Objective::PowerCapped { cap_w: 1e6 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property 1: every submitted process is placed exactly once, on an
+    /// in-range core, for both engines (exact and forced local search).
+    #[test]
+    fn optimizer_output_is_complete_and_valid(
+        procs in proptest::collection::vec(0usize..6, 1..=7),
+        tag in 0u8..3,
+        seed in 0u64..1000,
+        force_local_tag in 0u8..2,
+    ) {
+        let force_local = force_local_tag == 1;
+        let machine = MachineConfig::four_core_server();
+        let power = synthetic_power_model(&machine);
+        let combined = CombinedModel::new(&machine, &power);
+        let profiles = profile_pool(&machine);
+        let objective = objective_from(tag);
+        let opts = OptimizeOptions {
+            seed,
+            exhaustive_leaf_limit: if force_local { 0 } else { 20_000 },
+            ..OptimizeOptions::default()
+        };
+        let got = optimize::optimize(
+            &combined, &profiles, &procs, objective, &opts, &CancelToken::never(),
+        ).unwrap();
+        let queues = got.assignment.to_queues();
+        prop_assert_eq!(queues.len(), machine.num_cores());
+        let mut placed: Vec<usize> = queues.iter().flatten().copied().collect();
+        placed.sort_unstable();
+        let mut want = procs.clone();
+        want.sort_unstable();
+        prop_assert_eq!(placed, want, "every process on exactly one core");
+        prop_assert!(got.power_w.is_finite() && got.power_w > 0.0);
+        prop_assert!(got.makespan.is_finite() && got.makespan > 0.0);
+    }
+
+    /// Property 2: never worse than the seeded random baseline.
+    #[test]
+    fn optimizer_never_loses_to_random_baseline(
+        procs in proptest::collection::vec(0usize..6, 2..=6),
+        tag in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        let machine = MachineConfig::four_core_server();
+        let power = synthetic_power_model(&machine);
+        let combined = CombinedModel::new(&machine, &power);
+        let profiles = profile_pool(&machine);
+        let objective = objective_from(tag);
+        let opts = OptimizeOptions { seed, ..OptimizeOptions::default() };
+        let got = optimize::optimize(
+            &combined, &profiles, &procs, objective, &opts, &CancelToken::never(),
+        ).unwrap();
+        let chosen = objective_value(&combined, &profiles, &got.assignment, objective);
+        let random = random_placement(seed, &procs, machine.num_cores()).unwrap();
+        let baseline = objective_value(&combined, &profiles, &random, objective);
+        prop_assert!(
+            chosen <= baseline * (1.0 + 1e-12),
+            "{objective:?}: chosen {chosen} worse than random {baseline}"
+        );
+    }
+
+    /// Property 3: small instances match exhaustive enumeration bit for bit.
+    #[test]
+    fn optimizer_matches_brute_force_on_small_instances(
+        procs in proptest::collection::vec(0usize..6, 1..=5),
+        tag in 0u8..3,
+    ) {
+        let machine = MachineConfig::four_core_server();
+        let power = synthetic_power_model(&machine);
+        let combined = CombinedModel::new(&machine, &power);
+        let profiles = profile_pool(&machine);
+        let objective = objective_from(tag);
+        let cancel = CancelToken::never();
+        let got = optimize::optimize(
+            &combined, &profiles, &procs, objective,
+            &OptimizeOptions::default(), &cancel,
+        ).unwrap();
+        let truth = optimize::brute_force(&combined, &profiles, &procs, objective, &cancel)
+            .unwrap();
+        // Distinct placements can tie on the objective (duplicate
+        // profiles make ties common), and the two engines may pick
+        // different tied winners — so compare objective values, which a
+        // tie leaves identical, not whole placements.
+        match objective {
+            Objective::MinPower => {
+                prop_assert_eq!(got.power_w.to_bits(), truth.power_w.to_bits());
+            }
+            Objective::MinMakespan | Objective::PowerCapped { .. } => {
+                prop_assert_eq!(got.makespan.to_bits(), truth.makespan.to_bits());
+            }
+        }
+    }
+}

@@ -324,6 +324,133 @@ fn warm_start_is_deterministic_and_cold_is_bit_stable() {
     assert_eq!(&cold_ref[..cores.len()], &plain[..], "prestage must not change cold answers");
 }
 
+/// The placement optimizer's contract: same answer bits for any worker
+/// count and any submission order of the process list, on all three
+/// objectives — and the answer is the exhaustive optimum whenever the
+/// exact engine runs. Pinned on a seeded 4-core/8-process instance
+/// (the ISSUE acceptance instance).
+#[test]
+fn optimizer_is_worker_count_and_order_invariant_and_exact() {
+    use mpmc::math::sync::CancelToken;
+    use mpmc::model::optimize::{self, Objective, OptimizeOptions, SearchMethod};
+
+    let machine = MachineConfig::four_core_server();
+    let power = synthetic_power_model(&machine);
+    let combined = CombinedModel::new(&machine, &power);
+    let profiles: Vec<ProcessProfile> = [
+        ("heavy", 0.30, 0.030),
+        ("medium", 0.15, 0.015),
+        ("light", 0.05, 0.004),
+        ("stream", 0.45, 0.040),
+        ("spiky", 0.22, 0.026),
+        ("cool", 0.10, 0.008),
+    ]
+    .iter()
+    .map(|&(name, tail, api)| synthetic_profile(name, tail, api, &machine))
+    .collect();
+    // Eight processes over six distinct profiles: duplicates exercise the
+    // symmetry pruning without making every placement equivalent.
+    let processes = [0usize, 1, 2, 3, 4, 5, 0, 3];
+    let scrambled = [3usize, 0, 5, 4, 3, 2, 1, 0];
+    let cancel = CancelToken::never();
+
+    let objectives =
+        [Objective::MinPower, Objective::MinMakespan, Objective::PowerCapped { cap_w: 1e6 }];
+    for objective in objectives {
+        let truth = optimize::brute_force(&combined, &profiles, &processes, objective, &cancel)
+            .expect("brute force");
+        let baseline = optimize::optimize(
+            &combined,
+            &profiles,
+            &processes,
+            objective,
+            &OptimizeOptions { workers: 1, ..OptimizeOptions::default() },
+            &cancel,
+        )
+        .expect("optimize");
+        assert_eq!(baseline.method, SearchMethod::Exact, "{objective:?} should fit the limit");
+        assert_eq!(
+            baseline.power_w.to_bits(),
+            truth.power_w.to_bits(),
+            "{objective:?}: exact engine must reproduce the exhaustive optimum's power"
+        );
+        assert_eq!(
+            baseline.makespan.to_bits(),
+            truth.makespan.to_bits(),
+            "{objective:?}: exact engine must reproduce the exhaustive optimum's makespan"
+        );
+        for workers in WORKER_COUNTS {
+            for procs in [&processes[..], &scrambled[..]] {
+                let got = optimize::optimize(
+                    &combined,
+                    &profiles,
+                    procs,
+                    objective,
+                    &OptimizeOptions { workers, ..OptimizeOptions::default() },
+                    &cancel,
+                )
+                .expect("optimize");
+                // Scrambled submission holds the same multiset of
+                // profiles only when indices repeat identically; here
+                // both orders place the same eight profile draws.
+                let same_multiset = {
+                    let mut a = procs.to_vec();
+                    let mut b = processes.to_vec();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    a == b
+                };
+                assert!(same_multiset, "test bug: orders must be permutations of each other");
+                assert_eq!(
+                    got.power_w.to_bits(),
+                    baseline.power_w.to_bits(),
+                    "{objective:?} power diverged at workers={workers}"
+                );
+                assert_eq!(
+                    got.makespan.to_bits(),
+                    baseline.makespan.to_bits(),
+                    "{objective:?} makespan diverged at workers={workers}"
+                );
+                assert_eq!(
+                    got.assignment.to_queues(),
+                    baseline.assignment.to_queues(),
+                    "{objective:?} placement diverged at workers={workers}"
+                );
+            }
+        }
+    }
+
+    // The large-machine path keeps the same contract (bit-stability
+    // across workers), even though it is not required to be exact.
+    let local_base = optimize::optimize(
+        &combined,
+        &profiles,
+        &processes,
+        Objective::MinPower,
+        &OptimizeOptions { workers: 1, exhaustive_leaf_limit: 0, ..OptimizeOptions::default() },
+        &cancel,
+    )
+    .expect("local search");
+    assert_eq!(local_base.method, SearchMethod::LocalSearch);
+    for workers in WORKER_COUNTS {
+        let got = optimize::optimize(
+            &combined,
+            &profiles,
+            &processes,
+            Objective::MinPower,
+            &OptimizeOptions { workers, exhaustive_leaf_limit: 0, ..OptimizeOptions::default() },
+            &cancel,
+        )
+        .expect("local search");
+        assert_eq!(
+            got.power_w.to_bits(),
+            local_base.power_w.to_bits(),
+            "local search diverged at workers={workers}"
+        );
+        assert_eq!(got.assignment.to_queues(), local_base.assignment.to_queues());
+    }
+}
+
 /// The serving layer must not cost a single bit of determinism: answers
 /// produced under concurrency — through admission control, single-flight
 /// coalescing, and the cancellable (deadline-carrying) solver entry
