@@ -18,7 +18,7 @@
 //! profiling entry (default 4).
 
 use bench::{synthetic_feature, synthetic_power_model, synthetic_profile};
-use cmpsim::engine::{simulate, Placement, SimOptions};
+use cmpsim::engine::{simulate, EngineKind, Placement, SimOptions};
 use cmpsim::machine::MachineConfig;
 use cmpsim::process::ProcessSpec;
 use mpmc_model::equilibrium;
@@ -204,7 +204,12 @@ fn write_suite(cfg: &Config, suite: &str, entries: &[Entry]) {
     print!("{out}");
 }
 
-fn sim_co_run(machine: &MachineConfig, pairs: &[(usize, SpecWorkload)], duration_s: f64) -> u64 {
+fn sim_co_run(
+    machine: &MachineConfig,
+    pairs: &[(usize, SpecWorkload)],
+    duration_s: f64,
+    engine: EngineKind,
+) -> u64 {
     let mut pl = Placement::idle(machine.num_cores());
     for (i, &(core, w)) in pairs.iter().enumerate() {
         pl.assign(
@@ -219,7 +224,7 @@ fn sim_co_run(machine: &MachineConfig, pairs: &[(usize, SpecWorkload)], duration
     let r = simulate(
         machine,
         pl,
-        SimOptions { duration_s, warmup_s: 0.0, seed: 1, ..Default::default() },
+        SimOptions { duration_s, warmup_s: 0.0, seed: 1, engine, ..Default::default() },
     )
     .expect("simulate");
     r.processes.iter().map(|p| p.counters.l2_refs).sum()
@@ -236,11 +241,28 @@ fn bench_simulator(cfg: &Config) {
         (2, SpecWorkload::Art),
         (3, SpecWorkload::Twolf),
     ];
+    // Both kernels are measured so a regeneration shows what switching
+    // the default engine cost (or bought); results are bit-identical,
+    // only the timing differs.
     let mut entries = Vec::new();
-    let (t2, a2) = measure(reps, || sim_co_run(&machine, &pairs2, duration));
-    entries.push(entry("co_run_accesses/2", t2, a2, Some("accesses/s"), reps));
-    let (t4, a4) = measure(reps, || sim_co_run(&machine, &pairs4, duration));
-    entries.push(entry("co_run_accesses/4", t4, a4, Some("accesses/s"), reps));
+    for engine in [EngineKind::Events, EngineKind::Lockstep] {
+        let (t2, a2) = measure(reps, || sim_co_run(&machine, &pairs2, duration, engine));
+        entries.push(entry(
+            format!("co_run_accesses/2@{}", engine.name()),
+            t2,
+            a2,
+            Some("accesses/s"),
+            reps,
+        ));
+        let (t4, a4) = measure(reps, || sim_co_run(&machine, &pairs4, duration, engine));
+        entries.push(entry(
+            format!("co_run_accesses/4@{}", engine.name()),
+            t4,
+            a4,
+            Some("accesses/s"),
+            reps,
+        ));
+    }
     write_suite(cfg, "simulator", &entries);
 }
 

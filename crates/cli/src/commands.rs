@@ -3,7 +3,7 @@
 
 use crate::args::ParsedArgs;
 use crate::resolve::{self, CliError};
-use cmpsim::engine::{simulate, Placement, SimOptions};
+use cmpsim::engine::{simulate, EngineKind, Placement, SimOptions};
 use cmpsim::process::ProcessSpec;
 use cmpsim::trace::{miss_ratio_curve, stack_distance_histogram, Trace, TraceRecorder};
 use cmpsim::types::LineAddr;
@@ -53,13 +53,19 @@ commands:
                                         exits 4 and reports the least-power
                                         placement found.
   simulate --assign A [--machine M] [--duration S] [--seed N] [--sets N]
+           [--engine events|lockstep] [--json]
                                         run the assignment on the simulator
+                                        (--engine picks the kernel; the two
+                                        must agree bit-for-bit, see README.
+                                        --json prints a machine-readable
+                                        summary)
   trace <workload> [--steps N] [--out FILE] [--sets N]
                                         record an access trace
   mrc <tracefile> [--sets N] [--assoc A]
                                         miss-ratio curve of a trace
   validate [--tiny | --fast] [--machine M] [--sets N] [--mixes N] [--seed N]
-           [--workers N] [--out FILE]   differential model-vs-simulator
+           [--workers N] [--engine events|lockstep] [--out FILE]
+                                        differential model-vs-simulator
                                         validation plus invariant and
                                         metamorphic checks; writes a
                                         machine-readable VALIDATION.json
@@ -106,6 +112,13 @@ fn machine_from(args: &ParsedArgs) -> Result<cmpsim::machine::MachineConfig, Cli
         None => None,
     };
     resolve::machine(args.opt("machine").unwrap_or("server"), sets)
+}
+
+fn engine_from(args: &ParsedArgs) -> Result<EngineKind, CliError> {
+    match args.opt("engine") {
+        Some(raw) => EngineKind::from_name(raw).map_err(CliError::usage),
+        None => Ok(EngineKind::default()),
+    }
 }
 
 /// `mpmc machines`
@@ -493,6 +506,7 @@ pub fn simulate_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let per_core = resolve::assignment_string(assign, machine.num_cores())?;
     let duration: f64 = args.opt_parse("duration", 2.0)?;
     let seed: u64 = args.opt_parse("seed", 0xC11u64)?;
+    let engine = engine_from(args)?;
 
     let mut placement = Placement::idle(machine.num_cores());
     let mut region = 1u64;
@@ -518,12 +532,53 @@ pub fn simulate_cmd(args: &ParsedArgs) -> Result<String, CliError> {
             duration_s: duration,
             warmup_s: (duration * 0.25).min(1.0),
             seed,
+            engine,
             ..Default::default()
         },
     )
     .map_err(|e| CliError::solver(e.to_string()))?;
 
-    let mut out = format!("simulated \"{assign}\" on {} for {duration} s:\n", machine.name);
+    if args.flag("json") {
+        use mpmc_service::json::Json;
+        let procs = run
+            .processes
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::str(p.name.as_str())),
+                    ("core".to_string(), Json::Num(p.core as f64)),
+                    ("ways".to_string(), Json::Num(p.avg_ways)),
+                    ("mpa".to_string(), Json::Num(p.mpa())),
+                    ("spi".to_string(), Json::Num(p.spi())),
+                    ("api".to_string(), Json::Num(p.api())),
+                ])
+            })
+            .collect();
+        // The engine name stays out of this summary on purpose: the CI
+        // parity gate compares the events and lockstep runs byte for
+        // byte (Json renders f64 with shortest-round-trip formatting,
+        // so equal results render identically).
+        let summary = Json::Obj(vec![
+            ("machine".to_string(), Json::str(machine.name.as_str())),
+            ("assignment".to_string(), Json::str(assign)),
+            ("duration_s".to_string(), Json::Num(duration)),
+            ("seed".to_string(), Json::Num(seed as f64)),
+            ("processes".to_string(), Json::Arr(procs)),
+            ("power_w".to_string(), Json::Num(run.avg_measured_power())),
+            ("power_samples".to_string(), Json::Num(run.settled_power().len() as f64)),
+            ("context_switches".to_string(), Json::Num(run.context_switches as f64)),
+            ("slice_expiries".to_string(), Json::Num(run.slice_expiries as f64)),
+        ]);
+        let mut out = summary.render();
+        out.push('\n');
+        return Ok(out);
+    }
+
+    let mut out = format!(
+        "simulated \"{assign}\" on {} for {duration} s ({} engine):\n",
+        machine.name,
+        engine.name()
+    );
     out.push_str(&format!(
         "{:<10}{:>5}{:>9}{:>9}{:>13}{:>9}\n",
         "process", "core", "ways", "MPA", "SPI", "API"
@@ -645,6 +700,7 @@ pub fn validate(args: &ParsedArgs) -> Result<String, CliError> {
     cfg.max_mixes = args.opt_parse("mixes", cfg.max_mixes)?;
     cfg.scale.seed = args.opt_parse("seed", cfg.scale.seed)?;
     cfg.scale.workers = resolve::workers(args)?;
+    cfg.scale.engine = engine_from(args)?;
 
     let report = diffval::run(&cfg).map_err(CliError::from)?;
     let out_path = args.opt("out").unwrap_or("VALIDATION.json");
@@ -782,7 +838,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     };
     let args = ParsedArgs::parse(
         rest.iter().cloned(),
-        &["fast", "full", "strict", "tiny", "stdio", "warm-start", "optimize", "brute"],
+        &["fast", "full", "strict", "tiny", "stdio", "warm-start", "optimize", "brute", "json"],
     )?;
     match cmd.as_str() {
         "machines" => Ok(machines()),
@@ -894,9 +950,72 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("gzip"));
+        assert!(out.contains("events engine"));
         assert!(out.contains("measured processor power"));
         assert!(run(&["simulate"]).is_err());
         assert!(run(&["simulate", "--assign", "a;b;c", "--machine", "duo"]).is_err());
+    }
+
+    #[test]
+    fn simulate_engine_flag() {
+        let base = [
+            "simulate",
+            "--assign",
+            "gzip;twolf",
+            "--machine",
+            "workstation",
+            "--sets",
+            "64",
+            "--duration",
+            "0.3",
+        ];
+        let with = |extra: &[&str]| {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend_from_slice(extra);
+            run(&argv)
+        };
+        let out = with(&["--engine", "lockstep"]).unwrap();
+        assert!(out.contains("lockstep engine"), "{out}");
+        assert_eq!(with(&["--engine", "cycle-exact"]).unwrap_err().code, exit_code::USAGE);
+        assert_eq!(
+            run(&["validate", "--tiny", "--engine", "nope"]).unwrap_err().code,
+            exit_code::USAGE
+        );
+    }
+
+    #[test]
+    fn simulate_json_summaries_agree_across_engines() {
+        // The same contract the CI parity gate enforces with jq: both
+        // engines render byte-identical JSON summaries. The duration
+        // must exceed the 1 s preset timeslice or no slice ever expires
+        // and the time-shared pair never actually switches.
+        let base = [
+            "simulate",
+            "--assign",
+            "mcf,gzip;art",
+            "--machine",
+            "workstation",
+            "--sets",
+            "64",
+            "--duration",
+            "2.2",
+            "--json",
+            "--engine",
+        ];
+        let with = |engine: &str| {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.push(engine);
+            run(&argv).unwrap()
+        };
+        let ev = with("events");
+        let ls = with("lockstep");
+        assert_eq!(ev, ls, "engines diverged:\n{ev}\nvs\n{ls}");
+        let parsed = mpmc_service::json::parse(ev.trim()).unwrap();
+        assert!(parsed.get("machine").and_then(|m| m.as_str()).unwrap().contains("workstation"));
+        let procs = parsed.get("processes").and_then(|p| p.as_arr()).unwrap();
+        assert_eq!(procs.len(), 3);
+        assert!(parsed.get("slice_expiries").and_then(|n| n.as_f64()).unwrap() > 0.0);
+        assert!(parsed.get("context_switches").and_then(|n| n.as_f64()).unwrap() > 0.0);
     }
 
     #[test]

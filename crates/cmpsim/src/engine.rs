@@ -1,11 +1,25 @@
-//! Event-driven multi-core simulation.
+//! Multi-core simulation: shared world state, the two engine kernels, and
+//! the result types.
 //!
-//! Each core advances a local clock in cycles; the core with the smallest
-//! clock executes its next [`Step`](crate::process::Step), so accesses to a
-//! die's shared L2 interleave in global time order. The feedback loop the
-//! paper's equilibrium model captures arises naturally here: a process that
-//! misses more runs slower, therefore issues fewer L2 accesses per second,
-//! therefore inserts lines more slowly and holds less of the cache.
+//! Each core advances a local clock in cycles; steps execute in global
+//! start-time order, so accesses to a die's shared L2 interleave in global
+//! time order. The feedback loop the paper's equilibrium model captures
+//! arises naturally here: a process that misses more runs slower, therefore
+//! issues fewer L2 accesses per second, therefore inserts lines more slowly
+//! and holds less of the cache.
+//!
+//! Two kernels produce that schedule:
+//!
+//! - [`EngineKind::Events`] (default): the discrete-event kernel in
+//!   [`crate::events`] — a `BinaryHeap` of timestamped events (step starts,
+//!   slice expiries, HPC snapshots, process arrivals/departures). Only this
+//!   kernel supports mid-run process arrival and departure
+//!   ([`crate::process::ProcessSpec::with_arrival`] /
+//!   [`with_departure`](crate::process::ProcessSpec::with_departure)).
+//! - [`EngineKind::Lockstep`]: the original min-clock scan, kept as the
+//!   migration oracle. Without arrivals/departures the two kernels are
+//!   bit-identical (pinned by the parity corpus in
+//!   `tests/parallel_determinism.rs`).
 //!
 //! The engine also emulates the measurement infrastructure: per-core HPC
 //! sampling at the machine's sampling period and the current-clamp power
@@ -42,6 +56,42 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Which simulation kernel executes the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The event-queue kernel (`crate::events`): first-class events for
+    /// step starts, slice expiries, HPC snapshots, and process
+    /// arrival/departure. The default.
+    #[default]
+    Events,
+    /// The original lockstep min-clock scan, retained as the oracle the
+    /// event kernel is checked against. Rejects arrivals/departures.
+    Lockstep,
+}
+
+impl EngineKind {
+    /// Parses a CLI-style engine name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message for unknown names.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "events" => Ok(EngineKind::Events),
+            "lockstep" => Ok(EngineKind::Lockstep),
+            other => Err(format!("unknown engine '{other}' (expected 'events' or 'lockstep')")),
+        }
+    }
+
+    /// The CLI-style name of this engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Events => "events",
+            EngineKind::Lockstep => "lockstep",
+        }
+    }
+}
 
 /// A process-to-core placement: `per_core[c]` lists the processes that
 /// time-share core `c` (may be empty for an idle core).
@@ -100,6 +150,9 @@ pub struct SimOptions {
     /// pairs applied to the process's shared L2. Empty means free LRU
     /// sharing (the paper's setting).
     pub way_quotas: Vec<(u32, usize)>,
+    /// Which kernel runs the simulation. The default event kernel and the
+    /// lockstep oracle are bit-identical absent arrivals/departures.
+    pub engine: EngineKind,
 }
 
 impl Default for SimOptions {
@@ -111,6 +164,7 @@ impl Default for SimOptions {
             prefetch: None,
             weights: None,
             way_quotas: Vec::new(),
+            engine: EngineKind::default(),
         }
     }
 }
@@ -204,7 +258,7 @@ pub struct PowerSample {
 }
 
 /// Everything a simulation run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Per-process post-warmup statistics, in placement order.
     pub processes: Vec<ProcessStats>,
@@ -218,6 +272,11 @@ pub struct SimResult {
     pub warmup_periods: usize,
     /// Total context switches across all cores.
     pub context_switches: u64,
+    /// Total scheduler slice expiries across all cores. Solo processes
+    /// expire slices without switching (the paper's §4.2 accounting still
+    /// slices them), so this exceeds `context_switches` whenever a core
+    /// runs exactly one process.
+    pub slice_expiries: u64,
     /// Total prefetch lines inserted (0 when prefetching is disabled).
     pub prefetches_issued: u64,
 }
@@ -297,39 +356,81 @@ pub struct OracleObservables {
     pub api: f64,
 }
 
-struct ProcState {
-    pid: ProcessId,
-    name: String,
-    core: usize,
-    gen: Box<dyn crate::process::AccessGenerator>,
-    rng: ChaCha8Rng,
-    counters: CounterSet,
-    active_cycles: Cycles,
-    occupancy_sum: f64,
-    occupancy_snaps: u64,
+pub(crate) struct ProcState {
+    pub(crate) pid: ProcessId,
+    pub(crate) name: String,
+    pub(crate) core: usize,
+    pub(crate) weight: f64,
+    /// Arrival time in cycles (0 = present from the start).
+    pub(crate) arrival: Cycles,
+    /// Departure time in cycles (`Cycles::MAX` = runs to the end).
+    pub(crate) departure: Cycles,
+    pub(crate) gen: Box<dyn crate::process::AccessGenerator>,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) counters: CounterSet,
+    pub(crate) active_cycles: Cycles,
+    pub(crate) occupancy_sum: f64,
+    pub(crate) occupancy_snaps: u64,
 }
 
-struct CoreState {
-    clock: Cycles,
-    die: usize,
-    procs: Vec<usize>,
-    sched: Option<TimeSliceScheduler>,
-    buckets: Vec<CounterSet>,
+pub(crate) struct CoreState {
+    pub(crate) clock: Cycles,
+    pub(crate) die: usize,
+    /// Currently runnable processes (global indices) in placement order.
+    /// The event kernel mutates this on arrival/departure; the lockstep
+    /// oracle (which rejects residency windows) keeps it fixed.
+    pub(crate) run: Vec<usize>,
+    pub(crate) sched: Option<TimeSliceScheduler>,
+    /// Slice expiries retired with dropped schedulers (event kernel only).
+    pub(crate) retired_expiries: u64,
+    /// Processes placed here that have not arrived yet.
+    pub(crate) pending_arrivals: usize,
+    pub(crate) buckets: Vec<CounterSet>,
     /// Current HPC bucket (`clock / period_cycles`, capped at the
     /// overflow bucket) tracked incrementally so the per-step attribution
     /// needs no division.
-    bucket: usize,
+    pub(crate) bucket: usize,
     /// Clock at which `bucket` advances (`(bucket + 1) * period_cycles`).
-    bucket_edge: Cycles,
-    done: bool,
+    pub(crate) bucket_edge: Cycles,
+    pub(crate) done: bool,
 }
 
-/// Runs one simulation.
+/// Everything both kernels share: the validated, constructed simulation
+/// state plus the derived timing constants. Building it (and assembling a
+/// [`SimResult`] from it) is engine-independent, which is what guarantees
+/// that the two kernels draw identical RNG streams and produce
+/// field-identical results on the same schedule.
+pub(crate) struct SimWorld {
+    pub(crate) procs: Vec<ProcState>,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) l2s: Vec<SetAssocCache>,
+    pub(crate) prefetchers: Vec<Option<NextLinePrefetcher>>,
+    pub(crate) end_cycles: Cycles,
+    pub(crate) warmup_cycles: Cycles,
+    pub(crate) period_cycles: Cycles,
+    pub(crate) num_buckets: usize,
+    pub(crate) timeslice: Cycles,
+    /// Seed for the power-measurement RNG, drawn from the master RNG at a
+    /// fixed point in its stream (after per-process seeding) so both
+    /// kernels see the same noise.
+    power_seed: u64,
+    pub(crate) context_switches: u64,
+    pub(crate) slice_expiries: u64,
+}
+
+/// Cycle counts stay safely below this so bucket-edge and clock arithmetic
+/// cannot overflow `u64` even after whole-run additions.
+const MAX_SIM_CYCLES: f64 = (1u64 << 62) as f64;
+
+/// Runs one simulation with the kernel selected by
+/// [`SimOptions::engine`].
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] if the placement does not match the machine's core
-/// count, weights are malformed, or options are out of domain.
+/// count, weights are malformed, options are out of domain (including a
+/// duration whose cycle count would overflow), a residency window is
+/// inverted, or arrivals/departures are used with the lockstep oracle.
 ///
 /// # Examples
 ///
@@ -352,6 +453,20 @@ pub fn simulate(
     placement: Placement,
     opts: SimOptions,
 ) -> Result<SimResult, SimError> {
+    let mut world = build_world(machine, placement, &opts)?;
+    match opts.engine {
+        EngineKind::Lockstep => run_lockstep(&mut world, machine),
+        EngineKind::Events => crate::events::run(&mut world, machine)?,
+    }
+    Ok(finish(world, machine))
+}
+
+/// Validates options and placement and constructs the shared world.
+fn build_world(
+    machine: &MachineConfig,
+    placement: Placement,
+    opts: &SimOptions,
+) -> Result<SimWorld, SimError> {
     let num_cores = machine.num_cores();
     if placement.per_core.len() != num_cores {
         return Err(SimError::InvalidPlacement(format!(
@@ -365,6 +480,16 @@ pub fn simulate(
     if opts.warmup_s < 0.0 || opts.warmup_s >= opts.duration_s {
         return Err(SimError::InvalidOptions("warmup must lie in [0, duration)".into()));
     }
+    // The f64 -> u64 cast saturates silently; a duration whose cycle count
+    // leaves the representable range must be a typed error, not a silent
+    // truncation of the run.
+    let end_f = opts.duration_s * machine.freq_hz;
+    if !end_f.is_finite() || end_f >= MAX_SIM_CYCLES {
+        return Err(SimError::InvalidOptions(format!(
+            "duration {} s at {} Hz does not fit the cycle clock",
+            opts.duration_s, machine.freq_hz
+        )));
+    }
     if let Some(w) = &opts.weights {
         if w.len() != num_cores {
             return Err(SimError::InvalidOptions(format!(
@@ -374,7 +499,7 @@ pub fn simulate(
         }
     }
 
-    let end_cycles = (opts.duration_s * machine.freq_hz).round() as Cycles;
+    let end_cycles = end_f.round() as Cycles;
     let warmup_cycles = (opts.warmup_s * machine.freq_hz).round() as Cycles;
     let period_cycles = machine.sample_period_cycles().max(1);
     let num_buckets = (end_cycles / period_cycles) as usize;
@@ -382,19 +507,70 @@ pub fn simulate(
 
     let mut master_rng = ChaCha8Rng::seed_from_u64(opts.seed);
 
-    // Flatten processes; build cores.
+    // Flatten processes; build cores. Process ids, RNG seeds, and weights
+    // are assigned in placement order regardless of arrival times, so a
+    // run's identity never depends on its schedule.
     let mut procs: Vec<ProcState> = Vec::new();
     let mut cores: Vec<CoreState> = Vec::new();
     for (c, specs) in placement.per_core.into_iter().enumerate() {
         let die = machine.die_of(crate::types::CoreId(c as u32)).0 as usize;
-        let mut idxs = Vec::new();
-        for spec in specs {
+        if let Some(w) = &opts.weights {
+            if w[c].len() != specs.len() {
+                return Err(SimError::InvalidOptions(format!(
+                    "core {c} has {} processes but {} weights",
+                    specs.len(),
+                    w[c].len()
+                )));
+            }
+            // Validate values up front: a late-arriving process must not
+            // surface a weight error mid-run.
+            if w[c].iter().any(|&x| !x.is_finite() || x <= 0.0) {
+                return Err(SimError::InvalidOptions(format!(
+                    "core {c} weights must be positive and finite"
+                )));
+            }
+        }
+        let mut run = Vec::new();
+        let mut pending_arrivals = 0usize;
+        for (k, spec) in specs.into_iter().enumerate() {
+            let arrival = spec.arrival_cycles.unwrap_or(0);
+            let departure = spec.departure_cycles.unwrap_or(Cycles::MAX);
+            if spec.arrival_cycles.is_some() || spec.departure_cycles.is_some() {
+                if opts.engine == EngineKind::Lockstep {
+                    return Err(SimError::InvalidOptions(format!(
+                        "process '{}' has a residency window; the lockstep oracle does not \
+                         support arrival/departure (use the event engine)",
+                        spec.name
+                    )));
+                }
+                if departure <= arrival {
+                    return Err(SimError::InvalidPlacement(format!(
+                        "process '{}' on core {c} departs at {departure} cycles, at or \
+                         before its arrival at {arrival}",
+                        spec.name
+                    )));
+                }
+                if arrival >= end_cycles {
+                    return Err(SimError::InvalidPlacement(format!(
+                        "process '{}' on core {c} arrives at {arrival} cycles, at or after \
+                         the end of the run ({end_cycles})",
+                        spec.name
+                    )));
+                }
+            }
             let pid = ProcessId(procs.len() as u32);
-            idxs.push(procs.len());
+            if arrival == 0 {
+                run.push(procs.len());
+            } else {
+                pending_arrivals += 1;
+            }
             procs.push(ProcState {
                 pid,
                 name: spec.name,
                 core: c,
+                weight: opts.weights.as_ref().map_or(1.0, |w| w[c][k]),
+                arrival,
+                departure,
                 gen: spec.generator,
                 rng: ChaCha8Rng::seed_from_u64(master_rng.gen()),
                 counters: CounterSet::new(),
@@ -403,36 +579,27 @@ pub fn simulate(
                 occupancy_snaps: 0,
             });
         }
-        let sched = if idxs.is_empty() {
+        let sched = if run.is_empty() {
             None
         } else {
-            let weights: Vec<f64> = match &opts.weights {
-                Some(w) => {
-                    if w[c].len() != idxs.len() {
-                        return Err(SimError::InvalidOptions(format!(
-                            "core {c} has {} processes but {} weights",
-                            idxs.len(),
-                            w[c].len()
-                        )));
-                    }
-                    w[c].clone()
-                }
-                None => vec![1.0; idxs.len()],
-            };
+            let weights: Vec<f64> = run.iter().map(|&pi| procs[pi].weight).collect();
             Some(
-                TimeSliceScheduler::new(idxs.len(), timeslice, &weights)
+                TimeSliceScheduler::new(run.len(), timeslice, &weights)
                     .map_err(SimError::InvalidOptions)?,
             )
         };
+        let done = run.is_empty() && pending_arrivals == 0;
         cores.push(CoreState {
             clock: 0,
             die,
-            procs: idxs,
+            run,
             sched,
+            retired_expiries: 0,
+            pending_arrivals,
             buckets: vec![CounterSet::new(); num_buckets + 1],
             bucket: 0,
             bucket_edge: period_cycles,
-            done: false,
+            done,
         });
     }
 
@@ -454,24 +621,131 @@ pub fn simulate(
         let die = cores[procs[pid as usize].core].die;
         l2s[die].set_way_quota(ProcessId(pid), ways);
     }
-    let mut prefetchers: Vec<Option<NextLinePrefetcher>> =
+    let prefetchers: Vec<Option<NextLinePrefetcher>> =
         (0..machine.dies).map(|_| opts.prefetch.map(NextLinePrefetcher::new)).collect();
 
-    // Idle cores are done from the start.
-    for core in &mut cores {
-        if core.procs.is_empty() {
-            core.done = true;
+    let power_seed = master_rng.gen();
+    Ok(SimWorld {
+        procs,
+        cores,
+        l2s,
+        prefetchers,
+        end_cycles,
+        warmup_cycles,
+        period_cycles,
+        num_buckets,
+        timeslice,
+        power_seed,
+        context_switches: 0,
+        slice_expiries: 0,
+    })
+}
+
+/// Records one occupancy snapshot at global time `at` for every resident
+/// process (both kernels fire these on the same causally consistent
+/// frontier: no step starting at or after `at` has executed yet).
+pub(crate) fn snapshot_occupancy(world: &mut SimWorld, at: Cycles) {
+    if at < world.warmup_cycles {
+        return;
+    }
+    for p in world.procs.iter_mut() {
+        if p.arrival <= at && at < p.departure {
+            let die = world.cores[p.core].die;
+            p.occupancy_sum += world.l2s[die].avg_ways_of(p.pid);
+            p.occupancy_snaps += 1;
         }
     }
+}
 
-    let mut next_snapshot: Cycles = period_cycles;
-    let mut context_switches = 0u64;
+/// Executes one step of process `proc` on `core`: generates the step,
+/// performs the L2 access, charges cycles, and attributes HPC/process
+/// counters at completion time. Shared verbatim by both kernels — this is
+/// the single definition of what a "step" does.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_core(
+    machine: &MachineConfig,
+    core: &mut CoreState,
+    proc: &mut ProcState,
+    l2: &mut SetAssocCache,
+    prefetcher: &mut Option<NextLinePrefetcher>,
+    warmup_cycles: Cycles,
+    end_cycles: Cycles,
+    period_cycles: Cycles,
+    num_buckets: usize,
+) {
+    let step = proc.gen.next_step(&mut proc.rng);
+    debug_assert!(step.instructions > 0 || step.access.is_some(), "generator produced a zero step");
+    let mut cycles =
+        ((step.instructions as f64) * machine.cpi_base).round() as Cycles + step.stall_cycles;
+    let mut misses = 0u64;
+    let mut l2_refs = 0u64;
+    let mut prefetches = 0u64;
 
-    // Main event loop: always step the active core with the smallest clock.
+    if let Some(addr) = step.access {
+        l2_refs = 1;
+        let outcome = l2.access(addr, proc.pid);
+        match outcome {
+            crate::cache::AccessOutcome::Hit { prefetch_covered: false } => {
+                cycles += machine.l2_hit_cycles;
+            }
+            crate::cache::AccessOutcome::Hit { prefetch_covered: true } => {
+                // First touch of a prefetched line: the fill may still
+                // be in flight, so only part of the memory latency is
+                // hidden.
+                cycles += machine.prefetch_covered_cycles;
+            }
+            crate::cache::AccessOutcome::Miss { .. } => {
+                cycles += machine.mem_cycles;
+                misses = 1;
+            }
+        }
+        if let Some(pf) = prefetcher {
+            let issued = pf.observe(l2, proc.pid, addr);
+            prefetches = issued;
+            cycles += issued * machine.prefetch_issue_cycles;
+        }
+    }
+    if cycles == 0 {
+        cycles = 1; // guarantee progress even for degenerate steps
+    }
+    core.clock += cycles;
+
+    let delta = CounterSet {
+        instructions: step.instructions,
+        l1_refs: step.l1_refs,
+        l2_refs,
+        l2_misses: misses,
+        branches: step.branches,
+        fp_ops: step.fp_ops,
+        prefetches,
+    };
+
+    // Core-level HPC bucket (completion-time attribution).
+    while core.clock >= core.bucket_edge && core.bucket < num_buckets {
+        core.bucket += 1;
+        core.bucket_edge += period_cycles;
+    }
+    core.buckets[core.bucket].merge(&delta);
+
+    // Process-level post-warmup totals.
+    if core.clock >= warmup_cycles {
+        proc.counters.merge(&delta);
+        proc.active_cycles += cycles;
+    }
+
+    if core.clock >= end_cycles {
+        core.done = true;
+    }
+}
+
+/// The lockstep oracle: always step the active core with the smallest
+/// clock (ties broken by lowest core index via the strict `<` scan).
+fn run_lockstep(world: &mut SimWorld, machine: &MachineConfig) {
+    let mut next_snapshot: Cycles = world.period_cycles;
     loop {
         let mut min_core: Option<usize> = None;
         let mut min_clock = Cycles::MAX;
-        for (i, core) in cores.iter().enumerate() {
+        for (i, core) in world.cores.iter().enumerate() {
             if !core.done && core.clock < min_clock {
                 min_clock = core.clock;
                 min_core = Some(i);
@@ -483,103 +757,46 @@ pub fn simulate(
         // active clock), so every snapshot reflects a causally consistent
         // cache state.
         while min_clock >= next_snapshot {
-            if next_snapshot >= warmup_cycles {
-                for p in procs.iter_mut() {
-                    let die = cores[p.core].die;
-                    p.occupancy_sum += l2s[die].avg_ways_of(p.pid);
-                    p.occupancy_snaps += 1;
-                }
-            }
-            next_snapshot += period_cycles;
+            snapshot_occupancy(world, next_snapshot);
+            next_snapshot += world.period_cycles;
         }
 
-        let core = &mut cores[ci];
-        // Context switch check at step granularity.
+        let core = &mut world.cores[ci];
+        // Context switch check at step granularity: boundaries crossed
+        // since the last step on this core all expire now.
         if let Some(sched) = &mut core.sched {
-            if sched.maybe_switch(core.clock) {
-                context_switches += 1;
-            }
+            world.context_switches += sched.maybe_switch(core.clock);
         }
-        let pi = core.procs[core.sched.as_ref().map_or(0, |s| s.current())];
-        let proc = &mut procs[pi];
-
-        let step = proc.gen.next_step(&mut proc.rng);
-        debug_assert!(
-            step.instructions > 0 || step.access.is_some(),
-            "generator produced a zero step"
+        let pi = core.run[core.sched.as_ref().map_or(0, |s| s.current())];
+        let die = core.die;
+        step_core(
+            machine,
+            core,
+            &mut world.procs[pi],
+            &mut world.l2s[die],
+            &mut world.prefetchers[die],
+            world.warmup_cycles,
+            world.end_cycles,
+            world.period_cycles,
+            world.num_buckets,
         );
-        let mut cycles =
-            ((step.instructions as f64) * machine.cpi_base).round() as Cycles + step.stall_cycles;
-        let mut misses = 0u64;
-        let mut l2_refs = 0u64;
-        let mut prefetches = 0u64;
-
-        if let Some(addr) = step.access {
-            l2_refs = 1;
-            let outcome = l2s[core.die].access(addr, proc.pid);
-            match outcome {
-                crate::cache::AccessOutcome::Hit { prefetch_covered: false } => {
-                    cycles += machine.l2_hit_cycles;
-                }
-                crate::cache::AccessOutcome::Hit { prefetch_covered: true } => {
-                    // First touch of a prefetched line: the fill may still
-                    // be in flight, so only part of the memory latency is
-                    // hidden.
-                    cycles += machine.prefetch_covered_cycles;
-                }
-                crate::cache::AccessOutcome::Miss { .. } => {
-                    cycles += machine.mem_cycles;
-                    misses = 1;
-                }
-            }
-            if let Some(pf) = &mut prefetchers[core.die] {
-                let issued = pf.observe(&mut l2s[core.die], proc.pid, addr);
-                prefetches = issued;
-                cycles += issued * machine.prefetch_issue_cycles;
-            }
-        }
-        if cycles == 0 {
-            cycles = 1; // guarantee progress even for degenerate steps
-        }
-        core.clock += cycles;
-
-        let delta = CounterSet {
-            instructions: step.instructions,
-            l1_refs: step.l1_refs,
-            l2_refs,
-            l2_misses: misses,
-            branches: step.branches,
-            fp_ops: step.fp_ops,
-            prefetches,
-        };
-
-        // Core-level HPC bucket (completion-time attribution).
-        while core.clock >= core.bucket_edge && core.bucket < num_buckets {
-            core.bucket += 1;
-            core.bucket_edge += period_cycles;
-        }
-        core.buckets[core.bucket].merge(&delta);
-
-        // Process-level post-warmup totals.
-        if core.clock >= warmup_cycles {
-            proc.counters.merge(&delta);
-            proc.active_cycles += cycles;
-        }
-
-        if core.clock >= end_cycles {
-            core.done = true;
-        }
     }
+    world.slice_expiries =
+        world.cores.iter().filter_map(|c| c.sched.as_ref()).map(|s| s.expiries()).sum();
+}
 
-    // Assemble per-core rates and power samples.
-    let period_s = period_cycles as f64 / machine.freq_hz;
-    let mut core_samples: Vec<Vec<EventRates>> = Vec::with_capacity(num_cores);
-    for core in &cores {
+/// Assembles per-core rates, power samples, and process statistics from a
+/// finished world. Engine-independent.
+fn finish(world: SimWorld, machine: &MachineConfig) -> SimResult {
+    let num_buckets = world.num_buckets;
+    let period_s = world.period_cycles as f64 / machine.freq_hz;
+    let mut core_samples: Vec<Vec<EventRates>> = Vec::with_capacity(world.cores.len());
+    for core in &world.cores {
         core_samples.push((0..num_buckets).map(|b| core.buckets[b].rates(period_s)).collect());
     }
-    let mut power_rng = ChaCha8Rng::seed_from_u64(master_rng.gen());
+    let mut power_rng = ChaCha8Rng::seed_from_u64(world.power_seed);
     let mut power = Vec::with_capacity(num_buckets);
-    let mut rates: Vec<EventRates> = Vec::with_capacity(num_cores);
+    let mut rates: Vec<EventRates> = Vec::with_capacity(world.cores.len());
     for b in 0..num_buckets {
         rates.clear();
         rates.extend(core_samples.iter().map(|cs| cs[b]));
@@ -593,8 +810,9 @@ pub fn simulate(
         });
     }
 
-    let prefetches_issued = procs.iter().map(|p| p.counters.prefetches).sum();
-    let processes = procs
+    let prefetches_issued = world.procs.iter().map(|p| p.counters.prefetches).sum();
+    let processes = world
+        .procs
         .into_iter()
         .map(|p| ProcessStats {
             pid: p.pid,
@@ -610,15 +828,35 @@ pub fn simulate(
         })
         .collect();
 
-    Ok(SimResult {
+    SimResult {
         processes,
         core_samples,
         power,
         sample_period_s: period_s,
-        warmup_periods: (warmup_cycles / period_cycles) as usize,
-        context_switches,
+        warmup_periods: (world.warmup_cycles / world.period_cycles) as usize,
+        context_switches: world.context_switches,
+        slice_expiries: world.slice_expiries,
         prefetches_issued,
-    })
+    }
+}
+
+/// Test-only seam letting `events::tests` drive the kernel with a
+/// hand-seeded event order around a normally-built world.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    pub(crate) fn build_world_for_tests(
+        machine: &MachineConfig,
+        placement: Placement,
+        opts: &SimOptions,
+    ) -> SimWorld {
+        build_world(machine, placement, opts).expect("test world must validate")
+    }
+
+    pub(crate) fn finish_for_tests(world: SimWorld, machine: &MachineConfig) -> SimResult {
+        finish(world, machine)
+    }
 }
 
 #[cfg(test)]
@@ -646,6 +884,11 @@ mod tests {
         SimOptions { duration_s: 0.3, warmup_s: 0.1, seed: 7, ..Default::default() }
     }
 
+    /// The same options on the lockstep oracle.
+    fn lockstep(opts: SimOptions) -> SimOptions {
+        SimOptions { engine: EngineKind::Lockstep, ..opts }
+    }
+
     #[test]
     fn placement_validation() {
         let m = small_machine();
@@ -663,6 +906,66 @@ mod tests {
     }
 
     #[test]
+    fn huge_duration_is_an_error_not_a_truncation() {
+        // Regression: `duration_s * freq_hz` used to be cast straight to
+        // u64, silently saturating for huge-but-finite products.
+        let m = small_machine();
+        for dur in [1e300, f64::MAX, (1u64 << 62) as f64 / m.freq_hz + 1.0] {
+            let bad = SimOptions { duration_s: dur, ..Default::default() };
+            let err = simulate(&m, Placement::idle(2), bad).unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidOptions(ref msg) if msg.contains("cycle clock")),
+                "duration {dur}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_and_infinite_durations_are_errors() {
+        let m = small_machine();
+        for dur in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let bad = SimOptions { duration_s: dur, ..Default::default() };
+            assert!(
+                matches!(simulate(&m, Placement::idle(2), bad), Err(SimError::InvalidOptions(_))),
+                "duration {dur}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_kind_names_round_trip() {
+        for kind in [EngineKind::Events, EngineKind::Lockstep] {
+            assert_eq!(EngineKind::from_name(kind.name()), Ok(kind));
+        }
+        assert!(EngineKind::from_name("steam").is_err());
+        assert_eq!(EngineKind::default(), EngineKind::Events);
+    }
+
+    #[test]
+    fn lockstep_rejects_residency_windows() {
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 16, 20).with_arrival(1000)).unwrap();
+        let err = simulate(&m, pl, lockstep(quick_opts())).unwrap_err();
+        assert!(matches!(err, SimError::InvalidOptions(ref msg) if msg.contains("lockstep")));
+    }
+
+    #[test]
+    fn residency_window_validation() {
+        let m = small_machine();
+        // Departure at or before arrival.
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 16, 20).with_arrival(500).with_departure(500)).unwrap();
+        let err = simulate(&m, pl, quick_opts()).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlacement(_)), "{err}");
+        // Arrival past the end of the run.
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 16, 20).with_arrival(u64::MAX / 2)).unwrap();
+        let err = simulate(&m, pl, quick_opts()).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlacement(ref msg) if msg.contains("end")), "{err}");
+    }
+
+    #[test]
     fn idle_machine_draws_idle_power() {
         let m = small_machine();
         let r = simulate(&m, Placement::idle(2), quick_opts()).unwrap();
@@ -670,6 +973,7 @@ mod tests {
         assert!((r.avg_measured_power() - expect).abs() < 1.0, "{}", r.avg_measured_power());
         assert_eq!(r.processes.len(), 0);
         assert_eq!(r.context_switches, 0);
+        assert_eq!(r.slice_expiries, 0);
     }
 
     #[test]
@@ -684,6 +988,20 @@ mod tests {
         assert!(p.counters.instructions > 0);
         // Occupancy: 32 lines over 16 sets = 2 ways.
         assert!((p.avg_ways - 2.0).abs() < 0.3, "ways {}", p.avg_ways);
+    }
+
+    #[test]
+    fn solo_process_slices_expire_without_switching() {
+        // Satellite pin: a solo process's slice expiries are no longer
+        // silently invisible — `slice_expiries` counts them while
+        // `context_switches` stays 0.
+        let m = small_machine();
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic(0, 32, 20)).unwrap();
+        let r = simulate(&m, pl, quick_opts()).unwrap();
+        assert_eq!(r.context_switches, 0);
+        // 0.3 s at 10 ms slices: ~30 boundaries, minus scheduling slack.
+        assert!(r.slice_expiries >= 25, "{}", r.slice_expiries);
     }
 
     #[test]
@@ -782,6 +1100,24 @@ mod tests {
         assert_eq!(a.avg_measured_power(), b.avg_measured_power());
         // Different seed shifts the noise (power) even if counters agree.
         assert_ne!(a.avg_measured_power(), c.avg_measured_power());
+    }
+
+    #[test]
+    fn engines_agree_bit_exactly_without_churn() {
+        // In-module parity smoke; the full seeded corpus lives in
+        // tests/parallel_determinism.rs.
+        let m = small_machine();
+        let build = || {
+            let mut pl = Placement::idle(2);
+            pl.assign(0, cyclic(0, 48, 20)).unwrap();
+            pl.assign(0, cyclic(20_000, 16, 35)).unwrap();
+            pl.assign(1, cyclic(10_000, 24, 30)).unwrap();
+            pl
+        };
+        let ev = simulate(&m, build(), quick_opts()).unwrap();
+        let ls = simulate(&m, build(), lockstep(quick_opts())).unwrap();
+        assert_eq!(ev, ls);
+        assert!(ev.context_switches > 0);
     }
 
     #[test]

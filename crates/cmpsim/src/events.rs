@@ -1,0 +1,461 @@
+//! The discrete-event simulation kernel.
+//!
+//! Everything the lockstep oracle did inline — stepping the minimum-clock
+//! core, expiring scheduler slices, taking HPC occupancy snapshots — plus
+//! the one thing it could not express, mid-run process arrival and
+//! departure, becomes a first-class [`QueuedEvent`] on a
+//! `BinaryHeap<Reverse<QueuedEvent>>`.
+//!
+//! # Ordering contract
+//!
+//! Events are totally ordered by `(time, seq)`, popped smallest-first.
+//! `seq` packs a *kind band* in its high bits and an identity (process or
+//! core index) in its low bits, so ties at equal time resolve:
+//!
+//! 1. **Departure** — a process leaving at `t` is gone before anything
+//!    else at `t` observes the core;
+//! 2. **Arrival** — a newcomer at `t` joins the rotation before slices
+//!    expire or steps start at `t`;
+//! 3. **Snapshot** — occupancy snapshots fire before any step *starting*
+//!    at `t`, exactly like the lockstep engine's
+//!    `while min_clock >= next_snapshot` check runs before the step;
+//! 4. **SliceExpiry** — a boundary at `t` rotates the scheduler before a
+//!    step starting at `t` picks its process, matching the lockstep
+//!    engine's inclusive `now >= slice_end` test at step start;
+//! 5. **StepReady** — ties between cores break by lowest core index,
+//!    reproducing the lockstep scan's strict `<` minimum.
+//!
+//! Each identity schedules at most one live event of a kind at a time, so
+//! heap insertion order cannot affect the pop order of distinct events and
+//! the kernel is insertion-order deterministic (pinned by tests here and
+//! the scrambled-placement battery in `tests/parallel_determinism.rs`).
+//!
+//! # Oracle parity
+//!
+//! With no arrivals/departures this kernel reproduces the lockstep engine
+//! bit-exactly: both execute the identical step sequence (steps fire in
+//! global start-time order in each), charge the same cycles from the same
+//! per-process RNG streams, rotate schedulers at the same boundaries, and
+//! snapshot occupancy on the same frontier. The seeded parity corpus in
+//! `tests/parallel_determinism.rs` asserts `SimResult` equality outright.
+
+use crate::engine::{snapshot_occupancy, step_core, SimError, SimWorld};
+use crate::machine::MachineConfig;
+use crate::sched::TimeSliceScheduler;
+use crate::types::Cycles;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// What a queued event does when it fires. Payloads are indices into the
+/// world's process/core tables.
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// Process `pid` (global index) leaves its core's run queue.
+    Departure(usize),
+    /// Process `pid` (global index) joins its core's run queue.
+    Arrival(usize),
+    /// Global occupancy snapshot on the sampling grid.
+    Snapshot,
+    /// A slice boundary on core `c`; stale if the scheduler re-anchored.
+    SliceExpiry(usize),
+    /// Core `c` is ready to start its next step.
+    StepReady(usize),
+}
+
+impl EventKind {
+    /// Tie-break sequence: kind band (ordering contract above) in the
+    /// high bits, identity in the low bits.
+    fn seq(self) -> u64 {
+        match self {
+            EventKind::Departure(pid) => pid as u64,
+            EventKind::Arrival(pid) => (1 << 32) | pid as u64,
+            EventKind::Snapshot => 2 << 32,
+            EventKind::SliceExpiry(c) => (3 << 32) | c as u64,
+            EventKind::StepReady(c) => (4 << 32) | c as u64,
+        }
+    }
+}
+
+/// A timestamped event; ordered by `(time, seq)` only, so equal-time
+/// events pop in the documented band order regardless of insertion order.
+#[derive(Debug, Clone, Copy)]
+struct QueuedEvent {
+    time: Cycles,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl QueuedEvent {
+    fn new(time: Cycles, kind: EventKind) -> Self {
+        QueuedEvent { time, seq: kind.seq(), kind }
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for QueuedEvent {}
+
+/// Runs the world to completion on the event kernel.
+///
+/// # Errors
+///
+/// Only scheduler construction for an arriving process can fail, and its
+/// weight was validated at build time, so errors are unreachable in
+/// practice; they are propagated rather than panicking to honor the
+/// crate's panic-freedom policy.
+pub(crate) fn run(world: &mut SimWorld, machine: &MachineConfig) -> Result<(), SimError> {
+    let initial = seed_events(world);
+    run_from(world, machine, initial)
+}
+
+/// The initial event set: one `StepReady` per running core, the first
+/// snapshot, and every arrival/departure from the residency windows.
+fn seed_events(world: &SimWorld) -> Vec<QueuedEvent> {
+    let mut initial = Vec::new();
+    initial.push(QueuedEvent::new(world.period_cycles, EventKind::Snapshot));
+    for (c, core) in world.cores.iter().enumerate() {
+        if !core.run.is_empty() {
+            initial.push(QueuedEvent::new(0, EventKind::StepReady(c)));
+            if let Some(s) = &core.sched {
+                initial.push(QueuedEvent::new(s.slice_end(), EventKind::SliceExpiry(c)));
+            }
+        }
+    }
+    for (pid, p) in world.procs.iter().enumerate() {
+        if p.arrival > 0 {
+            initial.push(QueuedEvent::new(p.arrival, EventKind::Arrival(pid)));
+        }
+        if p.departure < world.end_cycles {
+            initial.push(QueuedEvent::new(p.departure, EventKind::Departure(pid)));
+        }
+    }
+    initial
+}
+
+/// The event loop proper, generic over the initial event order so tests
+/// can scramble it.
+fn run_from(
+    world: &mut SimWorld,
+    machine: &MachineConfig,
+    initial: Vec<QueuedEvent>,
+) -> Result<(), SimError> {
+    let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::with_capacity(initial.len() + 8);
+    for ev in initial {
+        heap.push(Reverse(ev));
+    }
+    // Whether a StepReady is already queued for each core (at most one).
+    let mut step_pending: Vec<bool> = world.cores.iter().map(|c| !c.run.is_empty()).collect();
+    // Cores that can still start a step now or in the future. When this
+    // hits zero the run is over; trailing snapshots/expiries never fire,
+    // matching the lockstep loop's exit before its trailing checks.
+    let mut live = world.cores.iter().filter(|c| !c.done).count();
+
+    while live > 0 {
+        let Some(Reverse(ev)) = heap.pop() else {
+            debug_assert!(false, "live cores but an empty event heap");
+            break;
+        };
+        match ev.kind {
+            EventKind::Snapshot => {
+                snapshot_occupancy(world, ev.time);
+                heap.push(Reverse(QueuedEvent::new(
+                    ev.time + world.period_cycles,
+                    EventKind::Snapshot,
+                )));
+            }
+            EventKind::StepReady(c) => {
+                step_pending[c] = false;
+                let core = &mut world.cores[c];
+                if core.done || core.run.is_empty() {
+                    continue;
+                }
+                debug_assert_eq!(ev.time, core.clock, "step must start at the core clock");
+                let pi = core.run[core.sched.as_ref().map_or(0, TimeSliceScheduler::current)];
+                let die = core.die;
+                step_core(
+                    machine,
+                    core,
+                    &mut world.procs[pi],
+                    &mut world.l2s[die],
+                    &mut world.prefetchers[die],
+                    world.warmup_cycles,
+                    world.end_cycles,
+                    world.period_cycles,
+                    world.num_buckets,
+                );
+                let core = &world.cores[c];
+                if core.done {
+                    live -= 1;
+                } else {
+                    heap.push(Reverse(QueuedEvent::new(core.clock, EventKind::StepReady(c))));
+                    step_pending[c] = true;
+                }
+            }
+            EventKind::SliceExpiry(c) => {
+                let core = &mut world.cores[c];
+                if core.done {
+                    continue;
+                }
+                let Some(sched) = &mut core.sched else { continue };
+                // Stale if the scheduler re-anchored (departure handoff or
+                // idle-to-running arrival) since this boundary was queued.
+                if ev.time != sched.slice_end() {
+                    continue;
+                }
+                world.context_switches += sched.maybe_switch(ev.time);
+                heap.push(Reverse(QueuedEvent::new(sched.slice_end(), EventKind::SliceExpiry(c))));
+            }
+            EventKind::Arrival(pid) => {
+                let c = world.procs[pid].core;
+                let weight = world.procs[pid].weight;
+                let core = &mut world.cores[c];
+                core.pending_arrivals -= 1;
+                if core.done {
+                    // The core ran past the end of the simulation before
+                    // this arrival; the process never runs.
+                    continue;
+                }
+                let was_empty = core.run.is_empty();
+                core.run.push(pid);
+                if was_empty {
+                    // Idle-to-running: the first step starts at the later
+                    // of the arrival time and the clock the core stopped
+                    // at, with a fresh slice anchored there.
+                    let start = core.clock.max(ev.time);
+                    core.clock = start;
+                    let mut sched = TimeSliceScheduler::new(1, world.timeslice, &[weight])
+                        .map_err(SimError::InvalidOptions)?;
+                    sched.anchor(start);
+                    heap.push(Reverse(QueuedEvent::new(
+                        sched.slice_end(),
+                        EventKind::SliceExpiry(c),
+                    )));
+                    core.sched = Some(sched);
+                    if !step_pending[c] {
+                        heap.push(Reverse(QueuedEvent::new(start, EventKind::StepReady(c))));
+                        step_pending[c] = true;
+                    }
+                } else if let Some(sched) = &mut core.sched {
+                    sched.push(weight).map_err(SimError::InvalidOptions)?;
+                }
+            }
+            EventKind::Departure(pid) => {
+                let c = world.procs[pid].core;
+                let core = &mut world.cores[c];
+                if core.done {
+                    continue;
+                }
+                let Some(k) = core.run.iter().position(|&x| x == pid) else { continue };
+                core.run.remove(k);
+                if core.run.is_empty() {
+                    // Last process gone: retire the scheduler, banking its
+                    // expiry count for the final tally.
+                    if let Some(s) = core.sched.take() {
+                        core.retired_expiries += s.expiries();
+                    }
+                    if core.pending_arrivals == 0 {
+                        core.done = true;
+                        live -= 1;
+                    }
+                } else if let Some(sched) = &mut core.sched {
+                    if sched.remove(k, ev.time) {
+                        // The running process left: the handoff counts as
+                        // a switch and re-anchors the slice, so start a
+                        // fresh expiry chain (the old one is now stale).
+                        world.context_switches += 1;
+                        heap.push(Reverse(QueuedEvent::new(
+                            sched.slice_end(),
+                            EventKind::SliceExpiry(c),
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    world.slice_expiries = world
+        .cores
+        .iter()
+        .map(|c| c.retired_expiries + c.sched.as_ref().map_or(0, TimeSliceScheduler::expiries))
+        .sum();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, Placement, SimOptions, SimResult};
+    use crate::machine::MachineConfig;
+    use crate::process::testutil::CyclicGenerator;
+    use crate::process::ProcessSpec;
+
+    fn machine() -> MachineConfig {
+        MachineConfig {
+            l2_sets: 16,
+            l2_assoc: 4,
+            timeslice_s: 0.01,
+            ..MachineConfig::two_core_workstation()
+        }
+    }
+
+    fn cyclic(name: &str, base: u64, footprint: u64, gap: u64) -> ProcessSpec {
+        ProcessSpec::new(name, Box::new(CyclicGenerator::new(base, footprint, gap)))
+    }
+
+    fn opts() -> SimOptions {
+        SimOptions { duration_s: 0.25, warmup_s: 0.05, seed: 42, ..Default::default() }
+    }
+
+    #[test]
+    fn event_ordering_bands() {
+        // Equal-time events pop in the documented band order; StepReady
+        // ties break by core index.
+        let evs = [
+            QueuedEvent::new(100, EventKind::StepReady(1)),
+            QueuedEvent::new(100, EventKind::StepReady(0)),
+            QueuedEvent::new(100, EventKind::SliceExpiry(0)),
+            QueuedEvent::new(100, EventKind::Snapshot),
+            QueuedEvent::new(100, EventKind::Arrival(3)),
+            QueuedEvent::new(100, EventKind::Departure(7)),
+            QueuedEvent::new(99, EventKind::StepReady(5)),
+        ];
+        let mut heap: BinaryHeap<Reverse<QueuedEvent>> = evs.iter().map(|&e| Reverse(e)).collect();
+        let mut order = Vec::new();
+        while let Some(Reverse(e)) = heap.pop() {
+            order.push((e.time, e.seq));
+        }
+        let sorted = {
+            let mut s = order.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(order, sorted);
+        assert_eq!(order[0].0, 99);
+        assert_eq!(order[1], (100, 7)); // departure first
+        assert_eq!(order[2], (100, (1 << 32) | 3)); // then arrival
+        assert_eq!(order[3], (100, 2 << 32)); // then snapshot
+        assert_eq!(order[4], (100, 3 << 32)); // then expiry
+        assert_eq!(order[5], (100, 4 << 32)); // StepReady core 0 ...
+        assert_eq!(order[6], (100, (4 << 32) | 1)); // ... before core 1
+    }
+
+    fn churn_placement() -> Placement {
+        let m = machine();
+        let third = (0.25 * m.freq_hz / 3.0) as u64;
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic("steady", 0, 48, 20)).unwrap();
+        pl.assign(0, cyclic("late", 5_000, 16, 25).with_arrival(third)).unwrap();
+        pl.assign(
+            1,
+            cyclic("brief", 10_000, 24, 30).with_arrival(third / 2).with_departure(2 * third),
+        )
+        .unwrap();
+        pl
+    }
+
+    fn run_scrambled(rotate: usize) -> SimResult {
+        // Drives the kernel with a rotated initial-event order through the
+        // internal seam; results must not depend on insertion order.
+        let m = machine();
+        let world_opts = opts();
+        let mut world =
+            crate::engine::testutil::build_world_for_tests(&m, churn_placement(), &world_opts);
+        let mut initial = seed_events(&world);
+        let split = rotate % initial.len();
+        initial.rotate_left(split);
+        run_from(&mut world, &m, initial).unwrap();
+        crate::engine::testutil::finish_for_tests(world, &m)
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_results() {
+        let baseline = run_scrambled(0);
+        assert!(baseline.processes.iter().any(|p| p.counters.instructions > 0));
+        for rotate in 1..6 {
+            assert_eq!(baseline, run_scrambled(rotate), "rotation {rotate}");
+        }
+    }
+
+    #[test]
+    fn arrival_and_departure_take_effect() {
+        let m = machine();
+        let r = simulate(&m, churn_placement(), opts()).unwrap();
+        let steady = r.process("steady").unwrap();
+        let late = r.process("late").unwrap();
+        let brief = r.process("brief").unwrap();
+        // The latecomer shares core 0 for ~2/3 of the run: it must run,
+        // but strictly less than the from-the-start process.
+        assert!(late.counters.instructions > 0);
+        assert!(late.active_seconds < steady.active_seconds);
+        // The brief process runs alone on core 1 for ~half the run.
+        assert!(brief.counters.instructions > 0);
+        assert!(brief.active_seconds < 0.7 * 0.25);
+        // Arrival/departure on a time-shared core forces switches.
+        assert!(r.context_switches > 0);
+    }
+
+    #[test]
+    fn departure_of_solo_process_idles_the_core() {
+        let m = machine();
+        let quarter = (0.25 * m.freq_hz / 4.0) as u64;
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic("solo", 0, 16, 20).with_departure(quarter)).unwrap();
+        pl.assign(1, cyclic("full", 9_000, 16, 20)).unwrap();
+        let r = simulate(&m, pl, opts()).unwrap();
+        let solo = r.process("solo").unwrap();
+        let full = r.process("full").unwrap();
+        assert!(solo.counters.instructions > 0);
+        // Departing a quarter in, with a 0.05 s warmup, leaves ~0.0125 s
+        // of counted activity vs ~0.2 s for the full-run process.
+        assert!(solo.active_seconds < 0.3 * full.active_seconds);
+        assert_eq!(r.context_switches, 0); // solo processes never switch
+    }
+
+    #[test]
+    fn arrival_after_core_finishes_is_harmless() {
+        let m = machine();
+        // Arrives just shy of the end: validated, but the core's last step
+        // may overshoot past it. Must not panic and the latecomer's stats
+        // stay near-empty.
+        let end = (0.25 * m.freq_hz) as u64;
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic("a", 0, 16, 20)).unwrap();
+        pl.assign(0, cyclic("tail", 4_000, 16, 20).with_arrival(end - 1)).unwrap();
+        let r = simulate(&m, pl, opts()).unwrap();
+        let tail = r.process("tail").unwrap();
+        assert!(tail.counters.instructions < 1_000, "{}", tail.counters.instructions);
+    }
+
+    #[test]
+    fn back_to_back_residency_on_one_core() {
+        // One process departs, the core idles, a second arrives later:
+        // exercises scheduler retirement and idle-to-running re-anchoring.
+        let m = machine();
+        let end = (0.25 * m.freq_hz) as u64;
+        let mut pl = Placement::idle(2);
+        pl.assign(0, cyclic("first", 0, 16, 20).with_departure(end / 4)).unwrap();
+        pl.assign(0, cyclic("second", 6_000, 16, 20).with_arrival(end / 2)).unwrap();
+        let r = simulate(&m, pl, opts()).unwrap();
+        assert!(r.process("first").unwrap().counters.instructions > 0);
+        assert!(r.process("second").unwrap().counters.instructions > 0);
+        assert_eq!(r.context_switches, 0);
+        // Both schedulers' expiries are tallied (retired + live).
+        assert!(r.slice_expiries > 0);
+    }
+}

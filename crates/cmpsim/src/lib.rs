@@ -15,7 +15,9 @@
 //! - [`machine`]: machine presets mirroring the paper's three testbeds.
 //! - [`process`]: the [`process::AccessGenerator`] trait the engine runs.
 //! - [`sched`]: per-core round-robin time slicing (paper §4.2).
-//! - [`engine`]: the event-driven simulation loop and its results.
+//! - [`engine`]: simulation setup, engine selection, and results.
+//! - `events`: the discrete-event kernel (the default
+//!   [`engine::EngineKind`]), with first-class process arrival/departure.
 //! - [`hpc`]: performance-counter emulation (the PAPI stand-in).
 //! - [`power`]: ground-truth power synthesis and the measurement chain.
 //! - [`prefetch`]: the optional next-line prefetcher (paper §3.1 study).
@@ -48,6 +50,7 @@
 
 pub mod cache;
 pub mod engine;
+mod events;
 #[cfg(feature = "faults")]
 pub mod faults;
 pub mod hpc;

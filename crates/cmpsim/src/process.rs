@@ -6,7 +6,7 @@
 //! Concrete generators live in the `workloads` crate; the engine only
 //! consumes the trait.
 
-use crate::types::LineAddr;
+use crate::types::{Cycles, LineAddr};
 use rand::RngCore;
 
 /// One unit of work emitted by a generator.
@@ -45,18 +45,42 @@ pub trait AccessGenerator: Send {
 }
 
 /// A process specification handed to the engine: a label plus the
-/// generator that produces its reference stream.
+/// generator that produces its reference stream, and an optional
+/// residency window for the event kernel's arrival/departure support.
 pub struct ProcessSpec {
     /// Display name (e.g. `"mcf"`).
     pub name: String,
     /// The generator that produces the process's work.
     pub generator: Box<dyn AccessGenerator>,
+    /// When the process arrives (cycles from simulation start); `None`
+    /// means present from the start. Requires the event engine.
+    pub arrival_cycles: Option<Cycles>,
+    /// When the process departs (cycles from simulation start); `None`
+    /// means it runs to the end. Requires the event engine.
+    pub departure_cycles: Option<Cycles>,
 }
 
 impl ProcessSpec {
-    /// Convenience constructor.
+    /// Convenience constructor: present for the whole run.
     pub fn new(name: impl Into<String>, generator: Box<dyn AccessGenerator>) -> Self {
-        ProcessSpec { name: name.into(), generator }
+        ProcessSpec { name: name.into(), generator, arrival_cycles: None, departure_cycles: None }
+    }
+
+    /// Sets an arrival time (cycles from simulation start). The process
+    /// joins its core's run queue only once this time is reached.
+    #[must_use]
+    pub fn with_arrival(mut self, cycles: Cycles) -> Self {
+        self.arrival_cycles = Some(cycles);
+        self
+    }
+
+    /// Sets a departure time (cycles from simulation start). A step
+    /// already in flight at the departure time completes; the process
+    /// leaves the run queue immediately afterwards.
+    #[must_use]
+    pub fn with_departure(mut self, cycles: Cycles) -> Self {
+        self.departure_cycles = Some(cycles);
+        self
     }
 }
 
@@ -65,6 +89,8 @@ impl std::fmt::Debug for ProcessSpec {
         f.debug_struct("ProcessSpec")
             .field("name", &self.name)
             .field("generator", &self.generator.label())
+            .field("arrival_cycles", &self.arrival_cycles)
+            .field("departure_cycles", &self.departure_cycles)
             .finish()
     }
 }
@@ -130,6 +156,18 @@ mod tests {
         let dbg = format!("{spec:?}");
         assert!(dbg.contains("mcf"));
         assert!(dbg.contains("cyclic"));
+    }
+
+    #[test]
+    fn residency_window_builders() {
+        let spec = ProcessSpec::new("mcf", Box::new(CyclicGenerator::new(0, 2, 5)));
+        assert_eq!(spec.arrival_cycles, None);
+        assert_eq!(spec.departure_cycles, None);
+        let spec = spec.with_arrival(100).with_departure(900);
+        assert_eq!(spec.arrival_cycles, Some(100));
+        assert_eq!(spec.departure_cycles, Some(900));
+        let dbg = format!("{spec:?}");
+        assert!(dbg.contains("arrival_cycles"));
     }
 
     #[test]

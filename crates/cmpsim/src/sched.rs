@@ -4,6 +4,13 @@
 //! 20 ms timeslice. The scheduler here supports unequal weights (slice
 //! lengths proportional to weight) as a documented extension; the default
 //! weight of 1.0 for every process reproduces the paper's assumption.
+//!
+//! Slice boundaries are anchored to the *nominal* grid: when the engine
+//! observes time past a boundary (steps are quantized, so the check always
+//! overshoots a little), the next slice still starts at the boundary, not
+//! at the observed time. Anchoring at the observed time — an earlier bug —
+//! leaked every overshoot into the next process's slice and let boundaries
+//! drift without bound.
 
 use crate::types::Cycles;
 
@@ -16,8 +23,8 @@ use crate::types::Cycles;
 ///
 /// let mut s = TimeSliceScheduler::new(2, 100, &[1.0, 1.0]).unwrap();
 /// assert_eq!(s.current(), 0);
-/// assert!(!s.maybe_switch(50));   // slice not yet over
-/// assert!(s.maybe_switch(100));   // slice expired
+/// assert_eq!(s.maybe_switch(50), 0);   // slice not yet over
+/// assert_eq!(s.maybe_switch(100), 1);  // slice expired
 /// assert_eq!(s.current(), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -28,11 +35,13 @@ pub struct TimeSliceScheduler {
     current: usize,
     slice_end: Cycles,
     switches: u64,
+    expiries: u64,
 }
 
 impl TimeSliceScheduler {
     /// Creates a scheduler for `n` runnable processes with base timeslice
-    /// `timeslice` cycles and per-process `weights`.
+    /// `timeslice` cycles and per-process `weights`. The first slice is
+    /// anchored at time 0.
     ///
     /// # Errors
     ///
@@ -51,15 +60,23 @@ impl TimeSliceScheduler {
         if weights.iter().any(|&w| !w.is_finite() || w <= 0.0) {
             return Err("weights must be positive and finite".into());
         }
-        let slice_end = (timeslice as f64 * weights[0]).round() as Cycles;
-        Ok(TimeSliceScheduler {
+        let mut s = TimeSliceScheduler {
             n,
             timeslice,
             weights: weights.to_vec(),
             current: 0,
-            slice_end,
+            slice_end: 0,
             switches: 0,
-        })
+            expiries: 0,
+        };
+        s.slice_end = s.slice_cycles(0);
+        Ok(s)
+    }
+
+    /// Slice length of process `idx` in cycles (at least 1, so boundaries
+    /// always advance even for extreme weight ratios).
+    fn slice_cycles(&self, idx: usize) -> Cycles {
+        ((self.timeslice as f64 * self.weights[idx]).round() as Cycles).max(1)
     }
 
     /// Index of the currently scheduled process.
@@ -67,24 +84,87 @@ impl TimeSliceScheduler {
         self.current
     }
 
-    /// Checks whether the slice has expired at core-local time `now`; if
-    /// so, rotates to the next process and returns `true`.
+    /// Advances the schedule to core-local time `now`: every slice
+    /// boundary in `(slice_end..=now]` expires in turn, each anchoring the
+    /// next slice at the boundary itself (never at the overshot `now`).
     ///
-    /// With a single process this never switches.
-    pub fn maybe_switch(&mut self, now: Cycles) -> bool {
-        if self.n == 1 || now < self.slice_end {
-            return false;
+    /// Returns the number of times the running process actually changed
+    /// (0 with a single process, whose slices expire without switching).
+    pub fn maybe_switch(&mut self, now: Cycles) -> u64 {
+        let mut changed = 0;
+        while now >= self.slice_end {
+            self.expiries += 1;
+            if self.n > 1 {
+                self.current = (self.current + 1) % self.n;
+                self.switches += 1;
+                changed += 1;
+            }
+            self.slice_end += self.slice_cycles(self.current);
         }
-        self.current = (self.current + 1) % self.n;
-        let w = self.weights[self.current];
-        self.slice_end = now + (self.timeslice as f64 * w).round() as Cycles;
-        self.switches += 1;
-        true
+        changed
+    }
+
+    /// Appends a process with weight `weight` to the rotation (used by the
+    /// event kernel when a process arrives on a running core). The current
+    /// slice is unaffected; the newcomer runs when the rotation reaches it.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if `weight` is not strictly positive and finite.
+    pub fn push(&mut self, weight: f64) -> Result<(), String> {
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err("weights must be positive and finite".into());
+        }
+        self.weights.push(weight);
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Removes process `idx` from the rotation at time `now` (used by the
+    /// event kernel on departure). Requires `n >= 2`; a core whose last
+    /// process leaves should drop the scheduler instead.
+    ///
+    /// If the departing process was running, the next process in rotation
+    /// takes over immediately with a fresh slice anchored at `now`, and
+    /// this counts as a context switch (returns `true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or `n < 2` (engine invariants).
+    pub fn remove(&mut self, idx: usize, now: Cycles) -> bool {
+        assert!(self.n >= 2, "remove needs at least two processes");
+        assert!(idx < self.n, "process index {idx} out of range for {}", self.n);
+        let was_current = idx == self.current;
+        self.weights.remove(idx);
+        self.n -= 1;
+        if idx < self.current {
+            self.current -= 1;
+        } else if was_current {
+            if self.current == self.n {
+                self.current = 0;
+            }
+            self.switches += 1;
+            self.slice_end = now + self.slice_cycles(self.current);
+        }
+        was_current
+    }
+
+    /// Re-anchors the current slice to start at `now` (used by the event
+    /// kernel when a core goes from idle to running on an arrival).
+    pub fn anchor(&mut self, now: Cycles) {
+        self.slice_end = now + self.slice_cycles(self.current);
     }
 
     /// Total context switches performed so far.
     pub fn switches(&self) -> u64 {
         self.switches
+    }
+
+    /// Total slice expiries so far. With `n == 1` slices still expire on
+    /// the nominal grid (the paper's §4.2 accounting slices solo processes
+    /// too) — they are counted here even though no switch occurs.
+    pub fn expiries(&self) -> u64 {
+        self.expiries
     }
 
     /// Number of processes on this core.
@@ -111,11 +191,11 @@ mod tests {
     fn round_robin_rotation() {
         let mut s = TimeSliceScheduler::new(3, 10, &[1.0, 1.0, 1.0]).unwrap();
         assert_eq!(s.current(), 0);
-        assert!(s.maybe_switch(10));
+        assert_eq!(s.maybe_switch(10), 1);
         assert_eq!(s.current(), 1);
-        assert!(s.maybe_switch(20));
+        assert_eq!(s.maybe_switch(20), 1);
         assert_eq!(s.current(), 2);
-        assert!(s.maybe_switch(30));
+        assert_eq!(s.maybe_switch(30), 1);
         assert_eq!(s.current(), 0);
         assert_eq!(s.switches(), 3);
     }
@@ -123,27 +203,68 @@ mod tests {
     #[test]
     fn single_process_never_switches() {
         let mut s = TimeSliceScheduler::new(1, 10, &[1.0]).unwrap();
-        assert!(!s.maybe_switch(1_000_000));
+        assert_eq!(s.maybe_switch(1_000), 0);
         assert_eq!(s.switches(), 0);
+    }
+
+    #[test]
+    fn single_process_slices_still_expire() {
+        // Satellite pin: a solo process's slices expire on the nominal
+        // grid and are observable via `expiries`, even though `switches`
+        // stays 0 (the same process keeps running).
+        let mut s = TimeSliceScheduler::new(1, 10, &[1.0]).unwrap();
+        assert_eq!(s.maybe_switch(95), 0);
+        assert_eq!(s.switches(), 0);
+        assert_eq!(s.expiries(), 9); // boundaries 10, 20, ..., 90
+        assert_eq!(s.slice_end(), 100);
     }
 
     #[test]
     fn no_switch_before_slice_end() {
         let mut s = TimeSliceScheduler::new(2, 100, &[1.0, 1.0]).unwrap();
-        assert!(!s.maybe_switch(99));
-        assert!(s.maybe_switch(100));
+        assert_eq!(s.maybe_switch(99), 0);
+        assert_eq!(s.maybe_switch(100), 1);
     }
 
     #[test]
     fn weighted_slices() {
         // Process 1 has twice the weight: its slice is twice as long.
         let mut s = TimeSliceScheduler::new(2, 100, &[1.0, 2.0]).unwrap();
-        assert!(s.maybe_switch(100));
+        assert_eq!(s.maybe_switch(100), 1);
         assert_eq!(s.current(), 1);
         assert_eq!(s.slice_end(), 300);
-        assert!(!s.maybe_switch(299));
-        assert!(s.maybe_switch(300));
+        assert_eq!(s.maybe_switch(299), 0);
+        assert_eq!(s.maybe_switch(300), 1);
         assert_eq!(s.current(), 0);
+    }
+
+    #[test]
+    fn overshoot_does_not_drift_boundaries() {
+        // Regression (asymmetric weights): the engine checks a little past
+        // the boundary because steps are quantized. The next slice must
+        // still be anchored at the boundary (10), giving slice_end
+        // 10 + 30 = 40 — not the overshot 12 + 30 = 42 the old code
+        // produced, which drifted every rotation.
+        let mut s = TimeSliceScheduler::new(2, 10, &[1.0, 3.0]).unwrap();
+        assert_eq!(s.maybe_switch(12), 1);
+        assert_eq!(s.current(), 1);
+        assert_eq!(s.slice_end(), 40);
+        // Next check overshoots again; still boundary-anchored: 40 + 10.
+        assert_eq!(s.maybe_switch(47), 1);
+        assert_eq!(s.current(), 0);
+        assert_eq!(s.slice_end(), 50);
+    }
+
+    #[test]
+    fn late_check_catches_up_across_boundaries() {
+        // A check long after expiry rotates once per missed boundary
+        // (boundaries 10..=50 with equal slices), not once in total.
+        let mut s = TimeSliceScheduler::new(2, 10, &[1.0, 1.0]).unwrap();
+        assert_eq!(s.maybe_switch(55), 5);
+        assert_eq!(s.current(), 1);
+        assert_eq!(s.slice_end(), 60);
+        assert_eq!(s.switches(), 5);
+        assert_eq!(s.expiries(), 5);
     }
 
     #[test]
@@ -156,12 +277,45 @@ mod tests {
     }
 
     #[test]
-    fn late_check_still_switches_once() {
-        // The engine may check long after expiry; exactly one rotation
-        // should occur per check.
-        let mut s = TimeSliceScheduler::new(2, 10, &[1.0, 1.0]).unwrap();
-        assert!(s.maybe_switch(55));
+    fn push_joins_rotation() {
+        let mut s = TimeSliceScheduler::new(1, 10, &[1.0]).unwrap();
+        s.push(1.0).unwrap();
+        assert_eq!(s.len(), 2);
+        // The newcomer is scheduled when the current slice expires.
+        assert_eq!(s.maybe_switch(10), 1);
         assert_eq!(s.current(), 1);
-        assert_eq!(s.slice_end(), 65);
+        assert!(s.push(f64::NAN).is_err());
+        assert!(s.push(0.0).is_err());
+    }
+
+    #[test]
+    fn remove_non_current_keeps_running_process() {
+        let mut s = TimeSliceScheduler::new(3, 10, &[1.0, 1.0, 1.0]).unwrap();
+        s.maybe_switch(10); // current -> 1
+        assert!(!s.remove(0, 12));
+        assert_eq!(s.current(), 0); // same process, shifted index
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.slice_end(), 20); // slice unchanged
+    }
+
+    #[test]
+    fn remove_current_hands_off_with_fresh_slice() {
+        let mut s = TimeSliceScheduler::new(2, 10, &[1.0, 1.0]).unwrap();
+        assert!(s.remove(0, 7));
+        assert_eq!(s.current(), 0); // the survivor
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.slice_end(), 17); // fresh slice anchored at departure
+        assert_eq!(s.switches(), 1);
+    }
+
+    #[test]
+    fn tiny_weight_slices_still_advance() {
+        // A weight that rounds to a zero-cycle slice must not stall the
+        // boundary chain.
+        let mut s = TimeSliceScheduler::new(2, 10, &[0.001, 1.0]).unwrap();
+        assert!(s.slice_end() >= 1);
+        let changed = s.maybe_switch(3);
+        assert!(changed >= 1);
+        assert!(s.slice_end() > 3 || changed > 0);
     }
 }

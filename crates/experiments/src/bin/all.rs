@@ -14,6 +14,7 @@ fn main() {
         ("prefetch_study", experiments::prefetch::report),
         ("mvlr_vs_nn", experiments::mvlr_nn::report),
         ("context_switch_study", experiments::ctxsw::report),
+        ("churn", experiments::churn::report),
         ("phase_study", experiments::phase_study::report),
         ("partition_study", experiments::partition_study::report),
         ("ablation_profiling", experiments::ablation_profiling::report),

@@ -1,0 +1,19 @@
+//! Runs the churn (arrival/departure) study and gates on its declared
+//! tolerances: exit 0 on PASS, 7 on a failed gate (like `mpmc validate`),
+//! 1 on infrastructure errors.
+fn main() {
+    let scale = experiments::harness::RunScale::from_args();
+    match experiments::churn::run_study(&scale, experiments::churn::ChurnTolerances::default()) {
+        Ok(r) => {
+            let text = experiments::harness::save_report("churn", r.text.clone());
+            println!("{text}");
+            if !r.pass {
+                std::process::exit(7);
+            }
+        }
+        Err(e) => {
+            eprintln!("churn_study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -279,6 +279,7 @@ pub fn tiny_scale() -> RunScale {
         share_warmup_s: 1.0,
         seed: 0xD1FF,
         workers: 0,
+        engine: cmpsim::engine::EngineKind::default(),
     }
 }
 

@@ -11,6 +11,7 @@
 
 pub mod ablation_profiling;
 pub mod ablation_training;
+pub mod churn;
 pub mod ctxsw;
 pub mod diffval;
 pub mod duo;

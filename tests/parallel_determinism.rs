@@ -451,6 +451,196 @@ fn optimizer_is_worker_count_and_order_invariant_and_exact() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Event-kernel parity and determinism battery (ISSUE 9).
+// ---------------------------------------------------------------------
+
+mod event_kernel {
+    use super::WORKER_COUNTS;
+    use mpmc::math::parallel::par_map;
+    use mpmc::sim::engine::{simulate, EngineKind, Placement, SimOptions, SimResult};
+    use mpmc::sim::machine::MachineConfig;
+    use mpmc::sim::process::ProcessSpec;
+    use mpmc::workloads::spec::SpecWorkload;
+
+    /// Short slices so sub-second corpus runs still context-switch.
+    fn sliced(base: MachineConfig) -> MachineConfig {
+        MachineConfig { timeslice_s: 0.008, ..base }
+    }
+
+    fn spec(w: SpecWorkload, sets: usize, region: u64) -> ProcessSpec {
+        let p = w.params();
+        ProcessSpec::new(p.name, Box::new(p.generator(sets, region)))
+    }
+
+    /// The seeded parity corpus: machine + placement + options, covering
+    /// solo cores, time-shared cores (2- and 3-deep), idle cores, both
+    /// dies of the server, and non-default scheduler weights.
+    fn corpus() -> Vec<(MachineConfig, Placement, SimOptions)> {
+        use SpecWorkload::{Art, Equake, Gzip, Mcf, Twolf, Vpr};
+        let opts = |seed: u64| SimOptions {
+            duration_s: 0.08,
+            warmup_s: 0.02,
+            seed,
+            ..SimOptions::default()
+        };
+        let mut corpus = Vec::new();
+
+        // 1. Solo process, one idle core.
+        let m = sliced(MachineConfig::two_core_workstation());
+        let mut pl = Placement::idle(2);
+        pl.assign(0, spec(Mcf, m.l2_sets, 1)).unwrap();
+        corpus.push((m, pl, opts(101)));
+
+        // 2. Time-shared pair vs solo neighbor.
+        let m = sliced(MachineConfig::two_core_workstation());
+        let mut pl = Placement::idle(2);
+        pl.assign(0, spec(Mcf, m.l2_sets, 1)).unwrap();
+        pl.assign(0, spec(Gzip, m.l2_sets, 2)).unwrap();
+        pl.assign(1, spec(Art, m.l2_sets, 3)).unwrap();
+        corpus.push((m, pl, opts(202)));
+
+        // 3. Deep time-sharing: three processes on one core, two on the
+        //    other.
+        let m = sliced(MachineConfig::two_core_workstation());
+        let mut pl = Placement::idle(2);
+        pl.assign(0, spec(Twolf, m.l2_sets, 1)).unwrap();
+        pl.assign(0, spec(Vpr, m.l2_sets, 2)).unwrap();
+        pl.assign(0, spec(Equake, m.l2_sets, 3)).unwrap();
+        pl.assign(1, spec(Mcf, m.l2_sets, 4)).unwrap();
+        pl.assign(1, spec(Gzip, m.l2_sets, 5)).unwrap();
+        corpus.push((m, pl, opts(303)));
+
+        // 4. Four-core server, one process per core (both dies busy).
+        let m = sliced(MachineConfig::four_core_server());
+        let mut pl = Placement::idle(4);
+        for (c, w) in [Mcf, Gzip, Art, Twolf].into_iter().enumerate() {
+            pl.assign(c, spec(w, m.l2_sets, c as u64 + 1)).unwrap();
+        }
+        corpus.push((m, pl, opts(404)));
+
+        // 5. Server with pairs on cores 0 and 2, cores 1 and 3 idle:
+        //    one contended core per die plus idle cores.
+        let m = sliced(MachineConfig::four_core_server());
+        let mut pl = Placement::idle(4);
+        pl.assign(0, spec(Mcf, m.l2_sets, 1)).unwrap();
+        pl.assign(0, spec(Art, m.l2_sets, 2)).unwrap();
+        pl.assign(2, spec(Equake, m.l2_sets, 3)).unwrap();
+        pl.assign(2, spec(Vpr, m.l2_sets, 4)).unwrap();
+        corpus.push((m, pl, opts(505)));
+
+        // 6. Weighted time-sharing (non-default scheduler weights).
+        let m = sliced(MachineConfig::two_core_workstation());
+        let mut pl = Placement::idle(2);
+        pl.assign(0, spec(Mcf, m.l2_sets, 1)).unwrap();
+        pl.assign(0, spec(Gzip, m.l2_sets, 2)).unwrap();
+        let o = SimOptions { weights: Some(vec![vec![3.0, 1.0], vec![]]), ..opts(606) };
+        corpus.push((m, pl, o));
+
+        // 7. Laptop preset, whole machine idle except one core.
+        let m = sliced(MachineConfig::duo_laptop());
+        let mut pl = Placement::idle(m.num_cores());
+        pl.assign(1, spec(Twolf, m.l2_sets, 1)).unwrap();
+        corpus.push((m, pl, opts(707)));
+
+        corpus
+    }
+
+    fn run(entry: usize, engine: EngineKind) -> SimResult {
+        let (m, pl, opts) = corpus().remove(entry);
+        simulate(&m, pl, SimOptions { engine, ..opts }).expect("corpus entry must simulate")
+    }
+
+    /// Tentpole acceptance: without arrivals/departures the event kernel
+    /// reproduces the lockstep oracle bit-exactly — processes, HPC
+    /// buckets, power samples, switch counts — on every corpus entry,
+    /// and the event-kernel answers are worker-count invariant when the
+    /// corpus is fanned out through the parallel map.
+    #[test]
+    fn lockstep_parity_corpus_is_bit_exact_for_all_worker_counts() {
+        let n = corpus().len();
+        assert!(n >= 6, "corpus must stay at >= 6 seeded placements");
+        let oracle: Vec<SimResult> = (0..n).map(|i| run(i, EngineKind::Lockstep)).collect();
+        // Sanity: the corpus actually exercises scheduling.
+        assert!(oracle.iter().any(|r| r.context_switches > 0));
+        assert!(oracle.iter().all(|r| r.slice_expiries > 0));
+        for workers in WORKER_COUNTS {
+            let events: Vec<SimResult> =
+                par_map((0..n).collect(), workers, |_, i| run(i, EngineKind::Events));
+            for (i, (ev, ls)) in events.iter().zip(&oracle).enumerate() {
+                assert_eq!(ev, ls, "corpus entry {i} diverged at workers={workers}");
+            }
+        }
+    }
+
+    /// A churn placement (arrivals and departures) built by assigning
+    /// cores in the given order; the per-core spec lists are identical
+    /// regardless, so results must be too.
+    fn churn_placement(m: &MachineConfig, core_order: &[usize]) -> Placement {
+        let end = (0.08 * m.freq_hz) as u64;
+        let mut pl = Placement::idle(2);
+        for &c in core_order {
+            if c == 0 {
+                pl.assign(0, spec(SpecWorkload::Mcf, m.l2_sets, 1)).unwrap();
+                pl.assign(0, spec(SpecWorkload::Gzip, m.l2_sets, 2).with_arrival(end / 3)).unwrap();
+            } else {
+                pl.assign(
+                    1,
+                    spec(SpecWorkload::Art, m.l2_sets, 3)
+                        .with_arrival(end / 5)
+                        .with_departure(3 * end / 4),
+                )
+                .unwrap();
+                pl.assign(1, spec(SpecWorkload::Twolf, m.l2_sets, 4).with_departure(end / 2))
+                    .unwrap();
+            }
+        }
+        pl
+    }
+
+    /// Scrambled construction order and parallel fan-out leave a churn
+    /// run bit-identical: event ordering is `(time, seq)`, never
+    /// insertion order, and arrival specs are keyed by placement
+    /// position.
+    #[test]
+    fn churn_runs_are_order_and_worker_count_invariant() {
+        let m = sliced(MachineConfig::two_core_workstation());
+        let opts =
+            SimOptions { duration_s: 0.08, warmup_s: 0.02, seed: 909, ..SimOptions::default() };
+        let baseline = simulate(&m, churn_placement(&m, &[0, 1]), opts.clone()).unwrap();
+        // The windows took effect: the departing process is cheaper than
+        // its full-run core mate would be, and switching happened.
+        assert!(baseline.context_switches > 0);
+        assert!(baseline.processes.iter().all(|p| p.counters.instructions > 0));
+        let scrambled = simulate(&m, churn_placement(&m, &[1, 0]), opts.clone()).unwrap();
+        assert_eq!(baseline, scrambled, "construction order leaked into the schedule");
+        for workers in WORKER_COUNTS {
+            let runs: Vec<SimResult> = par_map(vec![0u8; 4], workers, |_, _| {
+                simulate(&m, churn_placement(&m, &[0, 1]), opts.clone()).unwrap()
+            });
+            for (i, r) in runs.iter().enumerate() {
+                assert_eq!(r, &baseline, "churn run {i} diverged at workers={workers}");
+            }
+        }
+    }
+
+    /// The lockstep oracle stays compiled and refuses what it cannot
+    /// express, rather than silently ignoring residency windows.
+    #[test]
+    fn lockstep_oracle_rejects_churn_placements() {
+        let m = sliced(MachineConfig::two_core_workstation());
+        let opts = SimOptions {
+            duration_s: 0.08,
+            warmup_s: 0.02,
+            seed: 909,
+            engine: EngineKind::Lockstep,
+            ..SimOptions::default()
+        };
+        let err = simulate(&m, churn_placement(&m, &[0, 1]), opts).unwrap_err();
+        assert!(err.to_string().contains("lockstep"), "{err}");
+    }
+}
+
 /// The serving layer must not cost a single bit of determinism: answers
 /// produced under concurrency — through admission control, single-flight
 /// coalescing, and the cancellable (deadline-carrying) solver entry
