@@ -17,7 +17,7 @@ use crate::feature::FeatureVector;
 use crate::perf::PerformanceModel;
 use crate::power::CorePowerModel;
 use crate::profile::ProcessProfile;
-use crate::sharing::combination_average;
+use crate::sharing::combination_average_cancellable;
 use crate::ModelError;
 use cmpsim::hpc::EventRates;
 use cmpsim::machine::MachineConfig;
@@ -548,7 +548,7 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
             let mut spi_n: Vec<Vec<u64>> = sizes.iter().map(|&s| vec![0u64; s]).collect();
             let assoc = self.machine.l2_assoc() as f64;
             let mut first_err: Option<ModelError> = None;
-            combination_average(&sizes, |combo| {
+            combination_average_cancellable(&sizes, cancel, |combo| {
                 if first_err.is_some() {
                     return 0.0;
                 }
@@ -643,8 +643,16 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         }
 
         // Eq. 10: average the die power over all process combinations.
+        // Exact solves carry the caller's token into the walk; degraded
+        // and collect passes are uncancellable by design (bounded, and
+        // the prestage must record every set).
+        let never = CancelToken::never();
+        let cancel = match mode {
+            SolveMode::Exact(c) => *c,
+            _ => &never,
+        };
         let mut first_err: Option<ModelError> = None;
-        let avg = combination_average(&sizes, |combo| {
+        let avg = combination_average_cancellable(&sizes, cancel, |combo| {
             if first_err.is_some() {
                 return 0.0;
             }
@@ -911,6 +919,7 @@ impl<'a, M: CorePowerModel> CombinedModel<'a, M> {
         let mut seed_canon = vec![f64::NAN; key.len()];
         let mut matched_sum = 0.0;
         let (mut i, mut j) = (0, 0);
+        // lint:allow(cancellation_propagation) -- bounded two-pointer sweep: i or j advances every iteration
         while i < key.len() && j < nkey.len() {
             match key[i].cmp(&nkey[j]) {
                 std::cmp::Ordering::Equal => {
@@ -1476,11 +1485,33 @@ mod tests {
         cur.assign(0, 0);
         let err = cm.estimate_candidates_cancellable(&ps, &cur, 1, &[1], 2, &fired).unwrap_err();
         assert!(matches!(err, ModelError::Math(mathkit::MathError::Cancelled)));
-        // A cached hit needs no solve, so even a fired token cannot stop
-        // it: warm the cache with a healthy solve, then re-ask.
-        let warm = cm.estimate_processor_power(&ps, &asg).unwrap();
-        let hot = cm.estimate_processor_power_cancellable(&ps, &asg, &fired).unwrap();
-        assert_eq!(warm.to_bits(), hot.to_bits());
+        // The combination walk itself is a cancellation point, so a
+        // fired token stops the estimate even when every equilibrium is
+        // already cached and no solver would run.
+        let _ = cm.estimate_processor_power(&ps, &asg).unwrap();
+        let err = cm.estimate_processor_power_cancellable(&ps, &asg, &fired).unwrap_err();
+        assert!(matches!(err, ModelError::Math(mathkit::MathError::Cancelled)));
+    }
+
+    #[test]
+    fn fired_token_cancels_solver_free_paths() {
+        // One process alone on its die: the makespan walk takes the
+        // alone-on-die shortcut and never enters an equilibrium solve,
+        // so only the combination walk's own poll can observe the token.
+        let m = server();
+        let pm = synthetic_power_model(&m);
+        let cm = CombinedModel::new(&m, &pm);
+        let ps = vec![synthetic_profile("a", 0.4, 0.03, &m)];
+        let mut asg = Assignment::new(4);
+        asg.assign(0, 0);
+        let fired = CancelToken::from_fn(|| true);
+        let err = cm.estimate_makespan_cancellable(&ps, &asg, &fired).unwrap_err();
+        assert!(
+            matches!(err, ModelError::Math(mathkit::MathError::Cancelled)),
+            "solver-free makespan path must still cancel, got {err:?}"
+        );
+        let err = cm.estimate_processor_power_cancellable(&ps, &asg, &fired).unwrap_err();
+        assert!(matches!(err, ModelError::Math(mathkit::MathError::Cancelled)));
     }
 
     #[test]

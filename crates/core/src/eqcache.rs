@@ -86,6 +86,7 @@ fn shard_of(key: &[u64]) -> usize {
 /// keys are sorted, so a linear two-pointer sweep suffices).
 fn shared_fingerprints(a: &[u64], b: &[u64]) -> usize {
     let (mut i, mut j, mut shared) = (0, 0, 0);
+    // lint:allow(cancellation_propagation) -- bounded two-pointer sweep: i or j advances every iteration
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Equal => {

@@ -73,6 +73,28 @@ pub fn weighted_core_power(process_powers: &[f64], weights: &[f64]) -> Result<f6
 /// ```
 pub fn combination_average<F: FnMut(&[usize]) -> f64>(
     set_sizes: &[usize],
+    f: F,
+) -> Result<f64, ModelError> {
+    combination_average_cancellable(set_sizes, &mathkit::sync::CancelToken::never(), f)
+}
+
+/// [`combination_average`] with a cancellation point per combination.
+///
+/// The odometer walk visits the full cartesian product — combinatorial
+/// in the per-core queue lengths — so the model's cancellable entry
+/// points route through this variant: a fired token stops the walk at
+/// the next combination instead of after the whole product (the
+/// equilibrium solves inside `f` poll too, but the alone-on-die
+/// shortcut path never enters a solver).
+///
+/// # Errors
+///
+/// As [`combination_average`], plus
+/// [`ModelError::Math`]`(`[`mathkit::MathError::Cancelled`]`)` once
+/// `cancel` fires.
+pub fn combination_average_cancellable<F: FnMut(&[usize]) -> f64>(
+    set_sizes: &[usize],
+    cancel: &mathkit::sync::CancelToken,
     mut f: F,
 ) -> Result<f64, ModelError> {
     let total: usize = set_sizes.iter().filter(|&&s| s > 0).product();
@@ -86,6 +108,7 @@ pub fn combination_average<F: FnMut(&[usize]) -> f64>(
     let mut sum = 0.0;
     let mut count = 0usize;
     loop {
+        cancel.check()?;
         sum += f(&combo);
         count += 1;
         // Odometer increment over non-empty cores.
@@ -180,6 +203,43 @@ mod tests {
     #[test]
     fn all_empty_rejected() {
         assert!(combination_average(&[0, 0], |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn cancellation_stops_walk_at_next_combination() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let fired = Arc::new(AtomicBool::new(false));
+        let token = mathkit::sync::CancelToken::flag(Arc::clone(&fired));
+        let mut calls = 0usize;
+        let err = combination_average_cancellable(&[3, 3], &token, |_c| {
+            calls += 1;
+            fired.store(true, Ordering::Relaxed);
+            0.0
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, ModelError::Math(mathkit::MathError::Cancelled)),
+            "want typed cancellation, got {err:?}"
+        );
+        assert_eq!(calls, 1, "walk must stop at the next combination, not finish all 9");
+        // A pre-fired token stops the walk before the first evaluation.
+        let pre = mathkit::sync::CancelToken::from_fn(|| true);
+        let mut evals = 0usize;
+        assert!(combination_average_cancellable(&[2, 2], &pre, |_c| {
+            evals += 1;
+            0.0
+        })
+        .is_err());
+        assert_eq!(evals, 0);
+        // The plain wrapper (never-token) still sees every combination.
+        let mut seen = 0usize;
+        combination_average(&[2, 2], |_c| {
+            seen += 1;
+            0.0
+        })
+        .unwrap();
+        assert_eq!(seen, 4);
     }
 
     #[test]

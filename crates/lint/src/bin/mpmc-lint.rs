@@ -14,6 +14,7 @@ const USAGE: &str = "\
 mpmc-lint — static analysis for the mpmc workspace (see DESIGN.md §12)
 
 usage: mpmc-lint --check [--format text|json] [--root DIR] [--config FILE]
+                 [--no-cache] [--workers N]
        mpmc-lint --list-rules
 
   --check          run the lint (the only analysis mode; explicit so CI
@@ -23,6 +24,10 @@ usage: mpmc-lint --check [--format text|json] [--root DIR] [--config FILE]
                    directory to the Cargo.toml with [workspace])
   --config FILE    lint configuration (default: ROOT/lint.toml when it
                    exists, else compiled-in defaults)
+  --no-cache       ignore and do not write target/mpmc-lint-cache.json
+                   (every file analyzed from scratch)
+  --workers N      per-file analysis threads; 0 = auto (MPMC_WORKERS or
+                   available parallelism)
   --list-rules     print the known rule keys and their configured levels
 
 exit codes: 0 clean, 2 usage, 3 invalid lint.toml, 5 I/O failure,
@@ -35,6 +40,7 @@ struct Opts {
     format: String,
     root: Option<PathBuf>,
     config: Option<PathBuf>,
+    run: engine::RunOpts,
 }
 
 fn parse_args(argv: &[String]) -> Result<Opts, String> {
@@ -44,6 +50,7 @@ fn parse_args(argv: &[String]) -> Result<Opts, String> {
         format: "text".to_string(),
         root: None,
         config: None,
+        run: engine::RunOpts::default(),
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -60,6 +67,13 @@ fn parse_args(argv: &[String]) -> Result<Opts, String> {
             "--root" => opts.root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?)),
             "--config" => {
                 opts.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?));
+            }
+            "--no-cache" => opts.run.no_cache = true,
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                opts.run.workers = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--workers: expected a number, got '{v}'"))?;
             }
             "--help" | "-h" => {
                 opts.check = false;
@@ -139,7 +153,7 @@ fn run(argv: &[String]) -> i32 {
         return 0;
     }
 
-    let report = match engine::run(&root, &cfg) {
+    let report = match engine::run_with(&root, &cfg, &opts.run) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("mpmc-lint: {e}");
@@ -167,6 +181,10 @@ mod tests {
         assert!(parse_args(&args(&["--format", "xml"])).is_err());
         assert!(parse_args(&args(&[])).is_err(), "no mode given");
         assert!(parse_args(&args(&["--check", "--format", "json"])).is_ok());
+        assert!(parse_args(&args(&["--check", "--workers", "many"])).is_err());
+        let opts = parse_args(&args(&["--check", "--no-cache", "--workers", "3"])).expect("ok");
+        assert!(opts.run.no_cache);
+        assert_eq!(opts.run.workers, 3);
     }
 
     #[test]

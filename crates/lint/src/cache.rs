@@ -1,0 +1,277 @@
+//! Incremental per-file result cache.
+//!
+//! The per-file phase (lex → parse → lexical rules → fact extraction)
+//! is a pure function of one file's text and the configuration, so its
+//! output is cached under an FNV-1a content hash keyed alongside a
+//! hash of the effective [`Config`]. A warm run re-reads each source
+//! only to hash it; unchanged files skip straight to the
+//! whole-program phase, which always re-runs — the call graph,
+//! lock-order closure, and taint propagation are global and cheap over
+//! extracted facts. The cache file lives at
+//! `target/mpmc-lint-cache.json` (inside cargo's build directory, so
+//! `cargo clean` clears it and the source walk never scans it) and any
+//! shape mismatch — version bump, config change, hand-edited JSON —
+//! degrades to a cold run, never to stale findings.
+
+use crate::config::Config;
+use crate::engine::{FileAnalysis, RawHit};
+use crate::lexer::Waiver;
+use crate::symbols::FileFacts;
+use mpmc_service::json::{self, Json};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Cache format version; bump when [`FileAnalysis`] serialization
+/// changes shape.
+const VERSION: f64 = 1.0;
+
+/// FNV-1a 64-bit over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of the effective configuration. `Config`'s maps are BTreeMaps,
+/// so the debug rendering is deterministic.
+pub fn config_hash(cfg: &Config) -> u64 {
+    fnv1a64(format!("{:?}|{:?}|{:?}", cfg.rules, cfg.scopes, cfg.exclude).as_bytes())
+}
+
+/// The on-disk cache: relpath → (content hash, cached analysis).
+#[derive(Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, FileAnalysis)>,
+}
+
+impl Cache {
+    /// Loads the cache from `path`. Any read or parse problem — or a
+    /// version/config mismatch — yields an empty cache (a cold run).
+    pub fn load(path: &Path, cfg_hash: u64) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else { return Cache::default() };
+        let Ok(doc) = json::parse(&text) else { return Cache::default() };
+        if doc.get("version").and_then(Json::as_f64) != Some(VERSION)
+            || doc.get("config").and_then(Json::as_str)
+                != Some(format!("{cfg_hash:016x}")).as_deref()
+        {
+            return Cache::default();
+        }
+        let mut cache = Cache::default();
+        let Some(Json::Obj(files)) = doc.get("files") else { return Cache::default() };
+        for (rel, entry) in files {
+            let Some(hash) = entry
+                .get("hash")
+                .and_then(Json::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+            else {
+                continue;
+            };
+            let Some(fa) = entry.get("analysis").and_then(|a| analysis_from_json(rel, a)) else {
+                continue;
+            };
+            cache.entries.insert(rel.clone(), (hash, fa));
+        }
+        cache
+    }
+
+    /// The cached analysis for `rel` when its content hash matches.
+    pub fn get(&self, rel: &str, hash: u64) -> Option<&FileAnalysis> {
+        self.entries.get(rel).filter(|(h, _)| *h == hash).map(|(_, fa)| fa)
+    }
+
+    /// Records `fa` for `rel` under `hash`.
+    pub fn put(&mut self, rel: &str, hash: u64, fa: FileAnalysis) {
+        self.entries.insert(rel.to_string(), (hash, fa));
+    }
+
+    /// Drops entries for files no longer scanned.
+    pub fn retain_files(&mut self, live: &dyn Fn(&str) -> bool) {
+        self.entries.retain(|rel, _| live(rel));
+    }
+
+    /// Writes the cache to `path`. Best-effort: a cache that cannot be
+    /// written only costs the next run its warm start, so failures are
+    /// reported to the caller as a non-fatal note, not an error.
+    pub fn save(&self, path: &Path, cfg_hash: u64) -> Result<(), String> {
+        let files: Vec<(String, Json)> = self
+            .entries
+            .iter()
+            .map(|(rel, (hash, fa))| {
+                (
+                    rel.clone(),
+                    Json::Obj(vec![
+                        ("hash".into(), Json::str(format!("{hash:016x}"))),
+                        ("analysis".into(), analysis_to_json(fa)),
+                    ]),
+                )
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("version".into(), Json::Num(VERSION)),
+            ("config".into(), Json::str(format!("{cfg_hash:016x}"))),
+            ("files".into(), Json::Obj(files)),
+        ]);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, doc.render()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn analysis_to_json(fa: &FileAnalysis) -> Json {
+    let raws = fa
+        .raws
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("rule".into(), Json::str(&r.rule)),
+                ("line".into(), Json::Num(f64::from(r.line))),
+                ("col".into(), Json::Num(f64::from(r.col))),
+                ("message".into(), Json::str(&r.message)),
+            ])
+        })
+        .collect();
+    let waivers = fa
+        .waivers
+        .iter()
+        .map(|w| {
+            let mut fields = vec![
+                ("line".into(), Json::Num(f64::from(w.line))),
+                ("target_line".into(), Json::Num(f64::from(w.target_line))),
+                ("rules".into(), Json::Arr(w.rules.iter().map(Json::str).collect())),
+            ];
+            if let Some(r) = &w.reason {
+                fields.push(("reason".into(), Json::str(r)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    let bad = fa
+        .bad_waivers
+        .iter()
+        .map(|(line, msg)| {
+            Json::Obj(vec![
+                ("line".into(), Json::Num(f64::from(*line))),
+                ("message".into(), Json::str(msg)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("raws".into(), Json::Arr(raws)),
+        ("waivers".into(), Json::Arr(waivers)),
+        ("bad_waivers".into(), Json::Arr(bad)),
+        ("facts".into(), fa.facts.to_json()),
+    ])
+}
+
+fn get_u32(j: &Json, key: &str) -> Option<u32> {
+    let n = j.get(key)?.as_f64()?;
+    if n.is_finite() && n >= 0.0 && n <= f64::from(u32::MAX) {
+        Some(n as u32)
+    } else {
+        None
+    }
+}
+
+fn analysis_from_json(rel: &str, j: &Json) -> Option<FileAnalysis> {
+    let mut fa = FileAnalysis {
+        relpath: rel.to_string(),
+        raws: Vec::new(),
+        waivers: Vec::new(),
+        bad_waivers: Vec::new(),
+        facts: FileFacts::default(),
+    };
+    for r in j.get("raws")?.as_arr()? {
+        fa.raws.push(RawHit {
+            rule: r.get("rule")?.as_str()?.to_string(),
+            line: get_u32(r, "line")?,
+            col: get_u32(r, "col")?,
+            message: r.get("message")?.as_str()?.to_string(),
+        });
+    }
+    for w in j.get("waivers")?.as_arr()? {
+        fa.waivers.push(Waiver {
+            line: get_u32(w, "line")?,
+            target_line: get_u32(w, "target_line")?,
+            rules: w
+                .get("rules")?
+                .as_arr()?
+                .iter()
+                .map(|r| r.as_str().map(String::from))
+                .collect::<Option<Vec<_>>>()?,
+            reason: w.get("reason").and_then(Json::as_str).map(String::from),
+        });
+    }
+    for b in j.get("bad_waivers")?.as_arr()? {
+        fa.bad_waivers.push((get_u32(b, "line")?, b.get("message")?.as_str()?.to_string()));
+    }
+    fa.facts = FileFacts::from_json(j.get("facts")?)?;
+    Some(fa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_file;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpmc-lint-cache-test-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tempdir");
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_analysis() {
+        let cfg = Config::default();
+        let src = "fn f(cancel: &CancelToken) {\n  x.unwrap();\n  loop { cancel.check()?; }\n}\n";
+        let fa = analyze_file("crates/core/src/x.rs", src, &cfg);
+        let hash = fnv1a64(src.as_bytes());
+        let cfg_hash = config_hash(&cfg);
+
+        let mut cache = Cache::default();
+        cache.put("crates/core/src/x.rs", hash, fa.clone());
+        let path = tmpdir("roundtrip").join("cache.json");
+        cache.save(&path, cfg_hash).expect("save");
+
+        let loaded = Cache::load(&path, cfg_hash);
+        let back = loaded.get("crates/core/src/x.rs", hash).expect("hit");
+        assert_eq!(back.raws.len(), fa.raws.len());
+        assert_eq!(back.facts.fns, fa.facts.fns);
+        assert!(loaded.get("crates/core/src/x.rs", hash ^ 1).is_none(), "stale hash misses");
+    }
+
+    #[test]
+    fn config_change_invalidates_everything() {
+        let cfg = Config::default();
+        let fa = analyze_file("crates/core/src/x.rs", "fn f() {}\n", &cfg);
+        let mut cache = Cache::default();
+        cache.put("crates/core/src/x.rs", 7, fa);
+        let path = tmpdir("cfg-invalidate").join("cache.json");
+        cache.save(&path, 1).expect("save");
+        assert!(Cache::load(&path, 2).get("crates/core/src/x.rs", 7).is_none());
+        assert!(Cache::load(&path, 1).get("crates/core/src/x.rs", 7).is_some());
+    }
+
+    #[test]
+    fn corrupt_cache_degrades_to_cold() {
+        let path = tmpdir("corrupt").join("cache.json");
+        std::fs::write(&path, "{not json").expect("write");
+        let c = Cache::load(&path, 0);
+        assert!(c.get("anything", 0).is_none());
+        assert!(Cache::load(Path::new("/nonexistent-zzz/cache.json"), 0).entries.is_empty());
+    }
+
+    #[test]
+    fn hashes_are_stable_and_distinct() {
+        assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+        let cfg = Config::default();
+        let mut cfg2 = cfg.clone();
+        cfg2.exclude.push("extra".into());
+        assert_ne!(config_hash(&cfg), config_hash(&cfg2));
+    }
+}

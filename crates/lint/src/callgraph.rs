@@ -1,0 +1,166 @@
+//! Workspace symbol table and name-resolution-lite call graph.
+//!
+//! Nodes are the non-test functions of every analyzed file (flattened
+//! across [`FileFacts`] sets); edges go from each call site to **all**
+//! workspace functions whose bare name matches the callee. This is
+//! deliberately conservative — without real name resolution (no `syn`,
+//! no type information) a `.solve(` method call could dispatch to any
+//! `solve` in the workspace, so the graph over-approximates reachability
+//! and the rules built on it over-report rather than under-report.
+//! Methods on std/external types (`push`, `insert`, `iter`, …) resolve
+//! to nothing and simply add no edges. DESIGN.md §17 spells out the
+//! soundness caveats.
+
+use crate::symbols::{FileFacts, FnFacts};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A node in the call graph: one function in one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(pub usize);
+
+/// The workspace call graph over extracted facts.
+pub struct Graph<'a> {
+    /// Flattened `(relpath, facts)` per node, in file order.
+    pub nodes: Vec<(&'a str, &'a FnFacts)>,
+    /// Bare fn name → node indices (the symbol table).
+    pub by_name: BTreeMap<&'a str, Vec<usize>>,
+    /// Adjacency: `edges[n]` lists the nodes `n` may call.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the symbol table and edge set from per-file facts.
+    pub fn build(files: &'a [FileFacts]) -> Graph<'a> {
+        let mut nodes: Vec<(&str, &FnFacts)> = Vec::new();
+        for file in files {
+            for f in &file.fns {
+                nodes.push((file.relpath.as_str(), f));
+            }
+        }
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, (_, f)) in nodes.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (i, (_, f)) in nodes.iter().enumerate() {
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            for c in &f.calls {
+                for &j in by_name.get(c.callee.as_str()).map_or(&[][..], Vec::as_slice) {
+                    if seen.insert(j) {
+                        edges[i].push(j);
+                    }
+                }
+            }
+        }
+        Graph { nodes, by_name, edges }
+    }
+
+    /// Node indices whose bare fn name matches.
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Forward-reachable node set (BFS) from `roots`, inclusive.
+    pub fn reachable(&self, roots: &[usize]) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
+        let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// One shortest root→target call path, as `qual` names, for
+    /// finding messages (`op_estimate -> solve_batch -> inner_loop`).
+    pub fn path_from(&self, roots: &[usize], target: usize) -> Vec<String> {
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
+        let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            if n == target {
+                let mut path = vec![n];
+                let mut cur = n;
+                while let Some(&p) = prev.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return path
+                    .into_iter()
+                    .map(|i| {
+                        let q = &self.nodes[i].1.qual;
+                        if q.is_empty() {
+                            self.nodes[i].1.name.clone()
+                        } else {
+                            q.clone()
+                        }
+                    })
+                    .collect();
+            }
+            for &m in &self.edges[n] {
+                if seen.insert(m) {
+                    prev.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::symbols::extract;
+
+    fn facts_of(relpath: &str, src: &str) -> FileFacts {
+        let lexed = lex(src);
+        extract(relpath, &lexed, &parse(&lexed.toks))
+    }
+
+    #[test]
+    fn edges_cross_files_by_bare_name() {
+        let files = vec![
+            facts_of("a.rs", "fn alpha() { beta(); }\n"),
+            facts_of("b.rs", "fn beta() { gamma(); }\nfn gamma() {}\n"),
+        ];
+        let g = Graph::build(&files);
+        let alpha = g.resolve("alpha")[0];
+        let reach = g.reachable(&[alpha]);
+        assert_eq!(reach.len(), 3, "alpha -> beta -> gamma");
+    }
+
+    #[test]
+    fn method_calls_fan_out_to_all_matching_names() {
+        let files = vec![
+            facts_of("a.rs", "fn caller(x: &S) { x.solve(); }\n"),
+            facts_of("b.rs", "impl S { fn solve(&self) {} }\nimpl T { fn solve(&self) {} }\n"),
+        ];
+        let g = Graph::build(&files);
+        let caller = g.resolve("caller")[0];
+        assert_eq!(g.edges[caller].len(), 2, "conservative fan-out to both solve impls");
+    }
+
+    #[test]
+    fn unresolved_std_methods_add_no_edges() {
+        let files = vec![facts_of("a.rs", "fn f(v: &mut Vec<u32>) { v.push(1); v.clear(); }\n")];
+        let g = Graph::build(&files);
+        assert!(g.edges[0].is_empty());
+    }
+
+    #[test]
+    fn path_from_reports_shortest_chain() {
+        let files =
+            vec![facts_of("a.rs", "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n")];
+        let g = Graph::build(&files);
+        let root = g.resolve("root")[0];
+        let leaf = g.resolve("leaf")[0];
+        assert_eq!(g.path_from(&[root], leaf), ["root", "mid", "leaf"]);
+    }
+}

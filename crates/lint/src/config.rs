@@ -19,6 +19,9 @@ pub const RULE_KEYS: &[&str] = &[
     "unsafe_audit",
     "indexing",
     "bounded_io",
+    "cancellation_propagation",
+    "lock_order",
+    "determinism_taint",
     "waiver_syntax",
     "waiver_unused",
 ];
@@ -81,6 +84,12 @@ impl Default for Config {
         // is the blessed idiom, and the sweep stays clean, but a token
         // heuristic about allocation provenance should nudge, not gate.
         rules.insert("bounded_io".to_string(), RuleLevel::Warn);
+        // The interprocedural families gate at deny: cancellation,
+        // lock order, and determinism taint are whole-program promises
+        // the serving path depends on (DESIGN.md §17).
+        for k in ["cancellation_propagation", "lock_order", "determinism_taint"] {
+            rules.insert(k.to_string(), RuleLevel::Deny);
+        }
         rules.insert("waiver_syntax".to_string(), RuleLevel::Deny);
         rules.insert("waiver_unused".to_string(), RuleLevel::Warn);
 
@@ -133,6 +142,20 @@ impl Default for Config {
         // Lock hygiene and the unsafe audit apply to everything scanned.
         scopes.insert("lock_hygiene".to_string(), Vec::new());
         scopes.insert("unsafe_audit".to_string(), Vec::new());
+        // Cancellation and lock order: the whole-program concurrency
+        // story spans service, core, and mathkit; findings elsewhere
+        // (CLI glue, generators) are noise.
+        let concurrency_scope = vec![
+            "crates/core/src".to_string(),
+            "crates/mathkit/src".to_string(),
+            "crates/service/src".to_string(),
+        ];
+        scopes.insert("cancellation_propagation".to_string(), concurrency_scope.clone());
+        scopes.insert("lock_order".to_string(), concurrency_scope.clone());
+        // Determinism taint: where equilibrium, fingerprints, and
+        // wire-visible numbers are produced. Bench/experiments print
+        // wall-clock timings on purpose.
+        scopes.insert("determinism_taint".to_string(), concurrency_scope);
 
         Config {
             rules,

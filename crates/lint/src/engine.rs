@@ -1,49 +1,131 @@
 //! The analysis driver: walks the workspace source trees, runs the
-//! configured rules on each file, and resolves waivers into a
+//! per-file phase (lexical rules + fact extraction, cached and
+//! parallel), joins the facts into the whole-program phase
+//! (call graph + interprocedural rules), and resolves waivers into a
 //! [`Report`].
+//!
+//! The run is split so the expensive part is incremental:
+//!
+//! 1. **Per file** — [`analyze_file`]: lex, parse, lexical rules, fact
+//!    extraction. A pure function of `(relpath, source, config)`, so
+//!    results are cached by content hash ([`crate::cache`]) and misses
+//!    fan out over [`mathkit::parallel::par_map`].
+//! 2. **Whole program** — [`crate::iprules::run_all`] over every
+//!    file's facts. Always re-runs: the call graph is global, and the
+//!    facts it consumes are small.
+//! 3. **Resolution** — waivers are applied per file *after* both
+//!    phases, so a waiver covers interprocedural findings exactly like
+//!    lexical ones and `waiver_unused` accounts for both.
 
+use crate::cache::{self, Cache};
 use crate::config::{Config, RuleLevel};
-use crate::findings::{Finding, Report, Severity};
-use crate::lexer;
+use crate::findings::{Finding, Report};
+use crate::iprules::{self, IpFinding};
+use crate::lexer::{self, Waiver};
+use crate::parser;
 use crate::rules::{self, RawFinding};
+use crate::symbols::{self, FileFacts};
 use std::path::{Path, PathBuf};
 
-/// Lints one file's source text under `cfg`, exactly as the workspace
-/// run does. `relpath` decides rule scoping (fixture tests pass
-/// synthetic paths like `crates/core/src/snippet.rs` to land in a
-/// rule's scope).
-pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+/// One rule hit, pre-waiver-resolution. Lexical rules and the
+/// interprocedural families both funnel into this shape.
+#[derive(Debug, Clone)]
+pub struct RawHit {
+    /// Rule key.
+    pub rule: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Everything the per-file phase produces: the cacheable unit.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub relpath: String,
+    /// Lexical-rule hits (level and scope already applied).
+    pub raws: Vec<RawHit>,
+    /// Waiver comments found in the file.
+    pub waivers: Vec<Waiver>,
+    /// Malformed waiver comments.
+    pub bad_waivers: Vec<(u32, String)>,
+    /// Extracted interprocedural facts.
+    pub facts: FileFacts,
+}
+
+/// Options for [`run_with`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Skip the on-disk result cache (cold run, nothing written).
+    pub no_cache: bool,
+    /// Worker threads for the per-file phase; `0` means auto
+    /// (see [`mathkit::parallel::resolve_workers`]).
+    pub workers: usize,
+}
+
+/// Runs the per-file phase on one source text.
+pub fn analyze_file(relpath: &str, source: &str, cfg: &Config) -> FileAnalysis {
     let lexed = lexer::lex(source);
+    let parsed = parser::parse(&lexed.toks);
+    let facts = symbols::extract(relpath, &lexed, &parsed);
     let is_crate_root = relpath.ends_with("src/lib.rs");
-    let mut raws: Vec<(RawFinding, Severity)> = Vec::new();
+    let mut raws: Vec<RawHit> = Vec::new();
+    {
+        let mut run_rule = |key: &'static str, f: &dyn Fn(&mut Vec<RawFinding>)| {
+            let level = cfg.level(key);
+            if level == RuleLevel::Off || !cfg.in_scope(key, relpath) {
+                return;
+            }
+            let mut out = Vec::new();
+            f(&mut out);
+            raws.extend(out.into_iter().map(|r| RawHit {
+                rule: r.rule.to_string(),
+                line: r.line,
+                col: r.col,
+                message: r.message,
+            }));
+        };
+        run_rule("panic_free", &|out| rules::panic_free(&lexed.toks, out));
+        run_rule("indexing", &|out| rules::indexing(&lexed.toks, out));
+        run_rule("nan_safe", &|out| rules::nan_safe(&lexed.toks, out));
+        run_rule("determinism", &|out| rules::determinism(&lexed.toks, out));
+        run_rule("lock_hygiene", &|out| rules::lock_hygiene(relpath, &lexed.toks, out));
+        run_rule("bounded_io", &|out| rules::bounded_io(&lexed.toks, out));
+        run_rule("unsafe_audit", &|out| rules::unsafe_audit(is_crate_root, &lexed.toks, out));
+    }
+    FileAnalysis {
+        relpath: relpath.to_string(),
+        raws,
+        waivers: lexed.waivers,
+        bad_waivers: lexed.bad_waivers,
+        facts,
+    }
+}
 
-    let mut run_rule = |key: &'static str, f: &dyn Fn(&mut Vec<RawFinding>)| {
-        let level = cfg.level(key);
-        if level == RuleLevel::Off || !cfg.in_scope(key, relpath) {
-            return;
-        }
-        let mut out = Vec::new();
-        f(&mut out);
-        raws.extend(out.into_iter().map(|r| (r, level.severity())));
-    };
-    run_rule("panic_free", &|out| rules::panic_free(&lexed.toks, out));
-    run_rule("indexing", &|out| rules::indexing(&lexed.toks, out));
-    run_rule("nan_safe", &|out| rules::nan_safe(&lexed.toks, out));
-    run_rule("determinism", &|out| rules::determinism(&lexed.toks, out));
-    run_rule("lock_hygiene", &|out| rules::lock_hygiene(relpath, &lexed.toks, out));
-    run_rule("bounded_io", &|out| rules::bounded_io(&lexed.toks, out));
-    run_rule("unsafe_audit", &|out| rules::unsafe_audit(is_crate_root, &lexed.toks, out));
+/// Resolves waivers over one file's lexical and interprocedural hits
+/// and appends the waiver-hygiene findings.
+fn resolve(fa: &FileAnalysis, ip: &[&IpFinding], cfg: &Config) -> Vec<Finding> {
+    let mut hits: Vec<RawHit> = fa.raws.clone();
+    hits.extend(ip.iter().map(|f| RawHit {
+        rule: f.rule.to_string(),
+        line: f.line,
+        col: f.col,
+        message: f.message.clone(),
+    }));
 
-    // Resolve waivers. A waiver covers findings of its rules (or `all`)
-    // on its target line; each use is recorded so unused waivers can be
-    // reported.
-    let mut used = vec![false; lexed.waivers.len()];
+    // A waiver covers findings of its rules (or `all`) on its target
+    // line; each use is recorded so unused waivers can be reported.
+    let mut used = vec![false; fa.waivers.len()];
     let mut findings: Vec<Finding> = Vec::new();
-    for (r, severity) in raws {
+    for r in hits {
+        let severity = cfg.level(&r.rule).severity();
         let mut waived = false;
         let mut waive_reason = None;
-        for (wi, w) in lexed.waivers.iter().enumerate() {
-            let rule_matches = w.rules.iter().any(|k| k == r.rule || k == "all");
+        for (wi, w) in fa.waivers.iter().enumerate() {
+            let rule_matches = w.rules.iter().any(|k| *k == r.rule || k == "all");
             if w.target_line == r.line && rule_matches && w.reason.is_some() {
                 used[wi] = true;
                 waived = true;
@@ -52,9 +134,9 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             }
         }
         findings.push(Finding {
-            rule: r.rule.to_string(),
+            rule: r.rule,
             severity,
-            file: relpath.to_string(),
+            file: fa.relpath.clone(),
             line: r.line,
             col: r.col,
             message: r.message,
@@ -66,11 +148,11 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     // Waiver hygiene findings.
     if cfg.level("waiver_syntax") != RuleLevel::Off {
         let sev = cfg.level("waiver_syntax").severity();
-        for (line, msg) in &lexed.bad_waivers {
+        for (line, msg) in &fa.bad_waivers {
             findings.push(Finding {
                 rule: "waiver_syntax".to_string(),
                 severity: sev,
-                file: relpath.to_string(),
+                file: fa.relpath.clone(),
                 line: *line,
                 col: 1,
                 message: msg.clone(),
@@ -78,12 +160,12 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
                 waive_reason: None,
             });
         }
-        for w in &lexed.waivers {
+        for w in &fa.waivers {
             if w.reason.is_none() {
                 findings.push(Finding {
                     rule: "waiver_syntax".to_string(),
                     severity: sev,
-                    file: relpath.to_string(),
+                    file: fa.relpath.clone(),
                     line: w.line,
                     col: 1,
                     message: "waiver is missing its justification: \
@@ -97,12 +179,12 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     }
     if cfg.level("waiver_unused") != RuleLevel::Off {
         let sev = cfg.level("waiver_unused").severity();
-        for (wi, w) in lexed.waivers.iter().enumerate() {
+        for (wi, w) in fa.waivers.iter().enumerate() {
             if !used[wi] && w.reason.is_some() {
                 findings.push(Finding {
                     rule: "waiver_unused".to_string(),
                     severity: sev,
-                    file: relpath.to_string(),
+                    file: fa.relpath.clone(),
                     line: w.line,
                     col: 1,
                     message: format!(
@@ -118,6 +200,28 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     findings
 }
 
+/// Lints one file's source text under `cfg`, exactly as the workspace
+/// run does — including the interprocedural families, run over just
+/// this file, so fixtures stay self-contained. `relpath` decides rule
+/// scoping (fixture tests pass synthetic paths like
+/// `crates/core/src/snippet.rs` to land in a rule's scope).
+pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let fa = analyze_file(relpath, source, cfg);
+    let files = [fa.facts.clone()];
+    let ip = iprules::run_all(&files, cfg);
+    let ip_refs: Vec<&IpFinding> = ip.iter().collect();
+    resolve(&fa, &ip_refs, cfg)
+}
+
+/// Runs the full workspace lint rooted at `root` with default options.
+///
+/// # Errors
+///
+/// Returns a message for I/O failures walking or reading sources.
+pub fn run(root: &Path, cfg: &Config) -> Result<Report, String> {
+    run_with(root, cfg, &RunOpts::default())
+}
+
 /// Runs the full workspace lint rooted at `root`.
 ///
 /// Scans the non-test source trees — `src/` of the workspace package and
@@ -128,7 +232,11 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
 /// # Errors
 ///
 /// Returns a message for I/O failures walking or reading sources.
-pub fn run(root: &Path, cfg: &Config) -> Result<Report, String> {
+// Wall-clock timing here is run diagnostics (reported as `wall_ms`,
+// gated by CI), never model output.
+#[allow(clippy::disallowed_methods)]
+pub fn run_with(root: &Path, cfg: &Config, opts: &RunOpts) -> Result<Report, String> {
+    let t0 = std::time::Instant::now();
     let mut files: Vec<PathBuf> = Vec::new();
     let root_src = root.join("src");
     if root_src.is_dir() {
@@ -151,12 +259,9 @@ pub fn run(root: &Path, cfg: &Config) -> Result<Report, String> {
     }
     files.sort();
 
-    let mut report = Report::default();
-    for key in crate::config::RULE_KEYS {
-        if cfg.level(key) != RuleLevel::Off {
-            report.rules_run.push((*key).to_string());
-        }
-    }
+    // Read every in-scope source up front (I/O stays sequential and
+    // deterministic; the compute fans out below).
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -168,9 +273,63 @@ pub fn run(root: &Path, cfg: &Config) -> Result<Report, String> {
         }
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        report.findings.extend(lint_source(&rel, &source, cfg));
+        sources.push((rel, source));
+    }
+
+    // Per-file phase: cache hits are reused, misses analyzed in
+    // parallel (bit-identical to sequential by par_map's contract).
+    let cfg_hash = cache::config_hash(cfg);
+    let cache_path = root.join("target").join("mpmc-lint-cache.json");
+    let mut cache =
+        if opts.no_cache { Cache::default() } else { Cache::load(&cache_path, cfg_hash) };
+    let mut analyses: Vec<Option<FileAnalysis>> = vec![None; sources.len()];
+    let mut misses: Vec<(usize, u64, String, String)> = Vec::new();
+    let mut hits = 0usize;
+    for (i, (rel, source)) in sources.iter().enumerate() {
+        let h = cache::fnv1a64(source.as_bytes());
+        if let Some(fa) = cache.get(rel, h) {
+            analyses[i] = Some(fa.clone());
+            hits += 1;
+        } else {
+            misses.push((i, h, rel.clone(), source.clone()));
+        }
+    }
+    let miss_count = misses.len();
+    let computed = mathkit::parallel::par_map(misses, opts.workers, |_, (i, h, rel, source)| {
+        let fa = analyze_file(&rel, &source, cfg);
+        (i, h, rel, fa)
+    });
+    for (i, h, rel, fa) in computed {
+        cache.put(&rel, h, fa.clone());
+        analyses[i] = Some(fa);
+    }
+    if !opts.no_cache {
+        cache.retain_files(&|rel| sources.iter().any(|(r, _)| r == rel));
+        if let Err(e) = cache.save(&cache_path, cfg_hash) {
+            // A lost cache only costs the next run its warm start.
+            eprintln!("mpmc-lint: note: cache not saved: {e}");
+        }
+    }
+    let analyses: Vec<FileAnalysis> = analyses.into_iter().flatten().collect();
+
+    // Whole-program phase over every file's facts.
+    let facts: Vec<FileFacts> = analyses.iter().map(|fa| fa.facts.clone()).collect();
+    let ip = iprules::run_all(&facts, cfg);
+
+    let mut report = Report::default();
+    for key in crate::config::RULE_KEYS {
+        if cfg.level(key) != RuleLevel::Off {
+            report.rules_run.push((*key).to_string());
+        }
+    }
+    for fa in &analyses {
+        let ip_here: Vec<&IpFinding> = ip.iter().filter(|f| f.file == fa.relpath).collect();
+        report.findings.extend(resolve(fa, &ip_here, cfg));
         report.files_scanned += 1;
     }
+    report.cache_hits = hits;
+    report.cache_misses = miss_count;
+    report.wall_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
     report.sort();
     Ok(report)
 }
@@ -223,6 +382,7 @@ pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::findings::Severity;
 
     #[test]
     fn waivers_suppress_and_unused_waivers_warn() {
@@ -270,10 +430,52 @@ mod tests {
     }
 
     #[test]
+    fn interprocedural_findings_resolve_waivers_too() {
+        let cfg = Config::default();
+        // A waived unpolled loop below a cancellable root: the waiver
+        // covers it and is counted as used.
+        let src = "fn solve_cancellable() { inner(); }\nfn inner() {\n    // lint:allow(cancellation_propagation) -- drains a bounded queue\n    loop { step(); }\n}\nfn step() {}\n";
+        let fs = lint_source("crates/core/src/a.rs", src, &cfg);
+        let cancel: Vec<_> = fs.iter().filter(|f| f.rule == "cancellation_propagation").collect();
+        assert_eq!(cancel.len(), 1, "{fs:?}");
+        assert!(cancel[0].waived);
+        assert!(!fs.iter().any(|f| f.rule == "waiver_unused"), "the waiver was used: {fs:?}");
+    }
+
+    #[test]
+    fn lint_source_reports_interprocedural_families() {
+        let cfg = Config::default();
+        let src = "fn op_x() { spin(); }\nfn spin() {\n    loop {}\n}\n";
+        let fs = lint_source("crates/service/src/a.rs", src, &cfg);
+        assert!(fs.iter().any(|f| f.rule == "cancellation_propagation" && f.line == 3), "{fs:?}");
+    }
+
+    #[test]
     fn workspace_root_discovery() {
         let here = Path::new(env!("CARGO_MANIFEST_DIR"));
         let root = find_workspace_root(here).expect("workspace root above crates/lint");
         assert!(root.join("crates").is_dir());
         assert!(find_workspace_root(Path::new("/nonexistent-zzz")).is_err());
+    }
+
+    #[test]
+    fn warm_run_hits_cache_and_agrees_with_cold() {
+        let root =
+            find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let cfg = Config::default();
+        let cold =
+            run_with(&root, &cfg, &RunOpts { no_cache: true, workers: 0 }).expect("cold run");
+        // Prime and then reuse the on-disk cache.
+        let _ = run_with(&root, &cfg, &RunOpts::default()).expect("prime run");
+        let warm = run_with(&root, &cfg, &RunOpts::default()).expect("warm run");
+        assert_eq!(warm.cache_misses, 0, "second cached run must be all hits");
+        assert_eq!(warm.cache_hits, warm.files_scanned);
+        assert_eq!(cold.findings.len(), warm.findings.len());
+        for (a, b) in cold.findings.iter().zip(&warm.findings) {
+            assert_eq!(
+                (&a.rule, &a.file, a.line, a.col, a.waived),
+                (&b.rule, &b.file, b.line, b.col, b.waived)
+            );
+        }
     }
 }

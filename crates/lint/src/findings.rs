@@ -54,6 +54,13 @@ pub struct Report {
     pub files_scanned: usize,
     /// Rules that ran (after `off` filtering), in order.
     pub rules_run: Vec<String>,
+    /// Files whose per-file analysis came from the incremental cache.
+    pub cache_hits: usize,
+    /// Files analyzed from scratch this run.
+    pub cache_misses: usize,
+    /// Wall-clock duration of the run in milliseconds (diagnostics;
+    /// gated by CI, never part of model output).
+    pub wall_ms: u64,
 }
 
 impl Report {
@@ -146,6 +153,9 @@ impl Report {
                 "waived".to_string(),
                 Json::Num(self.findings.iter().filter(|f| f.waived).count() as f64),
             ),
+            ("cache_hits".to_string(), Json::Num(self.cache_hits as f64)),
+            ("cache_misses".to_string(), Json::Num(self.cache_misses as f64)),
+            ("wall_ms".to_string(), Json::Num(self.wall_ms as f64)),
             ("findings".to_string(), Json::Arr(findings)),
         ]);
         doc.render()

@@ -1,0 +1,143 @@
+//! `cancellation_propagation`: every unbounded loop reachable from a
+//! cancellable entry point must poll cancellation.
+//!
+//! Roots are the `PredictionService` op handlers (`op_*` functions
+//! inside `crates/service/`) and every `*_cancellable` function
+//! anywhere — the workspace's explicit promises that work under them
+//! stops when the caller asks. From those roots the rule walks the
+//! call graph; in every reachable function, each `loop`/`while` (the
+//! lexically unbounded forms — `for` is bounded by its iterator) must
+//! either poll cancellation in its own body (`cancel.check()?`,
+//! `.is_cancelled()`, `deadline.expired()`) or call a function that
+//! transitively polls. A loop that does neither can spin forever after
+//! the client has hung up, pinning a worker — exactly the overload
+//! failure mode PR 7's admission control exists to prevent.
+
+use super::IpFinding;
+use crate::callgraph::Graph;
+
+/// The rule key.
+pub const RULE: &str = "cancellation_propagation";
+
+/// Runs the family over the call graph.
+pub fn check(g: &Graph<'_>, out: &mut Vec<IpFinding>) {
+    let roots: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, (rel, f))| {
+            (f.name.starts_with("op_") && rel.starts_with("crates/service/"))
+                || f.name.ends_with("_cancellable")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let reach = g.reachable(&roots);
+
+    // polls[i]: node i polls cancellation itself or via some callee.
+    let mut polls: Vec<bool> = g.nodes.iter().map(|(_, f)| f.polls_cancel).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..g.nodes.len() {
+            if !polls[i] && g.edges[i].iter().any(|&j| polls[j]) {
+                polls[i] = true;
+                changed = true;
+            }
+        }
+    }
+
+    for &i in &reach {
+        let (rel, f) = g.nodes[i];
+        for l in &f.loops {
+            let body_polls =
+                l.polls || l.callees.iter().any(|c| g.resolve(c).iter().any(|&j| polls[j]));
+            if body_polls {
+                continue;
+            }
+            let path = g.path_from(&roots, i).join(" -> ");
+            let name = if f.qual.is_empty() { &f.name } else { &f.qual };
+            out.push(IpFinding {
+                rule: RULE,
+                file: rel.to_string(),
+                line: l.line,
+                col: 1,
+                message: format!(
+                    "unbounded `{}` in `{name}` is reachable from a cancellable \
+                     entry point ({path}) but never polls CancelToken/Deadline; \
+                     poll `cancel.check()?` or `deadline.expired()` in the loop body",
+                    l.kind
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::symbols::{extract, FileFacts};
+
+    fn facts_of(relpath: &str, src: &str) -> FileFacts {
+        let lexed = lex(src);
+        extract(relpath, &lexed, &parse(&lexed.toks))
+    }
+
+    fn run(files: &[FileFacts]) -> Vec<IpFinding> {
+        let g = Graph::build(files);
+        let mut out = Vec::new();
+        check(&g, &mut out);
+        out
+    }
+
+    #[test]
+    fn unpolled_loop_below_op_handler_is_flagged() {
+        let files = vec![
+            facts_of("crates/service/src/server.rs", "fn op_estimate() { solve_inner(); }\n"),
+            facts_of(
+                "crates/core/src/solver.rs",
+                "fn solve_inner() {\n  loop { step(); }\n}\nfn step() {}\n",
+            ),
+        ];
+        let out = run(&files);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!((out[0].file.as_str(), out[0].line), ("crates/core/src/solver.rs", 2));
+        assert!(out[0].message.contains("op_estimate -> solve_inner"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn direct_poll_or_polling_callee_clears_the_loop() {
+        let files = vec![
+            facts_of("crates/service/src/server.rs", "fn op_estimate() { a(); b(); }\n"),
+            facts_of(
+                "crates/core/src/solver.rs",
+                "fn a(cancel: &CancelToken) {\n  while hot { cancel.check()?; }\n}\n\
+                 fn b() {\n  loop { polls_inside(); }\n}\n\
+                 fn polls_inside(deadline: &Deadline) { if deadline.expired() { return; } }\n",
+            ),
+        ];
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn cancellable_suffix_seeds_roots_and_unreachable_loops_are_ignored() {
+        let files = vec![facts_of(
+            "crates/core/src/solver.rs",
+            "fn solve_cancellable() { inner(); }\nfn inner() {\n  loop {}\n}\n\
+             fn orphan() {\n  loop {}\n}\n",
+        )];
+        let out = run(&files);
+        assert_eq!(out.len(), 1, "orphan's loop is not reachable: {out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn op_prefix_outside_service_is_not_a_root() {
+        let files = vec![facts_of("crates/core/src/x.rs", "fn op_misc() {\n  loop {}\n}\n")];
+        assert!(run(&files).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! `lock_order`: lock pairs must be acquired in one global order.
+//!
+//! Lock identity is the receiver name at the acquisition site
+//! (`self.registry.read()` → `registry`), which is exactly the
+//! granularity the workspace uses — named lock fields on long-lived
+//! structs. Per function, the fact extractor records the ordered pairs
+//! of locks held together and every call made under a guard; this rule
+//! closes those facts over the call graph (a call made holding `a` to
+//! a function that takes `b` yields the pair `a → b`) and reports any
+//! two locks acquired in both orders somewhere in the workspace — the
+//! classic ABBA deadlock shape. Same-name pairs are skipped: distinct
+//! shard locks share one receiver name and legitimately interleave.
+
+use super::IpFinding;
+use crate::callgraph::Graph;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The rule key.
+pub const RULE: &str = "lock_order";
+
+/// Runs the family over the call graph.
+pub fn check(g: &Graph<'_>, out: &mut Vec<IpFinding>) {
+    // trans[i]: lock names node i may acquire, directly or transitively.
+    let mut trans: Vec<BTreeSet<String>> = g
+        .nodes
+        .iter()
+        .map(|(_, f)| f.lock_acquires.iter().map(|(n, _)| n.clone()).collect())
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..g.nodes.len() {
+            for ei in 0..g.edges[i].len() {
+                let j = g.edges[i][ei];
+                if i == j {
+                    continue;
+                }
+                let add: Vec<String> =
+                    trans[j].iter().filter(|n| !trans[i].contains(*n)).cloned().collect();
+                if !add.is_empty() {
+                    trans[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // (first, second) → first representative site, in node order for
+    // determinism. Direct same-function pairs win over call-closure
+    // pairs because they are recorded first.
+    let mut sites: BTreeMap<(String, String), (String, u32, String)> = BTreeMap::new();
+    for (i, (rel, f)) in g.nodes.iter().enumerate() {
+        let fname = if f.qual.is_empty() { &f.name } else { &f.qual };
+        for p in &f.lock_pairs {
+            sites
+                .entry((p.first.clone(), p.second.clone()))
+                .or_insert_with(|| (rel.to_string(), p.second_line, format!("in `{fname}`")));
+        }
+        for h in &f.held_calls {
+            for &j in g.resolve(&h.callee) {
+                if j == i {
+                    continue;
+                }
+                for second in &trans[j] {
+                    if *second == h.lock {
+                        continue;
+                    }
+                    sites.entry((h.lock.clone(), second.clone())).or_insert_with(|| {
+                        (
+                            rel.to_string(),
+                            h.call_line,
+                            format!("in `{fname}` via the call to `{}`", h.callee),
+                        )
+                    });
+                }
+            }
+        }
+    }
+
+    // Report each inverted unordered pair once per direction.
+    for ((a, b), (file, line, how)) in &sites {
+        let Some((rfile, rline, _)) = sites.get(&(b.clone(), a.clone())) else { continue };
+        out.push(IpFinding {
+            rule: RULE,
+            file: file.clone(),
+            line: *line,
+            col: 1,
+            message: format!(
+                "lock `{b}` is acquired while holding `{a}` {how}, but the \
+                 opposite order is taken at {rfile}:{rline} — inconsistent \
+                 lock order risks deadlock"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::symbols::{extract, FileFacts};
+
+    fn facts_of(relpath: &str, src: &str) -> FileFacts {
+        let lexed = lex(src);
+        extract(relpath, &lexed, &parse(&lexed.toks))
+    }
+
+    fn run(files: &[FileFacts]) -> Vec<IpFinding> {
+        let g = Graph::build(files);
+        let mut out = Vec::new();
+        check(&g, &mut out);
+        out
+    }
+
+    #[test]
+    fn abba_within_one_file_reports_both_directions() {
+        let src = "fn ab(&self) {\n  let a = self.reg.lock().unwrap_or_else(|e| e.into_inner());\n  let b = self.cache.lock().unwrap_or_else(|e| e.into_inner());\n}\nfn ba(&self) {\n  let b = self.cache.lock().unwrap_or_else(|e| e.into_inner());\n  let a = self.reg.lock().unwrap_or_else(|e| e.into_inner());\n}\n";
+        let out = run(&[facts_of("crates/service/src/s.rs", src)]);
+        assert_eq!(out.len(), 2, "{out:?}");
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert!(lines.contains(&3) && lines.contains(&7), "{lines:?}");
+    }
+
+    #[test]
+    fn consistent_order_everywhere_is_clean() {
+        let src = "fn one(&self) {\n  let a = self.reg.lock().unwrap_or_else(|e| e.into_inner());\n  let b = self.cache.lock().unwrap_or_else(|e| e.into_inner());\n}\nfn two(&self) {\n  let a = self.reg.lock().unwrap_or_else(|e| e.into_inner());\n  let b = self.cache.lock().unwrap_or_else(|e| e.into_inner());\n}\n";
+        assert!(run(&[facts_of("crates/service/src/s.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn inversion_through_a_call_is_caught() {
+        let files = vec![
+            facts_of(
+                "crates/service/src/a.rs",
+                "fn outer(&self) {\n  let a = self.reg.lock().unwrap_or_else(|e| e.into_inner());\n  self.helper();\n}\nfn helper(&self) {\n  let b = self.cache.lock().unwrap_or_else(|e| e.into_inner());\n}\n",
+            ),
+            facts_of(
+                "crates/service/src/b.rs",
+                "fn other(&self) {\n  let b = self.cache.lock().unwrap_or_else(|e| e.into_inner());\n  let a = self.reg.lock().unwrap_or_else(|e| e.into_inner());\n}\n",
+            ),
+        ];
+        let out = run(&files);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(
+            out.iter().any(|f| f.file == "crates/service/src/a.rs"
+                && f.line == 3
+                && f.message.contains("via the call to `helper`")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn drop_before_second_acquire_breaks_the_pair() {
+        let src = "fn one(&self) {\n  let a = self.reg.lock().unwrap_or_else(|e| e.into_inner());\n  drop(a);\n  let b = self.cache.lock().unwrap_or_else(|e| e.into_inner());\n}\nfn two(&self) {\n  let b = self.cache.lock().unwrap_or_else(|e| e.into_inner());\n  drop(b);\n  let a = self.reg.lock().unwrap_or_else(|e| e.into_inner());\n}\n";
+        assert!(run(&[facts_of("crates/service/src/s.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn same_name_shard_locks_are_skipped() {
+        let src = "fn rebalance(&self) {\n  let a = self.shards.lock().unwrap_or_else(|e| e.into_inner());\n  let b = self.shards.lock().unwrap_or_else(|e| e.into_inner());\n}\n";
+        assert!(run(&[facts_of("crates/service/src/s.rs", src)]).is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Interprocedural rule families over the workspace call graph.
+//!
+//! These rules see the whole program at once — per-file facts
+//! ([`crate::symbols`]) joined by the conservative call graph
+//! ([`crate::callgraph`]) — so they can check properties no single
+//! file exhibits: a loop three calls below an op handler that never
+//! polls cancellation, two functions taking the same locks in opposite
+//! orders, a wall-clock read laundered through a helper into a
+//! fingerprint. Each family is documented in DESIGN.md §17 together
+//! with the soundness caveats it inherits from name-resolution-lite.
+
+pub mod cancellation;
+pub mod lock_order;
+pub mod taint;
+
+use crate::callgraph::Graph;
+use crate::config::{Config, RuleLevel};
+use crate::symbols::FileFacts;
+
+/// One interprocedural finding, pre-severity (the engine applies the
+/// configured level and runs waiver resolution).
+#[derive(Debug, Clone)]
+pub struct IpFinding {
+    /// Rule key (`cancellation_propagation` / `lock_order` /
+    /// `determinism_taint`).
+    pub rule: &'static str,
+    /// Workspace-relative file the finding anchors to.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Runs every enabled interprocedural family over `files` and returns
+/// the findings that land inside their configured scopes. The call
+/// graph is built once and shared.
+pub fn run_all(files: &[FileFacts], cfg: &Config) -> Vec<IpFinding> {
+    let g = Graph::build(files);
+    let mut out = Vec::new();
+    if cfg.level("cancellation_propagation") != RuleLevel::Off {
+        cancellation::check(&g, &mut out);
+    }
+    if cfg.level("lock_order") != RuleLevel::Off {
+        lock_order::check(&g, &mut out);
+    }
+    if cfg.level("determinism_taint") != RuleLevel::Off {
+        taint::check(&g, &mut out);
+    }
+    out.retain(|f| cfg.in_scope(f.rule, &f.file));
+    // Engine-side sorting is per file; order findings here so the
+    // cross-file dedup upstream is deterministic too.
+    out.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    out
+}

@@ -1,0 +1,156 @@
+//! `determinism_taint`: nondeterministic values must not reach
+//! deterministic outputs.
+//!
+//! Sources are wall clocks (`Instant::now` / `SystemTime::now`),
+//! `RandomState`-hashed iteration (`HashMap`/`HashSet` `.iter()` and
+//! friends), and thread identity (`thread::current()`,
+//! `available_parallelism`). Sinks are `Equilibrium` construction,
+//! anything named `*fingerprint*`, and `Json::Num` (the wire-visible
+//! numbers the serving protocol emits). Taint flows three ways: a
+//! source expression used directly in a sink's arguments, a `let`
+//! binding whose initializer reads a source and whose name later
+//! appears in a sink's arguments, and a call to a function that
+//! (transitively) reads an unwaived source. Blessed channels —
+//! latency-histogram recording, and any source line carrying a
+//! `determinism`/`determinism_taint` waiver — do not create taint, so
+//! the sanctioned diagnostics timing in `deadline.rs`/`server.rs`
+//! stays clean without per-sink annotations.
+
+use super::IpFinding;
+use crate::callgraph::Graph;
+use std::collections::BTreeSet;
+
+/// The rule key.
+pub const RULE: &str = "determinism_taint";
+
+/// Runs the family over the call graph.
+pub fn check(g: &Graph<'_>, out: &mut Vec<IpFinding>) {
+    // tainted[i]: node i reads an unwaived source, directly or by
+    // binding the result of a tainted callee. This approximates
+    // "calling i can yield a nondeterministic value" — a function that
+    // reads a clock internally but returns something unrelated still
+    // counts (conservative; see DESIGN.md §17).
+    let mut tainted: Vec<bool> = g.nodes.iter().map(|(_, f)| !f.taint.sources.is_empty()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, (_, f)) in g.nodes.iter().enumerate() {
+            if tainted[i] {
+                continue;
+            }
+            let from_call = f
+                .taint
+                .bindings_from_calls
+                .iter()
+                .any(|(_, callee, _)| g.resolve(callee).iter().any(|&j| tainted[j]));
+            if from_call {
+                tainted[i] = true;
+                changed = true;
+            }
+        }
+    }
+
+    for (rel, f) in &g.nodes {
+        // Names bound to nondeterministic values inside this function.
+        let hot_names: BTreeSet<&str> = f
+            .taint
+            .bindings_from_source
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .chain(
+                f.taint
+                    .bindings_from_calls
+                    .iter()
+                    .filter(|(_, callee, _)| g.resolve(callee).iter().any(|&j| tainted[j]))
+                    .map(|(n, _, _)| n.as_str()),
+            )
+            .collect();
+        for su in &f.taint.sink_uses {
+            let why = if su.direct_source {
+                Some("a nondeterministic source expression".to_string())
+            } else if let Some(id) = su.idents.iter().find(|id| hot_names.contains(id.as_str())) {
+                Some(format!("`{id}`, bound from a nondeterministic source"))
+            } else {
+                su.callees
+                    .iter()
+                    .find(|c| g.resolve(c).iter().any(|&j| tainted[j]))
+                    .map(|c| format!("the result of `{c}`, which reads a nondeterministic source"))
+            };
+            let Some(why) = why else { continue };
+            out.push(IpFinding {
+                rule: RULE,
+                file: (*rel).to_string(),
+                line: su.line,
+                col: su.col,
+                message: format!(
+                    "{why} flows into `{}` — equilibrium, fingerprint, and \
+                     wire-visible values must be deterministic (waive the \
+                     source line if this channel is sanctioned diagnostics)",
+                    su.sink
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::symbols::{extract, FileFacts};
+
+    fn facts_of(relpath: &str, src: &str) -> FileFacts {
+        let lexed = lex(src);
+        extract(relpath, &lexed, &parse(&lexed.toks))
+    }
+
+    fn run(files: &[FileFacts]) -> Vec<IpFinding> {
+        let g = Graph::build(files);
+        let mut out = Vec::new();
+        check(&g, &mut out);
+        out
+    }
+
+    #[test]
+    fn binding_from_clock_into_equilibrium_is_flagged() {
+        let src = "fn a() {\n  let t = Instant::now().elapsed().as_nanos() as f64;\n  let eq = Equilibrium { mpa: t };\n}\n";
+        let out = run(&[facts_of("crates/core/src/x.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("`t`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn taint_through_a_helper_call_is_flagged() {
+        let files = vec![facts_of(
+            "crates/core/src/x.rs",
+            "fn stamp() -> f64 { let t = Instant::now(); 0.0 }\n\
+             fn b() {\n  let v = stamp();\n  content_fingerprint(v);\n}\n",
+        )];
+        let out = run(&files);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("`v`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn hashmap_iteration_into_fingerprint_is_flagged() {
+        let src = "fn a(m: HashMap<u32, f64>) {\n  let acc = m.iter().map(|(k, v)| v).sum();\n  content_fingerprint(acc);\n}\n";
+        let out = run(&[facts_of("crates/core/src/x.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn waived_source_blesses_the_whole_flow() {
+        let src = "fn a(&self) {\n  // lint:allow(determinism) -- latency diagnostics, not model output\n  let t = Instant::now();\n  Num(t);\n}\n";
+        assert!(run(&[facts_of("crates/service/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn clean_values_into_sinks_are_fine() {
+        let src = "fn a(jobs: &[Job]) {\n  let mpa = solve(jobs);\n  let eq = Equilibrium { mpa };\n  content_fingerprint(mpa);\n}\nfn solve(jobs: &[Job]) -> f64 { 0.0 }\n";
+        assert!(run(&[facts_of("crates/core/src/x.rs", src)]).is_empty());
+    }
+}

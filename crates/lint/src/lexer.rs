@@ -291,11 +291,25 @@ impl Lexer<'_> {
         self.push(TokKind::StrLit, String::new(), line, col);
     }
 
+    /// Bytes a UTF-8 sequence starting with `lead` occupies (1 for
+    /// ASCII and for invalid lead bytes, so the lexer always advances).
+    fn utf8_len(lead: u8) -> usize {
+        match lead {
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            0xF0..=0xF7 => 4,
+            _ => 1,
+        }
+    }
+
     fn char_or_lifetime(&mut self, line: u32, col: u32) {
-        // `'` then: escape → char; ident-char followed by `'` → char;
-        // otherwise a lifetime.
+        // `'` then: escape → char; exactly one character (of any UTF-8
+        // width) followed by `'` → char; otherwise a lifetime. The
+        // width-aware lookahead is what keeps `'é'` / `'😀'` chars while
+        // `'a>`, `'a,`, `'outer:` stay lifetimes and `'\''` stays a char.
         let one = self.peek(1);
-        let is_char = one == b'\\' || (one != 0 && self.peek(2) == b'\'' && one != b'\'');
+        let close_at = 1 + Self::utf8_len(one);
+        let is_char = one == b'\\' || (one != 0 && one != b'\'' && self.peek(close_at) == b'\'');
         if is_char {
             self.bump(); // '
             while self.pos < self.bytes.len() {
@@ -514,6 +528,79 @@ mod tests {
             toks.toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
         assert_eq!(lifetimes, ["'a", "'a"]);
         assert_eq!(toks.toks.iter().filter(|t| t.kind == TokKind::StrLit).count(), 1);
+    }
+
+    /// Exact token-stream pins for the lifetime-tick vs. char-literal
+    /// ambiguity: every (kind, text) pair is asserted so a lexer change
+    /// that silently re-tokenizes any of these sequences fails here.
+    #[test]
+    fn lifetime_char_ambiguity_exact_tokens() {
+        use TokKind::*;
+        let cases: &[(&str, &[(TokKind, &str)])] = &[
+            // `'a>` closing a generic list stays a lifetime.
+            (
+                "f::<'a>()",
+                &[
+                    (Ident, "f"),
+                    (Punct, "::"),
+                    (Punct, "<"),
+                    (Lifetime, "'a"),
+                    (Punct, ">"),
+                    (Punct, "("),
+                    (Punct, ")"),
+                ],
+            ),
+            // Escaped-quote char `'\''` is one literal, not lifetimes.
+            ("c == '\\''", &[(Ident, "c"), (Punct, "=="), (StrLit, "")]),
+            // Byte char `b'x'` is a literal, not ident `b` + lifetime.
+            ("b'x' ; b'\\''", &[(StrLit, ""), (Punct, ";"), (StrLit, "")]),
+            // Multi-byte chars are single literals (2-, 3-, 4-byte).
+            ("'é' 'π' '€' '😀'", &[(StrLit, ""), (StrLit, ""), (StrLit, ""), (StrLit, "")]),
+            // Loop labels and their uses stay lifetimes.
+            (
+                "'outer: loop { break 'outer; }",
+                &[
+                    (Lifetime, "'outer"),
+                    (Punct, ":"),
+                    (Ident, "loop"),
+                    (Punct, "{"),
+                    (Ident, "break"),
+                    (Lifetime, "'outer"),
+                    (Punct, ";"),
+                    (Punct, "}"),
+                ],
+            ),
+            // Anonymous lifetime `'_` vs. char `'_'`.
+            (
+                "&'_ T; '_'",
+                &[(Punct, "&"), (Lifetime, "'_"), (Ident, "T"), (Punct, ";"), (StrLit, "")],
+            ),
+            // Lifetime immediately followed by a comma-separated peer.
+            (
+                "<'a, 'b>",
+                &[(Punct, "<"), (Lifetime, "'a"), (Punct, ","), (Lifetime, "'b"), (Punct, ">")],
+            ),
+            // Char range in a match arm: both ends are literals.
+            ("'a'..='z'", &[(StrLit, ""), (Punct, ".."), (Punct, "="), (StrLit, "")]),
+        ];
+        for (src, want) in cases {
+            let got: Vec<(TokKind, String)> =
+                lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect();
+            let want: Vec<(TokKind, String)> =
+                want.iter().map(|(k, s)| (*k, (*s).to_string())).collect();
+            assert_eq!(got, want, "token stream for {src:?}");
+        }
+    }
+
+    #[test]
+    fn multibyte_char_does_not_desync_following_tokens() {
+        // Before the width-aware lookahead, `'é'` lexed as lifetime +
+        // garbage and the *next* real tokens were misattributed.
+        let f = lex("let c = 'é'; x.unwrap();");
+        let idents: Vec<_> =
+            f.toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| &t.text).collect();
+        assert_eq!(idents, ["let", "c", "x", "unwrap"]);
+        assert!(!f.toks.iter().any(|t| t.kind == TokKind::Lifetime), "{:?}", f.toks);
     }
 
     #[test]

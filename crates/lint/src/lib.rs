@@ -26,11 +26,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod callgraph;
 pub mod config;
 pub mod engine;
 pub mod findings;
+pub mod iprules;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
 pub use config::Config;
 pub use engine::{find_workspace_root, lint_source, run};

@@ -1,0 +1,1038 @@
+//! Per-function facts and the workspace symbol table they feed.
+//!
+//! The interprocedural rule families never touch raw tokens outside
+//! this module: [`extract`] distills each parsed file into
+//! [`FileFacts`] — call sites, loop shapes, lock-acquisition order,
+//! taint sources/bindings/sinks, cancellation polls — and everything
+//! downstream (call graph, rules, the incremental cache) works on
+//! facts alone. That split is what makes the content-hash cache sound:
+//! facts are a pure function of one file's text, so an unchanged file
+//! re-enters the whole-program analysis without being re-lexed, while
+//! the cross-file phases (reachability, lock-order closure, taint
+//! propagation) re-run every time over the cheap fact set.
+//!
+//! All fact types serialize to the workspace's hand-rolled JSON
+//! ([`FileFacts::to_json`] / [`FileFacts::from_json`]) for the cache.
+
+use crate::lexer::{LexedFile, Tok, TokKind};
+use crate::parser::ParsedFile;
+use mpmc_service::json::Json;
+use std::collections::BTreeSet;
+
+/// Method names that poll a cancellation signal: `CancelToken::check`,
+/// `CancelToken::is_cancelled`, `Deadline::expired`.
+const POLL_METHODS: &[&str] = &["is_cancelled", "check_cancelled", "expired"];
+
+/// Receiver names that make a bare `.check()` count as a poll.
+const POLL_RECEIVERS: &[&str] = &["cancel", "token", "deadline", "cancel_token"];
+
+/// Methods that acquire a lock guard.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Determinism-taint source patterns (`what` strings used in messages).
+const SOURCE_CLOCK: &str = "wall clock";
+const SOURCE_HASH_ITER: &str = "RandomState-hashed iteration";
+const SOURCE_THREAD: &str = "thread identity";
+
+/// Sink callee names wire-visible or fingerprint/equilibrium-bound
+/// values flow into. A call counts as a sink when its callee's last
+/// path segment matches (`Equilibrium` covers both `Equilibrium::new`
+/// and struct-literal construction) or contains `fingerprint`.
+const SINK_NAMES: &[&str] = &["Equilibrium", "Num"];
+
+/// Blessed sinks: latency/diagnostics channels tainted values *may*
+/// flow into (the histogram percentiles in `stats` are the sanctioned
+/// wire-visible timing numbers).
+const ALLOWED_SINKS: &[&str] = &["record", "record_ns", "observe", "saturating_sub"];
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSite {
+    /// Callee name: last path segment (`solve_batch`, `check`) for
+    /// free/path calls, the method name for `.method(...)` calls.
+    pub callee: String,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// Whether this was a `.method(...)` call.
+    pub method: bool,
+}
+
+/// One `loop`/`while` loop (lexically unbounded iteration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopFacts {
+    /// 1-based line of the `loop`/`while` keyword.
+    pub line: u32,
+    /// `"loop"` or `"while"`.
+    pub kind: String,
+    /// Whether the loop body polls a cancellation signal directly.
+    pub polls: bool,
+    /// Callee names invoked inside the loop body (deduplicated).
+    pub callees: Vec<String>,
+}
+
+/// An ordered pair of lock acquisitions within one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockPair {
+    /// Lock held first.
+    pub first: String,
+    /// 1-based line where `first` was acquired.
+    pub first_line: u32,
+    /// Lock acquired while `first` is presumed held.
+    pub second: String,
+    /// 1-based line of the second acquisition.
+    pub second_line: u32,
+}
+
+/// A call made while a lock guard is presumed held.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeldCall {
+    /// The held lock.
+    pub lock: String,
+    /// 1-based line where the lock was acquired.
+    pub lock_line: u32,
+    /// Callee invoked under the guard.
+    pub callee: String,
+    /// 1-based line of the call.
+    pub call_line: u32,
+}
+
+/// A value use inside a sink call's arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkUse {
+    /// Sink callee name (`Equilibrium`, `Num`, `content_fingerprint`).
+    pub sink: String,
+    /// 1-based line of the sink call.
+    pub line: u32,
+    /// 1-based column of the sink callee token.
+    pub col: u32,
+    /// A taint source expression appears directly in the arguments.
+    pub direct_source: bool,
+    /// Identifier names appearing in the arguments (binding lookups).
+    pub idents: Vec<String>,
+    /// Callee names invoked inside the arguments (return-taint lookups).
+    pub callees: Vec<String>,
+}
+
+/// Determinism-taint facts local to one function.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaintFacts {
+    /// Unwaived taint-source expressions: `(line, what)`.
+    pub sources: Vec<(u32, String)>,
+    /// `let` bindings whose initializer contains a source: `(name, line)`.
+    pub bindings_from_source: Vec<(String, u32)>,
+    /// `let` bindings whose initializer calls a function:
+    /// `(name, callee, line)` — tainted iff the callee is.
+    pub bindings_from_calls: Vec<(String, String, u32)>,
+    /// Sink calls and what flows into them.
+    pub sink_uses: Vec<SinkUse>,
+}
+
+/// Everything the interprocedural rules need to know about one `fn`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FnFacts {
+    /// Bare name.
+    pub name: String,
+    /// Qualified name (module/impl path).
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// All call sites in the body (nested fn bodies excluded).
+    pub calls: Vec<CallSite>,
+    /// Lexically unbounded loops.
+    pub loops: Vec<LoopFacts>,
+    /// Lock acquisitions: `(name, line)`.
+    pub lock_acquires: Vec<(String, u32)>,
+    /// Same-function ordered acquisition pairs.
+    pub lock_pairs: Vec<LockPair>,
+    /// Calls made under a held guard.
+    pub held_calls: Vec<HeldCall>,
+    /// Whether the body polls cancellation anywhere.
+    pub polls_cancel: bool,
+    /// Determinism-taint facts.
+    pub taint: TaintFacts,
+}
+
+/// Facts for one file (non-test functions only).
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Workspace-relative path.
+    pub relpath: String,
+    /// Per-function facts, in source order.
+    pub fns: Vec<FnFacts>,
+}
+
+/// Whether a waiver on `line` blesses determinism sources (kills the
+/// taint at its origin rather than at the sink).
+fn source_blessed(lexed: &LexedFile, line: u32) -> bool {
+    lexed.waivers.iter().any(|w| {
+        w.target_line == line
+            && w.reason.is_some()
+            && w.rules.iter().any(|r| r == "determinism" || r == "determinism_taint" || r == "all")
+    })
+}
+
+/// Distills a parsed file into facts. Test-scoped functions are
+/// skipped entirely — they never participate in whole-program
+/// analysis.
+pub fn extract(relpath: &str, lexed: &LexedFile, parsed: &ParsedFile) -> FileFacts {
+    let toks = &lexed.toks;
+    let mut out = FileFacts { relpath: relpath.to_string(), fns: Vec::new() };
+
+    // Names bound or typed as HashMap/HashSet anywhere in the file
+    // (shared with the lexical determinism rule's heuristic).
+    let mut hashed: BTreeSet<&str> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "HashMap" | "HashSet") {
+            continue;
+        }
+        let mut j = i;
+        while j >= 2 && (toks[j - 1].is_punct("::") || toks[j - 1].kind == TokKind::Ident) {
+            j -= 1;
+        }
+        if j >= 2
+            && (toks[j - 1].is_punct(":") || toks[j - 1].is_punct("="))
+            && toks[j - 2].kind == TokKind::Ident
+        {
+            hashed.insert(&toks[j - 2].text);
+        }
+    }
+
+    for (fi, f) in parsed.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let Some((start, end)) = f.body else { continue };
+        let end = end.min(toks.len());
+        // Token ranges of *other* fns nested inside this body: skip
+        // them so a nested fn's facts attribute to the nested fn only.
+        let shadows: Vec<(usize, usize)> = parsed
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(oi, o)| *oi != fi && o.sig.0 >= start && o.sig.0 < end)
+            .map(|(_, o)| (o.sig.0, o.body.map_or(o.sig.1, |(_, c)| c + 1).min(end)))
+            .collect();
+        let skip = |idx: usize| shadows.iter().any(|&(s, e)| idx >= s && idx < e);
+
+        let mut facts = FnFacts {
+            name: f.name.clone(),
+            qual: f.qual.clone(),
+            line: f.line,
+            ..FnFacts::default()
+        };
+        extract_calls(toks, start, end, &skip, &mut facts);
+        extract_loops(toks, parsed, start, end, &skip, &mut facts);
+        extract_locks(toks, parsed, start, end, &skip, &mut facts);
+        facts.polls_cancel = (start..end).any(|i| !skip(i) && is_poll_site(toks, i));
+        extract_taint(toks, lexed, &hashed, start, end, &skip, &mut facts);
+        out.fns.push(facts);
+    }
+    out
+}
+
+/// Whether token `i` begins a cancellation poll
+/// (`.is_cancelled()` / `.expired()` / `cancel.check()`).
+fn is_poll_site(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+        return false;
+    }
+    if POLL_METHODS.contains(&t.text.as_str()) {
+        return true;
+    }
+    if t.text == "check" && i >= 2 && toks[i - 1].is_punct(".") {
+        let recv = &toks[i - 2];
+        return recv.kind == TokKind::Ident
+            && (POLL_RECEIVERS.contains(&recv.text.as_str()) || recv.text.contains("cancel"));
+    }
+    false
+}
+
+/// Whether token `i` is a call site; returns the callee and whether it
+/// was a method call. Filters keywords, macros, and struct literals.
+fn call_at(toks: &[Tok], i: usize) -> Option<(String, bool)> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let next = toks.get(i + 1)?;
+    if !next.is_punct("(") {
+        // `Equilibrium { ... }` struct literals are handled by the
+        // taint sink scan, not as calls.
+        return None;
+    }
+    if matches!(
+        t.text.as_str(),
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "fn"
+            | "let"
+            | "move"
+            | "in"
+            | "as"
+            | "where"
+            | "impl"
+            | "dyn"
+    ) {
+        return None;
+    }
+    let method = i > 0 && toks[i - 1].is_punct(".");
+    // `name!(...)` macro invocations are not fn calls; `fn name(`
+    // definitions are not calls either.
+    if i > 0 && (toks[i - 1].is_punct("!") || toks[i - 1].is_ident("fn")) {
+        return None;
+    }
+    Some((t.text.clone(), method))
+}
+
+fn extract_calls(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    skip: &dyn Fn(usize) -> bool,
+    facts: &mut FnFacts,
+) {
+    for i in start..end {
+        if skip(i) {
+            continue;
+        }
+        if let Some((callee, method)) = call_at(toks, i) {
+            facts.calls.push(CallSite { callee, line: toks[i].line, method });
+        }
+    }
+}
+
+/// The brace-tree group whose `{` sits at token index `open`.
+fn group_close(parsed: &ParsedFile, open: usize, fallback: usize) -> usize {
+    parsed.tree.nodes.iter().find(|n| n.open == open).map_or(fallback, |n| n.close)
+}
+
+fn extract_loops(
+    toks: &[Tok],
+    parsed: &ParsedFile,
+    start: usize,
+    end: usize,
+    skip: &dyn Fn(usize) -> bool,
+    facts: &mut FnFacts,
+) {
+    for i in start..end {
+        if skip(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let kind = match toks[i].text.as_str() {
+            "loop" => "loop",
+            "while" => "while",
+            _ => continue,
+        };
+        // Find the body `{`: for `loop` it is the next token (modulo
+        // nothing); for `while` scan the condition at depth 0.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let body_open = loop {
+            let Some(n) = toks.get(j) else { break None };
+            if n.kind == TokKind::Punct {
+                match n.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth <= 0 => break Some(j),
+                    ";" if depth <= 0 => break None,
+                    _ => {}
+                }
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else { continue };
+        let close = group_close(parsed, open, end).min(end);
+        let mut callees: Vec<String> = Vec::new();
+        let mut polls = false;
+        for k in open + 1..close {
+            if skip(k) {
+                continue;
+            }
+            if is_poll_site(toks, k) {
+                polls = true;
+            }
+            if let Some((callee, _)) = call_at(toks, k) {
+                if !callees.contains(&callee) {
+                    callees.push(callee);
+                }
+            }
+        }
+        facts.loops.push(LoopFacts { line: toks[i].line, kind: kind.to_string(), polls, callees });
+    }
+}
+
+/// Whether token `i` is a lock acquisition (`.lock()` / `.read()` /
+/// `.write()` with empty argument list); returns the receiver identity.
+fn lock_at(toks: &[Tok], i: usize) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident
+        || !LOCK_METHODS.contains(&t.text.as_str())
+        || i == 0
+        || !toks[i - 1].is_punct(".")
+        || !toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        || !toks.get(i + 2).is_some_and(|n| n.is_punct(")"))
+    {
+        return None;
+    }
+    // Walk back over the receiver expression to its identifying name:
+    // skip `(...)` / `[...]` groups, land on the nearest plain ident.
+    let mut j = i - 1; // the `.`
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        let p = &toks[j];
+        if p.is_punct(")") || p.is_punct("]") {
+            let (open, close) = if p.is_punct(")") { ("(", ")") } else { ("[", "]") };
+            let mut depth = 1i32;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                if toks[j].is_punct(close) {
+                    depth += 1;
+                } else if toks[j].is_punct(open) {
+                    depth -= 1;
+                }
+            }
+            continue;
+        }
+        if p.kind == TokKind::Ident {
+            if p.text == "self" && j + 1 < toks.len() {
+                // Bare `self.lock()` — keep "self" only as a last resort.
+                return Some(p.text.clone());
+            }
+            return Some(p.text.clone());
+        }
+        if p.is_punct(".") || p.is_punct("::") || p.is_punct("&") || p.is_ident("mut") {
+            continue;
+        }
+        return None;
+    }
+}
+
+fn extract_locks(
+    toks: &[Tok],
+    parsed: &ParsedFile,
+    start: usize,
+    end: usize,
+    skip: &dyn Fn(usize) -> bool,
+    facts: &mut FnFacts,
+) {
+    // Active holds: (lock name, line, expiry token index, guard binder).
+    let mut holds: Vec<(String, u32, usize, Option<String>)> = Vec::new();
+    for i in start..end {
+        if skip(i) {
+            continue;
+        }
+        holds.retain(|h| h.2 > i);
+        // `drop(binder)` releases the bound guard early.
+        if toks[i].is_ident("drop")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(")"))
+        {
+            if let Some(n) = toks.get(i + 2) {
+                holds.retain(|h| h.3.as_deref() != Some(n.text.as_str()));
+            }
+        }
+        if let Some(name) = lock_at(toks, i) {
+            let line = toks[i].line;
+            for h in &holds {
+                if h.0 != name {
+                    facts.lock_pairs.push(LockPair {
+                        first: h.0.clone(),
+                        first_line: h.1,
+                        second: name.clone(),
+                        second_line: line,
+                    });
+                }
+            }
+            facts.lock_acquires.push((name.clone(), line));
+            // Guard scope: a `let`-bound guard lives to the end of its
+            // enclosing block (its binder enables early `drop`); a
+            // temporary dies at the statement's `;`.
+            let binder = {
+                let mut j = i;
+                let mut b = None;
+                while j > start {
+                    j -= 1;
+                    let p = &toks[j];
+                    if p.is_punct(";") || p.is_punct("{") || p.is_punct("}") {
+                        break;
+                    }
+                    if p.is_ident("let") {
+                        let mut k = j + 1;
+                        while toks.get(k).is_some_and(|n| n.is_ident("mut")) {
+                            k += 1;
+                        }
+                        b = toks
+                            .get(k)
+                            .filter(|n| n.kind == TokKind::Ident)
+                            .map(|n| n.text.clone());
+                        break;
+                    }
+                }
+                b
+            };
+            let scope_end = if binder.is_some() {
+                enclosing_block_close(parsed, i, end)
+            } else {
+                // To the end of this statement.
+                let mut j = i;
+                let mut depth = 0i32;
+                loop {
+                    let Some(n) = toks.get(j) else { break j };
+                    if n.kind == TokKind::Punct {
+                        match n.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            ";" if depth <= 0 => break j,
+                            _ => {}
+                        }
+                    }
+                    if j >= end {
+                        break end;
+                    }
+                    j += 1;
+                }
+            };
+            holds.push((name, line, scope_end.min(end), binder));
+            continue;
+        }
+        if let Some((callee, _method)) = call_at(toks, i) {
+            for h in &holds {
+                facts.held_calls.push(HeldCall {
+                    lock: h.0.clone(),
+                    lock_line: h.1,
+                    callee: callee.clone(),
+                    call_line: toks[i].line,
+                });
+            }
+        }
+    }
+}
+
+/// The close index of the innermost brace group containing token `i`.
+fn enclosing_block_close(parsed: &ParsedFile, i: usize, fallback: usize) -> usize {
+    parsed
+        .tree
+        .nodes
+        .iter()
+        .filter(|n| n.open < i && n.close >= i)
+        .map(|n| n.close)
+        .min()
+        .unwrap_or(fallback)
+}
+
+/// Whether token `i` begins a taint-source expression; returns the
+/// source description. `hashed` holds HashMap/HashSet-typed names.
+fn source_at(toks: &[Tok], i: usize, hashed: &BTreeSet<&str>) -> Option<&'static str> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    // `Instant::now()` / `SystemTime::now()`.
+    if matches!(t.text.as_str(), "Instant" | "SystemTime")
+        && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+        && toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+    {
+        return Some(SOURCE_CLOCK);
+    }
+    if t.text == "RandomState" {
+        return Some(SOURCE_HASH_ITER);
+    }
+    // `thread::current().id()` / `ThreadId` / `available_parallelism`.
+    if t.text == "available_parallelism"
+        || t.text == "ThreadId"
+        || (t.text == "current"
+            && i >= 2
+            && toks[i - 1].is_punct("::")
+            && toks[i - 2].is_ident("thread"))
+    {
+        return Some(SOURCE_THREAD);
+    }
+    // Iteration over a RandomState-hashed collection.
+    if hashed.contains(t.text.as_str())
+        && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+        && toks.get(i + 2).is_some_and(|n| {
+            n.kind == TokKind::Ident
+                && matches!(
+                    n.text.as_str(),
+                    "iter" | "iter_mut" | "into_iter" | "keys" | "values" | "values_mut" | "drain"
+                )
+        })
+        && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+    {
+        return Some(SOURCE_HASH_ITER);
+    }
+    None
+}
+
+/// Whether an ident token is a sink callee name.
+fn is_sink_name(name: &str) -> bool {
+    SINK_NAMES.contains(&name) || name.contains("fingerprint")
+}
+
+fn extract_taint(
+    toks: &[Tok],
+    lexed: &LexedFile,
+    hashed: &BTreeSet<&str>,
+    start: usize,
+    end: usize,
+    skip: &dyn Fn(usize) -> bool,
+    facts: &mut FnFacts,
+) {
+    for i in start..end {
+        if skip(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // Sources (outside blessed lines).
+        if let Some(what) = source_at(toks, i, hashed) {
+            if !source_blessed(lexed, t.line) {
+                facts.taint.sources.push((t.line, what.to_string()));
+            }
+        }
+        // `let [mut] name = <init>;` binding scan.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            while toks.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|n| n.kind == TokKind::Ident) else { continue };
+            if !toks.get(j + 1).is_some_and(|n| n.is_punct("=")) {
+                continue; // destructuring / typed patterns: skip (caveat)
+            }
+            let mut k = j + 2;
+            let mut depth = 0i32;
+            while let Some(n) = toks.get(k).filter(|_| k < end) {
+                if n.kind == TokKind::Punct {
+                    match n.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                if source_at(toks, k, hashed).is_some() && !source_blessed(lexed, n.line) {
+                    facts.taint.bindings_from_source.push((name.text.clone(), n.line));
+                }
+                if let Some((callee, _)) = call_at(toks, k) {
+                    facts.taint.bindings_from_calls.push((name.text.clone(), callee, n.line));
+                }
+                k += 1;
+            }
+        }
+        // Sink calls: `Name(...)` / `Name { ... }` where Name is a sink.
+        if t.kind == TokKind::Ident && is_sink_name(&t.text) {
+            let Some(next) = toks.get(i + 1) else { continue };
+            let (open, close) = if next.is_punct("(") {
+                ("(", ")")
+            } else if next.is_punct("{") {
+                ("{", "}")
+            } else {
+                continue;
+            };
+            if source_blessed(lexed, t.line) {
+                continue;
+            }
+            let mut use_ = SinkUse {
+                sink: t.text.clone(),
+                line: t.line,
+                col: t.col,
+                direct_source: false,
+                idents: Vec::new(),
+                callees: Vec::new(),
+            };
+            let mut depth = 0i32;
+            let mut k = i + 1;
+            while let Some(n) = toks.get(k).filter(|_| k < end) {
+                if n.kind == TokKind::Punct {
+                    if n.text == open {
+                        depth += 1;
+                    } else if n.text == close {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+                if k > i + 1 {
+                    if source_at(toks, k, hashed).is_some() && !source_blessed(lexed, n.line) {
+                        use_.direct_source = true;
+                    }
+                    if let Some((callee, _)) = call_at(toks, k) {
+                        if !ALLOWED_SINKS.contains(&callee.as_str())
+                            && !use_.callees.contains(&callee)
+                        {
+                            use_.callees.push(callee);
+                        }
+                    } else if n.kind == TokKind::Ident
+                        && !use_.idents.contains(&n.text)
+                        && !toks.get(k + 1).is_some_and(|m| m.is_punct("("))
+                    {
+                        use_.idents.push(n.text.clone());
+                    }
+                }
+                k += 1;
+            }
+            facts.taint.sink_uses.push(use_);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON serialization (for the incremental cache).
+// ---------------------------------------------------------------------
+
+fn jstr(s: &str) -> Json {
+    Json::str(s)
+}
+
+fn jnum(n: u32) -> Json {
+    Json::Num(f64::from(n))
+}
+
+fn jarr_str(v: &[String]) -> Json {
+    Json::Arr(v.iter().map(Json::str).collect())
+}
+
+fn arr_str(j: Option<&Json>) -> Vec<String> {
+    j.and_then(Json::as_arr)
+        .map(|a| a.iter().filter_map(|x| x.as_str().map(String::from)).collect())
+        .unwrap_or_default()
+}
+
+fn get_u32(j: &Json, key: &str) -> Option<u32> {
+    let n = j.get(key)?.as_f64()?;
+    if n.is_finite() && n >= 0.0 && n <= f64::from(u32::MAX) {
+        Some(n as u32)
+    } else {
+        None
+    }
+}
+
+fn get_str(j: &Json, key: &str) -> Option<String> {
+    j.get(key)?.as_str().map(String::from)
+}
+
+impl FileFacts {
+    /// Serializes for the cache.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("relpath".into(), jstr(&self.relpath)),
+            ("fns".into(), Json::Arr(self.fns.iter().map(FnFacts::to_json).collect())),
+        ])
+    }
+
+    /// Deserializes from the cache; `None` on any shape mismatch (the
+    /// cache entry is then treated as a miss).
+    pub fn from_json(j: &Json) -> Option<FileFacts> {
+        let relpath = get_str(j, "relpath")?;
+        let fns =
+            j.get("fns")?.as_arr()?.iter().map(FnFacts::from_json).collect::<Option<Vec<_>>>()?;
+        Some(FileFacts { relpath, fns })
+    }
+}
+
+impl FnFacts {
+    fn to_json(&self) -> Json {
+        let calls = self
+            .calls
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("callee".into(), jstr(&c.callee)),
+                    ("line".into(), jnum(c.line)),
+                    ("method".into(), Json::Bool(c.method)),
+                ])
+            })
+            .collect();
+        let loops = self
+            .loops
+            .iter()
+            .map(|l| {
+                Json::Obj(vec![
+                    ("line".into(), jnum(l.line)),
+                    ("kind".into(), jstr(&l.kind)),
+                    ("polls".into(), Json::Bool(l.polls)),
+                    ("callees".into(), jarr_str(&l.callees)),
+                ])
+            })
+            .collect();
+        let acquires = self
+            .lock_acquires
+            .iter()
+            .map(|(n, l)| Json::Obj(vec![("name".into(), jstr(n)), ("line".into(), jnum(*l))]))
+            .collect();
+        let pairs = self
+            .lock_pairs
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("first".into(), jstr(&p.first)),
+                    ("first_line".into(), jnum(p.first_line)),
+                    ("second".into(), jstr(&p.second)),
+                    ("second_line".into(), jnum(p.second_line)),
+                ])
+            })
+            .collect();
+        let held = self
+            .held_calls
+            .iter()
+            .map(|h| {
+                Json::Obj(vec![
+                    ("lock".into(), jstr(&h.lock)),
+                    ("lock_line".into(), jnum(h.lock_line)),
+                    ("callee".into(), jstr(&h.callee)),
+                    ("call_line".into(), jnum(h.call_line)),
+                ])
+            })
+            .collect();
+        let taint = Json::Obj(vec![
+            (
+                "sources".into(),
+                Json::Arr(
+                    self.taint
+                        .sources
+                        .iter()
+                        .map(|(l, w)| {
+                            Json::Obj(vec![("line".into(), jnum(*l)), ("what".into(), jstr(w))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "bind_src".into(),
+                Json::Arr(
+                    self.taint
+                        .bindings_from_source
+                        .iter()
+                        .map(|(n, l)| {
+                            Json::Obj(vec![("name".into(), jstr(n)), ("line".into(), jnum(*l))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "bind_call".into(),
+                Json::Arr(
+                    self.taint
+                        .bindings_from_calls
+                        .iter()
+                        .map(|(n, c, l)| {
+                            Json::Obj(vec![
+                                ("name".into(), jstr(n)),
+                                ("callee".into(), jstr(c)),
+                                ("line".into(), jnum(*l)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "sinks".into(),
+                Json::Arr(
+                    self.taint
+                        .sink_uses
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("sink".into(), jstr(&s.sink)),
+                                ("line".into(), jnum(s.line)),
+                                ("col".into(), jnum(s.col)),
+                                ("direct".into(), Json::Bool(s.direct_source)),
+                                ("idents".into(), jarr_str(&s.idents)),
+                                ("callees".into(), jarr_str(&s.callees)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        Json::Obj(vec![
+            ("name".into(), jstr(&self.name)),
+            ("qual".into(), jstr(&self.qual)),
+            ("line".into(), jnum(self.line)),
+            ("calls".into(), Json::Arr(calls)),
+            ("loops".into(), Json::Arr(loops)),
+            ("acquires".into(), Json::Arr(acquires)),
+            ("pairs".into(), Json::Arr(pairs)),
+            ("held".into(), Json::Arr(held)),
+            ("polls".into(), Json::Bool(self.polls_cancel)),
+            ("taint".into(), taint),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<FnFacts> {
+        let mut f = FnFacts {
+            name: get_str(j, "name")?,
+            qual: get_str(j, "qual")?,
+            line: get_u32(j, "line")?,
+            polls_cancel: j.get("polls")?.as_bool()?,
+            ..FnFacts::default()
+        };
+        for c in j.get("calls")?.as_arr()? {
+            f.calls.push(CallSite {
+                callee: get_str(c, "callee")?,
+                line: get_u32(c, "line")?,
+                method: c.get("method")?.as_bool()?,
+            });
+        }
+        for l in j.get("loops")?.as_arr()? {
+            f.loops.push(LoopFacts {
+                line: get_u32(l, "line")?,
+                kind: get_str(l, "kind")?,
+                polls: l.get("polls")?.as_bool()?,
+                callees: arr_str(l.get("callees")),
+            });
+        }
+        for a in j.get("acquires")?.as_arr()? {
+            f.lock_acquires.push((get_str(a, "name")?, get_u32(a, "line")?));
+        }
+        for p in j.get("pairs")?.as_arr()? {
+            f.lock_pairs.push(LockPair {
+                first: get_str(p, "first")?,
+                first_line: get_u32(p, "first_line")?,
+                second: get_str(p, "second")?,
+                second_line: get_u32(p, "second_line")?,
+            });
+        }
+        for h in j.get("held")?.as_arr()? {
+            f.held_calls.push(HeldCall {
+                lock: get_str(h, "lock")?,
+                lock_line: get_u32(h, "lock_line")?,
+                callee: get_str(h, "callee")?,
+                call_line: get_u32(h, "call_line")?,
+            });
+        }
+        let t = j.get("taint")?;
+        for s in t.get("sources")?.as_arr()? {
+            f.taint.sources.push((get_u32(s, "line")?, get_str(s, "what")?));
+        }
+        for b in t.get("bind_src")?.as_arr()? {
+            f.taint.bindings_from_source.push((get_str(b, "name")?, get_u32(b, "line")?));
+        }
+        for b in t.get("bind_call")?.as_arr()? {
+            f.taint.bindings_from_calls.push((
+                get_str(b, "name")?,
+                get_str(b, "callee")?,
+                get_u32(b, "line")?,
+            ));
+        }
+        for s in t.get("sinks")?.as_arr()? {
+            f.taint.sink_uses.push(SinkUse {
+                sink: get_str(s, "sink")?,
+                line: get_u32(s, "line")?,
+                col: get_u32(s, "col")?,
+                direct_source: s.get("direct")?.as_bool()?,
+                idents: arr_str(s.get("idents")),
+                callees: arr_str(s.get("callees")),
+            });
+        }
+        Some(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn facts(src: &str) -> FileFacts {
+        let lexed = lex(src);
+        let parsed = parse(&lexed.toks);
+        extract("crates/core/src/x.rs", &lexed, &parsed)
+    }
+
+    #[test]
+    fn calls_and_polls_extracted() {
+        let f = facts(
+            "fn a(cancel: &CancelToken) { cancel.check()?; helper(1); x.method(); }\nfn helper(n: u32) {}\n",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert!(f.fns[0].polls_cancel);
+        let callees: Vec<_> = f.fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(callees.contains(&"helper") && callees.contains(&"method"), "{callees:?}");
+        assert!(!f.fns[1].polls_cancel);
+    }
+
+    #[test]
+    fn loops_classified_with_poll_and_callees() {
+        let src = "fn a() {\n  loop { step(); }\n  while x > 0.0 { cancel.check()?; }\n  for i in 0..10 { bounded(); }\n}\n";
+        let f = facts(src);
+        let loops = &f.fns[0].loops;
+        assert_eq!(loops.len(), 2, "for-loops are bounded: {loops:?}");
+        assert_eq!(loops[0].kind, "loop");
+        assert!(!loops[0].polls);
+        assert_eq!(loops[0].callees, ["step"]);
+        assert_eq!(loops[1].kind, "while");
+        assert!(loops[1].polls);
+    }
+
+    #[test]
+    fn lock_pairs_and_held_calls() {
+        let src = "fn a(&self) {\n  let g = self.registry.read().unwrap_or_else(|e| e.into_inner());\n  let h = self.eqcache.lock().unwrap_or_else(|e| e.into_inner());\n  work(&g, &h);\n}\n";
+        let f = facts(src);
+        let pairs = &f.fns[0].lock_pairs;
+        assert_eq!(pairs.len(), 1, "{pairs:?}");
+        assert_eq!((pairs[0].first.as_str(), pairs[0].second.as_str()), ("registry", "eqcache"));
+        assert!(f.fns[0].held_calls.iter().any(|h| h.lock == "registry" && h.callee == "work"));
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = "fn a(&self) {\n  self.stats.lock().unwrap_or_else(|e| e.into_inner()).count += 1;\n  let g = self.other.lock().unwrap_or_else(|e| e.into_inner());\n}\n";
+        let f = facts(src);
+        assert!(f.fns[0].lock_pairs.is_empty(), "{:?}", f.fns[0].lock_pairs);
+    }
+
+    #[test]
+    fn drop_releases_let_bound_guard() {
+        let src = "fn a(&self) {\n  let g = self.first.lock().unwrap_or_else(|e| e.into_inner());\n  drop(g);\n  let h = self.second.lock().unwrap_or_else(|e| e.into_inner());\n}\n";
+        let f = facts(src);
+        assert!(f.fns[0].lock_pairs.is_empty(), "{:?}", f.fns[0].lock_pairs);
+    }
+
+    #[test]
+    fn taint_sources_bindings_sinks() {
+        let src = "fn a() {\n  let t = Instant::now();\n  let eq = Equilibrium { mpa: t };\n}\n";
+        let f = facts(src);
+        let taint = &f.fns[0].taint;
+        assert_eq!(taint.sources.len(), 1);
+        assert_eq!(taint.bindings_from_source, [("t".to_string(), 2)]);
+        assert_eq!(taint.sink_uses.len(), 1);
+        assert!(taint.sink_uses[0].idents.contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn waived_source_is_blessed() {
+        let src = "fn a() {\n  // lint:allow(determinism) -- diagnostics only\n  let t = Instant::now();\n}\n";
+        let f = facts(src);
+        assert!(f.fns[0].taint.sources.is_empty());
+        assert!(f.fns[0].taint.bindings_from_source.is_empty());
+    }
+
+    #[test]
+    fn test_fns_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { loop {} } }\nfn live() {}\n";
+        let f = facts(src);
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "live");
+    }
+
+    #[test]
+    fn facts_json_round_trip() {
+        let src = "fn a(cancel: &CancelToken) {\n  let g = self.reg.read().unwrap_or_else(|e| e.into_inner());\n  let t = Instant::now();\n  loop { cancel.check()?; solve(t); }\n  let h = self.cache.lock().unwrap_or_else(|e| e.into_inner());\n  fingerprint(t);\n}\n";
+        let f = facts(src);
+        let json = f.to_json().render();
+        let parsed = mpmc_service::json::parse(&json).expect("valid JSON");
+        let back = FileFacts::from_json(&parsed).expect("round trip");
+        assert_eq!(back.relpath, f.relpath);
+        assert_eq!(back.fns, f.fns);
+    }
+}

@@ -244,13 +244,116 @@ fn bounded_io_good_and_waived_pass() {
 }
 
 #[test]
+fn cancellation_propagation_bad_pins_rule_and_lines() {
+    // A `*_cancellable` entry point reaches a direct `loop` (line 6) and,
+    // through the call graph, `inner`'s `while` (line 11); neither polls.
+    let fs = lint(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/cancellation_propagation/bad.rs"),
+    );
+    assert_eq!(
+        unwaived(&fs),
+        vec![
+            ("cancellation_propagation".to_string(), 6),
+            ("cancellation_propagation".to_string(), 11)
+        ],
+        "{fs:?}"
+    );
+    assert!(fs.iter().all(|f| f.severity == Severity::Deny));
+    // The interprocedural finding names the path from the entry point.
+    let via = fs.iter().find(|f| f.line == 11).expect("finding at line 11");
+    assert!(via.message.contains("solve_cancellable"), "{}", via.message);
+}
+
+#[test]
+fn cancellation_propagation_good_and_waived_pass() {
+    let fs = lint(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/cancellation_propagation/good.rs"),
+    );
+    assert!(fs.is_empty(), "direct and transitive polls both satisfy the rule: {fs:?}");
+    let fs = lint(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/cancellation_propagation/waived.rs"),
+    );
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+    assert!(fs
+        .iter()
+        .any(|f| { f.rule == "cancellation_propagation" && f.waived && f.waive_reason.is_some() }));
+}
+
+#[test]
+fn lock_order_bad_pins_rule_and_lines() {
+    // ABBA: both directions report, each at its second acquisition.
+    let fs = lint("crates/service/src/fixture.rs", include_str!("fixtures/lock_order/bad.rs"));
+    assert_eq!(
+        unwaived(&fs),
+        vec![("lock_order".to_string(), 7), ("lock_order".to_string(), 12)],
+        "{fs:?}"
+    );
+    assert!(fs.iter().all(|f| f.severity == Severity::Deny));
+}
+
+#[test]
+fn lock_order_good_and_waived_pass() {
+    let fs = lint("crates/service/src/fixture.rs", include_str!("fixtures/lock_order/good.rs"));
+    assert!(fs.is_empty(), "consistent order and drop-before-reacquire pass: {fs:?}");
+    let fs = lint("crates/service/src/fixture.rs", include_str!("fixtures/lock_order/waived.rs"));
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+    assert_eq!(
+        fs.iter().filter(|f| f.rule == "lock_order" && f.waived).count(),
+        2,
+        "both directions of the sanctioned inversion stay visible: {fs:?}"
+    );
+}
+
+#[test]
+fn determinism_taint_bad_pins_rule_and_lines() {
+    // `crates/mathkit/src` is in determinism_taint scope but (lru.rs
+    // aside) not in the lexical determinism rule's, so the flow findings
+    // attribute to the taint rule alone: the clock-tainted binding
+    // reaching the Equilibrium literal (line 5), the HashMap-iteration
+    // value reaching the fingerprint (line 9), and the direct
+    // SystemTime::now() argument (line 12).
+    let fs =
+        lint("crates/mathkit/src/fixture.rs", include_str!("fixtures/determinism_taint/bad.rs"));
+    assert_eq!(
+        unwaived(&fs),
+        vec![
+            ("determinism_taint".to_string(), 5),
+            ("determinism_taint".to_string(), 9),
+            ("determinism_taint".to_string(), 12)
+        ],
+        "{fs:?}"
+    );
+    assert!(fs.iter().all(|f| f.severity == Severity::Deny));
+}
+
+#[test]
+fn determinism_taint_good_and_waived_pass() {
+    let fs =
+        lint("crates/mathkit/src/fixture.rs", include_str!("fixtures/determinism_taint/good.rs"));
+    assert!(fs.is_empty(), "ordered maps and histogram-only clocks pass: {fs:?}");
+    // In service scope the lexical determinism rule consumes the source
+    // waiver, and the blessed source creates no taint downstream.
+    let fs =
+        lint("crates/service/src/fixture.rs", include_str!("fixtures/determinism_taint/waived.rs"));
+    assert!(unwaived(&fs).is_empty(), "{fs:?}");
+    assert!(fs.iter().any(|f| f.rule == "determinism" && f.waived));
+    assert!(
+        !fs.iter().any(|f| f.rule == "determinism_taint"),
+        "a waived source launders nothing — it simply never taints: {fs:?}"
+    );
+}
+
+#[test]
 fn deny_findings_drive_exit_code_8() {
     let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/panic_free/bad.rs"));
-    let report = Report { findings: fs, files_scanned: 1, rules_run: Vec::new() };
+    let report = Report { findings: fs, files_scanned: 1, ..Report::default() };
     assert_eq!(report.exit_code(), mpmc_service::exit_code::LINT);
 
     let fs = lint("crates/core/src/fixture.rs", include_str!("fixtures/panic_free/waived.rs"));
-    let report = Report { findings: fs, files_scanned: 1, rules_run: Vec::new() };
+    let report = Report { findings: fs, files_scanned: 1, ..Report::default() };
     assert_eq!(report.exit_code(), 0, "waived findings never fail the build");
 }
 

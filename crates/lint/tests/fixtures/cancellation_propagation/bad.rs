@@ -1,0 +1,15 @@
+// Fixture: cancellation_propagation true positives (never compiled).
+// A cancellable entry point reaches unbounded loops that never poll.
+fn solve_cancellable(jobs: &[u64], cancel: &CancelToken) {
+    let _ = cancel;
+    inner(jobs);
+    loop {
+        step(jobs);
+    }
+}
+fn inner(jobs: &[u64]) {
+    while !jobs.is_empty() {
+        step(jobs);
+    }
+}
+fn step(_jobs: &[u64]) {}

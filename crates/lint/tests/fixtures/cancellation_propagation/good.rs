@@ -1,0 +1,22 @@
+// Fixture: cancellation_propagation clean idioms (never compiled).
+// Every unbounded loop reachable from the entry point polls the token,
+// either directly or through a polling callee.
+fn solve_cancellable(jobs: &[u64], cancel: &CancelToken) -> Result<(), MathError> {
+    loop {
+        cancel.check()?;
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        helper(jobs, cancel)?;
+    }
+}
+fn helper(jobs: &[u64], cancel: &CancelToken) -> Result<(), MathError> {
+    while !jobs.is_empty() {
+        if cancel.is_cancelled() {
+            return Err(MathError::Cancelled);
+        }
+        step(jobs);
+    }
+    Ok(())
+}
+fn step(_jobs: &[u64]) {}

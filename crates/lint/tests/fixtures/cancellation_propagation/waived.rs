@@ -1,0 +1,12 @@
+// Fixture: waived cancellation_propagation site (never compiled).
+// The loop is provably bounded, so the finding is waived with a reason.
+fn drain_cancellable(jobs: &[u64], cancel: &CancelToken) {
+    let _ = cancel;
+    let mut i = 0;
+    // lint:allow(cancellation_propagation) -- bounded: i strictly increases toward jobs.len()
+    while i < jobs.len() {
+        step(jobs);
+        i += 1;
+    }
+}
+fn step(_jobs: &[u64]) {}

@@ -1,0 +1,13 @@
+// Fixture: determinism_taint true positives (never compiled).
+// Wall-clock and hash-order values laundered into model outputs.
+fn clocked() -> Equilibrium {
+    let t = Instant::now().elapsed().as_nanos() as f64;
+    Equilibrium { mpa: t, tpi: 0.0 }
+}
+fn hashed(m: HashMap<u64, f64>) {
+    let acc = m.values().sum::<f64>();
+    content_fingerprint(acc);
+}
+fn direct() {
+    content_fingerprint(SystemTime::now());
+}

@@ -1,0 +1,14 @@
+// Fixture: determinism_taint clean idioms (never compiled).
+// Model outputs are built only from deterministic inputs; ordered maps
+// feed the fingerprint; wall-clock feeds only the latency histogram.
+fn solved(mpa: f64, tpi: f64) -> Equilibrium {
+    Equilibrium { mpa, tpi }
+}
+fn ordered(m: BTreeMap<u64, f64>) {
+    let acc = m.values().sum::<f64>();
+    content_fingerprint(acc);
+}
+fn timed(hist: &Histogram) {
+    let t = Instant::now();
+    hist.record_ns(t.elapsed().as_nanos() as u64);
+}

@@ -1,0 +1,8 @@
+// Fixture: waived determinism_taint source (never compiled).
+// Waiving the *source* line blesses the whole flow: the sampled value is
+// a sanctioned diagnostic and may reach a wire-visible number.
+fn sampled() -> Num {
+    // lint:allow(determinism) -- diagnostics-only: stats op reports its own sample age
+    let t = Instant::now().elapsed().as_nanos() as f64;
+    Num(t)
+}

@@ -1,0 +1,15 @@
+// Fixture: lock_order true positive (never compiled).
+// `ab` acquires registry before eqcache; `ba` inverts the order, so the
+// two paths can deadlock against each other.
+impl Server {
+    fn ab(&self) -> u64 {
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let eq = self.eqcache.lock().unwrap_or_else(|e| e.into_inner());
+        *reg + *eq
+    }
+    fn ba(&self) -> u64 {
+        let eq = self.eqcache.lock().unwrap_or_else(|e| e.into_inner());
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        *eq - *reg
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: lock_order clean idioms (never compiled).
+// Both paths acquire registry before eqcache, and `scoped` releases its
+// first guard (via drop) before taking the second, so no pair forms.
+impl Server {
+    fn sum(&self) -> u64 {
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let eq = self.eqcache.lock().unwrap_or_else(|e| e.into_inner());
+        *reg + *eq
+    }
+    fn diff(&self) -> u64 {
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let eq = self.eqcache.lock().unwrap_or_else(|e| e.into_inner());
+        *eq - *reg
+    }
+    fn scoped(&self) -> u64 {
+        let eq = self.eqcache.lock().unwrap_or_else(|e| e.into_inner());
+        let snapshot = *eq;
+        drop(eq);
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        snapshot + *reg
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: waived lock_order inversion (never compiled).
+// The inversion is intentional (e.g. a shutdown path that provably runs
+// single-threaded), so both reported sites carry waivers.
+impl Server {
+    fn ab(&self) -> u64 {
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let eq = self.eqcache.lock().unwrap_or_else(|e| e.into_inner()); // lint:allow(lock_order) -- shutdown path, runs after workers have joined
+        *reg + *eq
+    }
+    fn ba(&self) -> u64 {
+        let eq = self.eqcache.lock().unwrap_or_else(|e| e.into_inner());
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner()); // lint:allow(lock_order) -- shutdown path, runs after workers have joined
+        *eq - *reg
+    }
+}

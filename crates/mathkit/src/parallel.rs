@@ -92,6 +92,7 @@ where
 
     thread::scope(|scope| {
         for _ in 0..workers {
+            // lint:allow(cancellation_propagation) -- bounded: the cursor hands out each of n task indices once, then the worker exits
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {

@@ -192,6 +192,7 @@ impl Semaphore {
         let (mut st, timed_out) = {
             let mut remaining = deadline_left;
             let mut guard = st;
+            // lint:allow(cancellation_propagation) -- bounded by the acquire timeout: `remaining` shrinks to zero and the loop exits timed_out
             loop {
                 let (g, wait) =
                     self.cv.wait_timeout(guard, remaining).unwrap_or_else(|e| e.into_inner());

@@ -184,6 +184,7 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
+        // lint:allow(cancellation_propagation) -- bounded: pos advances over input already capped by LineReader
         while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
@@ -230,6 +231,7 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
+        // lint:allow(cancellation_propagation) -- bounded: pos advances over input already capped by LineReader
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
@@ -245,6 +247,7 @@ impl<'a> Parser<'a> {
     fn string(&mut self) -> Result<String, String> {
         self.expect_byte(b'"')?;
         let mut out = String::new();
+        // lint:allow(cancellation_propagation) -- bounded: every iteration consumes a byte of the capped line or errors
         loop {
             match self.peek() {
                 None => return Err("unterminated string".to_string()),
@@ -292,13 +295,18 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // bytes are valid UTF-8 by construction).
+                    // Consume the whole run of plain bytes up to the next
+                    // quote or escape in one step. The run boundaries are
+                    // ASCII, so they never split a multi-byte scalar, and
+                    // validating only the run (not the rest of the input,
+                    // which would make parsing quadratic in document size)
+                    // keeps the parse linear.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let len =
+                        rest.iter().position(|&b| b == b'"' || b == b'\\').unwrap_or(rest.len());
+                    let chunk = std::str::from_utf8(&rest[..len]).map_err(|e| e.to_string())?;
+                    out.push_str(chunk);
+                    self.pos += len;
                 }
             }
         }
@@ -323,6 +331,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             return Ok(Json::Arr(items));
         }
+        // lint:allow(cancellation_propagation) -- bounded: every iteration consumes at least one byte of the capped line or errors
         loop {
             items.push(self.value(depth + 1)?);
             self.skip_ws();
@@ -347,6 +356,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             return Ok(Json::Obj(fields));
         }
+        // lint:allow(cancellation_propagation) -- bounded: every iteration consumes at least one byte of the capped line or errors
         loop {
             self.skip_ws();
             let key = self.string()?;
@@ -416,6 +426,19 @@ mod tests {
         // Unicode escapes, including a surrogate pair.
         assert_eq!(parse(r#""\u0041\ud83d\ude00""#).unwrap().as_str(), Some("A😀"));
         assert!(parse(r#""\ud83d""#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn long_strings_with_mixed_runs_roundtrip() {
+        // The string scanner consumes plain bytes in runs (quote/escape
+        // boundaries are ASCII); escapes adjacent to multi-byte scalars
+        // and long unescaped stretches must all survive exactly.
+        let plain = "α β γ — mixed ascii and multi-byte ".repeat(500);
+        let s = format!("start\\{plain}\"mid\"\n{plain}é\\end");
+        let rendered = Json::Str(s.clone()).render();
+        assert_eq!(parse(&rendered).unwrap().as_str(), Some(s.as_str()));
+        // An escape as the very first and very last byte of the content.
+        assert_eq!(parse(r#""\n𝄞\t""#).unwrap().as_str(), Some("\n𝄞\t"));
     }
 
     #[test]

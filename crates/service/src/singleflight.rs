@@ -115,6 +115,7 @@ impl<K: Ord + Clone, V: Clone> SingleFlight<K, V> {
             return Flight::Led(value);
         }
         let mut done = slot.done.lock().unwrap_or_else(|e| e.into_inner());
+        // lint:allow(cancellation_propagation) -- bounded by the follower deadline: wait_timeout shrinks `remaining` to zero and the loop returns TimedOut
         loop {
             if let Some(v) = done.as_ref() {
                 self.shared.fetch_add(1, Ordering::Relaxed);
